@@ -1,0 +1,137 @@
+// E1 — "scripts where every object in the game interacts with every other
+// object, resulting in computations that are Ω(n²)" ... "game developers
+// often rely on indices to speed up computations that involve relationships
+// between pairs of objects."
+//
+// Workload: a proximity-damage script (every unit within range hits its
+// neighbors) over n units, three plans:
+//   naive      — the designer's nested loop, Ω(n²)
+//   grid_join  — spatial-hash pair join, O(n·k)
+//   aggregate  — maintained SUM index answering the "total faction hp"
+//                side-query scripts recompute per frame, O(1) per read
+// Expected shape: naive scales quadratically and falls off a cliff;
+// indexed stays near-linear; the maintained aggregate is flat.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/aggregate.h"
+#include "core/world.h"
+#include "spatial/pair_join.h"
+#include "spatial/uniform_grid.h"
+
+namespace {
+
+using namespace gamedb;           // NOLINT
+using namespace gamedb::spatial;  // NOLINT
+
+constexpr float kArea = 1000.0f;
+constexpr float kRange = 10.0f;
+
+std::vector<PointEntry> MakeUnits(size_t n) {
+  Rng rng(42);
+  std::vector<PointEntry> units;
+  units.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    units.push_back(PointEntry{
+        EntityId(i, 0),
+        {rng.NextFloat(0, kArea), 0, rng.NextFloat(0, kArea)}});
+  }
+  return units;
+}
+
+void BM_NaivePairs(benchmark::State& state) {
+  auto units = MakeUnits(static_cast<size_t>(state.range(0)));
+  uint64_t pairs = 0;
+  for (auto _ : state) {
+    NestedLoopPairs(units, kRange,
+                    [&](const PointEntry&, const PointEntry&) { ++pairs; });
+  }
+  state.counters["pairs"] =
+      benchmark::Counter(static_cast<double>(pairs) /
+                         static_cast<double>(state.iterations()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NaivePairs)->RangeMultiplier(2)->Range(256, 8192)->Complexity();
+
+void BM_GridJoinPairs(benchmark::State& state) {
+  auto units = MakeUnits(static_cast<size_t>(state.range(0)));
+  uint64_t pairs = 0;
+  for (auto _ : state) {
+    GridPairs(units, kRange,
+              [&](const PointEntry&, const PointEntry&) { ++pairs; });
+  }
+  state.counters["pairs"] =
+      benchmark::Counter(static_cast<double>(pairs) /
+                         static_cast<double>(state.iterations()));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GridJoinPairs)->RangeMultiplier(2)->Range(256, 8192)->Complexity();
+
+void BM_IndexJoinPairs(benchmark::State& state) {
+  auto units = MakeUnits(static_cast<size_t>(state.range(0)));
+  UniformGrid index(UniformGridOptions{kRange});
+  for (const auto& u : units) index.Insert(u.id, Aabb::FromPoint(u.pos));
+  uint64_t pairs = 0;
+  for (auto _ : state) {
+    IndexPairs(index, units, kRange,
+               [&](const PointEntry&, const PointEntry&) { ++pairs; });
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IndexJoinPairs)->RangeMultiplier(2)->Range(256, 8192)->Complexity();
+
+// The per-frame side query: "total hp of my faction". The unindexed script
+// rescans the table; the database answer maintains a grouped SUM.
+void BM_RescanAggregate(benchmark::State& state) {
+  RegisterStandardComponents();
+  World world;
+  auto n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    EntityId e = world.Create();
+    world.Set(e, Health{float(rng.NextInt(1, 100)), 100});
+    world.Set(e, Faction{int32_t(i % 4)});
+  }
+  for (auto _ : state) {
+    // What a script's per-frame loop does.
+    double sum = 0;
+    world.Table<Health>().ForEach([&](EntityId e, const Health& h) {
+      const Faction* f = world.Get<Faction>(e);
+      if (f != nullptr && f->team == 0) sum += h.hp;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RescanAggregate)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+void BM_MaintainedAggregate(benchmark::State& state) {
+  RegisterStandardComponents();
+  World world;
+  auto n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<EntityId> ids;
+  for (size_t i = 0; i < n; ++i) {
+    EntityId e = world.Create();
+    world.Set(e, Health{float(rng.NextInt(1, 100)), 100});
+    world.Set(e, Faction{int32_t(i % 4)});
+    ids.push_back(e);
+  }
+  SumAggregate<Health> total(world, [](const Health& h) { return h.hp; });
+  for (auto _ : state) {
+    // One tracked write (the maintenance cost) plus the O(1) read.
+    world.Patch<Health>(ids[rng.NextBounded(ids.size())],
+                        [&](Health& h) { h.hp = float(rng.NextInt(1, 100)); });
+    benchmark::DoNotOptimize(total.sum());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaintainedAggregate)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

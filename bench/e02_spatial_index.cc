@@ -1,0 +1,120 @@
+// E2 — "Many games use traditional spatial indices such as BSP trees or
+// Octrees." Range/radius query and update throughput for the four index
+// structures under identical workloads.
+//
+// Expected shape: all indexes beat the scan by orders of magnitude at low
+// selectivity; the grid wins uniform point loads; trees tolerate mixed
+// object sizes; scan wins only for tiny n.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "spatial/kdbsp_tree.h"
+#include "spatial/linear_scan.h"
+#include "spatial/loose_octree.h"
+#include "spatial/uniform_grid.h"
+
+namespace {
+
+using namespace gamedb;           // NOLINT
+using namespace gamedb::spatial;  // NOLINT
+
+constexpr float kArea = 1000.0f;
+
+std::unique_ptr<SpatialIndex> MakeIndex(int kind) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<LinearScan>();
+    case 1:
+      return std::make_unique<UniformGrid>(UniformGridOptions{20.0f});
+    case 2:
+      return std::make_unique<KdBspTree>();
+    default: {
+      LooseOctreeOptions opts;
+      opts.world_bounds = Aabb{{0, -10, 0}, {kArea, 10, kArea}};
+      return std::make_unique<LooseOctree>(opts);
+    }
+  }
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "scan";
+    case 1:
+      return "grid";
+    case 2:
+      return "kdbsp";
+    default:
+      return "octree";
+  }
+}
+
+void Fill(SpatialIndex* index, size_t n, Rng* rng) {
+  for (uint32_t i = 0; i < n; ++i) {
+    Vec3 p{rng->NextFloat(0, kArea), 0, rng->NextFloat(0, kArea)};
+    float half = rng->NextFloat(0.1f, 2.0f);
+    index->Insert(EntityId(i, 0), Aabb::FromPoint(p).Inflated(half));
+  }
+}
+
+void BM_RadiusQuery(benchmark::State& state) {
+  int kind = static_cast<int>(state.range(0));
+  auto n = static_cast<size_t>(state.range(1));
+  float radius = static_cast<float>(state.range(2));
+  auto index = MakeIndex(kind);
+  Rng rng(1);
+  Fill(index.get(), n, &rng);
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    Vec3 c{rng.NextFloat(0, kArea), 0, rng.NextFloat(0, kArea)};
+    index->QueryRadius(c, radius, [&](EntityId, const Aabb&) { ++hits; });
+  }
+  state.counters["hits/query"] = benchmark::Counter(
+      static_cast<double>(hits) / static_cast<double>(state.iterations()));
+  state.SetLabel(KindName(kind));
+}
+BENCHMARK(BM_RadiusQuery)
+    ->ArgsProduct({{0, 1, 2, 3}, {1024, 8192, 65536}, {10, 50}});
+
+void BM_Update(benchmark::State& state) {
+  int kind = static_cast<int>(state.range(0));
+  auto n = static_cast<size_t>(state.range(1));
+  auto index = MakeIndex(kind);
+  Rng rng(2);
+  Fill(index.get(), n, &rng);
+  for (auto _ : state) {
+    uint32_t slot = static_cast<uint32_t>(rng.NextBounded(n));
+    Vec3 p{rng.NextFloat(0, kArea), 0, rng.NextFloat(0, kArea)};
+    index->Update(EntityId(slot, 0), Aabb::FromPoint(p).Inflated(1.0f));
+    // Trees amortize: one query per update keeps lazy rebuilds honest.
+    uint64_t hits = 0;
+    index->QueryRadius(p, 10.0f, [&](EntityId, const Aabb&) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetLabel(KindName(kind));
+}
+BENCHMARK(BM_Update)->ArgsProduct({{0, 1, 2, 3}, {1024, 16384}});
+
+void BM_BuildFromScratch(benchmark::State& state) {
+  int kind = static_cast<int>(state.range(0));
+  auto n = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto index = MakeIndex(kind);
+    Rng rng(3);
+    Fill(index.get(), n, &rng);
+    // Force lazy structures to actually build.
+    uint64_t hits = 0;
+    index->QueryRadius({kArea / 2, 0, kArea / 2}, 5.0f,
+                       [&](EntityId, const Aabb&) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetLabel(KindName(kind));
+}
+BENCHMARK(BM_BuildFromScratch)->ArgsProduct({{0, 1, 2, 3}, {8192}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

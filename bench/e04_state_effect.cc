@@ -1,0 +1,142 @@
+// E4 — parallel script processing: "many of the techniques that game
+// programmers have been using to optimize physics calculations ... look
+// very similar to the techniques that database engines use for join
+// processing." The state-effect pattern [13] makes a tick a parallel
+// query phase + a combine/apply phase.
+//
+// Workload: a combat + flocking tick over n entities. Baseline is the
+// sequential read-modify-write loop; state-effect runs at 1/2/4/8 threads.
+// Expected shape: near-linear speedup for the query phase; the sequential
+// loop cannot be parallelized at all without races.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/state_effect.h"
+#include "spatial/kdbsp_tree.h"
+
+namespace {
+
+using namespace gamedb;  // NOLINT
+
+constexpr float kArea = 500.0f;
+constexpr float kRange = 15.0f;
+
+void BuildWorld(World* world, std::vector<EntityId>* ids, size_t n) {
+  RegisterStandardComponents();
+  Rng rng(99);
+  for (size_t i = 0; i < n; ++i) {
+    EntityId e = world->Create();
+    ids->push_back(e);
+    world->Set(e, Position{{rng.NextFloat(0, kArea), 0,
+                            rng.NextFloat(0, kArea)}});
+    Velocity v;
+    v.value = rng.NextDirXZ() * rng.NextFloat(0.0f, 5.0f);
+    world->Set(e, v);
+    world->Set(e, Health{100, 100});
+    Combat c;
+    c.attack = rng.NextFloat(1, 5);
+    c.target = EntityId(uint32_t(rng.NextBounded(n)), 0);
+    world->Set(e, c);
+  }
+}
+
+// Sequential scripted tick: direct read-modify-write, single thread only.
+void BM_SequentialScriptTick(benchmark::State& state) {
+  World world;
+  std::vector<EntityId> ids;
+  BuildWorld(&world, &ids, size_t(state.range(0)));
+  for (auto _ : state) {
+    // Combat: each attacker damages its target in place.
+    world.Table<Combat>().ForEach([&](EntityId, Combat& c) {
+      Health* h = world.GetMutableUntracked<Health>(c.target);
+      if (h != nullptr) h->hp -= c.attack * 0.01f;
+    });
+    // Movement integration.
+    View<Position, Velocity>(world).Each(
+        [&](EntityId, Position& p, Velocity& v) {
+          p.value += v.value * 0.016f;
+        });
+  }
+  state.SetLabel("sequential");
+}
+BENCHMARK(BM_SequentialScriptTick)->Arg(4096)->Arg(16384)->Arg(65536);
+
+// State-effect tick at a given thread count.
+void BM_StateEffectTick(benchmark::State& state) {
+  World world;
+  std::vector<EntityId> ids;
+  BuildWorld(&world, &ids, size_t(state.range(1)));
+  StateEffectExecutor exec(size_t(state.range(0)));
+  Effect<double> damage(exec.shard_count());
+  Effect<Vec3> motion(exec.shard_count());
+
+  for (auto _ : state) {
+    // Query phase (parallel): reads tick-start state, emits effects.
+    exec.QueryPhase<Combat>(world,
+                            [&](size_t shard, EntityId, const Combat& c) {
+                              damage.Contribute(shard, c.target,
+                                                double(c.attack) * 0.01);
+                            });
+    exec.QueryPhase<Position, Velocity>(
+        world, [&](size_t shard, EntityId e, const Position&,
+                   const Velocity& v) {
+          motion.Contribute(shard, e, v.value * 0.016f);
+        });
+    // Apply phase (sequential, deterministic).
+    damage.Drain([&](EntityId e, const double& total) {
+      Health* h = world.GetMutableUntracked<Health>(e);
+      if (h != nullptr) h->hp -= float(total);
+    });
+    motion.Drain([&](EntityId e, const Vec3& delta) {
+      Position* p = world.GetMutableUntracked<Position>(e);
+      if (p != nullptr) p->value += delta;
+    });
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "_threads");
+}
+BENCHMARK(BM_StateEffectTick)
+    ->ArgsProduct({{1, 2, 4, 8}, {4096, 16384, 65536}})
+    ->UseRealTime();
+
+// Proximity interactions through the same pattern: grid join in the query
+// phase (the GPU-join analogy made concrete).
+void BM_StateEffectProximityTick(benchmark::State& state) {
+  World world;
+  std::vector<EntityId> ids;
+  BuildWorld(&world, &ids, size_t(state.range(1)));
+  StateEffectExecutor exec(size_t(state.range(0)));
+  Effect<double> damage(exec.shard_count());
+  // KdBspTree: safe for concurrent queries once warmed up (UniformGrid's
+  // query-epoch dedup is not; see uniform_grid.h).
+  spatial::KdBspTree index;
+  world.Table<Position>().ForEach([&](EntityId e, const Position& p) {
+    index.Insert(e, Aabb::FromPoint(p.value));
+  });
+  index.QueryRadius({0, 0, 0}, 1.0f, [](EntityId, const Aabb&) {});  // build
+
+  for (auto _ : state) {
+    exec.QueryPhase<Position, Combat>(
+        world, [&](size_t shard, EntityId e, const Position& p,
+                   const Combat& c) {
+          index.QueryRadius(p.value, kRange,
+                            [&](EntityId other, const Aabb&) {
+                              if (other == e) return;
+                              damage.Contribute(shard, other,
+                                                double(c.attack) * 0.001);
+                            });
+        });
+    damage.Drain([&](EntityId e, const double& total) {
+      Health* h = world.GetMutableUntracked<Health>(e);
+      if (h != nullptr) h->hp -= float(total);
+    });
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "_threads");
+}
+BENCHMARK(BM_StateEffectProximityTick)
+    ->ArgsProduct({{1, 4, 8}, {8192}})
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

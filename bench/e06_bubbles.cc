@@ -1,0 +1,127 @@
+// E6 — EVE Online's partitioner: "a continuous differential equation that
+// takes into account the acceleration of every space ship in a solar
+// system ... determine, for any given time interval, which ships can move
+// within range of each other; this way they can dynamically partition the
+// map into feasible units."
+//
+// The partitioner itself under density and horizon sweeps: partition cost,
+// bubble count, max bubble size, and the fraction of transactions that end
+// up cross-bubble. Expected shape: bubbles stay small and numerous until
+// density (or horizon) crosses the percolation-style threshold where the
+// world fuses into one component.
+
+#include <benchmark/benchmark.h>
+
+#include "txn/bubbles.h"
+#include "txn/workload.h"
+
+namespace {
+
+using namespace gamedb;       // NOLINT
+using namespace gamedb::txn;  // NOLINT
+
+void BM_PartitionCost(benchmark::State& state) {
+  WorkloadOptions wopts;
+  wopts.num_entities = uint32_t(state.range(0));
+  wopts.area_extent = float(state.range(1));
+  wopts.max_speed = 10.0f;
+  wopts.max_accel = 4.0f;
+  MmoWorkload workload(wopts);
+
+  BubbleOptions bopts;
+  bopts.interaction_radius = 10.0f;
+  bopts.horizon_seconds = 0.5f;
+
+  size_t bubbles = 0, max_size = 0, rounds = 0;
+  for (auto _ : state) {
+    auto part = ComputeBubbles(&workload.world(), bopts);
+    bubbles += part.bubble_count;
+    max_size = std::max(max_size, part.max_bubble_size);
+    ++rounds;
+    workload.AdvancePositions(0.1f);
+  }
+  state.counters["bubbles"] =
+      benchmark::Counter(rounds ? double(bubbles) / double(rounds) : 0);
+  state.counters["max_bubble"] = benchmark::Counter(double(max_size));
+  state.counters["entities/s"] = benchmark::Counter(
+      double(state.range(0)) * double(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PartitionCost)
+    ->ArgsProduct({{1000, 10000, 50000}, {500, 2000, 8000}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HorizonSweep(benchmark::State& state) {
+  // Longer horizons = wider motion bounds = fewer, larger bubbles. The
+  // horizon is the server's re-partition interval: this sweep is the
+  // partition-stability-vs-granularity trade.
+  WorkloadOptions wopts;
+  wopts.num_entities = 10000;
+  wopts.area_extent = 4000.0f;
+  wopts.max_speed = 20.0f;
+  wopts.max_accel = 8.0f;
+  MmoWorkload workload(wopts);
+
+  BubbleOptions bopts;
+  bopts.interaction_radius = 10.0f;
+  bopts.horizon_seconds = float(state.range(0)) / 10.0f;
+
+  size_t bubbles = 0, max_size = 0, rounds = 0;
+  for (auto _ : state) {
+    auto part = ComputeBubbles(&workload.world(), bopts);
+    bubbles += part.bubble_count;
+    max_size = std::max(max_size, part.max_bubble_size);
+    ++rounds;
+  }
+  state.counters["bubbles"] =
+      benchmark::Counter(rounds ? double(bubbles) / double(rounds) : 0);
+  state.counters["max_bubble"] = benchmark::Counter(double(max_size));
+  state.SetLabel("tau=" + std::to_string(double(state.range(0)) / 10.0) + "s");
+}
+BENCHMARK(BM_HorizonSweep)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CrossBubbleFraction(benchmark::State& state) {
+  // How much of the actual transaction load escapes its bubble, by density.
+  WorkloadOptions wopts;
+  wopts.num_entities = 4000;
+  wopts.area_extent = float(state.range(0));
+  wopts.attack_fraction = 0.6f;
+  wopts.trade_fraction = 0.2f;
+  MmoWorkload workload(wopts);
+
+  BubbleOptions bopts;
+  bopts.interaction_radius = wopts.interaction_radius;
+  bopts.horizon_seconds = 0.25f;
+  // Stale-partition regime: entities move between batches, so transactions
+  // start escaping their (old) bubbles — the cross fraction measures it.
+  bopts.repartition_interval = 5;
+  BubbleExecutor exec(bopts);
+  ThreadPool pool(8);
+
+  uint64_t committed = 0, cross = 0;
+  for (auto _ : state) {
+    auto batch = workload.NextBatch();
+    ExecStats stats = exec.ExecuteBatch(&workload.world(), batch, &pool);
+    committed += stats.committed;
+    cross += stats.cross_bubble_txns;
+    workload.AdvancePositions(0.05f);
+  }
+  state.counters["cross_frac"] = benchmark::Counter(
+      committed ? double(cross) / double(committed) : 0);
+  state.SetLabel("extent=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CrossBubbleFraction)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Iterations(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// E7 — "Another way in which games deal with concurrency is by having
+// weaker consistency guarantees ... animation or other uncontested activity
+// may be out of sync between computers but the persistent game state is the
+// same."
+//
+// Bytes/tick vs divergence for full-snapshot / delta / interest / eventual
+// sync across a moving 2k-entity shard with 8 clients. Expected shape:
+// full snapshot buys zero divergence at maximal bandwidth; delta matches it
+// at a fraction of the bytes; interest cuts bytes by the visibility ratio
+// at the cost of global awareness; eventual trades bounded staleness for
+// the lowest byte rate.
+
+#include <benchmark/benchmark.h>
+
+#include "replication/divergence.h"
+#include "replication/sync.h"
+#include "txn/workload.h"
+
+namespace {
+
+using namespace gamedb;               // NOLINT
+using namespace gamedb::replication;  // NOLINT
+
+void BM_SyncStrategy(benchmark::State& state) {
+  auto strategy = static_cast<SyncStrategy>(state.range(0));
+  txn::WorkloadOptions wopts;
+  wopts.num_entities = 2000;
+  wopts.area_extent = 1000.0f;
+  wopts.max_speed = 8.0f;
+  txn::MmoWorkload workload(wopts);
+
+  SyncOptions sopts;
+  sopts.strategy = strategy;
+  sopts.interest_radius = 100.0f;
+  sopts.period_ticks = 10;
+  SyncServer sync(&workload.world(), sopts);
+  const size_t kClients = 8;
+  for (size_t c = 0; c < kClients; ++c) {
+    sync.AddClient(workload.entities()[c * 37]);
+  }
+
+  uint64_t total_bytes = 0, ticks = 0;
+  double divergence_sum = 0, divergence_max = 0;
+  std::vector<SyncStats> stats;
+  for (auto _ : state) {
+    workload.AdvancePositions(0.05f);
+    workload.world().AdvanceTick();
+    Status st = sync.SyncAll(&stats);
+    GAMEDB_CHECK(st.ok());
+    for (const auto& s : stats) total_bytes += s.bytes_sent;
+    // Divergence sampled every tick on client 0.
+    auto report =
+        MeasureDivergence(workload.world(), sync.client(0).world());
+    divergence_sum += report.position_rmse;
+    divergence_max = std::max(divergence_max, report.position_rmse);
+    ++ticks;
+  }
+  state.counters["bytes/tick/client"] = benchmark::Counter(
+      ticks ? double(total_bytes) / double(ticks) / kClients : 0);
+  state.counters["pos_rmse_avg"] =
+      benchmark::Counter(ticks ? divergence_sum / double(ticks) : 0);
+  state.counters["pos_rmse_max"] = benchmark::Counter(divergence_max);
+  state.SetLabel(SyncStrategyName(strategy));
+}
+BENCHMARK(BM_SyncStrategy)
+    ->Arg(int(SyncStrategy::kFullSnapshot))
+    ->Arg(int(SyncStrategy::kDelta))
+    ->Arg(int(SyncStrategy::kInterest))
+    ->Arg(int(SyncStrategy::kEventual))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EventualPeriodSweep(benchmark::State& state) {
+  // The staleness dial: longer periods, fewer bytes, more drift.
+  txn::WorkloadOptions wopts;
+  wopts.num_entities = 2000;
+  wopts.area_extent = 1000.0f;
+  wopts.max_speed = 8.0f;
+  txn::MmoWorkload workload(wopts);
+
+  SyncOptions sopts;
+  sopts.strategy = SyncStrategy::kEventual;
+  sopts.period_ticks = uint32_t(state.range(0));
+  SyncServer sync(&workload.world(), sopts);
+  sync.AddClient(workload.entities()[0]);
+
+  uint64_t total_bytes = 0, ticks = 0;
+  double divergence_max = 0;
+  std::vector<SyncStats> stats;
+  for (auto _ : state) {
+    workload.AdvancePositions(0.05f);
+    workload.world().AdvanceTick();
+    GAMEDB_CHECK(sync.SyncAll(&stats).ok());
+    total_bytes += stats[0].bytes_sent;
+    auto report =
+        MeasureDivergence(workload.world(), sync.client(0).world());
+    divergence_max = std::max(divergence_max, report.position_rmse);
+    ++ticks;
+  }
+  state.counters["bytes/tick"] =
+      benchmark::Counter(ticks ? double(total_bytes) / double(ticks) : 0);
+  state.counters["pos_rmse_max"] = benchmark::Counter(divergence_max);
+  state.SetLabel("period=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_EventualPeriodSweep)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

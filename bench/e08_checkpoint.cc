@@ -1,0 +1,196 @@
+// E8 — "players interact with the game so fast that it is too expensive to
+// process every single action with the database ... these checkpoints can
+// be as far as 10 minutes apart. Recoveries may force a player to repeat a
+// difficult fight or lose a particularly desirable reward. As a result,
+// games need ways to checkpoint intelligently, writing to the database when
+// important events are completed, and not just at regular intervals."
+//
+// An MMO session with weighted events (trash 0.5, quest 5, boss 50, epic
+// loot 100) runs under each policy; crashes are injected at random ticks.
+// Columns: average & worst importance lost at a crash, bytes written, and
+// checkpoints taken. Expected shape: at comparable write budgets the
+// intelligent policy loses far less importance than wall-clock periodic;
+// WAL mode loses ~nothing but pays per-action writes.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "persist/manager.h"
+#include "txn/workload.h"
+
+namespace {
+
+using namespace gamedb;           // NOLINT
+using namespace gamedb::persist;  // NOLINT
+
+struct SessionResult {
+  double avg_lost = 0;
+  double max_lost = 0;
+  uint64_t bytes_written = 0;
+  uint64_t checkpoints = 0;
+};
+
+std::unique_ptr<CheckpointPolicy> MakePolicy(int kind) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<PeriodicPolicy>(600);  // "10 minutes" of ticks
+    case 1:
+      return std::make_unique<PeriodicPolicy>(60);   // aggressive periodic
+    case 2:
+      return std::make_unique<ImportancePolicy>(/*accumulate=*/120.0,
+                                                /*urgent=*/50.0);
+    default:
+      return std::make_unique<HybridPolicy>(600, 120.0, 50.0);
+  }
+}
+
+const char* PolicyName(int kind) {
+  switch (kind) {
+    case 0:
+      return "periodic_600";
+    case 1:
+      return "periodic_60";
+    case 2:
+      return "intelligent";
+    default:
+      return "hybrid";
+  }
+}
+
+/// Simulates `ticks` of play under a policy; samples the importance a crash
+/// would lose at every tick (= pending importance under kCheckpointOnly).
+SessionResult RunSession(int policy_kind, DurabilityMode mode,
+                         uint64_t seed) {
+  txn::WorkloadOptions wopts;
+  wopts.num_entities = 300;
+  wopts.txns_per_entity = 0.2f;  // keep workload generation cheap
+  wopts.seed = seed;
+  txn::MmoWorkload workload(wopts);
+  World& world = workload.world();
+
+  MemStorage storage;
+  PersistenceOptions popts;
+  popts.mode = mode;
+  PersistenceManager mgr(&storage, MakePolicy(policy_kind), popts);
+  Rng rng(seed ^ 0xBADC0FFEE);
+
+  SessionResult result;
+  const int kTicks = 3000;
+  double lost_sum = 0;
+  for (int tick = 1; tick <= kTicks; ++tick) {
+    world.AdvanceTick();
+    auto batch = workload.NextBatch();
+    for (const auto& t : batch) {
+      txn::ApplyTxn(&world, t);
+      GAMEDB_CHECK(mgr.OnTxn(t, world.tick()).ok());
+    }
+    // Event model: constant trickle, rare spikes.
+    if (rng.NextBool(0.30)) {
+      GAMEDB_CHECK(mgr.OnEvent(world.tick(), 0.5, "trash_kill").ok());
+    }
+    if (rng.NextBool(0.02)) {
+      GAMEDB_CHECK(mgr.OnEvent(world.tick(), 5.0, "quest_complete").ok());
+    }
+    if (rng.NextBool(0.002)) {
+      GAMEDB_CHECK(mgr.OnEvent(world.tick(), 50.0, "boss_kill").ok());
+    }
+    if (rng.NextBool(0.0005)) {
+      GAMEDB_CHECK(mgr.OnEvent(world.tick(), 100.0, "epic_loot").ok());
+    }
+    GAMEDB_CHECK(mgr.OnTickEnd(world).ok());
+
+    // What would a crash RIGHT NOW lose? (WAL mode: nothing durable lost.)
+    double lost = mode == DurabilityMode::kWalAndCheckpoint
+                      ? 0.0
+                      : mgr.pending_importance();
+    lost_sum += lost;
+    result.max_lost = std::max(result.max_lost, lost);
+  }
+  result.avg_lost = lost_sum / kTicks;
+  result.bytes_written = storage.bytes_written();
+  result.checkpoints = mgr.metrics().checkpoints;
+  return result;
+}
+
+void BM_CheckpointPolicy(benchmark::State& state) {
+  int kind = int(state.range(0));
+  SessionResult total;
+  uint64_t rounds = 0;
+  for (auto _ : state) {
+    SessionResult r = RunSession(kind, DurabilityMode::kCheckpointOnly,
+                                 1000 + rounds);
+    total.avg_lost += r.avg_lost;
+    total.max_lost = std::max(total.max_lost, r.max_lost);
+    total.bytes_written += r.bytes_written;
+    total.checkpoints += r.checkpoints;
+    ++rounds;
+  }
+  state.counters["avg_lost_importance"] =
+      benchmark::Counter(total.avg_lost / double(rounds));
+  state.counters["max_lost_importance"] =
+      benchmark::Counter(total.max_lost);
+  state.counters["MB_written"] = benchmark::Counter(
+      double(total.bytes_written) / double(rounds) / (1024.0 * 1024.0));
+  state.counters["checkpoints"] =
+      benchmark::Counter(double(total.checkpoints) / double(rounds));
+  state.SetLabel(PolicyName(kind));
+}
+BENCHMARK(BM_CheckpointPolicy)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WalMode(benchmark::State& state) {
+  // The "log everything" end of the trade: zero loss, maximal writes.
+  SessionResult total;
+  uint64_t rounds = 0;
+  for (auto _ : state) {
+    SessionResult r =
+        RunSession(0, DurabilityMode::kWalAndCheckpoint, 2000 + rounds);
+    total.bytes_written += r.bytes_written;
+    ++rounds;
+  }
+  state.counters["avg_lost_importance"] = benchmark::Counter(0);
+  state.counters["MB_written"] = benchmark::Counter(
+      double(total.bytes_written) / double(rounds) / (1024.0 * 1024.0));
+  state.SetLabel("wal_periodic_600");
+}
+BENCHMARK(BM_WalMode)->Iterations(2)->Unit(benchmark::kMillisecond);
+
+void BM_RecoveryTime(benchmark::State& state) {
+  // How long a restart takes: checkpoint load + WAL replay.
+  txn::WorkloadOptions wopts;
+  wopts.num_entities = uint32_t(state.range(0));
+  txn::MmoWorkload workload(wopts);
+  World& world = workload.world();
+
+  MemStorage storage;
+  PersistenceOptions popts;
+  popts.mode = DurabilityMode::kWalAndCheckpoint;
+  PersistenceManager mgr(&storage, std::make_unique<PeriodicPolicy>(1000000),
+                         popts);
+  GAMEDB_CHECK(mgr.ForceCheckpoint(world).ok());
+  for (int tick = 0; tick < 200; ++tick) {
+    world.AdvanceTick();
+    auto batch = workload.NextBatch();
+    for (const auto& t : batch) {
+      txn::ApplyTxn(&world, t);
+      GAMEDB_CHECK(mgr.OnTxn(t, world.tick()).ok());
+    }
+  }
+
+  for (auto _ : state) {
+    World recovered;
+    auto outcome = PersistenceManager::Recover(storage, &recovered);
+    GAMEDB_CHECK(outcome.ok());
+    benchmark::DoNotOptimize(outcome->replayed_txns);
+  }
+}
+BENCHMARK(BM_RecoveryTime)->Arg(500)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

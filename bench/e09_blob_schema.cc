@@ -1,0 +1,160 @@
+// E9 — "They often choose to write data as an unstructured 'blobs' into a
+// single attribute, so that they can preserve their old schemas ... they
+// constantly have to balance database support with sustainability."
+//
+// Point/scan/analytics throughput for structured vs blob vs hybrid player
+// stores, plus migration cost: eager stop-the-world vs blob lazy upgrade.
+// Expected shape: blobs win writes and schema changes, lose every
+// analytical query by the deserialization factor; hybrid recovers hot-path
+// queries for modest extra footprint.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "persist/player_store.h"
+
+namespace {
+
+using namespace gamedb;           // NOLINT
+using namespace gamedb::persist;  // NOLINT
+
+PlayerRecord MakeRecord(int64_t id, Rng* rng) {
+  PlayerRecord rec;
+  rec.id = id;
+  rec.name = "player_" + std::to_string(id);
+  rec.level = int32_t(rng->NextInt(1, 60));
+  rec.gold = rng->NextInt(0, 100000);
+  rec.position = {rng->NextFloat(0, 1000), 0, rng->NextFloat(0, 1000)};
+  size_t items = size_t(rng->NextInt(0, 20));
+  for (size_t i = 0; i < items; ++i) {
+    rec.items.push_back(int32_t(rng->NextInt(1, 5000)));
+  }
+  rec.guild_id = int32_t(rng->NextInt(-1, 100));
+  rec.rating = 1000.0 + rng->NextDouble() * 2000.0;
+  return rec;
+}
+
+std::unique_ptr<PlayerStore> MakeStore(int kind, uint32_t write_version = 3) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<StructuredPlayerStore>();
+    case 1:
+      return std::make_unique<BlobPlayerStore>(write_version);
+    default:
+      return std::make_unique<HybridPlayerStore>();
+  }
+}
+
+const char* StoreName(int kind) {
+  switch (kind) {
+    case 0:
+      return "structured";
+    case 1:
+      return "blob";
+    default:
+      return "hybrid";
+  }
+}
+
+void Fill(PlayerStore* store, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  for (int64_t id = 0; id < int64_t(n); ++id) {
+    GAMEDB_CHECK(store->Put(MakeRecord(id, &rng)).ok());
+  }
+}
+
+void BM_Insert(benchmark::State& state) {
+  int kind = int(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto store = MakeStore(kind);
+    state.ResumeTiming();
+    for (int64_t id = 0; id < 10000; ++id) {
+      benchmark::DoNotOptimize(store->Put(MakeRecord(id, &rng)));
+    }
+  }
+  state.SetLabel(StoreName(kind));
+}
+BENCHMARK(BM_Insert)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_PointGet(benchmark::State& state) {
+  int kind = int(state.range(0));
+  auto store = MakeStore(kind);
+  Fill(store.get(), 50000, 2);
+  Rng rng(3);
+  for (auto _ : state) {
+    auto rec = store->Get(int64_t(rng.NextBounded(50000)));
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetLabel(StoreName(kind));
+}
+BENCHMARK(BM_PointGet)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_AnalyticalQuery(benchmark::State& state) {
+  // "sum gold of max-level players" — the query a designer dashboard runs.
+  int kind = int(state.range(0));
+  auto store = MakeStore(kind);
+  Fill(store.get(), size_t(state.range(1)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->SumGoldWhereLevelAtLeast(55));
+  }
+  state.SetLabel(StoreName(kind));
+}
+BENCHMARK(BM_AnalyticalQuery)
+    ->ArgsProduct({{0, 1, 2}, {10000, 100000}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TopK(benchmark::State& state) {
+  int kind = int(state.range(0));
+  auto store = MakeStore(kind);
+  Fill(store.get(), 50000, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->TopKByGold(100));
+  }
+  state.SetLabel(StoreName(kind));
+}
+BENCHMARK(BM_TopK)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_EagerMigration(benchmark::State& state) {
+  // Stop-the-world upgrade of a v1 population to v3.
+  for (auto _ : state) {
+    state.PauseTiming();
+    BlobPlayerStore store(/*write_version=*/1);
+    Fill(&store, size_t(state.range(0)), 6);
+    state.ResumeTiming();
+    auto touched = store.MigrateAll();
+    GAMEDB_CHECK(touched.ok());
+    benchmark::DoNotOptimize(*touched);
+  }
+  state.SetLabel("blob_eager");
+}
+BENCHMARK(BM_EagerMigration)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LazyMigrationReadTax(benchmark::State& state) {
+  // The lazy alternative: first reads after a schema change pay the
+  // upgrade; steady-state reads don't. range(0)==0 measures the first-touch
+  // tax, ==1 the post-migration steady state.
+  bool steady = state.range(0) == 1;
+  BlobPlayerStore store(/*write_version=*/1);
+  Fill(&store, 50000, 7);
+  if (steady) {
+    GAMEDB_CHECK(store.MigrateAll().ok());
+  }
+  Rng rng(8);
+  for (auto _ : state) {
+    auto rec = store.Get(int64_t(rng.NextBounded(50000)));
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetLabel(steady ? "blob_lazy_steady" : "blob_lazy_first_touch");
+}
+BENCHMARK(BM_LazyMigrationReadTax)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// E10 — "some studios have taken drastic measures — such as removing
+// support for iteration and recursion from their scripting languages — to
+// keep their designers from producing computationally expensive behavior.
+// As scripts are sometimes processed every animation frame, seemingly
+// innocuous code can cripple the performance of a game."
+//
+// The same NPC decision logic written three ways:
+//   loop_script        — foreach over all entities (allowed at kFull)
+//   declarative_script — argmin/sum aggregate builtins (kDeclarative-legal)
+//   native             — the C++ the engine would run
+// plus the cost of the engine-side aggregate the declarative builtin calls.
+// Expected shape: the loop script's fuel & time grow linearly with world
+// size; the declarative script is flat in script-side fuel (the engine does
+// an indexed/maintained evaluation); restriction converts an unbounded
+// designer cost into a bounded engine cost.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "script/bindings.h"
+#include "script/builtins.h"
+#include "script/parser.h"
+
+namespace {
+
+using namespace gamedb;          // NOLINT
+using namespace gamedb::script;  // NOLINT
+
+constexpr char kLoopScript[] = R"(
+fn pick_target() {
+  let best = nil
+  let best_hp = 999999
+  foreach e in entities_with("Health") {
+    let hp = get(e, "Health", "hp")
+    if hp < best_hp {
+      best_hp = hp
+      best = e
+    }
+  }
+  return best
+}
+)";
+
+constexpr char kDeclarativeScript[] = R"(
+fn pick_target() {
+  return argmin("Health", "hp")
+}
+)";
+
+void PopulateWorld(World* world, size_t n) {
+  RegisterStandardComponents();
+  Rng rng(5);
+  for (size_t i = 0; i < n; ++i) {
+    EntityId e = world->Create();
+    world->Set(e, Health{float(rng.NextInt(1, 1000)), 1000});
+  }
+}
+
+std::unique_ptr<Interpreter> Boot(World* world, const char* source,
+                                  Restriction restriction) {
+  InterpreterOptions opts;
+  opts.restriction = restriction;
+  opts.fuel_per_invocation = 100'000'000;
+  auto interp = std::make_unique<Interpreter>(opts);
+  RegisterCoreBuiltins(interp.get());
+  BindWorld(interp.get(), world, nullptr);
+  auto parsed = Parse(source);
+  GAMEDB_CHECK(parsed.ok());
+  GAMEDB_CHECK(interp->Load(std::move(*parsed)).ok());
+  return interp;
+}
+
+void BM_LoopScript(benchmark::State& state) {
+  World world;
+  PopulateWorld(&world, size_t(state.range(0)));
+  auto interp = Boot(&world, kLoopScript, Restriction::kFull);
+  uint64_t fuel = 0, calls = 0;
+  for (auto _ : state) {
+    auto r = interp->Call("pick_target", {});
+    GAMEDB_CHECK(r.ok());
+    fuel += interp->last_fuel_used();
+    ++calls;
+  }
+  state.counters["fuel/frame"] =
+      benchmark::Counter(calls ? double(fuel) / double(calls) : 0);
+  state.SetLabel("loop_script");
+}
+BENCHMARK(BM_LoopScript)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DeclarativeScript(benchmark::State& state) {
+  World world;
+  PopulateWorld(&world, size_t(state.range(0)));
+  // This source passes the kDeclarative analyzer — the loop version cannot
+  // even load at that restriction level.
+  auto interp = Boot(&world, kDeclarativeScript, Restriction::kDeclarative);
+  uint64_t fuel = 0, calls = 0;
+  for (auto _ : state) {
+    auto r = interp->Call("pick_target", {});
+    GAMEDB_CHECK(r.ok());
+    fuel += interp->last_fuel_used();
+    ++calls;
+  }
+  state.counters["fuel/frame"] =
+      benchmark::Counter(calls ? double(fuel) / double(calls) : 0);
+  state.SetLabel("declarative_script");
+}
+BENCHMARK(BM_DeclarativeScript)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_NativeBaseline(benchmark::State& state) {
+  World world;
+  PopulateWorld(&world, size_t(state.range(0)));
+  for (auto _ : state) {
+    EntityId best;
+    float best_hp = 1e9f;
+    world.Table<Health>().ForEach([&](EntityId e, const Health& h) {
+      if (h.hp < best_hp) {
+        best_hp = h.hp;
+        best = e;
+      }
+    });
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetLabel("native");
+}
+BENCHMARK(BM_NativeBaseline)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_FuelExhaustionGuard(benchmark::State& state) {
+  // What the fuel limit buys: a runaway designer loop is cut off at a
+  // bounded cost instead of eating the frame.
+  World world;
+  PopulateWorld(&world, 100);
+  InterpreterOptions opts;
+  opts.fuel_per_invocation = uint64_t(state.range(0));
+  auto interp = std::make_unique<Interpreter>(opts);
+  RegisterCoreBuiltins(interp.get());
+  BindWorld(interp.get(), &world, nullptr);
+  auto parsed = Parse("fn runaway() { let i = 0 while true { i = i + 1 } }");
+  GAMEDB_CHECK(parsed.ok());
+  GAMEDB_CHECK(interp->Load(std::move(*parsed)).ok());
+  for (auto _ : state) {
+    auto r = interp->Call("runaway", {});
+    GAMEDB_CHECK(r.status().IsResourceExhausted());
+  }
+  state.SetLabel("fuel=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_FuelExhaustionGuard)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// E11 — "'aggro management' is the technique that World of Warcraft uses to
+// target opponents and process combat. It assigns abstract roles to the
+// participants, which allows the game to handle combat without exact
+// spatial fidelity."
+//
+// A raid of melee players dances around a boss pack. Spatial targeting
+// re-scans geometry per NPC per tick and ping-pongs between equidistant
+// players; threat-table targeting is O(participants) with sticky holds.
+// Columns: targeting cost and target switches per 100 ticks.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "replication/aggro.h"
+
+namespace {
+
+using namespace gamedb;               // NOLINT
+using namespace gamedb::replication;  // NOLINT
+
+struct Raid {
+  World world;
+  std::vector<EntityId> npcs;
+  std::vector<EntityId> players;
+};
+
+std::unique_ptr<Raid> MakeRaid(size_t npcs, size_t players, uint64_t seed) {
+  RegisterStandardComponents();
+  auto raid = std::make_unique<Raid>();
+  Rng rng(seed);
+  for (size_t i = 0; i < npcs; ++i) {
+    EntityId e = raid->world.Create();
+    raid->npcs.push_back(e);
+    raid->world.Set(e, Position{{rng.NextFloat(-5, 5), 0,
+                                 rng.NextFloat(-5, 5)}});
+    raid->world.Set(e, Faction{0});
+    raid->world.Set(e, Health{5000, 5000});
+  }
+  for (size_t i = 0; i < players; ++i) {
+    EntityId e = raid->world.Create();
+    raid->players.push_back(e);
+    raid->world.Set(e, Position{{rng.NextFloat(-8, 8), 0,
+                                 rng.NextFloat(-8, 8)}});
+    raid->world.Set(e, Faction{1});
+    raid->world.Set(e, Health{100, 100});
+  }
+  return raid;
+}
+
+/// Melee shuffle: players orbit the boss pack a little each tick.
+void Dance(Raid* raid, Rng* rng) {
+  for (EntityId p : raid->players) {
+    raid->world.Patch<Position>(p, [&](Position& pos) {
+      pos.value += rng->NextDirXZ() * rng->NextFloat(0.0f, 2.0f);
+    });
+  }
+}
+
+void BM_SpatialTargeting(benchmark::State& state) {
+  auto raid = MakeRaid(size_t(state.range(0)), size_t(state.range(1)), 77);
+  Rng rng(1);
+  std::unordered_map<uint64_t, EntityId> last_target;
+  uint64_t switches = 0, ticks = 0;
+  for (auto _ : state) {
+    Dance(raid.get(), &rng);
+    for (EntityId npc : raid->npcs) {
+      EntityId target = SelectNearestEnemy(raid->world, npc);
+      auto [it, fresh] = last_target.try_emplace(npc.Raw(), target);
+      if (!fresh && !(it->second == target)) {
+        ++switches;
+        it->second = target;
+      }
+    }
+    ++ticks;
+  }
+  state.counters["switches/100ticks"] = benchmark::Counter(
+      ticks ? 100.0 * double(switches) / double(ticks) : 0);
+  state.SetLabel("spatial");
+}
+BENCHMARK(BM_SpatialTargeting)
+    ->ArgsProduct({{5, 20}, {40, 200}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AggroTargeting(benchmark::State& state) {
+  auto raid = MakeRaid(size_t(state.range(0)), size_t(state.range(1)), 77);
+  Rng rng(1);
+  // Threat tables pre-seeded by an opening rotation, then ongoing damage.
+  std::unordered_map<uint64_t, ThreatTable> threat;
+  for (EntityId npc : raid->npcs) {
+    ThreatTable& table = threat[npc.Raw()];
+    for (EntityId p : raid->players) {
+      table.OnDamage(p, rng.NextDouble() * 100.0);
+    }
+  }
+  uint64_t ticks = 0;
+  for (auto _ : state) {
+    Dance(raid.get(), &rng);  // same motion cost as the spatial variant
+    for (EntityId npc : raid->npcs) {
+      ThreatTable& table = threat[npc.Raw()];
+      // A few damage events per tick keep threat churning.
+      for (int i = 0; i < 4; ++i) {
+        table.OnDamage(raid->players[rng.NextBounded(raid->players.size())],
+                       rng.NextDouble() * 10.0);
+      }
+      benchmark::DoNotOptimize(table.CurrentTarget());
+    }
+    ++ticks;
+  }
+  uint64_t switches = 0;
+  for (auto& [raw, table] : threat) switches += table.target_switches();
+  state.counters["switches/100ticks"] = benchmark::Counter(
+      ticks ? 100.0 * double(switches) / double(ticks) : 0);
+  state.SetLabel("aggro");
+}
+BENCHMARK(BM_AggroTargeting)
+    ->ArgsProduct({{5, 20}, {40, 200}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file coding.h
+/// Little-endian fixed and varint encoding of integers and primitives into
+/// byte buffers. Used by world serialization, the WAL, the replication codec
+/// and the blob storage layout.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace gamedb {
+
+/// Appends a 32-bit little-endian value.
+void PutFixed32(std::string* dst, uint32_t v);
+/// Appends a 64-bit little-endian value.
+void PutFixed64(std::string* dst, uint64_t v);
+/// Appends an IEEE float (bit pattern, little-endian).
+void PutFloat(std::string* dst, float v);
+/// Appends an IEEE double (bit pattern, little-endian).
+void PutDouble(std::string* dst, double v);
+/// Appends a LEB128 varint (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t v);
+/// Appends a zig-zag encoded signed varint.
+void PutVarintSigned64(std::string* dst, int64_t v);
+/// Appends varint length followed by the bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view s);
+
+/// Cursor over an immutable byte buffer; all Get* calls consume bytes and
+/// return Corruption on underflow rather than reading past the end.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  Status GetFixed32(uint32_t* v);
+  Status GetFixed64(uint64_t* v);
+  Status GetFloat(float* v);
+  Status GetDouble(double* v);
+  Status GetVarint64(uint64_t* v);
+  Status GetVarintSigned64(int64_t* v);
+  /// Reads a varint length then that many raw bytes (view into the buffer).
+  Status GetLengthPrefixed(std::string_view* s);
+  /// Reads exactly n raw bytes.
+  Status GetRaw(size_t n, std::string_view* s);
+
+ private:
+  std::string_view data_;
+};
+
+}  // namespace gamedb

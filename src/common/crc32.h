@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file crc32.h
+/// CRC-32C (Castagnoli) used to frame write-ahead-log records and checkpoint
+/// blocks so that torn or corrupted tail writes are detected on recovery.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gamedb {
+
+/// Computes CRC-32C of `data[0, n)` extending the running checksum `init`
+/// (pass 0 for a fresh checksum).
+uint32_t Crc32c(const void* data, size_t n, uint32_t init = 0);
+
+/// Masks a CRC so that a CRC stored alongside the data it covers does not
+/// checksum to a fixed point (same trick as LevelDB/RocksDB).
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+
+/// Inverse of MaskCrc.
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8ul;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace gamedb

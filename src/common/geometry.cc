@@ -1,0 +1,18 @@
+#include "common/geometry.h"
+
+#include <cstdio>
+
+namespace gamedb {
+
+std::string Vec3::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.3f, %.3f, %.3f)", x, y, z);
+  return buf;
+}
+
+std::string Aabb::ToString() const {
+  if (Empty()) return "[empty]";
+  return "[" + min.ToString() + " .. " + max.ToString() + "]";
+}
+
+}  // namespace gamedb

@@ -1,0 +1,197 @@
+#pragma once
+
+/// \file geometry.h
+/// Small 3D math library shared by the spatial indexes, the transaction
+/// bubble partitioner, and the replication layer. Game worlds in gamedb are
+/// three-dimensional; the navigation mesh operates on the XZ plane.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace gamedb {
+
+/// 3-component float vector (positions, velocities, extents).
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float xx, float yy, float zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(float s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+
+  float Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  float LengthSquared() const { return Dot(*this); }
+  float Length() const { return std::sqrt(LengthSquared()); }
+
+  /// Returns a unit-length copy, or the zero vector if this is (near) zero.
+  Vec3 Normalized() const {
+    float len = Length();
+    if (len < 1e-12f) return {};
+    return *this / len;
+  }
+
+  float DistanceTo(const Vec3& o) const { return (*this - o).Length(); }
+  float DistanceSquaredTo(const Vec3& o) const {
+    return (*this - o).LengthSquared();
+  }
+
+  std::string ToString() const;
+};
+
+inline constexpr Vec3 operator*(float s, const Vec3& v) { return v * s; }
+
+/// Componentwise min/max.
+inline Vec3 Min(const Vec3& a, const Vec3& b) {
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+inline Vec3 Max(const Vec3& a, const Vec3& b) {
+  return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+/// Linear interpolation between `a` and `b` at parameter `t` in [0,1].
+inline Vec3 Lerp(const Vec3& a, const Vec3& b, float t) {
+  return a + (b - a) * t;
+}
+
+/// Axis-aligned bounding box. Empty when min > max on any axis.
+struct Aabb {
+  Vec3 min{1.0f, 1.0f, 1.0f};
+  Vec3 max{-1.0f, -1.0f, -1.0f};  // default-constructed box is empty
+
+  constexpr Aabb() = default;
+  constexpr Aabb(const Vec3& mn, const Vec3& mx) : min(mn), max(mx) {}
+
+  /// Box covering a sphere at `center` with radius `r` (r >= 0).
+  static Aabb FromSphere(const Vec3& center, float r) {
+    return {center - Vec3(r, r, r), center + Vec3(r, r, r)};
+  }
+  /// Degenerate box containing a single point.
+  static Aabb FromPoint(const Vec3& p) { return {p, p}; }
+
+  bool Empty() const {
+    return min.x > max.x || min.y > max.y || min.z > max.z;
+  }
+  Vec3 Center() const { return (min + max) * 0.5f; }
+  Vec3 Extent() const { return max - min; }
+  float Volume() const {
+    if (Empty()) return 0.0f;
+    Vec3 e = Extent();
+    return e.x * e.y * e.z;
+  }
+
+  bool Contains(const Vec3& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+  bool Contains(const Aabb& o) const {
+    return !o.Empty() && Contains(o.min) && Contains(o.max);
+  }
+  bool Intersects(const Aabb& o) const {
+    if (Empty() || o.Empty()) return false;
+    return min.x <= o.max.x && max.x >= o.min.x && min.y <= o.max.y &&
+           max.y >= o.min.y && min.z <= o.max.z && max.z >= o.min.z;
+  }
+
+  /// Smallest box containing both boxes.
+  Aabb Union(const Aabb& o) const {
+    if (Empty()) return o;
+    if (o.Empty()) return *this;
+    return {Min(min, o.min), Max(max, o.max)};
+  }
+  /// Overlap region (empty box when disjoint).
+  Aabb Intersection(const Aabb& o) const {
+    Aabb r{Max(min, o.min), Min(max, o.max)};
+    return r;
+  }
+  /// Box grown by `r` on every side.
+  Aabb Inflated(float r) const {
+    return {min - Vec3(r, r, r), max + Vec3(r, r, r)};
+  }
+
+  /// Squared distance from `p` to the closest point of the box (0 inside).
+  float DistanceSquaredTo(const Vec3& p) const {
+    float dx = std::max({min.x - p.x, 0.0f, p.x - max.x});
+    float dy = std::max({min.y - p.y, 0.0f, p.y - max.y});
+    float dz = std::max({min.z - p.z, 0.0f, p.z - max.z});
+    return dx * dx + dy * dy + dz * dz;
+  }
+
+  /// True when any point of the box lies within `r` of `center`.
+  bool IntersectsSphere(const Vec3& center, float r) const {
+    return !Empty() && DistanceSquaredTo(center) <= r * r;
+  }
+
+  std::string ToString() const;
+};
+
+/// 2D point in the XZ plane, used by the navigation mesh.
+struct Vec2 {
+  float x = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(float xx, float zz) : x(xx), z(zz) {}
+  static Vec2 FromXZ(const Vec3& v) { return {v.x, v.z}; }
+  Vec3 ToVec3(float y = 0.0f) const { return {x, y, z}; }
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, z + o.z}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, z - o.z}; }
+  constexpr Vec2 operator*(float s) const { return {x * s, z * s}; }
+  constexpr bool operator==(const Vec2& o) const {
+    return x == o.x && z == o.z;
+  }
+
+  float Dot(const Vec2& o) const { return x * o.x + z * o.z; }
+  /// Z-component of the 3D cross product; >0 when `o` is counter-clockwise
+  /// from *this.
+  float Cross(const Vec2& o) const { return x * o.z - z * o.x; }
+  float LengthSquared() const { return Dot(*this); }
+  float Length() const { return std::sqrt(LengthSquared()); }
+  float DistanceTo(const Vec2& o) const { return (*this - o).Length(); }
+};
+
+/// Orientation of the triangle (a,b,c): >0 counter-clockwise, <0 clockwise,
+/// 0 collinear (in the XZ plane).
+inline float Orient2D(const Vec2& a, const Vec2& b, const Vec2& c) {
+  return (b - a).Cross(c - a);
+}
+
+}  // namespace gamedb

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file logging.h
+/// Minimal leveled logger. Logging is for humans debugging the engine;
+/// nothing in gamedb's logic depends on log output.
+
+#include <sstream>
+#include <string>
+
+namespace gamedb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default: kWarn so tests
+/// and benchmarks stay quiet).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gamedb
+
+#define GAMEDB_LOG(level)                                              \
+  if (static_cast<int>(::gamedb::LogLevel::level) <                    \
+      static_cast<int>(::gamedb::GetLogLevel())) {                     \
+  } else                                                               \
+    ::gamedb::internal::LogMessage(::gamedb::LogLevel::level, __FILE__, \
+                                   __LINE__)

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file macros.h
+/// Assertion and utility macros used across gamedb. Invariant violations are
+/// programming errors and abort via GAMEDB_CHECK; recoverable failures use
+/// gamedb::Status instead (see status.h).
+
+#include <cstdio>
+#include <cstdlib>
+
+#define GAMEDB_STRINGIFY_IMPL(x) #x
+#define GAMEDB_STRINGIFY(x) GAMEDB_STRINGIFY_IMPL(x)
+
+/// Aborts with a message when `cond` is false. Enabled in all build types:
+/// a corrupt game-state database is worse than a dead process.
+#define GAMEDB_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "GAMEDB_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Debug-only check; compiled out in NDEBUG builds on hot paths.
+#ifdef NDEBUG
+#define GAMEDB_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define GAMEDB_DCHECK(cond) GAMEDB_CHECK(cond)
+#endif
+
+/// Disallow copy construction/assignment for types that own resources.
+#define GAMEDB_DISALLOW_COPY(TypeName)      \
+  TypeName(const TypeName&) = delete;       \
+  TypeName& operator=(const TypeName&) = delete
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define GAMEDB_RETURN_NOT_OK(expr)             \
+  do {                                         \
+    ::gamedb::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (0)

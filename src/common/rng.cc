@@ -1,0 +1,66 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace gamedb {
+
+// Rejection-inversion sampling for Zipf distributions, after Hörmann &
+// Derflinger, "Rejection-inversion to generate variates from monotone
+// discrete distributions" (1996). O(1) per sample, no O(n) table.
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  GAMEDB_CHECK(n > 0);
+  GAMEDB_CHECK(alpha >= 0.0);
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_num_items_ = HIntegral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+double ZipfGenerator::H(double x) const { return std::exp(-alpha_ * std::log(x)); }
+
+double ZipfGenerator::HIntegral(double x) const {
+  // Integral of x^-alpha, expressed as (exp((1-alpha)·ln x) - 1)/(1-alpha),
+  // evaluated with a series expansion near alpha == 1 for stability.
+  double log_x = std::log(x);
+  double t = log_x * (1.0 - alpha_);
+  if (std::abs(t) > 1e-8) {
+    return (std::exp(t) - 1.0) / (1.0 - alpha_);
+  }
+  return log_x * (1.0 + t * 0.5 * (1.0 + t / 3.0));
+}
+
+double ZipfGenerator::HIntegralInverse(double x) const {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;  // guard against numeric drift
+  double log_result;
+  if (std::abs(t) > 1e-8) {
+    log_result = std::log1p(t) / (1.0 - alpha_);
+  } else {
+    log_result = x * (1.0 - x * (1.0 - alpha_) * 0.5);  // 2-term series
+  }
+  return std::exp(log_result);
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) const {
+  if (n_ == 1 || alpha_ == 0.0) {
+    // Uniform fallback (alpha==0 degenerates to uniform).
+    return rng.NextBounded(n_);
+  }
+  while (true) {
+    double u = h_integral_num_items_ +
+               rng.NextDouble() * (h_integral_x1_ - h_integral_num_items_);
+    double x = HIntegralInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= HIntegral(kd + 0.5) - H(kd)) {
+      return k - 1;  // ranks are 0-based for callers
+    }
+  }
+}
+
+}  // namespace gamedb

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic, seedable random number generation. All stochastic behaviour
+/// in gamedb (workload generators, AI jitter, crash injection) flows through
+/// Rng so that simulations and tests are reproducible bit-for-bit.
+
+#include <cstdint>
+
+#include "common/geometry.h"
+#include "common/macros.h"
+
+namespace gamedb {
+
+/// xoshiro256** PRNG seeded via SplitMix64. Not cryptographic; fast and
+/// high-quality for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    GAMEDB_DCHECK(bound > 0);
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for simulation bounds << 2^64.
+    return NextU64() % bound;
+  }
+
+  /// Uniform int in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    GAMEDB_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  /// Uniform point inside an axis-aligned box.
+  Vec3 NextPointIn(const Aabb& box) {
+    return {NextFloat(box.min.x, box.max.x), NextFloat(box.min.y, box.max.y),
+            NextFloat(box.min.z, box.max.z)};
+  }
+
+  /// Unit vector with uniform direction in the XZ plane.
+  Vec3 NextDirXZ() {
+    float a = NextFloat(0.0f, 6.28318530718f);
+    return {std::cos(a), 0.0f, std::sin(a)};
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple, adequate).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+/// Zipf(α) sampler over {0, .., n-1}; rank 0 is the hottest item. Used to
+/// model hotspot contention (crowds around a boss, popular market hubs).
+class ZipfGenerator {
+ public:
+  /// \param n number of items (> 0)
+  /// \param alpha skew; 0 = uniform, ~0.99 = typical hotspot workloads
+  ZipfGenerator(uint64_t n, double alpha);
+
+  /// Samples an item index using `rng`.
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double alpha_;
+  // Rejection-inversion constants (Hörmann & Derflinger).
+  double h_integral_x1_;
+  double h_integral_num_items_;
+  double s_;
+
+  double HIntegral(double x) const;
+  double HIntegralInverse(double x) const;
+  double H(double x) const;
+};
+
+}  // namespace gamedb

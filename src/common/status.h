@@ -1,0 +1,181 @@
+#pragma once
+
+/// \file status.h
+/// RocksDB-style Status and Result<T> types. All fallible public operations
+/// in gamedb return Status (or Result<T> when they produce a value); the
+/// library does not throw exceptions across API boundaries.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace gamedb {
+
+/// Machine-inspectable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kCorruption = 3,
+  kNotSupported = 4,
+  kIOError = 5,
+  kBusy = 6,          // lock could not be acquired
+  kAborted = 7,       // transaction aborted (deadlock avoidance, validation)
+  kOutOfRange = 8,
+  kResourceExhausted = 9,  // e.g. script fuel exhausted
+  kParseError = 10,        // script / XML / content parse failure
+  kSchemaMismatch = 11,    // persistence schema version conflict
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// Cheap to copy in the OK case (no allocation). Construct errors via the
+/// named factories, e.g. `Status::NotFound("entity 42")`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(StatusCode::kNotSupported, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, msg);
+  }
+  static Status Busy(std::string_view msg) {
+    return Status(StatusCode::kBusy, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(StatusCode::kAborted, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
+  static Status ParseError(std::string_view msg) {
+    return Status(StatusCode::kParseError, msg);
+  }
+  static Status SchemaMismatch(std::string_view msg) {
+    return Status(StatusCode::kSchemaMismatch, msg);
+  }
+  /// Builds a status with an explicit code (error wrapping/rewriting).
+  /// `code` must not be kOk.
+  static Status FromCode(StatusCode code, std::string_view msg) {
+    GAMEDB_CHECK(code != StatusCode::kOk);
+    return Status(code, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsSchemaMismatch() const { return code_ == StatusCode::kSchemaMismatch; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg) : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Analogous to
+/// arrow::Result<T>.
+///
+/// Accessing the value of an errored Result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `st` must not be OK.
+  Result(Status st) : payload_(std::move(st)) {  // NOLINT(runtime/explicit)
+    GAMEDB_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status, or OK if the Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& value() const& {
+    GAMEDB_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    GAMEDB_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    GAMEDB_CHECK(ok());
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates the error of a Result expression, otherwise assigns its value.
+#define GAMEDB_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto GAMEDB_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!GAMEDB_CONCAT_(_res_, __LINE__).ok())          \
+    return GAMEDB_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(GAMEDB_CONCAT_(_res_, __LINE__)).value()
+#define GAMEDB_CONCAT_IMPL_(a, b) a##b
+#define GAMEDB_CONCAT_(a, b) GAMEDB_CONCAT_IMPL_(a, b)
+
+}  // namespace gamedb

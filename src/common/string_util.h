@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file string_util.h
+/// Small string helpers used by the script lexer, XML parser and reporting.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gamedb {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+/// FNV-1a 64-bit hash of a byte string (stable across platforms; used for
+/// name interning and content fingerprints).
+uint64_t Fnv1a64(std::string_view s);
+
+/// Parses a double / int64; returns false on malformed input or trailing
+/// garbage.
+bool ParseDouble(std::string_view s, double* out);
+bool ParseInt64(std::string_view s, int64_t* out);
+
+}  // namespace gamedb

@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace gamedb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  GAMEDB_CHECK(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GAMEDB_CHECK(!shutdown_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  size_t workers = threads_.size();
+  if (workers == 1 || n < 2 * workers) {
+    fn(0, n);
+    return;
+  }
+  size_t chunk = (n + workers - 1) / workers;
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    size_t end = std::min(begin + chunk, n);
+    Submit([fn, begin, end] { fn(begin, end); });
+  }
+  Wait();
+}
+
+void ThreadPool::ParallelForChunks(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  size_t workers = threads_.size();
+  size_t chunk = (n + workers - 1) / workers;
+  if (workers == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  size_t chunk_index = 0;
+  for (size_t begin = 0; begin < n; begin += chunk, ++chunk_index) {
+    size_t end = std::min(begin + chunk, n);
+    size_t idx = chunk_index;
+    Submit([fn, idx, begin, end] { fn(idx, begin, end); });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace gamedb

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file thread_pool.h
+/// Fixed-size worker pool used by the state-effect executor to run query and
+/// apply phases in parallel (the tutorial's GPU-join analogy, realized on CPU
+/// threads — see DESIGN.md "Simulated substitutions").
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace gamedb {
+
+/// A simple FIFO thread pool. Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  GAMEDB_DISALLOW_COPY(ThreadPool);
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Partitions [0, n) into roughly equal chunks and runs
+  /// `fn(begin, end)` for each chunk on the pool, blocking until done.
+  /// Runs inline when n is small or the pool has one thread.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  /// Like ParallelFor but also passes the chunk index (< num_threads()),
+  /// which callers use as a shard id for contention-free accumulation.
+  /// Chunking is deterministic for a given (n, num_threads()).
+  void ParallelForChunks(
+      size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gamedb

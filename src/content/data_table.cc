@@ -1,0 +1,101 @@
+#include "content/data_table.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace gamedb::content {
+
+LootTable::LootTable(std::vector<LootEntry> entries)
+    : entries_(std::move(entries)) {
+  GAMEDB_CHECK(!entries_.empty());
+  for (const LootEntry& e : entries_) {
+    GAMEDB_CHECK(e.weight > 0.0);
+    GAMEDB_CHECK(e.min_count <= e.max_count);
+    total_weight_ += e.weight;
+  }
+}
+
+LootDrop LootTable::Roll(Rng* rng) const {
+  double pick = rng->NextDouble() * total_weight_;
+  const LootEntry* chosen = &entries_.back();
+  for (const LootEntry& e : entries_) {
+    if (pick < e.weight) {
+      chosen = &e;
+      break;
+    }
+    pick -= e.weight;
+  }
+  LootDrop drop;
+  drop.item = chosen->item;
+  drop.count = rng->NextInt(chosen->min_count, chosen->max_count);
+  return drop;
+}
+
+double LootTable::ProbabilityOf(std::string_view item) const {
+  double w = 0;
+  for (const LootEntry& e : entries_) {
+    if (e.item == item) w += e.weight;
+  }
+  return w / total_weight_;
+}
+
+Result<LootTableSet> LootTableSet::Load(std::string_view xml_source) {
+  GAMEDB_ASSIGN_OR_RETURN(auto root, ParseXml(xml_source));
+  if (root->name != "LootTables") {
+    return Status::InvalidArgument("root element must be <LootTables>");
+  }
+  LootTableSet set;
+  for (const XmlNode* table_node : root->Children("LootTable")) {
+    const std::string* name = table_node->FindAttribute("name");
+    if (name == nullptr) {
+      return Status::InvalidArgument(StringFormat(
+          "line %d: <LootTable> missing name", table_node->line));
+    }
+    if (set.tables_.count(*name)) {
+      return Status::InvalidArgument("duplicate loot table '" + *name + "'");
+    }
+    std::vector<LootEntry> entries;
+    for (const XmlNode* entry_node : table_node->Children("Entry")) {
+      LootEntry entry;
+      const std::string* item = entry_node->FindAttribute("item");
+      if (item == nullptr) {
+        return Status::InvalidArgument(StringFormat(
+            "line %d: <Entry> missing item", entry_node->line));
+      }
+      entry.item = *item;
+      if (entry_node->FindAttribute("weight") != nullptr) {
+        GAMEDB_ASSIGN_OR_RETURN(entry.weight,
+                                entry_node->NumberAttribute("weight"));
+        if (entry.weight <= 0) {
+          return Status::InvalidArgument("entry '" + entry.item +
+                                         "': weight must be positive");
+        }
+      }
+      if (entry_node->FindAttribute("min") != nullptr) {
+        GAMEDB_ASSIGN_OR_RETURN(entry.min_count,
+                                entry_node->IntAttribute("min"));
+      }
+      if (entry_node->FindAttribute("max") != nullptr) {
+        GAMEDB_ASSIGN_OR_RETURN(entry.max_count,
+                                entry_node->IntAttribute("max"));
+      }
+      if (entry.min_count > entry.max_count) {
+        return Status::InvalidArgument("entry '" + entry.item +
+                                       "': min > max");
+      }
+      entries.push_back(std::move(entry));
+    }
+    if (entries.empty()) {
+      return Status::InvalidArgument("loot table '" + *name + "' is empty");
+    }
+    set.tables_.emplace(*name, LootTable(std::move(entries)));
+  }
+  return set;
+}
+
+const LootTable* LootTableSet::Find(std::string_view name) const {
+  auto it = tables_.find(std::string(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace gamedb::content

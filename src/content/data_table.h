@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file data_table.h
+/// Designer data tables: weighted loot tables (the archetypal "game content
+/// as data" artifact) loaded from XML.
+///
+///   <LootTables>
+///     <LootTable name="boss">
+///       <Entry item="epic_sword" weight="1"/>
+///       <Entry item="gold_pile" weight="20" min="50" max="200"/>
+///     </LootTable>
+///   </LootTables>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "content/xml.h"
+
+namespace gamedb::content {
+
+/// One possible drop.
+struct LootEntry {
+  std::string item;
+  double weight = 1.0;
+  int64_t min_count = 1;
+  int64_t max_count = 1;
+};
+
+/// A sampled drop.
+struct LootDrop {
+  std::string item;
+  int64_t count = 1;
+};
+
+/// Weighted loot table.
+class LootTable {
+ public:
+  explicit LootTable(std::vector<LootEntry> entries);
+
+  /// Samples one drop (weights proportional). Table must be non-empty.
+  LootDrop Roll(Rng* rng) const;
+
+  /// Probability of a given item (for tests and drop-rate tooling).
+  double ProbabilityOf(std::string_view item) const;
+
+  const std::vector<LootEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<LootEntry> entries_;
+  double total_weight_ = 0.0;
+};
+
+/// A set of loot tables loaded from a `<LootTables>` document.
+class LootTableSet {
+ public:
+  static Result<LootTableSet> Load(std::string_view xml_source);
+
+  const LootTable* Find(std::string_view name) const;
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, LootTable> tables_;
+};
+
+}  // namespace gamedb::content

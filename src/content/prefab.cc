@@ -1,0 +1,189 @@
+#include "content/prefab.h"
+
+#include "common/string_util.h"
+
+namespace gamedb::content {
+
+namespace {
+
+/// Parses an attribute string into the FieldValue kind the field expects.
+Result<FieldValue> ParseFieldValue(const FieldInfo& field,
+                                   const std::string& raw) {
+  switch (field.type()) {
+    case FieldType::kFloat:
+    case FieldType::kDouble: {
+      double d = 0;
+      if (!ParseDouble(raw, &d)) {
+        return Status::ParseError("'" + raw + "' is not a number");
+      }
+      return FieldValue(d);
+    }
+    case FieldType::kInt32:
+    case FieldType::kUInt32:
+    case FieldType::kInt64:
+    case FieldType::kUInt64: {
+      int64_t i = 0;
+      if (!ParseInt64(raw, &i)) {
+        return Status::ParseError("'" + raw + "' is not an integer");
+      }
+      return FieldValue(i);
+    }
+    case FieldType::kBool: {
+      std::string lower = ToLower(raw);
+      if (lower == "true" || lower == "1") return FieldValue(true);
+      if (lower == "false" || lower == "0") return FieldValue(false);
+      return Status::ParseError("'" + raw + "' is not a bool");
+    }
+    case FieldType::kVec3: {
+      auto parts = Split(raw, ',');
+      if (parts.size() != 3) {
+        return Status::ParseError("'" + raw + "' is not 'x,y,z'");
+      }
+      double x, y, z;
+      if (!ParseDouble(std::string(Trim(parts[0])), &x) ||
+          !ParseDouble(std::string(Trim(parts[1])), &y) ||
+          !ParseDouble(std::string(Trim(parts[2])), &z)) {
+        return Status::ParseError("'" + raw + "' is not 'x,y,z'");
+      }
+      return FieldValue(Vec3(static_cast<float>(x), static_cast<float>(y),
+                             static_cast<float>(z)));
+    }
+    case FieldType::kString:
+      return FieldValue(raw);
+    case FieldType::kEntity:
+      return Status::NotSupported("entity references in prefabs");
+  }
+  return Status::ParseError("unknown field type");
+}
+
+}  // namespace
+
+Result<PrefabLibrary> PrefabLibrary::Load(std::string_view xml_source) {
+  GAMEDB_ASSIGN_OR_RETURN(auto root, ParseXml(xml_source));
+  if (root->name != "Prefabs") {
+    return Status::InvalidArgument("root element must be <Prefabs>, got <" +
+                                   root->name + ">");
+  }
+  PrefabLibrary lib;
+  for (const XmlNode* node : root->Children("Prefab")) {
+    Prefab prefab;
+    const std::string* name = node->FindAttribute("name");
+    if (name == nullptr || name->empty()) {
+      return Status::InvalidArgument(
+          StringFormat("line %d: <Prefab> missing name", node->line));
+    }
+    prefab.name = *name;
+    prefab.extends = node->AttributeOr("extends", "");
+    if (lib.prefabs_.count(prefab.name)) {
+      return Status::InvalidArgument("duplicate prefab '" + prefab.name + "'");
+    }
+
+    for (const XmlNode* comp_node : node->Children("Component")) {
+      const std::string* type_name = comp_node->FindAttribute("type");
+      if (type_name == nullptr) {
+        return Status::InvalidArgument(StringFormat(
+            "line %d: <Component> missing type", comp_node->line));
+      }
+      const TypeInfo* type = TypeRegistry::Global().FindByName(*type_name);
+      if (type == nullptr) {
+        return Status::NotFound("prefab '" + prefab.name +
+                                "': unregistered component '" + *type_name +
+                                "'");
+      }
+      ComponentSetting setting;
+      setting.type = type;
+      for (const auto& [attr, raw] : comp_node->attributes) {
+        if (attr == "type") continue;
+        const FieldInfo* field = type->FindField(attr);
+        if (field == nullptr) {
+          return Status::NotFound("prefab '" + prefab.name + "': component '" +
+                                  *type_name + "' has no field '" + attr + "'");
+        }
+        auto value = ParseFieldValue(*field, raw);
+        if (!value.ok()) {
+          return Status::ParseError("prefab '" + prefab.name + "': field '" +
+                                    attr + "': " + value.status().message());
+        }
+        setting.fields.push_back(FieldSetting{field, std::move(*value)});
+      }
+      prefab.components.push_back(std::move(setting));
+    }
+    lib.prefabs_.emplace(prefab.name, std::move(prefab));
+  }
+
+  // Link check: extends targets exist and the chain is acyclic.
+  for (const auto& [name, prefab] : lib.prefabs_) {
+    std::string current = prefab.extends;
+    int depth = 0;
+    while (!current.empty()) {
+      auto it = lib.prefabs_.find(current);
+      if (it == lib.prefabs_.end()) {
+        return Status::NotFound("prefab '" + name + "' extends unknown '" +
+                                current + "'");
+      }
+      if (++depth > 32 || current == name) {
+        return Status::InvalidArgument("prefab inheritance cycle at '" +
+                                       name + "'");
+      }
+      current = it->second.extends;
+    }
+  }
+  return lib;
+}
+
+std::vector<std::string> PrefabLibrary::Names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, prefab] : prefabs_) out.push_back(name);
+  return out;
+}
+
+Status PrefabLibrary::ApplyPrefab(World* world, EntityId e,
+                                  const Prefab& prefab, int depth) const {
+  if (depth > 32) {
+    return Status::InvalidArgument("prefab inheritance too deep");
+  }
+  // Base first so derived settings override.
+  if (!prefab.extends.empty()) {
+    const Prefab& base = prefabs_.at(prefab.extends);
+    GAMEDB_RETURN_NOT_OK(ApplyPrefab(world, e, base, depth + 1));
+  }
+  for (const ComponentSetting& setting : prefab.components) {
+    ComponentStore* store = world->StoreById(setting.type->id());
+    GAMEDB_CHECK(store != nullptr);  // link-checked at Load
+    store->EmplaceDefault(e);
+    Status field_status = Status::OK();
+    store->PatchRaw(e, [&](void* comp) {
+      for (const FieldSetting& fs : setting.fields) {
+        Status st = fs.field->Set(comp, fs.value);
+        if (!st.ok() && field_status.ok()) field_status = st;
+      }
+    });
+    GAMEDB_RETURN_NOT_OK(field_status);
+  }
+  return Status::OK();
+}
+
+Result<EntityId> PrefabLibrary::Instantiate(World* world,
+                                            std::string_view prefab) const {
+  EntityId e = world->Create();
+  Status st = ApplyTo(world, e, prefab);
+  if (!st.ok()) {
+    world->Destroy(e);
+    return st;
+  }
+  return e;
+}
+
+Status PrefabLibrary::ApplyTo(World* world, EntityId e,
+                              std::string_view prefab) const {
+  auto it = prefabs_.find(std::string(prefab));
+  if (it == prefabs_.end()) {
+    return Status::NotFound("no prefab '" + std::string(prefab) + "'");
+  }
+  if (!world->Alive(e)) {
+    return Status::InvalidArgument("entity is dead");
+  }
+  return ApplyPrefab(world, e, it->second, 0);
+}
+
+}  // namespace gamedb::content

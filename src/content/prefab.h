@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file prefab.h
+/// Entity templates ("prefabs"): the content-pipeline piece that turns
+/// designer XML into live entities. Templates support single inheritance
+/// (`extends="base"`) — the expansion-pack pattern the tutorial describes,
+/// where new content derives from shipped content without code changes.
+///
+/// Format:
+///   <Prefabs>
+///     <Prefab name="beast">
+///       <Component type="Health" hp="50" max_hp="50"/>
+///       <Component type="Position"/>
+///     </Prefab>
+///     <Prefab name="wolf" extends="beast">
+///       <Component type="Health" hp="35" max_hp="35"/>   <!-- override -->
+///       <Component type="Combat" attack="7" range="2"/>
+///     </Prefab>
+///   </Prefabs>
+///
+/// Component attributes are matched to reflected fields by name; numeric
+/// field kinds convert automatically. Vec3 fields accept "x,y,z".
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "content/xml.h"
+#include "core/world.h"
+
+namespace gamedb::content {
+
+/// A loaded prefab library.
+class PrefabLibrary {
+ public:
+  /// Parses and link-checks a `<Prefabs>` document: inheritance targets
+  /// must exist (and be acyclic), component types and fields must be
+  /// registered in the global TypeRegistry.
+  static Result<PrefabLibrary> Load(std::string_view xml_source);
+
+  /// Creates an entity from the named template (inherited components are
+  /// applied base-first, so derived values override).
+  Result<EntityId> Instantiate(World* world, std::string_view prefab) const;
+
+  /// Applies the template onto an existing entity.
+  Status ApplyTo(World* world, EntityId e, std::string_view prefab) const;
+
+  bool Has(std::string_view prefab) const {
+    return prefabs_.count(std::string(prefab)) > 0;
+  }
+  size_t size() const { return prefabs_.size(); }
+  std::vector<std::string> Names() const;
+
+ private:
+  struct FieldSetting {
+    const FieldInfo* field;
+    FieldValue value;
+  };
+  struct ComponentSetting {
+    const TypeInfo* type;
+    std::vector<FieldSetting> fields;
+  };
+  struct Prefab {
+    std::string name;
+    std::string extends;  // empty for roots
+    std::vector<ComponentSetting> components;
+  };
+
+  Status ApplyPrefab(World* world, EntityId e, const Prefab& prefab,
+                     int depth) const;
+
+  std::map<std::string, Prefab> prefabs_;
+};
+
+}  // namespace gamedb::content

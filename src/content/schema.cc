@@ -1,0 +1,93 @@
+#include "content/schema.h"
+
+#include "common/string_util.h"
+
+namespace gamedb::content {
+
+namespace {
+
+Status Err(const XmlNode& node, const std::string& msg) {
+  return Status::InvalidArgument(
+      StringFormat("line %d: <%s>: %s", node.line, node.name.c_str(),
+                   msg.c_str()));
+}
+
+Status CheckAttrType(const XmlNode& node, const std::string& name,
+                     AttrType type) {
+  switch (type) {
+    case AttrType::kString:
+      return Status::OK();
+    case AttrType::kNumber: {
+      Result<double> r = node.NumberAttribute(name);
+      return r.ok() ? Status::OK() : Err(node, r.status().message());
+    }
+    case AttrType::kInt: {
+      Result<int64_t> r = node.IntAttribute(name);
+      return r.ok() ? Status::OK() : Err(node, r.status().message());
+    }
+    case AttrType::kBool: {
+      Result<bool> r = node.BoolAttribute(name);
+      return r.ok() ? Status::OK() : Err(node, r.status().message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Schema::ValidateOne(const XmlNode& node) const {
+  auto it = elements_.find(node.name);
+  if (it == elements_.end()) {
+    return Err(node, "unknown element");
+  }
+  const ElementSpec& spec = it->second;
+
+  // Attributes: required present, types parse, no unknowns (unless opened).
+  for (const auto& [name, attr_spec] : spec.attrs_) {
+    if (node.FindAttribute(name) == nullptr) {
+      if (attr_spec.required) {
+        return Err(node, "missing required attribute '" + name + "'");
+      }
+      continue;
+    }
+    GAMEDB_RETURN_NOT_OK(CheckAttrType(node, name, attr_spec.type));
+  }
+  if (!spec.allow_unknown_attrs_) {
+    for (const auto& [name, value] : node.attributes) {
+      if (spec.attrs_.find(name) == spec.attrs_.end()) {
+        return Err(node, "unknown attribute '" + name + "'");
+      }
+    }
+  }
+
+  // Children: names declared, cardinalities respected.
+  std::map<std::string, size_t> counts;
+  for (const auto& child : node.children) {
+    if (spec.children_.find(child->name) == spec.children_.end()) {
+      return Err(node, "unexpected child <" + child->name + ">");
+    }
+    ++counts[child->name];
+  }
+  for (const auto& [name, child_spec] : spec.children_) {
+    size_t n = counts.count(name) ? counts.at(name) : 0;
+    if (n < child_spec.min_count) {
+      return Err(node, StringFormat("needs at least %zu <%s> children, has %zu",
+                                    child_spec.min_count, name.c_str(), n));
+    }
+    if (n > child_spec.max_count) {
+      return Err(node, StringFormat("allows at most %zu <%s> children, has %zu",
+                                    child_spec.max_count, name.c_str(), n));
+    }
+  }
+  return Status::OK();
+}
+
+Status Schema::Validate(const XmlNode& node) const {
+  GAMEDB_RETURN_NOT_OK(ValidateOne(node));
+  for (const auto& child : node.children) {
+    GAMEDB_RETURN_NOT_OK(Validate(*child));
+  }
+  return Status::OK();
+}
+
+}  // namespace gamedb::content

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file schema.h
+/// Content schema validation: the guardrail between designer-authored XML
+/// and the engine. A Schema declares, per element name, the required and
+/// optional attributes (with types) and which child elements may appear
+/// (with cardinality). Validation errors carry the element line number so
+/// designers can fix their files.
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "content/xml.h"
+
+namespace gamedb::content {
+
+/// Attribute value type.
+enum class AttrType : uint8_t { kString, kNumber, kInt, kBool };
+
+/// Declared attribute.
+struct AttrSpec {
+  AttrType type = AttrType::kString;
+  bool required = false;
+};
+
+/// Child cardinality.
+struct ChildSpec {
+  size_t min_count = 0;
+  size_t max_count = SIZE_MAX;
+};
+
+/// Declaration for one element name.
+class ElementSpec {
+ public:
+  ElementSpec& RequiredAttr(std::string name, AttrType type) {
+    attrs_[std::move(name)] = AttrSpec{type, true};
+    return *this;
+  }
+  ElementSpec& OptionalAttr(std::string name, AttrType type) {
+    attrs_[std::move(name)] = AttrSpec{type, false};
+    return *this;
+  }
+  /// Permits child elements named `name` between min and max times.
+  ElementSpec& Child(std::string name, size_t min_count = 0,
+                     size_t max_count = SIZE_MAX) {
+    children_[std::move(name)] = ChildSpec{min_count, max_count};
+    return *this;
+  }
+  /// Allows attributes not declared here (extension points).
+  ElementSpec& AllowUnknownAttrs() {
+    allow_unknown_attrs_ = true;
+    return *this;
+  }
+
+ private:
+  friend class Schema;
+  std::map<std::string, AttrSpec> attrs_;
+  std::map<std::string, ChildSpec> children_;
+  bool allow_unknown_attrs_ = false;
+};
+
+/// A set of element declarations, validated recursively from the root.
+class Schema {
+ public:
+  /// Declares (or fetches for extension) the spec for an element name.
+  ElementSpec& Element(const std::string& name) { return elements_[name]; }
+
+  /// Validates `node` and its subtree. Elements without a declaration are
+  /// rejected ("unknown element").
+  Status Validate(const XmlNode& node) const;
+
+ private:
+  Status ValidateOne(const XmlNode& node) const;
+  std::map<std::string, ElementSpec> elements_;
+};
+
+}  // namespace gamedb::content

@@ -1,0 +1,131 @@
+#include "content/ui_layout.h"
+
+#include "common/string_util.h"
+
+namespace gamedb::content {
+
+Result<UiAnchor> ParseUiAnchor(std::string_view name) {
+  std::string upper;
+  for (char c : name) upper.push_back(static_cast<char>(std::toupper(c)));
+  if (upper == "TOPLEFT") return UiAnchor::kTopLeft;
+  if (upper == "TOP") return UiAnchor::kTop;
+  if (upper == "TOPRIGHT") return UiAnchor::kTopRight;
+  if (upper == "LEFT") return UiAnchor::kLeft;
+  if (upper == "CENTER") return UiAnchor::kCenter;
+  if (upper == "RIGHT") return UiAnchor::kRight;
+  if (upper == "BOTTOMLEFT") return UiAnchor::kBottomLeft;
+  if (upper == "BOTTOM") return UiAnchor::kBottom;
+  if (upper == "BOTTOMRIGHT") return UiAnchor::kBottomRight;
+  return Status::InvalidArgument("unknown anchor '" + std::string(name) + "'");
+}
+
+namespace {
+
+/// Position of an anchor point within a rect.
+void AnchorPoint(const UiRect& rect, UiAnchor anchor, float* px, float* py) {
+  float fx = 0.5f, fy = 0.5f;
+  switch (anchor) {
+    case UiAnchor::kTopLeft: fx = 0; fy = 0; break;
+    case UiAnchor::kTop: fx = 0.5f; fy = 0; break;
+    case UiAnchor::kTopRight: fx = 1; fy = 0; break;
+    case UiAnchor::kLeft: fx = 0; fy = 0.5f; break;
+    case UiAnchor::kCenter: fx = 0.5f; fy = 0.5f; break;
+    case UiAnchor::kRight: fx = 1; fy = 0.5f; break;
+    case UiAnchor::kBottomLeft: fx = 0; fy = 1; break;
+    case UiAnchor::kBottom: fx = 0.5f; fy = 1; break;
+    case UiAnchor::kBottomRight: fx = 1; fy = 1; break;
+  }
+  *px = rect.x + fx * rect.width;
+  *py = rect.y + fy * rect.height;
+}
+
+}  // namespace
+
+Status UiLayout::LoadFrame(const XmlNode& node, const UiRect& parent,
+                           int depth, UiLayout* layout) {
+  const std::string* name = node.FindAttribute("name");
+  if (name == nullptr || name->empty()) {
+    return Status::InvalidArgument(
+        StringFormat("line %d: <Frame> missing name", node.line));
+  }
+  if (layout->frames_.count(*name)) {
+    return Status::InvalidArgument("duplicate frame name '" + *name + "'");
+  }
+  GAMEDB_ASSIGN_OR_RETURN(double width, node.NumberAttribute("width"));
+  GAMEDB_ASSIGN_OR_RETURN(double height, node.NumberAttribute("height"));
+  if (width < 0 || height < 0) {
+    return Status::InvalidArgument("frame '" + *name + "' has negative size");
+  }
+  GAMEDB_ASSIGN_OR_RETURN(UiAnchor anchor,
+                          ParseUiAnchor(node.AttributeOr("anchor", "TOPLEFT")));
+  double dx = 0, dy = 0;
+  if (node.FindAttribute("x") != nullptr) {
+    GAMEDB_ASSIGN_OR_RETURN(dx, node.NumberAttribute("x"));
+  }
+  if (node.FindAttribute("y") != nullptr) {
+    GAMEDB_ASSIGN_OR_RETURN(dy, node.NumberAttribute("y"));
+  }
+
+  // The frame's anchor point lands on the parent's same anchor point + the
+  // offset; derive the top-left corner from there.
+  float ax, ay;
+  AnchorPoint(parent, anchor, &ax, &ay);
+  UiRect self;
+  self.width = static_cast<float>(width);
+  self.height = static_cast<float>(height);
+  UiRect probe{0, 0, self.width, self.height};
+  float sx, sy;
+  AnchorPoint(probe, anchor, &sx, &sy);
+  self.x = ax + static_cast<float>(dx) - sx;
+  self.y = ay + static_cast<float>(dy) - sy;
+
+  Frame frame;
+  frame.name = *name;
+  frame.rect = self;
+  frame.depth = depth;
+  frame.order = layout->frames_.size();
+  layout->frames_.emplace(*name, frame);
+
+  for (const XmlNode* child : node.Children("Frame")) {
+    GAMEDB_RETURN_NOT_OK(LoadFrame(*child, self, depth + 1, layout));
+  }
+  return Status::OK();
+}
+
+Result<UiLayout> UiLayout::Load(std::string_view xml_source) {
+  GAMEDB_ASSIGN_OR_RETURN(auto root, ParseXml(xml_source));
+  if (root->name != "Ui") {
+    return Status::InvalidArgument("root element must be <Ui>");
+  }
+  UiLayout layout;
+  GAMEDB_ASSIGN_OR_RETURN(double width, root->NumberAttribute("width"));
+  GAMEDB_ASSIGN_OR_RETURN(double height, root->NumberAttribute("height"));
+  layout.root_ =
+      UiRect{0, 0, static_cast<float>(width), static_cast<float>(height)};
+  for (const XmlNode* child : root->Children("Frame")) {
+    GAMEDB_RETURN_NOT_OK(LoadFrame(*child, layout.root_, 1, &layout));
+  }
+  return layout;
+}
+
+Result<UiRect> UiLayout::RectOf(std::string_view frame) const {
+  auto it = frames_.find(std::string(frame));
+  if (it == frames_.end()) {
+    return Status::NotFound("no frame '" + std::string(frame) + "'");
+  }
+  return it->second.rect;
+}
+
+std::string UiLayout::HitTest(float x, float y) const {
+  const Frame* best = nullptr;
+  for (const auto& [name, frame] : frames_) {
+    if (!frame.rect.Contains(x, y)) continue;
+    if (best == nullptr || frame.depth > best->depth ||
+        (frame.depth == best->depth && frame.order > best->order)) {
+      best = &frame;
+    }
+  }
+  return best != nullptr ? best->name : "";
+}
+
+}  // namespace gamedb::content

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file ui_layout.h
+/// WoW-style declarative UI layout: players/designers describe frames in
+/// XML; the engine resolves anchors into absolute rectangles. This is the
+/// tutorial's canonical example of data-driven, user-extensible content.
+///
+/// Format:
+///   <Ui width="800" height="600">
+///     <Frame name="hp_bar" width="200" height="24"
+///            anchor="TOPLEFT" x="10" y="10">
+///       <Frame name="hp_text" width="100" height="20" anchor="CENTER"/>
+///     </Frame>
+///   </Ui>
+///
+/// `anchor` places the frame's anchor point at the same-named point of its
+/// parent, offset by (x, y). Y grows downward. Nested frames anchor to
+/// their parent frame.
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "content/xml.h"
+
+namespace gamedb::content {
+
+/// Screen-space rectangle (pixels; y down).
+struct UiRect {
+  float x = 0, y = 0, width = 0, height = 0;
+  float right() const { return x + width; }
+  float bottom() const { return y + height; }
+  bool Contains(float px, float py) const {
+    return px >= x && px <= right() && py >= y && py <= bottom();
+  }
+};
+
+/// Anchor points.
+enum class UiAnchor : uint8_t {
+  kTopLeft,
+  kTop,
+  kTopRight,
+  kLeft,
+  kCenter,
+  kRight,
+  kBottomLeft,
+  kBottom,
+  kBottomRight,
+};
+
+/// Parses "TOPLEFT", "CENTER", ... (case-insensitive).
+Result<UiAnchor> ParseUiAnchor(std::string_view name);
+
+/// A resolved UI layout.
+class UiLayout {
+ public:
+  /// Parses and resolves a `<Ui>` document. Fails on duplicate frame names,
+  /// unknown anchors, or missing sizes.
+  static Result<UiLayout> Load(std::string_view xml_source);
+
+  /// Absolute rect of a frame.
+  Result<UiRect> RectOf(std::string_view frame) const;
+
+  /// Topmost frame (deepest in declaration order) containing the point, or
+  /// empty string — hit testing for input dispatch.
+  std::string HitTest(float x, float y) const;
+
+  size_t FrameCount() const { return frames_.size(); }
+  const UiRect& root() const { return root_; }
+
+ private:
+  struct Frame {
+    std::string name;
+    UiRect rect;
+    int depth;      // nesting depth (children above parents)
+    size_t order;   // declaration order (later above earlier)
+  };
+
+  static Status LoadFrame(const XmlNode& node, const UiRect& parent,
+                          int depth, UiLayout* layout);
+
+  UiRect root_;
+  std::map<std::string, Frame> frames_;
+};
+
+}  // namespace gamedb::content

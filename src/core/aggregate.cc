@@ -1,0 +1,16 @@
+#include "core/aggregate.h"
+
+// The aggregate indexes are templates; this translation unit exists to anchor
+// the module in the build and to hold explicit instantiations for the
+// standard component vocabulary, which keeps template bloat out of every
+// client object file.
+
+namespace gamedb {
+
+template class SumAggregate<Health>;
+template class SumAggregate<Actor>;
+template class ExtremaAggregate<Health>;
+template class GroupedSumAggregate<Health>;
+template class GroupedSumAggregate<Actor>;
+
+}  // namespace gamedb

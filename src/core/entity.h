@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file entity.h
+/// Entity identifiers. An entity is a row key into the component tables of a
+/// World; the generation counter detects stale references after reuse.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gamedb {
+
+/// Opaque 64-bit entity handle: 32-bit slot index + 32-bit generation.
+///
+/// A default-constructed EntityId is invalid. Ids compare equal only when
+/// both index and generation match, so holding an id to a destroyed-and-
+/// reused slot is detectable (World::Alive returns false).
+struct EntityId {
+  uint32_t index = 0xFFFFFFFFu;
+  uint32_t generation = 0;
+
+  constexpr EntityId() = default;
+  constexpr EntityId(uint32_t idx, uint32_t gen) : index(idx), generation(gen) {}
+
+  /// Sentinel invalid id.
+  static constexpr EntityId Invalid() { return EntityId(); }
+
+  bool valid() const { return index != 0xFFFFFFFFu; }
+
+  /// Packs to a single u64 (for logs, serialization, hash keys).
+  constexpr uint64_t Raw() const {
+    return (static_cast<uint64_t>(generation) << 32) | index;
+  }
+  static constexpr EntityId FromRaw(uint64_t raw) {
+    return EntityId(static_cast<uint32_t>(raw & 0xFFFFFFFFu),
+                    static_cast<uint32_t>(raw >> 32));
+  }
+
+  constexpr bool operator==(const EntityId& o) const {
+    return index == o.index && generation == o.generation;
+  }
+  constexpr bool operator!=(const EntityId& o) const { return !(*this == o); }
+  constexpr bool operator<(const EntityId& o) const { return Raw() < o.Raw(); }
+
+  std::string ToString() const {
+    return "e" + std::to_string(index) + "v" + std::to_string(generation);
+  }
+};
+
+}  // namespace gamedb
+
+namespace std {
+template <>
+struct hash<gamedb::EntityId> {
+  size_t operator()(const gamedb::EntityId& e) const noexcept {
+    // Fibonacci scrambling of the packed id.
+    return static_cast<size_t>(e.Raw() * 0x9E3779B97F4A7C15ull);
+  }
+};
+}  // namespace std

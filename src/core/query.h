@@ -1,0 +1,176 @@
+#pragma once
+
+/// \file query.h
+/// Declarative queries over the World.
+///
+/// Two layers:
+///  - View<Ts...>: statically-typed multi-component join (the workhorse for
+///    engine code), driven by the smallest table.
+///  - DynamicQuery: runtime-typed query by component/field *names* with
+///    comparison predicates and aggregate terminals. This is the query
+///    facility exposed to GSL scripts and content tools — the "declarative
+///    processing" direction of the tutorial [11, 13].
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/reflect.h"
+#include "core/world.h"
+
+namespace gamedb {
+
+/// Statically-typed view over all entities that have every component in
+/// Ts... Iteration visits entities in the dense order of the smallest table.
+template <typename... Ts>
+class View {
+ public:
+  explicit View(World& world) : world_(world) {}
+
+  /// Calls fn(EntityId, Ts&...) for each matching entity. Adding or removing
+  /// rows of the iterated tables from inside `fn` is undefined behaviour
+  /// (in-place value mutation is fine).
+  template <typename Fn>
+  void Each(Fn&& fn) {
+    auto tables = std::tuple<SparseSet<Ts>*...>{&world_.Table<Ts>()...};
+    size_t sizes[] = {std::get<SparseSet<Ts>*>(tables)->Size()...};
+    size_t driver = 0;
+    for (size_t i = 1; i < sizeof...(Ts); ++i) {
+      if (sizes[i] < sizes[driver]) driver = i;
+    }
+    DispatchDriver<0>(driver, tables, std::forward<Fn>(fn));
+  }
+
+  /// Number of matching entities.
+  size_t Count() {
+    size_t n = 0;
+    Each([&](EntityId, Ts&...) { ++n; });
+    return n;
+  }
+
+  /// Matching entity ids (driver order).
+  std::vector<EntityId> Entities() {
+    std::vector<EntityId> out;
+    Each([&](EntityId e, Ts&...) { out.push_back(e); });
+    return out;
+  }
+
+ private:
+  template <size_t I, typename Tables, typename Fn>
+  void DispatchDriver(size_t driver, Tables& tables, Fn&& fn) {
+    if constexpr (I < sizeof...(Ts)) {
+      if (driver == I) {
+        using Driver = std::tuple_element_t<I, std::tuple<Ts...>>;
+        IterateDriver<Driver>(tables, std::forward<Fn>(fn));
+      } else {
+        DispatchDriver<I + 1>(driver, tables, std::forward<Fn>(fn));
+      }
+    }
+  }
+
+  template <typename Driver, typename Tables, typename Fn>
+  void IterateDriver(Tables& tables, Fn&& fn) {
+    SparseSet<Driver>* driver = std::get<SparseSet<Driver>*>(tables);
+    const auto& entities = driver->entities();
+    for (size_t i = 0; i < entities.size(); ++i) {
+      EntityId e = entities[i];
+      if (!world_.Alive(e)) continue;
+      if ((... && (std::get<SparseSet<Ts>*>(tables)->Contains(e)))) {
+        fn(e, *static_cast<Ts*>(
+                  std::get<SparseSet<Ts>*>(tables)->Find(e))...);
+      }
+    }
+  }
+
+  World& world_;
+};
+
+/// Comparison operator for dynamic predicates.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// Runtime-typed declarative query: components and fields addressed by name.
+///
+/// Example (what a designer's script compiles to):
+///   DynamicQuery q(&world);
+///   q.With("Health").With("Faction");
+///   q.WhereField("Faction", "team", CmpOp::kEq, int64_t{2});
+///   Result<double> total = q.Sum("Health", "hp");
+class DynamicQuery {
+ public:
+  explicit DynamicQuery(World* world) : world_(world) {}
+
+  /// Requires entities to carry the named component. Unknown names put the
+  /// query in an error state surfaced by the terminal call.
+  DynamicQuery& With(std::string_view component);
+
+  /// Adds a field comparison predicate (component is implicitly required).
+  DynamicQuery& WhereField(std::string_view component, std::string_view field,
+                           CmpOp op, FieldValue rhs);
+
+  /// Restricts matches to entities within `radius` of `center` using the
+  /// named Vec3 field as the position (linear filter; spatial-index joins
+  /// live in spatial/pair_join.h).
+  DynamicQuery& WithinRadius(std::string_view component,
+                             std::string_view field, const Vec3& center,
+                             float radius);
+
+  // --- Terminals ---------------------------------------------------------
+
+  /// Iterates matching entities. Returns the deferred error, if any.
+  Status Each(const std::function<void(EntityId)>& fn);
+
+  /// Number of matches.
+  Result<int64_t> Count();
+  /// Sum / min / max / average of a numeric field over the matches. Min/max
+  /// on zero matches return NotFound.
+  Result<double> Sum(std::string_view component, std::string_view field);
+  Result<double> Min(std::string_view component, std::string_view field);
+  Result<double> Max(std::string_view component, std::string_view field);
+  Result<double> Avg(std::string_view component, std::string_view field);
+
+  /// Matching ids.
+  Result<std::vector<EntityId>> Collect();
+
+  /// Entity with the smallest / largest value of the field (NotFound when
+  /// no matches). Ties break toward the earlier entity in scan order.
+  Result<EntityId> ArgMin(std::string_view component, std::string_view field);
+  Result<EntityId> ArgMax(std::string_view component, std::string_view field);
+
+ private:
+  struct Predicate {
+    uint32_t type_id;
+    const FieldInfo* field;
+    CmpOp op;
+    FieldValue rhs;
+  };
+  struct RadiusPredicate {
+    uint32_t type_id;
+    const FieldInfo* field;
+    Vec3 center;
+    float radius;
+  };
+
+  /// Resolves a component name; records error state on failure.
+  const TypeInfo* ResolveComponent(std::string_view name);
+  const FieldInfo* ResolveField(std::string_view component,
+                                std::string_view field, uint32_t* type_id);
+  bool Matches(EntityId e) const;
+
+  World* world_;
+  Status error_ = Status::OK();
+  std::vector<uint32_t> required_;  // type ids
+  std::vector<Predicate> predicates_;
+  std::vector<RadiusPredicate> radius_predicates_;
+};
+
+/// True when `lhs op rhs` holds under FieldValue comparison semantics
+/// (numeric kinds compare numerically; strings lexicographically; entities
+/// by raw id; mismatched kinds are never equal and are unordered).
+bool CompareFieldValues(const FieldValue& lhs, CmpOp op, const FieldValue& rhs);
+
+}  // namespace gamedb

@@ -1,0 +1,328 @@
+#include "core/reflect.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace gamedb {
+
+const char* FieldTypeName(FieldType t) {
+  switch (t) {
+    case FieldType::kFloat:
+      return "float";
+    case FieldType::kDouble:
+      return "double";
+    case FieldType::kInt32:
+      return "int32";
+    case FieldType::kUInt32:
+      return "uint32";
+    case FieldType::kInt64:
+      return "int64";
+    case FieldType::kUInt64:
+      return "uint64";
+    case FieldType::kBool:
+      return "bool";
+    case FieldType::kVec3:
+      return "vec3";
+    case FieldType::kString:
+      return "string";
+    case FieldType::kEntity:
+      return "entity";
+  }
+  return "?";
+}
+
+std::string FieldValueToString(const FieldValue& v) {
+  return std::visit(
+      [](const auto& x) -> std::string {
+        using V = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<V, double>) {
+          return StringFormat("%g", x);
+        } else if constexpr (std::is_same_v<V, int64_t>) {
+          return std::to_string(x);
+        } else if constexpr (std::is_same_v<V, bool>) {
+          return x ? "true" : "false";
+        } else if constexpr (std::is_same_v<V, Vec3>) {
+          return x.ToString();
+        } else if constexpr (std::is_same_v<V, std::string>) {
+          return x;
+        } else {
+          return x.ToString();  // EntityId
+        }
+      },
+      v);
+}
+
+FieldValue FieldInfo::Get(const void* component) const {
+  switch (type_) {
+    case FieldType::kFloat:
+      return static_cast<double>(*At<float>(component));
+    case FieldType::kDouble:
+      return *At<double>(component);
+    case FieldType::kInt32:
+      return static_cast<int64_t>(*At<int32_t>(component));
+    case FieldType::kUInt32:
+      return static_cast<int64_t>(*At<uint32_t>(component));
+    case FieldType::kInt64:
+      return *At<int64_t>(component);
+    case FieldType::kUInt64:
+      return static_cast<int64_t>(*At<uint64_t>(component));
+    case FieldType::kBool:
+      return *At<bool>(component);
+    case FieldType::kVec3:
+      return *At<Vec3>(component);
+    case FieldType::kString:
+      return *At<std::string>(component);
+    case FieldType::kEntity:
+      return *At<EntityId>(component);
+  }
+  return FieldValue(int64_t{0});
+}
+
+namespace {
+
+/// Extracts a numeric value out of a FieldValue (double or int64), allowing
+/// cross-assignment between numeric field kinds.
+bool AsNumeric(const FieldValue& v, double* out) {
+  if (const double* d = std::get_if<double>(&v)) {
+    *out = *d;
+    return true;
+  }
+  if (const int64_t* i = std::get_if<int64_t>(&v)) {
+    *out = static_cast<double>(*i);
+    return true;
+  }
+  if (const bool* b = std::get_if<bool>(&v)) {
+    *out = *b ? 1.0 : 0.0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status FieldInfo::Set(void* component, const FieldValue& value) const {
+  double num = 0.0;
+  switch (type_) {
+    case FieldType::kFloat:
+      if (!AsNumeric(value, &num))
+        return Status::InvalidArgument("field " + name_ + " expects number");
+      *At<float>(component) = static_cast<float>(num);
+      return Status::OK();
+    case FieldType::kDouble:
+      if (!AsNumeric(value, &num))
+        return Status::InvalidArgument("field " + name_ + " expects number");
+      *At<double>(component) = num;
+      return Status::OK();
+    case FieldType::kInt32:
+      if (!AsNumeric(value, &num))
+        return Status::InvalidArgument("field " + name_ + " expects number");
+      *At<int32_t>(component) = static_cast<int32_t>(num);
+      return Status::OK();
+    case FieldType::kUInt32:
+      if (!AsNumeric(value, &num))
+        return Status::InvalidArgument("field " + name_ + " expects number");
+      *At<uint32_t>(component) = static_cast<uint32_t>(num);
+      return Status::OK();
+    case FieldType::kInt64:
+      if (const int64_t* i = std::get_if<int64_t>(&value)) {
+        *At<int64_t>(component) = *i;
+        return Status::OK();
+      }
+      if (!AsNumeric(value, &num))
+        return Status::InvalidArgument("field " + name_ + " expects number");
+      *At<int64_t>(component) = static_cast<int64_t>(num);
+      return Status::OK();
+    case FieldType::kUInt64:
+      if (const int64_t* i = std::get_if<int64_t>(&value)) {
+        *At<uint64_t>(component) = static_cast<uint64_t>(*i);
+        return Status::OK();
+      }
+      if (!AsNumeric(value, &num))
+        return Status::InvalidArgument("field " + name_ + " expects number");
+      *At<uint64_t>(component) = static_cast<uint64_t>(num);
+      return Status::OK();
+    case FieldType::kBool:
+      if (const bool* b = std::get_if<bool>(&value)) {
+        *At<bool>(component) = *b;
+        return Status::OK();
+      }
+      if (AsNumeric(value, &num)) {
+        *At<bool>(component) = num != 0.0;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("field " + name_ + " expects bool");
+    case FieldType::kVec3:
+      if (const Vec3* vv = std::get_if<Vec3>(&value)) {
+        *At<Vec3>(component) = *vv;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("field " + name_ + " expects vec3");
+    case FieldType::kString:
+      if (const std::string* s = std::get_if<std::string>(&value)) {
+        *At<std::string>(component) = *s;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("field " + name_ + " expects string");
+    case FieldType::kEntity:
+      if (const EntityId* e = std::get_if<EntityId>(&value)) {
+        *At<EntityId>(component) = *e;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("field " + name_ + " expects entity");
+  }
+  return Status::InvalidArgument("unknown field type");
+}
+
+void FieldInfo::Encode(const void* component, std::string* out) const {
+  switch (type_) {
+    case FieldType::kFloat:
+      PutFloat(out, *At<float>(component));
+      return;
+    case FieldType::kDouble:
+      PutDouble(out, *At<double>(component));
+      return;
+    case FieldType::kInt32:
+      PutVarintSigned64(out, *At<int32_t>(component));
+      return;
+    case FieldType::kUInt32:
+      PutVarint64(out, *At<uint32_t>(component));
+      return;
+    case FieldType::kInt64:
+      PutVarintSigned64(out, *At<int64_t>(component));
+      return;
+    case FieldType::kUInt64:
+      PutVarint64(out, *At<uint64_t>(component));
+      return;
+    case FieldType::kBool:
+      out->push_back(*At<bool>(component) ? 1 : 0);
+      return;
+    case FieldType::kVec3: {
+      const Vec3& v = *At<Vec3>(component);
+      PutFloat(out, v.x);
+      PutFloat(out, v.y);
+      PutFloat(out, v.z);
+      return;
+    }
+    case FieldType::kString:
+      PutLengthPrefixed(out, *At<std::string>(component));
+      return;
+    case FieldType::kEntity:
+      PutFixed64(out, At<EntityId>(component)->Raw());
+      return;
+  }
+}
+
+Status FieldInfo::Decode(void* component, Decoder* dec) const {
+  switch (type_) {
+    case FieldType::kFloat:
+      return dec->GetFloat(At<float>(component));
+    case FieldType::kDouble:
+      return dec->GetDouble(At<double>(component));
+    case FieldType::kInt32: {
+      int64_t v;
+      GAMEDB_RETURN_NOT_OK(dec->GetVarintSigned64(&v));
+      *At<int32_t>(component) = static_cast<int32_t>(v);
+      return Status::OK();
+    }
+    case FieldType::kUInt32: {
+      uint64_t v;
+      GAMEDB_RETURN_NOT_OK(dec->GetVarint64(&v));
+      *At<uint32_t>(component) = static_cast<uint32_t>(v);
+      return Status::OK();
+    }
+    case FieldType::kInt64:
+      return dec->GetVarintSigned64(At<int64_t>(component));
+    case FieldType::kUInt64:
+      return dec->GetVarint64(At<uint64_t>(component));
+    case FieldType::kBool: {
+      std::string_view raw;
+      GAMEDB_RETURN_NOT_OK(dec->GetRaw(1, &raw));
+      *At<bool>(component) = raw[0] != 0;
+      return Status::OK();
+    }
+    case FieldType::kVec3: {
+      Vec3* v = At<Vec3>(component);
+      GAMEDB_RETURN_NOT_OK(dec->GetFloat(&v->x));
+      GAMEDB_RETURN_NOT_OK(dec->GetFloat(&v->y));
+      return dec->GetFloat(&v->z);
+    }
+    case FieldType::kString: {
+      std::string_view s;
+      GAMEDB_RETURN_NOT_OK(dec->GetLengthPrefixed(&s));
+      *At<std::string>(component) = std::string(s);
+      return Status::OK();
+    }
+    case FieldType::kEntity: {
+      uint64_t raw;
+      GAMEDB_RETURN_NOT_OK(dec->GetFixed64(&raw));
+      *At<EntityId>(component) = EntityId::FromRaw(raw);
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown field type tag");
+}
+
+const FieldInfo* TypeInfo::FindField(std::string_view name) const {
+  for (const auto& f : fields_) {
+    if (f.name() == name) return &f;
+  }
+  return nullptr;
+}
+
+void TypeInfo::EncodeComponent(const void* component, std::string* out) const {
+  for (const auto& f : fields_) f.Encode(component, out);
+}
+
+Status TypeInfo::DecodeComponent(void* component, Decoder* dec) const {
+  for (const auto& f : fields_) {
+    GAMEDB_RETURN_NOT_OK(f.Decode(component, dec));
+  }
+  return Status::OK();
+}
+
+TypeRegistry& TypeRegistry::Global() {
+  static TypeRegistry* registry = new TypeRegistry();
+  return *registry;
+}
+
+const TypeInfo* TypeRegistry::FindByName(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return nullptr;
+  return types_[it->second].get();
+}
+
+const TypeInfo* TypeRegistry::Find(uint32_t id) const {
+  if (id >= types_.size()) return nullptr;
+  return types_[id].get();
+}
+
+void RegisterStandardComponents() {
+  static bool done = [] {
+    auto& reg = TypeRegistry::Global();
+    reg.Register<Position>("Position").Field("value", &Position::value);
+    reg.Register<Velocity>("Velocity")
+        .Field("value", &Velocity::value)
+        .Field("max_accel", &Velocity::max_accel);
+    reg.Register<Health>("Health")
+        .Field("hp", &Health::hp)
+        .Field("max_hp", &Health::max_hp);
+    reg.Register<Combat>("Combat")
+        .Field("attack", &Combat::attack)
+        .Field("defense", &Combat::defense)
+        .Field("range", &Combat::range)
+        .Field("target", &Combat::target);
+    reg.Register<Actor>("Actor")
+        .Field("account_id", &Actor::account_id)
+        .Field("gold", &Actor::gold)
+        .Field("level", &Actor::level)
+        .Field("is_player", &Actor::is_player);
+    reg.Register<Faction>("Faction").Field("team", &Faction::team);
+    reg.Register<ScriptRef>("ScriptRef")
+        .Field("script_name", &ScriptRef::script_name);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace gamedb

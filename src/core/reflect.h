@@ -1,0 +1,275 @@
+#pragma once
+
+/// \file reflect.h
+/// Runtime component reflection: registered component types expose named,
+/// typed fields. Reflection is what lets the data-driven layers — GSL
+/// scripts, XML prefabs, world serialization, the replication codec and the
+/// structured persistence stores — address game state generically, the way a
+/// database addresses columns.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/geometry.h"
+#include "common/status.h"
+#include "core/entity.h"
+#include "core/sparse_set.h"
+
+namespace gamedb {
+
+/// Wire/static type of a reflected field.
+enum class FieldType : uint8_t {
+  kFloat,
+  kDouble,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+  kBool,
+  kVec3,
+  kString,
+  kEntity,
+};
+
+const char* FieldTypeName(FieldType t);
+
+/// Dynamically-typed field value used at reflection boundaries. Integral
+/// fields widen to int64_t and floating fields to double.
+using FieldValue =
+    std::variant<double, int64_t, bool, Vec3, std::string, EntityId>;
+
+/// Renders a FieldValue for diagnostics.
+std::string FieldValueToString(const FieldValue& v);
+
+/// Description of one reflected member of a component struct.
+class FieldInfo {
+ public:
+  FieldInfo(std::string name, FieldType type, size_t offset)
+      : name_(std::move(name)), type_(type), offset_(offset) {}
+
+  const std::string& name() const { return name_; }
+  FieldType type() const { return type_; }
+  size_t offset() const { return offset_; }
+
+  /// Reads the field from a component instance.
+  FieldValue Get(const void* component) const;
+  /// Writes the field, converting between numeric representations; returns
+  /// InvalidArgument when the value's kind cannot convert to the field type.
+  Status Set(void* component, const FieldValue& value) const;
+
+  /// Appends the field's binary encoding (see coding.h) to `out`.
+  void Encode(const void* component, std::string* out) const;
+  /// Decodes the field from `dec` into the component instance.
+  Status Decode(void* component, Decoder* dec) const;
+
+ private:
+  template <typename T>
+  T* At(void* component) const {
+    return reinterpret_cast<T*>(static_cast<char*>(component) + offset_);
+  }
+  template <typename T>
+  const T* At(const void* component) const {
+    return reinterpret_cast<const T*>(static_cast<const char*>(component) +
+                                      offset_);
+  }
+
+  std::string name_;
+  FieldType type_;
+  size_t offset_;
+};
+
+/// Metadata for one registered component type.
+class TypeInfo {
+ public:
+  TypeInfo(std::string name, uint32_t id, size_t size)
+      : name_(std::move(name)), id_(id), size_(size) {}
+
+  const std::string& name() const { return name_; }
+  uint32_t id() const { return id_; }
+  size_t size() const { return size_; }
+  const std::vector<FieldInfo>& fields() const { return fields_; }
+
+  /// Finds a field by name, or nullptr.
+  const FieldInfo* FindField(std::string_view name) const;
+
+  /// Appends the binary encoding of all fields in declaration order.
+  void EncodeComponent(const void* component, std::string* out) const;
+  /// Decodes all fields in declaration order.
+  Status DecodeComponent(void* component, Decoder* dec) const;
+
+  /// Creates an empty SparseSet<T> store for this type.
+  std::unique_ptr<ComponentStore> MakeStore() const { return make_store_(); }
+
+ private:
+  template <typename T>
+  friend class TypeBuilder;
+  friend class TypeRegistry;
+
+  std::string name_;
+  uint32_t id_;
+  size_t size_;
+  std::vector<FieldInfo> fields_;
+  std::function<std::unique_ptr<ComponentStore>()> make_store_;
+};
+
+namespace internal {
+/// Per-component-type slot for the registry-assigned id.
+template <typename T>
+struct ComponentTag {
+  static inline uint32_t id = 0xFFFFFFFFu;
+};
+
+template <typename M>
+constexpr FieldType FieldTypeOf();
+template <>
+constexpr FieldType FieldTypeOf<float>() { return FieldType::kFloat; }
+template <>
+constexpr FieldType FieldTypeOf<double>() { return FieldType::kDouble; }
+template <>
+constexpr FieldType FieldTypeOf<int32_t>() { return FieldType::kInt32; }
+template <>
+constexpr FieldType FieldTypeOf<uint32_t>() { return FieldType::kUInt32; }
+template <>
+constexpr FieldType FieldTypeOf<int64_t>() { return FieldType::kInt64; }
+template <>
+constexpr FieldType FieldTypeOf<uint64_t>() { return FieldType::kUInt64; }
+template <>
+constexpr FieldType FieldTypeOf<bool>() { return FieldType::kBool; }
+template <>
+constexpr FieldType FieldTypeOf<Vec3>() { return FieldType::kVec3; }
+template <>
+constexpr FieldType FieldTypeOf<std::string>() { return FieldType::kString; }
+template <>
+constexpr FieldType FieldTypeOf<EntityId>() { return FieldType::kEntity; }
+}  // namespace internal
+
+/// Fluent helper returned by TypeRegistry::Register<T>().
+template <typename T>
+class TypeBuilder {
+ public:
+  explicit TypeBuilder(TypeInfo* info) : info_(info) {}
+
+  /// Registers member `m` under `name`.
+  template <typename M>
+  TypeBuilder& Field(std::string name, M T::* m) {
+    // Offset of the member within T; components are plain structs.
+    auto offset = reinterpret_cast<size_t>(
+        &(reinterpret_cast<T const volatile*>(0)->*m));
+    info_->fields_.emplace_back(std::move(name),
+                                internal::FieldTypeOf<M>(), offset);
+    return *this;
+  }
+
+  uint32_t id() const { return info_->id(); }
+
+ private:
+  TypeInfo* info_;
+};
+
+/// Global registry of reflected component types.
+///
+/// Registration is idempotent per C++ type: re-registering returns the
+/// existing entry (so test fixtures may register freely in SetUp).
+class TypeRegistry {
+ public:
+  /// Process-wide registry instance.
+  static TypeRegistry& Global();
+
+  /// Registers component type T under `name` and returns a builder for
+  /// declaring fields. Name collisions across distinct C++ types abort.
+  template <typename T>
+  TypeBuilder<T> Register(std::string name) {
+    uint32_t& slot = internal::ComponentTag<T>::id;
+    if (slot != 0xFFFFFFFFu) {
+      // Already registered; return builder positioned on the existing entry
+      // only if the name matches.
+      GAMEDB_CHECK(types_[slot]->name() == name);
+      return TypeBuilder<T>(types_[slot].get());
+    }
+    GAMEDB_CHECK(by_name_.find(name) == by_name_.end());
+    uint32_t id = static_cast<uint32_t>(types_.size());
+    auto info = std::make_unique<TypeInfo>(name, id, sizeof(T));
+    info->make_store_ = [] {
+      return std::unique_ptr<ComponentStore>(new SparseSet<T>());
+    };
+    by_name_.emplace(info->name(), id);
+    types_.push_back(std::move(info));
+    slot = id;
+    return TypeBuilder<T>(types_[id].get());
+  }
+
+  /// Id previously assigned to T, or 0xFFFFFFFF when unregistered.
+  template <typename T>
+  static uint32_t IdOf() {
+    return internal::ComponentTag<T>::id;
+  }
+
+  /// Looks up by name; nullptr when unknown.
+  const TypeInfo* FindByName(std::string_view name) const;
+  /// Looks up by id; nullptr when out of range.
+  const TypeInfo* Find(uint32_t id) const;
+
+  size_t size() const { return types_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<TypeInfo>> types_;
+  std::unordered_map<std::string, uint32_t, std::hash<std::string>,
+                     std::equal_to<>>
+      by_name_;
+};
+
+/// Registers gamedb's standard component vocabulary (Position, Velocity,
+/// Health, Combat, Inventory, ...) used by examples, tests and benchmarks.
+/// Safe to call more than once.
+void RegisterStandardComponents();
+
+// --- Standard components ----------------------------------------------------
+// The shared vocabulary of the examples, workloads and benchmarks. Games
+// built on gamedb can register any number of their own component types.
+
+/// World-space position.
+struct Position {
+  Vec3 value;
+};
+/// Linear velocity (units/sec) and per-axis acceleration bound (units/sec²),
+/// the inputs to the causality-bubble motion bound.
+struct Velocity {
+  Vec3 value;
+  float max_accel = 0.0f;
+};
+/// Hit points.
+struct Health {
+  float hp = 100.0f;
+  float max_hp = 100.0f;
+};
+/// Combat statistics.
+struct Combat {
+  float attack = 10.0f;
+  float defense = 0.0f;
+  float range = 5.0f;
+  EntityId target;  // current target, if any
+};
+/// Player / NPC identity and gold (trade workloads).
+struct Actor {
+  int64_t account_id = 0;
+  int64_t gold = 0;
+  int32_t level = 1;
+  bool is_player = false;
+};
+/// Faction tag for targeting decisions.
+struct Faction {
+  int32_t team = 0;
+};
+/// Script binding: which behavior script drives this entity.
+struct ScriptRef {
+  std::string script_name;
+};
+
+}  // namespace gamedb

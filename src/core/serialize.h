@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file serialize.h
+/// Whole-world snapshot encoding. Snapshots are the unit of checkpointing in
+/// the persistence layer and the "full state" message of the replication
+/// layer. The format is self-describing at the table level (component type
+/// names) and CRC-framed, so recovery detects truncated or corrupt images.
+///
+/// Format (all little-endian, see common/coding.h):
+///   magic "GDBSNAP1"
+///   varint  tick
+///   varint  live entity count, then fixed64 raw ids (ascending index)
+///   varint  table count, then per table (ordered by type name):
+///     length-prefixed type name
+///     varint row count, then per row: fixed64 entity id + encoded fields
+///   fixed32 masked CRC-32C of everything above
+
+#include <string>
+
+#include "common/status.h"
+#include "core/world.h"
+
+namespace gamedb {
+
+/// Serializes the full state of `world` (entities + all registered component
+/// tables) into `out`.
+void EncodeWorldSnapshot(const World& world, std::string* out);
+
+/// Replaces the contents of `world` with the snapshot in `data`. On error
+/// the world may be partially populated; callers should treat any non-OK
+/// return as "snapshot unusable" and retry with an older checkpoint (the
+/// recovery manager does exactly that).
+Status DecodeWorldSnapshot(std::string_view data, World* world);
+
+/// Encodes a single entity's components (the per-entity record format used
+/// by the blob store and the replication delta codec):
+///   varint component count, per component: length-prefixed type name +
+///   length-prefixed field payload.
+void EncodeEntityRecord(const World& world, EntityId e, std::string* out);
+
+/// Applies an entity record onto `e` in `world` (components are created or
+/// overwritten; components absent from the record are left untouched).
+Status DecodeEntityRecord(std::string_view data, World* world, EntityId e);
+
+}  // namespace gamedb

@@ -1,0 +1,286 @@
+#pragma once
+
+/// \file sparse_set.h
+/// Sparse-set component tables: the physical storage layer of the game state
+/// database. Dense, cache-friendly iteration (the "EnTT-style" layout) with
+/// O(1) add/remove/lookup, per-row versions for delta extraction, and change
+/// observers that feed maintained aggregate indexes (DESIGN.md §5).
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/entity.h"
+
+namespace gamedb {
+
+/// Kind of change reported to table observers.
+enum class ChangeKind : uint8_t { kAdd, kUpdate, kRemove };
+
+/// Type-erased interface over SparseSet<T>, used by reflection-driven code
+/// (serialization, scripts, prefabs) that does not know T statically.
+class ComponentStore {
+ public:
+  virtual ~ComponentStore() = default;
+
+  /// Number of rows (entities) in the table.
+  virtual size_t Size() const = 0;
+  /// True if `e` has a row.
+  virtual bool Contains(EntityId e) const = 0;
+  /// Removes `e`'s row if present; returns whether a row was removed.
+  virtual bool Erase(EntityId e) = 0;
+  /// Entity at dense position `i` (i < Size()).
+  virtual EntityId EntityAt(size_t i) const = 0;
+  /// Raw pointer to the component at dense position `i`.
+  virtual void* ValueAt(size_t i) = 0;
+  virtual const void* ValueAt(size_t i) const = 0;
+  /// Raw pointer to `e`'s component, or nullptr.
+  virtual void* Find(EntityId e) = 0;
+  virtual const void* Find(EntityId e) const = 0;
+  /// Inserts a default-constructed component for `e` (no-op if present) and
+  /// returns a pointer to it.
+  virtual void* EmplaceDefault(EntityId e) = 0;
+  /// Removes all rows.
+  virtual void Clear() = 0;
+  /// Monotonic version; bumped on every add/update/remove.
+  virtual uint64_t last_version() const = 0;
+  /// Version of the row at dense position `i`.
+  virtual uint64_t VersionAt(size_t i) const = 0;
+  /// Marks `e` updated (bumps its row version, notifies observers). The
+  /// update notification carries old_value == nullptr, so tables with
+  /// subscribed value-maintained aggregates must use PatchRaw instead.
+  virtual void Touch(EntityId e) = 0;
+  /// Type-erased in-place mutation: runs `mutate` on the component storage
+  /// and notifies observers with correct old/new values. Returns false when
+  /// `e` has no row. This is the reflection-layer analogue of Patch.
+  virtual bool PatchRaw(EntityId e,
+                        const std::function<void(void*)>& mutate) = 0;
+  /// Type-erased removal-log iteration (see ForEachRemovedSince).
+  virtual void ForEachRemoved(
+      uint64_t since, const std::function<void(EntityId)>& fn) const = 0;
+};
+
+/// Dense table of components of type T keyed by entity.
+///
+/// Layout: `dense_entities_[i]` and `dense_values_[i]` are parallel arrays;
+/// `sparse_[entity.index]` maps to the dense position. Removal swaps with the
+/// last row, so iteration order is unspecified but iteration is contiguous.
+template <typename T>
+class SparseSet final : public ComponentStore {
+ public:
+  using Observer =
+      std::function<void(ChangeKind, EntityId, const T* old_value,
+                         const T* new_value)>;
+
+  SparseSet() = default;
+  GAMEDB_DISALLOW_COPY(SparseSet);
+
+  /// Inserts or overwrites the component for `e`; returns a reference to the
+  /// stored value. Counts as kAdd when new, kUpdate when overwriting.
+  T& Set(EntityId e, T value) {
+    GAMEDB_DCHECK(e.valid());
+    uint32_t pos = SparsePos(e);
+    if (pos != kNpos && dense_entities_[pos] == e) {
+      T old = dense_values_[pos];
+      dense_values_[pos] = std::move(value);
+      row_versions_[pos] = ++version_;
+      Notify(ChangeKind::kUpdate, e, &old, &dense_values_[pos]);
+      return dense_values_[pos];
+    }
+    EnsureSparse(e.index);
+    sparse_[e.index] = static_cast<uint32_t>(dense_entities_.size());
+    dense_entities_.push_back(e);
+    dense_values_.push_back(std::move(value));
+    row_versions_.push_back(++version_);
+    Notify(ChangeKind::kAdd, e, nullptr, &dense_values_.back());
+    return dense_values_.back();
+  }
+
+  /// Returns the component for `e`, or nullptr. Does not bump versions; use
+  /// GetMutable for writes that must be observed.
+  const T* Get(EntityId e) const {
+    uint32_t pos = SparsePos(e);
+    if (pos == kNpos || !(dense_entities_[pos] == e)) return nullptr;
+    return &dense_values_[pos];
+  }
+
+  /// Mutable access that bumps the row version and notifies observers with
+  /// the post-mutation value. The callback edits the component in place.
+  template <typename Fn>
+  bool Patch(EntityId e, Fn&& fn) {
+    uint32_t pos = SparsePos(e);
+    if (pos == kNpos || !(dense_entities_[pos] == e)) return false;
+    T old = dense_values_[pos];
+    fn(dense_values_[pos]);
+    row_versions_[pos] = ++version_;
+    Notify(ChangeKind::kUpdate, e, &old, &dense_values_[pos]);
+    return true;
+  }
+
+  /// Mutable pointer WITHOUT version bump or observer notification. Intended
+  /// for hot loops that finish with an explicit Touch(e), or for state that
+  /// no index subscribes to.
+  T* GetMutableUntracked(EntityId e) {
+    uint32_t pos = SparsePos(e);
+    if (pos == kNpos || !(dense_entities_[pos] == e)) return nullptr;
+    return &dense_values_[pos];
+  }
+
+  bool Contains(EntityId e) const override {
+    uint32_t pos = SparsePos(e);
+    return pos != kNpos && dense_entities_[pos] == e;
+  }
+
+  bool Erase(EntityId e) override {
+    uint32_t pos = SparsePos(e);
+    if (pos == kNpos || !(dense_entities_[pos] == e)) return false;
+    T old = std::move(dense_values_[pos]);
+    uint32_t last = static_cast<uint32_t>(dense_entities_.size() - 1);
+    if (pos != last) {
+      dense_entities_[pos] = dense_entities_[last];
+      dense_values_[pos] = std::move(dense_values_[last]);
+      row_versions_[pos] = row_versions_[last];
+      sparse_[dense_entities_[pos].index] = pos;
+    }
+    dense_entities_.pop_back();
+    dense_values_.pop_back();
+    row_versions_.pop_back();
+    sparse_[e.index] = kNpos;
+    ++version_;
+    removed_log_.push_back({e, version_});
+    Notify(ChangeKind::kRemove, e, &old, nullptr);
+    return true;
+  }
+
+  size_t Size() const override { return dense_entities_.size(); }
+  EntityId EntityAt(size_t i) const override { return dense_entities_[i]; }
+  void* ValueAt(size_t i) override { return &dense_values_[i]; }
+  const void* ValueAt(size_t i) const override { return &dense_values_[i]; }
+  void* Find(EntityId e) override {
+    return const_cast<T*>(Get(e));
+  }
+  const void* Find(EntityId e) const override { return Get(e); }
+  void* EmplaceDefault(EntityId e) override {
+    if (const T* existing = Get(e)) return const_cast<T*>(existing);
+    return &Set(e, T{});
+  }
+
+  void Clear() override {
+    // Report removals so observers (aggregates) stay consistent.
+    while (!dense_entities_.empty()) {
+      Erase(dense_entities_.back());
+    }
+  }
+
+  uint64_t last_version() const override { return version_; }
+  uint64_t VersionAt(size_t i) const override { return row_versions_[i]; }
+
+  void Touch(EntityId e) override {
+    uint32_t pos = SparsePos(e);
+    if (pos == kNpos || !(dense_entities_[pos] == e)) return;
+    row_versions_[pos] = ++version_;
+    Notify(ChangeKind::kUpdate, e, nullptr, &dense_values_[pos]);
+  }
+
+  bool PatchRaw(EntityId e,
+                const std::function<void(void*)>& mutate) override {
+    return Patch(e, [&](T& value) { mutate(&value); });
+  }
+
+  void ForEachRemoved(
+      uint64_t since,
+      const std::function<void(EntityId)>& fn) const override {
+    ForEachRemovedSince(since, fn);
+  }
+
+  /// Iterates all rows: fn(EntityId, T&).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < dense_entities_.size(); ++i) {
+      fn(dense_entities_[i], dense_values_[i]);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < dense_entities_.size(); ++i) {
+      fn(dense_entities_[i], dense_values_[i]);
+    }
+  }
+
+  /// Iterates rows whose version is > `since`: fn(EntityId, const T&).
+  template <typename Fn>
+  void ForEachChangedSince(uint64_t since, Fn&& fn) const {
+    for (size_t i = 0; i < dense_entities_.size(); ++i) {
+      if (row_versions_[i] > since) fn(dense_entities_[i], dense_values_[i]);
+    }
+  }
+
+  /// Iterates removals recorded after `since`: fn(EntityId).
+  template <typename Fn>
+  void ForEachRemovedSince(uint64_t since, Fn&& fn) const {
+    for (const auto& r : removed_log_) {
+      if (r.version > since) fn(r.entity);
+    }
+  }
+
+  /// Drops removal-log entries at or before `before` (call once all
+  /// subscribers have consumed up to that version).
+  void TrimRemovedLog(uint64_t before) {
+    size_t keep = 0;
+    for (size_t i = 0; i < removed_log_.size(); ++i) {
+      if (removed_log_[i].version > before) removed_log_[keep++] = removed_log_[i];
+    }
+    removed_log_.resize(keep);
+  }
+
+  /// Registers a change observer; returns a handle for Unsubscribe.
+  size_t Subscribe(Observer obs) {
+    observers_.push_back(std::move(obs));
+    return observers_.size() - 1;
+  }
+  void Unsubscribe(size_t handle) {
+    GAMEDB_DCHECK(handle < observers_.size());
+    observers_[handle] = nullptr;
+  }
+
+  /// Direct access to the dense arrays (hot loops, benchmarks).
+  const std::vector<EntityId>& entities() const { return dense_entities_; }
+  std::vector<T>& values() { return dense_values_; }
+  const std::vector<T>& values() const { return dense_values_; }
+
+ private:
+  static constexpr uint32_t kNpos = std::numeric_limits<uint32_t>::max();
+
+  struct Removal {
+    EntityId entity;
+    uint64_t version;
+  };
+
+  uint32_t SparsePos(EntityId e) const {
+    if (e.index >= sparse_.size()) return kNpos;
+    return sparse_[e.index];
+  }
+
+  void EnsureSparse(uint32_t index) {
+    if (index >= sparse_.size()) sparse_.resize(index + 1, kNpos);
+  }
+
+  void Notify(ChangeKind kind, EntityId e, const T* old_value,
+              const T* new_value) {
+    for (auto& obs : observers_) {
+      if (obs) obs(kind, e, old_value, new_value);
+    }
+  }
+
+  std::vector<uint32_t> sparse_;
+  std::vector<EntityId> dense_entities_;
+  std::vector<T> dense_values_;
+  std::vector<uint64_t> row_versions_;
+  std::vector<Removal> removed_log_;
+  std::vector<Observer> observers_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace gamedb

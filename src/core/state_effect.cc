@@ -1,0 +1,12 @@
+#include "core/state_effect.h"
+
+// Explicit instantiations of the common effect payloads so client TUs don't
+// each re-instantiate them.
+
+namespace gamedb {
+
+template class Effect<double>;
+template class Effect<float>;
+template class Effect<Vec3>;
+
+}  // namespace gamedb

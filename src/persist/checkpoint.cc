@@ -1,0 +1,59 @@
+#include "persist/checkpoint.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace gamedb::persist {
+
+std::string CheckpointStore::NameFor(uint64_t tick) const {
+  // Zero-padded so lexicographic order == numeric order.
+  return StringFormat("ckpt-%020llu", static_cast<unsigned long long>(tick));
+}
+
+std::vector<uint64_t> CheckpointStore::CheckpointTicks() const {
+  std::vector<uint64_t> ticks;
+  for (const std::string& name : storage_->List()) {
+    if (!StartsWith(name, "ckpt-")) continue;
+    int64_t tick = 0;
+    if (ParseInt64(name.substr(5), &tick) && tick >= 0) {
+      ticks.push_back(static_cast<uint64_t>(tick));
+    }
+  }
+  std::sort(ticks.begin(), ticks.end());
+  return ticks;
+}
+
+Status CheckpointStore::WriteCheckpoint(const World& world,
+                                        uint64_t* bytes_out) {
+  std::string snapshot;
+  EncodeWorldSnapshot(world, &snapshot);
+  GAMEDB_RETURN_NOT_OK(storage_->Write(NameFor(world.tick()), snapshot));
+  ++checkpoints_written_;
+  if (bytes_out != nullptr) *bytes_out = snapshot.size();
+  GarbageCollect();
+  return Status::OK();
+}
+
+void CheckpointStore::GarbageCollect() {
+  std::vector<uint64_t> ticks = CheckpointTicks();
+  while (ticks.size() > keep_) {
+    storage_->Remove(NameFor(ticks.front()));
+    ticks.erase(ticks.begin());
+  }
+}
+
+Result<uint64_t> CheckpointStore::LoadLatest(World* world) const {
+  std::vector<uint64_t> ticks = CheckpointTicks();
+  for (auto it = ticks.rbegin(); it != ticks.rend(); ++it) {
+    std::string data;
+    if (!storage_->Read(NameFor(*it), &data).ok()) continue;
+    if (DecodeWorldSnapshot(data, world).ok()) {
+      return *it;
+    }
+    // Corrupt image: fall back to the next older checkpoint.
+  }
+  return Status::NotFound("no loadable checkpoint");
+}
+
+}  // namespace gamedb::persist

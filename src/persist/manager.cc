@@ -1,0 +1,110 @@
+#include "persist/manager.h"
+
+namespace gamedb::persist {
+
+namespace {
+constexpr char kWalName[] = "wal";
+}  // namespace
+
+PersistenceManager::PersistenceManager(
+    Storage* storage, std::unique_ptr<CheckpointPolicy> policy,
+    PersistenceOptions options)
+    : storage_(storage),
+      policy_(std::move(policy)),
+      options_(options),
+      checkpoints_(storage, options.keep_checkpoints),
+      wal_(storage, kWalName) {
+  GAMEDB_CHECK(policy_ != nullptr);
+}
+
+Status PersistenceManager::OnTxn(const txn::GameTxn& t, uint64_t tick) {
+  if (options_.mode != DurabilityMode::kWalAndCheckpoint) return Status::OK();
+  LogRecord rec;
+  rec.type = LogRecordType::kTxn;
+  rec.tick = tick;
+  rec.txn = t;
+  std::string encoded;
+  EncodeLogRecord(rec, &encoded);
+  GAMEDB_RETURN_NOT_OK(wal_.Append(encoded));
+  ++metrics_.wal_records;
+  metrics_.wal_bytes += encoded.size();
+  return Status::OK();
+}
+
+Status PersistenceManager::OnEvent(uint64_t tick, double importance,
+                                   const std::string& label) {
+  pending_importance_ += importance;
+  max_pending_event_ = std::max(max_pending_event_, importance);
+  metrics_.importance_seen += importance;
+  if (options_.mode != DurabilityMode::kWalAndCheckpoint) return Status::OK();
+  LogRecord rec;
+  rec.type = LogRecordType::kEvent;
+  rec.tick = tick;
+  rec.importance = importance;
+  rec.label = label;
+  std::string encoded;
+  EncodeLogRecord(rec, &encoded);
+  GAMEDB_RETURN_NOT_OK(wal_.Append(encoded));
+  ++metrics_.wal_records;
+  metrics_.wal_bytes += encoded.size();
+  return Status::OK();
+}
+
+Result<bool> PersistenceManager::OnTickEnd(const World& world) {
+  TickObservation obs;
+  obs.tick = world.tick();
+  obs.ticks_since_checkpoint = world.tick() - last_checkpoint_tick_;
+  obs.pending_importance = pending_importance_;
+  obs.max_pending_event = max_pending_event_;
+  if (!policy_->ShouldCheckpoint(obs)) return false;
+  uint64_t bytes = 0;
+  GAMEDB_RETURN_NOT_OK(checkpoints_.WriteCheckpoint(world, &bytes));
+  GAMEDB_RETURN_NOT_OK(AfterCheckpoint(world, bytes));
+  return true;
+}
+
+Status PersistenceManager::ForceCheckpoint(const World& world) {
+  uint64_t bytes = 0;
+  GAMEDB_RETURN_NOT_OK(checkpoints_.WriteCheckpoint(world, &bytes));
+  return AfterCheckpoint(world, bytes);
+}
+
+Status PersistenceManager::AfterCheckpoint(const World& world,
+                                           uint64_t bytes) {
+  ++metrics_.checkpoints;
+  metrics_.checkpoint_bytes += bytes;
+  last_checkpoint_tick_ = world.tick();
+  pending_importance_ = 0.0;
+  max_pending_event_ = 0.0;
+  if (options_.mode == DurabilityMode::kWalAndCheckpoint) {
+    // The checkpoint supersedes the log.
+    GAMEDB_RETURN_NOT_OK(wal_.Reset());
+  }
+  return Status::OK();
+}
+
+Result<RecoveryOutcome> PersistenceManager::Recover(const Storage& storage,
+                                                    World* world) {
+  RecoveryOutcome out;
+  CheckpointStore checkpoints(const_cast<Storage*>(&storage));
+  GAMEDB_ASSIGN_OR_RETURN(out.checkpoint_tick,
+                          checkpoints.LoadLatest(world));
+  out.recovered_tick = out.checkpoint_tick;
+
+  GAMEDB_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(storage, kWalName));
+  out.wal_torn_tail = wal.torn_tail;
+  for (const std::string& raw : wal.records) {
+    LogRecord rec;
+    GAMEDB_RETURN_NOT_OK(DecodeLogRecord(raw, &rec));
+    if (rec.tick <= out.checkpoint_tick) continue;  // already in snapshot
+    if (rec.type == LogRecordType::kTxn) {
+      txn::ApplyTxn(world, rec.txn);
+      ++out.replayed_txns;
+    }
+    out.recovered_tick = std::max(out.recovered_tick, rec.tick);
+  }
+  world->SetTick(out.recovered_tick);
+  return out;
+}
+
+}  // namespace gamedb::persist

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file manager.h
+/// The in-memory-database persistence tier the tutorial describes: "Most
+/// games have an in-memory database layer that processes all actions, and
+/// only writes to the database periodically." PersistenceManager sits next
+/// to the World, observes transactions and important events, consults a
+/// CheckpointPolicy, and (optionally) write-ahead-logs actions so recovery
+/// can replay past the last checkpoint.
+
+#include <functional>
+#include <memory>
+
+#include "persist/checkpoint.h"
+#include "persist/record.h"
+#include "persist/wal.h"
+
+namespace gamedb::persist {
+
+/// Durability mode.
+enum class DurabilityMode : uint8_t {
+  /// The common games pattern: only checkpoints hit storage; a crash loses
+  /// everything after the last checkpoint.
+  kCheckpointOnly,
+  /// Checkpoints plus a WAL of every transaction: nothing durable is lost,
+  /// at the cost of per-action write volume.
+  kWalAndCheckpoint,
+};
+
+/// Options for PersistenceManager.
+struct PersistenceOptions {
+  DurabilityMode mode = DurabilityMode::kCheckpointOnly;
+  /// Checkpoints kept for corruption fallback.
+  size_t keep_checkpoints = 2;
+};
+
+/// Cumulative persistence metrics (E8 columns).
+struct PersistenceMetrics {
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  double importance_seen = 0.0;
+};
+
+/// What recovery produced.
+struct RecoveryOutcome {
+  uint64_t checkpoint_tick = 0;  // tick of the snapshot we restored
+  uint64_t replayed_txns = 0;    // WAL transactions re-applied
+  uint64_t recovered_tick = 0;   // world tick after recovery
+  bool wal_torn_tail = false;
+};
+
+/// Write-side persistence driver.
+class PersistenceManager {
+ public:
+  PersistenceManager(Storage* storage, std::unique_ptr<CheckpointPolicy> policy,
+                     PersistenceOptions options = {});
+
+  /// Observes a committed transaction (WAL-logged in kWalAndCheckpoint).
+  Status OnTxn(const txn::GameTxn& t, uint64_t tick);
+
+  /// Observes an important event (importance feeds the policy; logged in
+  /// kWalAndCheckpoint for audit).
+  Status OnEvent(uint64_t tick, double importance, const std::string& label);
+
+  /// End-of-tick hook: consults the policy and checkpoints when told to.
+  /// Returns true when a checkpoint was written.
+  Result<bool> OnTickEnd(const World& world);
+
+  /// Forces a checkpoint now (server shutdown).
+  Status ForceCheckpoint(const World& world);
+
+  /// Importance accumulated since the last checkpoint — exactly what a
+  /// crash right now would lose under kCheckpointOnly.
+  double pending_importance() const { return pending_importance_; }
+
+  const PersistenceMetrics& metrics() const { return metrics_; }
+
+  /// Restores `world` from storage: newest valid checkpoint, then WAL
+  /// replay of transactions with tick > checkpoint tick (if a WAL exists).
+  static Result<RecoveryOutcome> Recover(const Storage& storage, World* world);
+
+ private:
+  Status AfterCheckpoint(const World& world, uint64_t bytes);
+
+  Storage* storage_;
+  std::unique_ptr<CheckpointPolicy> policy_;
+  PersistenceOptions options_;
+  CheckpointStore checkpoints_;
+  WalWriter wal_;
+  PersistenceMetrics metrics_;
+
+  uint64_t last_checkpoint_tick_ = 0;
+  double pending_importance_ = 0.0;
+  double max_pending_event_ = 0.0;
+};
+
+}  // namespace gamedb::persist

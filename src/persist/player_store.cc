@@ -1,0 +1,386 @@
+#include "persist/player_store.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/macros.h"
+
+namespace gamedb::persist {
+
+bool PlayerRecord::operator==(const PlayerRecord& o) const {
+  return id == o.id && name == o.name && level == o.level && gold == o.gold &&
+         position == o.position && items == o.items &&
+         guild_id == o.guild_id && rating == o.rating;
+}
+
+void EncodePlayerRecord(const PlayerRecord& rec, uint32_t version,
+                        std::string* out) {
+  GAMEDB_CHECK(version >= 1 && version <= kPlayerSchemaLatest);
+  PutVarint64(out, version);
+  PutVarintSigned64(out, rec.id);
+  PutLengthPrefixed(out, rec.name);
+  PutVarintSigned64(out, rec.level);
+  PutVarintSigned64(out, rec.gold);
+  PutFloat(out, rec.position.x);
+  PutFloat(out, rec.position.y);
+  PutFloat(out, rec.position.z);
+  PutVarint64(out, rec.items.size());
+  for (int32_t item : rec.items) PutVarintSigned64(out, item);
+  if (version >= 2) PutVarintSigned64(out, rec.guild_id);
+  if (version >= 3) PutDouble(out, rec.rating);
+}
+
+Status DecodePlayerRecord(std::string_view data, PlayerRecord* out,
+                          uint32_t* decoded_version) {
+  Decoder dec(data);
+  uint64_t version = 0;
+  GAMEDB_RETURN_NOT_OK(dec.GetVarint64(&version));
+  if (version < 1 || version > kPlayerSchemaLatest) {
+    return Status::SchemaMismatch("unknown player record version " +
+                                  std::to_string(version));
+  }
+  PlayerRecord rec;
+  int64_t tmp = 0;
+  GAMEDB_RETURN_NOT_OK(dec.GetVarintSigned64(&rec.id));
+  std::string_view name;
+  GAMEDB_RETURN_NOT_OK(dec.GetLengthPrefixed(&name));
+  rec.name = std::string(name);
+  GAMEDB_RETURN_NOT_OK(dec.GetVarintSigned64(&tmp));
+  rec.level = static_cast<int32_t>(tmp);
+  GAMEDB_RETURN_NOT_OK(dec.GetVarintSigned64(&rec.gold));
+  GAMEDB_RETURN_NOT_OK(dec.GetFloat(&rec.position.x));
+  GAMEDB_RETURN_NOT_OK(dec.GetFloat(&rec.position.y));
+  GAMEDB_RETURN_NOT_OK(dec.GetFloat(&rec.position.z));
+  uint64_t item_count = 0;
+  GAMEDB_RETURN_NOT_OK(dec.GetVarint64(&item_count));
+  rec.items.clear();
+  for (uint64_t i = 0; i < item_count; ++i) {
+    GAMEDB_RETURN_NOT_OK(dec.GetVarintSigned64(&tmp));
+    rec.items.push_back(static_cast<int32_t>(tmp));
+  }
+  if (version >= 2) {
+    GAMEDB_RETURN_NOT_OK(dec.GetVarintSigned64(&tmp));
+    rec.guild_id = static_cast<int32_t>(tmp);
+  }
+  if (version >= 3) {
+    GAMEDB_RETURN_NOT_OK(dec.GetDouble(&rec.rating));
+  }
+  if (!dec.empty()) return Status::Corruption("trailing record bytes");
+
+  // Lazy upgrade: fill in post-`version` fields via the migration steps.
+  GAMEDB_RETURN_NOT_OK(
+      MigrationRegistry::Global().Upgrade(&rec, static_cast<uint32_t>(version)));
+  *out = std::move(rec);
+  if (decoded_version != nullptr) {
+    *decoded_version = static_cast<uint32_t>(version);
+  }
+  return Status::OK();
+}
+
+MigrationRegistry& MigrationRegistry::Global() {
+  static MigrationRegistry* registry = [] {
+    auto* r = new MigrationRegistry();
+    // v1 -> v2: introduce guilds; existing players are guildless.
+    r->AddStep(1, [](PlayerRecord* rec) { rec->guild_id = -1; });
+    // v2 -> v3: introduce matchmaking rating seeded from level.
+    r->AddStep(2, [](PlayerRecord* rec) {
+      rec->rating = 1000.0 + 25.0 * rec->level;
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+void MigrationRegistry::AddStep(uint32_t from_version, Step step) {
+  steps_[from_version] = std::move(step);
+}
+
+Status MigrationRegistry::Upgrade(PlayerRecord* rec,
+                                  uint32_t from_version) const {
+  for (uint32_t v = from_version; v < kPlayerSchemaLatest; ++v) {
+    auto it = steps_.find(v);
+    if (it == steps_.end()) {
+      return Status::SchemaMismatch("no migration step from v" +
+                                    std::to_string(v));
+    }
+    it->second(rec);
+  }
+  return Status::OK();
+}
+
+// --- StructuredPlayerStore --------------------------------------------------
+
+Status StructuredPlayerStore::Put(const PlayerRecord& rec) {
+  auto it = row_of_.find(rec.id);
+  if (it != row_of_.end()) {
+    size_t row = it->second;
+    names_[row] = rec.name;
+    levels_[row] = rec.level;
+    golds_[row] = rec.gold;
+    positions_[row] = rec.position;
+    items_[row] = rec.items;
+    guild_ids_[row] = rec.guild_id;
+    ratings_[row] = rec.rating;
+    return Status::OK();
+  }
+  row_of_.emplace(rec.id, ids_.size());
+  ids_.push_back(rec.id);
+  names_.push_back(rec.name);
+  levels_.push_back(rec.level);
+  golds_.push_back(rec.gold);
+  positions_.push_back(rec.position);
+  items_.push_back(rec.items);
+  guild_ids_.push_back(rec.guild_id);
+  ratings_.push_back(rec.rating);
+  return Status::OK();
+}
+
+Result<PlayerRecord> StructuredPlayerStore::Get(int64_t id) {
+  auto it = row_of_.find(id);
+  if (it == row_of_.end()) return Status::NotFound("no player");
+  size_t row = it->second;
+  PlayerRecord rec;
+  rec.id = id;
+  rec.name = names_[row];
+  rec.level = levels_[row];
+  rec.gold = golds_[row];
+  rec.position = positions_[row];
+  rec.items = items_[row];
+  rec.guild_id = guild_ids_[row];
+  rec.rating = ratings_[row];
+  return rec;
+}
+
+bool StructuredPlayerStore::Erase(int64_t id) {
+  auto it = row_of_.find(id);
+  if (it == row_of_.end()) return false;
+  size_t row = it->second;
+  size_t last = ids_.size() - 1;
+  if (row != last) {
+    ids_[row] = ids_[last];
+    names_[row] = std::move(names_[last]);
+    levels_[row] = levels_[last];
+    golds_[row] = golds_[last];
+    positions_[row] = positions_[last];
+    items_[row] = std::move(items_[last]);
+    guild_ids_[row] = guild_ids_[last];
+    ratings_[row] = ratings_[last];
+    row_of_[ids_[row]] = row;
+  }
+  ids_.pop_back();
+  names_.pop_back();
+  levels_.pop_back();
+  golds_.pop_back();
+  positions_.pop_back();
+  items_.pop_back();
+  guild_ids_.pop_back();
+  ratings_.pop_back();
+  row_of_.erase(it);
+  return true;
+}
+
+double StructuredPlayerStore::SumGoldWhereLevelAtLeast(int32_t min_level) {
+  // Tight columnar scan: touches two vectors only.
+  double total = 0;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i] >= min_level) total += static_cast<double>(golds_[i]);
+  }
+  return total;
+}
+
+std::vector<int64_t> StructuredPlayerStore::TopKByGold(size_t k) {
+  std::vector<size_t> rows(ids_.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  k = std::min(k, rows.size());
+  std::partial_sort(rows.begin(), rows.begin() + static_cast<long>(k),
+                    rows.end(),
+                    [&](size_t a, size_t b) { return golds_[a] > golds_[b]; });
+  std::vector<int64_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(ids_[rows[i]]);
+  return out;
+}
+
+size_t StructuredPlayerStore::ApproxBytes() const {
+  size_t bytes = ids_.size() * (sizeof(int64_t) * 2 + sizeof(int32_t) * 2 +
+                                sizeof(Vec3) + sizeof(double));
+  for (const auto& n : names_) bytes += n.size();
+  for (const auto& v : items_) bytes += v.size() * sizeof(int32_t);
+  return bytes;
+}
+
+Result<uint64_t> StructuredPlayerStore::MigrateAll() {
+  // Columns already exist at the latest schema; adding a column eagerly
+  // means materializing a default for every row — model that cost.
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    PlayerRecord probe;
+    probe.level = levels_[i];
+    MigrationRegistry::Global().Upgrade(&probe, kPlayerSchemaLatest - 1)
+        .ok();
+  }
+  return static_cast<uint64_t>(ids_.size());
+}
+
+// --- BlobPlayerStore ----------------------------------------------------
+
+Status BlobPlayerStore::Put(const PlayerRecord& rec) {
+  std::string blob;
+  EncodePlayerRecord(rec, write_version_, &blob);
+  auto [it, inserted] = blobs_.insert_or_assign(rec.id, std::move(blob));
+  (void)it;
+  auto [vit, vinserted] = version_of_.insert_or_assign(rec.id, write_version_);
+  (void)vit;
+  if (write_version_ < kPlayerSchemaLatest && vinserted) ++stale_rows_;
+  return Status::OK();
+}
+
+Result<PlayerRecord> BlobPlayerStore::Get(int64_t id) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return Status::NotFound("no player");
+  PlayerRecord rec;
+  uint32_t version = 0;
+  GAMEDB_RETURN_NOT_OK(DecodePlayerRecord(it->second, &rec, &version));
+  if (version < kPlayerSchemaLatest) {
+    // Lazy migration: rewrite at the latest version on first touch.
+    std::string upgraded;
+    EncodePlayerRecord(rec, kPlayerSchemaLatest, &upgraded);
+    it->second = std::move(upgraded);
+    version_of_[id] = kPlayerSchemaLatest;
+    GAMEDB_DCHECK(stale_rows_ > 0);
+    --stale_rows_;
+  }
+  return rec;
+}
+
+bool BlobPlayerStore::Erase(int64_t id) {
+  auto vit = version_of_.find(id);
+  if (vit != version_of_.end() && vit->second < kPlayerSchemaLatest) {
+    --stale_rows_;
+  }
+  version_of_.erase(id);
+  return blobs_.erase(id) > 0;
+}
+
+double BlobPlayerStore::SumGoldWhereLevelAtLeast(int32_t min_level) {
+  // The blob tax: every row must be deserialized.
+  double total = 0;
+  for (const auto& [id, blob] : blobs_) {
+    PlayerRecord rec;
+    if (DecodePlayerRecord(blob, &rec).ok() && rec.level >= min_level) {
+      total += static_cast<double>(rec.gold);
+    }
+  }
+  return total;
+}
+
+std::vector<int64_t> BlobPlayerStore::TopKByGold(size_t k) {
+  std::vector<std::pair<int64_t, int64_t>> gold_id;  // (gold, id)
+  gold_id.reserve(blobs_.size());
+  for (const auto& [id, blob] : blobs_) {
+    PlayerRecord rec;
+    if (DecodePlayerRecord(blob, &rec).ok()) {
+      gold_id.emplace_back(rec.gold, id);
+    }
+  }
+  k = std::min(k, gold_id.size());
+  std::partial_sort(gold_id.begin(), gold_id.begin() + static_cast<long>(k),
+                    gold_id.end(), std::greater<>());
+  std::vector<int64_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(gold_id[i].second);
+  return out;
+}
+
+size_t BlobPlayerStore::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& [id, blob] : blobs_) bytes += blob.size() + sizeof(id);
+  return bytes;
+}
+
+Result<uint64_t> BlobPlayerStore::MigrateAll() {
+  uint64_t touched = 0;
+  for (auto& [id, blob] : blobs_) {
+    uint32_t version = 0;
+    PlayerRecord rec;
+    GAMEDB_RETURN_NOT_OK(DecodePlayerRecord(blob, &rec, &version));
+    if (version == kPlayerSchemaLatest) continue;
+    std::string upgraded;
+    EncodePlayerRecord(rec, kPlayerSchemaLatest, &upgraded);
+    blob = std::move(upgraded);
+    version_of_[id] = kPlayerSchemaLatest;
+    ++touched;
+  }
+  stale_rows_ = 0;
+  return touched;
+}
+
+// --- HybridPlayerStore ----------------------------------------------------
+
+Status HybridPlayerStore::Put(const PlayerRecord& rec) {
+  hot_[rec.id] = Hot{rec.level, rec.gold};
+  std::string blob;
+  EncodePlayerRecord(rec, kPlayerSchemaLatest, &blob);
+  cold_blobs_[rec.id] = std::move(blob);
+  return Status::OK();
+}
+
+Result<PlayerRecord> HybridPlayerStore::Get(int64_t id) {
+  auto it = cold_blobs_.find(id);
+  if (it == cold_blobs_.end()) return Status::NotFound("no player");
+  PlayerRecord rec;
+  GAMEDB_RETURN_NOT_OK(DecodePlayerRecord(it->second, &rec));
+  // Hot columns are authoritative for their fields.
+  const Hot& hot = hot_.at(id);
+  rec.level = hot.level;
+  rec.gold = hot.gold;
+  return rec;
+}
+
+bool HybridPlayerStore::Erase(int64_t id) {
+  cold_blobs_.erase(id);
+  return hot_.erase(id) > 0;
+}
+
+double HybridPlayerStore::SumGoldWhereLevelAtLeast(int32_t min_level) {
+  double total = 0;
+  for (const auto& [id, hot] : hot_) {
+    if (hot.level >= min_level) total += static_cast<double>(hot.gold);
+  }
+  return total;
+}
+
+std::vector<int64_t> HybridPlayerStore::TopKByGold(size_t k) {
+  std::vector<std::pair<int64_t, int64_t>> gold_id;
+  gold_id.reserve(hot_.size());
+  for (const auto& [id, hot] : hot_) gold_id.emplace_back(hot.gold, id);
+  k = std::min(k, gold_id.size());
+  std::partial_sort(gold_id.begin(), gold_id.begin() + static_cast<long>(k),
+                    gold_id.end(), std::greater<>());
+  std::vector<int64_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(gold_id[i].second);
+  return out;
+}
+
+size_t HybridPlayerStore::ApproxBytes() const {
+  size_t bytes = hot_.size() * (sizeof(int64_t) + sizeof(Hot));
+  for (const auto& [id, blob] : cold_blobs_) bytes += blob.size();
+  return bytes;
+}
+
+Result<uint64_t> HybridPlayerStore::MigrateAll() {
+  uint64_t touched = 0;
+  for (auto& [id, blob] : cold_blobs_) {
+    uint32_t version = 0;
+    PlayerRecord rec;
+    GAMEDB_RETURN_NOT_OK(DecodePlayerRecord(blob, &rec, &version));
+    if (version == kPlayerSchemaLatest) continue;
+    std::string upgraded;
+    EncodePlayerRecord(rec, kPlayerSchemaLatest, &upgraded);
+    blob = std::move(upgraded);
+    ++touched;
+  }
+  return touched;
+}
+
+}  // namespace gamedb::persist

@@ -1,0 +1,183 @@
+#pragma once
+
+/// \file player_store.h
+/// The legacy-schema experiment (E9). The tutorial: long-lived MMOs keep
+/// adding features that need schema changes, and "they often choose to
+/// write data as unstructured 'blobs' into a single attribute, so that they
+/// can preserve their old schemas" [8]. This module implements both ends of
+/// that trade plus the hybrid production systems converge on:
+///  - StructuredPlayerStore: typed columns; queryable; migrations touch
+///    every row (eager).
+///  - BlobPlayerStore: one version-tagged blob per player; schema changes
+///    are free at write time, reads lazily upgrade; scans must deserialize
+///    the world.
+///  - HybridPlayerStore: hot fields as columns, long tail as blob.
+///
+/// The record schema itself is versioned (v1 -> v2 adds guild_id, v3 adds
+/// rating) with a migration registry applying per-version upgrade steps.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace gamedb::persist {
+
+/// Latest schema version.
+inline constexpr uint32_t kPlayerSchemaLatest = 3;
+
+/// A player row at the latest schema.
+struct PlayerRecord {
+  int64_t id = 0;
+  std::string name;
+  int32_t level = 1;
+  int64_t gold = 0;
+  Vec3 position;
+  std::vector<int32_t> items;   // inventory item ids
+  // v2:
+  int32_t guild_id = -1;
+  // v3:
+  double rating = 1500.0;
+
+  bool operator==(const PlayerRecord& o) const;
+};
+
+/// Serializes at an explicit schema version (v1/v2 writers drop the newer
+/// fields, exactly like an old binary writing an old row).
+void EncodePlayerRecord(const PlayerRecord& rec, uint32_t version,
+                        std::string* out);
+
+/// Decodes any version, upgrading to the latest via the migration steps.
+/// `decoded_version` reports the on-disk version encountered.
+Status DecodePlayerRecord(std::string_view data, PlayerRecord* out,
+                          uint32_t* decoded_version = nullptr);
+
+/// Per-version upgrade steps (v1->v2, v2->v3, ...). Exposed so tests and
+/// the live-migration bench can count/override work.
+class MigrationRegistry {
+ public:
+  using Step = std::function<void(PlayerRecord*)>;
+
+  /// The process-wide registry with the standard steps installed.
+  static MigrationRegistry& Global();
+
+  /// Registers the step upgrading `from_version` -> from_version + 1.
+  void AddStep(uint32_t from_version, Step step);
+
+  /// Applies steps from `from_version` up to kPlayerSchemaLatest.
+  Status Upgrade(PlayerRecord* rec, uint32_t from_version) const;
+
+ private:
+  std::map<uint32_t, Step> steps_;
+};
+
+/// Query/update surface shared by the three layouts.
+class PlayerStore {
+ public:
+  virtual ~PlayerStore() = default;
+  virtual const char* Name() const = 0;
+
+  /// Inserts or overwrites a record.
+  virtual Status Put(const PlayerRecord& rec) = 0;
+  /// Point lookup.
+  virtual Result<PlayerRecord> Get(int64_t id) = 0;
+  virtual bool Erase(int64_t id) = 0;
+  virtual size_t Size() const = 0;
+
+  // Analytical queries (the "database support" blobs sacrifice):
+  /// Sum of gold over players with level >= min_level.
+  virtual double SumGoldWhereLevelAtLeast(int32_t min_level) = 0;
+  /// Ids of the k richest players (descending gold).
+  virtual std::vector<int64_t> TopKByGold(size_t k) = 0;
+
+  /// Bytes of storage used by the payload (layout footprint comparison).
+  virtual size_t ApproxBytes() const = 0;
+
+  /// Eagerly rewrites every row at the latest schema; returns rows touched.
+  /// For BlobPlayerStore this is the optional background sweep that ends
+  /// the lazy-migration period.
+  virtual Result<uint64_t> MigrateAll() = 0;
+};
+
+/// Typed-column layout.
+class StructuredPlayerStore final : public PlayerStore {
+ public:
+  const char* Name() const override { return "structured"; }
+  Status Put(const PlayerRecord& rec) override;
+  Result<PlayerRecord> Get(int64_t id) override;
+  bool Erase(int64_t id) override;
+  size_t Size() const override { return ids_.size(); }
+  double SumGoldWhereLevelAtLeast(int32_t min_level) override;
+  std::vector<int64_t> TopKByGold(size_t k) override;
+  size_t ApproxBytes() const override;
+  Result<uint64_t> MigrateAll() override;
+
+ private:
+  // Parallel columns; row i across all vectors is one player.
+  std::vector<int64_t> ids_;
+  std::vector<std::string> names_;
+  std::vector<int32_t> levels_;
+  std::vector<int64_t> golds_;
+  std::vector<Vec3> positions_;
+  std::vector<std::vector<int32_t>> items_;
+  std::vector<int32_t> guild_ids_;
+  std::vector<double> ratings_;
+  std::unordered_map<int64_t, size_t> row_of_;
+};
+
+/// Version-tagged blob-per-player layout.
+class BlobPlayerStore final : public PlayerStore {
+ public:
+  /// \param write_version schema version used for Put (old binaries write
+  ///        old versions; reads upgrade lazily).
+  explicit BlobPlayerStore(uint32_t write_version = kPlayerSchemaLatest)
+      : write_version_(write_version) {}
+
+  const char* Name() const override { return "blob"; }
+  Status Put(const PlayerRecord& rec) override;
+  Result<PlayerRecord> Get(int64_t id) override;
+  bool Erase(int64_t id) override;
+  size_t Size() const override { return blobs_.size(); }
+  double SumGoldWhereLevelAtLeast(int32_t min_level) override;
+  std::vector<int64_t> TopKByGold(size_t k) override;
+  size_t ApproxBytes() const override;
+  Result<uint64_t> MigrateAll() override;
+
+  /// Rows still stored at pre-latest versions (lazy-migration progress).
+  uint64_t stale_rows() const { return stale_rows_; }
+
+ private:
+  uint32_t write_version_;
+  std::unordered_map<int64_t, std::string> blobs_;
+  std::unordered_map<int64_t, uint32_t> version_of_;
+  uint64_t stale_rows_ = 0;
+};
+
+/// Hot columns (level, gold) + cold blob for everything else.
+class HybridPlayerStore final : public PlayerStore {
+ public:
+  const char* Name() const override { return "hybrid"; }
+  Status Put(const PlayerRecord& rec) override;
+  Result<PlayerRecord> Get(int64_t id) override;
+  bool Erase(int64_t id) override;
+  size_t Size() const override { return hot_.size(); }
+  double SumGoldWhereLevelAtLeast(int32_t min_level) override;
+  std::vector<int64_t> TopKByGold(size_t k) override;
+  size_t ApproxBytes() const override;
+  Result<uint64_t> MigrateAll() override;
+
+ private:
+  struct Hot {
+    int32_t level;
+    int64_t gold;
+  };
+  std::unordered_map<int64_t, Hot> hot_;
+  std::unordered_map<int64_t, std::string> cold_blobs_;
+};
+
+}  // namespace gamedb::persist

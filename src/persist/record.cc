@@ -1,0 +1,93 @@
+#include "persist/record.h"
+
+#include "common/coding.h"
+
+namespace gamedb::persist {
+
+namespace {
+
+void EncodeTxn(const txn::GameTxn& t, std::string* out) {
+  out->push_back(static_cast<char>(t.type));
+  PutFixed64(out, t.a.Raw());
+  PutFixed64(out, t.b.Raw());
+  PutFloat(out, t.amount);
+  PutFloat(out, t.dest.x);
+  PutFloat(out, t.dest.y);
+  PutFloat(out, t.dest.z);
+  PutVarint64(out, t.extra.size());
+  for (EntityId e : t.extra) PutFixed64(out, e.Raw());
+}
+
+Status DecodeTxn(Decoder* dec, txn::GameTxn* t) {
+  std::string_view type_byte;
+  GAMEDB_RETURN_NOT_OK(dec->GetRaw(1, &type_byte));
+  uint8_t raw_type = static_cast<uint8_t>(type_byte[0]);
+  if (raw_type > static_cast<uint8_t>(txn::TxnType::kAoe)) {
+    return Status::Corruption("bad txn type tag");
+  }
+  t->type = static_cast<txn::TxnType>(raw_type);
+  uint64_t a = 0, b = 0;
+  GAMEDB_RETURN_NOT_OK(dec->GetFixed64(&a));
+  GAMEDB_RETURN_NOT_OK(dec->GetFixed64(&b));
+  t->a = EntityId::FromRaw(a);
+  t->b = EntityId::FromRaw(b);
+  GAMEDB_RETURN_NOT_OK(dec->GetFloat(&t->amount));
+  GAMEDB_RETURN_NOT_OK(dec->GetFloat(&t->dest.x));
+  GAMEDB_RETURN_NOT_OK(dec->GetFloat(&t->dest.y));
+  GAMEDB_RETURN_NOT_OK(dec->GetFloat(&t->dest.z));
+  uint64_t extra = 0;
+  GAMEDB_RETURN_NOT_OK(dec->GetVarint64(&extra));
+  t->extra.clear();
+  for (uint64_t i = 0; i < extra; ++i) {
+    uint64_t raw = 0;
+    GAMEDB_RETURN_NOT_OK(dec->GetFixed64(&raw));
+    t->extra.push_back(EntityId::FromRaw(raw));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeLogRecord(const LogRecord& rec, std::string* out) {
+  out->push_back(static_cast<char>(rec.type));
+  PutVarint64(out, rec.tick);
+  switch (rec.type) {
+    case LogRecordType::kTxn:
+      EncodeTxn(rec.txn, out);
+      break;
+    case LogRecordType::kEvent:
+      PutDouble(out, rec.importance);
+      PutLengthPrefixed(out, rec.label);
+      break;
+    case LogRecordType::kTickMark:
+      break;
+  }
+}
+
+Status DecodeLogRecord(std::string_view data, LogRecord* out) {
+  Decoder dec(data);
+  std::string_view type_byte;
+  GAMEDB_RETURN_NOT_OK(dec.GetRaw(1, &type_byte));
+  uint8_t raw = static_cast<uint8_t>(type_byte[0]);
+  if (raw < 1 || raw > 3) return Status::Corruption("bad log record type");
+  out->type = static_cast<LogRecordType>(raw);
+  GAMEDB_RETURN_NOT_OK(dec.GetVarint64(&out->tick));
+  switch (out->type) {
+    case LogRecordType::kTxn:
+      GAMEDB_RETURN_NOT_OK(DecodeTxn(&dec, &out->txn));
+      break;
+    case LogRecordType::kEvent: {
+      GAMEDB_RETURN_NOT_OK(dec.GetDouble(&out->importance));
+      std::string_view label;
+      GAMEDB_RETURN_NOT_OK(dec.GetLengthPrefixed(&label));
+      out->label = std::string(label);
+      break;
+    }
+    case LogRecordType::kTickMark:
+      break;
+  }
+  if (!dec.empty()) return Status::Corruption("trailing bytes in log record");
+  return Status::OK();
+}
+
+}  // namespace gamedb::persist

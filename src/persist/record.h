@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file record.h
+/// Log record vocabulary of the persistence tier: transactions (for WAL
+/// replay) and important-event markers (the input to intelligent
+/// checkpointing — "writing to the database when important events are
+/// completed, and not just at regular intervals").
+
+#include <string>
+
+#include "common/status.h"
+#include "txn/txn.h"
+
+namespace gamedb::persist {
+
+/// What a log record describes.
+enum class LogRecordType : uint8_t {
+  kTxn = 1,        // a GameTxn to replay
+  kEvent = 2,      // an important game event (boss kill, loot drop)
+  kTickMark = 3,   // end-of-tick marker
+};
+
+/// One log record.
+struct LogRecord {
+  LogRecordType type = LogRecordType::kTickMark;
+  uint64_t tick = 0;
+  /// Importance weight for kEvent (see ImportancePolicy).
+  double importance = 0.0;
+  /// Event label (kEvent) for diagnostics.
+  std::string label;
+  /// The transaction (kTxn).
+  txn::GameTxn txn;
+};
+
+/// Serializes a record.
+void EncodeLogRecord(const LogRecord& rec, std::string* out);
+/// Parses a record (errors on truncation / unknown type tags).
+Status DecodeLogRecord(std::string_view data, LogRecord* out);
+
+}  // namespace gamedb::persist

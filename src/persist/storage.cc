@@ -1,0 +1,128 @@
+#include "persist/storage.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/macros.h"
+
+namespace gamedb::persist {
+
+Status MemStorage::Write(const std::string& name, std::string_view data) {
+  files_[name] = std::string(data);
+  bytes_written_ += data.size();
+  return Status::OK();
+}
+
+Status MemStorage::Append(const std::string& name, std::string_view data) {
+  files_[name].append(data);
+  bytes_written_ += data.size();
+  return Status::OK();
+}
+
+Status MemStorage::Read(const std::string& name, std::string* out) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no file: " + name);
+  *out = it->second;
+  return Status::OK();
+}
+
+Status MemStorage::Remove(const std::string& name) {
+  files_.erase(name);
+  return Status::OK();
+}
+
+bool MemStorage::Exists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+std::vector<std::string> MemStorage::List() const {
+  std::vector<std::string> out;
+  for (const auto& [name, data] : files_) out.push_back(name);
+  return out;
+}
+
+uint64_t MemStorage::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, data] : files_) total += data.size();
+  return total;
+}
+
+void MemStorage::CorruptTail(const std::string& name, size_t n) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return;
+  std::string& data = it->second;
+  data.resize(data.size() >= n ? data.size() - n : 0);
+}
+
+void MemStorage::FlipByte(const std::string& name, size_t offset) {
+  auto it = files_.find(name);
+  if (it == files_.end() || offset >= it->second.size()) return;
+  it->second[offset] = static_cast<char>(it->second[offset] ^ 0x5A);
+}
+
+DiskStorage::DiskStorage(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  GAMEDB_CHECK(!ec);
+}
+
+std::string DiskStorage::PathOf(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+Status DiskStorage::Write(const std::string& name, std::string_view data) {
+  std::ofstream f(PathOf(name), std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IOError("cannot open " + name);
+  f.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!f) return Status::IOError("write failed: " + name);
+  return Status::OK();
+}
+
+Status DiskStorage::Append(const std::string& name, std::string_view data) {
+  std::ofstream f(PathOf(name), std::ios::binary | std::ios::app);
+  if (!f) return Status::IOError("cannot open " + name);
+  f.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!f) return Status::IOError("append failed: " + name);
+  return Status::OK();
+}
+
+Status DiskStorage::Read(const std::string& name, std::string* out) const {
+  std::ifstream f(PathOf(name), std::ios::binary);
+  if (!f) return Status::NotFound("no file: " + name);
+  out->assign(std::istreambuf_iterator<char>(f),
+              std::istreambuf_iterator<char>());
+  return Status::OK();
+}
+
+Status DiskStorage::Remove(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::remove(PathOf(name), ec);
+  return Status::OK();
+}
+
+bool DiskStorage::Exists(const std::string& name) const {
+  return std::filesystem::exists(PathOf(name));
+}
+
+std::vector<std::string> DiskStorage::List() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file()) out.push_back(entry.path().filename());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t DiskStorage::TotalBytes() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+}  // namespace gamedb::persist

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file storage.h
+/// Storage device abstraction for the persistence tier. MemStorage is the
+/// default for tests and benchmarks (it also provides crash/torn-write
+/// injection); DiskStorage persists to a real directory. This pair is the
+/// simulated substitution for the commercial RDBMS tier MMOs use
+/// (DESIGN.md §4): what matters for the experiments is write volume and
+/// recovery semantics, not SQL.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gamedb::persist {
+
+/// Named-file storage device.
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  /// Creates or truncates `name` with `data`.
+  virtual Status Write(const std::string& name, std::string_view data) = 0;
+  /// Appends to `name`, creating it if absent.
+  virtual Status Append(const std::string& name, std::string_view data) = 0;
+  /// Reads the full contents.
+  virtual Status Read(const std::string& name, std::string* out) const = 0;
+  /// Removes a file; OK if absent.
+  virtual Status Remove(const std::string& name) = 0;
+  virtual bool Exists(const std::string& name) const = 0;
+  /// Names of all files (sorted).
+  virtual std::vector<std::string> List() const = 0;
+  /// Total bytes across all files (write-amplification accounting).
+  virtual uint64_t TotalBytes() const = 0;
+};
+
+/// In-memory storage with fault injection.
+class MemStorage final : public Storage {
+ public:
+  Status Write(const std::string& name, std::string_view data) override;
+  Status Append(const std::string& name, std::string_view data) override;
+  Status Read(const std::string& name, std::string* out) const override;
+  Status Remove(const std::string& name) override;
+  bool Exists(const std::string& name) const override;
+  std::vector<std::string> List() const override;
+  uint64_t TotalBytes() const override;
+
+  /// Simulates a torn tail write: drops the last `n` bytes of `name`.
+  void CorruptTail(const std::string& name, size_t n);
+  /// Flips one byte at `offset` in `name`.
+  void FlipByte(const std::string& name, size_t offset);
+  /// Cumulative bytes ever written/appended (not reduced by Remove).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::map<std::string, std::string> files_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Directory-backed storage.
+class DiskStorage final : public Storage {
+ public:
+  /// Files live under `dir` (created if missing; aborts on failure).
+  explicit DiskStorage(std::string dir);
+
+  Status Write(const std::string& name, std::string_view data) override;
+  Status Append(const std::string& name, std::string_view data) override;
+  Status Read(const std::string& name, std::string* out) const override;
+  Status Remove(const std::string& name) override;
+  bool Exists(const std::string& name) const override;
+  std::vector<std::string> List() const override;
+  uint64_t TotalBytes() const override;
+
+ private:
+  std::string PathOf(const std::string& name) const;
+  std::string dir_;
+};
+
+}  // namespace gamedb::persist

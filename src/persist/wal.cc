@@ -1,0 +1,57 @@
+#include "persist/wal.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace gamedb::persist {
+
+Status WalWriter::Append(std::string_view record) {
+  std::string framed;
+  framed.reserve(record.size() + 9);
+  PutFixed32(&framed, MaskCrc(Crc32c(record.data(), record.size())));
+  PutVarint64(&framed, record.size());
+  framed.append(record.data(), record.size());
+  GAMEDB_RETURN_NOT_OK(storage_->Append(file_name_, framed));
+  bytes_appended_ += framed.size();
+  ++records_appended_;
+  return Status::OK();
+}
+
+Status WalWriter::Reset() {
+  return storage_->Write(file_name_, "");
+}
+
+Result<WalReadResult> ReadWal(const Storage& storage,
+                              const std::string& file_name) {
+  WalReadResult out;
+  std::string data;
+  Status st = storage.Read(file_name, &data);
+  if (st.IsNotFound()) return out;  // fresh log
+  GAMEDB_RETURN_NOT_OK(st);
+
+  Decoder dec(data);
+  uint64_t consumed = 0;
+  while (!dec.empty()) {
+    Decoder attempt = dec;  // copy so a torn record doesn't consume
+    uint32_t masked = 0;
+    uint64_t size = 0;
+    std::string_view payload;
+    if (!attempt.GetFixed32(&masked).ok() ||
+        !attempt.GetVarint64(&size).ok() ||
+        !attempt.GetRaw(static_cast<size_t>(size), &payload).ok()) {
+      out.torn_tail = true;
+      break;
+    }
+    if (UnmaskCrc(masked) != Crc32c(payload.data(), payload.size())) {
+      out.torn_tail = true;
+      break;
+    }
+    out.records.emplace_back(payload);
+    consumed = data.size() - attempt.remaining();
+    dec = attempt;
+  }
+  out.valid_bytes = consumed;
+  return out;
+}
+
+}  // namespace gamedb::persist

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file wal.h
+/// Write-ahead log with per-record CRC framing. Recovery reads the longest
+/// valid prefix: a torn or corrupted tail record (the normal crash artifact)
+/// ends replay cleanly instead of poisoning it.
+///
+/// Record framing: fixed32 masked CRC-32C of payload | varint payload size |
+/// payload bytes.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/storage.h"
+
+namespace gamedb::persist {
+
+/// Appends CRC-framed records to a log file.
+class WalWriter {
+ public:
+  WalWriter(Storage* storage, std::string file_name)
+      : storage_(storage), file_name_(std::move(file_name)) {}
+
+  /// Appends one record.
+  Status Append(std::string_view record);
+
+  /// Truncates the log (after a checkpoint supersedes it).
+  Status Reset();
+
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t records_appended() const { return records_appended_; }
+  const std::string& file_name() const { return file_name_; }
+
+ private:
+  Storage* storage_;
+  std::string file_name_;
+  uint64_t bytes_appended_ = 0;
+  uint64_t records_appended_ = 0;
+};
+
+/// Result of reading a log.
+struct WalReadResult {
+  std::vector<std::string> records;
+  /// True when the file ended mid-record or with a CRC mismatch (records
+  /// before that point are still valid and returned).
+  bool torn_tail = false;
+  uint64_t valid_bytes = 0;
+};
+
+/// Reads every valid record of `file_name`. A missing file yields zero
+/// records (fresh server), not an error.
+Result<WalReadResult> ReadWal(const Storage& storage,
+                              const std::string& file_name);
+
+}  // namespace gamedb::persist

@@ -1,0 +1,96 @@
+#include "replication/aggro.h"
+
+#include <limits>
+
+namespace gamedb::replication {
+
+void ThreatTable::OnDamage(EntityId attacker, double amount) {
+  if (amount <= 0) return;
+  threat_[attacker] += amount * options_.damage_threat;
+}
+
+void ThreatTable::OnHeal(EntityId healer, double amount) {
+  if (amount <= 0) return;
+  threat_[healer] += amount * options_.heal_threat;
+}
+
+void ThreatTable::OnTaunt(EntityId taunter) {
+  // Taunt both forces the target and lifts the taunter's threat past the
+  // sticky margin so the hold survives the next threat tick.
+  double top = 0.0;
+  for (const auto& [e, t] : threat_) top = std::max(top, t);
+  threat_[taunter] = std::max(threat_[taunter], top * options_.switch_margin);
+  if (current_ != taunter) {
+    if (current_.valid()) ++switches_;
+    current_ = taunter;
+  }
+}
+
+void ThreatTable::RemoveParticipant(EntityId e) {
+  threat_.erase(e);
+  if (current_ == e) current_ = EntityId::Invalid();
+}
+
+void ThreatTable::Tick() {
+  if (options_.decay_per_tick <= 0.0) return;
+  double keep = 1.0 - options_.decay_per_tick;
+  for (auto& [e, t] : threat_) t *= keep;
+}
+
+EntityId ThreatTable::CurrentTarget() {
+  if (threat_.empty()) {
+    current_ = EntityId::Invalid();
+    return current_;
+  }
+  // Highest threat challenger.
+  EntityId best;
+  double best_threat = -1.0;
+  for (const auto& [e, t] : threat_) {
+    if (t > best_threat || (t == best_threat && e < best)) {
+      best = e;
+      best_threat = t;
+    }
+  }
+  if (!current_.valid() || threat_.find(current_) == threat_.end()) {
+    current_ = best;
+    return current_;
+  }
+  // Sticky rule: switch only when the challenger clears the margin.
+  double incumbent = threat_.at(current_);
+  if (best != current_ && best_threat > incumbent * options_.switch_margin) {
+    current_ = best;
+    ++switches_;
+  }
+  return current_;
+}
+
+double ThreatTable::ThreatOf(EntityId e) const {
+  auto it = threat_.find(e);
+  return it == threat_.end() ? 0.0 : it->second;
+}
+
+EntityId SelectNearestEnemy(const World& world, EntityId npc) {
+  const Position* my_pos = world.Get<Position>(npc);
+  const Faction* my_faction = world.Get<Faction>(npc);
+  if (my_pos == nullptr || my_faction == nullptr) return EntityId::Invalid();
+
+  EntityId best;
+  float best_d2 = std::numeric_limits<float>::infinity();
+  const auto* positions = world.TableIfExists<Position>();
+  if (positions == nullptr) return EntityId::Invalid();
+  positions->ForEach([&](EntityId e, const Position& p) {
+    if (e == npc) return;
+    const Faction* f = world.Get<Faction>(e);
+    if (f == nullptr || f->team == my_faction->team) return;
+    const Health* h = world.Get<Health>(e);
+    if (h == nullptr || h->hp <= 0) return;
+    float d2 = p.value.DistanceSquaredTo(my_pos->value);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = e;
+    }
+  });
+  return best;
+}
+
+}  // namespace gamedb::replication

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file aggro.h
+/// Aggro management — the tutorial's example of trading spatial fidelity
+/// for tractable combat: "It assigns abstract roles to the participants,
+/// which allows the game to handle combat without exact spatial fidelity."
+///
+/// Each NPC keeps a *threat table*: contributions from damage, healing and
+/// taunts. The NPC targets the highest-threat participant, switching only
+/// when a challenger exceeds the incumbent by a sticky margin (the classic
+/// 110% rule) — which is what stops bosses from ping-ponging between
+/// melee-range players the way exact nearest-enemy targeting does (E11).
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/world.h"
+
+namespace gamedb::replication {
+
+/// Threat accounting parameters.
+struct AggroOptions {
+  double damage_threat = 1.0;   // threat per point of damage dealt
+  double heal_threat = 0.5;     // threat per point healed (split to healer)
+  double switch_margin = 1.1;   // challenger must exceed incumbent by this
+  double decay_per_tick = 0.0;  // multiplicative threat decay (0 = none)
+};
+
+/// Threat table for one NPC.
+class ThreatTable {
+ public:
+  explicit ThreatTable(AggroOptions options = {}) : options_(options) {}
+
+  void OnDamage(EntityId attacker, double amount);
+  void OnHeal(EntityId healer, double amount);
+  /// Taunt: jump the taunter to 110% of the current top threat.
+  void OnTaunt(EntityId taunter);
+  /// Participant died or left combat.
+  void RemoveParticipant(EntityId e);
+  /// Applies one tick of decay.
+  void Tick();
+
+  /// Current target under the sticky-switch rule; Invalid when the table
+  /// is empty.
+  EntityId CurrentTarget();
+
+  double ThreatOf(EntityId e) const;
+  size_t participant_count() const { return threat_.size(); }
+  /// Times the target changed across CurrentTarget() calls.
+  uint64_t target_switches() const { return switches_; }
+
+ private:
+  AggroOptions options_;
+  std::unordered_map<EntityId, double> threat_;
+  EntityId current_;
+  uint64_t switches_ = 0;
+};
+
+/// Exact-spatial baseline: the nearest living enemy of `npc` (different
+/// Faction team), scanning all positioned entities. Twitchy and O(n) —
+/// the behaviour aggro tables exist to replace.
+EntityId SelectNearestEnemy(const World& world, EntityId npc);
+
+}  // namespace gamedb::replication

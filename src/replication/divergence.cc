@@ -1,0 +1,46 @@
+#include "replication/divergence.h"
+
+#include <cmath>
+
+namespace gamedb::replication {
+
+DivergenceReport MeasureDivergence(const World& server, const World& client) {
+  DivergenceReport report;
+  double sq_sum = 0.0;
+  double hp_abs_sum = 0.0;
+  size_t hp_count = 0;
+
+  const auto* positions = server.TableIfExists<Position>();
+  if (positions != nullptr) {
+    positions->ForEach([&](EntityId e, const Position& server_pos) {
+      const Position* client_pos = client.Get<Position>(e);
+      if (client_pos == nullptr) {
+        ++report.missing_on_client;
+        return;
+      }
+      double err = server_pos.value.DistanceTo(client_pos->value);
+      sq_sum += err * err;
+      report.max_position_error = std::max(report.max_position_error, err);
+      ++report.compared;
+    });
+  }
+  const auto* healths = server.TableIfExists<Health>();
+  if (healths != nullptr) {
+    healths->ForEach([&](EntityId e, const Health& server_hp) {
+      const Health* client_hp = client.Get<Health>(e);
+      if (client_hp == nullptr) return;
+      hp_abs_sum += std::abs(double(server_hp.hp) - double(client_hp->hp));
+      ++hp_count;
+    });
+  }
+
+  if (report.compared > 0) {
+    report.position_rmse = std::sqrt(sq_sum / double(report.compared));
+  }
+  if (hp_count > 0) {
+    report.hp_mean_abs_error = hp_abs_sum / double(hp_count);
+  }
+  return report;
+}
+
+}  // namespace gamedb::replication

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file divergence.h
+/// Quantifies how far a client replica has drifted from the server — the
+/// measurable face of "weaker consistency guarantees". E7 plots these
+/// numbers against the bandwidth each sync strategy spends.
+
+#include <cstddef>
+
+#include "core/world.h"
+
+namespace gamedb::replication {
+
+/// Drift measurements between a server world and one replica.
+struct DivergenceReport {
+  /// Root-mean-square position error over entities present on both sides.
+  double position_rmse = 0.0;
+  double max_position_error = 0.0;
+  /// Mean absolute hp difference over shared Health rows.
+  double hp_mean_abs_error = 0.0;
+  /// Server entities (with Position) the client doesn't know at all.
+  size_t missing_on_client = 0;
+  /// Entities compared.
+  size_t compared = 0;
+};
+
+/// Measures divergence of `client` from `server`.
+DivergenceReport MeasureDivergence(const World& server, const World& client);
+
+}  // namespace gamedb::replication

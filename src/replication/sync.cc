@@ -1,0 +1,170 @@
+#include "replication/sync.h"
+
+#include "common/coding.h"
+#include "core/serialize.h"
+
+namespace gamedb::replication {
+
+const char* SyncStrategyName(SyncStrategy s) {
+  switch (s) {
+    case SyncStrategy::kFullSnapshot:
+      return "full_snapshot";
+    case SyncStrategy::kDelta:
+      return "delta";
+    case SyncStrategy::kInterest:
+      return "interest";
+    case SyncStrategy::kEventual:
+      return "eventual";
+  }
+  return "?";
+}
+
+size_t SyncServer::AddClient(EntityId avatar) {
+  clients_.push_back(std::make_unique<ClientReplica>(avatar));
+  return clients_.size() - 1;
+}
+
+Status SyncServer::SyncAll(std::vector<SyncStats>* stats) {
+  stats->assign(clients_.size(), SyncStats{});
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    GAMEDB_RETURN_NOT_OK(SyncOne(clients_[i].get(), &(*stats)[i]));
+  }
+  return Status::OK();
+}
+
+Status SyncServer::SyncOne(ClientReplica* client, SyncStats* stats) {
+  switch (options_.strategy) {
+    case SyncStrategy::kFullSnapshot:
+      return SendFullSnapshot(client, stats);
+    case SyncStrategy::kDelta:
+      return SendDelta(client, /*interest_filtered=*/false, stats);
+    case SyncStrategy::kInterest:
+      return SendDelta(client, /*interest_filtered=*/true, stats);
+    case SyncStrategy::kEventual: {
+      uint64_t now = server_->tick();
+      if (client->ever_synced_ &&
+          now - client->last_sync_tick_ < options_.period_ticks) {
+        return Status::OK();  // skip this round; divergence accrues
+      }
+      return SendDelta(client, /*interest_filtered=*/false, stats);
+    }
+  }
+  return Status::InvalidArgument("unknown strategy");
+}
+
+Status SyncServer::SendFullSnapshot(ClientReplica* client, SyncStats* stats) {
+  std::string snapshot;
+  EncodeWorldSnapshot(*server_, &snapshot);
+  stats->bytes_sent += snapshot.size();
+  client->ever_synced_ = true;
+  client->last_sync_tick_ = server_->tick();
+  return DecodeWorldSnapshot(snapshot, &client->world());
+}
+
+Status SyncServer::SendDelta(ClientReplica* client, bool interest_filtered,
+                             SyncStats* stats) {
+  // Interest set: entities with Position within radius of the avatar, plus
+  // the avatar itself.
+  std::unordered_set<uint64_t> interest;
+  if (interest_filtered) {
+    const Position* center = server_->Get<Position>(client->avatar());
+    float r2 = options_.interest_radius * options_.interest_radius;
+    if (center != nullptr) {
+      const auto* table = server_->TableIfExists<Position>();
+      if (table != nullptr) {
+        table->ForEach([&](EntityId e, const Position& p) {
+          if (p.value.DistanceSquaredTo(center->value) <= r2) {
+            interest.insert(e.Raw());
+          }
+        });
+      }
+    }
+    interest.insert(client->avatar().Raw());
+  }
+
+  // The "message": encoded rows and removals. We count its bytes as the
+  // bandwidth metric and apply it immediately (zero-loss in-memory link).
+  std::string message;
+  World& replica = client->world();
+
+  Status apply_status = Status::OK();
+  server_->ForEachStore([&](const TypeInfo& info, ComponentStore& store) {
+    if (!apply_status.ok()) return;
+    uint64_t acked = 0;
+    auto acked_it = client->acked_.find(info.id());
+    if (acked_it != client->acked_.end()) acked = acked_it->second;
+
+    ComponentStore* client_store = replica.StoreById(info.id());
+    GAMEDB_CHECK(client_store != nullptr);
+
+    // Changed (or newly interesting) rows.
+    for (size_t i = 0; i < store.Size(); ++i) {
+      EntityId e = store.EntityAt(i);
+      bool in_interest =
+          !interest_filtered || interest.count(e.Raw()) > 0;
+      bool was_subscribed =
+          !interest_filtered || client->subscribed_.count(e.Raw()) > 0;
+      bool changed = store.VersionAt(i) > acked;
+      bool send = in_interest && (changed || !was_subscribed);
+      if (!send) continue;
+
+      // Encode: table name omitted (implied by loop); entity + payload.
+      std::string payload;
+      info.EncodeComponent(store.ValueAt(i), &payload);
+      PutFixed64(&message, e.Raw());
+      PutLengthPrefixed(&message, payload);
+      ++stats->rows_sent;
+
+      // Apply to the replica.
+      if (!replica.Alive(e)) {
+        Status st = replica.CreateWithId(e);
+        if (!st.ok()) {
+          apply_status = st;
+          return;
+        }
+      }
+      client_store->EmplaceDefault(e);
+      Status decode_status = Status::OK();
+      client_store->PatchRaw(e, [&](void* comp) {
+        Decoder dec(payload);
+        decode_status = info.DecodeComponent(comp, &dec);
+      });
+      if (!decode_status.ok()) {
+        apply_status = decode_status;
+        return;
+      }
+    }
+
+    // Removals on the server side.
+    store.ForEachRemoved(acked, [&](EntityId e) {
+      PutFixed64(&message, e.Raw());
+      ++stats->removals_sent;
+      client_store->Erase(e);
+    });
+
+    client->acked_[info.id()] = store.last_version();
+  });
+  GAMEDB_RETURN_NOT_OK(apply_status);
+
+  // Interest exits: drop all components of entities that left the bubble.
+  if (interest_filtered) {
+    for (uint64_t raw : client->subscribed_) {
+      if (interest.count(raw)) continue;
+      EntityId e = EntityId::FromRaw(raw);
+      PutFixed64(&message, raw);
+      ++stats->removals_sent;
+      replica.ForEachStore([&](const TypeInfo&, ComponentStore& cs) {
+        cs.Erase(e);
+      });
+    }
+    client->subscribed_ = std::move(interest);
+  }
+
+  stats->bytes_sent += message.size();
+  replica.SetTick(server_->tick());
+  client->ever_synced_ = true;
+  client->last_sync_tick_ = server_->tick();
+  return Status::OK();
+}
+
+}  // namespace gamedb::replication

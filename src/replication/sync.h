@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file sync.h
+/// Server -> client state synchronization, exercising the consistency
+/// spectrum of the tutorial: strict full-state sync, delta sync, interest-
+/// managed sync (only what the player can see), and weaker periodic
+/// ("eventual") sync where "animation or other uncontested activity may be
+/// out of sync between computers but the persistent game state is the
+/// same". E7 measures bytes against divergence for each.
+///
+/// Scope: component *values* of live entities replicate; this layer does
+/// not propagate entity destruction (the experiment workloads mutate,
+/// they don't despawn mid-measurement).
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/world.h"
+
+namespace gamedb::replication {
+
+/// How a client is kept in sync.
+enum class SyncStrategy : uint8_t {
+  /// Whole-world snapshot every tick (strict, maximal bandwidth).
+  kFullSnapshot,
+  /// Per-table version deltas every tick (strict, pay-for-what-changed).
+  kDelta,
+  /// Deltas restricted to an area of interest around the client avatar;
+  /// entities entering interest send full rows, leaving entities are
+  /// dropped from the replica.
+  kInterest,
+  /// Deltas only every `period_ticks` — weak consistency; divergence grows
+  /// between rounds and collapses on sync.
+  kEventual,
+};
+
+const char* SyncStrategyName(SyncStrategy s);
+
+/// Options for SyncServer.
+struct SyncOptions {
+  SyncStrategy strategy = SyncStrategy::kDelta;
+  /// kInterest: radius around the avatar that replicates.
+  float interest_radius = 50.0f;
+  /// kEventual: ticks between syncs.
+  uint32_t period_ticks = 10;
+};
+
+/// One connected client: a replica world plus sync bookkeeping.
+class ClientReplica {
+ public:
+  explicit ClientReplica(EntityId avatar) : avatar_(avatar) {}
+
+  World& world() { return world_; }
+  const World& world() const { return world_; }
+  EntityId avatar() const { return avatar_; }
+
+ private:
+  friend class SyncServer;
+  World world_;
+  EntityId avatar_;
+  /// Last acked version per component table (by type id).
+  std::unordered_map<uint32_t, uint64_t> acked_;
+  /// kInterest: entities currently replicated.
+  std::unordered_set<uint64_t> subscribed_;
+  uint64_t last_sync_tick_ = 0;
+  bool ever_synced_ = false;
+};
+
+/// Per-sync metrics.
+struct SyncStats {
+  uint64_t bytes_sent = 0;
+  uint64_t rows_sent = 0;
+  uint64_t removals_sent = 0;
+};
+
+/// Drives replication for any number of clients against one server world.
+class SyncServer {
+ public:
+  SyncServer(World* server_world, SyncOptions options)
+      : server_(server_world), options_(options) {}
+
+  /// Registers a client whose avatar is `avatar`; returns its index.
+  size_t AddClient(EntityId avatar);
+  ClientReplica& client(size_t i) { return *clients_[i]; }
+  size_t client_count() const { return clients_.size(); }
+
+  /// Synchronizes every client for the server's current tick. Appends the
+  /// per-client byte cost into `stats` (sized to client count).
+  Status SyncAll(std::vector<SyncStats>* stats);
+
+ private:
+  Status SyncOne(ClientReplica* client, SyncStats* stats);
+  Status SendFullSnapshot(ClientReplica* client, SyncStats* stats);
+  Status SendDelta(ClientReplica* client, bool interest_filtered,
+                   SyncStats* stats);
+
+  World* server_;
+  SyncOptions options_;
+  std::vector<std::unique_ptr<ClientReplica>> clients_;
+};
+
+}  // namespace gamedb::replication

@@ -1,0 +1,173 @@
+#include "script/analyzer.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace gamedb::script {
+
+const char* RestrictionName(Restriction r) {
+  switch (r) {
+    case Restriction::kFull:
+      return "full";
+    case Restriction::kNoRecursion:
+      return "no-recursion";
+    case Restriction::kDeclarative:
+      return "declarative";
+  }
+  return "?";
+}
+
+namespace {
+
+class Analyzer {
+ public:
+  Analyzer(const Script& script, Restriction restriction,
+           const std::function<bool(const std::string&)>& is_builtin)
+      : script_(script), restriction_(restriction), is_builtin_(is_builtin) {}
+
+  Status Run(AnalysisReport* report) {
+    // Statement-level checks on every body.
+    for (const auto& s : script_.top_level) {
+      GAMEDB_RETURN_NOT_OK(CheckStmt(*s, /*loop_depth=*/0));
+    }
+    for (const auto& s : script_.decls) {
+      for (const auto& b : s->body) {
+        GAMEDB_RETURN_NOT_OK(CheckStmt(*b, 0));
+      }
+    }
+    // Call-graph construction and cycle detection.
+    for (const auto& [name, fn] : script_.functions) {
+      CollectCalls(*fn, &calls_[name]);
+    }
+    if (restriction_ != Restriction::kFull) {
+      for (const auto& [name, fn] : script_.functions) {
+        std::unordered_set<std::string> on_stack;
+        GAMEDB_RETURN_NOT_OK(CheckCycles(name, &on_stack));
+      }
+    }
+    if (report != nullptr) {
+      report->stats = CountNodes(script_);
+      report->max_call_depth = 0;
+      for (const auto& [name, fn] : script_.functions) {
+        std::unordered_set<std::string> on_stack;
+        report->max_call_depth =
+            std::max(report->max_call_depth, Depth(name, &on_stack));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Err(int line, const std::string& msg) const {
+    return Status::ParseError(StringFormat("line %d: %s", line, msg.c_str()));
+  }
+
+  Status CheckExpr(const Expr& e) {
+    if (e.kind == ExprKind::kCall) {
+      if (!script_.functions.count(e.name) && !is_builtin_(e.name)) {
+        return Err(e.line, "call to undefined function '" + e.name + "'");
+      }
+    }
+    for (const auto& a : e.args) {
+      GAMEDB_RETURN_NOT_OK(CheckExpr(*a));
+    }
+    return Status::OK();
+  }
+
+  Status CheckStmt(const Stmt& s, int loop_depth) {
+    switch (s.kind) {
+      case StmtKind::kWhile:
+      case StmtKind::kForeach:
+        if (restriction_ == Restriction::kDeclarative) {
+          return Err(s.line,
+                     std::string("iteration ('") +
+                         (s.kind == StmtKind::kWhile ? "while" : "foreach") +
+                         "') is not allowed at the declarative restriction "
+                         "level; use aggregate builtins");
+        }
+        ++loop_depth;
+        break;
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        if (loop_depth == 0) {
+          return Err(s.line, s.kind == StmtKind::kBreak
+                                 ? "'break' outside loop"
+                                 : "'continue' outside loop");
+        }
+        break;
+      case StmtKind::kFn:
+      case StmtKind::kOn:
+        return Err(s.line, "nested function declarations are not allowed");
+      default:
+        break;
+    }
+    if (s.expr) GAMEDB_RETURN_NOT_OK(CheckExpr(*s.expr));
+    for (const auto& b : s.body) {
+      GAMEDB_RETURN_NOT_OK(CheckStmt(*b, loop_depth));
+    }
+    for (const auto& b : s.else_body) {
+      GAMEDB_RETURN_NOT_OK(CheckStmt(*b, loop_depth));
+    }
+    return Status::OK();
+  }
+
+  void CollectCallsExpr(const Expr& e, std::unordered_set<std::string>* out) {
+    if (e.kind == ExprKind::kCall && script_.functions.count(e.name)) {
+      out->insert(e.name);
+    }
+    for (const auto& a : e.args) CollectCallsExpr(*a, out);
+  }
+  void CollectCalls(const Stmt& s, std::unordered_set<std::string>* out) {
+    if (s.expr) CollectCallsExpr(*s.expr, out);
+    for (const auto& b : s.body) CollectCalls(*b, out);
+    for (const auto& b : s.else_body) CollectCalls(*b, out);
+  }
+
+  Status CheckCycles(const std::string& name,
+                     std::unordered_set<std::string>* on_stack) {
+    if (on_stack->count(name)) {
+      return Status::ParseError(
+          "recursion involving '" + name + "' is not allowed at the " +
+          RestrictionName(restriction_) + " restriction level");
+    }
+    if (verified_.count(name)) return Status::OK();
+    on_stack->insert(name);
+    for (const auto& callee : calls_[name]) {
+      GAMEDB_RETURN_NOT_OK(CheckCycles(callee, on_stack));
+    }
+    on_stack->erase(name);
+    verified_.insert(name);
+    return Status::OK();
+  }
+
+  size_t Depth(const std::string& name,
+               std::unordered_set<std::string>* on_stack) {
+    if (on_stack->count(name)) return 0;  // cycle (only under kFull)
+    on_stack->insert(name);
+    size_t best = 0;
+    for (const auto& callee : calls_[name]) {
+      best = std::max(best, Depth(callee, on_stack));
+    }
+    on_stack->erase(name);
+    return best + 1;
+  }
+
+  const Script& script_;
+  Restriction restriction_;
+  const std::function<bool(const std::string&)>& is_builtin_;
+  std::unordered_map<std::string, std::unordered_set<std::string>> calls_;
+  std::unordered_set<std::string> verified_;
+};
+
+}  // namespace
+
+Status Analyze(const Script& script, Restriction restriction,
+               const std::function<bool(const std::string&)>& is_builtin,
+               AnalysisReport* report) {
+  Analyzer analyzer(script, restriction, is_builtin);
+  return analyzer.Run(report);
+}
+
+}  // namespace gamedb::script

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file analyzer.h
+/// Static analysis of GSL scripts, most importantly the *restriction levels*
+/// the tutorial reports from industry: "some studios have taken drastic
+/// measures — such as removing support for iteration and recursion from
+/// their scripting languages — to keep their designers from producing
+/// computationally expensive behavior" [10]. E10 measures what that buys.
+
+#include <string>
+
+#include "common/status.h"
+#include "script/ast.h"
+
+namespace gamedb::script {
+
+/// What language power a script is allowed to use.
+enum class Restriction : uint8_t {
+  /// Everything: loops, recursion.
+  kFull,
+  /// Loops allowed; direct or mutual recursion rejected statically.
+  kNoRecursion,
+  /// Additionally rejects while/foreach — designers must express bulk
+  /// operations through the declarative aggregate builtins (sum, count,
+  /// nearest, ...), which the engine executes with indexes.
+  kDeclarative,
+};
+
+const char* RestrictionName(Restriction r);
+
+/// Result of analysis.
+struct AnalysisReport {
+  AstStats stats;
+  /// Maximum static call-graph depth from any root (top level / handler).
+  size_t max_call_depth = 0;
+};
+
+/// Validates `script` under `restriction`:
+///  - calls to undefined script functions are rejected (builtins are
+///    resolved at runtime and skipped here via the `is_builtin` predicate),
+///  - kNoRecursion/kDeclarative reject call-graph cycles,
+///  - kDeclarative rejects while/foreach statements,
+///  - break/continue outside a loop are rejected.
+Status Analyze(const Script& script, Restriction restriction,
+               const std::function<bool(const std::string&)>& is_builtin,
+               AnalysisReport* report = nullptr);
+
+}  // namespace gamedb::script

@@ -1,0 +1,35 @@
+#include "script/ast.h"
+
+namespace gamedb::script {
+
+namespace {
+
+void CountExpr(const Expr& e, AstStats* stats) {
+  ++stats->expr_nodes;
+  for (const auto& a : e.args) CountExpr(*a, stats);
+}
+
+void CountStmt(const Stmt& s, AstStats* stats) {
+  ++stats->stmt_nodes;
+  if (s.kind == StmtKind::kWhile || s.kind == StmtKind::kForeach) {
+    ++stats->loops;
+  }
+  if (s.expr) CountExpr(*s.expr, stats);
+  for (const auto& b : s.body) CountStmt(*b, stats);
+  for (const auto& b : s.else_body) CountStmt(*b, stats);
+}
+
+}  // namespace
+
+AstStats CountNodes(const Script& script) {
+  AstStats stats;
+  for (const auto& s : script.top_level) CountStmt(*s, &stats);
+  for (const auto& s : script.decls) {
+    CountStmt(*s, &stats);
+    if (s->kind == StmtKind::kFn) ++stats.functions;
+    if (s->kind == StmtKind::kOn) ++stats.handlers;
+  }
+  return stats;
+}
+
+}  // namespace gamedb::script

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file ast.h
+/// GSL abstract syntax tree. Nodes use a tagged-struct representation (one
+/// Expr/Stmt struct each with a kind tag) — compact, cache-friendly, and
+/// easy for the analyzer and interpreter to switch over.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "script/token.h"
+#include "script/value.h"
+
+namespace gamedb::script {
+
+enum class ExprKind : uint8_t {
+  kLiteral,  // literal -> value
+  kVar,      // name
+  kUnary,    // op, args[0]
+  kBinary,   // op, args[0], args[1]
+  kCall,     // name, args...
+  kList,     // args... (list literal)
+};
+
+/// Expression node.
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  Value literal;
+  std::string name;
+  TokenType op = TokenType::kEof;
+  std::vector<std::unique_ptr<Expr>> args;
+};
+
+enum class StmtKind : uint8_t {
+  kLet,       // name, expr
+  kAssign,    // name, expr
+  kExpr,      // expr (expression statement, usually a call)
+  kIf,        // expr (cond), body (then), else_body
+  kWhile,     // expr (cond), body
+  kForeach,   // name (loop var), expr (iterable), body
+  kReturn,    // expr (optional)
+  kBreak,
+  kContinue,
+  kFn,        // name, params, body
+  kOn,        // name (event), params, body
+};
+
+/// Statement node.
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+  std::string name;
+  std::unique_ptr<Expr> expr;
+  std::vector<std::unique_ptr<Stmt>> body;
+  std::vector<std::unique_ptr<Stmt>> else_body;
+  std::vector<std::string> params;
+};
+
+/// A parsed script: top-level statements (the script's "main"), named
+/// functions, and event handlers.
+struct Script {
+  std::string name = "<script>";
+  std::vector<std::unique_ptr<Stmt>> top_level;
+  /// Function declarations by name (pointers into the owned statements).
+  std::unordered_map<std::string, const Stmt*> functions;
+  /// Event handlers in declaration order.
+  std::vector<const Stmt*> handlers;
+  /// Owned declaration statements (functions/handlers live here).
+  std::vector<std::unique_ptr<Stmt>> decls;
+};
+
+/// Node counters used by the analyzer and tests.
+struct AstStats {
+  size_t expr_nodes = 0;
+  size_t stmt_nodes = 0;
+  size_t loops = 0;       // while + foreach
+  size_t functions = 0;
+  size_t handlers = 0;
+};
+
+/// Walks the script and tallies node statistics.
+AstStats CountNodes(const Script& script);
+
+}  // namespace gamedb::script

@@ -1,0 +1,326 @@
+#include "script/bindings.h"
+
+#include "common/string_util.h"
+#include "core/query.h"
+#include "script/builtins.h"
+
+namespace gamedb::script {
+
+Effect<double>& ScriptEffects::Channel(const std::string& name) {
+  auto it = channels_.find(name);
+  if (it == channels_.end()) {
+    it = channels_
+             .emplace(name, std::make_unique<Effect<double>>(shards_))
+             .first;
+  }
+  return *it->second;
+}
+
+void ScriptEffects::Drain(const std::string& name,
+                          const std::function<void(EntityId, double)>& apply) {
+  auto it = channels_.find(name);
+  if (it == channels_.end()) return;
+  it->second->Drain([&](EntityId e, const double& v) { apply(e, v); });
+}
+
+void ScriptEffects::Clear() {
+  for (auto& [name, ch] : channels_) ch->Clear();
+}
+
+namespace {
+
+/// Converts a script Value to a reflection FieldValue.
+Result<FieldValue> ToFieldValue(const Value& v) {
+  if (v.IsNumber()) return FieldValue(v.AsNumber());
+  if (v.IsBool()) return FieldValue(v.AsBool());
+  if (v.IsString()) return FieldValue(v.AsString());
+  if (v.IsEntity()) return FieldValue(v.AsEntity());
+  if (v.IsVec3()) return FieldValue(v.AsVec3());
+  return Status::InvalidArgument(std::string("cannot store ") + v.TypeName() +
+                                 " in a component field");
+}
+
+/// Converts a reflection FieldValue to a script Value.
+Value FromFieldValue(const FieldValue& v) {
+  if (const double* d = std::get_if<double>(&v)) return Value(*d);
+  if (const int64_t* i = std::get_if<int64_t>(&v)) {
+    return Value(static_cast<double>(*i));
+  }
+  if (const bool* b = std::get_if<bool>(&v)) return Value(*b);
+  if (const Vec3* vec = std::get_if<Vec3>(&v)) return Value(*vec);
+  if (const std::string* s = std::get_if<std::string>(&v)) return Value(*s);
+  return Value(std::get<EntityId>(v));
+}
+
+Result<CmpOp> ParseCmpOp(const std::string& op) {
+  if (op == "==") return CmpOp::kEq;
+  if (op == "!=") return CmpOp::kNe;
+  if (op == "<") return CmpOp::kLt;
+  if (op == "<=") return CmpOp::kLe;
+  if (op == ">") return CmpOp::kGt;
+  if (op == ">=") return CmpOp::kGe;
+  return Status::InvalidArgument("unknown comparison operator '" + op + "'");
+}
+
+/// Looks up component + field or fails with a script-friendly message.
+Result<const FieldInfo*> ResolveField(const std::string& comp,
+                                      const std::string& field,
+                                      const TypeInfo** info_out) {
+  const TypeInfo* info = TypeRegistry::Global().FindByName(comp);
+  if (info == nullptr) {
+    return Status::NotFound("unknown component '" + comp + "'");
+  }
+  const FieldInfo* f = info->FindField(field);
+  if (f == nullptr) {
+    return Status::NotFound("component '" + comp + "' has no field '" +
+                            field + "'");
+  }
+  *info_out = info;
+  return f;
+}
+
+}  // namespace
+
+void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
+               size_t shard) {
+  interp->RegisterBuiltin(
+      "spawn", [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 0, "spawn()"));
+        return Value(world->Create());
+      });
+  interp->RegisterBuiltin(
+      "destroy",
+      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 1, "destroy(e)"));
+        GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "destroy(e)"));
+        world->Destroy(e);
+        return Value::Nil();
+      });
+  interp->RegisterBuiltin(
+      "is_alive",
+      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 1, "is_alive(e)"));
+        GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "is_alive(e)"));
+        return Value(world->Alive(e));
+      });
+  interp->RegisterBuiltin(
+      "has", [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 2, "has(e, \"Comp\")"));
+        GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "has"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 1, "has"));
+        ComponentStore* store = world->StoreByName(comp);
+        if (store == nullptr) {
+          return Status::NotFound("unknown component '" + comp + "'");
+        }
+        return Value(store->Contains(e));
+      });
+  interp->RegisterBuiltin(
+      "add", [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 2, "add(e, \"Comp\")"));
+        GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "add"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 1, "add"));
+        if (!world->Alive(e)) {
+          return Status::InvalidArgument("entity is dead");
+        }
+        ComponentStore* store = world->StoreByName(comp);
+        if (store == nullptr) {
+          return Status::NotFound("unknown component '" + comp + "'");
+        }
+        store->EmplaceDefault(e);
+        return Value::Nil();
+      });
+  interp->RegisterBuiltin(
+      "remove",
+      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 2, "remove(e, \"Comp\")"));
+        GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "remove"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 1, "remove"));
+        ComponentStore* store = world->StoreByName(comp);
+        if (store == nullptr) {
+          return Status::NotFound("unknown component '" + comp + "'");
+        }
+        return Value(store->Erase(e));
+      });
+
+  interp->RegisterBuiltin(
+      "get", [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 3, "get(e, \"Comp\", \"field\")"));
+        GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "get"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 1, "get"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string field, ArgString(args, 2, "get"));
+        const TypeInfo* info = nullptr;
+        GAMEDB_ASSIGN_OR_RETURN(const FieldInfo* f,
+                                ResolveField(comp, field, &info));
+        ComponentStore* store = world->StoreById(info->id());
+        void* c = store->Find(e);
+        if (c == nullptr) {
+          return Status::NotFound("entity has no '" + comp + "'");
+        }
+        return FromFieldValue(f->Get(c));
+      });
+  interp->RegisterBuiltin(
+      "set", [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(
+            ExpectArgs(args, 4, "set(e, \"Comp\", \"field\", v)"));
+        GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "set"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 1, "set"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string field, ArgString(args, 2, "set"));
+        const TypeInfo* info = nullptr;
+        GAMEDB_ASSIGN_OR_RETURN(const FieldInfo* f,
+                                ResolveField(comp, field, &info));
+        ComponentStore* store = world->StoreById(info->id());
+        GAMEDB_ASSIGN_OR_RETURN(FieldValue fv, ToFieldValue(args[3]));
+        // PatchRaw notifies observers with correct old/new values, keeping
+        // maintained aggregates and delta tracking consistent.
+        Status set_status = Status::OK();
+        bool found = store->PatchRaw(e, [&](void* c) {
+          set_status = f->Set(c, fv);
+        });
+        if (!found) {
+          return Status::NotFound("entity has no '" + comp + "'");
+        }
+        GAMEDB_RETURN_NOT_OK(set_status);
+        return Value::Nil();
+      });
+
+  interp->RegisterBuiltin(
+      "entities_with",
+      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 1, "entities_with(\"Comp\")"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string comp,
+                                ArgString(args, 0, "entities_with"));
+        DynamicQuery q(world);
+        q.With(comp);
+        GAMEDB_ASSIGN_OR_RETURN(std::vector<EntityId> ids, q.Collect());
+        std::vector<Value> items;
+        items.reserve(ids.size());
+        for (EntityId e : ids) items.push_back(Value(e));
+        return Value::NewList(std::move(items));
+      });
+
+  interp->RegisterBuiltin(
+      "count",
+      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 1, "count(\"Comp\")"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 0, "count"));
+        DynamicQuery q(world);
+        q.With(comp);
+        GAMEDB_ASSIGN_OR_RETURN(int64_t n, q.Count());
+        return Value(static_cast<double>(n));
+      });
+
+  auto aggregate = [world, interp](const char* name, int which) {
+    interp->RegisterBuiltin(
+        name,
+        [world, which, name](std::vector<Value>& args,
+                             Interpreter&) -> Result<Value> {
+          std::string sig = std::string(name) + "(\"Comp\", \"field\")";
+          GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 2, sig.c_str()));
+          GAMEDB_ASSIGN_OR_RETURN(std::string comp,
+                                  ArgString(args, 0, sig.c_str()));
+          GAMEDB_ASSIGN_OR_RETURN(std::string field,
+                                  ArgString(args, 1, sig.c_str()));
+          DynamicQuery q(world);
+          Result<double> r =
+              which == 0   ? q.Sum(comp, field)
+              : which == 1 ? q.Min(comp, field)
+              : which == 2 ? q.Max(comp, field)
+                           : q.Avg(comp, field);
+          if (!r.ok()) {
+            if (r.status().IsNotFound() && which != 0) {
+              return Value::Nil();  // min/max/avg over empty table -> nil
+            }
+            return r.status();
+          }
+          return Value(*r);
+        });
+  };
+  aggregate("sum", 0);
+  aggregate("smin", 1);
+  aggregate("smax", 2);
+  aggregate("avg", 3);
+
+  auto arg_extreme = [world, interp](const char* name, bool is_min) {
+    interp->RegisterBuiltin(
+        name,
+        [world, is_min, name](std::vector<Value>& args,
+                              Interpreter&) -> Result<Value> {
+          std::string sig = std::string(name) + "(\"Comp\", \"field\")";
+          GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 2, sig.c_str()));
+          GAMEDB_ASSIGN_OR_RETURN(std::string comp,
+                                  ArgString(args, 0, sig.c_str()));
+          GAMEDB_ASSIGN_OR_RETURN(std::string field,
+                                  ArgString(args, 1, sig.c_str()));
+          DynamicQuery q(world);
+          Result<EntityId> r =
+              is_min ? q.ArgMin(comp, field) : q.ArgMax(comp, field);
+          if (!r.ok()) {
+            if (r.status().IsNotFound()) return Value::Nil();
+            return r.status();
+          }
+          return Value(*r);
+        });
+  };
+  arg_extreme("argmin", true);
+  arg_extreme("argmax", false);
+
+  interp->RegisterBuiltin(
+      "where",
+      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        const char* sig = "where(\"Comp\", \"field\", \"op\", v)";
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 4, sig));
+        GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 0, sig));
+        GAMEDB_ASSIGN_OR_RETURN(std::string field, ArgString(args, 1, sig));
+        GAMEDB_ASSIGN_OR_RETURN(std::string op_str, ArgString(args, 2, sig));
+        GAMEDB_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp(op_str));
+        GAMEDB_ASSIGN_OR_RETURN(FieldValue rhs, ToFieldValue(args[3]));
+        DynamicQuery q(world);
+        q.WhereField(comp, field, op, std::move(rhs));
+        GAMEDB_ASSIGN_OR_RETURN(std::vector<EntityId> ids, q.Collect());
+        std::vector<Value> items;
+        items.reserve(ids.size());
+        for (EntityId e : ids) items.push_back(Value(e));
+        return Value::NewList(std::move(items));
+      });
+
+  interp->RegisterBuiltin(
+      "within",
+      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        const char* sig = "within(center, radius)";
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 2, sig));
+        GAMEDB_ASSIGN_OR_RETURN(Vec3 center, ArgVec3(args, 0, sig));
+        GAMEDB_ASSIGN_OR_RETURN(double radius, ArgNumber(args, 1, sig));
+        DynamicQuery q(world);
+        q.WithinRadius("Position", "value", center,
+                       static_cast<float>(radius));
+        GAMEDB_ASSIGN_OR_RETURN(std::vector<EntityId> ids, q.Collect());
+        std::vector<Value> items;
+        items.reserve(ids.size());
+        for (EntityId e : ids) items.push_back(Value(e));
+        return Value::NewList(std::move(items));
+      });
+
+  interp->RegisterBuiltin(
+      "emit",
+      [effects, shard](std::vector<Value>& args,
+                       Interpreter&) -> Result<Value> {
+        const char* sig = "emit(\"channel\", target, amount)";
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 3, sig));
+        if (effects == nullptr) {
+          return Status::NotSupported("this host has no effect channels");
+        }
+        GAMEDB_ASSIGN_OR_RETURN(std::string channel, ArgString(args, 0, sig));
+        GAMEDB_ASSIGN_OR_RETURN(EntityId target, ArgEntity(args, 1, sig));
+        GAMEDB_ASSIGN_OR_RETURN(double amount, ArgNumber(args, 2, sig));
+        effects->Channel(channel).Contribute(shard, target, amount);
+        return Value::Nil();
+      });
+
+  interp->RegisterBuiltin(
+      "tick", [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 0, "tick()"));
+        return Value(static_cast<double>(world->tick()));
+      });
+}
+
+}  // namespace gamedb::script

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file bindings.h
+/// ECS bindings: the builtins that let GSL scripts address the game state
+/// database by component/field name, run declarative queries, and emit
+/// state-effect contributions instead of raw writes. This is the seam where
+/// the tutorial's "declarative processing" [11, 13] meets the scripting
+/// layer: scripts at the kDeclarative restriction level can ONLY express
+/// bulk reads through these aggregate builtins, which the engine evaluates
+/// with its indexes.
+
+#include <unordered_map>
+
+#include "core/state_effect.h"
+#include "core/world.h"
+#include "script/interpreter.h"
+
+namespace gamedb::script {
+
+/// Named effect channels scripts contribute into; the host drains them after
+/// the scripted query phase (see core/state_effect.h).
+class ScriptEffects {
+ public:
+  explicit ScriptEffects(size_t shards) : shards_(shards) {}
+
+  /// Creates (or returns) the named channel.
+  Effect<double>& Channel(const std::string& name);
+  bool HasChannel(const std::string& name) const {
+    return channels_.count(name) > 0;
+  }
+
+  /// Drains one channel (no-op if it was never contributed to).
+  void Drain(const std::string& name,
+             const std::function<void(EntityId, double)>& apply);
+
+  /// Discards all buffered contributions.
+  void Clear();
+
+  size_t shards() const { return shards_; }
+
+ private:
+  size_t shards_;
+  std::unordered_map<std::string, std::unique_ptr<Effect<double>>> channels_;
+};
+
+/// Registers World-addressing builtins on `interp`:
+///   spawn() -> entity                    destroy(e)
+///   is_alive(e) -> bool                  has(e, "Comp") -> bool
+///   add(e, "Comp")                       remove(e, "Comp")
+///   get(e, "Comp", "field") -> value     set(e, "Comp", "field", v)
+///   entities_with("Comp") -> list
+///   count("Comp") / sum("Comp","f") / smin / smax / avg("Comp","f")
+///   where("Comp", "f", "op", v) -> list  (op: == != < <= > >=)
+///   argmin/argmax("Comp","f") -> entity
+///   within(center_vec3, radius) -> list  (entities with Position)
+///   emit("channel", target_entity, amount)   (state-effect contribution)
+///   tick() -> number                     (current simulation tick)
+///
+/// `effects` may be null when the host does not use scripted effects; emit()
+/// then fails. The `shard` is the query-phase chunk the interpreter runs in
+/// (0 for single-threaded hosts).
+void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
+               size_t shard = 0);
+
+}  // namespace gamedb::script

@@ -1,0 +1,373 @@
+#include "script/interpreter.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace gamedb::script {
+
+Interpreter::Interpreter(InterpreterOptions options)
+    : options_(options), rng_(options.rng_seed) {
+  scopes_.push_back(Scope{});  // globals
+}
+
+void Interpreter::RegisterBuiltin(const std::string& name, NativeFn fn) {
+  builtins_[name] = std::move(fn);
+}
+
+Status Interpreter::Load(Script script) {
+  GAMEDB_RETURN_NOT_OK(Analyze(
+      script, options_.restriction,
+      [this](const std::string& n) { return IsBuiltin(n); }, nullptr));
+  scripts_.push_back(std::move(script));
+  const Script& s = scripts_.back();
+  for (const auto& [name, fn] : s.functions) {
+    if (functions_.count(name)) {
+      scripts_.pop_back();
+      return Status::InvalidArgument("function '" + name +
+                                     "' already defined by another script");
+    }
+  }
+  for (const auto& [name, fn] : s.functions) functions_[name] = fn;
+  for (const Stmt* h : s.handlers) handlers_[h->name].push_back(h);
+
+  // Run top-level statements with a fresh budget.
+  fuel_remaining_ = options_.fuel_per_invocation;
+  last_fuel_used_ = 0;
+  Result<Flow> flow = ExecBlock(s.top_level);
+  last_fuel_used_ = options_.fuel_per_invocation - fuel_remaining_;
+  total_fuel_used_ += last_fuel_used_;
+  return flow.status();
+}
+
+bool Interpreter::HasFunction(const std::string& fn) const {
+  return functions_.count(fn) > 0;
+}
+
+Result<Value> Interpreter::Call(const std::string& fn,
+                                std::vector<Value> args) {
+  auto it = functions_.find(fn);
+  if (it == functions_.end()) {
+    return Status::NotFound("no script function '" + fn + "'");
+  }
+  fuel_remaining_ = options_.fuel_per_invocation;
+  last_fuel_used_ = 0;
+  Result<Value> out = CallScriptFunction(*it->second, std::move(args), 0);
+  last_fuel_used_ = options_.fuel_per_invocation - fuel_remaining_;
+  total_fuel_used_ += last_fuel_used_;
+  return out;
+}
+
+Status Interpreter::FireEvent(const std::string& event,
+                              const std::vector<Value>& args) {
+  auto it = handlers_.find(event);
+  if (it == handlers_.end()) return Status::OK();
+  for (const Stmt* h : it->second) {
+    fuel_remaining_ = options_.fuel_per_invocation;
+    last_fuel_used_ = 0;
+    Result<Value> r = CallScriptFunction(*h, args, h->line);
+    last_fuel_used_ = options_.fuel_per_invocation - fuel_remaining_;
+    total_fuel_used_ += last_fuel_used_;
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+size_t Interpreter::HandlerCount(const std::string& event) const {
+  auto it = handlers_.find(event);
+  return it == handlers_.end() ? 0 : it->second.size();
+}
+
+void Interpreter::SetGlobal(const std::string& name, Value v) {
+  scopes_[0].vars[name] = std::move(v);
+}
+
+Result<Value> Interpreter::GetGlobal(const std::string& name) const {
+  auto it = scopes_[0].vars.find(name);
+  if (it == scopes_[0].vars.end()) {
+    return Status::NotFound("no global '" + name + "'");
+  }
+  return it->second;
+}
+
+Status Interpreter::Charge(uint64_t amount, int line) {
+  if (fuel_remaining_ < amount) {
+    fuel_remaining_ = 0;
+    return Status::ResourceExhausted(
+        StringFormat("script fuel exhausted at line %d", line));
+  }
+  fuel_remaining_ -= amount;
+  return Status::OK();
+}
+
+Value* Interpreter::FindVar(const std::string& name) {
+  for (size_t i = scopes_.size(); i-- > 0;) {
+    auto it = scopes_[i].vars.find(name);
+    if (it != scopes_[i].vars.end()) return &it->second;
+    if (scopes_[i].frame_boundary) break;  // locals end here
+  }
+  // Globals are always visible.
+  auto it = scopes_[0].vars.find(name);
+  if (it != scopes_[0].vars.end()) return &it->second;
+  return nullptr;
+}
+
+void Interpreter::DeclareVar(const std::string& name, Value v) {
+  scopes_.back().vars[name] = std::move(v);
+}
+
+Result<Value> Interpreter::CallScriptFunction(const Stmt& fn,
+                                              std::vector<Value> args,
+                                              int line) {
+  if (call_depth_ >= options_.max_call_depth) {
+    return Status::ResourceExhausted(
+        StringFormat("line %d: call depth limit (%u) exceeded in '%s'", line,
+                     options_.max_call_depth, fn.name.c_str()));
+  }
+  if (args.size() != fn.params.size()) {
+    return Status::InvalidArgument(StringFormat(
+        "line %d: '%s' expects %zu args, got %zu", line, fn.name.c_str(),
+        fn.params.size(), args.size()));
+  }
+  ++call_depth_;
+  scopes_.push_back(Scope{{}, /*frame_boundary=*/true});
+  for (size_t i = 0; i < args.size(); ++i) {
+    DeclareVar(fn.params[i], std::move(args[i]));
+  }
+  Result<Flow> flow = ExecBlock(fn.body);
+  scopes_.pop_back();
+  --call_depth_;
+  if (!flow.ok()) return flow.status();
+  if (flow->kind == Flow::kReturn) return flow->value;
+  return Value::Nil();
+}
+
+Result<Interpreter::Flow> Interpreter::ExecBlock(
+    const std::vector<std::unique_ptr<Stmt>>& body) {
+  for (const auto& s : body) {
+    GAMEDB_ASSIGN_OR_RETURN(Flow flow, Exec(*s));
+    if (flow.kind != Flow::kNormal) return flow;
+  }
+  return Flow{};
+}
+
+Result<Interpreter::Flow> Interpreter::Exec(const Stmt& s) {
+  GAMEDB_RETURN_NOT_OK(Charge(1, s.line));
+  switch (s.kind) {
+    case StmtKind::kLet: {
+      GAMEDB_ASSIGN_OR_RETURN(Value v, Eval(*s.expr));
+      DeclareVar(s.name, std::move(v));
+      return Flow{};
+    }
+    case StmtKind::kAssign: {
+      GAMEDB_ASSIGN_OR_RETURN(Value v, Eval(*s.expr));
+      Value* slot = FindVar(s.name);
+      if (slot == nullptr) {
+        return Status::InvalidArgument(
+            StringFormat("line %d: assignment to undeclared variable '%s' "
+                         "(use 'let')",
+                         s.line, s.name.c_str()));
+      }
+      *slot = std::move(v);
+      return Flow{};
+    }
+    case StmtKind::kExpr: {
+      GAMEDB_ASSIGN_OR_RETURN(Value v, Eval(*s.expr));
+      (void)v;
+      return Flow{};
+    }
+    case StmtKind::kIf: {
+      GAMEDB_ASSIGN_OR_RETURN(Value cond, Eval(*s.expr));
+      scopes_.push_back(Scope{});
+      Result<Flow> flow =
+          cond.Truthy() ? ExecBlock(s.body) : ExecBlock(s.else_body);
+      scopes_.pop_back();
+      return flow;
+    }
+    case StmtKind::kWhile: {
+      while (true) {
+        GAMEDB_RETURN_NOT_OK(Charge(1, s.line));
+        GAMEDB_ASSIGN_OR_RETURN(Value cond, Eval(*s.expr));
+        if (!cond.Truthy()) break;
+        scopes_.push_back(Scope{});
+        Result<Flow> flow = ExecBlock(s.body);
+        scopes_.pop_back();
+        if (!flow.ok()) return flow.status();
+        if (flow->kind == Flow::kReturn) return *flow;
+        if (flow->kind == Flow::kBreak) break;
+      }
+      return Flow{};
+    }
+    case StmtKind::kForeach: {
+      GAMEDB_ASSIGN_OR_RETURN(Value iterable, Eval(*s.expr));
+      if (!iterable.IsList()) {
+        return Status::InvalidArgument(
+            StringFormat("line %d: foreach expects a list, got %s", s.line,
+                         iterable.TypeName()));
+      }
+      // Iterate over a snapshot so handlers can mutate the source list.
+      std::vector<Value> items = *iterable.AsList();
+      for (Value& item : items) {
+        GAMEDB_RETURN_NOT_OK(Charge(1, s.line));
+        scopes_.push_back(Scope{});
+        DeclareVar(s.name, item);
+        Result<Flow> flow = ExecBlock(s.body);
+        scopes_.pop_back();
+        if (!flow.ok()) return flow.status();
+        if (flow->kind == Flow::kReturn) return *flow;
+        if (flow->kind == Flow::kBreak) break;
+      }
+      return Flow{};
+    }
+    case StmtKind::kReturn: {
+      Flow flow;
+      flow.kind = Flow::kReturn;
+      if (s.expr) {
+        GAMEDB_ASSIGN_OR_RETURN(flow.value, Eval(*s.expr));
+      }
+      return flow;
+    }
+    case StmtKind::kBreak:
+      return Flow{Flow::kBreak, Value::Nil()};
+    case StmtKind::kContinue:
+      return Flow{Flow::kContinue, Value::Nil()};
+    case StmtKind::kFn:
+    case StmtKind::kOn:
+      return Status::InvalidArgument("declaration in statement position");
+  }
+  return Status::InvalidArgument("unknown statement kind");
+}
+
+Result<Value> Interpreter::Eval(const Expr& e) {
+  GAMEDB_RETURN_NOT_OK(Charge(1, e.line));
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kVar: {
+      Value* v = FindVar(e.name);
+      if (v == nullptr) {
+        return Status::InvalidArgument(StringFormat(
+            "line %d: undefined variable '%s'", e.line, e.name.c_str()));
+      }
+      return *v;
+    }
+    case ExprKind::kList: {
+      std::vector<Value> items;
+      items.reserve(e.args.size());
+      for (const auto& a : e.args) {
+        GAMEDB_ASSIGN_OR_RETURN(Value v, Eval(*a));
+        items.push_back(std::move(v));
+      }
+      return Value::NewList(std::move(items));
+    }
+    case ExprKind::kUnary: {
+      GAMEDB_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0]));
+      if (e.op == TokenType::kMinus) {
+        GAMEDB_ASSIGN_OR_RETURN(double d, v.ToNumber());
+        return Value(-d);
+      }
+      return Value(!v.Truthy());  // not
+    }
+    case ExprKind::kBinary: {
+      // Short-circuit logical operators.
+      if (e.op == TokenType::kAnd || e.op == TokenType::kOr) {
+        GAMEDB_ASSIGN_OR_RETURN(Value lhs, Eval(*e.args[0]));
+        bool lt = lhs.Truthy();
+        if (e.op == TokenType::kAnd && !lt) return Value(false);
+        if (e.op == TokenType::kOr && lt) return Value(true);
+        GAMEDB_ASSIGN_OR_RETURN(Value rhs, Eval(*e.args[1]));
+        return Value(rhs.Truthy());
+      }
+      GAMEDB_ASSIGN_OR_RETURN(Value lhs, Eval(*e.args[0]));
+      GAMEDB_ASSIGN_OR_RETURN(Value rhs, Eval(*e.args[1]));
+      switch (e.op) {
+        case TokenType::kEq:
+          return Value(lhs.Equals(rhs));
+        case TokenType::kNe:
+          return Value(!lhs.Equals(rhs));
+        case TokenType::kPlus:
+          if (lhs.IsString() || rhs.IsString()) {
+            return Value(lhs.ToString() + rhs.ToString());
+          }
+          if (lhs.IsVec3() && rhs.IsVec3()) {
+            return Value(lhs.AsVec3() + rhs.AsVec3());
+          }
+          break;
+        case TokenType::kMinus:
+          if (lhs.IsVec3() && rhs.IsVec3()) {
+            return Value(lhs.AsVec3() - rhs.AsVec3());
+          }
+          break;
+        case TokenType::kStar:
+          if (lhs.IsVec3() && rhs.IsNumber()) {
+            return Value(lhs.AsVec3() * static_cast<float>(rhs.AsNumber()));
+          }
+          break;
+        default:
+          break;
+      }
+      GAMEDB_ASSIGN_OR_RETURN(double a, lhs.ToNumber());
+      GAMEDB_ASSIGN_OR_RETURN(double b, rhs.ToNumber());
+      switch (e.op) {
+        case TokenType::kPlus:
+          return Value(a + b);
+        case TokenType::kMinus:
+          return Value(a - b);
+        case TokenType::kStar:
+          return Value(a * b);
+        case TokenType::kSlash:
+          if (b == 0.0) {
+            return Status::InvalidArgument(
+                StringFormat("line %d: division by zero", e.line));
+          }
+          return Value(a / b);
+        case TokenType::kPercent:
+          if (b == 0.0) {
+            return Status::InvalidArgument(
+                StringFormat("line %d: modulo by zero", e.line));
+          }
+          return Value(std::fmod(a, b));
+        case TokenType::kLt:
+          return Value(a < b);
+        case TokenType::kLe:
+          return Value(a <= b);
+        case TokenType::kGt:
+          return Value(a > b);
+        case TokenType::kGe:
+          return Value(a >= b);
+        default:
+          return Status::InvalidArgument("bad binary operator");
+      }
+    }
+    case ExprKind::kCall: {
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) {
+        GAMEDB_ASSIGN_OR_RETURN(Value v, Eval(*a));
+        args.push_back(std::move(v));
+      }
+      auto fn_it = functions_.find(e.name);
+      if (fn_it != functions_.end()) {
+        return CallScriptFunction(*fn_it->second, std::move(args), e.line);
+      }
+      auto b_it = builtins_.find(e.name);
+      if (b_it != builtins_.end()) {
+        Result<Value> r = b_it->second(args, *this);
+        if (!r.ok()) {
+          // Attach the call site, preserving the error code (fuel
+          // exhaustion must stay ResourceExhausted, etc).
+          return Status::FromCode(
+              r.status().code(),
+              StringFormat("line %d: %s: %s", e.line, e.name.c_str(),
+                           r.status().message().c_str()));
+        }
+        return r;
+      }
+      return Status::InvalidArgument(StringFormat(
+          "line %d: unknown function '%s'", e.line, e.name.c_str()));
+    }
+  }
+  return Status::InvalidArgument("unknown expression kind");
+}
+
+}  // namespace gamedb::script

@@ -1,0 +1,183 @@
+#include "script/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace gamedb::script {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenType> kKeywords = {
+    {"let", TokenType::kLet},           {"fn", TokenType::kFn},
+    {"on", TokenType::kOn},             {"if", TokenType::kIf},
+    {"else", TokenType::kElse},         {"while", TokenType::kWhile},
+    {"foreach", TokenType::kForeach},   {"in", TokenType::kIn},
+    {"return", TokenType::kReturn},     {"break", TokenType::kBreak},
+    {"continue", TokenType::kContinue}, {"true", TokenType::kTrue},
+    {"false", TokenType::kFalse},       {"nil", TokenType::kNil},
+    {"and", TokenType::kAnd},           {"or", TokenType::kOr},
+    {"not", TokenType::kNot},
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  auto push = [&](TokenType t, std::string text = "", double num = 0.0) {
+    out.push_back(Token{t, std::move(text), num, line});
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t start = i;
+      while (i < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[i])) ||
+              src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+              ((src[i] == '+' || src[i] == '-') && i > start &&
+               (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+        ++i;
+      }
+      double v;
+      if (!ParseDouble(src.substr(start, i - start), &v)) {
+        return Status::ParseError(
+            StringFormat("line %d: bad number '%s'", line,
+                         std::string(src.substr(start, i - start)).c_str()));
+      }
+      push(TokenType::kNumber, std::string(src.substr(start, i - start)), v);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) ||
+              src[i] == '_')) {
+        ++i;
+      }
+      std::string_view word = src.substr(start, i - start);
+      auto it = kKeywords.find(word);
+      if (it != kKeywords.end()) {
+        push(it->second, std::string(word));
+      } else {
+        push(TokenType::kIdent, std::string(word));
+      }
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < src.size()) {
+        char d = src[i];
+        if (d == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (d == '\n') break;  // unterminated
+        if (d == '\\' && i + 1 < src.size()) {
+          char e = src[i + 1];
+          switch (e) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case '"': text.push_back('"'); break;
+            case '\\': text.push_back('\\'); break;
+            default:
+              return Status::ParseError(
+                  StringFormat("line %d: unknown escape '\\%c'", line, e));
+          }
+          i += 2;
+          continue;
+        }
+        text.push_back(d);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StringFormat("line %d: unterminated string", line));
+      }
+      push(TokenType::kString, std::move(text));
+      continue;
+    }
+    // Operators / punctuation.
+    auto two = [&](char next) {
+      return i + 1 < src.size() && src[i + 1] == next;
+    };
+    switch (c) {
+      case '(': push(TokenType::kLParen); ++i; break;
+      case ')': push(TokenType::kRParen); ++i; break;
+      case '{': push(TokenType::kLBrace); ++i; break;
+      case '}': push(TokenType::kRBrace); ++i; break;
+      case '[': push(TokenType::kLBracket); ++i; break;
+      case ']': push(TokenType::kRBracket); ++i; break;
+      case ',': push(TokenType::kComma); ++i; break;
+      case '+': push(TokenType::kPlus); ++i; break;
+      case '-': push(TokenType::kMinus); ++i; break;
+      case '*': push(TokenType::kStar); ++i; break;
+      case '/': push(TokenType::kSlash); ++i; break;
+      case '%': push(TokenType::kPercent); ++i; break;
+      case '=':
+        if (two('=')) {
+          push(TokenType::kEq);
+          i += 2;
+        } else {
+          push(TokenType::kAssign);
+          ++i;
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenType::kNe);
+          i += 2;
+        } else {
+          return Status::ParseError(
+              StringFormat("line %d: unexpected '!' (use 'not')", line));
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenType::kLe);
+          i += 2;
+        } else {
+          push(TokenType::kLt);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenType::kGe);
+          i += 2;
+        } else {
+          push(TokenType::kGt);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(
+            StringFormat("line %d: unexpected character '%c'", line, c));
+    }
+  }
+  push(TokenType::kEof);
+  return out;
+}
+
+}  // namespace gamedb::script

@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file lexer.h
+/// GSL lexer. Comments run from '#' to end of line. String literals use
+/// double quotes with \" \\ \n \t escapes.
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "script/token.h"
+
+namespace gamedb::script {
+
+/// Tokenizes `source`; the result always ends with a kEof token on success.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace gamedb::script

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file parser.h
+/// Recursive-descent parser for GSL.
+///
+/// Grammar (EBNF-ish):
+///   script   := decl*
+///   decl     := 'fn' IDENT '(' params? ')' block
+///             | 'on' IDENT '(' params? ')' block
+///             | stmt
+///   stmt     := 'let' IDENT '=' expr
+///             | 'if' expr block ('else' (block | if-stmt))?
+///             | 'while' expr block
+///             | 'foreach' IDENT 'in' expr block
+///             | 'return' expr? | 'break' | 'continue'
+///             | IDENT '=' expr            (assignment)
+///             | expr                      (expression statement)
+///   expr     := or; or := and ('or' and)*; and := eq ('and' eq)*
+///   eq       := cmp (('=='|'!=') cmp)*
+///   cmp      := add (('<'|'<='|'>'|'>=') add)*
+///   add      := mul (('+'|'-') mul)*; mul := unary (('*'|'/'|'%') unary)*
+///   unary    := ('-'|'not') unary | primary
+///   primary  := NUMBER | STRING | 'true' | 'false' | 'nil'
+///             | IDENT | IDENT '(' args? ')' | '(' expr ')' | '[' args? ']'
+
+#include <string>
+
+#include "common/status.h"
+#include "script/ast.h"
+
+namespace gamedb::script {
+
+/// Parses `source` into a Script named `name`. Errors carry line numbers.
+Result<Script> Parse(std::string_view source, std::string name = "<script>");
+
+}  // namespace gamedb::script

@@ -1,0 +1,51 @@
+#include "script/token.h"
+
+namespace gamedb::script {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kNumber: return "number";
+    case TokenType::kString: return "string";
+    case TokenType::kIdent: return "identifier";
+    case TokenType::kLet: return "'let'";
+    case TokenType::kFn: return "'fn'";
+    case TokenType::kOn: return "'on'";
+    case TokenType::kIf: return "'if'";
+    case TokenType::kElse: return "'else'";
+    case TokenType::kWhile: return "'while'";
+    case TokenType::kForeach: return "'foreach'";
+    case TokenType::kIn: return "'in'";
+    case TokenType::kReturn: return "'return'";
+    case TokenType::kBreak: return "'break'";
+    case TokenType::kContinue: return "'continue'";
+    case TokenType::kTrue: return "'true'";
+    case TokenType::kFalse: return "'false'";
+    case TokenType::kNil: return "'nil'";
+    case TokenType::kAnd: return "'and'";
+    case TokenType::kOr: return "'or'";
+    case TokenType::kNot: return "'not'";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kLBrace: return "'{'";
+    case TokenType::kRBrace: return "'}'";
+    case TokenType::kLBracket: return "'['";
+    case TokenType::kRBracket: return "']'";
+    case TokenType::kComma: return "','";
+    case TokenType::kAssign: return "'='";
+    case TokenType::kPlus: return "'+'";
+    case TokenType::kMinus: return "'-'";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kSlash: return "'/'";
+    case TokenType::kPercent: return "'%'";
+    case TokenType::kEq: return "'=='";
+    case TokenType::kNe: return "'!='";
+    case TokenType::kLt: return "'<'";
+    case TokenType::kLe: return "'<='";
+    case TokenType::kGt: return "'>'";
+    case TokenType::kGe: return "'>='";
+    case TokenType::kEof: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace gamedb::script

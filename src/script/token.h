@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file token.h
+/// Token vocabulary of GSL, the small data-driven scripting language that
+/// stands in for the studio-internal languages the tutorial surveys.
+
+#include <cstdint>
+#include <string>
+
+namespace gamedb::script {
+
+enum class TokenType : uint8_t {
+  // Literals / identifiers
+  kNumber,
+  kString,
+  kIdent,
+  // Keywords
+  kLet,
+  kFn,
+  kOn,
+  kIf,
+  kElse,
+  kWhile,
+  kForeach,
+  kIn,
+  kReturn,
+  kBreak,
+  kContinue,
+  kTrue,
+  kFalse,
+  kNil,
+  kAnd,
+  kOr,
+  kNot,
+  // Punctuation / operators
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kAssign,      // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,          // ==
+  kNe,          // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEof,
+};
+
+/// Stable name for diagnostics.
+const char* TokenTypeName(TokenType t);
+
+/// One lexed token. `text` is the raw lexeme (string literals are unescaped
+/// into `text`), `number` is set for kNumber.
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;
+  double number = 0.0;
+  int line = 0;
+};
+
+}  // namespace gamedb::script

@@ -1,0 +1,59 @@
+#include "script/triggers.h"
+
+namespace gamedb::script {
+
+TriggerSystem::TriggerSystem(Interpreter* interp, TriggerOptions options)
+    : interp_(interp), options_(options) {}
+
+void TriggerSystem::Fire(const std::string& event, std::vector<Value> args) {
+  FireFrom(/*parent_depth=*/0, event, std::move(args));
+}
+
+void TriggerSystem::FireFrom(uint32_t parent_depth, const std::string& event,
+                             std::vector<Value> args) {
+  ++stats_.fired;
+  uint32_t depth = parent_depth;
+  if (depth >= options_.max_cascade_depth) {
+    ++stats_.dropped_depth;
+    return;
+  }
+  if (queue_.size() >= options_.max_queue) {
+    ++stats_.dropped_queue;
+    return;
+  }
+  queue_.push_back(Pending{event, std::move(args), depth});
+}
+
+Status TriggerSystem::Pump() {
+  Status first_error = Status::OK();
+  while (!queue_.empty()) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    current_depth_ = p.depth + 1;  // children of this event run one deeper
+    Status st = interp_->FireEvent(p.event, p.args);
+    stats_.handled += interp_->HandlerCount(p.event);
+    if (!st.ok()) {
+      ++stats_.errors;
+      if (first_error.ok()) first_error = st;
+    }
+  }
+  current_depth_ = 0;
+  return first_error;
+}
+
+void TriggerSystem::InstallFireBuiltin() {
+  interp_->RegisterBuiltin(
+      "fire", [this](std::vector<Value>& args,
+                     Interpreter&) -> Result<Value> {
+        if (args.empty() || !args[0].IsString()) {
+          return Status::InvalidArgument(
+              "fire(\"event\", args...) requires an event name");
+        }
+        std::string event = args[0].AsString();
+        std::vector<Value> rest(args.begin() + 1, args.end());
+        FireFrom(current_depth_, event, std::move(rest));
+        return Value::Nil();
+      });
+}
+
+}  // namespace gamedb::script

@@ -1,0 +1,76 @@
+#include "script/value.h"
+
+#include "common/string_util.h"
+
+namespace gamedb::script {
+
+Result<double> Value::ToNumber() const {
+  if (IsNumber()) return AsNumber();
+  if (IsBool()) return AsBool() ? 1.0 : 0.0;
+  return Status::InvalidArgument(std::string("expected number, got ") +
+                                 TypeName());
+}
+
+bool Value::Truthy() const {
+  if (IsNil()) return false;
+  if (IsBool()) return AsBool();
+  if (IsNumber()) return AsNumber() != 0.0;
+  return true;
+}
+
+bool Value::Equals(const Value& o) const {
+  if (v_.index() != o.v_.index()) {
+    // Allow bool/number cross equality (designers write `flag == 1`).
+    if (IsNumber() && o.IsBool()) return AsNumber() == (o.AsBool() ? 1.0 : 0.0);
+    if (IsBool() && o.IsNumber()) return (AsBool() ? 1.0 : 0.0) == o.AsNumber();
+    return false;
+  }
+  if (IsNil()) return true;
+  if (IsBool()) return AsBool() == o.AsBool();
+  if (IsNumber()) return AsNumber() == o.AsNumber();
+  if (IsString()) return AsString() == o.AsString();
+  if (IsEntity()) return AsEntity() == o.AsEntity();
+  if (IsVec3()) return AsVec3() == o.AsVec3();
+  const auto& a = *AsList();
+  const auto& b = *o.AsList();
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].Equals(b[i])) return false;
+  }
+  return true;
+}
+
+std::string Value::ToString() const {
+  if (IsNil()) return "nil";
+  if (IsBool()) return AsBool() ? "true" : "false";
+  if (IsNumber()) {
+    double d = AsNumber();
+    if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+      return std::to_string(static_cast<int64_t>(d));
+    }
+    return StringFormat("%g", d);
+  }
+  if (IsString()) return AsString();
+  if (IsEntity()) return AsEntity().ToString();
+  if (IsVec3()) return AsVec3().ToString();
+  std::string out = "[";
+  const auto& items = *AsList();
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+const char* Value::TypeName() const {
+  if (IsNil()) return "nil";
+  if (IsBool()) return "bool";
+  if (IsNumber()) return "number";
+  if (IsString()) return "string";
+  if (IsEntity()) return "entity";
+  if (IsVec3()) return "vec3";
+  return "list";
+}
+
+}  // namespace gamedb::script

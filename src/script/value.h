@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file value.h
+/// GSL runtime values: nil, bool, number (double), string, entity handle,
+/// vec3, and list. Lists have reference semantics (shared), everything else
+/// is a value type — matching what designers expect from scripting languages.
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "core/entity.h"
+
+namespace gamedb::script {
+
+class Value;
+using ValueList = std::shared_ptr<std::vector<Value>>;
+
+/// A GSL value.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}                       // nil
+  Value(bool b) : v_(b) {}                                // NOLINT
+  Value(double d) : v_(d) {}                              // NOLINT
+  Value(int i) : v_(static_cast<double>(i)) {}            // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}              // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}            // NOLINT
+  Value(EntityId e) : v_(e) {}                            // NOLINT
+  Value(Vec3 vec) : v_(vec) {}                            // NOLINT
+  Value(ValueList list) : v_(std::move(list)) {}          // NOLINT
+
+  static Value Nil() { return Value(); }
+  static Value NewList(std::vector<Value> items = {}) {
+    return Value(std::make_shared<std::vector<Value>>(std::move(items)));
+  }
+
+  bool IsNil() const { return std::holds_alternative<std::monostate>(v_); }
+  bool IsBool() const { return std::holds_alternative<bool>(v_); }
+  bool IsNumber() const { return std::holds_alternative<double>(v_); }
+  bool IsString() const { return std::holds_alternative<std::string>(v_); }
+  bool IsEntity() const { return std::holds_alternative<EntityId>(v_); }
+  bool IsVec3() const { return std::holds_alternative<Vec3>(v_); }
+  bool IsList() const { return std::holds_alternative<ValueList>(v_); }
+
+  /// Typed accessors; calling the wrong one is a checked error (use the
+  /// Is* predicates or the As* converting accessors first).
+  bool AsBool() const { return std::get<bool>(v_); }
+  double AsNumber() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  EntityId AsEntity() const { return std::get<EntityId>(v_); }
+  Vec3 AsVec3() const { return std::get<Vec3>(v_); }
+  const ValueList& AsList() const { return std::get<ValueList>(v_); }
+
+  /// Converting accessor: numbers pass through, anything else errors.
+  Result<double> ToNumber() const;
+
+  /// GSL truthiness: nil and false are falsy; 0 is falsy; everything else
+  /// (including empty strings/lists) is truthy.
+  bool Truthy() const;
+
+  /// Structural equality (lists compare element-wise).
+  bool Equals(const Value& o) const;
+
+  /// Human-readable rendering (print(), diagnostics).
+  std::string ToString() const;
+
+  /// Type name for error messages.
+  const char* TypeName() const;
+
+ private:
+  std::variant<std::monostate, bool, double, std::string, EntityId, Vec3,
+               ValueList>
+      v_;
+};
+
+}  // namespace gamedb::script

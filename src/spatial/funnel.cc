@@ -1,0 +1,87 @@
+#include "spatial/funnel.h"
+
+namespace gamedb::spatial {
+
+namespace {
+
+float TriArea2(const Vec2& a, const Vec2& b, const Vec2& c) {
+  return (b - a).Cross(c - a);
+}
+
+bool VEq(const Vec2& a, const Vec2& b) {
+  return (a - b).LengthSquared() < 1e-12f;
+}
+
+}  // namespace
+
+std::vector<Vec2> StringPull(const Vec2& start, const Vec2& goal,
+                             const std::vector<Portal>& portals) {
+  // Append the goal as a degenerate final portal.
+  std::vector<Portal> ps = portals;
+  ps.push_back(Portal{goal, goal});
+
+  std::vector<Vec2> path;
+  path.push_back(start);
+
+  Vec2 apex = start, left = start, right = start;
+  size_t apex_i = 0, left_i = 0, right_i = 0;
+
+  // TriArea2(a, b, c) > 0 means c lies counter-clockwise (left) of a->b.
+  // The right funnel edge narrows when the new right point moves CCW of it;
+  // the left edge narrows when the new left point moves CW of it.
+  for (size_t i = 0; i < ps.size(); ++i) {
+    const Vec2& pl = ps[i].left;
+    const Vec2& pr = ps[i].right;
+
+    // Tighten the right side.
+    if (TriArea2(apex, right, pr) >= 0.0f) {
+      if (VEq(apex, right) || TriArea2(apex, left, pr) < 0.0f) {
+        right = pr;
+        right_i = i;
+      } else {
+        // Right crossed over left: left becomes a corner.
+        path.push_back(left);
+        apex = left;
+        apex_i = left_i;
+        left = apex;
+        right = apex;
+        left_i = apex_i;
+        right_i = apex_i;
+        i = apex_i;  // restart scan just past the new apex
+        continue;
+      }
+    }
+    // Tighten the left side.
+    if (TriArea2(apex, left, pl) <= 0.0f) {
+      if (VEq(apex, left) || TriArea2(apex, right, pl) > 0.0f) {
+        left = pl;
+        left_i = i;
+      } else {
+        // Left crossed over right: right becomes a corner.
+        path.push_back(right);
+        apex = right;
+        apex_i = right_i;
+        left = apex;
+        right = apex;
+        left_i = apex_i;
+        right_i = apex_i;
+        i = apex_i;
+        continue;
+      }
+    }
+  }
+  if (path.empty() || !VEq(path.back(), goal)) {
+    path.push_back(goal);
+  }
+  return path;
+}
+
+float PathLength(const std::vector<Vec2>& pts) {
+  float len = 0.0f;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    len += pts[i].DistanceTo(pts[i - 1]);
+  }
+  return len;
+}
+
+}  // namespace gamedb::spatial

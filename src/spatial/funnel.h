@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file funnel.h
+/// String pulling over a portal corridor (the "simple stupid funnel
+/// algorithm"). Given the sequence of portals a navmesh path crosses, it
+/// produces the taut polyline from start to goal — the reason navmesh paths
+/// look natural while grid paths staircase.
+
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace gamedb::spatial {
+
+/// One corridor portal: `left`/`right` as seen walking along the corridor.
+struct Portal {
+  Vec2 left;
+  Vec2 right;
+};
+
+/// Computes the taut path from `start` to `goal` through `portals` (in
+/// crossing order). Returns at least {start, goal}. Degenerate portals
+/// (left == right) are handled (they become mandatory waypoints).
+std::vector<Vec2> StringPull(const Vec2& start, const Vec2& goal,
+                             const std::vector<Portal>& portals);
+
+/// Total length of a polyline.
+float PathLength(const std::vector<Vec2>& pts);
+
+}  // namespace gamedb::spatial

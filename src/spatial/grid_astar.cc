@@ -1,0 +1,116 @@
+#include "spatial/grid_astar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace gamedb::spatial {
+
+namespace {
+
+constexpr float kSqrt2 = 1.41421356237f;
+
+/// Octile distance: admissible for 8-connected grids.
+float Heuristic(int x0, int y0, int x1, int y1, bool diagonal) {
+  float dx = std::abs(static_cast<float>(x1 - x0));
+  float dy = std::abs(static_cast<float>(y1 - y0));
+  if (diagonal) {
+    return std::max(dx, dy) + (kSqrt2 - 1.0f) * std::min(dx, dy);
+  }
+  return dx + dy;  // Manhattan for 4-connected
+}
+
+}  // namespace
+
+GridPathResult FindGridPath(const GridMap& map, std::pair<int, int> start,
+                            std::pair<int, int> goal,
+                            const GridPathOptions& options) {
+  GridPathResult result;
+  auto passable = [&](int x, int y) {
+    uint8_t flags = map.FlagsAt(x, y);
+    return (flags & kNavWalkable) != 0 && (flags & options.avoid_flags) == 0;
+  };
+  if (!passable(start.first, start.second) ||
+      !passable(goal.first, goal.second)) {
+    return result;
+  }
+
+  const int w = map.width(), h = map.height();
+  const size_t n = static_cast<size_t>(w) * h;
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  std::vector<float> g(n, kInf);
+  std::vector<int32_t> parent(n, -1);
+  std::vector<bool> closed(n, false);
+  auto idx = [&](int x, int y) { return static_cast<size_t>(y) * w + x; };
+
+  struct QItem {
+    float f;
+    uint32_t cell;
+    bool operator>(const QItem& o) const { return f > o.f; }
+  };
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> open;
+
+  // Entering a cell costs (step length) * (danger multiplier of the cell).
+  auto cell_mult = [&](int x, int y) {
+    return (map.FlagsAt(x, y) & kNavDanger) ? options.danger_multiplier
+                                            : 1.0f;
+  };
+
+  size_t start_idx = idx(start.first, start.second);
+  g[start_idx] = 0.0f;
+  open.push({Heuristic(start.first, start.second, goal.first, goal.second,
+                       options.diagonal),
+             static_cast<uint32_t>(start_idx)});
+
+  const size_t goal_idx = idx(goal.first, goal.second);
+  while (!open.empty()) {
+    uint32_t cur = open.top().cell;
+    open.pop();
+    if (closed[cur]) continue;
+    closed[cur] = true;
+    ++result.expanded;
+    if (cur == goal_idx) break;
+
+    int cx = static_cast<int>(cur % w), cy = static_cast<int>(cur / w);
+    const int dirs8[8][2] = {{1, 0},  {-1, 0}, {0, 1},  {0, -1},
+                             {1, 1},  {1, -1}, {-1, 1}, {-1, -1}};
+    int dir_count = options.diagonal ? 8 : 4;
+    for (int d = 0; d < dir_count; ++d) {
+      int nx = cx + dirs8[d][0], ny = cy + dirs8[d][1];
+      if (!passable(nx, ny)) continue;
+      bool is_diag = dirs8[d][0] != 0 && dirs8[d][1] != 0;
+      if (is_diag) {
+        // No corner cutting: both orthogonal neighbors must be passable.
+        if (!passable(cx + dirs8[d][0], cy) || !passable(cx, cy + dirs8[d][1]))
+          continue;
+      }
+      float step = (is_diag ? kSqrt2 : 1.0f) * cell_mult(nx, ny);
+      size_t ni = idx(nx, ny);
+      float ng = g[cur] + step;
+      if (ng < g[ni]) {
+        g[ni] = ng;
+        parent[ni] = static_cast<int32_t>(cur);
+        open.push({ng + Heuristic(nx, ny, goal.first, goal.second,
+                                  options.diagonal),
+                   static_cast<uint32_t>(ni)});
+      }
+    }
+  }
+
+  if (g[goal_idx] == kInf) return result;
+
+  result.found = true;
+  result.cost = g[goal_idx];
+  for (int32_t at = static_cast<int32_t>(goal_idx); at >= 0;
+       at = parent[static_cast<size_t>(at)]) {
+    result.cells.emplace_back(at % w, at / w);
+  }
+  std::reverse(result.cells.begin(), result.cells.end());
+  result.waypoints.reserve(result.cells.size());
+  for (auto [x, y] : result.cells) {
+    result.waypoints.push_back(map.CellCenter(x, y));
+  }
+  return result;
+}
+
+}  // namespace gamedb::spatial

@@ -1,0 +1,84 @@
+#include "spatial/grid_map.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace gamedb::spatial {
+
+GridMap::GridMap(int width, int height, GridMapOptions options)
+    : width_(width), height_(height), options_(options) {
+  GAMEDB_CHECK(width > 0 && height > 0);
+  GAMEDB_CHECK(options_.cell_size > 0.0f);
+  cells_.assign(static_cast<size_t>(width) * height, 0);
+}
+
+Result<GridMap> GridMap::FromAscii(const std::vector<std::string>& rows,
+                                   GridMapOptions options) {
+  if (rows.empty() || rows[0].empty()) {
+    return Status::InvalidArgument("empty map");
+  }
+  size_t w = rows[0].size();
+  for (const auto& row : rows) {
+    if (row.size() != w) {
+      return Status::InvalidArgument("ragged map rows");
+    }
+  }
+  GridMap map(static_cast<int>(w), static_cast<int>(rows.size()), options);
+  for (int y = 0; y < map.height_; ++y) {
+    for (int x = 0; x < map.width_; ++x) {
+      char c = rows[y][static_cast<size_t>(x)];
+      uint8_t flags = 0;
+      switch (c) {
+        case '#':
+          flags = 0;
+          break;
+        case '.':
+          flags = kNavWalkable;
+          break;
+        case 'D':
+          flags = kNavWalkable | kNavDanger;
+          break;
+        case 'C':
+          flags = kNavWalkable | kNavCover;
+          break;
+        case 'H':
+          flags = kNavWalkable | kNavHide;
+          break;
+        case 'F':
+          flags = kNavWalkable | kNavDefensible;
+          break;
+        default:
+          if (c == ' ') {
+            flags = 0;  // blank = void, treated as blocked
+          } else {
+            flags = kNavWalkable;
+            map.markers_[c].emplace_back(x, y);
+          }
+          break;
+      }
+      map.cells_[static_cast<size_t>(y) * map.width_ + x] = flags;
+    }
+  }
+  return map;
+}
+
+void GridMap::SetFlags(int x, int y, uint8_t flags) {
+  GAMEDB_CHECK(InBounds(x, y));
+  cells_[static_cast<size_t>(y) * width_ + x] = flags;
+}
+
+void GridMap::CellOf(const Vec2& p, int* x, int* y) const {
+  *x = static_cast<int>(std::floor((p.x - options_.origin.x) / options_.cell_size));
+  *y = static_cast<int>(std::floor((p.z - options_.origin.z) / options_.cell_size));
+}
+
+size_t GridMap::WalkableCount() const {
+  size_t n = 0;
+  for (uint8_t c : cells_) {
+    if (c & kNavWalkable) ++n;
+  }
+  return n;
+}
+
+}  // namespace gamedb::spatial

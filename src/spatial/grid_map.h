@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file grid_map.h
+/// Tile-grid world map on the XZ plane. The designer-facing representation:
+/// maps are authored as ASCII art in content files, annotated with the
+/// semantic flags the tutorial describes ("whether a position is a good
+/// hiding place or is easily defensible"). Consumed by grid A* (baseline)
+/// and the navmesh builder.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace gamedb::spatial {
+
+/// Semantic annotation flags on walkable cells / navmesh polygons.
+enum NavFlags : uint8_t {
+  kNavWalkable = 1 << 0,
+  kNavDanger = 1 << 1,      // designers mark lava, traps, aggro zones
+  kNavCover = 1 << 2,       // good cover
+  kNavHide = 1 << 3,        // good hiding place
+  kNavDefensible = 1 << 4,  // easily defensible
+};
+
+/// Options for GridMap geometry.
+struct GridMapOptions {
+  float cell_size = 1.0f;
+  Vec2 origin{0.0f, 0.0f};  // world position of cell (0, 0)'s min corner
+};
+
+/// Rectangular tile map with per-cell annotation flags.
+///
+/// ASCII legend for FromAscii:
+///   '#'  blocked wall
+///   '.'  walkable
+///   'D'  walkable + danger
+///   'C'  walkable + cover
+///   'H'  walkable + hiding place
+///   'F'  walkable + defensible
+///   other printable characters: walkable, recorded as named markers
+///   (spawn points, goals) retrievable via Markers().
+class GridMap {
+ public:
+  GridMap(int width, int height, GridMapOptions options = {});
+
+  /// Parses an ASCII map; all rows must have equal length.
+  static Result<GridMap> FromAscii(const std::vector<std::string>& rows,
+                                   GridMapOptions options = {});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  float cell_size() const { return options_.cell_size; }
+
+  bool InBounds(int x, int y) const {
+    return x >= 0 && y >= 0 && x < width_ && y < height_;
+  }
+  /// Annotation flags; 0 (not walkable) when out of bounds.
+  uint8_t FlagsAt(int x, int y) const {
+    return InBounds(x, y) ? cells_[static_cast<size_t>(y) * width_ + x] : 0;
+  }
+  void SetFlags(int x, int y, uint8_t flags);
+  bool Walkable(int x, int y) const {
+    return (FlagsAt(x, y) & kNavWalkable) != 0;
+  }
+
+  /// World-space center of a cell.
+  Vec2 CellCenter(int x, int y) const {
+    return {options_.origin.x + (static_cast<float>(x) + 0.5f) * options_.cell_size,
+            options_.origin.z + (static_cast<float>(y) + 0.5f) * options_.cell_size};
+  }
+  /// Cell containing a world point (may be out of bounds; check InBounds).
+  void CellOf(const Vec2& p, int* x, int* y) const;
+
+  /// Positions of marker characters found by FromAscii (e.g. 'S', 'G').
+  const std::map<char, std::vector<std::pair<int, int>>>& Markers() const {
+    return markers_;
+  }
+
+  /// Number of walkable cells.
+  size_t WalkableCount() const;
+
+ private:
+  int width_;
+  int height_;
+  GridMapOptions options_;
+  std::vector<uint8_t> cells_;
+  std::map<char, std::vector<std::pair<int, int>>> markers_;
+};
+
+}  // namespace gamedb::spatial

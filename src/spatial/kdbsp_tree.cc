@@ -1,0 +1,239 @@
+#include "spatial/kdbsp_tree.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace gamedb::spatial {
+
+KdBspTree::KdBspTree(KdBspTreeOptions options) : options_(options) {
+  GAMEDB_CHECK(options_.leaf_capacity >= 1);
+}
+
+void KdBspTree::Insert(EntityId e, const Aabb& box) {
+  GAMEDB_CHECK(slot_of_.find(e) == slot_of_.end());
+  uint32_t slot = static_cast<uint32_t>(entries_.size());
+  entries_.push_back(Entry{e, box, /*live=*/true, /*in_tree=*/false});
+  slot_of_.emplace(e, slot);
+  pending_.push_back(slot);
+  ++live_count_;
+}
+
+bool KdBspTree::Remove(EntityId e) {
+  auto it = slot_of_.find(e);
+  if (it == slot_of_.end()) return false;
+  Entry& entry = entries_[it->second];
+  entry.live = false;
+  if (!entry.in_tree) {
+    // Drop from the pending overflow list.
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i] == it->second) {
+        pending_[i] = pending_.back();
+        pending_.pop_back();
+        break;
+      }
+    }
+  } else {
+    ++stale_in_tree_;
+  }
+  slot_of_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void KdBspTree::Update(EntityId e, const Aabb& box) {
+  auto it = slot_of_.find(e);
+  GAMEDB_CHECK(it != slot_of_.end());
+  Entry& entry = entries_[it->second];
+  entry.box = box;
+  if (entry.in_tree) {
+    // The built tree's node bounds no longer cover this entry; demote it to
+    // the linearly-scanned overflow until the next rebuild.
+    entry.in_tree = false;
+    pending_.push_back(it->second);
+    ++stale_in_tree_;
+  }
+}
+
+void KdBspTree::Clear() {
+  entries_.clear();
+  slot_of_.clear();
+  pending_.clear();
+  nodes_.clear();
+  order_.clear();
+  root_ = -1;
+  live_count_ = 0;
+  stale_in_tree_ = 0;
+}
+
+bool KdBspTree::NeedsRebuild() const {
+  if (live_count_ == 0) return root_ >= 0;  // drop an obsolete tree
+  float stale = static_cast<float>(pending_.size() + stale_in_tree_);
+  if (root_ < 0) return true;
+  return stale > options_.rebuild_threshold * static_cast<float>(live_count_);
+}
+
+void KdBspTree::RebuildIfNeeded() const {
+  if (!NeedsRebuild()) return;
+  nodes_.clear();
+  order_.clear();
+  // Compact the slab: keep live entries only, re-slotting ids.
+  auto* self = const_cast<KdBspTree*>(this);
+  std::vector<Entry> compact;
+  compact.reserve(live_count_);
+  self->slot_of_.clear();
+  for (Entry& entry : self->entries_) {
+    if (!entry.live) continue;
+    entry.in_tree = true;
+    self->slot_of_.emplace(entry.id, static_cast<uint32_t>(compact.size()));
+    compact.push_back(entry);
+  }
+  self->entries_ = std::move(compact);
+  self->pending_.clear();
+  self->stale_in_tree_ = 0;
+
+  std::vector<uint32_t> items(entries_.size());
+  for (uint32_t i = 0; i < items.size(); ++i) items[i] = i;
+  root_ = items.empty()
+              ? -1
+              : BuildNode(items, 0, static_cast<uint32_t>(items.size()));
+  ++rebuild_count_;
+}
+
+int32_t KdBspTree::BuildNode(std::vector<uint32_t>& items, uint32_t begin,
+                             uint32_t end) const {
+  Node node;
+  for (uint32_t i = begin; i < end; ++i) {
+    node.bounds = node.bounds.Union(entries_[items[i]].box);
+  }
+  uint32_t count = end - begin;
+  int32_t index = static_cast<int32_t>(nodes_.size());
+  if (count <= options_.leaf_capacity) {
+    node.begin = static_cast<uint32_t>(order_.size());
+    for (uint32_t i = begin; i < end; ++i) order_.push_back(items[i]);
+    node.end = static_cast<uint32_t>(order_.size());
+    nodes_.push_back(node);
+    return index;
+  }
+  // Split on the widest axis of the subtree bounds at the median center.
+  Vec3 ext = node.bounds.Extent();
+  uint8_t axis = 0;
+  if (ext.y > ext.x && ext.y >= ext.z) axis = 1;
+  if (ext.z > ext.x && ext.z > ext.y) axis = 2;
+  auto center_on = [&](uint32_t slot) {
+    Vec3 c = entries_[slot].box.Center();
+    return axis == 0 ? c.x : (axis == 1 ? c.y : c.z);
+  };
+  uint32_t mid = begin + count / 2;
+  std::nth_element(items.begin() + begin, items.begin() + mid,
+                   items.begin() + end, [&](uint32_t a, uint32_t b) {
+                     return center_on(a) < center_on(b);
+                   });
+  node.axis = axis;
+  node.split = center_on(items[mid]);
+  nodes_.push_back(node);
+  // nodes_ may reallocate during recursion; write child links afterwards.
+  int32_t left = BuildNode(items, begin, mid);
+  int32_t right = BuildNode(items, mid, end);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+void KdBspTree::QueryNode(int32_t node_index, const Aabb& range,
+                          const QueryCallback& cb) const {
+  const Node& node = nodes_[node_index];
+  if (!node.bounds.Intersects(range)) return;
+  if (node.left < 0) {  // leaf
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      const Entry& entry = entries_[order_[i]];
+      if (entry.live && entry.in_tree && entry.box.Intersects(range)) {
+        cb(entry.id, entry.box);
+      }
+    }
+    return;
+  }
+  QueryNode(node.left, range, cb);
+  QueryNode(node.right, range, cb);
+}
+
+void KdBspTree::QueryRange(const Aabb& range, const QueryCallback& cb) const {
+  RebuildIfNeeded();
+  if (root_ >= 0) QueryNode(root_, range, cb);
+  for (uint32_t slot : pending_) {
+    const Entry& entry = entries_[slot];
+    if (entry.live && entry.box.Intersects(range)) cb(entry.id, entry.box);
+  }
+}
+
+void KdBspTree::QueryNearest(
+    const Vec3& p, size_t k,
+    const std::function<void(EntityId, const Aabb&, float)>& cb) const {
+  RebuildIfNeeded();
+  if (k == 0 || live_count_ == 0) return;
+
+  struct Hit {
+    float dist_sq;
+    uint32_t slot;
+    bool operator<(const Hit& o) const { return dist_sq < o.dist_sq; }
+  };
+  std::priority_queue<Hit> best;  // max-heap on distance
+  auto offer = [&](uint32_t slot) {
+    const Entry& entry = entries_[slot];
+    float d = entry.box.DistanceSquaredTo(p);
+    if (best.size() < k) {
+      best.push({d, slot});
+    } else if (d < best.top().dist_sq) {
+      best.pop();
+      best.push({d, slot});
+    }
+  };
+
+  // Seed with the overflow entries (scanned exhaustively).
+  for (uint32_t slot : pending_) {
+    if (entries_[slot].live) offer(slot);
+  }
+
+  if (root_ >= 0) {
+    // Best-first search over the built tree.
+    struct Candidate {
+      float dist_sq;
+      int32_t node;
+      bool operator>(const Candidate& o) const {
+        return dist_sq > o.dist_sq;
+      }
+    };
+    std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>
+        frontier;
+    frontier.push({nodes_[root_].bounds.DistanceSquaredTo(p), root_});
+    while (!frontier.empty()) {
+      Candidate c = frontier.top();
+      frontier.pop();
+      if (best.size() == k && c.dist_sq > best.top().dist_sq) break;
+      const Node& node = nodes_[c.node];
+      if (node.left < 0) {
+        for (uint32_t i = node.begin; i < node.end; ++i) {
+          const Entry& entry = entries_[order_[i]];
+          if (entry.live && entry.in_tree) offer(order_[i]);
+        }
+      } else {
+        frontier.push(
+            {nodes_[node.left].bounds.DistanceSquaredTo(p), node.left});
+        frontier.push(
+            {nodes_[node.right].bounds.DistanceSquaredTo(p), node.right});
+      }
+    }
+  }
+
+  std::vector<Hit> hits;
+  hits.reserve(best.size());
+  while (!best.empty()) {
+    hits.push_back(best.top());
+    best.pop();
+  }
+  for (auto it = hits.rbegin(); it != hits.rend(); ++it) {
+    const Entry& entry = entries_[it->slot];
+    cb(entry.id, entry.box, std::sqrt(it->dist_sq));
+  }
+}
+
+}  // namespace gamedb::spatial

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file kdbsp_tree.h
+/// Axis-aligned BSP (kd) tree. Games traditionally build BSP trees over
+/// level geometry; for dynamic entities the common adaptation — used here —
+/// is a median-split axis-aligned BSP over entity centers, rebuilt lazily
+/// after a batch of mutations (games rebuild per frame or amortized).
+///
+/// Queries are exact over entry bounds; the tree partitions by centers but
+/// every node stores the true union bound of its subtree, so large objects
+/// are still found.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace gamedb::spatial {
+
+/// Options for KdBspTree.
+struct KdBspTreeOptions {
+  /// Maximum entries in a leaf before splitting.
+  uint32_t leaf_capacity = 8;
+  /// Fraction of stale (mutated) entries that triggers a rebuild on the
+  /// next query. 0 rebuilds on any mutation.
+  float rebuild_threshold = 0.25f;
+};
+
+/// Semi-static axis-aligned BSP tree with lazy rebuild.
+///
+/// Thread safety: the lazy rebuild mutates on first query after a change;
+/// once a query has run with no further mutations, concurrent queries are
+/// safe (pure reads). Issue one warm-up query before fanning out.
+class KdBspTree final : public SpatialIndex {
+ public:
+  explicit KdBspTree(KdBspTreeOptions options = {});
+
+  const char* Name() const override { return "kdbsp_tree"; }
+
+  void Insert(EntityId e, const Aabb& box) override;
+  bool Remove(EntityId e) override;
+  void Update(EntityId e, const Aabb& box) override;
+  void QueryRange(const Aabb& range, const QueryCallback& cb) const override;
+  size_t Size() const override { return live_count_; }
+  void Clear() override;
+
+  /// k nearest entries to `p` (by box distance); ties broken arbitrarily.
+  /// Uses best-first descent over subtree bounds.
+  void QueryNearest(const Vec3& p, size_t k,
+                    const std::function<void(EntityId, const Aabb&, float)>&
+                        cb) const;
+
+  /// Number of rebuilds performed (benchmark diagnostics).
+  uint64_t rebuild_count() const { return rebuild_count_; }
+
+ private:
+  struct Entry {
+    EntityId id;
+    Aabb box;
+    bool live = true;
+    bool in_tree = false;  // false: found via the pending overflow list
+  };
+  struct Node {
+    Aabb bounds;            // union of subtree entry bounds
+    int32_t left = -1;      // node index, -1 for leaf
+    int32_t right = -1;
+    uint32_t begin = 0;     // leaf: range into order_
+    uint32_t end = 0;
+    uint8_t axis = 0;
+    float split = 0.0f;
+  };
+
+  bool NeedsRebuild() const;
+  void RebuildIfNeeded() const;
+  int32_t BuildNode(std::vector<uint32_t>& items, uint32_t begin,
+                    uint32_t end) const;
+  void QueryNode(int32_t node, const Aabb& range,
+                 const QueryCallback& cb) const;
+
+  KdBspTreeOptions options_;
+  std::vector<Entry> entries_;  // slab; compacted on rebuild
+  std::unordered_map<EntityId, uint32_t> slot_of_;
+  std::vector<uint32_t> pending_;  // live slots not yet folded into the tree
+  size_t live_count_ = 0;
+  size_t stale_in_tree_ = 0;  // removed/moved entries still in the built tree
+
+  // Built structure (mutable: rebuilt lazily from const queries).
+  mutable std::vector<Node> nodes_;
+  mutable std::vector<uint32_t> order_;  // leaf entry slots
+  mutable int32_t root_ = -1;
+  mutable uint64_t rebuild_count_ = 0;
+};
+
+}  // namespace gamedb::spatial

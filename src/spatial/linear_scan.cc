@@ -1,0 +1,42 @@
+#include "spatial/linear_scan.h"
+
+namespace gamedb::spatial {
+
+void LinearScan::Insert(EntityId e, const Aabb& box) {
+  GAMEDB_CHECK(slot_.find(e) == slot_.end());
+  slot_.emplace(e, entries_.size());
+  entries_.push_back(Entry{e, box});
+}
+
+bool LinearScan::Remove(EntityId e) {
+  auto it = slot_.find(e);
+  if (it == slot_.end()) return false;
+  size_t pos = it->second;
+  size_t last = entries_.size() - 1;
+  if (pos != last) {
+    entries_[pos] = entries_[last];
+    slot_[entries_[pos].id] = pos;
+  }
+  entries_.pop_back();
+  slot_.erase(it);
+  return true;
+}
+
+void LinearScan::Update(EntityId e, const Aabb& box) {
+  auto it = slot_.find(e);
+  GAMEDB_CHECK(it != slot_.end());
+  entries_[it->second].box = box;
+}
+
+void LinearScan::QueryRange(const Aabb& range, const QueryCallback& cb) const {
+  for (const Entry& entry : entries_) {
+    if (entry.box.Intersects(range)) cb(entry.id, entry.box);
+  }
+}
+
+void LinearScan::Clear() {
+  entries_.clear();
+  slot_.clear();
+}
+
+}  // namespace gamedb::spatial

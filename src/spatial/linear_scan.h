@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file linear_scan.h
+/// O(n) scan "index" — the behaviour a designer's unindexed script exhibits.
+/// Serves as the correctness oracle and the baseline of E1/E2.
+
+#include <unordered_map>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace gamedb::spatial {
+
+/// Flat array of entries; every query visits all of them.
+class LinearScan final : public SpatialIndex {
+ public:
+  const char* Name() const override { return "linear_scan"; }
+
+  void Insert(EntityId e, const Aabb& box) override;
+  bool Remove(EntityId e) override;
+  void Update(EntityId e, const Aabb& box) override;
+  void QueryRange(const Aabb& range, const QueryCallback& cb) const override;
+  size_t Size() const override { return entries_.size(); }
+  void Clear() override;
+
+ private:
+  struct Entry {
+    EntityId id;
+    Aabb box;
+  };
+
+  std::vector<Entry> entries_;
+  std::unordered_map<EntityId, size_t> slot_;  // id -> index in entries_
+};
+
+}  // namespace gamedb::spatial

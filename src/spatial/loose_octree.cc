@@ -1,0 +1,156 @@
+#include "spatial/loose_octree.h"
+
+namespace gamedb::spatial {
+
+LooseOctree::LooseOctree(LooseOctreeOptions options) : options_(options) {
+  GAMEDB_CHECK(!options_.world_bounds.Empty());
+  Node root;
+  root.cell = options_.world_bounds;
+  root.depth = 0;
+  nodes_.push_back(std::move(root));
+}
+
+int32_t LooseOctree::Place(const Aabb& box) {
+  int32_t current = 0;
+  while (true) {
+    Node& node = nodes_[current];
+    if (node.depth >= options_.max_depth) return current;
+    // Choose the child octant by box center.
+    Vec3 center = node.cell.Center();
+    Vec3 c = box.Center();
+    int octant = (c.x >= center.x ? 1 : 0) | (c.y >= center.y ? 2 : 0) |
+                 (c.z >= center.z ? 4 : 0);
+    Aabb child_cell{
+        Vec3(octant & 1 ? center.x : node.cell.min.x,
+             octant & 2 ? center.y : node.cell.min.y,
+             octant & 4 ? center.z : node.cell.min.z),
+        Vec3(octant & 1 ? node.cell.max.x : center.x,
+             octant & 2 ? node.cell.max.y : center.y,
+             octant & 4 ? node.cell.max.z : center.z)};
+    // The child's loose bounds are the child cell inflated by half its
+    // extent; descend only if the box still fits there.
+    Vec3 half = child_cell.Extent() * 0.5f;
+    Aabb loose{child_cell.min - half, child_cell.max + half};
+    if (!loose.Contains(box)) return current;
+
+    int32_t child = node.children[octant];
+    if (child < 0) {
+      uint32_t depth = node.depth + 1;
+      if (!free_nodes_.empty()) {
+        child = free_nodes_.back();
+        free_nodes_.pop_back();
+        nodes_[child] = Node();
+      } else {
+        child = static_cast<int32_t>(nodes_.size());
+        nodes_.emplace_back();
+      }
+      // Re-fetch: emplace_back may have invalidated `node`.
+      nodes_[child].cell = child_cell;
+      nodes_[child].depth = depth;
+      nodes_[child].parent = current;
+      nodes_[current].children[octant] = child;
+    }
+    current = child;
+  }
+}
+
+void LooseOctree::Insert(EntityId e, const Aabb& box) {
+  GAMEDB_CHECK(where_.find(e) == where_.end());
+  GAMEDB_CHECK(!box.Empty());
+  int32_t node = Place(box);
+  nodes_[node].items.emplace_back(e, box);
+  where_.emplace(e, node);
+}
+
+void LooseOctree::EraseFromNode(int32_t node_index, EntityId e) {
+  auto& items = nodes_[node_index].items;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].first == e) {
+      items[i] = items.back();
+      items.pop_back();
+      return;
+    }
+  }
+  GAMEDB_CHECK(false);  // where_ said the item was here
+}
+
+void LooseOctree::MaybePrune(int32_t node_index) {
+  // Free leaf nodes that became empty, walking up while possible.
+  while (node_index > 0) {
+    Node& node = nodes_[node_index];
+    if (!node.items.empty()) return;
+    for (int32_t c : node.children) {
+      if (c >= 0) return;
+    }
+    int32_t parent = node.parent;
+    Node& p = nodes_[parent];
+    for (int32_t& c : p.children) {
+      if (c == node_index) {
+        c = -1;
+        break;
+      }
+    }
+    free_nodes_.push_back(node_index);
+    node_index = parent;
+  }
+}
+
+bool LooseOctree::Remove(EntityId e) {
+  auto it = where_.find(e);
+  if (it == where_.end()) return false;
+  int32_t node = it->second;
+  EraseFromNode(node, e);
+  where_.erase(it);
+  MaybePrune(node);
+  return true;
+}
+
+void LooseOctree::Update(EntityId e, const Aabb& box) {
+  auto it = where_.find(e);
+  GAMEDB_CHECK(it != where_.end());
+  int32_t target = Place(box);
+  if (target == it->second) {
+    // Same node: update the stored box in place.
+    for (auto& [id, b] : nodes_[target].items) {
+      if (id == e) {
+        b = box;
+        return;
+      }
+    }
+    GAMEDB_CHECK(false);
+  }
+  int32_t old_node = it->second;
+  EraseFromNode(old_node, e);
+  nodes_[target].items.emplace_back(e, box);
+  it->second = target;
+  MaybePrune(old_node);
+}
+
+void LooseOctree::QueryNode(int32_t node_index, const Aabb& range,
+                            const QueryCallback& cb) const {
+  const Node& node = nodes_[node_index];
+  // The root also holds entries that don't fit the world bounds, so it is
+  // never rejected by the loose-bounds test.
+  if (node_index != 0 && !node.LooseBounds().Intersects(range)) return;
+  for (const auto& [id, box] : node.items) {
+    if (box.Intersects(range)) cb(id, box);
+  }
+  for (int32_t c : node.children) {
+    if (c >= 0) QueryNode(c, range, cb);
+  }
+}
+
+void LooseOctree::QueryRange(const Aabb& range, const QueryCallback& cb) const {
+  QueryNode(0, range, cb);
+}
+
+void LooseOctree::Clear() {
+  nodes_.clear();
+  free_nodes_.clear();
+  where_.clear();
+  Node root;
+  root.cell = options_.world_bounds;
+  nodes_.push_back(std::move(root));
+}
+
+}  // namespace gamedb::spatial

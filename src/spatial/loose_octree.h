@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file loose_octree.h
+/// Loose octree over a bounded world. Each node's "loose" bounds are twice
+/// its cell extent, so an object is stored at the deepest level whose loose
+/// cell fully contains it — insert/remove are O(depth) with no object
+/// splitting, which is why the structure is a games-industry staple for
+/// dynamic scenes.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace gamedb::spatial {
+
+/// Options for LooseOctree.
+struct LooseOctreeOptions {
+  /// World bounds; inserting bounds outside stores the entry at the root.
+  Aabb world_bounds{{-1000, -1000, -1000}, {1000, 1000, 1000}};
+  /// Maximum tree depth (root = 0).
+  uint32_t max_depth = 8;
+};
+
+/// Dynamic loose octree.
+class LooseOctree final : public SpatialIndex {
+ public:
+  explicit LooseOctree(LooseOctreeOptions options = {});
+
+  const char* Name() const override { return "loose_octree"; }
+
+  void Insert(EntityId e, const Aabb& box) override;
+  bool Remove(EntityId e) override;
+  void Update(EntityId e, const Aabb& box) override;
+  void QueryRange(const Aabb& range, const QueryCallback& cb) const override;
+  size_t Size() const override { return where_.size(); }
+  void Clear() override;
+
+  /// Number of allocated nodes (diagnostics).
+  size_t NodeCount() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Aabb cell;                 // tight cell bounds
+    int32_t children[8];       // -1 when absent
+    int32_t parent = -1;
+    std::vector<std::pair<EntityId, Aabb>> items;
+    uint32_t depth = 0;
+    Node() { for (int32_t& c : children) c = -1; }
+    Aabb LooseBounds() const {
+      Vec3 half = cell.Extent() * 0.5f;
+      return Aabb{cell.min - half, cell.max + half};
+    }
+  };
+
+  /// Index of the node the box belongs to, creating nodes along the way.
+  int32_t Place(const Aabb& box);
+  void EraseFromNode(int32_t node_index, EntityId e);
+  void QueryNode(int32_t node_index, const Aabb& range,
+                 const QueryCallback& cb) const;
+  void MaybePrune(int32_t node_index);
+
+  LooseOctreeOptions options_;
+  std::vector<Node> nodes_;          // slab; 0 is the root
+  std::vector<int32_t> free_nodes_;
+  std::unordered_map<EntityId, int32_t> where_;  // id -> node index
+};
+
+}  // namespace gamedb::spatial

@@ -1,0 +1,208 @@
+#include "spatial/navmesh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace gamedb::spatial {
+
+bool NavPoly::Contains(const Vec2& p) const {
+  // CCW convex polygon: p is inside iff it is on the left of (or on) every
+  // edge.
+  for (size_t i = 0; i < verts.size(); ++i) {
+    const Vec2& a = verts[i];
+    const Vec2& b = verts[(i + 1) % verts.size()];
+    if (Orient2D(a, b, p) < -1e-6f) return false;
+  }
+  return true;
+}
+
+uint32_t NavMesh::AddPolygon(std::vector<Vec2> verts, uint8_t flags,
+                             float cost_multiplier) {
+  GAMEDB_CHECK(verts.size() >= 3);
+  NavPoly poly;
+  poly.flags = flags;
+  poly.cost_multiplier = cost_multiplier;
+  // Shoelace area / centroid; positive area means CCW as required.
+  float area2 = 0.0f;
+  Vec2 centroid{0, 0};
+  for (size_t i = 0; i < verts.size(); ++i) {
+    const Vec2& a = verts[i];
+    const Vec2& b = verts[(i + 1) % verts.size()];
+    float cross = a.Cross(b);
+    area2 += cross;
+    centroid.x += (a.x + b.x) * cross;
+    centroid.z += (a.z + b.z) * cross;
+  }
+  GAMEDB_CHECK(area2 > 0.0f);  // must be CCW and non-degenerate
+  poly.area = area2 * 0.5f;
+  poly.centroid = Vec2{centroid.x / (3.0f * area2), centroid.z / (3.0f * area2)};
+  poly.verts = std::move(verts);
+  polys_.push_back(std::move(poly));
+  adjacency_.emplace_back();
+  return static_cast<uint32_t>(polys_.size() - 1);
+}
+
+Status NavMesh::Connect(uint32_t a, uint32_t b, const Vec2& p0,
+                        const Vec2& p1) {
+  if (a >= polys_.size() || b >= polys_.size()) {
+    return Status::InvalidArgument("unknown polygon id");
+  }
+  if (a == b) return Status::InvalidArgument("self-portal");
+  adjacency_[a].push_back(Edge{b, p0, p1});
+  adjacency_[b].push_back(Edge{a, p0, p1});
+  return Status::OK();
+}
+
+int32_t NavMesh::FindPolygon(const Vec2& p) const {
+  for (size_t i = 0; i < polys_.size(); ++i) {
+    if (polys_[i].Contains(p)) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+float NavMesh::EffectiveMultiplier(const NavPoly& poly,
+                                   const NavPathOptions& options) const {
+  float m = poly.cost_multiplier;
+  if (poly.flags & kNavDanger) m *= options.danger_multiplier;
+  return m;
+}
+
+NavPathResult NavMesh::FindPath(const Vec2& start, const Vec2& goal,
+                                const NavPathOptions& options) const {
+  NavPathResult result;
+  int32_t start_poly = FindPolygon(start);
+  int32_t goal_poly = FindPolygon(goal);
+  if (start_poly < 0 || goal_poly < 0) return result;
+  if (polys_[static_cast<size_t>(start_poly)].flags & options.avoid_flags) {
+    return result;
+  }
+  if (polys_[static_cast<size_t>(goal_poly)].flags & options.avoid_flags) {
+    return result;
+  }
+
+  if (start_poly == goal_poly) {
+    result.found = true;
+    result.corridor = {static_cast<uint32_t>(start_poly)};
+    result.waypoints = {start, goal};
+    result.cost = start.DistanceTo(goal) *
+                  EffectiveMultiplier(polys_[static_cast<size_t>(start_poly)],
+                                      options);
+    return result;
+  }
+
+  // A* over polygons. Node entry point: where the path enters the polygon
+  // (portal midpoint); edge cost: distance between entry points, weighted
+  // by the multiplier of the polygon being crossed.
+  const size_t n = polys_.size();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  std::vector<float> g(n, kInf);
+  std::vector<int32_t> parent_poly(n, -1);
+  std::vector<int32_t> parent_edge(n, -1);  // index into adjacency_[parent]
+  std::vector<Vec2> entry(n);
+  std::vector<bool> closed(n, false);
+
+  struct QItem {
+    float f;
+    uint32_t poly;
+    bool operator>(const QItem& o) const { return f > o.f; }
+  };
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> open;
+
+  g[static_cast<size_t>(start_poly)] = 0.0f;
+  entry[static_cast<size_t>(start_poly)] = start;
+  open.push({start.DistanceTo(goal), static_cast<uint32_t>(start_poly)});
+
+  while (!open.empty()) {
+    uint32_t cur = open.top().poly;
+    open.pop();
+    if (closed[cur]) continue;
+    closed[cur] = true;
+    ++result.expanded;
+    if (cur == static_cast<uint32_t>(goal_poly)) break;
+
+    const auto& edges = adjacency_[cur];
+    for (size_t ei = 0; ei < edges.size(); ++ei) {
+      const Edge& e = edges[ei];
+      const NavPoly& next = polys_[e.to];
+      if (next.flags & options.avoid_flags) continue;
+      Vec2 mid = (e.p0 + e.p1) * 0.5f;
+      float step = entry[cur].DistanceTo(mid) *
+                   EffectiveMultiplier(polys_[cur], options);
+      float ng = g[cur] + step;
+      if (ng < g[e.to]) {
+        g[e.to] = ng;
+        parent_poly[e.to] = static_cast<int32_t>(cur);
+        parent_edge[e.to] = static_cast<int32_t>(ei);
+        entry[e.to] = mid;
+        open.push({ng + mid.DistanceTo(goal), e.to});
+      }
+    }
+  }
+
+  size_t gp = static_cast<size_t>(goal_poly);
+  if (g[gp] == kInf) return result;
+
+  // Reconstruct corridor and crossed portals.
+  std::vector<uint32_t> corridor;
+  std::vector<int32_t> edge_indices;
+  for (int32_t at = goal_poly; at >= 0;
+       at = parent_poly[static_cast<size_t>(at)]) {
+    corridor.push_back(static_cast<uint32_t>(at));
+    edge_indices.push_back(parent_edge[static_cast<size_t>(at)]);
+  }
+  std::reverse(corridor.begin(), corridor.end());
+  std::reverse(edge_indices.begin(), edge_indices.end());
+
+  result.found = true;
+  result.corridor = corridor;
+  // Final leg into the goal polygon.
+  result.cost = g[gp] + entry[gp].DistanceTo(goal) *
+                            EffectiveMultiplier(polys_[gp], options);
+
+  // Portals in crossing order, oriented left/right w.r.t. travel direction.
+  std::vector<Portal> portals;
+  portals.reserve(corridor.size() - 1);
+  for (size_t i = 1; i < corridor.size(); ++i) {
+    uint32_t from = corridor[i - 1];
+    const Edge& e = adjacency_[from][static_cast<size_t>(edge_indices[i])];
+    Vec2 dir = polys_[e.to].centroid - polys_[from].centroid;
+    Vec2 mid = (e.p0 + e.p1) * 0.5f;
+    // p0 is "left" when it lies counter-clockwise of the travel direction.
+    if (dir.Cross(e.p0 - mid) > 0.0f) {
+      portals.push_back(Portal{e.p0, e.p1});
+    } else {
+      portals.push_back(Portal{e.p1, e.p0});
+    }
+  }
+
+  if (options.smooth) {
+    result.waypoints = StringPull(start, goal, portals);
+  } else {
+    result.waypoints.push_back(start);
+    for (const Portal& p : portals) {
+      result.waypoints.push_back((p.left + p.right) * 0.5f);
+    }
+    result.waypoints.push_back(goal);
+  }
+  return result;
+}
+
+std::vector<uint32_t> NavMesh::FindAnnotated(const Vec2& p, float radius,
+                                             uint8_t required_flags) const {
+  std::vector<uint32_t> out;
+  float r2 = radius * radius;
+  for (size_t i = 0; i < polys_.size(); ++i) {
+    const NavPoly& poly = polys_[i];
+    if ((poly.flags & required_flags) != required_flags) continue;
+    if ((poly.centroid - p).LengthSquared() <= r2 || poly.Contains(p)) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace gamedb::spatial

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file navmesh.h
+/// Navigation mesh: convex polygons + portal adjacency, with the semantic
+/// designer annotations the tutorial highlights (danger / cover / hiding /
+/// defensible and per-polygon cost multipliers). Pathfinding is A* over the
+/// polygon graph followed by funnel string pulling.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "spatial/funnel.h"
+#include "spatial/grid_map.h"  // NavFlags
+
+namespace gamedb::spatial {
+
+/// One convex polygon of the mesh (vertices CCW in the XZ plane).
+struct NavPoly {
+  std::vector<Vec2> verts;
+  uint8_t flags = kNavWalkable;
+  /// Designer-tuned traversal cost multiplier (mud, stairs, ...).
+  float cost_multiplier = 1.0f;
+  Vec2 centroid;
+  float area = 0.0f;
+
+  /// Point-in-convex-polygon test (boundary-inclusive).
+  bool Contains(const Vec2& p) const;
+};
+
+/// Pathfinding cost model over annotations.
+struct NavPathOptions {
+  /// Polygons with any of these flags are not traversable.
+  uint8_t avoid_flags = 0;
+  /// Extra multiplier on kNavDanger polygons (>1 prefers detours).
+  float danger_multiplier = 1.0f;
+  /// Run funnel smoothing (off = portal-midpoint polyline).
+  bool smooth = true;
+};
+
+/// A navmesh path.
+struct NavPathResult {
+  bool found = false;
+  /// Polygon ids crossed, start polygon first.
+  std::vector<uint32_t> corridor;
+  /// World waypoints from start to goal.
+  std::vector<Vec2> waypoints;
+  /// A* cost (annotation-weighted distance).
+  float cost = 0.0f;
+  /// Polygons expanded by the search (E3 metric; compare to grid cells).
+  size_t expanded = 0;
+};
+
+/// Polygon soup + adjacency. Build by hand (AddPolygon/Connect) or from a
+/// GridMap via BuildNavMesh (navmesh_builder.h).
+class NavMesh {
+ public:
+  /// Adds a convex CCW polygon; returns its id. Aborts on polygons with
+  /// fewer than 3 vertices.
+  uint32_t AddPolygon(std::vector<Vec2> verts, uint8_t flags = kNavWalkable,
+                      float cost_multiplier = 1.0f);
+
+  /// Declares that polygons `a` and `b` share the portal segment [p0, p1]
+  /// (bidirectional). Fails on unknown ids or a == b.
+  Status Connect(uint32_t a, uint32_t b, const Vec2& p0, const Vec2& p1);
+
+  size_t PolygonCount() const { return polys_.size(); }
+  const NavPoly& polygon(uint32_t id) const { return polys_[id]; }
+
+  /// Id of a polygon containing `p`, or -1. Linear scan (meshes are small
+  /// relative to the worlds they cover — that is their point).
+  int32_t FindPolygon(const Vec2& p) const;
+
+  /// Neighbors of a polygon: (neighbor id, portal endpoints).
+  struct Edge {
+    uint32_t to;
+    Vec2 p0, p1;
+  };
+  const std::vector<Edge>& Neighbors(uint32_t id) const {
+    return adjacency_[id];
+  }
+
+  /// Point-to-point path. Start/goal outside the mesh fail with found=false.
+  NavPathResult FindPath(const Vec2& start, const Vec2& goal,
+                         const NavPathOptions& options = {}) const;
+
+  /// Polygons within `radius` of `p` carrying all `required_flags` —
+  /// the "query the annotations" API (find cover near me, hiding spots...).
+  std::vector<uint32_t> FindAnnotated(const Vec2& p, float radius,
+                                      uint8_t required_flags) const;
+
+ private:
+  float EffectiveMultiplier(const NavPoly& poly,
+                            const NavPathOptions& options) const;
+
+  std::vector<NavPoly> polys_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace gamedb::spatial

@@ -1,0 +1,142 @@
+#include "spatial/navmesh_builder.h"
+
+#include <vector>
+
+namespace gamedb::spatial {
+
+namespace {
+
+struct Rect {
+  int x0, y0, x1, y1;  // inclusive cell range
+  uint8_t flags;
+};
+
+}  // namespace
+
+Result<NavMesh> BuildNavMesh(const GridMap& map, NavMeshBuildStats* stats) {
+  const int w = map.width(), h = map.height();
+  std::vector<int32_t> rect_of(static_cast<size_t>(w) * h, -1);
+  auto at = [&](int x, int y) -> int32_t& {
+    return rect_of[static_cast<size_t>(y) * w + x];
+  };
+
+  // Greedy rectangle decomposition: widest run right, then grow down.
+  std::vector<Rect> rects;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (!map.Walkable(x, y) || at(x, y) != -1) continue;
+      uint8_t flags = map.FlagsAt(x, y);
+      int x1 = x;
+      while (x1 + 1 < w && at(x1 + 1, y) == -1 &&
+             map.FlagsAt(x1 + 1, y) == flags) {
+        ++x1;
+      }
+      int y1 = y;
+      bool grow = true;
+      while (grow && y1 + 1 < h) {
+        for (int xx = x; xx <= x1; ++xx) {
+          if (at(xx, y1 + 1) != -1 || map.FlagsAt(xx, y1 + 1) != flags) {
+            grow = false;
+            break;
+          }
+        }
+        if (grow) ++y1;
+      }
+      int32_t id = static_cast<int32_t>(rects.size());
+      rects.push_back(Rect{x, y, x1, y1, flags});
+      for (int yy = y; yy <= y1; ++yy) {
+        for (int xx = x; xx <= x1; ++xx) at(xx, yy) = id;
+      }
+    }
+  }
+  if (rects.empty()) {
+    return Status::InvalidArgument("map has no walkable cells");
+  }
+
+  NavMesh mesh;
+  const float cs = map.cell_size();
+  Vec2 origin = map.CellCenter(0, 0) - Vec2{cs * 0.5f, cs * 0.5f};
+  auto corner = [&](int cx, int cy) {
+    return Vec2{origin.x + static_cast<float>(cx) * cs,
+                origin.z + static_cast<float>(cy) * cs};
+  };
+  for (const Rect& r : rects) {
+    // CCW in the XZ plane (positive Orient2D).
+    std::vector<Vec2> verts = {corner(r.x0, r.y0), corner(r.x1 + 1, r.y0),
+                               corner(r.x1 + 1, r.y1 + 1),
+                               corner(r.x0, r.y1 + 1)};
+    mesh.AddPolygon(std::move(verts), r.flags, 1.0f);
+  }
+
+  size_t portal_count = 0;
+  // Vertical boundaries (between columns x and x+1): merge contiguous runs
+  // of the same rect pair into one portal.
+  for (int x = 0; x + 1 < w; ++x) {
+    int run_start = -1;
+    int32_t run_a = -1, run_b = -1;
+    auto flush = [&](int run_end) {
+      if (run_start < 0) return;
+      Vec2 p0 = corner(x + 1, run_start);
+      Vec2 p1 = corner(x + 1, run_end + 1);
+      GAMEDB_CHECK(mesh.Connect(static_cast<uint32_t>(run_a),
+                                static_cast<uint32_t>(run_b), p0, p1)
+                       .ok());
+      ++portal_count;
+      run_start = -1;
+    };
+    for (int y = 0; y < h; ++y) {
+      int32_t a = at(x, y);
+      int32_t b = at(x + 1, y);
+      bool boundary = a >= 0 && b >= 0 && a != b;
+      if (boundary && a == run_a && b == run_b) continue;  // extend run
+      flush(y - 1);
+      if (boundary) {
+        run_start = y;
+        run_a = a;
+        run_b = b;
+      } else {
+        run_a = run_b = -1;
+      }
+    }
+    flush(h - 1);
+  }
+  // Horizontal boundaries (between rows y and y+1).
+  for (int y = 0; y + 1 < h; ++y) {
+    int run_start = -1;
+    int32_t run_a = -1, run_b = -1;
+    auto flush = [&](int run_end) {
+      if (run_start < 0) return;
+      Vec2 p0 = corner(run_start, y + 1);
+      Vec2 p1 = corner(run_end + 1, y + 1);
+      GAMEDB_CHECK(mesh.Connect(static_cast<uint32_t>(run_a),
+                                static_cast<uint32_t>(run_b), p0, p1)
+                       .ok());
+      ++portal_count;
+      run_start = -1;
+    };
+    for (int x = 0; x < w; ++x) {
+      int32_t a = at(x, y);
+      int32_t b = at(x, y + 1);
+      bool boundary = a >= 0 && b >= 0 && a != b;
+      if (boundary && a == run_a && b == run_b) continue;
+      flush(x - 1);
+      if (boundary) {
+        run_start = x;
+        run_a = a;
+        run_b = b;
+      } else {
+        run_a = run_b = -1;
+      }
+    }
+    flush(w - 1);
+  }
+
+  if (stats != nullptr) {
+    stats->walkable_cells = map.WalkableCount();
+    stats->polygon_count = mesh.PolygonCount();
+    stats->portal_count = portal_count;
+  }
+  return mesh;
+}
+
+}  // namespace gamedb::spatial

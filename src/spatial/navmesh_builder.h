@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file navmesh_builder.h
+/// Builds a NavMesh from a GridMap by maximal-rectangle decomposition:
+/// contiguous runs of identically-annotated walkable cells merge into convex
+/// (rectangular) polygons, and shared rectangle borders become portals.
+/// This is the "near-optimal navigation mesh" construction of the
+/// tutorial's reference [12], specialized to tile worlds.
+
+#include "common/status.h"
+#include "spatial/grid_map.h"
+#include "spatial/navmesh.h"
+
+namespace gamedb::spatial {
+
+/// Build diagnostics.
+struct NavMeshBuildStats {
+  size_t walkable_cells = 0;
+  size_t polygon_count = 0;
+  size_t portal_count = 0;
+};
+
+/// Decomposes `map` into a navmesh. Fails when the map has no walkable
+/// cells. Polygon flags are the (uniform) cell flags of each rectangle.
+Result<NavMesh> BuildNavMesh(const GridMap& map,
+                             NavMeshBuildStats* stats = nullptr);
+
+}  // namespace gamedb::spatial

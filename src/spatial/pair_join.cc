@@ -1,0 +1,119 @@
+#include "spatial/pair_join.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace gamedb::spatial {
+
+void NestedLoopPairs(const std::vector<PointEntry>& points, float max_dist,
+                     const PairCallback& cb) {
+  float d2 = max_dist * max_dist;
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      if (points[i].pos.DistanceSquaredTo(points[j].pos) <= d2) {
+        if (points[i].id.Raw() < points[j].id.Raw()) {
+          cb(points[i], points[j]);
+        } else {
+          cb(points[j], points[i]);
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+struct Cell {
+  int32_t x, y, z;
+  bool operator==(const Cell& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+};
+struct CellHash {
+  size_t operator()(const Cell& c) const {
+    uint64_t h = static_cast<uint32_t>(c.x) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<uint32_t>(c.y) * 0xC2B2AE3D27D4EB4Full;
+    h ^= static_cast<uint32_t>(c.z) * 0x165667B19E3779F9ull;
+    return static_cast<size_t>(h);
+  }
+};
+
+void EmitOrdered(const PointEntry& a, const PointEntry& b,
+                 const PairCallback& cb) {
+  if (a.id.Raw() < b.id.Raw()) {
+    cb(a, b);
+  } else {
+    cb(b, a);
+  }
+}
+
+}  // namespace
+
+void GridPairs(const std::vector<PointEntry>& points, float max_dist,
+               const PairCallback& cb) {
+  GAMEDB_CHECK(max_dist > 0.0f);
+  float inv = 1.0f / max_dist;
+  float d2 = max_dist * max_dist;
+  std::unordered_map<Cell, std::vector<uint32_t>, CellHash> grid;
+  grid.reserve(points.size());
+  auto cell_of = [&](const Vec3& p) {
+    return Cell{static_cast<int32_t>(std::floor(p.x * inv)),
+                static_cast<int32_t>(std::floor(p.y * inv)),
+                static_cast<int32_t>(std::floor(p.z * inv))};
+  };
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    grid[cell_of(points[i].pos)].push_back(i);
+  }
+
+  // Forward half-neighborhood: (0,0,0) handled as i<j within the cell, plus
+  // the 13 lexicographically-positive neighbor offsets.
+  static constexpr int kOffsets[13][3] = {
+      {1, 0, 0},  {0, 1, 0},   {0, 0, 1},  {1, 1, 0},  {1, -1, 0},
+      {1, 0, 1},  {1, 0, -1},  {0, 1, 1},  {0, 1, -1}, {1, 1, 1},
+      {1, 1, -1}, {1, -1, 1},  {1, -1, -1}};
+
+  for (const auto& [cell, members] : grid) {
+    // Within-cell pairs.
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        const PointEntry& pa = points[members[a]];
+        const PointEntry& pb = points[members[b]];
+        if (pa.pos.DistanceSquaredTo(pb.pos) <= d2) EmitOrdered(pa, pb, cb);
+      }
+    }
+    // Cross-cell pairs against forward neighbors.
+    for (const auto& off : kOffsets) {
+      auto it = grid.find(Cell{cell.x + off[0], cell.y + off[1],
+                               cell.z + off[2]});
+      if (it == grid.end()) continue;
+      for (uint32_t ia : members) {
+        for (uint32_t ib : it->second) {
+          const PointEntry& pa = points[ia];
+          const PointEntry& pb = points[ib];
+          if (pa.pos.DistanceSquaredTo(pb.pos) <= d2) EmitOrdered(pa, pb, cb);
+        }
+      }
+    }
+  }
+}
+
+void IndexPairs(const SpatialIndex& index,
+                const std::vector<PointEntry>& points, float max_dist,
+                const PairCallback& cb) {
+  float d2 = max_dist * max_dist;
+  std::unordered_map<uint64_t, const PointEntry*> by_id;
+  by_id.reserve(points.size());
+  for (const auto& p : points) by_id.emplace(p.id.Raw(), &p);
+  for (const auto& p : points) {
+    index.QueryRadius(p.pos, max_dist, [&](EntityId other, const Aabb&) {
+      // Emit each unordered pair once: only when p is the smaller id.
+      if (p.id.Raw() >= other.Raw()) return;
+      auto it = by_id.find(other.Raw());
+      GAMEDB_DCHECK(it != by_id.end());
+      const PointEntry& q = *it->second;
+      if (p.pos.DistanceSquaredTo(q.pos) <= d2) cb(p, q);
+    });
+  }
+}
+
+}  // namespace gamedb::spatial

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file pair_join.h
+/// Proximity self-joins: enumerate all pairs of entities within a given
+/// distance. This is the computation the tutorial's performance section is
+/// about — a designer's "every object interacts with every object" script is
+/// the nested-loop plan (Ω(n²)); the grid and index joins are the database
+/// answer. E1 sweeps these against each other.
+
+#include <functional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "core/entity.h"
+#include "spatial/spatial_index.h"
+
+namespace gamedb::spatial {
+
+/// A point participant in a proximity join.
+struct PointEntry {
+  EntityId id;
+  Vec3 pos;
+};
+
+/// Callback receiving each unordered pair exactly once (a.id < b.id by raw
+/// id; ordering within the callback arguments follows that rule).
+using PairCallback =
+    std::function<void(const PointEntry& a, const PointEntry& b)>;
+
+/// O(n²) nested-loop join: the unindexed baseline.
+void NestedLoopPairs(const std::vector<PointEntry>& points, float max_dist,
+                     const PairCallback& cb);
+
+/// Grid-hash join with cell size = max_dist: each point is compared against
+/// points in its own and forward-neighbor cells only, so each pair is
+/// produced exactly once. O(n · k) for uniform data.
+void GridPairs(const std::vector<PointEntry>& points, float max_dist,
+               const PairCallback& cb);
+
+/// Join through an already-populated SpatialIndex: radius query per point,
+/// deduplicated by id order. The index must contain exactly the points
+/// passed here (same ids), as degenerate boxes.
+void IndexPairs(const SpatialIndex& index,
+                const std::vector<PointEntry>& points, float max_dist,
+                const PairCallback& cb);
+
+}  // namespace gamedb::spatial

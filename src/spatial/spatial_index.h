@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file spatial_index.h
+/// Common interface over the spatial indexes the tutorial names as game
+/// industry practice ("traditional spatial indices such as BSP trees or
+/// Octrees"). All four implementations — LinearScan (the baseline designers'
+/// scripts effectively use), UniformGrid, KdBspTree and LooseOctree — share
+/// this interface so E2 can sweep them under identical workloads.
+
+#include <functional>
+
+#include "common/geometry.h"
+#include "common/macros.h"
+#include "core/entity.h"
+
+namespace gamedb::spatial {
+
+/// Visitor for query results. Return value is ignored for now (full
+/// enumeration); use QueryRangeWhile for early exit.
+using QueryCallback = std::function<void(EntityId, const Aabb&)>;
+
+/// Index over entities with axis-aligned bounds. Point data uses degenerate
+/// boxes (Aabb::FromPoint).
+///
+/// Implementations are not thread-safe for concurrent mutation; concurrent
+/// read-only queries are safe after a quiescent point (see each class).
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Human-readable index name (for benchmark tables).
+  virtual const char* Name() const = 0;
+
+  /// Inserts `e` with bounds `box`. Inserting an id that is already present
+  /// is a checked programming error; use Update.
+  virtual void Insert(EntityId e, const Aabb& box) = 0;
+
+  /// Removes `e`; returns false when absent.
+  virtual bool Remove(EntityId e) = 0;
+
+  /// Moves `e` to new bounds (must be present).
+  virtual void Update(EntityId e, const Aabb& box) = 0;
+
+  /// Invokes `cb` for every entry whose bounds intersect `range`.
+  virtual void QueryRange(const Aabb& range, const QueryCallback& cb) const = 0;
+
+  /// Invokes `cb` for every entry whose bounds intersect the sphere.
+  /// Default: box query on the sphere's AABB with exact distance filter.
+  virtual void QueryRadius(const Vec3& center, float radius,
+                           const QueryCallback& cb) const {
+    QueryRange(Aabb::FromSphere(center, radius),
+               [&](EntityId e, const Aabb& box) {
+                 if (box.IntersectsSphere(center, radius)) cb(e, box);
+               });
+  }
+
+  /// Number of entries.
+  virtual size_t Size() const = 0;
+
+  /// Removes all entries.
+  virtual void Clear() = 0;
+};
+
+}  // namespace gamedb::spatial

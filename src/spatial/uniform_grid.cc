@@ -1,0 +1,118 @@
+#include "spatial/uniform_grid.h"
+
+#include <cmath>
+
+namespace gamedb::spatial {
+
+UniformGrid::UniformGrid(UniformGridOptions options) : options_(options) {
+  GAMEDB_CHECK(options_.cell_size > 0.0f);
+}
+
+UniformGrid::CellCoord UniformGrid::CellOf(const Vec3& p) const {
+  float inv = 1.0f / options_.cell_size;
+  return CellCoord{static_cast<int32_t>(std::floor(p.x * inv)),
+                   static_cast<int32_t>(std::floor(p.y * inv)),
+                   static_cast<int32_t>(std::floor(p.z * inv))};
+}
+
+template <typename Fn>
+void UniformGrid::ForEachOverlappingCell(const Aabb& box, Fn&& fn) const {
+  CellCoord lo = CellOf(box.min);
+  CellCoord hi = CellOf(box.max);
+  for (int32_t x = lo.x; x <= hi.x; ++x) {
+    for (int32_t y = lo.y; y <= hi.y; ++y) {
+      for (int32_t z = lo.z; z <= hi.z; ++z) {
+        fn(CellCoord{x, y, z});
+      }
+    }
+  }
+}
+
+void UniformGrid::LinkToCells(uint32_t slot, const Aabb& box) {
+  ForEachOverlappingCell(box, [&](CellCoord c) {
+    cells_[c].push_back(slot);
+  });
+}
+
+void UniformGrid::UnlinkFromCells(uint32_t slot, const Aabb& box) {
+  ForEachOverlappingCell(box, [&](CellCoord c) {
+    auto it = cells_.find(c);
+    GAMEDB_DCHECK(it != cells_.end());
+    auto& v = it->second;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == slot) {
+        v[i] = v.back();
+        v.pop_back();
+        break;
+      }
+    }
+    if (v.empty()) cells_.erase(it);
+  });
+}
+
+void UniformGrid::Insert(EntityId e, const Aabb& box) {
+  GAMEDB_CHECK(slot_of_.find(e) == slot_of_.end());
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    entries_[slot] = Entry{e, box, 0};
+  } else {
+    slot = static_cast<uint32_t>(entries_.size());
+    entries_.push_back(Entry{e, box, 0});
+  }
+  slot_of_.emplace(e, slot);
+  LinkToCells(slot, box);
+}
+
+bool UniformGrid::Remove(EntityId e) {
+  auto it = slot_of_.find(e);
+  if (it == slot_of_.end()) return false;
+  uint32_t slot = it->second;
+  UnlinkFromCells(slot, entries_[slot].box);
+  entries_[slot].id = EntityId::Invalid();
+  free_slots_.push_back(slot);
+  slot_of_.erase(it);
+  return true;
+}
+
+void UniformGrid::Update(EntityId e, const Aabb& box) {
+  auto it = slot_of_.find(e);
+  GAMEDB_CHECK(it != slot_of_.end());
+  uint32_t slot = it->second;
+  Entry& entry = entries_[slot];
+  // Fast path: same cell footprint, just update the box.
+  CellCoord old_lo = CellOf(entry.box.min), old_hi = CellOf(entry.box.max);
+  CellCoord new_lo = CellOf(box.min), new_hi = CellOf(box.max);
+  if (old_lo == new_lo && old_hi == new_hi) {
+    entry.box = box;
+    return;
+  }
+  UnlinkFromCells(slot, entry.box);
+  entry.box = box;
+  LinkToCells(slot, box);
+}
+
+void UniformGrid::QueryRange(const Aabb& range, const QueryCallback& cb) const {
+  uint64_t epoch = ++query_epoch_;
+  ForEachOverlappingCell(range, [&](CellCoord c) {
+    auto it = cells_.find(c);
+    if (it == cells_.end()) return;
+    for (uint32_t slot : it->second) {
+      const Entry& entry = entries_[slot];
+      if (entry.seen_epoch == epoch) continue;  // already reported
+      entry.seen_epoch = epoch;
+      if (entry.box.Intersects(range)) cb(entry.id, entry.box);
+    }
+  });
+}
+
+void UniformGrid::Clear() {
+  entries_.clear();
+  free_slots_.clear();
+  slot_of_.clear();
+  cells_.clear();
+  query_epoch_ = 0;
+}
+
+}  // namespace gamedb::spatial

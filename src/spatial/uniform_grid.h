@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file uniform_grid.h
+/// Hashed uniform grid: the workhorse index for mostly-uniform entity
+/// distributions (crowds, armies). Entries are registered in every cell
+/// their bounds overlap; queries stamp entries with an epoch to deduplicate.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace gamedb::spatial {
+
+/// Options for UniformGrid.
+struct UniformGridOptions {
+  /// Cell edge length. Pick ~2x the typical query radius.
+  float cell_size = 10.0f;
+};
+
+/// Infinite hashed grid (no world bounds needed).
+///
+/// Thread safety: queries stamp entries with a query epoch to deduplicate
+/// multi-cell entries, so even const queries mutate internal state —
+/// concurrent queries on one UniformGrid are NOT safe. Use KdBspTree (after
+/// a warm-up query) or per-thread grids for parallel query phases.
+class UniformGrid final : public SpatialIndex {
+ public:
+  explicit UniformGrid(UniformGridOptions options = {});
+
+  const char* Name() const override { return "uniform_grid"; }
+
+  void Insert(EntityId e, const Aabb& box) override;
+  bool Remove(EntityId e) override;
+  void Update(EntityId e, const Aabb& box) override;
+  void QueryRange(const Aabb& range, const QueryCallback& cb) const override;
+  size_t Size() const override { return slot_of_.size(); }
+  void Clear() override;
+
+  /// Cells currently materialized (diagnostics).
+  size_t CellCount() const { return cells_.size(); }
+
+ private:
+  struct CellCoord {
+    int32_t x, y, z;
+    bool operator==(const CellCoord& o) const {
+      return x == o.x && y == o.y && z == o.z;
+    }
+  };
+  struct CellCoordHash {
+    size_t operator()(const CellCoord& c) const {
+      uint64_t h = static_cast<uint32_t>(c.x) * 0x9E3779B97F4A7C15ull;
+      h ^= static_cast<uint32_t>(c.y) * 0xC2B2AE3D27D4EB4Full;
+      h ^= static_cast<uint32_t>(c.z) * 0x165667B19E3779F9ull;
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Entry {
+    EntityId id;
+    Aabb box;
+    mutable uint64_t seen_epoch = 0;  // query-time dedup stamp
+  };
+
+  CellCoord CellOf(const Vec3& p) const;
+  template <typename Fn>
+  void ForEachOverlappingCell(const Aabb& box, Fn&& fn) const;
+  void LinkToCells(uint32_t slot, const Aabb& box);
+  void UnlinkFromCells(uint32_t slot, const Aabb& box);
+
+  UniformGridOptions options_;
+  std::vector<Entry> entries_;                    // slab; slot = index
+  std::vector<uint32_t> free_slots_;
+  std::unordered_map<EntityId, uint32_t> slot_of_;
+  std::unordered_map<CellCoord, std::vector<uint32_t>, CellCoordHash> cells_;
+  mutable uint64_t query_epoch_ = 0;
+};
+
+}  // namespace gamedb::spatial

@@ -1,0 +1,183 @@
+#include "txn/bubbles.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/query.h"
+#include "spatial/uniform_grid.h"
+
+namespace gamedb::txn {
+
+namespace {
+
+/// Union-find over entity slots.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n), rank_(n, 0) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+};
+
+}  // namespace
+
+BubblePartition ComputeBubbles(World* world, const BubbleOptions& options) {
+  BubblePartition out;
+  const float tau = options.horizon_seconds;
+
+  // Gather positioned entities with their motion-bound reach.
+  struct Item {
+    EntityId id;
+    Vec3 pos;
+    float reach;  // how far it can move within the horizon
+  };
+  std::vector<Item> items;
+  uint32_t max_slot = 0;
+  View<Position>(*world).Each([&](EntityId e, Position& p) {
+    float reach = 0.0f;
+    if (const Velocity* v = world->Get<Velocity>(e)) {
+      reach = v->value.Length() * tau + 0.5f * v->max_accel * tau * tau;
+    }
+    items.push_back(Item{e, p.value, reach});
+    max_slot = std::max(max_slot, e.index);
+  });
+  out.bubble_of_slot.assign(max_slot + 1, -1);
+  if (items.empty()) return out;
+
+  // Edge predicate: |p_i - p_j| <= r + reach_i + reach_j. Index the items
+  // in a grid sized to the largest possible edge length so each item only
+  // tests its neighborhood.
+  float max_reach = 0.0f;
+  for (const Item& it : items) max_reach = std::max(max_reach, it.reach);
+  float max_edge = options.interaction_radius + 2.0f * max_reach;
+
+  spatial::UniformGrid grid(
+      spatial::UniformGridOptions{std::max(max_edge, 1e-3f)});
+  std::unordered_map<uint64_t, uint32_t> item_of;  // entity raw -> item idx
+  item_of.reserve(items.size());
+  for (uint32_t i = 0; i < items.size(); ++i) {
+    grid.Insert(items[i].id, Aabb::FromPoint(items[i].pos));
+    item_of.emplace(items[i].id.Raw(), i);
+  }
+
+  DisjointSets sets(items.size());
+  for (uint32_t i = 0; i < items.size(); ++i) {
+    const Item& it = items[i];
+    float budget = options.interaction_radius + it.reach + max_reach;
+    grid.QueryRadius(it.pos, budget, [&](EntityId other, const Aabb&) {
+      uint32_t j = item_of.at(other.Raw());
+      if (j <= i) return;  // visit each pair once
+      const Item& jt = items[j];
+      float limit = options.interaction_radius + it.reach + jt.reach;
+      if (it.pos.DistanceSquaredTo(jt.pos) <= limit * limit) {
+        sets.Union(i, j);
+      }
+    });
+  }
+
+  // Densely number components.
+  std::unordered_map<uint32_t, int32_t> bubble_ids;
+  for (uint32_t i = 0; i < items.size(); ++i) {
+    uint32_t root = sets.Find(i);
+    auto [iter, inserted] =
+        bubble_ids.emplace(root, static_cast<int32_t>(bubble_ids.size()));
+    int32_t bubble = iter->second;
+    out.bubble_of_slot[items[i].id.index] = bubble;
+    if (inserted) out.sizes.push_back(0);
+    ++out.sizes[static_cast<size_t>(bubble)];
+  }
+  out.bubble_count = out.sizes.size();
+  for (uint32_t s : out.sizes) {
+    out.max_bubble_size = std::max<size_t>(out.max_bubble_size, s);
+  }
+  return out;
+}
+
+ExecStats BubbleExecutor::ExecuteBatch(World* world,
+                                       const std::vector<GameTxn>& batch,
+                                       ThreadPool* pool) {
+  if (batches_since_partition_ == 0 || last_partition_.sizes.empty()) {
+    last_partition_ = ComputeBubbles(world, options_);
+  }
+  batches_since_partition_ =
+      (batches_since_partition_ + 1) % std::max(1u, options_.repartition_interval);
+  const BubblePartition& part = last_partition_;
+
+  // Route transactions: single-bubble -> that bubble's queue, otherwise
+  // cross-bubble serial queue.
+  std::vector<std::vector<const GameTxn*>> queues(part.bubble_count);
+  std::vector<const GameTxn*> cross;
+  std::vector<EntityId> participants;
+  for (const GameTxn& t : batch) {
+    participants.clear();
+    t.AppendReadSet(&participants);
+    t.AppendWriteSet(&participants);
+    int32_t bubble = -2;  // unset
+    bool single = true;
+    for (EntityId e : participants) {
+      int32_t b = part.BubbleOf(e);
+      if (b < 0) {
+        single = false;
+        break;
+      }
+      if (bubble == -2) {
+        bubble = b;
+      } else if (bubble != b) {
+        single = false;
+        break;
+      }
+    }
+    if (single && bubble >= 0) {
+      queues[static_cast<size_t>(bubble)].push_back(&t);
+    } else {
+      cross.push_back(&t);
+    }
+  }
+
+  ExecStats stats;
+  stats.bubble_count = part.bubble_count;
+  stats.max_bubble_size = part.max_bubble_size;
+  stats.cross_bubble_txns = cross.size();
+
+  // Phase 1: bubbles in parallel, each serially, no locks at all.
+  std::atomic<uint64_t> committed{0};
+  pool->ParallelFor(queues.size(), [&](size_t begin, size_t end) {
+    uint64_t local = 0;
+    for (size_t q = begin; q < end; ++q) {
+      for (const GameTxn* t : queues[q]) {
+        ApplyTxn(world, *t);
+        ++local;
+      }
+    }
+    committed.fetch_add(local, std::memory_order_relaxed);
+  });
+  // Phase 2: cross-bubble transactions, serial.
+  for (const GameTxn* t : cross) {
+    ApplyTxn(world, *t);
+    ++committed;
+  }
+  stats.committed = committed.load();
+  return stats;
+}
+
+}  // namespace gamedb::txn

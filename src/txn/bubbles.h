@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file bubbles.h
+/// Causality bubbles — the EVE Online technique the tutorial describes:
+/// "a continuous differential equation that takes into account the
+/// acceleration of every space ship ... determines, for any given time
+/// interval, which ships can move within range of each other; this way they
+/// can dynamically partition the map into feasible units."
+///
+/// We realize the differential equation as its closed-form motion bound:
+/// over a horizon of τ seconds, entity i can cover at most
+///     reach_i = |v_i|·τ + ½·a_i·τ²
+/// so entities i and j can possibly interact within the horizon iff
+///     |p_i - p_j| ≤ r_interact + reach_i + reach_j.
+/// Connected components of that proximity graph are the bubbles: any two
+/// transactions whose participants live in different bubbles are guaranteed
+/// conflict-free for the whole horizon and need no synchronization.
+
+#include <vector>
+
+#include "txn/txn.h"
+
+namespace gamedb::txn {
+
+/// Parameters of the motion-bound partitioner.
+struct BubbleOptions {
+  /// Base interaction radius (weapon/trade range).
+  float interaction_radius = 10.0f;
+  /// Horizon τ in seconds: how long the partition stays valid.
+  float horizon_seconds = 1.0f;
+  /// Batches executed per partition recomputation. The motion bound makes
+  /// the partition valid for the whole horizon, so the EVE design amortizes
+  /// one partitioning across every tick inside it. Safety does not depend
+  /// on freshness (each entity maps to exactly one bubble, so transactions
+  /// in different bubbles can never share a participant); staleness only
+  /// pushes more transactions into the serial cross-bubble phase.
+  uint32_t repartition_interval = 1;
+};
+
+/// A partition of the live entities into causality bubbles.
+struct BubblePartition {
+  /// bubble id per entity slot index; -1 for entities without Position.
+  std::vector<int32_t> bubble_of_slot;
+  size_t bubble_count = 0;
+  size_t max_bubble_size = 0;
+  /// Entity count per bubble.
+  std::vector<uint32_t> sizes;
+
+  /// Bubble of an entity, or -1.
+  int32_t BubbleOf(EntityId e) const {
+    if (e.index >= bubble_of_slot.size()) return -1;
+    return bubble_of_slot[e.index];
+  }
+};
+
+/// Partitions entities carrying Position (+ optional Velocity for motion
+/// bounds; entities without Velocity are treated as static).
+BubblePartition ComputeBubbles(World* world, const BubbleOptions& options);
+
+/// Executor that routes each transaction to the bubble containing all of
+/// its participants; bubbles execute their queues serially but in parallel
+/// with each other, lock-free. Transactions spanning bubbles (or touching
+/// unpositioned entities) fall back to a serial cross-bubble phase — the
+/// fraction of those is the partitioner's quality metric.
+class BubbleExecutor final : public TxnExecutor {
+ public:
+  explicit BubbleExecutor(BubbleOptions options = {}) : options_(options) {}
+
+  const char* Name() const override { return "causality_bubbles"; }
+  ExecStats ExecuteBatch(World* world, const std::vector<GameTxn>& batch,
+                         ThreadPool* pool) override;
+
+  /// The partition computed for the last batch (benchmark introspection).
+  const BubblePartition& last_partition() const { return last_partition_; }
+
+ private:
+  BubbleOptions options_;
+  BubblePartition last_partition_;
+  uint32_t batches_since_partition_ = 0;
+};
+
+}  // namespace gamedb::txn

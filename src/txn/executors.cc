@@ -1,0 +1,157 @@
+#include "txn/executors.h"
+
+#include <algorithm>
+
+namespace gamedb::txn {
+
+ExecStats GlobalLockExecutor::ExecuteBatch(World* world,
+                                           const std::vector<GameTxn>& batch,
+                                           ThreadPool* pool) {
+  ExecStats total;
+  std::mutex stats_mu;
+  pool->ParallelFor(batch.size(), [&](size_t begin, size_t end) {
+    ExecStats local;
+    for (size_t i = begin; i < end; ++i) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ApplyTxn(world, batch[i]);
+      ++local.committed;
+      ++local.lock_acquisitions;
+    }
+    std::lock_guard<std::mutex> lock(stats_mu);
+    total.Merge(local);
+  });
+  return total;
+}
+
+ExecStats EntityLockExecutor::ExecuteBatch(World* world,
+                                           const std::vector<GameTxn>& batch,
+                                           ThreadPool* pool) {
+  ExecStats total;
+  std::mutex stats_mu;
+  pool->ParallelFor(batch.size(), [&](size_t begin, size_t end) {
+    ExecStats local;
+    std::vector<EntityId> participants;
+    for (size_t i = begin; i < end; ++i) {
+      participants.clear();
+      batch[i].AppendReadSet(&participants);
+      batch[i].AppendWriteSet(&participants);
+      LockManager::MultiGuard guard(&locks_, participants);
+      ApplyTxn(world, batch[i]);
+      ++local.committed;
+      local.lock_acquisitions += guard.lock_count();
+    }
+    std::lock_guard<std::mutex> lock(stats_mu);
+    total.Merge(local);
+  });
+  return total;
+}
+
+void OccExecutor::EnsureCapacity(uint32_t max_index) {
+  if (max_index < words_.size()) return;
+  // Grow between batches only (single-threaded point).
+  std::vector<std::atomic<uint64_t>> grown(
+      std::max<size_t>(max_index + 1, words_.size() * 2 + 64));
+  for (size_t i = 0; i < words_.size(); ++i) {
+    grown[i].store(words_[i].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  words_ = std::move(grown);
+}
+
+ExecStats OccExecutor::ExecuteBatch(World* world,
+                                    const std::vector<GameTxn>& batch,
+                                    ThreadPool* pool) {
+  uint32_t max_index = 0;
+  for (const GameTxn& t : batch) {
+    std::vector<EntityId> rs;
+    t.AppendReadSet(&rs);
+    t.AppendWriteSet(&rs);
+    for (EntityId e : rs) max_index = std::max(max_index, e.index);
+  }
+  EnsureCapacity(max_index);
+
+  ExecStats total;
+  std::mutex stats_mu;
+  pool->ParallelFor(batch.size(), [&](size_t begin, size_t end) {
+    ExecStats local;
+    std::vector<EntityId> reads, writes;
+    std::vector<std::pair<uint32_t, uint64_t>> read_versions;
+    std::vector<uint32_t> write_slots;
+    for (size_t i = begin; i < end; ++i) {
+      const GameTxn& t = batch[i];
+      reads.clear();
+      writes.clear();
+      t.AppendReadSet(&reads);
+      t.AppendWriteSet(&writes);
+      write_slots.clear();
+      for (EntityId e : writes) write_slots.push_back(e.index);
+      std::sort(write_slots.begin(), write_slots.end());
+      write_slots.erase(
+          std::unique(write_slots.begin(), write_slots.end()),
+          write_slots.end());
+
+      while (true) {
+        // 1. Snapshot read versions.
+        read_versions.clear();
+        bool dirty = false;
+        for (EntityId e : reads) {
+          uint64_t w = words_[e.index].load(std::memory_order_acquire);
+          if (w & kLockBit) {
+            dirty = true;
+            break;
+          }
+          read_versions.emplace_back(e.index, w);
+        }
+        if (dirty) {
+          ++local.aborted;
+          continue;
+        }
+        // 2. Lock write set (ascending index; spin).
+        for (uint32_t slot : write_slots) {
+          while (true) {
+            uint64_t w = words_[slot].load(std::memory_order_relaxed);
+            if (!(w & kLockBit) &&
+                words_[slot].compare_exchange_weak(
+                    w, w | kLockBit, std::memory_order_acquire)) {
+              break;
+            }
+          }
+          ++local.lock_acquisitions;
+        }
+        // 3. Validate reads: unchanged, and not locked by someone else.
+        bool valid = true;
+        for (const auto& [slot, seen] : read_versions) {
+          uint64_t w = words_[slot].load(std::memory_order_acquire);
+          bool locked_by_us =
+              std::binary_search(write_slots.begin(), write_slots.end(), slot);
+          if ((w & ~kLockBit) != (seen & ~kLockBit) ||
+              ((w & kLockBit) && !locked_by_us)) {
+            valid = false;
+            break;
+          }
+        }
+        if (!valid) {
+          for (uint32_t slot : write_slots) {
+            words_[slot].fetch_and(~kLockBit, std::memory_order_release);
+          }
+          ++local.aborted;
+          continue;
+        }
+        // 4. Apply, bump versions, unlock.
+        ApplyTxn(world, t);
+        for (uint32_t slot : write_slots) {
+          uint64_t w = words_[slot].load(std::memory_order_relaxed);
+          words_[slot].store((w & ~kLockBit) + 2,
+                             std::memory_order_release);
+        }
+        ++local.committed;
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(stats_mu);
+    total.Merge(local);
+  });
+  return total;
+}
+
+}  // namespace gamedb::txn

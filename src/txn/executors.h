@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file executors.h
+/// The classical concurrency-control engines E5 compares against causality
+/// bubbles:
+///  - GlobalLockExecutor: one big lock around the world — the simplest
+///    correct MMO server loop, zero parallelism.
+///  - EntityLockExecutor: conservative two-phase locking over the declared
+///    participant set (sorted stripe acquisition, so no deadlocks).
+///  - OccExecutor: optimistic validation in the style of Silo — version
+///    words with embedded lock bits, read-set validation, retry on abort.
+
+#include <atomic>
+#include <mutex>
+
+#include "txn/lock_manager.h"
+#include "txn/txn.h"
+
+namespace gamedb::txn {
+
+/// Serializes every transaction under one mutex.
+class GlobalLockExecutor final : public TxnExecutor {
+ public:
+  const char* Name() const override { return "global_lock"; }
+  ExecStats ExecuteBatch(World* world, const std::vector<GameTxn>& batch,
+                         ThreadPool* pool) override;
+
+ private:
+  std::mutex mu_;
+};
+
+/// Two-phase locking over pre-declared participants.
+class EntityLockExecutor final : public TxnExecutor {
+ public:
+  explicit EntityLockExecutor(LockManagerOptions options = {})
+      : locks_(options) {}
+  const char* Name() const override { return "entity_2pl"; }
+  ExecStats ExecuteBatch(World* world, const std::vector<GameTxn>& batch,
+                         ThreadPool* pool) override;
+
+ private:
+  LockManager locks_;
+};
+
+/// Optimistic concurrency control with per-entity version+lock words.
+///
+/// Protocol per transaction (retry loop):
+///   1. snapshot versions of the read set (fail fast if any is locked),
+///   2. lock the write set (spin, ascending entity index),
+///   3. validate the read-set versions are unchanged and unlocked-by-others,
+///   4. apply, bump write versions, unlock.
+class OccExecutor final : public TxnExecutor {
+ public:
+  const char* Name() const override { return "occ"; }
+  ExecStats ExecuteBatch(World* world, const std::vector<GameTxn>& batch,
+                         ThreadPool* pool) override;
+
+ private:
+  static constexpr uint64_t kLockBit = 1;
+
+  void EnsureCapacity(uint32_t max_index);
+
+  /// Version words indexed by entity slot; LSB is the lock bit.
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace gamedb::txn

@@ -1,0 +1,39 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+namespace gamedb::txn {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+LockManager::LockManager(LockManagerOptions options)
+    : locks_(RoundUpPow2(std::max<size_t>(options.stripes, 2))),
+      mask_(locks_.size() - 1) {}
+
+LockManager::MultiGuard::MultiGuard(LockManager* mgr,
+                                    const std::vector<EntityId>& entities)
+    : mgr_(mgr) {
+  stripes_.reserve(entities.size());
+  for (EntityId e : entities) stripes_.push_back(mgr->StripeOf(e));
+  std::sort(stripes_.begin(), stripes_.end());
+  stripes_.erase(std::unique(stripes_.begin(), stripes_.end()),
+                 stripes_.end());
+  for (size_t s : stripes_) mgr_->locks_[s].lock();
+}
+
+LockManager::MultiGuard::~MultiGuard() {
+  // Release in reverse order (not required for correctness, conventional).
+  for (auto it = stripes_.rbegin(); it != stripes_.rend(); ++it) {
+    mgr_->locks_[*it].unlock();
+  }
+}
+
+}  // namespace gamedb::txn

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file lock_manager.h
+/// Striped per-entity lock table. Entities hash to one of 2^k mutex
+/// stripes; acquiring a set of entities in ascending stripe order is
+/// deadlock-free (total order), which works because game transactions
+/// declare their participants up front.
+
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/entity.h"
+
+namespace gamedb::txn {
+
+/// Options for LockManager.
+struct LockManagerOptions {
+  /// Number of mutex stripes (rounded up to a power of two).
+  size_t stripes = 1024;
+};
+
+/// Hash-striped entity locks with ordered multi-acquire.
+class LockManager {
+ public:
+  explicit LockManager(LockManagerOptions options = {});
+  GAMEDB_DISALLOW_COPY(LockManager);
+
+  /// RAII guard over a set of entities. Stripe indexes are sorted and
+  /// deduplicated before locking, so concurrent guards never deadlock.
+  class MultiGuard {
+   public:
+    MultiGuard(LockManager* mgr, const std::vector<EntityId>& entities);
+    ~MultiGuard();
+    GAMEDB_DISALLOW_COPY(MultiGuard);
+
+    /// Number of distinct stripes locked (lock_acquisitions metric).
+    size_t lock_count() const { return stripes_.size(); }
+
+   private:
+    LockManager* mgr_;
+    std::vector<size_t> stripes_;  // sorted unique stripe indexes
+  };
+
+  size_t StripeOf(EntityId e) const {
+    return (e.Raw() * 0x9E3779B97F4A7C15ull) & mask_;
+  }
+  size_t stripe_count() const { return locks_.size(); }
+
+ private:
+  friend class MultiGuard;
+  std::vector<std::mutex> locks_;
+  size_t mask_;
+};
+
+}  // namespace gamedb::txn

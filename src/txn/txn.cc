@@ -1,0 +1,106 @@
+#include "txn/txn.h"
+
+#include <algorithm>
+
+namespace gamedb::txn {
+
+namespace {
+/// Sink for the synthetic transaction work (volatile defeats DCE).
+volatile uint64_t benchmark_sink_ = 0;
+}  // namespace
+
+void GameTxn::AppendWriteSet(std::vector<EntityId>* out) const {
+  switch (type) {
+    case TxnType::kAttack:
+      out->push_back(b);
+      break;
+    case TxnType::kTrade:
+      out->push_back(a);
+      out->push_back(b);
+      break;
+    case TxnType::kMove:
+      out->push_back(a);
+      break;
+    case TxnType::kAoe:
+      for (EntityId e : extra) out->push_back(e);
+      break;
+  }
+}
+
+void GameTxn::AppendReadSet(std::vector<EntityId>* out) const {
+  out->push_back(a);
+  if (type == TxnType::kAttack || type == TxnType::kTrade) {
+    out->push_back(b);
+  }
+  for (EntityId e : extra) out->push_back(e);
+}
+
+namespace {
+
+void Damage(World* world, EntityId attacker, EntityId target,
+            float override_amount) {
+  const Combat* atk = world->Get<Combat>(attacker);
+  Health* hp = world->GetMutableUntracked<Health>(target);
+  if (hp == nullptr) return;  // target despawned or has no health
+  float dmg = override_amount;
+  if (dmg <= 0.0f && atk != nullptr) {
+    const Combat* def = world->Get<Combat>(target);
+    dmg = std::max(1.0f, atk->attack - (def ? def->defense : 0.0f));
+  }
+  if (dmg <= 0.0f) dmg = 1.0f;
+  hp->hp -= dmg;
+}
+
+}  // namespace
+
+void ApplyTxn(World* world, const GameTxn& t) {
+  if (t.work_units > 0) {
+    // Deterministic busy work standing in for combat-resolution logic.
+    uint64_t h = 1469598103934665603ull ^ t.a.Raw();
+    for (uint32_t i = 0; i < t.work_units; ++i) {
+      h = (h ^ i) * 1099511628211ull;
+    }
+    benchmark_sink_ = h;  // defeat dead-code elimination
+  }
+  switch (t.type) {
+    case TxnType::kAttack:
+      Damage(world, t.a, t.b, t.amount);
+      return;
+    case TxnType::kTrade: {
+      Actor* from = world->GetMutableUntracked<Actor>(t.a);
+      Actor* to = world->GetMutableUntracked<Actor>(t.b);
+      if (from == nullptr || to == nullptr) return;
+      int64_t amount = std::min<int64_t>(static_cast<int64_t>(t.amount),
+                                         from->gold);
+      if (amount <= 0) return;
+      from->gold -= amount;
+      to->gold += amount;
+      return;
+    }
+    case TxnType::kMove: {
+      Position* pos = world->GetMutableUntracked<Position>(t.a);
+      if (pos != nullptr) pos->value = t.dest;
+      return;
+    }
+    case TxnType::kAoe:
+      for (EntityId target : t.extra) {
+        Damage(world, t.a, target, t.amount);
+      }
+      return;
+  }
+}
+
+void PublishBatchDirty(World* world, const std::vector<GameTxn>& batch) {
+  std::vector<EntityId> writes;
+  for (const GameTxn& t : batch) {
+    writes.clear();
+    t.AppendWriteSet(&writes);
+    for (EntityId e : writes) {
+      world->ForEachStore([&](const TypeInfo&, ComponentStore& store) {
+        if (store.Contains(e)) store.Touch(e);
+      });
+    }
+  }
+}
+
+}  // namespace gamedb::txn

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file workload.h
+/// Synthetic MMO shard workloads (the "simulated substitution" for real
+/// player traffic — see DESIGN.md §4). Populates a world with players and
+/// NPCs, then generates per-tick transaction batches whose contention
+/// profile is controlled by spatial density and a Zipf hotspot parameter
+/// (crowds around bosses and market hubs).
+
+#include <vector>
+
+#include "common/rng.h"
+#include "txn/txn.h"
+
+namespace gamedb::txn {
+
+/// Workload shape parameters.
+struct WorkloadOptions {
+  uint32_t num_entities = 1000;
+  float area_extent = 500.0f;      // world is [0, extent)^2 on the XZ plane
+  float max_speed = 5.0f;          // |velocity| upper bound
+  float max_accel = 2.0f;
+  float interaction_radius = 10.0f;
+
+  /// Per-tick transactions as a fraction of entity count.
+  float txns_per_entity = 1.0f;
+  /// Transaction mix (fractions; the remainder becomes kMove).
+  float attack_fraction = 0.5f;
+  float trade_fraction = 0.2f;
+  /// Zipf skew of target selection: 0 = uniform partners, ~1 = hotspots.
+  double hotspot_alpha = 0.0;
+  /// Synthetic per-transaction CPU work (see GameTxn::work_units).
+  uint32_t txn_work_units = 0;
+  /// Fraction of entities clustered into a dense "town" hotspot region.
+  float clustered_fraction = 0.0f;
+
+  uint64_t seed = 20090629;  // SIGMOD'09 opening day
+};
+
+/// A populated world plus the id list the generator draws from.
+class MmoWorkload {
+ public:
+  explicit MmoWorkload(const WorkloadOptions& options);
+
+  World& world() { return world_; }
+  const std::vector<EntityId>& entities() const { return entities_; }
+  const WorkloadOptions& options() const { return options_; }
+
+  /// Generates one tick's batch. Attack/trade targets are drawn from the
+  /// initiator's spatial neighborhood (within interaction_radius) so the
+  /// conflict structure matches the world's geometry; the Zipf parameter
+  /// skews initiator choice toward the hotspot cluster.
+  std::vector<GameTxn> NextBatch();
+
+  /// Advances positions by `dt` seconds of straight-line motion with
+  /// reflective walls (keeps bubbles evolving between batches).
+  void AdvancePositions(float dt);
+
+  /// Invariant probes used by tests and benches.
+  int64_t TotalGold() const;
+  double TotalHp() const;
+
+ private:
+  EntityId PickEntity(Rng* rng);
+  std::vector<EntityId> NeighborsOf(EntityId e, float radius) const;
+
+  WorkloadOptions options_;
+  World world_;
+  std::vector<EntityId> entities_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace gamedb::txn

@@ -1,0 +1,148 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gamedb {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed32(&buf, 0xFFFFFFFFu);
+  EXPECT_EQ(buf.size(), 16u);
+
+  Decoder dec(buf);
+  uint32_t v;
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(v, 0xDEADBEEFu);
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(v, 0xFFFFFFFFu);
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(CodingTest, Fixed32IsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x04030201u);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+  EXPECT_EQ(buf[2], 0x03);
+  EXPECT_EQ(buf[3], 0x04);
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  // Each 7-bit boundary changes the encoded length.
+  const uint64_t cases[] = {0,       127,        128,        16383,
+                            16384,   (1ull << 35) - 1, 1ull << 35,
+                            ~0ull};
+  for (uint64_t v : cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    Decoder dec(buf);
+    uint64_t out;
+    ASSERT_TRUE(dec.GetVarint64(&out).ok()) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(dec.empty());
+  }
+}
+
+TEST(CodingTest, VarintSignedZigZag) {
+  const int64_t cases[] = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  for (int64_t v : cases) {
+    std::string buf;
+    PutVarintSigned64(&buf, v);
+    Decoder dec(buf);
+    int64_t out;
+    ASSERT_TRUE(dec.GetVarintSigned64(&out).ok()) << v;
+    EXPECT_EQ(out, v);
+  }
+  // Small magnitudes encode small.
+  std::string buf;
+  PutVarintSigned64(&buf, -1);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(CodingTest, FloatDoubleBitExact) {
+  std::string buf;
+  PutFloat(&buf, 3.14159f);
+  PutDouble(&buf, -2.718281828459045);
+  PutFloat(&buf, 0.0f);
+  Decoder dec(buf);
+  float f;
+  double d;
+  ASSERT_TRUE(dec.GetFloat(&f).ok());
+  EXPECT_EQ(f, 3.14159f);
+  ASSERT_TRUE(dec.GetDouble(&d).ok());
+  EXPECT_EQ(d, -2.718281828459045);
+  ASSERT_TRUE(dec.GetFloat(&f).ok());
+  EXPECT_EQ(f, 0.0f);
+}
+
+TEST(CodingTest, LengthPrefixed) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(300, 'x'));
+  Decoder dec(buf);
+  std::string_view s;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(dec.GetLengthPrefixed(&s).ok());
+  EXPECT_EQ(s.size(), 300u);
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(CodingTest, UnderflowReturnsCorruption) {
+  std::string buf;
+  PutFixed32(&buf, 7);
+  Decoder dec(buf);
+  uint64_t v64;
+  EXPECT_TRUE(dec.GetFixed64(&v64).IsCorruption());
+
+  Decoder dec2("\xff\xff");  // truncated varint
+  uint64_t v;
+  EXPECT_TRUE(dec2.GetVarint64(&v).IsCorruption());
+
+  Decoder dec3("\x05abc");  // length prefix says 5, only 3 bytes
+  std::string_view s;
+  EXPECT_TRUE(dec3.GetLengthPrefixed(&s).IsCorruption());
+}
+
+TEST(CodingTest, OverlongVarintRejected) {
+  std::string buf(11, '\x80');  // 11 continuation bytes
+  Decoder dec(buf);
+  uint64_t v;
+  EXPECT_TRUE(dec.GetVarint64(&v).IsCorruption());
+}
+
+TEST(CodingTest, RandomRoundTripProperty) {
+  Rng rng(20260609);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t u = rng.NextU64() >> (rng.NextU64() % 64);
+    int64_t s = static_cast<int64_t>(rng.NextU64());
+    std::string buf;
+    PutVarint64(&buf, u);
+    PutVarintSigned64(&buf, s);
+    Decoder dec(buf);
+    uint64_t uo;
+    int64_t so;
+    ASSERT_TRUE(dec.GetVarint64(&uo).ok());
+    ASSERT_TRUE(dec.GetVarintSigned64(&so).ok());
+    ASSERT_EQ(uo, u);
+    ASSERT_EQ(so, s);
+    ASSERT_TRUE(dec.empty());
+  }
+}
+
+}  // namespace
+}  // namespace gamedb

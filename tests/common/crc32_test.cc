@@ -1,0 +1,40 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gamedb {
+namespace {
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32C of "123456789" is 0xE3069283 (iSCSI test vector).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32c("", 0), 0u); }
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t one_shot = Crc32c(data.data(), data.size());
+  uint32_t partial = Crc32c(data.data(), 10);
+  partial = Crc32c(data.data() + 10, data.size() - 10, partial);
+  EXPECT_EQ(partial, one_shot);
+}
+
+TEST(Crc32Test, SensitiveToSingleBitFlip) {
+  std::string data(64, 'a');
+  uint32_t before = Crc32c(data.data(), data.size());
+  data[17] = static_cast<char>(data[17] ^ 0x01);
+  EXPECT_NE(Crc32c(data.data(), data.size()), before);
+}
+
+TEST(Crc32Test, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+    EXPECT_NE(MaskCrc(crc), crc);  // masking must change the value
+  }
+}
+
+}  // namespace
+}  // namespace gamedb

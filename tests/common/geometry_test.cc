@@ -1,0 +1,114 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gamedb {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  Vec3 a(1, 2, 3), b(4, 5, 6);
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0f, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0f * a, Vec3(2, 4, 6));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+  EXPECT_FLOAT_EQ(a.Dot(b), 32.0f);
+  EXPECT_EQ(a.Cross(b), Vec3(-3, 6, -3));
+}
+
+TEST(Vec3Test, LengthAndNormalize) {
+  Vec3 v(3, 4, 0);
+  EXPECT_FLOAT_EQ(v.Length(), 5.0f);
+  EXPECT_FLOAT_EQ(v.LengthSquared(), 25.0f);
+  Vec3 n = v.Normalized();
+  EXPECT_NEAR(n.Length(), 1.0f, 1e-6f);
+  EXPECT_EQ(Vec3().Normalized(), Vec3());  // zero vector stays zero
+}
+
+TEST(AabbTest, DefaultIsEmpty) {
+  Aabb box;
+  EXPECT_TRUE(box.Empty());
+  EXPECT_FLOAT_EQ(box.Volume(), 0.0f);
+  EXPECT_FALSE(box.Intersects(box));
+}
+
+TEST(AabbTest, ContainsAndIntersects) {
+  Aabb a({0, 0, 0}, {10, 10, 10});
+  Aabb b({5, 5, 5}, {15, 15, 15});
+  Aabb c({20, 20, 20}, {30, 30, 30});
+  EXPECT_TRUE(a.Contains(Vec3(5, 5, 5)));
+  EXPECT_TRUE(a.Contains(Vec3(0, 0, 0)));  // boundary inclusive
+  EXPECT_FALSE(a.Contains(Vec3(10.01f, 5, 5)));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Contains(Aabb({1, 1, 1}, {2, 2, 2})));
+  EXPECT_FALSE(a.Contains(b));
+}
+
+TEST(AabbTest, UnionIntersection) {
+  Aabb a({0, 0, 0}, {4, 4, 4});
+  Aabb b({2, 2, 2}, {6, 6, 6});
+  Aabb u = a.Union(b);
+  EXPECT_EQ(u.min, Vec3(0, 0, 0));
+  EXPECT_EQ(u.max, Vec3(6, 6, 6));
+  Aabb i = a.Intersection(b);
+  EXPECT_EQ(i.min, Vec3(2, 2, 2));
+  EXPECT_EQ(i.max, Vec3(4, 4, 4));
+  EXPECT_TRUE(a.Intersection(Aabb({9, 9, 9}, {10, 10, 10})).Empty());
+  // Union with empty is identity.
+  EXPECT_EQ(a.Union(Aabb()).min, a.min);
+  EXPECT_EQ(a.Union(Aabb()).max, a.max);
+}
+
+TEST(AabbTest, SphereQueries) {
+  Aabb box({0, 0, 0}, {10, 10, 10});
+  EXPECT_TRUE(box.IntersectsSphere({5, 5, 5}, 0.1f));   // center inside
+  EXPECT_TRUE(box.IntersectsSphere({12, 5, 5}, 2.5f));  // overlaps face
+  EXPECT_FALSE(box.IntersectsSphere({15, 5, 5}, 2.0f));
+  EXPECT_FLOAT_EQ(box.DistanceSquaredTo({12, 5, 5}), 4.0f);
+  EXPECT_FLOAT_EQ(box.DistanceSquaredTo({5, 5, 5}), 0.0f);
+}
+
+TEST(AabbTest, FromSphereInflated) {
+  Aabb s = Aabb::FromSphere({1, 2, 3}, 2.0f);
+  EXPECT_EQ(s.min, Vec3(-1, 0, 1));
+  EXPECT_EQ(s.max, Vec3(3, 4, 5));
+  Aabb g = Aabb::FromPoint({0, 0, 0}).Inflated(1.0f);
+  EXPECT_EQ(g.min, Vec3(-1, -1, -1));
+  EXPECT_EQ(g.max, Vec3(1, 1, 1));
+}
+
+TEST(Vec2Test, CrossOrientation) {
+  Vec2 a(0, 0), b(1, 0), c(1, 1);
+  EXPECT_GT(Orient2D(a, b, c), 0.0f);  // CCW
+  EXPECT_LT(Orient2D(a, c, b), 0.0f);  // CW
+  EXPECT_FLOAT_EQ(Orient2D(a, b, Vec2(2, 0)), 0.0f);  // collinear
+}
+
+TEST(GeometryProperty, UnionContainsBothOperands) {
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    Aabb world({-100, -100, -100}, {100, 100, 100});
+    Vec3 p1 = rng.NextPointIn(world), p2 = rng.NextPointIn(world);
+    Vec3 p3 = rng.NextPointIn(world), p4 = rng.NextPointIn(world);
+    Aabb a(Min(p1, p2), Max(p1, p2));
+    Aabb b(Min(p3, p4), Max(p3, p4));
+    Aabb u = a.Union(b);
+    ASSERT_TRUE(u.Contains(a));
+    ASSERT_TRUE(u.Contains(b));
+    Aabb inter = a.Intersection(b);
+    if (!inter.Empty()) {
+      ASSERT_TRUE(a.Contains(inter));
+      ASSERT_TRUE(b.Contains(inter));
+      ASSERT_TRUE(a.Intersects(b));
+    } else {
+      ASSERT_FALSE(a.Intersects(b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gamedb

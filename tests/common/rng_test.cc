@@ -1,0 +1,118 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gamedb {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.NextBounded(17);
+    ASSERT_LT(v, 17u);
+    int64_t s = rng.NextInt(-5, 5);
+    ASSERT_GE(s, -5);
+    ASSERT_LE(s, 5);
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    float f = rng.NextFloat(2.0f, 3.0f);
+    ASSERT_GE(f, 2.0f);
+    ASSERT_LT(f, 3.0f);
+  }
+}
+
+TEST(RngTest, NextIntCoversFullRange) {
+  Rng rng(99);
+  std::vector<bool> seen(11, false);
+  for (int i = 0; i < 2000; ++i) {
+    seen[static_cast<size_t>(rng.NextInt(0, 10))] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, PointInBoxStaysInBox) {
+  Rng rng(5);
+  Aabb box({-3, 0, 2}, {4, 1, 9});
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(box.Contains(rng.NextPointIn(box)));
+  }
+}
+
+TEST(RngTest, DirXZIsUnitAndPlanar) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    Vec3 d = rng.NextDirXZ();
+    ASSERT_NEAR(d.Length(), 1.0f, 1e-5f);
+    ASSERT_EQ(d.y, 0.0f);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(2026);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+class ZipfParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfParamTest, SamplesInRangeAndSkewed) {
+  double alpha = GetParam();
+  const uint64_t n = 1000;
+  ZipfGenerator zipf(n, alpha);
+  Rng rng(31337);
+  std::vector<int> counts(n, 0);
+  const int samples = 50000;
+  for (int i = 0; i < samples; ++i) {
+    uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  if (alpha >= 0.8) {
+    // Hot item dominates the median item under real skew.
+    EXPECT_GT(counts[0], counts[n / 2] * 5);
+    // Top-10 items get a sizeable share.
+    int top = 0;
+    for (int i = 0; i < 10; ++i) top += counts[i];
+    EXPECT_GT(top, samples / 10);
+  }
+  if (alpha == 0.0) {
+    // Uniform: hottest item should not be wildly over-represented.
+    int max_count = 0;
+    for (int c : counts) max_count = std::max(max_count, c);
+    EXPECT_LT(max_count, samples * 5 / n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfParamTest,
+                         ::testing::Values(0.0, 0.5, 0.8, 0.99, 1.2));
+
+}  // namespace
+}  // namespace gamedb

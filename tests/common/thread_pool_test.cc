@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gamedb {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(hits.size(), [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> hits(3, 0);  // not atomic: must be single-threaded
+  pool.ParallelFor(hits.size(), [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksShardIdsAreDisjointAndBounded) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> owner(n);
+  for (auto& o : owner) o.store(-1);
+  pool.ParallelForChunks(n, [&](size_t chunk, size_t b, size_t e) {
+    ASSERT_LT(chunk, pool.num_threads());
+    for (size_t i = b; i < e; ++i) {
+      int expected = -1;
+      ASSERT_TRUE(owner[i].compare_exchange_strong(
+          expected, static_cast<int>(chunk)));
+    }
+  });
+  for (auto& o : owner) ASSERT_NE(o.load(), -1);
+}
+
+TEST(ThreadPoolTest, ChunkingIsDeterministic) {
+  std::vector<std::pair<size_t, size_t>> first, second;
+  for (int round = 0; round < 2; ++round) {
+    ThreadPool pool(3);
+    std::mutex mu;
+    auto& out = round == 0 ? first : second;
+    pool.ParallelForChunks(100, [&](size_t, size_t b, size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      out.emplace_back(b, e);
+    });
+    std::sort(out.begin(), out.end());
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(50, [&](size_t b, size_t e) {
+    counter.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    pool.Submit([&] { counter.fetch_add(1); });
+  });
+  // Wait until both generations drain.
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace gamedb

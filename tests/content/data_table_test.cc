@@ -1,0 +1,99 @@
+#include "content/data_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace gamedb::content {
+namespace {
+
+constexpr char kTables[] = R"(
+<LootTables>
+  <LootTable name="boss">
+    <Entry item="epic_sword" weight="1"/>
+    <Entry item="rare_gem" weight="9"/>
+    <Entry item="gold_pile" weight="90" min="50" max="200"/>
+  </LootTable>
+  <LootTable name="trash">
+    <Entry item="rag" weight="1"/>
+  </LootTable>
+</LootTables>)";
+
+TEST(LootTableTest, LoadsAndLooksUp) {
+  auto set = LootTableSet::Load(kTables);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->size(), 2u);
+  ASSERT_NE(set->Find("boss"), nullptr);
+  EXPECT_EQ(set->Find("missing"), nullptr);
+  EXPECT_EQ(set->Find("boss")->entries().size(), 3u);
+}
+
+TEST(LootTableTest, ProbabilitiesFollowWeights) {
+  auto set = LootTableSet::Load(kTables);
+  ASSERT_TRUE(set.ok());
+  const LootTable* boss = set->Find("boss");
+  EXPECT_DOUBLE_EQ(boss->ProbabilityOf("epic_sword"), 0.01);
+  EXPECT_DOUBLE_EQ(boss->ProbabilityOf("rare_gem"), 0.09);
+  EXPECT_DOUBLE_EQ(boss->ProbabilityOf("gold_pile"), 0.90);
+  EXPECT_DOUBLE_EQ(boss->ProbabilityOf("unknown"), 0.0);
+}
+
+TEST(LootTableTest, RollDistributionMatchesWeights) {
+  auto set = LootTableSet::Load(kTables);
+  ASSERT_TRUE(set.ok());
+  const LootTable* boss = set->Find("boss");
+  Rng rng(2026);
+  std::map<std::string, int> counts;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    LootDrop drop = boss->Roll(&rng);
+    counts[drop.item] += 1;
+    if (drop.item == "gold_pile") {
+      EXPECT_GE(drop.count, 50);
+      EXPECT_LE(drop.count, 200);
+    } else {
+      EXPECT_EQ(drop.count, 1);
+    }
+  }
+  EXPECT_NEAR(counts["epic_sword"] / double(trials), 0.01, 0.005);
+  EXPECT_NEAR(counts["rare_gem"] / double(trials), 0.09, 0.01);
+  EXPECT_NEAR(counts["gold_pile"] / double(trials), 0.90, 0.01);
+}
+
+TEST(LootTableTest, SingleEntryAlwaysDrops) {
+  auto set = LootTableSet::Load(kTables);
+  ASSERT_TRUE(set.ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(set->Find("trash")->Roll(&rng).item, "rag");
+  }
+}
+
+TEST(LootTableTest, RejectsBadContent) {
+  EXPECT_FALSE(LootTableSet::Load("<Nope/>").ok());
+  EXPECT_FALSE(LootTableSet::Load(
+                   R"(<LootTables><LootTable name="x"/></LootTables>)")
+                   .ok());  // empty table
+  EXPECT_FALSE(
+      LootTableSet::Load(R"(
+      <LootTables><LootTable name="x">
+        <Entry item="a" weight="0"/>
+      </LootTable></LootTables>)")
+          .ok());  // zero weight
+  EXPECT_FALSE(
+      LootTableSet::Load(R"(
+      <LootTables><LootTable name="x">
+        <Entry item="a" min="5" max="2"/>
+      </LootTable></LootTables>)")
+          .ok());  // min > max
+  EXPECT_FALSE(
+      LootTableSet::Load(R"(
+      <LootTables>
+        <LootTable name="x"><Entry item="a"/></LootTable>
+        <LootTable name="x"><Entry item="b"/></LootTable>
+      </LootTables>)")
+          .ok());  // duplicate name
+}
+
+}  // namespace
+}  // namespace gamedb::content

@@ -1,0 +1,147 @@
+#include "content/prefab.h"
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+
+namespace gamedb::content {
+namespace {
+
+constexpr char kLibrary[] = R"(
+<Prefabs>
+  <Prefab name="beast">
+    <Component type="Health" hp="50" max_hp="50"/>
+    <Component type="Position" value="1,2,3"/>
+    <Component type="Faction" team="2"/>
+  </Prefab>
+  <Prefab name="wolf" extends="beast">
+    <Component type="Health" hp="35" max_hp="35"/>
+    <Component type="Combat" attack="7" range="2.5"/>
+    <Component type="ScriptRef" script_name="wolf.gsl"/>
+  </Prefab>
+  <Prefab name="alpha_wolf" extends="wolf">
+    <Component type="Combat" attack="15" range="2.5"/>
+  </Prefab>
+</Prefabs>)";
+
+class PrefabTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterStandardComponents(); }
+  World world;
+};
+
+TEST_F(PrefabTest, LoadParsesAllPrefabs) {
+  auto lib = PrefabLibrary::Load(kLibrary);
+  ASSERT_TRUE(lib.ok()) << lib.status().ToString();
+  EXPECT_EQ(lib->size(), 3u);
+  EXPECT_TRUE(lib->Has("wolf"));
+  EXPECT_FALSE(lib->Has("dragon"));
+}
+
+TEST_F(PrefabTest, InstantiateSetsFields) {
+  auto lib = PrefabLibrary::Load(kLibrary);
+  ASSERT_TRUE(lib.ok());
+  auto e = lib->Instantiate(&world, "beast");
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(world.Alive(*e));
+  ASSERT_TRUE(world.Has<Health>(*e));
+  EXPECT_FLOAT_EQ(world.Get<Health>(*e)->hp, 50);
+  EXPECT_EQ(world.Get<Position>(*e)->value, Vec3(1, 2, 3));
+  EXPECT_EQ(world.Get<Faction>(*e)->team, 2);
+}
+
+TEST_F(PrefabTest, InheritanceAppliesBaseThenOverrides) {
+  auto lib = PrefabLibrary::Load(kLibrary);
+  ASSERT_TRUE(lib.ok());
+  auto wolf = lib->Instantiate(&world, "wolf");
+  ASSERT_TRUE(wolf.ok());
+  // Overridden by wolf:
+  EXPECT_FLOAT_EQ(world.Get<Health>(*wolf)->hp, 35);
+  // Inherited from beast:
+  EXPECT_EQ(world.Get<Position>(*wolf)->value, Vec3(1, 2, 3));
+  EXPECT_EQ(world.Get<Faction>(*wolf)->team, 2);
+  // Added by wolf:
+  EXPECT_FLOAT_EQ(world.Get<Combat>(*wolf)->attack, 7);
+  EXPECT_EQ(world.Get<ScriptRef>(*wolf)->script_name, "wolf.gsl");
+
+  // Two levels deep.
+  auto alpha = lib->Instantiate(&world, "alpha_wolf");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_FLOAT_EQ(world.Get<Combat>(*alpha)->attack, 15);
+  EXPECT_FLOAT_EQ(world.Get<Health>(*alpha)->hp, 35);  // from wolf
+}
+
+TEST_F(PrefabTest, UnknownPrefabFails) {
+  auto lib = PrefabLibrary::Load(kLibrary);
+  ASSERT_TRUE(lib.ok());
+  size_t before = world.AliveCount();
+  EXPECT_TRUE(lib->Instantiate(&world, "dragon").status().IsNotFound());
+  EXPECT_EQ(world.AliveCount(), before);  // failed instantiate cleans up
+}
+
+TEST_F(PrefabTest, LoadRejectsBadContent) {
+  EXPECT_TRUE(PrefabLibrary::Load("<Wrong/>").status().IsInvalidArgument());
+  // Unknown component type.
+  EXPECT_TRUE(PrefabLibrary::Load(R"(
+      <Prefabs><Prefab name="x">
+        <Component type="Ghost" hp="1"/>
+      </Prefab></Prefabs>)")
+                  .status()
+                  .IsNotFound());
+  // Unknown field.
+  EXPECT_TRUE(PrefabLibrary::Load(R"(
+      <Prefabs><Prefab name="x">
+        <Component type="Health" mana="1"/>
+      </Prefab></Prefabs>)")
+                  .status()
+                  .IsNotFound());
+  // Bad field value.
+  EXPECT_TRUE(PrefabLibrary::Load(R"(
+      <Prefabs><Prefab name="x">
+        <Component type="Health" hp="lots"/>
+      </Prefab></Prefabs>)")
+                  .status()
+                  .IsParseError());
+  // Unknown extends target.
+  EXPECT_TRUE(PrefabLibrary::Load(R"(
+      <Prefabs><Prefab name="x" extends="nothing"/></Prefabs>)")
+                  .status()
+                  .IsNotFound());
+  // Inheritance cycle.
+  EXPECT_TRUE(PrefabLibrary::Load(R"(
+      <Prefabs>
+        <Prefab name="a" extends="b"/>
+        <Prefab name="b" extends="a"/>
+      </Prefabs>)")
+                  .status()
+                  .IsInvalidArgument());
+  // Duplicate names.
+  EXPECT_TRUE(PrefabLibrary::Load(R"(
+      <Prefabs><Prefab name="a"/><Prefab name="a"/></Prefabs>)")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(PrefabTest, ApplyToExistingEntity) {
+  auto lib = PrefabLibrary::Load(kLibrary);
+  ASSERT_TRUE(lib.ok());
+  EntityId e = world.Create();
+  world.Set(e, Actor{7, 100, 1, true});  // pre-existing component survives
+  ASSERT_TRUE(lib->ApplyTo(&world, e, "beast").ok());
+  EXPECT_TRUE(world.Has<Health>(e));
+  EXPECT_EQ(world.Get<Actor>(e)->account_id, 7);
+  EXPECT_TRUE(lib->ApplyTo(&world, EntityId(99, 9), "beast")
+                  .IsInvalidArgument());
+}
+
+TEST_F(PrefabTest, PrefabAppliedFieldsVisibleToAggregates) {
+  auto lib = PrefabLibrary::Load(kLibrary);
+  ASSERT_TRUE(lib.ok());
+  SumAggregate<Health> total(world, [](const Health& h) { return h.hp; });
+  ASSERT_TRUE(lib->Instantiate(&world, "wolf").ok());
+  ASSERT_TRUE(lib->Instantiate(&world, "beast").ok());
+  EXPECT_DOUBLE_EQ(total.sum(), 35.0 + 50.0);
+}
+
+}  // namespace
+}  // namespace gamedb::content

@@ -1,0 +1,103 @@
+#include "content/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace gamedb::content {
+namespace {
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema.Element("Quest")
+        .RequiredAttr("name", AttrType::kString)
+        .OptionalAttr("level", AttrType::kInt)
+        .Child("Objective", 1, 3)
+        .Child("Reward", 0, 1);
+    schema.Element("Objective")
+        .RequiredAttr("kind", AttrType::kString)
+        .RequiredAttr("count", AttrType::kInt);
+    schema.Element("Reward").OptionalAttr("gold", AttrType::kNumber);
+  }
+
+  Status Check(std::string_view xml) {
+    auto parsed = ParseXml(xml);
+    if (!parsed.ok()) return parsed.status();
+    return schema.Validate(**parsed);
+  }
+
+  Schema schema;
+};
+
+TEST_F(SchemaTest, ValidDocumentPasses) {
+  EXPECT_TRUE(Check(R"(
+    <Quest name="wolves" level="5">
+      <Objective kind="kill" count="10"/>
+      <Objective kind="collect" count="3"/>
+      <Reward gold="25.5"/>
+    </Quest>)")
+                  .ok());
+}
+
+TEST_F(SchemaTest, MissingRequiredAttr) {
+  Status st = Check(R"(<Quest><Objective kind="kill" count="1"/></Quest>)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("name"), std::string::npos);
+}
+
+TEST_F(SchemaTest, WrongAttrType) {
+  Status st = Check(R"(
+    <Quest name="q" level="not_a_number">
+      <Objective kind="kill" count="1"/>
+    </Quest>)");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(SchemaTest, UnknownAttrRejected) {
+  Status st = Check(R"(
+    <Quest name="q" bogus="1"><Objective kind="k" count="1"/></Quest>)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("bogus"), std::string::npos);
+}
+
+TEST_F(SchemaTest, UnknownAttrAllowedWhenOpened) {
+  schema.Element("Quest").AllowUnknownAttrs();
+  EXPECT_TRUE(Check(R"(
+    <Quest name="q" extension="1"><Objective kind="k" count="1"/></Quest>)")
+                  .ok());
+}
+
+TEST_F(SchemaTest, CardinalityEnforced) {
+  // No objectives: below min.
+  EXPECT_FALSE(Check(R"(<Quest name="q"/>)").ok());
+  // Four objectives: above max.
+  EXPECT_FALSE(Check(R"(
+    <Quest name="q">
+      <Objective kind="k" count="1"/><Objective kind="k" count="1"/>
+      <Objective kind="k" count="1"/><Objective kind="k" count="1"/>
+    </Quest>)")
+                   .ok());
+  // Two rewards: above max 1.
+  EXPECT_FALSE(Check(R"(
+    <Quest name="q">
+      <Objective kind="k" count="1"/><Reward/><Reward/>
+    </Quest>)")
+                   .ok());
+}
+
+TEST_F(SchemaTest, UnknownElementRejected) {
+  Status st = Check(R"(
+    <Quest name="q"><Objective kind="k" count="1"/><Imposter/></Quest>)");
+  ASSERT_FALSE(st.ok());
+  // Rejected either as unexpected child or unknown element.
+}
+
+TEST_F(SchemaTest, ValidationRecursesIntoChildren) {
+  // The nested Objective is missing `count`.
+  Status st = Check(R"(
+    <Quest name="q"><Objective kind="k"/></Quest>)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gamedb::content

@@ -1,0 +1,121 @@
+#include "content/ui_layout.h"
+
+#include <gtest/gtest.h>
+
+namespace gamedb::content {
+namespace {
+
+UiLayout MustLoad(std::string_view xml) {
+  auto r = UiLayout::Load(xml);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(UiLayoutTest, TopLeftAnchorWithOffset) {
+  UiLayout ui = MustLoad(R"(
+    <Ui width="800" height="600">
+      <Frame name="panel" width="200" height="100" anchor="TOPLEFT"
+             x="10" y="20"/>
+    </Ui>)");
+  auto rect = ui.RectOf("panel");
+  ASSERT_TRUE(rect.ok());
+  EXPECT_FLOAT_EQ(rect->x, 10);
+  EXPECT_FLOAT_EQ(rect->y, 20);
+  EXPECT_FLOAT_EQ(rect->width, 200);
+  EXPECT_FLOAT_EQ(rect->height, 100);
+}
+
+TEST(UiLayoutTest, CenterAnchorCentersTheFrame) {
+  UiLayout ui = MustLoad(R"(
+    <Ui width="800" height="600">
+      <Frame name="dialog" width="400" height="200" anchor="CENTER"/>
+    </Ui>)");
+  auto rect = ui.RectOf("dialog");
+  ASSERT_TRUE(rect.ok());
+  EXPECT_FLOAT_EQ(rect->x, 200);  // (800-400)/2
+  EXPECT_FLOAT_EQ(rect->y, 200);  // (600-200)/2
+}
+
+TEST(UiLayoutTest, BottomRightHugsCorner) {
+  UiLayout ui = MustLoad(R"(
+    <Ui width="800" height="600">
+      <Frame name="minimap" width="150" height="150" anchor="BOTTOMRIGHT"
+             x="-10" y="-10"/>
+    </Ui>)");
+  auto rect = ui.RectOf("minimap");
+  ASSERT_TRUE(rect.ok());
+  EXPECT_FLOAT_EQ(rect->right(), 790);
+  EXPECT_FLOAT_EQ(rect->bottom(), 590);
+}
+
+TEST(UiLayoutTest, NestedFramesAnchorToParent) {
+  UiLayout ui = MustLoad(R"(
+    <Ui width="800" height="600">
+      <Frame name="panel" width="200" height="100" anchor="TOPLEFT"
+             x="100" y="100">
+        <Frame name="label" width="50" height="20" anchor="CENTER"/>
+        <Frame name="close" width="16" height="16" anchor="TOPRIGHT"/>
+      </Frame>
+    </Ui>)");
+  auto label = ui.RectOf("label");
+  ASSERT_TRUE(label.ok());
+  EXPECT_FLOAT_EQ(label->x, 100 + (200 - 50) / 2.0f);
+  EXPECT_FLOAT_EQ(label->y, 100 + (100 - 20) / 2.0f);
+  auto close = ui.RectOf("close");
+  ASSERT_TRUE(close.ok());
+  EXPECT_FLOAT_EQ(close->right(), 300);
+  EXPECT_FLOAT_EQ(close->y, 100);
+}
+
+TEST(UiLayoutTest, HitTestPrefersDeepestFrame) {
+  UiLayout ui = MustLoad(R"(
+    <Ui width="800" height="600">
+      <Frame name="panel" width="200" height="200" anchor="TOPLEFT">
+        <Frame name="button" width="50" height="50" anchor="TOPLEFT"
+               x="10" y="10"/>
+      </Frame>
+    </Ui>)");
+  EXPECT_EQ(ui.HitTest(30, 30), "button");
+  EXPECT_EQ(ui.HitTest(150, 150), "panel");
+  EXPECT_EQ(ui.HitTest(700, 500), "");
+}
+
+TEST(UiLayoutTest, ValidationFailures) {
+  EXPECT_FALSE(UiLayout::Load("<NotUi width=\"1\" height=\"1\"/>").ok());
+  // Missing size.
+  EXPECT_FALSE(UiLayout::Load(R"(
+      <Ui width="800" height="600"><Frame name="x" width="10"/></Ui>)")
+                   .ok());
+  // Unknown anchor.
+  EXPECT_FALSE(UiLayout::Load(R"(
+      <Ui width="800" height="600">
+        <Frame name="x" width="10" height="10" anchor="NOWHERE"/>
+      </Ui>)")
+                   .ok());
+  // Duplicate names.
+  EXPECT_FALSE(UiLayout::Load(R"(
+      <Ui width="800" height="600">
+        <Frame name="x" width="10" height="10"/>
+        <Frame name="x" width="10" height="10"/>
+      </Ui>)")
+                   .ok());
+  // Missing frame name.
+  EXPECT_FALSE(UiLayout::Load(R"(
+      <Ui width="800" height="600"><Frame width="10" height="10"/></Ui>)")
+                   .ok());
+  // Negative size.
+  EXPECT_FALSE(UiLayout::Load(R"(
+      <Ui width="800" height="600">
+        <Frame name="x" width="-10" height="10"/>
+      </Ui>)")
+                   .ok());
+}
+
+TEST(UiLayoutTest, UnknownFrameLookupIsNotFound) {
+  UiLayout ui = MustLoad(R"(<Ui width="10" height="10"/>)");
+  EXPECT_TRUE(ui.RectOf("nope").status().IsNotFound());
+  EXPECT_EQ(ui.FrameCount(), 0u);
+}
+
+}  // namespace
+}  // namespace gamedb::content

@@ -1,0 +1,49 @@
+#include "core/entity.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace gamedb {
+namespace {
+
+TEST(EntityIdTest, DefaultIsInvalid) {
+  EntityId e;
+  EXPECT_FALSE(e.valid());
+  EXPECT_EQ(e, EntityId::Invalid());
+}
+
+TEST(EntityIdTest, RawRoundTrip) {
+  EntityId e(12345, 678);
+  EXPECT_TRUE(e.valid());
+  EXPECT_EQ(EntityId::FromRaw(e.Raw()), e);
+  EXPECT_EQ(e.Raw(), (uint64_t{678} << 32) | 12345);
+}
+
+TEST(EntityIdTest, GenerationDistinguishesReusedSlots) {
+  EntityId old_ref(7, 0);
+  EntityId new_ref(7, 1);
+  EXPECT_NE(old_ref, new_ref);
+  EXPECT_NE(old_ref.Raw(), new_ref.Raw());
+}
+
+TEST(EntityIdTest, OrderingFollowsRaw) {
+  EXPECT_LT(EntityId(1, 0), EntityId(2, 0));
+  EXPECT_LT(EntityId(5, 0), EntityId(1, 1));  // generation dominates
+}
+
+TEST(EntityIdTest, HashSpreads) {
+  std::unordered_set<size_t> hashes;
+  std::hash<EntityId> h;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(h(EntityId(i, i % 3)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions in this tiny set
+}
+
+TEST(EntityIdTest, ToStringFormat) {
+  EXPECT_EQ(EntityId(4, 2).ToString(), "e4v2");
+}
+
+}  // namespace
+}  // namespace gamedb

@@ -1,0 +1,186 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gamedb {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterStandardComponents();
+    // 10 entities: all have Health; evens have Position; entity i has
+    // hp = i * 10, team = i % 2.
+    for (int i = 0; i < 10; ++i) {
+      EntityId e = world.Create();
+      ids.push_back(e);
+      world.Set(e, Health{float(i) * 10, 200});
+      world.Set(e, Faction{i % 2});
+      if (i % 2 == 0) world.Set(e, Position{{float(i), 0, 0}});
+    }
+  }
+
+  World world;
+  std::vector<EntityId> ids;
+};
+
+TEST_F(QueryTest, ViewJoinsTables) {
+  size_t count = 0;
+  View<Health, Position>(world).Each([&](EntityId, Health& h, Position& p) {
+    EXPECT_FLOAT_EQ(h.hp, p.value.x * 10);  // evens: hp = 10*i, x = i
+    ++count;
+  });
+  EXPECT_EQ(count, 5u);
+  EXPECT_EQ((View<Health, Position>(world).Count()), 5u);
+  EXPECT_EQ(View<Health>(world).Count(), 10u);
+}
+
+TEST_F(QueryTest, ViewSkipsDeadEntities) {
+  world.Destroy(ids[0]);
+  world.Destroy(ids[2]);
+  EXPECT_EQ((View<Health, Position>(world).Count()), 3u);
+}
+
+TEST_F(QueryTest, ViewCanMutateValues) {
+  View<Health>(world).Each([](EntityId, Health& h) { h.hp += 1; });
+  EXPECT_FLOAT_EQ(world.Get<Health>(ids[3])->hp, 31);
+}
+
+TEST_F(QueryTest, ViewEntitiesReturnsMatching) {
+  auto ents = View<Position>(world).Entities();
+  EXPECT_EQ(ents.size(), 5u);
+  for (EntityId e : ents) EXPECT_TRUE(world.Has<Position>(e));
+}
+
+TEST_F(QueryTest, DynamicCount) {
+  DynamicQuery q(&world);
+  q.With("Health");
+  auto r = q.Count();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 10);
+}
+
+TEST_F(QueryTest, DynamicWhereFieldFilters) {
+  DynamicQuery q(&world);
+  q.WhereField("Health", "hp", CmpOp::kGe, 50.0);
+  auto r = q.Count();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);  // hp in {50,60,70,80,90}
+
+  DynamicQuery q2(&world);
+  q2.WhereField("Faction", "team", CmpOp::kEq, int64_t{1});
+  EXPECT_EQ(*q2.Count(), 5);
+
+  DynamicQuery q3(&world);
+  q3.WhereField("Health", "hp", CmpOp::kGt, 40.0)
+      .WhereField("Faction", "team", CmpOp::kEq, int64_t{0});
+  EXPECT_EQ(*q3.Count(), 2);  // hp in {60, 80}
+}
+
+TEST_F(QueryTest, DynamicAggregates) {
+  DynamicQuery sum(&world);
+  auto s = sum.Sum("Health", "hp");
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 450.0);  // 0+10+...+90
+
+  DynamicQuery avg(&world);
+  EXPECT_DOUBLE_EQ(*avg.Avg("Health", "hp"), 45.0);
+
+  DynamicQuery mn(&world);
+  EXPECT_DOUBLE_EQ(*mn.Min("Health", "hp"), 0.0);
+
+  DynamicQuery mx(&world);
+  EXPECT_DOUBLE_EQ(*mx.Max("Health", "hp"), 90.0);
+}
+
+TEST_F(QueryTest, DynamicAggregatesWithPredicate) {
+  DynamicQuery q(&world);
+  q.WhereField("Faction", "team", CmpOp::kEq, int64_t{1});
+  auto s = q.Sum("Health", "hp");
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 10 + 30 + 50 + 70 + 90);
+}
+
+TEST_F(QueryTest, DynamicArgMinMax) {
+  DynamicQuery q(&world);
+  q.WhereField("Faction", "team", CmpOp::kEq, int64_t{0});
+  auto weakest = q.ArgMin("Health", "hp");
+  ASSERT_TRUE(weakest.ok());
+  EXPECT_EQ(*weakest, ids[0]);
+
+  DynamicQuery q2(&world);
+  auto strongest = q2.ArgMax("Health", "hp");
+  ASSERT_TRUE(strongest.ok());
+  EXPECT_EQ(*strongest, ids[9]);
+}
+
+TEST_F(QueryTest, DynamicEmptyMatchBehaviour) {
+  DynamicQuery q(&world);
+  q.WhereField("Health", "hp", CmpOp::kGt, 1e9);
+  EXPECT_EQ(*q.Count(), 0);
+  DynamicQuery q2(&world);
+  q2.WhereField("Health", "hp", CmpOp::kGt, 1e9);
+  EXPECT_TRUE(q2.Min("Health", "hp").status().IsNotFound());
+}
+
+TEST_F(QueryTest, DynamicUnknownNamesError) {
+  DynamicQuery q(&world);
+  q.With("Bogus");
+  EXPECT_TRUE(q.Count().status().IsNotFound());
+
+  DynamicQuery q2(&world);
+  q2.WhereField("Health", "bogus_field", CmpOp::kEq, 1.0);
+  EXPECT_TRUE(q2.Count().status().IsNotFound());
+
+  DynamicQuery q3(&world);
+  EXPECT_TRUE(q3.Count().status().IsInvalidArgument());  // no constraints
+}
+
+TEST_F(QueryTest, DynamicWithinRadius) {
+  DynamicQuery q(&world);
+  q.WithinRadius("Position", "value", Vec3(0, 0, 0), 4.5f);
+  // Positions are x = 0,2,4,6,8 -> within 4.5: 0,2,4.
+  EXPECT_EQ(*q.Count(), 3);
+}
+
+TEST_F(QueryTest, DynamicCollect) {
+  DynamicQuery q(&world);
+  q.With("Position");
+  auto r = q.Collect();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(CompareFieldValuesTest, NumericCrossKind) {
+  EXPECT_TRUE(CompareFieldValues(FieldValue(1.0), CmpOp::kEq,
+                                 FieldValue(int64_t{1})));
+  EXPECT_TRUE(CompareFieldValues(FieldValue(int64_t{2}), CmpOp::kGt,
+                                 FieldValue(1.5)));
+  EXPECT_TRUE(CompareFieldValues(FieldValue(true), CmpOp::kEq,
+                                 FieldValue(int64_t{1})));
+}
+
+TEST(CompareFieldValuesTest, StringsAndEntities) {
+  EXPECT_TRUE(CompareFieldValues(FieldValue(std::string("a")), CmpOp::kLt,
+                                 FieldValue(std::string("b"))));
+  EXPECT_TRUE(CompareFieldValues(FieldValue(EntityId(1, 0)), CmpOp::kNe,
+                                 FieldValue(EntityId(2, 0))));
+  EXPECT_TRUE(CompareFieldValues(FieldValue(EntityId(1, 0)), CmpOp::kEq,
+                                 FieldValue(EntityId(1, 0))));
+}
+
+TEST(CompareFieldValuesTest, MismatchedKinds) {
+  EXPECT_FALSE(CompareFieldValues(FieldValue(std::string("1")), CmpOp::kEq,
+                                  FieldValue(1.0)));
+  EXPECT_TRUE(CompareFieldValues(FieldValue(std::string("1")), CmpOp::kNe,
+                                 FieldValue(1.0)));
+  EXPECT_FALSE(CompareFieldValues(FieldValue(Vec3(1, 0, 0)), CmpOp::kLt,
+                                  FieldValue(Vec3(2, 0, 0))));
+  EXPECT_TRUE(CompareFieldValues(FieldValue(Vec3(1, 0, 0)), CmpOp::kEq,
+                                 FieldValue(Vec3(1, 0, 0))));
+}
+
+}  // namespace
+}  // namespace gamedb

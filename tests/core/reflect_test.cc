@@ -1,0 +1,149 @@
+#include "core/reflect.h"
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+
+namespace gamedb {
+namespace {
+
+class ReflectTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterStandardComponents(); }
+};
+
+TEST_F(ReflectTest, RegistryLookupByNameAndId) {
+  const TypeInfo* info = TypeRegistry::Global().FindByName("Health");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->name(), "Health");
+  EXPECT_EQ(info->size(), sizeof(Health));
+  EXPECT_EQ(TypeRegistry::Global().Find(info->id()), info);
+  EXPECT_EQ(TypeRegistry::Global().FindByName("Nope"), nullptr);
+  EXPECT_EQ(TypeRegistry::IdOf<Health>(), info->id());
+}
+
+TEST_F(ReflectTest, ReRegistrationIsIdempotent) {
+  const TypeInfo* before = TypeRegistry::Global().FindByName("Health");
+  RegisterStandardComponents();
+  RegisterStandardComponents();
+  EXPECT_EQ(TypeRegistry::Global().FindByName("Health"), before);
+  EXPECT_EQ(before->fields().size(), 2u);  // fields not duplicated
+}
+
+TEST_F(ReflectTest, FieldGetSetNumeric) {
+  const TypeInfo* info = TypeRegistry::Global().FindByName("Health");
+  const FieldInfo* hp = info->FindField("hp");
+  ASSERT_NE(hp, nullptr);
+  EXPECT_EQ(hp->type(), FieldType::kFloat);
+
+  Health h{25, 100};
+  FieldValue v = hp->Get(&h);
+  EXPECT_DOUBLE_EQ(std::get<double>(v), 25.0);
+
+  ASSERT_TRUE(hp->Set(&h, FieldValue(60.0)).ok());
+  EXPECT_FLOAT_EQ(h.hp, 60);
+  ASSERT_TRUE(hp->Set(&h, FieldValue(int64_t{30})).ok());  // int -> float
+  EXPECT_FLOAT_EQ(h.hp, 30);
+  EXPECT_TRUE(hp->Set(&h, FieldValue(std::string("x"))).IsInvalidArgument());
+}
+
+TEST_F(ReflectTest, FieldGetSetAllKinds) {
+  const TypeInfo* actor = TypeRegistry::Global().FindByName("Actor");
+  Actor a;
+  ASSERT_TRUE(actor->FindField("gold")->Set(&a, FieldValue(int64_t{500})).ok());
+  ASSERT_TRUE(actor->FindField("level")->Set(&a, FieldValue(int64_t{7})).ok());
+  ASSERT_TRUE(actor->FindField("is_player")->Set(&a, FieldValue(true)).ok());
+  EXPECT_EQ(a.gold, 500);
+  EXPECT_EQ(a.level, 7);
+  EXPECT_TRUE(a.is_player);
+  EXPECT_EQ(std::get<int64_t>(actor->FindField("gold")->Get(&a)), 500);
+  EXPECT_EQ(std::get<bool>(actor->FindField("is_player")->Get(&a)), true);
+
+  const TypeInfo* pos = TypeRegistry::Global().FindByName("Position");
+  Position p;
+  ASSERT_TRUE(pos->FindField("value")->Set(&p, FieldValue(Vec3(1, 2, 3))).ok());
+  EXPECT_EQ(p.value, Vec3(1, 2, 3));
+
+  const TypeInfo* combat = TypeRegistry::Global().FindByName("Combat");
+  Combat c;
+  EntityId target(9, 1);
+  ASSERT_TRUE(combat->FindField("target")->Set(&c, FieldValue(target)).ok());
+  EXPECT_EQ(c.target, target);
+
+  const TypeInfo* script = TypeRegistry::Global().FindByName("ScriptRef");
+  ScriptRef s;
+  ASSERT_TRUE(script->FindField("script_name")
+                  ->Set(&s, FieldValue(std::string("guard.gsl")))
+                  .ok());
+  EXPECT_EQ(s.script_name, "guard.gsl");
+}
+
+TEST_F(ReflectTest, UnknownFieldIsNull) {
+  const TypeInfo* info = TypeRegistry::Global().FindByName("Health");
+  EXPECT_EQ(info->FindField("mana"), nullptr);
+}
+
+TEST_F(ReflectTest, EncodeDecodeComponentRoundTrip) {
+  const TypeInfo* info = TypeRegistry::Global().FindByName("Combat");
+  Combat in;
+  in.attack = 42.5f;
+  in.defense = 7.25f;
+  in.range = 30.0f;
+  in.target = EntityId(77, 3);
+
+  std::string buf;
+  info->EncodeComponent(&in, &buf);
+
+  Combat out;
+  Decoder dec(buf);
+  ASSERT_TRUE(info->DecodeComponent(&out, &dec).ok());
+  EXPECT_TRUE(dec.empty());
+  EXPECT_FLOAT_EQ(out.attack, in.attack);
+  EXPECT_FLOAT_EQ(out.defense, in.defense);
+  EXPECT_FLOAT_EQ(out.range, in.range);
+  EXPECT_EQ(out.target, in.target);
+}
+
+TEST_F(ReflectTest, DecodeTruncatedFails) {
+  const TypeInfo* info = TypeRegistry::Global().FindByName("Combat");
+  Combat in;
+  std::string buf;
+  info->EncodeComponent(&in, &buf);
+  Combat out;
+  Decoder dec(std::string_view(buf).substr(0, buf.size() / 2));
+  EXPECT_FALSE(info->DecodeComponent(&out, &dec).ok());
+}
+
+TEST_F(ReflectTest, StringFieldEncoding) {
+  const TypeInfo* info = TypeRegistry::Global().FindByName("ScriptRef");
+  ScriptRef in{"behaviors/wolf.gsl"};
+  std::string buf;
+  info->EncodeComponent(&in, &buf);
+  ScriptRef out;
+  Decoder dec(buf);
+  ASSERT_TRUE(info->DecodeComponent(&out, &dec).ok());
+  EXPECT_EQ(out.script_name, in.script_name);
+}
+
+TEST_F(ReflectTest, MakeStoreProducesWorkingStore) {
+  const TypeInfo* info = TypeRegistry::Global().FindByName("Health");
+  auto store = info->MakeStore();
+  EntityId e(0, 0);
+  void* comp = store->EmplaceDefault(e);
+  ASSERT_NE(comp, nullptr);
+  const FieldInfo* hp = info->FindField("hp");
+  ASSERT_TRUE(hp->Set(comp, FieldValue(12.0)).ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(hp->Get(store->Find(e))), 12.0);
+  EXPECT_EQ(store->Size(), 1u);
+}
+
+TEST_F(ReflectTest, FieldValueToStringForms) {
+  EXPECT_EQ(FieldValueToString(FieldValue(1.5)), "1.5");
+  EXPECT_EQ(FieldValueToString(FieldValue(int64_t{-3})), "-3");
+  EXPECT_EQ(FieldValueToString(FieldValue(true)), "true");
+  EXPECT_EQ(FieldValueToString(FieldValue(std::string("s"))), "s");
+  EXPECT_EQ(FieldValueToString(FieldValue(EntityId(1, 2))), "e1v2");
+}
+
+}  // namespace
+}  // namespace gamedb

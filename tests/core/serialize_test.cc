@@ -1,0 +1,212 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+
+namespace gamedb {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterStandardComponents(); }
+
+  // Builds a world with a mix of components and some destroyed slots.
+  void BuildSample(World* w, std::vector<EntityId>* out) {
+    Rng rng(99);
+    std::vector<EntityId> all;
+    for (int i = 0; i < 30; ++i) {
+      EntityId e = w->Create();
+      all.push_back(e);
+      w->Set(e, Position{{float(i), float(i * 2), 0}});
+      if (i % 2 == 0) w->Set(e, Health{float(100 - i), 100});
+      if (i % 3 == 0) {
+        Actor a;
+        a.account_id = i;
+        a.gold = i * 10;
+        a.is_player = (i % 2 == 0);
+        w->Set(e, a);
+      }
+      if (i % 5 == 0) w->Set(e, ScriptRef{"script_" + std::to_string(i)});
+    }
+    // Destroy a few to create generation gaps.
+    w->Destroy(all[4]);
+    w->Destroy(all[11]);
+    EntityId reused = w->Create();  // reuses a slot with a new generation
+    w->Set(reused, Health{42, 100});
+    for (EntityId e : all) {
+      if (w->Alive(e)) out->push_back(e);
+    }
+    out->push_back(reused);
+    w->SetTick(777);
+  }
+};
+
+TEST_F(SerializeTest, SnapshotRoundTripPreservesEverything) {
+  World src;
+  std::vector<EntityId> live;
+  BuildSample(&src, &live);
+
+  std::string buf;
+  EncodeWorldSnapshot(src, &buf);
+
+  World dst;
+  ASSERT_TRUE(DecodeWorldSnapshot(buf, &dst).ok());
+
+  EXPECT_EQ(dst.tick(), 777u);
+  EXPECT_EQ(dst.AliveCount(), src.AliveCount());
+  for (EntityId e : live) {
+    ASSERT_TRUE(dst.Alive(e)) << e.ToString();
+    const Position* sp = src.Get<Position>(e);
+    const Position* dp = dst.Get<Position>(e);
+    ASSERT_EQ(sp == nullptr, dp == nullptr);
+    if (sp) {
+      EXPECT_EQ(sp->value, dp->value);
+    }
+    const Health* sh = src.Get<Health>(e);
+    const Health* dh = dst.Get<Health>(e);
+    ASSERT_EQ(sh == nullptr, dh == nullptr);
+    if (sh) {
+      EXPECT_FLOAT_EQ(sh->hp, dh->hp);
+      EXPECT_FLOAT_EQ(sh->max_hp, dh->max_hp);
+    }
+    const Actor* sa = src.Get<Actor>(e);
+    const Actor* da = dst.Get<Actor>(e);
+    ASSERT_EQ(sa == nullptr, da == nullptr);
+    if (sa) {
+      EXPECT_EQ(sa->gold, da->gold);
+      EXPECT_EQ(sa->account_id, da->account_id);
+      EXPECT_EQ(sa->is_player, da->is_player);
+    }
+    const ScriptRef* ss = src.Get<ScriptRef>(e);
+    const ScriptRef* ds = dst.Get<ScriptRef>(e);
+    ASSERT_EQ(ss == nullptr, ds == nullptr);
+    if (ss) {
+      EXPECT_EQ(ss->script_name, ds->script_name);
+    }
+  }
+}
+
+TEST_F(SerializeTest, SnapshotIsDeterministic) {
+  World a, b;
+  std::vector<EntityId> live_a, live_b;
+  BuildSample(&a, &live_a);
+  BuildSample(&b, &live_b);
+  std::string buf_a, buf_b;
+  EncodeWorldSnapshot(a, &buf_a);
+  EncodeWorldSnapshot(b, &buf_b);
+  EXPECT_EQ(buf_a, buf_b);
+}
+
+TEST_F(SerializeTest, GenerationsSurviveRoundTrip) {
+  World src;
+  EntityId e0 = src.Create();
+  src.Destroy(e0);
+  EntityId e1 = src.Create();  // same slot, generation 1
+  src.Set(e1, Health{1, 1});
+  ASSERT_EQ(e1.index, e0.index);
+
+  std::string buf;
+  EncodeWorldSnapshot(src, &buf);
+  World dst;
+  ASSERT_TRUE(DecodeWorldSnapshot(buf, &dst).ok());
+  EXPECT_FALSE(dst.Alive(e0));  // stale handle must stay stale
+  EXPECT_TRUE(dst.Alive(e1));
+}
+
+TEST_F(SerializeTest, CorruptionDetected) {
+  World src;
+  std::vector<EntityId> live;
+  BuildSample(&src, &live);
+  std::string buf;
+  EncodeWorldSnapshot(src, &buf);
+
+  // Flip a byte in the middle.
+  std::string corrupted = buf;
+  corrupted[buf.size() / 2] = static_cast<char>(corrupted[buf.size() / 2] ^ 0x40);
+  World dst;
+  EXPECT_TRUE(DecodeWorldSnapshot(corrupted, &dst).IsCorruption());
+
+  // Truncation.
+  World dst2;
+  EXPECT_TRUE(DecodeWorldSnapshot(std::string_view(buf).substr(0, buf.size() - 5),
+                                  &dst2)
+                  .IsCorruption());
+  // Empty.
+  World dst3;
+  EXPECT_TRUE(DecodeWorldSnapshot("", &dst3).IsCorruption());
+}
+
+TEST_F(SerializeTest, BadMagicRejected) {
+  World src;
+  std::string buf;
+  EncodeWorldSnapshot(src, &buf);
+  buf[0] = 'X';
+  // Fix up the CRC so only the magic is wrong.
+  buf.resize(buf.size() - 4);
+  uint32_t crc = Crc32c(buf.data(), buf.size());
+  PutFixed32(&buf, MaskCrc(crc));
+  World dst;
+  Status st = DecodeWorldSnapshot(buf, &dst);
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("magic"), std::string::npos);
+}
+
+TEST_F(SerializeTest, EmptyWorldRoundTrips) {
+  World src;
+  src.SetTick(5);
+  std::string buf;
+  EncodeWorldSnapshot(src, &buf);
+  World dst;
+  ASSERT_TRUE(DecodeWorldSnapshot(buf, &dst).ok());
+  EXPECT_EQ(dst.AliveCount(), 0u);
+  EXPECT_EQ(dst.tick(), 5u);
+}
+
+TEST_F(SerializeTest, EntityRecordRoundTrip) {
+  World w;
+  EntityId e = w.Create();
+  w.Set(e, Health{33, 100});
+  w.Set(e, Position{{7, 8, 9}});
+
+  std::string rec;
+  EncodeEntityRecord(w, e, &rec);
+
+  World w2;
+  EntityId e2 = w2.Create();
+  ASSERT_TRUE(DecodeEntityRecord(rec, &w2, e2).ok());
+  ASSERT_NE(w2.Get<Health>(e2), nullptr);
+  EXPECT_FLOAT_EQ(w2.Get<Health>(e2)->hp, 33);
+  ASSERT_NE(w2.Get<Position>(e2), nullptr);
+  EXPECT_EQ(w2.Get<Position>(e2)->value, Vec3(7, 8, 9));
+}
+
+TEST_F(SerializeTest, EntityRecordOnDeadEntityFails) {
+  World w;
+  EntityId e = w.Create();
+  w.Set(e, Health{1, 1});
+  std::string rec;
+  EncodeEntityRecord(w, e, &rec);
+  World w2;
+  EXPECT_TRUE(DecodeEntityRecord(rec, &w2, EntityId(5, 0)).IsInvalidArgument());
+}
+
+TEST_F(SerializeTest, EntityRecordLeavesOtherComponentsAlone) {
+  World w;
+  EntityId e = w.Create();
+  w.Set(e, Health{10, 100});
+  std::string rec;
+  EncodeEntityRecord(w, e, &rec);  // record contains Health only
+
+  World w2;
+  EntityId e2 = w2.Create();
+  w2.Set(e2, Position{{1, 1, 1}});
+  ASSERT_TRUE(DecodeEntityRecord(rec, &w2, e2).ok());
+  EXPECT_NE(w2.Get<Position>(e2), nullptr);  // untouched
+  EXPECT_FLOAT_EQ(w2.Get<Health>(e2)->hp, 10);
+}
+
+}  // namespace
+}  // namespace gamedb

@@ -1,0 +1,147 @@
+#include "core/world.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gamedb {
+namespace {
+
+class WorldTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterStandardComponents(); }
+  World world;
+};
+
+TEST_F(WorldTest, CreateDestroyLifecycle) {
+  EntityId e = world.Create();
+  EXPECT_TRUE(world.Alive(e));
+  EXPECT_EQ(world.AliveCount(), 1u);
+  world.Destroy(e);
+  EXPECT_FALSE(world.Alive(e));
+  EXPECT_EQ(world.AliveCount(), 0u);
+  world.Destroy(e);  // double-destroy is a no-op
+  EXPECT_EQ(world.AliveCount(), 0u);
+}
+
+TEST_F(WorldTest, SlotReuseBumpsGeneration) {
+  EntityId a = world.Create();
+  world.Destroy(a);
+  EntityId b = world.Create();
+  EXPECT_EQ(b.index, a.index);
+  EXPECT_NE(b.generation, a.generation);
+  EXPECT_FALSE(world.Alive(a));  // stale handle stays dead
+  EXPECT_TRUE(world.Alive(b));
+}
+
+TEST_F(WorldTest, ComponentsFollowEntity) {
+  EntityId e = world.Create();
+  world.Set(e, Health{50, 100});
+  world.Set(e, Position{{1, 2, 3}});
+  EXPECT_TRUE(world.Has<Health>(e));
+  EXPECT_TRUE(world.Has<Position>(e));
+  ASSERT_NE(world.Get<Health>(e), nullptr);
+  EXPECT_FLOAT_EQ(world.Get<Health>(e)->hp, 50);
+
+  world.Destroy(e);
+  EXPECT_EQ(world.Get<Health>(e), nullptr);
+  EXPECT_EQ(world.Table<Health>().Size(), 0u);
+  EXPECT_EQ(world.Table<Position>().Size(), 0u);
+}
+
+TEST_F(WorldTest, RemoveSingleComponent) {
+  EntityId e = world.Create();
+  world.Set(e, Health{});
+  world.Set(e, Position{});
+  EXPECT_TRUE(world.Remove<Health>(e));
+  EXPECT_FALSE(world.Remove<Health>(e));
+  EXPECT_TRUE(world.Alive(e));
+  EXPECT_TRUE(world.Has<Position>(e));
+}
+
+TEST_F(WorldTest, PatchThroughWorld) {
+  EntityId e = world.Create();
+  world.Set(e, Health{10, 100});
+  EXPECT_TRUE(world.Patch<Health>(e, [](Health& h) { h.hp += 5; }));
+  EXPECT_FLOAT_EQ(world.Get<Health>(e)->hp, 15);
+}
+
+TEST_F(WorldTest, CreateWithIdForRecovery) {
+  EntityId e(10, 3);
+  ASSERT_TRUE(world.CreateWithId(e).ok());
+  EXPECT_TRUE(world.Alive(e));
+  // Same slot alive again fails.
+  EXPECT_TRUE(world.CreateWithId(EntityId(10, 4)).IsInvalidArgument());
+  // Fresh Create() must not collide with recovered slots.
+  for (int i = 0; i < 20; ++i) {
+    EntityId f = world.Create();
+    EXPECT_TRUE(world.Alive(f));
+    EXPECT_NE(f.index, e.index);
+  }
+  EXPECT_TRUE(world.CreateWithId(EntityId::Invalid()).IsInvalidArgument());
+}
+
+TEST_F(WorldTest, ForEachEntityVisitsExactlyLive) {
+  std::vector<EntityId> created;
+  for (int i = 0; i < 10; ++i) created.push_back(world.Create());
+  world.Destroy(created[3]);
+  world.Destroy(created[7]);
+  size_t count = 0;
+  world.ForEachEntity([&](EntityId e) {
+    EXPECT_TRUE(world.Alive(e));
+    ++count;
+  });
+  EXPECT_EQ(count, 8u);
+}
+
+TEST_F(WorldTest, StoreByNameCreatesRegisteredTables) {
+  ComponentStore* store = world.StoreByName("Health");
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->Size(), 0u);
+  EXPECT_EQ(world.StoreByName("NoSuchComponent"), nullptr);
+
+  EntityId e = world.Create();
+  void* comp = store->EmplaceDefault(e);
+  ASSERT_NE(comp, nullptr);
+  EXPECT_TRUE(world.Has<Health>(e));
+  EXPECT_FLOAT_EQ(world.Get<Health>(e)->hp, 100);  // default constructed
+}
+
+TEST_F(WorldTest, TickAdvances) {
+  EXPECT_EQ(world.tick(), 0u);
+  world.AdvanceTick();
+  world.AdvanceTick();
+  EXPECT_EQ(world.tick(), 2u);
+  world.SetTick(100);
+  EXPECT_EQ(world.tick(), 100u);
+}
+
+TEST_F(WorldTest, ClearResetsEverything) {
+  EntityId e = world.Create();
+  world.Set(e, Health{});
+  world.AdvanceTick();
+  world.Clear();
+  EXPECT_EQ(world.AliveCount(), 0u);
+  EXPECT_FALSE(world.Alive(e));
+  EXPECT_EQ(world.tick(), 0u);
+  EXPECT_EQ(world.Table<Health>().Size(), 0u);
+  // World remains usable.
+  EntityId f = world.Create();
+  EXPECT_TRUE(world.Alive(f));
+}
+
+TEST_F(WorldTest, ForEachStoreSeesCreatedTables) {
+  EntityId e = world.Create();
+  world.Set(e, Health{});
+  world.Set(e, Position{});
+  std::vector<std::string> names;
+  world.ForEachStore([&](const TypeInfo& info, ComponentStore&) {
+    names.push_back(info.name());
+  });
+  EXPECT_GE(names.size(), 2u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "Health"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Position"), names.end());
+}
+
+}  // namespace
+}  // namespace gamedb

@@ -1,0 +1,116 @@
+#include "persist/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace gamedb::persist {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterStandardComponents();
+    e = world.Create();
+    world.Set(e, Health{42, 100});
+  }
+  MemStorage storage;
+  World world;
+  EntityId e;
+};
+
+TEST_F(CheckpointTest, WriteLoadRoundTrip) {
+  world.SetTick(10);
+  CheckpointStore store(&storage);
+  uint64_t bytes = 0;
+  ASSERT_TRUE(store.WriteCheckpoint(world, &bytes).ok());
+  EXPECT_GT(bytes, 0u);
+
+  World restored;
+  auto tick = store.LoadLatest(&restored);
+  ASSERT_TRUE(tick.ok());
+  EXPECT_EQ(*tick, 10u);
+  ASSERT_TRUE(restored.Alive(e));
+  EXPECT_FLOAT_EQ(restored.Get<Health>(e)->hp, 42);
+}
+
+TEST_F(CheckpointTest, LoadsNewestFirst) {
+  CheckpointStore store(&storage, /*keep=*/5);
+  world.SetTick(1);
+  ASSERT_TRUE(store.WriteCheckpoint(world).ok());
+  world.Patch<Health>(e, [](Health& h) { h.hp = 10; });
+  world.SetTick(2);
+  ASSERT_TRUE(store.WriteCheckpoint(world).ok());
+
+  World restored;
+  auto tick = store.LoadLatest(&restored);
+  ASSERT_TRUE(tick.ok());
+  EXPECT_EQ(*tick, 2u);
+  EXPECT_FLOAT_EQ(restored.Get<Health>(e)->hp, 10);
+}
+
+TEST_F(CheckpointTest, CorruptNewestFallsBackToOlder) {
+  CheckpointStore store(&storage, /*keep=*/5);
+  world.SetTick(1);
+  ASSERT_TRUE(store.WriteCheckpoint(world).ok());
+  world.SetTick(2);
+  ASSERT_TRUE(store.WriteCheckpoint(world).ok());
+  // Corrupt the tick-2 image.
+  auto names = storage.List();
+  storage.FlipByte(names.back(), 20);
+
+  World restored;
+  auto tick = store.LoadLatest(&restored);
+  ASSERT_TRUE(tick.ok());
+  EXPECT_EQ(*tick, 1u);  // fell back
+}
+
+TEST_F(CheckpointTest, NoCheckpointsIsNotFound) {
+  CheckpointStore store(&storage);
+  World restored;
+  EXPECT_TRUE(store.LoadLatest(&restored).status().IsNotFound());
+}
+
+TEST_F(CheckpointTest, GarbageCollectionKeepsNewest) {
+  CheckpointStore store(&storage, /*keep=*/2);
+  for (uint64_t t = 1; t <= 5; ++t) {
+    world.SetTick(t);
+    ASSERT_TRUE(store.WriteCheckpoint(world).ok());
+  }
+  auto ticks = store.CheckpointTicks();
+  EXPECT_EQ(ticks, (std::vector<uint64_t>{4, 5}));
+}
+
+TEST(PolicyTest, PeriodicFiresOnInterval) {
+  PeriodicPolicy p(10);
+  TickObservation obs;
+  obs.ticks_since_checkpoint = 9;
+  EXPECT_FALSE(p.ShouldCheckpoint(obs));
+  obs.ticks_since_checkpoint = 10;
+  EXPECT_TRUE(p.ShouldCheckpoint(obs));
+}
+
+TEST(PolicyTest, ImportanceFiresOnAccumulationOrUrgentEvent) {
+  ImportancePolicy p(/*accumulate=*/100.0, /*urgent=*/40.0);
+  TickObservation obs;
+  obs.pending_importance = 50;
+  obs.max_pending_event = 5;
+  EXPECT_FALSE(p.ShouldCheckpoint(obs));
+  obs.pending_importance = 120;
+  EXPECT_TRUE(p.ShouldCheckpoint(obs));
+  obs.pending_importance = 45;
+  obs.max_pending_event = 45;  // epic loot: checkpoint NOW
+  EXPECT_TRUE(p.ShouldCheckpoint(obs));
+}
+
+TEST(PolicyTest, HybridIsUnionOfTriggers) {
+  HybridPolicy p(/*max_interval=*/100, /*accumulate=*/50.0, /*urgent=*/30.0);
+  TickObservation obs;
+  EXPECT_FALSE(p.ShouldCheckpoint(obs));
+  obs.ticks_since_checkpoint = 100;
+  EXPECT_TRUE(p.ShouldCheckpoint(obs));
+  obs.ticks_since_checkpoint = 1;
+  obs.pending_importance = 60;
+  EXPECT_TRUE(p.ShouldCheckpoint(obs));
+}
+
+}  // namespace
+}  // namespace gamedb::persist

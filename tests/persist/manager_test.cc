@@ -1,0 +1,153 @@
+#include "persist/manager.h"
+
+#include <gtest/gtest.h>
+
+namespace gamedb::persist {
+namespace {
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterStandardComponents();
+    for (int i = 0; i < 5; ++i) {
+      EntityId e = world.Create();
+      ids.push_back(e);
+      world.Set(e, Health{100, 100});
+      world.Set(e, Actor{i, 100, 1, true});
+      world.Set(e, Position{{float(i), 0, 0}});
+    }
+  }
+
+  txn::GameTxn Attack(EntityId a, EntityId b, float amount) {
+    txn::GameTxn t;
+    t.type = txn::TxnType::kAttack;
+    t.a = a;
+    t.b = b;
+    t.amount = amount;
+    return t;
+  }
+
+  MemStorage storage;
+  World world;
+  std::vector<EntityId> ids;
+};
+
+TEST_F(ManagerTest, CheckpointOnlyLosesPostCheckpointWork) {
+  PersistenceManager mgr(&storage, std::make_unique<PeriodicPolicy>(10));
+  // Tick 1..10: one attack per tick; checkpoint fires at tick 10.
+  for (int tick = 1; tick <= 10; ++tick) {
+    world.AdvanceTick();
+    txn::GameTxn t = Attack(ids[0], ids[1], 1);
+    txn::ApplyTxn(&world, t);
+    ASSERT_TRUE(mgr.OnTxn(t, world.tick()).ok());
+    auto ckpt = mgr.OnTickEnd(world);
+    ASSERT_TRUE(ckpt.ok());
+    EXPECT_EQ(*ckpt, tick == 10);
+  }
+  // 5 more attacks after the checkpoint, then crash.
+  for (int tick = 11; tick <= 15; ++tick) {
+    world.AdvanceTick();
+    txn::GameTxn t = Attack(ids[0], ids[1], 1);
+    txn::ApplyTxn(&world, t);
+    ASSERT_TRUE(mgr.OnTxn(t, world.tick()).ok());
+    ASSERT_TRUE(mgr.OnTickEnd(world).ok());
+  }
+  EXPECT_FLOAT_EQ(world.Get<Health>(ids[1])->hp, 85);
+
+  World recovered;
+  auto outcome = PersistenceManager::Recover(storage, &recovered);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->checkpoint_tick, 10u);
+  EXPECT_EQ(outcome->replayed_txns, 0u);  // no WAL in this mode
+  // Ticks 11-15 are lost: hp is back at the checkpoint value.
+  EXPECT_FLOAT_EQ(recovered.Get<Health>(ids[1])->hp, 90);
+}
+
+TEST_F(ManagerTest, WalModeRecoversEverything) {
+  PersistenceOptions opts;
+  opts.mode = DurabilityMode::kWalAndCheckpoint;
+  PersistenceManager mgr(&storage, std::make_unique<PeriodicPolicy>(10),
+                         opts);
+  for (int tick = 1; tick <= 15; ++tick) {
+    world.AdvanceTick();
+    txn::GameTxn t = Attack(ids[0], ids[1], 1);
+    txn::ApplyTxn(&world, t);
+    ASSERT_TRUE(mgr.OnTxn(t, world.tick()).ok());
+    ASSERT_TRUE(mgr.OnTickEnd(world).ok());
+  }
+  World recovered;
+  auto outcome = PersistenceManager::Recover(storage, &recovered);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->checkpoint_tick, 10u);
+  EXPECT_EQ(outcome->replayed_txns, 5u);
+  EXPECT_EQ(outcome->recovered_tick, 15u);
+  EXPECT_FLOAT_EQ(recovered.Get<Health>(ids[1])->hp, 85);  // nothing lost
+}
+
+TEST_F(ManagerTest, WalTornTailDropsOnlyTail) {
+  PersistenceOptions opts;
+  opts.mode = DurabilityMode::kWalAndCheckpoint;
+  PersistenceManager mgr(&storage, std::make_unique<PeriodicPolicy>(1000),
+                         opts);
+  ASSERT_TRUE(mgr.ForceCheckpoint(world).ok());
+  for (int tick = 1; tick <= 5; ++tick) {
+    world.AdvanceTick();
+    txn::GameTxn t = Attack(ids[0], ids[1], 1);
+    txn::ApplyTxn(&world, t);
+    ASSERT_TRUE(mgr.OnTxn(t, world.tick()).ok());
+  }
+  storage.CorruptTail("wal", 5);  // crash mid-append of the last record
+
+  World recovered;
+  auto outcome = PersistenceManager::Recover(storage, &recovered);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->wal_torn_tail);
+  EXPECT_EQ(outcome->replayed_txns, 4u);
+  EXPECT_FLOAT_EQ(recovered.Get<Health>(ids[1])->hp, 96);
+}
+
+TEST_F(ManagerTest, IntelligentPolicyCheckpointsOnBossKill) {
+  PersistenceManager mgr(
+      &storage,
+      std::make_unique<ImportancePolicy>(/*accumulate=*/100.0,
+                                         /*urgent=*/10.0));
+  world.AdvanceTick();
+  ASSERT_TRUE(mgr.OnEvent(world.tick(), 0.5, "trash_kill").ok());
+  auto r1 = mgr.OnTickEnd(world);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(*r1);  // not worth a checkpoint
+  EXPECT_DOUBLE_EQ(mgr.pending_importance(), 0.5);
+
+  world.AdvanceTick();
+  ASSERT_TRUE(mgr.OnEvent(world.tick(), 50.0, "boss_kill").ok());
+  auto r2 = mgr.OnTickEnd(world);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(*r2);  // urgent event -> immediate checkpoint
+  EXPECT_DOUBLE_EQ(mgr.pending_importance(), 0.0);
+  EXPECT_EQ(mgr.metrics().checkpoints, 1u);
+}
+
+TEST_F(ManagerTest, RecoverWithNoDataFails) {
+  World recovered;
+  EXPECT_TRUE(
+      PersistenceManager::Recover(storage, &recovered).status().IsNotFound());
+}
+
+TEST_F(ManagerTest, MetricsAccumulate) {
+  PersistenceOptions opts;
+  opts.mode = DurabilityMode::kWalAndCheckpoint;
+  PersistenceManager mgr(&storage, std::make_unique<PeriodicPolicy>(2), opts);
+  for (int tick = 1; tick <= 4; ++tick) {
+    world.AdvanceTick();
+    txn::GameTxn t = Attack(ids[0], ids[1], 1);
+    ASSERT_TRUE(mgr.OnTxn(t, world.tick()).ok());
+    ASSERT_TRUE(mgr.OnTickEnd(world).ok());
+  }
+  EXPECT_EQ(mgr.metrics().checkpoints, 2u);
+  EXPECT_GT(mgr.metrics().checkpoint_bytes, 0u);
+  EXPECT_EQ(mgr.metrics().wal_records, 4u);
+  EXPECT_GT(mgr.metrics().wal_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace gamedb::persist

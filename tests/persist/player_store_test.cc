@@ -1,0 +1,208 @@
+#include "persist/player_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+
+namespace gamedb::persist {
+namespace {
+
+PlayerRecord MakeRecord(int64_t id, int32_t level, int64_t gold) {
+  PlayerRecord rec;
+  rec.id = id;
+  rec.name = "player_" + std::to_string(id);
+  rec.level = level;
+  rec.gold = gold;
+  rec.position = {float(id), 0, float(id) * 2};
+  rec.items = {int32_t(id % 7), int32_t(id % 13)};
+  rec.guild_id = int32_t(id % 5);
+  rec.rating = 1500.0 + double(id % 100);
+  return rec;
+}
+
+TEST(PlayerRecordTest, EncodeDecodeLatest) {
+  PlayerRecord rec = MakeRecord(42, 30, 999);
+  std::string buf;
+  EncodePlayerRecord(rec, kPlayerSchemaLatest, &buf);
+  PlayerRecord out;
+  uint32_t version = 0;
+  ASSERT_TRUE(DecodePlayerRecord(buf, &out, &version).ok());
+  EXPECT_EQ(version, kPlayerSchemaLatest);
+  EXPECT_EQ(out, rec);
+}
+
+TEST(PlayerRecordTest, OldVersionsUpgradeViaMigrationSteps) {
+  PlayerRecord rec = MakeRecord(7, 20, 100);
+  std::string v1;
+  EncodePlayerRecord(rec, 1, &v1);
+  PlayerRecord out;
+  uint32_t version = 0;
+  ASSERT_TRUE(DecodePlayerRecord(v1, &out, &version).ok());
+  EXPECT_EQ(version, 1u);
+  // v1 fields survive; v2/v3 fields come from the migration defaults.
+  EXPECT_EQ(out.name, rec.name);
+  EXPECT_EQ(out.gold, rec.gold);
+  EXPECT_EQ(out.guild_id, -1);                       // v1->v2 default
+  EXPECT_DOUBLE_EQ(out.rating, 1000.0 + 25.0 * 20);  // v2->v3 seeded by level
+
+  std::string v2;
+  EncodePlayerRecord(rec, 2, &v2);
+  ASSERT_TRUE(DecodePlayerRecord(v2, &out, &version).ok());
+  EXPECT_EQ(version, 2u);
+  EXPECT_EQ(out.guild_id, rec.guild_id);  // v2 kept its own guild
+}
+
+TEST(PlayerRecordTest, CorruptionAndUnknownVersionRejected) {
+  PlayerRecord out;
+  EXPECT_FALSE(DecodePlayerRecord("", &out).ok());
+  std::string buf;
+  EncodePlayerRecord(MakeRecord(1, 1, 1), 3, &buf);
+  EXPECT_FALSE(
+      DecodePlayerRecord(std::string_view(buf).substr(0, 4), &out).ok());
+  std::string bad = buf;
+  bad[0] = 9;  // version 9 does not exist
+  EXPECT_TRUE(DecodePlayerRecord(bad, &out).IsSchemaMismatch());
+}
+
+enum class StoreKind { kStructured, kBlob, kHybrid };
+
+std::unique_ptr<PlayerStore> MakeStore(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kStructured:
+      return std::make_unique<StructuredPlayerStore>();
+    case StoreKind::kBlob:
+      return std::make_unique<BlobPlayerStore>();
+    case StoreKind::kHybrid:
+      return std::make_unique<HybridPlayerStore>();
+  }
+  return nullptr;
+}
+
+class PlayerStoreParamTest : public ::testing::TestWithParam<StoreKind> {};
+
+TEST_P(PlayerStoreParamTest, PutGetEraseLifecycle) {
+  auto store = MakeStore(GetParam());
+  PlayerRecord rec = MakeRecord(1, 10, 500);
+  ASSERT_TRUE(store->Put(rec).ok());
+  EXPECT_EQ(store->Size(), 1u);
+  auto got = store->Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, rec);
+
+  EXPECT_TRUE(store->Get(2).status().IsNotFound());
+  EXPECT_TRUE(store->Erase(1));
+  EXPECT_FALSE(store->Erase(1));
+  EXPECT_EQ(store->Size(), 0u);
+}
+
+TEST_P(PlayerStoreParamTest, PutOverwrites) {
+  auto store = MakeStore(GetParam());
+  ASSERT_TRUE(store->Put(MakeRecord(1, 10, 500)).ok());
+  PlayerRecord updated = MakeRecord(1, 11, 600);
+  ASSERT_TRUE(store->Put(updated).ok());
+  EXPECT_EQ(store->Size(), 1u);
+  EXPECT_EQ(*store->Get(1), updated);
+}
+
+TEST_P(PlayerStoreParamTest, QueriesAgreeAcrossLayouts) {
+  auto store = MakeStore(GetParam());
+  Rng rng(9);
+  double expected_sum = 0;
+  for (int64_t id = 0; id < 200; ++id) {
+    auto level = static_cast<int32_t>(rng.NextInt(1, 60));
+    auto gold = rng.NextInt(0, 10000);
+    ASSERT_TRUE(store->Put(MakeRecord(id, level, gold)).ok());
+    if (level >= 30) expected_sum += static_cast<double>(gold);
+  }
+  EXPECT_DOUBLE_EQ(store->SumGoldWhereLevelAtLeast(30), expected_sum);
+
+  auto top = store->TopKByGold(10);
+  ASSERT_EQ(top.size(), 10u);
+  // Verify descending gold.
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(store->Get(top[i - 1])->gold, store->Get(top[i])->gold);
+  }
+}
+
+TEST_P(PlayerStoreParamTest, MigrateAllIsIdempotent) {
+  auto store = MakeStore(GetParam());
+  for (int64_t id = 0; id < 20; ++id) {
+    ASSERT_TRUE(store->Put(MakeRecord(id, 5, 10)).ok());
+  }
+  auto first = store->MigrateAll();
+  ASSERT_TRUE(first.ok());
+  auto second = store->MigrateAll();
+  ASSERT_TRUE(second.ok());
+  if (GetParam() != StoreKind::kStructured) {
+    EXPECT_EQ(*second, 0u);  // nothing left to touch
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, PlayerStoreParamTest,
+                         ::testing::Values(StoreKind::kStructured,
+                                           StoreKind::kBlob,
+                                           StoreKind::kHybrid),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case StoreKind::kStructured:
+                               return "Structured";
+                             case StoreKind::kBlob:
+                               return "Blob";
+                             case StoreKind::kHybrid:
+                               return "Hybrid";
+                           }
+                           return "?";
+                         });
+
+TEST(BlobStoreLazyMigrationTest, ReadsUpgradeStaleRows) {
+  BlobPlayerStore store(/*write_version=*/1);  // an old binary writing v1
+  for (int64_t id = 0; id < 10; ++id) {
+    ASSERT_TRUE(store.Put(MakeRecord(id, 10, 100)).ok());
+  }
+  EXPECT_EQ(store.stale_rows(), 10u);
+
+  // Touch three rows: they upgrade in place.
+  for (int64_t id = 0; id < 3; ++id) {
+    auto rec = store.Get(id);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->guild_id, -1);  // migration default applied
+  }
+  EXPECT_EQ(store.stale_rows(), 7u);
+
+  // Background sweep finishes the rest.
+  auto touched = store.MigrateAll();
+  ASSERT_TRUE(touched.ok());
+  EXPECT_EQ(*touched, 7u);
+  EXPECT_EQ(store.stale_rows(), 0u);
+}
+
+TEST(BlobStoreLazyMigrationTest, SecondReadIsAlreadyUpgraded) {
+  BlobPlayerStore store(/*write_version=*/2);
+  ASSERT_TRUE(store.Put(MakeRecord(5, 40, 100)).ok());
+  ASSERT_TRUE(store.Get(5).ok());
+  EXPECT_EQ(store.stale_rows(), 0u);
+  auto rec = store.Get(5);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_DOUBLE_EQ(rec->rating, 1000.0 + 25.0 * 40);  // stable after upgrade
+}
+
+TEST(StoreFootprintTest, LayoutsReportPlausibleBytes) {
+  StructuredPlayerStore structured;
+  BlobPlayerStore blob;
+  HybridPlayerStore hybrid;
+  for (int64_t id = 0; id < 100; ++id) {
+    PlayerRecord rec = MakeRecord(id, 10, 100);
+    ASSERT_TRUE(structured.Put(rec).ok());
+    ASSERT_TRUE(blob.Put(rec).ok());
+    ASSERT_TRUE(hybrid.Put(rec).ok());
+  }
+  EXPECT_GT(structured.ApproxBytes(), 0u);
+  EXPECT_GT(blob.ApproxBytes(), 0u);
+  // Hybrid duplicates hot fields, so it is the largest.
+  EXPECT_GE(hybrid.ApproxBytes(), blob.ApproxBytes());
+}
+
+}  // namespace
+}  // namespace gamedb::persist

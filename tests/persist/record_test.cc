@@ -1,0 +1,80 @@
+#include "persist/record.h"
+
+#include <gtest/gtest.h>
+
+namespace gamedb::persist {
+namespace {
+
+TEST(LogRecordTest, TxnRoundTrip) {
+  LogRecord rec;
+  rec.type = LogRecordType::kTxn;
+  rec.tick = 12345;
+  rec.txn.type = txn::TxnType::kAoe;
+  rec.txn.a = EntityId(7, 1);
+  rec.txn.b = EntityId(9, 2);
+  rec.txn.amount = 12.5f;
+  rec.txn.dest = {1, 2, 3};
+  rec.txn.extra = {EntityId(1, 0), EntityId(2, 0), EntityId(3, 0)};
+
+  std::string buf;
+  EncodeLogRecord(rec, &buf);
+  LogRecord out;
+  ASSERT_TRUE(DecodeLogRecord(buf, &out).ok());
+  EXPECT_EQ(out.type, LogRecordType::kTxn);
+  EXPECT_EQ(out.tick, 12345u);
+  EXPECT_EQ(out.txn.type, txn::TxnType::kAoe);
+  EXPECT_EQ(out.txn.a, rec.txn.a);
+  EXPECT_EQ(out.txn.b, rec.txn.b);
+  EXPECT_FLOAT_EQ(out.txn.amount, 12.5f);
+  EXPECT_EQ(out.txn.dest, Vec3(1, 2, 3));
+  EXPECT_EQ(out.txn.extra, rec.txn.extra);
+}
+
+TEST(LogRecordTest, EventRoundTrip) {
+  LogRecord rec;
+  rec.type = LogRecordType::kEvent;
+  rec.tick = 99;
+  rec.importance = 50.0;
+  rec.label = "epic_loot:sword_of_a_thousand_truths";
+  std::string buf;
+  EncodeLogRecord(rec, &buf);
+  LogRecord out;
+  ASSERT_TRUE(DecodeLogRecord(buf, &out).ok());
+  EXPECT_EQ(out.type, LogRecordType::kEvent);
+  EXPECT_DOUBLE_EQ(out.importance, 50.0);
+  EXPECT_EQ(out.label, rec.label);
+}
+
+TEST(LogRecordTest, TickMarkRoundTrip) {
+  LogRecord rec;
+  rec.type = LogRecordType::kTickMark;
+  rec.tick = 7;
+  std::string buf;
+  EncodeLogRecord(rec, &buf);
+  LogRecord out;
+  ASSERT_TRUE(DecodeLogRecord(buf, &out).ok());
+  EXPECT_EQ(out.type, LogRecordType::kTickMark);
+  EXPECT_EQ(out.tick, 7u);
+}
+
+TEST(LogRecordTest, CorruptionRejected) {
+  LogRecord rec;
+  rec.type = LogRecordType::kTxn;
+  rec.txn.type = txn::TxnType::kAttack;
+  std::string buf;
+  EncodeLogRecord(rec, &buf);
+
+  LogRecord out;
+  EXPECT_FALSE(DecodeLogRecord("", &out).ok());
+  EXPECT_FALSE(
+      DecodeLogRecord(std::string_view(buf).substr(0, buf.size() / 2), &out)
+          .ok());
+  std::string bad_type = buf;
+  bad_type[0] = 0x7F;
+  EXPECT_FALSE(DecodeLogRecord(bad_type, &out).ok());
+  std::string trailing = buf + "junk";
+  EXPECT_FALSE(DecodeLogRecord(trailing, &out).ok());
+}
+
+}  // namespace
+}  // namespace gamedb::persist

@@ -1,0 +1,100 @@
+#include "persist/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace gamedb::persist {
+namespace {
+
+template <typename T>
+class StorageTypedTest : public ::testing::Test {
+ protected:
+  Storage* storage() {
+    if constexpr (std::is_same_v<T, MemStorage>) {
+      return &mem_;
+    } else {
+      if (!disk_) {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("gamedb_storage_test_" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+        disk_ = std::make_unique<DiskStorage>(dir_.string());
+      }
+      return disk_.get();
+    }
+  }
+  void TearDown() override {
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  MemStorage mem_;
+  std::unique_ptr<DiskStorage> disk_;
+  std::filesystem::path dir_;
+};
+
+using StorageKinds = ::testing::Types<MemStorage, DiskStorage>;
+TYPED_TEST_SUITE(StorageTypedTest, StorageKinds);
+
+TYPED_TEST(StorageTypedTest, WriteReadRoundTrip) {
+  Storage* s = this->storage();
+  ASSERT_TRUE(s->Write("a", "hello").ok());
+  std::string out;
+  ASSERT_TRUE(s->Read("a", &out).ok());
+  EXPECT_EQ(out, "hello");
+  EXPECT_TRUE(s->Exists("a"));
+  EXPECT_FALSE(s->Exists("b"));
+}
+
+TYPED_TEST(StorageTypedTest, WriteTruncates) {
+  Storage* s = this->storage();
+  ASSERT_TRUE(s->Write("a", "long content").ok());
+  ASSERT_TRUE(s->Write("a", "x").ok());
+  std::string out;
+  ASSERT_TRUE(s->Read("a", &out).ok());
+  EXPECT_EQ(out, "x");
+}
+
+TYPED_TEST(StorageTypedTest, AppendGrows) {
+  Storage* s = this->storage();
+  ASSERT_TRUE(s->Append("log", "one").ok());
+  ASSERT_TRUE(s->Append("log", "two").ok());
+  std::string out;
+  ASSERT_TRUE(s->Read("log", &out).ok());
+  EXPECT_EQ(out, "onetwo");
+}
+
+TYPED_TEST(StorageTypedTest, ReadMissingIsNotFound) {
+  std::string out;
+  EXPECT_TRUE(this->storage()->Read("missing", &out).IsNotFound());
+}
+
+TYPED_TEST(StorageTypedTest, RemoveAndList) {
+  Storage* s = this->storage();
+  ASSERT_TRUE(s->Write("b", "2").ok());
+  ASSERT_TRUE(s->Write("a", "1").ok());
+  ASSERT_TRUE(s->Write("c", "3").ok());
+  auto names = s->List();
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_TRUE(s->Remove("b").ok());
+  EXPECT_FALSE(s->Exists("b"));
+  ASSERT_TRUE(s->Remove("b").ok());  // idempotent
+  EXPECT_EQ(s->List().size(), 2u);
+  EXPECT_EQ(s->TotalBytes(), 2u);
+}
+
+TEST(MemStorageTest, FaultInjection) {
+  MemStorage s;
+  ASSERT_TRUE(s.Write("f", "0123456789").ok());
+  s.CorruptTail("f", 4);
+  std::string out;
+  ASSERT_TRUE(s.Read("f", &out).ok());
+  EXPECT_EQ(out, "012345");
+  s.FlipByte("f", 0);
+  ASSERT_TRUE(s.Read("f", &out).ok());
+  EXPECT_NE(out[0], '0');
+  // Cumulative write accounting unaffected by corruption.
+  EXPECT_EQ(s.bytes_written(), 10u);
+}
+
+}  // namespace
+}  // namespace gamedb::persist

@@ -1,0 +1,90 @@
+#include "persist/wal.h"
+
+#include <gtest/gtest.h>
+
+namespace gamedb::persist {
+namespace {
+
+TEST(WalTest, AppendAndReadBack) {
+  MemStorage storage;
+  WalWriter writer(&storage, "wal");
+  ASSERT_TRUE(writer.Append("first").ok());
+  ASSERT_TRUE(writer.Append("second").ok());
+  ASSERT_TRUE(writer.Append("").ok());  // empty records are legal
+  EXPECT_EQ(writer.records_appended(), 3u);
+
+  auto r = ReadWal(storage, "wal");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->torn_tail);
+  ASSERT_EQ(r->records.size(), 3u);
+  EXPECT_EQ(r->records[0], "first");
+  EXPECT_EQ(r->records[1], "second");
+  EXPECT_EQ(r->records[2], "");
+}
+
+TEST(WalTest, MissingLogIsEmpty) {
+  MemStorage storage;
+  auto r = ReadWal(storage, "nope");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->records.empty());
+  EXPECT_FALSE(r->torn_tail);
+}
+
+TEST(WalTest, TornTailReturnsValidPrefix) {
+  MemStorage storage;
+  WalWriter writer(&storage, "wal");
+  ASSERT_TRUE(writer.Append("keep-me-1").ok());
+  ASSERT_TRUE(writer.Append("keep-me-2").ok());
+  ASSERT_TRUE(writer.Append("torn-away").ok());
+  storage.CorruptTail("wal", 3);  // rip bytes off the last record
+
+  auto r = ReadWal(storage, "wal");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->torn_tail);
+  ASSERT_EQ(r->records.size(), 2u);
+  EXPECT_EQ(r->records[0], "keep-me-1");
+  EXPECT_EQ(r->records[1], "keep-me-2");
+}
+
+TEST(WalTest, BitFlipDetectedByCrc) {
+  MemStorage storage;
+  WalWriter writer(&storage, "wal");
+  ASSERT_TRUE(writer.Append("aaaa").ok());
+  ASSERT_TRUE(writer.Append("bbbb").ok());
+  // Flip a byte inside the *second* record's payload.
+  std::string data;
+  ASSERT_TRUE(storage.Read("wal", &data).ok());
+  storage.FlipByte("wal", data.size() - 2);
+
+  auto r = ReadWal(storage, "wal");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->torn_tail);
+  ASSERT_EQ(r->records.size(), 1u);
+  EXPECT_EQ(r->records[0], "aaaa");
+}
+
+TEST(WalTest, ResetTruncates) {
+  MemStorage storage;
+  WalWriter writer(&storage, "wal");
+  ASSERT_TRUE(writer.Append("old").ok());
+  ASSERT_TRUE(writer.Reset().ok());
+  ASSERT_TRUE(writer.Append("new").ok());
+  auto r = ReadWal(storage, "wal");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->records.size(), 1u);
+  EXPECT_EQ(r->records[0], "new");
+}
+
+TEST(WalTest, LargeRecordsSurvive) {
+  MemStorage storage;
+  WalWriter writer(&storage, "wal");
+  std::string big(1 << 16, 'x');
+  ASSERT_TRUE(writer.Append(big).ok());
+  auto r = ReadWal(storage, "wal");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->records.size(), 1u);
+  EXPECT_EQ(r->records[0].size(), big.size());
+}
+
+}  // namespace
+}  // namespace gamedb::persist

@@ -1,0 +1,157 @@
+#include "replication/aggro.h"
+
+#include <gtest/gtest.h>
+
+namespace gamedb::replication {
+namespace {
+
+TEST(ThreatTableTest, HighestThreatHolds) {
+  ThreatTable table;
+  EntityId tank(1, 0), dps(2, 0);
+  table.OnDamage(tank, 100);
+  table.OnDamage(dps, 60);
+  EXPECT_EQ(table.CurrentTarget(), tank);
+  EXPECT_DOUBLE_EQ(table.ThreatOf(tank), 100);
+}
+
+TEST(ThreatTableTest, StickySwitchRule) {
+  ThreatTable table;  // default margin 1.1
+  EntityId tank(1, 0), dps(2, 0);
+  table.OnDamage(tank, 100);
+  EXPECT_EQ(table.CurrentTarget(), tank);
+
+  // dps pulls slightly ahead — but not past 110%: no switch.
+  table.OnDamage(dps, 105);
+  EXPECT_EQ(table.CurrentTarget(), tank);
+  EXPECT_EQ(table.target_switches(), 0u);
+
+  // dps exceeds 110% of the tank: switch.
+  table.OnDamage(dps, 10);  // 115 > 110
+  EXPECT_EQ(table.CurrentTarget(), dps);
+  EXPECT_EQ(table.target_switches(), 1u);
+}
+
+TEST(ThreatTableTest, HealingGeneratesReducedThreat) {
+  ThreatTable table;
+  EntityId healer(3, 0), dps(2, 0);
+  table.OnHeal(healer, 100);  // 50 threat at default 0.5 weight
+  table.OnDamage(dps, 40);
+  EXPECT_EQ(table.CurrentTarget(), healer);  // healers pull first!
+  table.OnDamage(dps, 30);                   // 70 > 50*1.1
+  EXPECT_EQ(table.CurrentTarget(), dps);
+}
+
+TEST(ThreatTableTest, TauntJumpsQueue) {
+  ThreatTable table;
+  EntityId tank(1, 0), dps(2, 0);
+  table.OnDamage(dps, 500);
+  EXPECT_EQ(table.CurrentTarget(), dps);
+  table.OnTaunt(tank);
+  EXPECT_EQ(table.CurrentTarget(), tank);
+  EXPECT_GE(table.ThreatOf(tank), 500 * 1.1);
+}
+
+TEST(ThreatTableTest, RemoveParticipantRetargets) {
+  ThreatTable table;
+  EntityId a(1, 0), b(2, 0);
+  table.OnDamage(a, 100);
+  table.OnDamage(b, 50);
+  EXPECT_EQ(table.CurrentTarget(), a);
+  table.RemoveParticipant(a);  // a died
+  EXPECT_EQ(table.CurrentTarget(), b);
+  table.RemoveParticipant(b);
+  EXPECT_FALSE(table.CurrentTarget().valid());
+}
+
+TEST(ThreatTableTest, DecayErodesThreat) {
+  AggroOptions opts;
+  opts.decay_per_tick = 0.1;
+  ThreatTable table(opts);
+  EntityId a(1, 0);
+  table.OnDamage(a, 100);
+  table.Tick();
+  EXPECT_DOUBLE_EQ(table.ThreatOf(a), 90.0);
+  table.Tick();
+  EXPECT_DOUBLE_EQ(table.ThreatOf(a), 81.0);
+}
+
+TEST(ThreatTableTest, NegativeAmountsIgnored) {
+  ThreatTable table;
+  EntityId a(1, 0);
+  table.OnDamage(a, -5);
+  table.OnHeal(a, 0);
+  EXPECT_EQ(table.participant_count(), 0u);
+}
+
+class SpatialTargetingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterStandardComponents();
+    npc = world.Create();
+    world.Set(npc, Position{{0, 0, 0}});
+    world.Set(npc, Faction{0});
+    world.Set(npc, Health{100, 100});
+  }
+
+  EntityId Enemy(Vec3 pos, float hp = 100) {
+    EntityId e = world.Create();
+    world.Set(e, Position{pos});
+    world.Set(e, Faction{1});
+    world.Set(e, Health{hp, 100});
+    return e;
+  }
+
+  World world;
+  EntityId npc;
+};
+
+TEST_F(SpatialTargetingTest, PicksNearestLivingEnemy) {
+  EntityId far = Enemy({50, 0, 0});
+  EntityId near = Enemy({5, 0, 0});
+  EXPECT_EQ(SelectNearestEnemy(world, npc), near);
+  // Kill the near one: falls to the far one.
+  world.Patch<Health>(near, [](Health& h) { h.hp = 0; });
+  EXPECT_EQ(SelectNearestEnemy(world, npc), far);
+}
+
+TEST_F(SpatialTargetingTest, IgnoresAlliesAndSelf) {
+  EntityId ally = world.Create();
+  world.Set(ally, Position{{1, 0, 0}});
+  world.Set(ally, Faction{0});
+  world.Set(ally, Health{100, 100});
+  EXPECT_FALSE(SelectNearestEnemy(world, npc).valid());
+  EntityId enemy = Enemy({30, 0, 0});
+  EXPECT_EQ(SelectNearestEnemy(world, npc), enemy);
+}
+
+TEST_F(SpatialTargetingTest, SpatialTargetingPingPongsWhereAggroHolds) {
+  // Two melee dancers swap distance every tick. Nearest-enemy retargets
+  // every swap; the threat table holds one target — the E11 claim in
+  // miniature.
+  EntityId a = Enemy({2, 0, 0});
+  EntityId b = Enemy({3, 0, 0});
+  ThreatTable threat;
+  threat.OnDamage(a, 100);
+  threat.OnDamage(b, 95);
+
+  int spatial_switches = 0;
+  EntityId last_spatial;
+  for (int tick = 0; tick < 10; ++tick) {
+    // Dancers swap positions each tick.
+    world.Patch<Position>(a, [&](Position& p) {
+      p.value.x = (tick % 2 == 0) ? 3.0f : 2.0f;
+    });
+    world.Patch<Position>(b, [&](Position& p) {
+      p.value.x = (tick % 2 == 0) ? 2.0f : 3.0f;
+    });
+    EntityId spatial = SelectNearestEnemy(world, npc);
+    if (tick > 0 && spatial != last_spatial) ++spatial_switches;
+    last_spatial = spatial;
+    (void)threat.CurrentTarget();
+  }
+  EXPECT_GE(spatial_switches, 8);
+  EXPECT_EQ(threat.target_switches(), 0u);
+}
+
+}  // namespace
+}  // namespace gamedb::replication

@@ -1,0 +1,167 @@
+#include "replication/sync.h"
+
+#include <gtest/gtest.h>
+
+#include "replication/divergence.h"
+
+namespace gamedb::replication {
+namespace {
+
+class SyncTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterStandardComponents();
+    for (int i = 0; i < 20; ++i) {
+      EntityId e = server.Create();
+      ids.push_back(e);
+      server.Set(e, Position{{float(i) * 10, 0, 0}});
+      server.Set(e, Health{100, 100});
+    }
+  }
+
+  void MutateSome() {
+    server.AdvanceTick();
+    server.Patch<Position>(ids[0], [](Position& p) { p.value.x += 1; });
+    server.Patch<Health>(ids[1], [](Health& h) { h.hp -= 5; });
+  }
+
+  World server;
+  std::vector<EntityId> ids;
+};
+
+TEST_F(SyncTest, FullSnapshotReplicatesEverything) {
+  SyncServer sync(&server, SyncOptions{SyncStrategy::kFullSnapshot});
+  sync.AddClient(ids[0]);
+  std::vector<SyncStats> stats;
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());
+  auto report = MeasureDivergence(server, sync.client(0).world());
+  EXPECT_EQ(report.missing_on_client, 0u);
+  EXPECT_DOUBLE_EQ(report.position_rmse, 0.0);
+  EXPECT_GT(stats[0].bytes_sent, 0u);
+}
+
+TEST_F(SyncTest, DeltaConvergesAndSecondSyncIsCheap) {
+  SyncServer sync(&server, SyncOptions{SyncStrategy::kDelta});
+  sync.AddClient(ids[0]);
+  std::vector<SyncStats> stats;
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());
+  uint64_t first_bytes = stats[0].bytes_sent;
+
+  // Nothing changed: the next delta should be (near) empty.
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());
+  EXPECT_EQ(stats[0].bytes_sent, 0u);
+
+  // One position + one hp change: tiny delta.
+  MutateSome();
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());
+  EXPECT_GT(stats[0].bytes_sent, 0u);
+  EXPECT_LT(stats[0].bytes_sent, first_bytes / 4);
+  EXPECT_EQ(stats[0].rows_sent, 2u);
+
+  auto report = MeasureDivergence(server, sync.client(0).world());
+  EXPECT_DOUBLE_EQ(report.position_rmse, 0.0);
+  EXPECT_DOUBLE_EQ(report.hp_mean_abs_error, 0.0);
+}
+
+TEST_F(SyncTest, DeltaPropagatesRemovals) {
+  SyncServer sync(&server, SyncOptions{SyncStrategy::kDelta});
+  sync.AddClient(ids[0]);
+  std::vector<SyncStats> stats;
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());
+  ASSERT_TRUE(sync.client(0).world().Has<Health>(ids[5]));
+
+  server.Remove<Health>(ids[5]);
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());
+  EXPECT_FALSE(sync.client(0).world().Has<Health>(ids[5]));
+  EXPECT_GE(stats[0].removals_sent, 1u);
+}
+
+TEST_F(SyncTest, InterestOnlyReplicatesNearbyEntities) {
+  SyncOptions opts;
+  opts.strategy = SyncStrategy::kInterest;
+  opts.interest_radius = 25.0f;  // positions are x = 0,10,...,190
+  SyncServer sync(&server, opts);
+  sync.AddClient(ids[0]);  // avatar at x=0
+  std::vector<SyncStats> stats;
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());
+
+  World& replica = sync.client(0).world();
+  EXPECT_TRUE(replica.Has<Position>(ids[0]));
+  EXPECT_TRUE(replica.Has<Position>(ids[2]));   // x=20, inside
+  EXPECT_FALSE(replica.Has<Position>(ids[5]));  // x=50, outside
+  auto report = MeasureDivergence(server, replica);
+  EXPECT_GT(report.missing_on_client, 0u);
+}
+
+TEST_F(SyncTest, InterestHandlesEnterAndLeave) {
+  SyncOptions opts;
+  opts.strategy = SyncStrategy::kInterest;
+  opts.interest_radius = 25.0f;
+  SyncServer sync(&server, opts);
+  sync.AddClient(ids[0]);
+  std::vector<SyncStats> stats;
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());
+  World& replica = sync.client(0).world();
+  ASSERT_FALSE(replica.Has<Position>(ids[5]));
+
+  // ids[5] walks into interest range.
+  server.AdvanceTick();
+  server.Patch<Position>(ids[5], [](Position& p) { p.value.x = 15; });
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());
+  EXPECT_TRUE(replica.Has<Position>(ids[5]));
+  EXPECT_TRUE(replica.Has<Health>(ids[5]));  // full row on enter
+
+  // ...and walks back out.
+  server.AdvanceTick();
+  server.Patch<Position>(ids[5], [](Position& p) { p.value.x = 120; });
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());
+  EXPECT_FALSE(replica.Has<Position>(ids[5]));
+  EXPECT_FALSE(replica.Has<Health>(ids[5]));
+}
+
+TEST_F(SyncTest, EventualSkipsRoundsAndDiverges) {
+  SyncOptions opts;
+  opts.strategy = SyncStrategy::kEventual;
+  opts.period_ticks = 5;
+  SyncServer sync(&server, opts);
+  sync.AddClient(ids[0]);
+  std::vector<SyncStats> stats;
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());  // initial sync
+
+  // Ticks 1..3: mutations without sync traffic.
+  uint64_t bytes_between = 0;
+  for (int i = 0; i < 3; ++i) {
+    MutateSome();
+    ASSERT_TRUE(sync.SyncAll(&stats).ok());
+    bytes_between += stats[0].bytes_sent;
+  }
+  EXPECT_EQ(bytes_between, 0u);  // inside the period: silence
+  auto drift = MeasureDivergence(server, sync.client(0).world());
+  EXPECT_GT(drift.position_rmse, 0.0);  // visibly stale
+
+  // Cross the period boundary: one sync collapses divergence to zero.
+  MutateSome();
+  MutateSome();
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());
+  EXPECT_GT(stats[0].bytes_sent, 0u);
+  auto after = MeasureDivergence(server, sync.client(0).world());
+  EXPECT_DOUBLE_EQ(after.position_rmse, 0.0);
+}
+
+TEST_F(SyncTest, MultipleClientsTrackIndependently) {
+  SyncOptions opts;
+  opts.strategy = SyncStrategy::kInterest;
+  opts.interest_radius = 15.0f;
+  SyncServer sync(&server, opts);
+  sync.AddClient(ids[0]);   // near x=0
+  sync.AddClient(ids[19]);  // near x=190
+  std::vector<SyncStats> stats;
+  ASSERT_TRUE(sync.SyncAll(&stats).ok());
+  EXPECT_TRUE(sync.client(0).world().Has<Position>(ids[1]));
+  EXPECT_FALSE(sync.client(0).world().Has<Position>(ids[18]));
+  EXPECT_TRUE(sync.client(1).world().Has<Position>(ids[18]));
+  EXPECT_FALSE(sync.client(1).world().Has<Position>(ids[1]));
+}
+
+}  // namespace
+}  // namespace gamedb::replication

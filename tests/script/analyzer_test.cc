@@ -1,0 +1,104 @@
+#include "script/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "script/parser.h"
+
+namespace gamedb::script {
+namespace {
+
+Status AnalyzeSrc(std::string_view src, Restriction r) {
+  auto parsed = Parse(src);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto is_builtin = [](const std::string& n) {
+    return n == "print" || n == "sum" || n == "entities_with";
+  };
+  return Analyze(*parsed, r, is_builtin);
+}
+
+TEST(AnalyzerTest, CleanScriptPassesAllLevels) {
+  const char* src =
+      "fn helper(a) { return a * 2 }\n"
+      "let x = helper(21)\n"
+      "print(x)";
+  EXPECT_TRUE(AnalyzeSrc(src, Restriction::kFull).ok());
+  EXPECT_TRUE(AnalyzeSrc(src, Restriction::kNoRecursion).ok());
+  EXPECT_TRUE(AnalyzeSrc(src, Restriction::kDeclarative).ok());
+}
+
+TEST(AnalyzerTest, UndefinedFunctionRejected) {
+  Status st = AnalyzeSrc("mystery(1)", Restriction::kFull);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("mystery"), std::string::npos);
+}
+
+TEST(AnalyzerTest, BuiltinsAreNotUndefined) {
+  EXPECT_TRUE(AnalyzeSrc("print(sum(\"a\", \"b\"))", Restriction::kFull).ok());
+}
+
+TEST(AnalyzerTest, DirectRecursionRejectedUnderNoRecursion) {
+  const char* src = "fn f(n) { if n > 0 { return f(n - 1) } return 0 }";
+  EXPECT_TRUE(AnalyzeSrc(src, Restriction::kFull).ok());
+  Status st = AnalyzeSrc(src, Restriction::kNoRecursion);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("recursion"), std::string::npos);
+}
+
+TEST(AnalyzerTest, MutualRecursionRejectedUnderNoRecursion) {
+  const char* src =
+      "fn even(n) { if n == 0 { return true } return odd(n - 1) }\n"
+      "fn odd(n) { if n == 0 { return false } return even(n - 1) }";
+  EXPECT_TRUE(AnalyzeSrc(src, Restriction::kFull).ok());
+  EXPECT_FALSE(AnalyzeSrc(src, Restriction::kNoRecursion).ok());
+  EXPECT_FALSE(AnalyzeSrc(src, Restriction::kDeclarative).ok());
+}
+
+TEST(AnalyzerTest, LoopsRejectedUnderDeclarative) {
+  EXPECT_TRUE(
+      AnalyzeSrc("while true { break }", Restriction::kNoRecursion).ok());
+  Status st = AnalyzeSrc("while true { break }", Restriction::kDeclarative);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("iteration"), std::string::npos);
+
+  EXPECT_FALSE(AnalyzeSrc("foreach e in entities_with(\"H\") { print(e) }",
+                          Restriction::kDeclarative)
+                   .ok());
+  // Aggregates remain fine at the declarative level.
+  EXPECT_TRUE(
+      AnalyzeSrc("print(sum(\"Health\", \"hp\"))", Restriction::kDeclarative)
+          .ok());
+}
+
+TEST(AnalyzerTest, LoopInsideFunctionAlsoRejected) {
+  const char* src = "fn f() { while true { break } }";
+  EXPECT_FALSE(AnalyzeSrc(src, Restriction::kDeclarative).ok());
+}
+
+TEST(AnalyzerTest, BreakOutsideLoopRejected) {
+  EXPECT_FALSE(AnalyzeSrc("break", Restriction::kFull).ok());
+  EXPECT_FALSE(AnalyzeSrc("fn f() { continue }", Restriction::kFull).ok());
+  EXPECT_TRUE(
+      AnalyzeSrc("while true { if true { break } }", Restriction::kFull).ok());
+}
+
+TEST(AnalyzerTest, ReportsStatsAndCallDepth) {
+  auto parsed = Parse(
+      "fn a() { return b() }\n"
+      "fn b() { return c() }\n"
+      "fn c() { return 1 }\n"
+      "on hit(x) { print(a()) }\n"
+      "while 0 { }");
+  ASSERT_TRUE(parsed.ok());
+  AnalysisReport report;
+  ASSERT_TRUE(Analyze(*parsed, Restriction::kFull,
+                      [](const std::string& n) { return n == "print"; },
+                      &report)
+                  .ok());
+  EXPECT_EQ(report.stats.functions, 3u);
+  EXPECT_EQ(report.stats.handlers, 1u);
+  EXPECT_EQ(report.stats.loops, 1u);
+  EXPECT_EQ(report.max_call_depth, 3u);  // a -> b -> c
+}
+
+}  // namespace
+}  // namespace gamedb::script

@@ -1,0 +1,196 @@
+#include "script/bindings.h"
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+#include "script/builtins.h"
+#include "script/parser.h"
+
+namespace gamedb::script {
+namespace {
+
+class BindingsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterStandardComponents();
+    RegisterCoreBuiltins(&interp);
+    BindWorld(&interp, &world, &effects, /*shard=*/0);
+    // A small squad: 4 fighters with hp 10/20/30/40, teams 0/1/0/1.
+    for (int i = 0; i < 4; ++i) {
+      EntityId e = world.Create();
+      ids.push_back(e);
+      world.Set(e, Health{float(i + 1) * 10, 100});
+      world.Set(e, Faction{i % 2});
+      world.Set(e, Position{{float(i) * 5, 0, 0}});
+    }
+  }
+
+  Status Run(std::string_view src) {
+    auto parsed = Parse(src);
+    if (!parsed.ok()) return parsed.status();
+    return interp.Load(std::move(*parsed));
+  }
+
+  World world;
+  ScriptEffects effects{1};
+  Interpreter interp;
+  std::vector<EntityId> ids;
+};
+
+TEST_F(BindingsTest, SpawnDestroyLifecycle) {
+  ASSERT_TRUE(Run("let e = spawn()\n"
+                  "let alive_before = is_alive(e)\n"
+                  "destroy(e)\n"
+                  "let alive_after = is_alive(e)")
+                  .ok());
+  EXPECT_TRUE(interp.GetGlobal("alive_before")->AsBool());
+  EXPECT_FALSE(interp.GetGlobal("alive_after")->AsBool());
+}
+
+TEST_F(BindingsTest, GetSetComponentFields) {
+  interp.SetGlobal("target", Value(ids[0]));
+  ASSERT_TRUE(Run("let hp = get(target, \"Health\", \"hp\")\n"
+                  "set(target, \"Health\", \"hp\", hp - 4)")
+                  .ok());
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("hp")->AsNumber(), 10.0);
+  EXPECT_FLOAT_EQ(world.Get<Health>(ids[0])->hp, 6.0f);
+}
+
+TEST_F(BindingsTest, SetKeepsAggregatesConsistent) {
+  SumAggregate<Health> total(world, [](const Health& h) { return h.hp; });
+  EXPECT_DOUBLE_EQ(total.sum(), 100.0);
+  interp.SetGlobal("e", Value(ids[1]));
+  ASSERT_TRUE(Run("set(e, \"Health\", \"hp\", 0)").ok());
+  EXPECT_DOUBLE_EQ(total.sum(), 80.0);  // script write was tracked
+}
+
+TEST_F(BindingsTest, AddRemoveHas) {
+  interp.SetGlobal("e", Value(ids[0]));
+  ASSERT_TRUE(Run("let before = has(e, \"Combat\")\n"
+                  "add(e, \"Combat\")\n"
+                  "let after = has(e, \"Combat\")\n"
+                  "remove(e, \"Combat\")\n"
+                  "let final_ = has(e, \"Combat\")")
+                  .ok());
+  EXPECT_FALSE(interp.GetGlobal("before")->AsBool());
+  EXPECT_TRUE(interp.GetGlobal("after")->AsBool());
+  EXPECT_FALSE(interp.GetGlobal("final_")->AsBool());
+}
+
+TEST_F(BindingsTest, UnknownComponentOrFieldErrors) {
+  interp.SetGlobal("e", Value(ids[0]));
+  EXPECT_TRUE(Run("get(e, \"Bogus\", \"hp\")").IsNotFound());
+  EXPECT_TRUE(Run("get(e, \"Health\", \"bogus\")").IsNotFound());
+  EXPECT_TRUE(Run("get(e, \"Combat\", \"attack\")").IsNotFound());  // absent
+}
+
+TEST_F(BindingsTest, DeclarativeAggregates) {
+  ASSERT_TRUE(Run("let total = sum(\"Health\", \"hp\")\n"
+                  "let lo = smin(\"Health\", \"hp\")\n"
+                  "let hi = smax(\"Health\", \"hp\")\n"
+                  "let mean = avg(\"Health\", \"hp\")\n"
+                  "let n = count(\"Health\")")
+                  .ok());
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("total")->AsNumber(), 100.0);
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("lo")->AsNumber(), 10.0);
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("hi")->AsNumber(), 40.0);
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("mean")->AsNumber(), 25.0);
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("n")->AsNumber(), 4.0);
+}
+
+TEST_F(BindingsTest, AggregateOverEmptyTableIsNil) {
+  ASSERT_TRUE(Run("let m = smin(\"Combat\", \"attack\")").ok());
+  EXPECT_TRUE(interp.GetGlobal("m")->IsNil());
+}
+
+TEST_F(BindingsTest, WhereAndForeachDriveEntityLogic) {
+  ASSERT_TRUE(Run(
+      "let team1 = where(\"Faction\", \"team\", \"==\", 1)\n"
+      "let team1_hp = 0\n"
+      "foreach e in team1 {\n"
+      "  team1_hp = team1_hp + get(e, \"Health\", \"hp\")\n"
+      "}")
+                  .ok());
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("team1_hp")->AsNumber(), 60.0);  // 20+40
+}
+
+TEST_F(BindingsTest, ArgMinFindsWeakest) {
+  ASSERT_TRUE(Run("let weakest = argmin(\"Health\", \"hp\")\n"
+                  "let strongest = argmax(\"Health\", \"hp\")")
+                  .ok());
+  EXPECT_EQ(interp.GetGlobal("weakest")->AsEntity(), ids[0]);
+  EXPECT_EQ(interp.GetGlobal("strongest")->AsEntity(), ids[3]);
+}
+
+TEST_F(BindingsTest, WithinRadiusQuery) {
+  // Positions are x = 0, 5, 10, 15.
+  ASSERT_TRUE(Run("let near = within(vec3(0, 0, 0), 7)\n"
+                  "let n = len(near)")
+                  .ok());
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("n")->AsNumber(), 2.0);
+}
+
+TEST_F(BindingsTest, EntitiesWithLists) {
+  ASSERT_TRUE(Run("let n = len(entities_with(\"Health\"))").ok());
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("n")->AsNumber(), 4.0);
+}
+
+TEST_F(BindingsTest, EmitRoutesThroughEffectChannel) {
+  interp.SetGlobal("a", Value(ids[0]));
+  interp.SetGlobal("b", Value(ids[1]));
+  ASSERT_TRUE(Run("emit(\"damage\", a, 3)\n"
+                  "emit(\"damage\", a, 4)\n"
+                  "emit(\"damage\", b, 10)")
+                  .ok());
+  // Nothing applied yet: effects are deferred.
+  EXPECT_FLOAT_EQ(world.Get<Health>(ids[0])->hp, 10.0f);
+
+  effects.Drain("damage", [&](EntityId e, double total) {
+    world.Patch<Health>(e, [&](Health& h) {
+      h.hp -= static_cast<float>(total);
+    });
+  });
+  EXPECT_FLOAT_EQ(world.Get<Health>(ids[0])->hp, 3.0f);   // 10 - 7
+  EXPECT_FLOAT_EQ(world.Get<Health>(ids[1])->hp, 10.0f);  // 20 - 10
+}
+
+TEST_F(BindingsTest, EmitWithoutEffectsHostFails) {
+  Interpreter bare;
+  RegisterCoreBuiltins(&bare);
+  BindWorld(&bare, &world, nullptr);
+  bare.SetGlobal("e", Value(ids[0]));
+  auto parsed = Parse("emit(\"damage\", e, 1)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(bare.Load(std::move(*parsed)).IsNotSupported());
+}
+
+TEST_F(BindingsTest, DeclarativeRestrictionStillExpressesCombat) {
+  // The whole point of kDeclarative: the same decision logic without loops.
+  InterpreterOptions opts;
+  opts.restriction = Restriction::kDeclarative;
+  Interpreter decl(opts);
+  RegisterCoreBuiltins(&decl);
+  BindWorld(&decl, &world, &effects);
+  auto parsed = Parse(
+      "let target = argmin(\"Health\", \"hp\")\n"
+      "if target != nil { emit(\"damage\", target, 5) }");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(decl.Load(std::move(*parsed)).ok());
+  int applied = 0;
+  effects.Drain("damage", [&](EntityId e, double v) {
+    EXPECT_EQ(e, ids[0]);
+    EXPECT_DOUBLE_EQ(v, 5.0);
+    ++applied;
+  });
+  EXPECT_EQ(applied, 1);
+}
+
+TEST_F(BindingsTest, TickBuiltin) {
+  world.AdvanceTick();
+  world.AdvanceTick();
+  ASSERT_TRUE(Run("let t = tick()").ok());
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("t")->AsNumber(), 2.0);
+}
+
+}  // namespace
+}  // namespace gamedb::script

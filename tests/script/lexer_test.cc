@@ -1,0 +1,102 @@
+#include "script/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace gamedb::script {
+namespace {
+
+std::vector<TokenType> Types(const std::vector<Token>& tokens) {
+  std::vector<TokenType> out;
+  for (const auto& t : tokens) out.push_back(t.type);
+  return out;
+}
+
+TEST(LexerTest, EmptyGivesEof) {
+  auto r = Lex("");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].type, TokenType::kEof);
+}
+
+TEST(LexerTest, NumbersIncludingFloatsAndExponents) {
+  auto r = Lex("0 42 3.14 .5 1e3 2.5e-2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 7u);
+  EXPECT_DOUBLE_EQ((*r)[0].number, 0);
+  EXPECT_DOUBLE_EQ((*r)[1].number, 42);
+  EXPECT_DOUBLE_EQ((*r)[2].number, 3.14);
+  EXPECT_DOUBLE_EQ((*r)[3].number, 0.5);
+  EXPECT_DOUBLE_EQ((*r)[4].number, 1000);
+  EXPECT_DOUBLE_EQ((*r)[5].number, 0.025);
+}
+
+TEST(LexerTest, KeywordsVsIdentifiers) {
+  auto r = Lex("let letter fn fnord while whiled");
+  ASSERT_TRUE(r.ok());
+  auto types = Types(*r);
+  EXPECT_EQ(types[0], TokenType::kLet);
+  EXPECT_EQ(types[1], TokenType::kIdent);
+  EXPECT_EQ(types[2], TokenType::kFn);
+  EXPECT_EQ(types[3], TokenType::kIdent);
+  EXPECT_EQ(types[4], TokenType::kWhile);
+  EXPECT_EQ(types[5], TokenType::kIdent);
+}
+
+TEST(LexerTest, OperatorsSingleAndDouble) {
+  auto r = Lex("= == != < <= > >= + - * / %");
+  ASSERT_TRUE(r.ok());
+  auto types = Types(*r);
+  std::vector<TokenType> expected = {
+      TokenType::kAssign, TokenType::kEq,      TokenType::kNe,
+      TokenType::kLt,     TokenType::kLe,      TokenType::kGt,
+      TokenType::kGe,     TokenType::kPlus,    TokenType::kMinus,
+      TokenType::kStar,   TokenType::kSlash,   TokenType::kPercent,
+      TokenType::kEof};
+  EXPECT_EQ(types, expected);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto r = Lex(R"( "hello" "a\nb" "q\"q" "back\\slash" )");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].text, "hello");
+  EXPECT_EQ((*r)[1].text, "a\nb");
+  EXPECT_EQ((*r)[2].text, "q\"q");
+  EXPECT_EQ((*r)[3].text, "back\\slash");
+}
+
+TEST(LexerTest, CommentsIgnored) {
+  auto r = Lex("let x = 1 # the rest is ignored == != \n let y = 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 9u);  // let x = 1 let y = 2 EOF
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto r = Lex("a\nb\n\nc");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].line, 1);
+  EXPECT_EQ((*r)[1].line, 2);
+  EXPECT_EQ((*r)[2].line, 4);
+}
+
+TEST(LexerTest, ErrorsCarryLine) {
+  auto r = Lex("ok\n$bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Lex("\"oops").status().IsParseError());
+  EXPECT_TRUE(Lex("\"oops\nmore\"").status().IsParseError());
+}
+
+TEST(LexerTest, BareBangRejected) {
+  EXPECT_TRUE(Lex("!x").status().IsParseError());
+}
+
+TEST(LexerTest, UnknownEscapeRejected) {
+  EXPECT_TRUE(Lex(R"("\q")").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace gamedb::script

@@ -1,0 +1,138 @@
+#include "script/triggers.h"
+
+#include <gtest/gtest.h>
+
+#include "script/builtins.h"
+#include "script/parser.h"
+
+namespace gamedb::script {
+namespace {
+
+class TriggersTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterCoreBuiltins(&interp); }
+
+  void Load(std::string_view src) {
+    auto parsed = Parse(src);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    ASSERT_TRUE(interp.Load(std::move(*parsed)).ok());
+  }
+
+  Interpreter interp;
+};
+
+TEST_F(TriggersTest, HandlersRunOnPump) {
+  Load("let hits = 0\n"
+       "on damage(amount) { hits = hits + 1 }");
+  TriggerSystem triggers(&interp);
+  triggers.Fire("damage", {Value(5.0)});
+  triggers.Fire("damage", {Value(7.0)});
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("hits")->AsNumber(), 0.0);  // queued
+  ASSERT_TRUE(triggers.Pump().ok());
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("hits")->AsNumber(), 2.0);
+  EXPECT_EQ(triggers.stats().fired, 2u);
+  EXPECT_EQ(triggers.stats().handled, 2u);
+}
+
+TEST_F(TriggersTest, MultipleHandlersForSameEvent) {
+  Load("let a = 0\nlet b = 0\n"
+       "on hit(x) { a = a + x }\n"
+       "on hit(x) { b = b + x * 2 }");
+  TriggerSystem triggers(&interp);
+  triggers.Fire("hit", {Value(3.0)});
+  ASSERT_TRUE(triggers.Pump().ok());
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("a")->AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("b")->AsNumber(), 6.0);
+}
+
+TEST_F(TriggersTest, UnknownEventIsNoop) {
+  Load("on known() { }");
+  TriggerSystem triggers(&interp);
+  triggers.Fire("unknown", {});
+  EXPECT_TRUE(triggers.Pump().ok());
+  EXPECT_EQ(triggers.stats().handled, 0u);
+}
+
+TEST_F(TriggersTest, CascadedEventsRunBreadthFirst) {
+  TriggerSystem triggers(&interp);
+  triggers.InstallFireBuiltin();
+  Load("let order = []\n"
+       "on first() { push(order, 1) fire(\"second\") push(order, 2) }\n"
+       "on second() { push(order, 3) }");
+  triggers.Fire("first", {});
+  ASSERT_TRUE(triggers.Pump().ok());
+  auto order = interp.GetGlobal("order")->AsList();
+  // Handler runs to completion before the cascaded event is processed.
+  ASSERT_EQ(order->size(), 3u);
+  EXPECT_DOUBLE_EQ((*order)[0].AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ((*order)[1].AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ((*order)[2].AsNumber(), 3.0);
+}
+
+TEST_F(TriggersTest, CascadeDepthLimitStopsEventLoops) {
+  TriggerOptions opts;
+  opts.max_cascade_depth = 5;
+  TriggerSystem triggers(&interp, opts);
+  triggers.InstallFireBuiltin();
+  Load("let count = 0\n"
+       "on ping() { count = count + 1 fire(\"ping\") }");
+  triggers.Fire("ping", {});
+  ASSERT_TRUE(triggers.Pump().ok());
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("count")->AsNumber(), 5.0);
+  EXPECT_GT(triggers.stats().dropped_depth, 0u);
+}
+
+TEST_F(TriggersTest, QueueLimitDropsEventStorms) {
+  TriggerOptions opts;
+  opts.max_queue = 10;
+  TriggerSystem triggers(&interp, opts);
+  Load("on e() { }");
+  for (int i = 0; i < 100; ++i) triggers.Fire("e", {});
+  EXPECT_EQ(triggers.pending(), 10u);
+  EXPECT_EQ(triggers.stats().dropped_queue, 90u);
+  EXPECT_TRUE(triggers.Pump().ok());
+}
+
+TEST_F(TriggersTest, HandlerErrorsReportedButPumpContinues) {
+  Load("let ran = 0\n"
+       "on bad() { let x = 1 / 0 }\n"
+       "on fine() { ran = ran + 1 }");
+  TriggerSystem triggers(&interp);
+  triggers.Fire("bad", {});
+  triggers.Fire("fine", {});
+  Status st = triggers.Pump();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(triggers.stats().errors, 1u);
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("ran")->AsNumber(), 1.0);
+}
+
+TEST_F(TriggersTest, HandlerArgsArePassed) {
+  Load("let total = 0\n"
+       "on pay(who, amount) { total = total + amount }");
+  TriggerSystem triggers(&interp);
+  triggers.Fire("pay", {Value("alice"), Value(10.0)});
+  triggers.Fire("pay", {Value("bob"), Value(32.0)});
+  ASSERT_TRUE(triggers.Pump().ok());
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("total")->AsNumber(), 42.0);
+}
+
+TEST_F(TriggersTest, EachHandlerGetsFreshFuel) {
+  InterpreterOptions iopts;
+  iopts.fuel_per_invocation = 5'000;
+  Interpreter small(iopts);
+  RegisterCoreBuiltins(&small);
+  auto parsed = Parse(
+      "let done = 0\n"
+      "on work() { let t = 0 foreach i in range(100) { t = t + i } "
+      "done = done + 1 }");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(small.Load(std::move(*parsed)).ok());
+  TriggerSystem triggers(&small);
+  // 20 events, each needing ~700 fuel: only passes if budgets are fresh.
+  for (int i = 0; i < 20; ++i) triggers.Fire("work", {});
+  ASSERT_TRUE(triggers.Pump().ok());
+  EXPECT_DOUBLE_EQ(small.GetGlobal("done")->AsNumber(), 20.0);
+}
+
+}  // namespace
+}  // namespace gamedb::script

@@ -1,0 +1,151 @@
+#include "spatial/grid_astar.h"
+
+#include <gtest/gtest.h>
+
+namespace gamedb::spatial {
+namespace {
+
+GridMap Must(Result<GridMap> r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(GridAstarTest, StraightLine) {
+  GridMap map = Must(GridMap::FromAscii({
+      ".....",
+  }));
+  auto path = FindGridPath(map, {0, 0}, {4, 0});
+  ASSERT_TRUE(path.found);
+  EXPECT_EQ(path.cells.size(), 5u);
+  EXPECT_FLOAT_EQ(path.cost, 4.0f);
+  EXPECT_EQ(path.cells.front(), std::make_pair(0, 0));
+  EXPECT_EQ(path.cells.back(), std::make_pair(4, 0));
+}
+
+TEST(GridAstarTest, DiagonalCheaperThanManhattan) {
+  GridMap map = Must(GridMap::FromAscii({
+      "...",
+      "...",
+      "...",
+  }));
+  auto diag = FindGridPath(map, {0, 0}, {2, 2});
+  ASSERT_TRUE(diag.found);
+  EXPECT_NEAR(diag.cost, 2 * 1.41421356f, 1e-4);
+
+  GridPathOptions no_diag;
+  no_diag.diagonal = false;
+  auto manhattan = FindGridPath(map, {0, 0}, {2, 2}, no_diag);
+  ASSERT_TRUE(manhattan.found);
+  EXPECT_FLOAT_EQ(manhattan.cost, 4.0f);
+}
+
+TEST(GridAstarTest, WallsForceDetour) {
+  GridMap map = Must(GridMap::FromAscii({
+      "..#..",
+      "..#..",
+      "..#..",
+      ".....",
+  }));
+  auto path = FindGridPath(map, {0, 0}, {4, 0});
+  ASSERT_TRUE(path.found);
+  // Must route through row 3.
+  bool used_bottom = false;
+  for (auto [x, y] : path.cells) {
+    ASSERT_TRUE(map.Walkable(x, y));
+    if (y == 3) used_bottom = true;
+  }
+  EXPECT_TRUE(used_bottom);
+}
+
+TEST(GridAstarTest, NoPathReported) {
+  GridMap map = Must(GridMap::FromAscii({
+      ".#.",
+      ".#.",
+      ".#.",
+  }));
+  auto path = FindGridPath(map, {0, 0}, {2, 0});
+  EXPECT_FALSE(path.found);
+  EXPECT_TRUE(path.cells.empty());
+}
+
+TEST(GridAstarTest, BlockedEndpointsFail) {
+  GridMap map = Must(GridMap::FromAscii({
+      ".#",
+      "..",
+  }));
+  EXPECT_FALSE(FindGridPath(map, {1, 0}, {0, 0}).found);
+  EXPECT_FALSE(FindGridPath(map, {0, 0}, {1, 0}).found);
+  EXPECT_FALSE(FindGridPath(map, {-1, 0}, {0, 0}).found);
+}
+
+TEST(GridAstarTest, NoCornerCutting) {
+  GridMap map = Must(GridMap::FromAscii({
+      ".#",
+      "#.",
+  }));
+  // Diagonal from (0,0) to (1,1) would cut between two walls.
+  auto path = FindGridPath(map, {0, 0}, {1, 1});
+  EXPECT_FALSE(path.found);
+}
+
+TEST(GridAstarTest, DangerAvoidedWhenPenalized) {
+  GridMap map = Must(GridMap::FromAscii({
+      ".....",
+      ".DDD.",
+      ".....",
+  }));
+  // Through the middle is shortest by distance but crosses danger.
+  GridPathOptions indifferent;
+  indifferent.diagonal = false;
+  auto direct = FindGridPath(map, {0, 1}, {4, 1}, indifferent);
+  ASSERT_TRUE(direct.found);
+  bool hits_danger = false;
+  for (auto [x, y] : direct.cells) {
+    if (map.FlagsAt(x, y) & kNavDanger) hits_danger = true;
+  }
+  EXPECT_TRUE(hits_danger);
+
+  GridPathOptions cautious;
+  cautious.diagonal = false;
+  cautious.danger_multiplier = 10.0f;
+  auto detour = FindGridPath(map, {0, 1}, {4, 1}, cautious);
+  ASSERT_TRUE(detour.found);
+  for (auto [x, y] : detour.cells) {
+    ASSERT_FALSE(map.FlagsAt(x, y) & kNavDanger);
+  }
+  EXPECT_GT(detour.cells.size(), direct.cells.size());
+}
+
+TEST(GridAstarTest, AvoidFlagsHardBlock) {
+  GridMap map = Must(GridMap::FromAscii({
+      ".D.",
+  }));
+  GridPathOptions opts;
+  opts.avoid_flags = kNavDanger;
+  EXPECT_FALSE(FindGridPath(map, {0, 0}, {2, 0}, opts).found);
+  EXPECT_TRUE(FindGridPath(map, {0, 0}, {2, 0}).found);
+}
+
+TEST(GridAstarTest, StartEqualsGoal) {
+  GridMap map = Must(GridMap::FromAscii({"..."}));
+  auto path = FindGridPath(map, {1, 0}, {1, 0});
+  ASSERT_TRUE(path.found);
+  EXPECT_EQ(path.cells.size(), 1u);
+  EXPECT_FLOAT_EQ(path.cost, 0.0f);
+}
+
+TEST(GridAstarTest, CostIsOptimalOnOpenField) {
+  // On an empty field, A* cost must equal the octile distance.
+  GridMap map(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) map.SetFlags(x, y, kNavWalkable);
+  }
+  auto path = FindGridPath(map, {1, 2}, {20, 9});
+  ASSERT_TRUE(path.found);
+  float dx = 19, dy = 7;
+  float octile = std::max(dx, dy) + 0.41421356f * std::min(dx, dy);
+  EXPECT_NEAR(path.cost, octile, 1e-3);
+}
+
+}  // namespace
+}  // namespace gamedb::spatial

@@ -1,0 +1,100 @@
+#include "spatial/grid_map.h"
+
+#include <gtest/gtest.h>
+
+namespace gamedb::spatial {
+namespace {
+
+TEST(GridMapTest, FromAsciiParsesFlags) {
+  auto r = GridMap::FromAscii({
+      "####",
+      "#.D#",
+      "#CH#",
+      "####",
+  });
+  ASSERT_TRUE(r.ok());
+  const GridMap& map = *r;
+  EXPECT_EQ(map.width(), 4);
+  EXPECT_EQ(map.height(), 4);
+  EXPECT_FALSE(map.Walkable(0, 0));
+  EXPECT_TRUE(map.Walkable(1, 1));
+  EXPECT_EQ(map.FlagsAt(1, 1), kNavWalkable);
+  EXPECT_EQ(map.FlagsAt(2, 1), kNavWalkable | kNavDanger);
+  EXPECT_EQ(map.FlagsAt(1, 2), kNavWalkable | kNavCover);
+  EXPECT_EQ(map.FlagsAt(2, 2), kNavWalkable | kNavHide);
+  EXPECT_EQ(map.WalkableCount(), 4u);
+}
+
+TEST(GridMapTest, MarkersRecordedAndWalkable) {
+  auto r = GridMap::FromAscii({
+      "S..",
+      "...",
+      "..G",
+  });
+  ASSERT_TRUE(r.ok());
+  const GridMap& map = *r;
+  ASSERT_EQ(map.Markers().count('S'), 1u);
+  ASSERT_EQ(map.Markers().count('G'), 1u);
+  EXPECT_EQ(map.Markers().at('S')[0], std::make_pair(0, 0));
+  EXPECT_EQ(map.Markers().at('G')[0], std::make_pair(2, 2));
+  EXPECT_TRUE(map.Walkable(0, 0));
+  EXPECT_TRUE(map.Walkable(2, 2));
+}
+
+TEST(GridMapTest, RaggedAndEmptyRejected) {
+  EXPECT_TRUE(GridMap::FromAscii({}).status().IsInvalidArgument());
+  EXPECT_TRUE(GridMap::FromAscii({""}).status().IsInvalidArgument());
+  EXPECT_TRUE(GridMap::FromAscii({"..", "..."}).status().IsInvalidArgument());
+}
+
+TEST(GridMapTest, OutOfBoundsIsBlocked) {
+  GridMap map(3, 3);
+  EXPECT_EQ(map.FlagsAt(-1, 0), 0);
+  EXPECT_EQ(map.FlagsAt(0, 3), 0);
+  EXPECT_FALSE(map.Walkable(99, 99));
+  EXPECT_FALSE(map.InBounds(-1, 0));
+  EXPECT_TRUE(map.InBounds(2, 2));
+}
+
+TEST(GridMapTest, SetFlags) {
+  GridMap map(2, 2);
+  EXPECT_FALSE(map.Walkable(0, 0));
+  map.SetFlags(0, 0, kNavWalkable | kNavDefensible);
+  EXPECT_TRUE(map.Walkable(0, 0));
+  EXPECT_TRUE(map.FlagsAt(0, 0) & kNavDefensible);
+}
+
+TEST(GridMapTest, WorldCoordinates) {
+  GridMapOptions opts;
+  opts.cell_size = 2.0f;
+  opts.origin = {10.0f, 20.0f};
+  GridMap map(4, 4, opts);
+  Vec2 c = map.CellCenter(0, 0);
+  EXPECT_FLOAT_EQ(c.x, 11.0f);
+  EXPECT_FLOAT_EQ(c.z, 21.0f);
+  int x, y;
+  map.CellOf(c, &x, &y);
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 0);
+  map.CellOf({15.9f, 27.9f}, &x, &y);
+  EXPECT_EQ(x, 2);
+  EXPECT_EQ(y, 3);
+}
+
+TEST(GridMapTest, CellRoundTripProperty) {
+  GridMapOptions opts;
+  opts.cell_size = 1.5f;
+  opts.origin = {-7.0f, 3.0f};
+  GridMap map(20, 30, opts);
+  for (int y = 0; y < 30; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      int cx, cy;
+      map.CellOf(map.CellCenter(x, y), &cx, &cy);
+      ASSERT_EQ(cx, x);
+      ASSERT_EQ(cy, y);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gamedb::spatial

@@ -1,0 +1,254 @@
+#include "spatial/navmesh.h"
+
+#include <gtest/gtest.h>
+
+#include "spatial/grid_astar.h"
+#include "spatial/navmesh_builder.h"
+
+namespace gamedb::spatial {
+namespace {
+
+GridMap Must(Result<GridMap> r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+NavMesh MustMesh(Result<NavMesh> r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(NavPolyTest, ContainsConvex) {
+  NavPoly poly;
+  poly.verts = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  EXPECT_TRUE(poly.Contains({2, 2}));
+  EXPECT_TRUE(poly.Contains({0, 0}));  // boundary inclusive
+  EXPECT_TRUE(poly.Contains({4, 2}));
+  EXPECT_FALSE(poly.Contains({4.1f, 2}));
+  EXPECT_FALSE(poly.Contains({-0.1f, 2}));
+}
+
+TEST(NavMeshTest, AddPolygonComputesCentroidArea) {
+  NavMesh mesh;
+  uint32_t id = mesh.AddPolygon({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  const NavPoly& p = mesh.polygon(id);
+  EXPECT_FLOAT_EQ(p.area, 4.0f);
+  EXPECT_NEAR(p.centroid.x, 1.0f, 1e-5);
+  EXPECT_NEAR(p.centroid.z, 1.0f, 1e-5);
+}
+
+TEST(NavMeshTest, ConnectValidation) {
+  NavMesh mesh;
+  uint32_t a = mesh.AddPolygon({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  uint32_t b = mesh.AddPolygon({{2, 0}, {4, 0}, {4, 2}, {2, 2}});
+  EXPECT_TRUE(mesh.Connect(a, b, {2, 0}, {2, 2}).ok());
+  EXPECT_TRUE(mesh.Connect(a, 99, {0, 0}, {1, 1}).IsInvalidArgument());
+  EXPECT_TRUE(mesh.Connect(a, a, {0, 0}, {1, 1}).IsInvalidArgument());
+  EXPECT_EQ(mesh.Neighbors(a).size(), 1u);
+  EXPECT_EQ(mesh.Neighbors(b).size(), 1u);
+}
+
+TEST(NavMeshTest, SamePolygonPathIsDirect) {
+  NavMesh mesh;
+  mesh.AddPolygon({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  auto path = mesh.FindPath({1, 1}, {9, 9});
+  ASSERT_TRUE(path.found);
+  ASSERT_EQ(path.waypoints.size(), 2u);
+  EXPECT_NEAR(path.cost, std::sqrt(128.0f), 1e-4);
+}
+
+TEST(NavMeshTest, PathAcrossTwoPolygons) {
+  NavMesh mesh;
+  uint32_t a = mesh.AddPolygon({{0, 0}, {5, 0}, {5, 5}, {0, 5}});
+  uint32_t b = mesh.AddPolygon({{5, 0}, {10, 0}, {10, 5}, {5, 5}});
+  ASSERT_TRUE(mesh.Connect(a, b, {5, 0}, {5, 5}).ok());
+  auto path = mesh.FindPath({1, 2.5f}, {9, 2.5f});
+  ASSERT_TRUE(path.found);
+  EXPECT_EQ(path.corridor.size(), 2u);
+  // Straight corridor: funnel should produce a straight line.
+  ASSERT_EQ(path.waypoints.size(), 2u);
+  EXPECT_NEAR(PathLength(path.waypoints), 8.0f, 1e-4);
+}
+
+TEST(NavMeshTest, OutsideMeshFails) {
+  NavMesh mesh;
+  mesh.AddPolygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_FALSE(mesh.FindPath({5, 5}, {0.5f, 0.5f}).found);
+  EXPECT_FALSE(mesh.FindPath({0.5f, 0.5f}, {5, 5}).found);
+}
+
+TEST(NavMeshTest, DisconnectedComponentsFail) {
+  NavMesh mesh;
+  mesh.AddPolygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  mesh.AddPolygon({{5, 5}, {6, 5}, {6, 6}, {5, 6}});
+  EXPECT_FALSE(mesh.FindPath({0.5f, 0.5f}, {5.5f, 5.5f}).found);
+}
+
+TEST(BuilderTest, SingleRoomIsOnePolygon) {
+  GridMap map = Must(GridMap::FromAscii({
+      "....",
+      "....",
+  }));
+  NavMeshBuildStats stats;
+  NavMesh mesh = MustMesh(BuildNavMesh(map, &stats));
+  EXPECT_EQ(stats.polygon_count, 1u);
+  EXPECT_EQ(stats.walkable_cells, 8u);
+  EXPECT_EQ(stats.portal_count, 0u);
+}
+
+TEST(BuilderTest, AnnotationsSplitPolygons) {
+  GridMap map = Must(GridMap::FromAscii({
+      "..DD..",
+  }));
+  NavMeshBuildStats stats;
+  NavMesh mesh = MustMesh(BuildNavMesh(map, &stats));
+  EXPECT_EQ(stats.polygon_count, 3u);  // plain | danger | plain
+  EXPECT_EQ(stats.portal_count, 2u);
+  int danger_polys = 0;
+  for (uint32_t i = 0; i < mesh.PolygonCount(); ++i) {
+    if (mesh.polygon(i).flags & kNavDanger) ++danger_polys;
+  }
+  EXPECT_EQ(danger_polys, 1);
+}
+
+TEST(BuilderTest, NoWalkableCellsFails) {
+  GridMap map = Must(GridMap::FromAscii({"##", "##"}));
+  EXPECT_TRUE(BuildNavMesh(map).status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, PathThroughDoorway) {
+  GridMap map = Must(GridMap::FromAscii({
+      ".....#.....",
+      ".....#.....",
+      "...........",
+      ".....#.....",
+      ".....#.....",
+  }));
+  NavMesh mesh = MustMesh(BuildNavMesh(map));
+  Vec2 start = map.CellCenter(1, 0);
+  Vec2 goal = map.CellCenter(9, 4);
+  auto path = mesh.FindPath(start, goal);
+  ASSERT_TRUE(path.found);
+  // Path must pass through the doorway column (x == 5, row 2).
+  Vec2 door = map.CellCenter(5, 2);
+  bool near_door = false;
+  for (size_t i = 1; i < path.waypoints.size(); ++i) {
+    // Sample along segments.
+    for (float t = 0; t <= 1.0f; t += 0.05f) {
+      Vec2 p = path.waypoints[i - 1] + (path.waypoints[i] - path.waypoints[i - 1]) * t;
+      if (p.DistanceTo(door) < 1.5f) near_door = true;
+    }
+  }
+  EXPECT_TRUE(near_door);
+  // Grid path on the same map agrees on reachability and rough length. The
+  // funnel path is taut within its corridor but the corridor itself (portal-
+  // midpoint A*) may be slightly suboptimal, so allow a 15% band.
+  auto grid_path = FindGridPath(map, {1, 0}, {9, 4});
+  ASSERT_TRUE(grid_path.found);
+  EXPECT_LE(PathLength(path.waypoints), grid_path.cost * 1.15f);
+}
+
+TEST(BuilderTest, NavmeshExpandsFarFewerNodesThanGrid) {
+  // Large open room: navmesh search should expand ~1 polygon, grid A*
+  // hundreds of cells.
+  std::vector<std::string> rows(40, std::string(40, '.'));
+  GridMap map = Must(GridMap::FromAscii(rows));
+  NavMesh mesh = MustMesh(BuildNavMesh(map));
+  auto nav = mesh.FindPath(map.CellCenter(1, 1), map.CellCenter(38, 38));
+  auto grid = FindGridPath(map, {1, 1}, {38, 38});
+  ASSERT_TRUE(nav.found);
+  ASSERT_TRUE(grid.found);
+  EXPECT_LT(nav.expanded * 10, grid.expanded);
+}
+
+TEST(BuilderTest, DangerousShortcutAvoidedWithMultiplier) {
+  GridMap map = Must(GridMap::FromAscii({
+      "#####",
+      "..D..",
+      ".###.",
+      ".....",
+  }));
+  NavMesh mesh = MustMesh(BuildNavMesh(map));
+  Vec2 start = map.CellCenter(0, 1);
+  Vec2 goal = map.CellCenter(4, 1);
+
+  NavPathOptions indifferent;
+  auto direct = mesh.FindPath(start, goal, indifferent);
+  ASSERT_TRUE(direct.found);
+  bool crosses_danger = false;
+  for (uint32_t pid : direct.corridor) {
+    if (mesh.polygon(pid).flags & kNavDanger) crosses_danger = true;
+  }
+  EXPECT_TRUE(crosses_danger);
+
+  NavPathOptions cautious;
+  cautious.danger_multiplier = 50.0f;
+  auto detour = mesh.FindPath(start, goal, cautious);
+  ASSERT_TRUE(detour.found);
+  for (uint32_t pid : detour.corridor) {
+    EXPECT_FALSE(mesh.polygon(pid).flags & kNavDanger);
+  }
+
+  NavPathOptions forbid;
+  forbid.avoid_flags = kNavDanger;
+  auto hard = mesh.FindPath(start, goal, forbid);
+  ASSERT_TRUE(hard.found);
+  for (uint32_t pid : hard.corridor) {
+    EXPECT_FALSE(mesh.polygon(pid).flags & kNavDanger);
+  }
+}
+
+TEST(BuilderTest, FindAnnotatedLocatesHidingSpots) {
+  GridMap map = Must(GridMap::FromAscii({
+      "H....",
+      ".....",
+      "....H",
+  }));
+  NavMesh mesh = MustMesh(BuildNavMesh(map));
+  Vec2 origin = map.CellCenter(0, 0);
+  auto near = mesh.FindAnnotated(origin, 2.0f, kNavHide);
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_TRUE(mesh.polygon(near[0]).Contains(origin));
+  auto all = mesh.FindAnnotated(origin, 100.0f, kNavHide);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(FunnelTest, StraightCorridorGivesStraightPath) {
+  std::vector<Portal> portals = {
+      {{2, 1}, {2, -1}},
+      {{4, 1}, {4, -1}},
+      {{6, 1}, {6, -1}},
+  };
+  auto path = StringPull({0, 0}, {8, 0}, portals);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_NEAR(PathLength(path), 8.0f, 1e-5);
+}
+
+TEST(FunnelTest, BendsAroundCorner) {
+  // Corridor that turns: the taut path must touch the inner corner.
+  std::vector<Portal> portals = {
+      {{5, 2}, {5, 0}},  // heading +x: left endpoint is the +z side
+      {{5, 2}, {7, 2}},  // heading +z: left endpoint is the -x side
+  };
+  auto path = StringPull({0, 1}, {6, 6}, portals);
+  ASSERT_GE(path.size(), 3u);
+  // Inner corner (5, 2) must appear.
+  bool corner = false;
+  for (const Vec2& p : path) {
+    if (p.DistanceTo({5, 2}) < 1e-4) corner = true;
+  }
+  EXPECT_TRUE(corner);
+  // Taut path is shorter than the midpoint polyline.
+  float mid_len = Vec2{0, 1}.DistanceTo({5, 1}) + Vec2{5, 1}.DistanceTo({6, 2}) +
+                  Vec2{6, 2}.DistanceTo({6, 6});
+  EXPECT_LE(PathLength(path), mid_len + 1e-4);
+}
+
+TEST(FunnelTest, NoPortalsDirectSegment) {
+  auto path = StringPull({0, 0}, {3, 4}, {});
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_NEAR(PathLength(path), 5.0f, 1e-5);
+}
+
+}  // namespace
+}  // namespace gamedb::spatial

@@ -1,0 +1,110 @@
+#include "spatial/pair_join.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "spatial/kdbsp_tree.h"
+#include "spatial/uniform_grid.h"
+
+namespace gamedb::spatial {
+namespace {
+
+std::vector<PointEntry> RandomPoints(size_t n, uint64_t seed, float span) {
+  Rng rng(seed);
+  Aabb world{{-span, 0, -span}, {span, 0, span}};
+  std::vector<PointEntry> pts;
+  pts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    pts.push_back(PointEntry{EntityId(i, 0), rng.NextPointIn(world)});
+  }
+  return pts;
+}
+
+using PairSet = std::set<std::pair<uint64_t, uint64_t>>;
+
+PairSet Collect(const std::function<void(const PairCallback&)>& run) {
+  PairSet out;
+  run([&](const PointEntry& a, const PointEntry& b) {
+    EXPECT_LT(a.id.Raw(), b.id.Raw()) << "pair not id-ordered";
+    EXPECT_TRUE(out.emplace(a.id.Raw(), b.id.Raw()).second)
+        << "duplicate pair";
+  });
+  return out;
+}
+
+class PairJoinParamTest
+    : public ::testing::TestWithParam<std::tuple<size_t, float>> {};
+
+TEST_P(PairJoinParamTest, AllJoinsAgreeWithNestedLoop) {
+  auto [n, dist] = GetParam();
+  auto pts = RandomPoints(n, 42 + n, 60.0f);
+
+  PairSet naive = Collect([&](const PairCallback& cb) {
+    NestedLoopPairs(pts, dist, cb);
+  });
+  PairSet grid = Collect([&](const PairCallback& cb) {
+    GridPairs(pts, dist, cb);
+  });
+  EXPECT_EQ(grid, naive);
+
+  UniformGrid gi(UniformGridOptions{dist});
+  for (const auto& p : pts) gi.Insert(p.id, Aabb::FromPoint(p.pos));
+  PairSet via_grid_index = Collect([&](const PairCallback& cb) {
+    IndexPairs(gi, pts, dist, cb);
+  });
+  EXPECT_EQ(via_grid_index, naive);
+
+  KdBspTree kd;
+  for (const auto& p : pts) kd.Insert(p.id, Aabb::FromPoint(p.pos));
+  PairSet via_kd = Collect([&](const PairCallback& cb) {
+    IndexPairs(kd, pts, dist, cb);
+  });
+  EXPECT_EQ(via_kd, naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PairJoinParamTest,
+    ::testing::Values(std::make_tuple(size_t{0}, 5.0f),
+                      std::make_tuple(size_t{1}, 5.0f),
+                      std::make_tuple(size_t{2}, 1000.0f),
+                      std::make_tuple(size_t{64}, 8.0f),
+                      std::make_tuple(size_t{300}, 5.0f),
+                      std::make_tuple(size_t{300}, 25.0f)));
+
+TEST(PairJoinTest, ExactDistanceBoundaryIncluded) {
+  std::vector<PointEntry> pts = {{EntityId(1, 0), {0, 0, 0}},
+                                 {EntityId(2, 0), {3, 0, 4}}};  // dist 5
+  int count = 0;
+  GridPairs(pts, 5.0f, [&](const PointEntry&, const PointEntry&) { ++count; });
+  EXPECT_EQ(count, 1);
+  count = 0;
+  GridPairs(pts, 4.99f,
+            [&](const PointEntry&, const PointEntry&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PairJoinTest, DensePackProducesAllPairs) {
+  // 10 coincident points -> C(10,2) = 45 pairs.
+  std::vector<PointEntry> pts;
+  for (uint32_t i = 0; i < 10; ++i) {
+    pts.push_back({EntityId(i, 0), {1, 2, 3}});
+  }
+  PairSet grid = Collect([&](const PairCallback& cb) {
+    GridPairs(pts, 0.5f, cb);
+  });
+  EXPECT_EQ(grid.size(), 45u);
+}
+
+TEST(PairJoinTest, CrossCellNeighborsFound) {
+  // Two points in adjacent grid cells but within distance.
+  std::vector<PointEntry> pts = {{EntityId(1, 0), {0.9f, 0, 0}},
+                                 {EntityId(2, 0), {1.1f, 0, 0}}};
+  int count = 0;
+  GridPairs(pts, 1.0f, [&](const PointEntry&, const PointEntry&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace gamedb::spatial

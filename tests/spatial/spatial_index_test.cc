@@ -1,0 +1,271 @@
+#include "spatial/spatial_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "spatial/kdbsp_tree.h"
+#include "spatial/linear_scan.h"
+#include "spatial/loose_octree.h"
+#include "spatial/uniform_grid.h"
+
+namespace gamedb::spatial {
+namespace {
+
+enum class IndexKind { kLinear, kGrid, kKdBsp, kOctree };
+
+std::unique_ptr<SpatialIndex> MakeIndex(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kLinear:
+      return std::make_unique<LinearScan>();
+    case IndexKind::kGrid:
+      return std::make_unique<UniformGrid>(UniformGridOptions{8.0f});
+    case IndexKind::kKdBsp:
+      return std::make_unique<KdBspTree>();
+    case IndexKind::kOctree: {
+      LooseOctreeOptions opts;
+      opts.world_bounds = Aabb{{-200, -200, -200}, {200, 200, 200}};
+      return std::make_unique<LooseOctree>(opts);
+    }
+  }
+  return nullptr;
+}
+
+std::set<uint64_t> CollectRange(const SpatialIndex& idx, const Aabb& range) {
+  std::set<uint64_t> out;
+  idx.QueryRange(range, [&](EntityId e, const Aabb&) {
+    EXPECT_TRUE(out.insert(e.Raw()).second) << "duplicate result";
+  });
+  return out;
+}
+
+std::set<uint64_t> CollectRadius(const SpatialIndex& idx, const Vec3& c,
+                                 float r) {
+  std::set<uint64_t> out;
+  idx.QueryRadius(c, r, [&](EntityId e, const Aabb&) {
+    EXPECT_TRUE(out.insert(e.Raw()).second) << "duplicate result";
+  });
+  return out;
+}
+
+class SpatialIndexTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(SpatialIndexTest, EmptyIndexReturnsNothing) {
+  auto idx = MakeIndex(GetParam());
+  EXPECT_EQ(idx->Size(), 0u);
+  EXPECT_TRUE(CollectRange(*idx, Aabb{{-10, -10, -10}, {10, 10, 10}}).empty());
+}
+
+TEST_P(SpatialIndexTest, InsertQueryRemove) {
+  auto idx = MakeIndex(GetParam());
+  EntityId a(1, 0), b(2, 0);
+  idx->Insert(a, Aabb::FromPoint({0, 0, 0}));
+  idx->Insert(b, Aabb::FromPoint({50, 0, 0}));
+  EXPECT_EQ(idx->Size(), 2u);
+
+  auto near_origin = CollectRange(*idx, Aabb{{-1, -1, -1}, {1, 1, 1}});
+  EXPECT_EQ(near_origin.size(), 1u);
+  EXPECT_TRUE(near_origin.count(a.Raw()));
+
+  EXPECT_TRUE(idx->Remove(a));
+  EXPECT_FALSE(idx->Remove(a));
+  EXPECT_EQ(idx->Size(), 1u);
+  EXPECT_TRUE(CollectRange(*idx, Aabb{{-1, -1, -1}, {1, 1, 1}}).empty());
+}
+
+TEST_P(SpatialIndexTest, UpdateMovesEntry) {
+  auto idx = MakeIndex(GetParam());
+  EntityId e(7, 0);
+  idx->Insert(e, Aabb::FromPoint({0, 0, 0}));
+  idx->Update(e, Aabb::FromPoint({100, 0, 0}));
+  EXPECT_TRUE(CollectRange(*idx, Aabb{{-1, -1, -1}, {1, 1, 1}}).empty());
+  auto far = CollectRange(*idx, Aabb{{99, -1, -1}, {101, 1, 1}});
+  EXPECT_EQ(far.size(), 1u);
+}
+
+TEST_P(SpatialIndexTest, BoxesOverlappingRangeBoundaryAreFound) {
+  auto idx = MakeIndex(GetParam());
+  EntityId e(3, 0);
+  // Box straddles the query boundary.
+  idx->Insert(e, Aabb{{9, -1, -1}, {12, 1, 1}});
+  auto hits = CollectRange(*idx, Aabb{{0, 0, 0}, {10, 0, 0}});
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST_P(SpatialIndexTest, ClearEmptiesIndex) {
+  auto idx = MakeIndex(GetParam());
+  for (uint32_t i = 0; i < 50; ++i) {
+    idx->Insert(EntityId(i, 0), Aabb::FromPoint({float(i), 0, 0}));
+  }
+  idx->Clear();
+  EXPECT_EQ(idx->Size(), 0u);
+  EXPECT_TRUE(CollectRange(*idx, Aabb{{-1000, -1000, -1000},
+                                      {1000, 1000, 1000}})
+                  .empty());
+  // Usable after clear.
+  idx->Insert(EntityId(0, 1), Aabb::FromPoint({1, 1, 1}));
+  EXPECT_EQ(idx->Size(), 1u);
+}
+
+TEST_P(SpatialIndexTest, AgreesWithLinearScanUnderRandomWorkload) {
+  auto idx = MakeIndex(GetParam());
+  LinearScan oracle;
+  Rng rng(123);
+  Aabb world{{-150, -20, -150}, {150, 20, 150}};
+  std::vector<EntityId> present;
+  uint32_t next_id = 0;
+
+  for (int op = 0; op < 3000; ++op) {
+    double roll = rng.NextDouble();
+    if (roll < 0.4 || present.empty()) {
+      EntityId e(next_id++, 0);
+      Vec3 p = rng.NextPointIn(world);
+      float half = rng.NextFloat(0.0f, 3.0f);
+      Aabb box{p - Vec3(half, half, half), p + Vec3(half, half, half)};
+      idx->Insert(e, box);
+      oracle.Insert(e, box);
+      present.push_back(e);
+    } else if (roll < 0.6) {
+      size_t i = rng.NextBounded(present.size());
+      EXPECT_TRUE(idx->Remove(present[i]));
+      oracle.Remove(present[i]);
+      present[i] = present.back();
+      present.pop_back();
+    } else if (roll < 0.8) {
+      EntityId e = present[rng.NextBounded(present.size())];
+      Vec3 p = rng.NextPointIn(world);
+      Aabb box = Aabb::FromPoint(p).Inflated(rng.NextFloat(0.0f, 2.0f));
+      idx->Update(e, box);
+      oracle.Update(e, box);
+    } else {
+      // Compare a random range query and a random radius query.
+      Vec3 c = rng.NextPointIn(world);
+      float r = rng.NextFloat(1.0f, 40.0f);
+      Aabb range = Aabb::FromSphere(c, r);
+      ASSERT_EQ(CollectRange(*idx, range), CollectRange(oracle, range))
+          << "op " << op;
+      ASSERT_EQ(CollectRadius(*idx, c, r), CollectRadius(oracle, c, r))
+          << "op " << op;
+    }
+    ASSERT_EQ(idx->Size(), oracle.Size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, SpatialIndexTest,
+                         ::testing::Values(IndexKind::kLinear,
+                                           IndexKind::kGrid,
+                                           IndexKind::kKdBsp,
+                                           IndexKind::kOctree),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case IndexKind::kLinear:
+                               return "LinearScan";
+                             case IndexKind::kGrid:
+                               return "UniformGrid";
+                             case IndexKind::kKdBsp:
+                               return "KdBspTree";
+                             case IndexKind::kOctree:
+                               return "LooseOctree";
+                           }
+                           return "?";
+                         });
+
+TEST(KdBspTreeTest, NearestNeighborsExact) {
+  KdBspTree tree;
+  LinearScan oracle;
+  Rng rng(55);
+  Aabb world{{-100, 0, -100}, {100, 0, 100}};
+  for (uint32_t i = 0; i < 500; ++i) {
+    Vec3 p = rng.NextPointIn(world);
+    tree.Insert(EntityId(i, 0), Aabb::FromPoint(p));
+    oracle.Insert(EntityId(i, 0), Aabb::FromPoint(p));
+  }
+  for (int q = 0; q < 50; ++q) {
+    Vec3 c = rng.NextPointIn(world);
+    // Oracle: brute-force distances.
+    std::vector<std::pair<float, uint64_t>> all;
+    oracle.QueryRange(world.Inflated(1), [&](EntityId e, const Aabb& box) {
+      all.emplace_back(box.DistanceSquaredTo(c), e.Raw());
+    });
+    std::sort(all.begin(), all.end());
+
+    std::vector<uint64_t> got;
+    std::vector<float> dists;
+    tree.QueryNearest(c, 5, [&](EntityId e, const Aabb&, float d) {
+      got.push_back(e.Raw());
+      dists.push_back(d);
+    });
+    ASSERT_EQ(got.size(), 5u);
+    // Distances must be sorted ascending and match the oracle's top-5 set
+    // (ties may permute ids, so compare distances).
+    for (size_t i = 0; i < 5; ++i) {
+      ASSERT_NEAR(dists[i] * dists[i], all[i].first, 1e-3f);
+      if (i > 0) ASSERT_GE(dists[i], dists[i - 1]);
+    }
+  }
+}
+
+TEST(KdBspTreeTest, LazyRebuildCountStaysLow) {
+  KdBspTree tree;
+  Rng rng(9);
+  Aabb world{{-50, 0, -50}, {50, 0, 50}};
+  for (uint32_t i = 0; i < 1000; ++i) {
+    tree.Insert(EntityId(i, 0), Aabb::FromPoint(rng.NextPointIn(world)));
+  }
+  (void)CollectRange(tree, world);  // forces first build
+  uint64_t builds_after_load = tree.rebuild_count();
+  // A few updates below the threshold must not trigger rebuilds.
+  for (uint32_t i = 0; i < 50; ++i) {
+    tree.Update(EntityId(i, 0), Aabb::FromPoint(rng.NextPointIn(world)));
+    (void)CollectRange(tree, Aabb::FromSphere(rng.NextPointIn(world), 5));
+  }
+  EXPECT_EQ(tree.rebuild_count(), builds_after_load);
+}
+
+TEST(LooseOctreeTest, EntriesOutsideWorldBoundsStillFound) {
+  LooseOctreeOptions opts;
+  opts.world_bounds = Aabb{{-10, -10, -10}, {10, 10, 10}};
+  LooseOctree tree(opts);
+  EntityId e(1, 0);
+  tree.Insert(e, Aabb::FromPoint({500, 500, 500}));  // way outside
+  auto hits = CollectRange(tree, Aabb{{499, 499, 499}, {501, 501, 501}});
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(LooseOctreeTest, PrunedNodesAreRecycled) {
+  LooseOctree tree;
+  Rng rng(3);
+  Aabb world{{-900, -900, -900}, {900, 900, 900}};
+  std::vector<EntityId> ids;
+  for (uint32_t i = 0; i < 500; ++i) {
+    EntityId e(i, 0);
+    tree.Insert(e, Aabb::FromPoint(rng.NextPointIn(world)).Inflated(0.5f));
+    ids.push_back(e);
+  }
+  size_t peak = tree.NodeCount();  // slab size only grows
+  EXPECT_GT(peak, 1u);
+  for (EntityId e : ids) tree.Remove(e);
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_TRUE(CollectRange(tree, world.Inflated(10)).empty());
+  // Re-inserting the same load must reuse freed nodes, not grow the slab.
+  for (uint32_t i = 0; i < 500; ++i) {
+    tree.Insert(EntityId(i, 1),
+                Aabb::FromPoint(rng.NextPointIn(world)).Inflated(0.5f));
+  }
+  EXPECT_LE(tree.NodeCount(), peak * 2);  // recycled, not doubled-and-leaked
+}
+
+TEST(UniformGridTest, CellsMaterializeAndFree) {
+  UniformGrid grid(UniformGridOptions{10.0f});
+  EntityId e(1, 0);
+  grid.Insert(e, Aabb{{0, 0, 0}, {25, 5, 5}});  // spans 3 cells in x
+  EXPECT_GE(grid.CellCount(), 3u);
+  grid.Remove(e);
+  EXPECT_EQ(grid.CellCount(), 0u);
+}
+
+}  // namespace
+}  // namespace gamedb::spatial

@@ -1,0 +1,170 @@
+#include "txn/bubbles.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/workload.h"
+
+namespace gamedb::txn {
+namespace {
+
+class BubblesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterStandardComponents(); }
+
+  EntityId Ship(Vec3 pos, Vec3 vel, float accel) {
+    EntityId e = world.Create();
+    world.Set(e, Position{pos});
+    Velocity v;
+    v.value = vel;
+    v.max_accel = accel;
+    world.Set(e, v);
+    return e;
+  }
+
+  World world;
+};
+
+TEST_F(BubblesTest, DistantStaticShipsAreSeparate) {
+  EntityId a = Ship({0, 0, 0}, {}, 0);
+  EntityId b = Ship({100, 0, 0}, {}, 0);
+  BubbleOptions opts;
+  opts.interaction_radius = 10;
+  opts.horizon_seconds = 1;
+  auto part = ComputeBubbles(&world, opts);
+  EXPECT_EQ(part.bubble_count, 2u);
+  EXPECT_NE(part.BubbleOf(a), part.BubbleOf(b));
+  EXPECT_EQ(part.max_bubble_size, 1u);
+}
+
+TEST_F(BubblesTest, NearbyShipsShareABubble) {
+  EntityId a = Ship({0, 0, 0}, {}, 0);
+  EntityId b = Ship({5, 0, 0}, {}, 0);
+  BubbleOptions opts;
+  opts.interaction_radius = 10;
+  auto part = ComputeBubbles(&world, opts);
+  EXPECT_EQ(part.bubble_count, 1u);
+  EXPECT_EQ(part.BubbleOf(a), part.BubbleOf(b));
+}
+
+TEST_F(BubblesTest, FastShipsMergeAcrossLargerGaps) {
+  // 40 apart: static ships with radius 10 are separate...
+  Ship({0, 0, 0}, {}, 0);
+  Ship({40, 0, 0}, {}, 0);
+  BubbleOptions opts;
+  opts.interaction_radius = 10;
+  opts.horizon_seconds = 2;
+  EXPECT_EQ(ComputeBubbles(&world, opts).bubble_count, 2u);
+
+  // ...but fast ships can close 40 units within the horizon.
+  World fast_world;
+  auto mk = [&](Vec3 pos, Vec3 vel) {
+    EntityId e = fast_world.Create();
+    fast_world.Set(e, Position{pos});
+    Velocity v;
+    v.value = vel;
+    fast_world.Set(e, v);
+    return e;
+  };
+  mk({0, 0, 0}, {10, 0, 0});   // reach = 20 over 2s
+  mk({40, 0, 0}, {-5, 0, 0});  // reach = 10
+  // 10 + 20 + 10 = 40 >= gap -> merged.
+  EXPECT_EQ(ComputeBubbles(&fast_world, opts).bubble_count, 1u);
+}
+
+TEST_F(BubblesTest, AccelerationWidensReach) {
+  Ship({0, 0, 0}, {}, 10.0f);   // ½·10·2² = 20 reach
+  Ship({45, 0, 0}, {}, 10.0f);  // another 20
+  BubbleOptions opts;
+  opts.interaction_radius = 10;
+  opts.horizon_seconds = 2;
+  // 10 + 20 + 20 = 50 >= 45 -> one bubble.
+  EXPECT_EQ(ComputeBubbles(&world, opts).bubble_count, 1u);
+
+  opts.horizon_seconds = 1;  // ½·10·1 = 5 reach each; 10+5+5=20 < 45
+  EXPECT_EQ(ComputeBubbles(&world, opts).bubble_count, 2u);
+}
+
+TEST_F(BubblesTest, ChainsMergeTransitively) {
+  // A line of ships, each within radius of the next: one bubble.
+  for (int i = 0; i < 10; ++i) {
+    Ship({float(i) * 8, 0, 0}, {}, 0);
+  }
+  BubbleOptions opts;
+  opts.interaction_radius = 10;
+  auto part = ComputeBubbles(&world, opts);
+  EXPECT_EQ(part.bubble_count, 1u);
+  EXPECT_EQ(part.max_bubble_size, 10u);
+}
+
+TEST_F(BubblesTest, EntitiesWithoutPositionUnassigned) {
+  EntityId ghost = world.Create();  // no Position
+  Ship({0, 0, 0}, {}, 0);
+  auto part = ComputeBubbles(&world, BubbleOptions{});
+  EXPECT_EQ(part.BubbleOf(ghost), -1);
+  EXPECT_EQ(part.bubble_count, 1u);
+}
+
+TEST_F(BubblesTest, EmptyWorld) {
+  auto part = ComputeBubbles(&world, BubbleOptions{});
+  EXPECT_EQ(part.bubble_count, 0u);
+}
+
+TEST_F(BubblesTest, ExecutorRoutesCrossBubbleTxnsToSerialPhase) {
+  EntityId a = Ship({0, 0, 0}, {}, 0);
+  EntityId b = Ship({3, 0, 0}, {}, 0);
+  EntityId c = Ship({500, 0, 0}, {}, 0);
+  for (EntityId e : {a, b, c}) {
+    world.Set(e, Health{100, 100});
+    world.Set(e, Combat{});
+    world.Set(e, Actor{0, 100, 1, true});
+  }
+  BubbleOptions opts;
+  opts.interaction_radius = 10;
+  opts.horizon_seconds = 0.1f;
+  BubbleExecutor exec(opts);
+  ThreadPool pool(4);
+
+  GameTxn local;  // a attacks b: same bubble
+  local.type = TxnType::kAttack;
+  local.a = a;
+  local.b = b;
+  local.amount = 10;
+  GameTxn cross;  // a trades with c: different bubbles
+  cross.type = TxnType::kTrade;
+  cross.a = a;
+  cross.b = c;
+  cross.amount = 10;
+
+  ExecStats stats = exec.ExecuteBatch(&world, {local, cross}, &pool);
+  EXPECT_EQ(stats.committed, 2u);
+  EXPECT_EQ(stats.cross_bubble_txns, 1u);
+  EXPECT_EQ(stats.bubble_count, 2u);
+  EXPECT_FLOAT_EQ(world.Get<Health>(b)->hp, 90);
+  EXPECT_EQ(world.Get<Actor>(c)->gold, 110);
+}
+
+TEST_F(BubblesTest, DensityDrivesBubbleSizes) {
+  // Property (the E6 claim): as density rises, the max bubble grows toward
+  // a single world-spanning component.
+  auto measure = [&](float extent) {
+    WorkloadOptions wopts;
+    wopts.num_entities = 300;
+    wopts.area_extent = extent;
+    wopts.max_speed = 1.0f;
+    wopts.max_accel = 0.0f;
+    wopts.seed = 11;
+    MmoWorkload workload(wopts);
+    BubbleOptions bopts;
+    bopts.interaction_radius = 10.0f;
+    bopts.horizon_seconds = 0.5f;
+    auto part = ComputeBubbles(&workload.world(), bopts);
+    return part;
+  };
+  auto sparse = measure(2000.0f);
+  auto dense = measure(100.0f);
+  EXPECT_GT(sparse.bubble_count, dense.bubble_count);
+  EXPECT_LT(sparse.max_bubble_size, dense.max_bubble_size);
+}
+
+}  // namespace
+}  // namespace gamedb::txn

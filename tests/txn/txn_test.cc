@@ -1,0 +1,138 @@
+#include "txn/txn.h"
+
+#include <gtest/gtest.h>
+
+namespace gamedb::txn {
+namespace {
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterStandardComponents();
+    a = world.Create();
+    b = world.Create();
+    world.Set(a, Health{100, 100});
+    world.Set(b, Health{100, 100});
+    Combat ca;
+    ca.attack = 12;
+    world.Set(a, ca);
+    Combat cb;
+    cb.attack = 8;
+    cb.defense = 4;
+    world.Set(b, cb);
+    world.Set(a, Actor{1, 100, 1, true});
+    world.Set(b, Actor{2, 50, 1, true});
+    world.Set(a, Position{{0, 0, 0}});
+  }
+
+  World world;
+  EntityId a, b;
+};
+
+TEST_F(TxnTest, AttackUsesStatsMinusDefense) {
+  GameTxn t;
+  t.type = TxnType::kAttack;
+  t.a = a;
+  t.b = b;
+  ApplyTxn(&world, t);
+  EXPECT_FLOAT_EQ(world.Get<Health>(b)->hp, 100 - (12 - 4));
+}
+
+TEST_F(TxnTest, AttackWithOverrideAmount) {
+  GameTxn t;
+  t.type = TxnType::kAttack;
+  t.a = a;
+  t.b = b;
+  t.amount = 25;
+  ApplyTxn(&world, t);
+  EXPECT_FLOAT_EQ(world.Get<Health>(b)->hp, 75);
+}
+
+TEST_F(TxnTest, AttackMinimumDamageIsOne) {
+  world.Patch<Combat>(b, [](Combat& c) { c.defense = 99; });
+  GameTxn t;
+  t.type = TxnType::kAttack;
+  t.a = a;
+  t.b = b;
+  ApplyTxn(&world, t);
+  EXPECT_FLOAT_EQ(world.Get<Health>(b)->hp, 99);
+}
+
+TEST_F(TxnTest, AttackOnDeadTargetIsNoop) {
+  GameTxn t;
+  t.type = TxnType::kAttack;
+  t.a = a;
+  t.b = EntityId(99, 0);  // never existed
+  ApplyTxn(&world, t);    // must not crash
+}
+
+TEST_F(TxnTest, TradeTransfersAndClamps) {
+  GameTxn t;
+  t.type = TxnType::kTrade;
+  t.a = a;
+  t.b = b;
+  t.amount = 30;
+  ApplyTxn(&world, t);
+  EXPECT_EQ(world.Get<Actor>(a)->gold, 70);
+  EXPECT_EQ(world.Get<Actor>(b)->gold, 80);
+
+  t.amount = 1000;  // more than a has
+  ApplyTxn(&world, t);
+  EXPECT_EQ(world.Get<Actor>(a)->gold, 0);
+  EXPECT_EQ(world.Get<Actor>(b)->gold, 150);
+
+  ApplyTxn(&world, t);  // broke: no-op
+  EXPECT_EQ(world.Get<Actor>(b)->gold, 150);
+}
+
+TEST_F(TxnTest, MoveWritesPosition) {
+  GameTxn t;
+  t.type = TxnType::kMove;
+  t.a = a;
+  t.dest = {5, 0, 7};
+  ApplyTxn(&world, t);
+  EXPECT_EQ(world.Get<Position>(a)->value, Vec3(5, 0, 7));
+}
+
+TEST_F(TxnTest, AoeHitsAllTargets) {
+  EntityId c = world.Create();
+  world.Set(c, Health{100, 100});
+  GameTxn t;
+  t.type = TxnType::kAoe;
+  t.a = a;
+  t.amount = 10;
+  t.extra = {b, c};
+  ApplyTxn(&world, t);
+  EXPECT_FLOAT_EQ(world.Get<Health>(b)->hp, 90);
+  EXPECT_FLOAT_EQ(world.Get<Health>(c)->hp, 90);
+}
+
+TEST_F(TxnTest, ReadWriteSetsMatchSemantics) {
+  GameTxn attack;
+  attack.type = TxnType::kAttack;
+  attack.a = a;
+  attack.b = b;
+  std::vector<EntityId> ws, rs;
+  attack.AppendWriteSet(&ws);
+  attack.AppendReadSet(&rs);
+  EXPECT_EQ(ws, std::vector<EntityId>{b});
+  EXPECT_EQ(rs, (std::vector<EntityId>{a, b}));
+
+  GameTxn trade;
+  trade.type = TxnType::kTrade;
+  trade.a = a;
+  trade.b = b;
+  ws.clear();
+  trade.AppendWriteSet(&ws);
+  EXPECT_EQ(ws, (std::vector<EntityId>{a, b}));
+
+  GameTxn move;
+  move.type = TxnType::kMove;
+  move.a = a;
+  ws.clear();
+  move.AppendWriteSet(&ws);
+  EXPECT_EQ(ws, std::vector<EntityId>{a});
+}
+
+}  // namespace
+}  // namespace gamedb::txn

@@ -1,0 +1,120 @@
+#include "txn/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gamedb::txn {
+namespace {
+
+TEST(WorkloadTest, PopulatesAllComponents) {
+  WorkloadOptions opts;
+  opts.num_entities = 50;
+  MmoWorkload w(opts);
+  EXPECT_EQ(w.entities().size(), 50u);
+  EXPECT_EQ(w.world().AliveCount(), 50u);
+  for (EntityId e : w.entities()) {
+    EXPECT_TRUE(w.world().Has<Position>(e));
+    EXPECT_TRUE(w.world().Has<Velocity>(e));
+    EXPECT_TRUE(w.world().Has<Health>(e));
+    EXPECT_TRUE(w.world().Has<Combat>(e));
+    EXPECT_TRUE(w.world().Has<Actor>(e));
+  }
+  EXPECT_EQ(w.TotalGold(), 50 * 1000);
+  EXPECT_DOUBLE_EQ(w.TotalHp(), 50 * 100.0);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadOptions opts;
+  opts.num_entities = 100;
+  opts.seed = 77;
+  MmoWorkload w1(opts), w2(opts);
+  auto b1 = w1.NextBatch();
+  auto b2 = w2.NextBatch();
+  ASSERT_EQ(b1.size(), b2.size());
+  for (size_t i = 0; i < b1.size(); ++i) {
+    EXPECT_EQ(b1[i].type, b2[i].type);
+    EXPECT_EQ(b1[i].a, b2[i].a);
+    EXPECT_EQ(b1[i].b, b2[i].b);
+  }
+}
+
+TEST(WorkloadTest, BatchSizeFollowsOption) {
+  WorkloadOptions opts;
+  opts.num_entities = 100;
+  opts.txns_per_entity = 2.5f;
+  MmoWorkload w(opts);
+  EXPECT_EQ(w.NextBatch().size(), 250u);
+}
+
+TEST(WorkloadTest, AttackTargetsAreInRange) {
+  WorkloadOptions opts;
+  opts.num_entities = 200;
+  opts.area_extent = 100.0f;
+  opts.attack_fraction = 1.0f;
+  opts.interaction_radius = 15.0f;
+  MmoWorkload w(opts);
+  auto batch = w.NextBatch();
+  for (const GameTxn& t : batch) {
+    if (t.type != TxnType::kAttack) continue;
+    const Position* pa = w.world().Get<Position>(t.a);
+    const Position* pb = w.world().Get<Position>(t.b);
+    ASSERT_NE(pa, nullptr);
+    ASSERT_NE(pb, nullptr);
+    EXPECT_LE(pa->value.DistanceTo(pb->value), 15.0f + 1e-4f);
+    EXPECT_NE(t.a, t.b);  // no self-attacks
+  }
+}
+
+TEST(WorkloadTest, HotspotSkewsInitiators) {
+  WorkloadOptions opts;
+  opts.num_entities = 500;
+  opts.hotspot_alpha = 0.99;
+  opts.attack_fraction = 0.0f;
+  opts.trade_fraction = 0.0f;  // all moves; initiator choice is the point
+  opts.txns_per_entity = 10.0f;
+  MmoWorkload w(opts);
+  auto batch = w.NextBatch();
+  std::map<uint32_t, int> counts;
+  for (const GameTxn& t : batch) counts[t.a.index] += 1;
+  // Hottest initiator should dwarf the median.
+  int max_count = 0;
+  for (auto& [slot, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 50);  // uniform would give ~10
+}
+
+TEST(WorkloadTest, ClusteredFractionPacksTheTown) {
+  WorkloadOptions opts;
+  opts.num_entities = 400;
+  opts.area_extent = 1000.0f;
+  opts.clustered_fraction = 0.5f;
+  opts.seed = 3;
+  MmoWorkload w(opts);
+  float town = std::max(1000.0f * 0.05f, opts.interaction_radius);
+  int in_town = 0;
+  for (EntityId e : w.entities()) {
+    const Vec3& p = w.world().Get<Position>(e)->value;
+    if (p.x <= town && p.z <= town) ++in_town;
+  }
+  // Around half (plus uniform strays).
+  EXPECT_GT(in_town, 150);
+}
+
+TEST(WorkloadTest, AdvancePositionsKeepsEntitiesInBounds) {
+  WorkloadOptions opts;
+  opts.num_entities = 100;
+  opts.area_extent = 50.0f;
+  opts.max_speed = 20.0f;
+  MmoWorkload w(opts);
+  for (int i = 0; i < 100; ++i) w.AdvancePositions(0.5f);
+  for (EntityId e : w.entities()) {
+    const Vec3& p = w.world().Get<Position>(e)->value;
+    EXPECT_GE(p.x, 0.0f);
+    EXPECT_LE(p.x, 50.0f);
+    EXPECT_GE(p.z, 0.0f);
+    EXPECT_LE(p.z, 50.0f);
+  }
+}
+
+}  // namespace
+}  // namespace gamedb::txn
