@@ -66,14 +66,14 @@ Status Decoder::GetFixed64(uint64_t* v) {
 }
 
 Status Decoder::GetFloat(float* v) {
-  uint32_t bits;
+  uint32_t bits = 0;
   GAMEDB_RETURN_NOT_OK(GetFixed32(&bits));
   std::memcpy(v, &bits, sizeof(*v));
   return Status::OK();
 }
 
 Status Decoder::GetDouble(double* v) {
-  uint64_t bits;
+  uint64_t bits = 0;
   GAMEDB_RETURN_NOT_OK(GetFixed64(&bits));
   std::memcpy(v, &bits, sizeof(*v));
   return Status::OK();

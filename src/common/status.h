@@ -4,6 +4,10 @@
 /// RocksDB-style Status and Result<T> types. All fallible public operations
 /// in gamedb return Status (or Result<T> when they produce a value); the
 /// library does not throw exceptions across API boundaries.
+///
+/// Paper: no section of its own — `common/` is the engineering substrate
+/// (error model, coding, geometry, threading) every reproduced technique
+/// stands on.
 
 #include <string>
 #include <string_view>

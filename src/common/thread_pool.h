@@ -3,7 +3,7 @@
 /// \file thread_pool.h
 /// Fixed-size worker pool used by the state-effect executor to run query and
 /// apply phases in parallel (the tutorial's GPU-join analogy, realized on CPU
-/// threads — see DESIGN.md "Simulated substitutions").
+/// threads — see docs/ARCHITECTURE.md "Simulated substitutions").
 
 #include <condition_variable>
 #include <cstddef>

@@ -6,6 +6,10 @@
 /// optional attributes (with types) and which child elements may appear
 /// (with cardinality). Validation errors carry the element line number so
 /// designers can fix their files.
+///
+/// Paper: the design-tools / content-management section — games as
+/// data-driven artifacts authored by non-programmers, with the XML + blob
+/// schema-evolution tension benchmarked in E9.
 
 #include <map>
 #include <string>

@@ -4,7 +4,7 @@
 /// Sparse-set component tables: the physical storage layer of the game state
 /// database. Dense, cache-friendly iteration (the "EnTT-style" layout) with
 /// O(1) add/remove/lookup, per-row versions for delta extraction, and change
-/// observers that feed maintained aggregate indexes (DESIGN.md §5).
+/// observers that feed maintained aggregate indexes (docs/ARCHITECTURE.md "Maintained aggregates").
 
 #include <cstdint>
 #include <functional>

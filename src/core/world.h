@@ -5,6 +5,11 @@
 /// plus one sparse-set table per component type, with a simulation tick
 /// counter. All higher layers (queries, scripts, transactions, replication,
 /// persistence) operate on a World.
+///
+/// Paper: the tutorial's framing of a game as a giant data-driven
+/// simulation — the entity/component tables are the "game state database"
+/// every section of the paper takes as its substrate. Module map and tick
+/// walk-through: docs/ARCHITECTURE.md.
 
 #include <cstdint>
 #include <functional>
@@ -22,7 +27,8 @@ namespace gamedb {
 
 /// Entity + component database. Not thread-safe for concurrent mutation; the
 /// state-effect executor and the transaction managers provide the safe
-/// concurrency disciplines on top (see DESIGN.md).
+/// concurrency disciplines on top (see docs/ARCHITECTURE.md
+/// "Concurrency disciplines").
 class World {
  public:
   World() = default;

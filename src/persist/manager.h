@@ -7,6 +7,11 @@
 /// to the World, observes transactions and important events, consults a
 /// CheckpointPolicy, and (optionally) write-ahead-logs actions so recovery
 /// can replay past the last checkpoint.
+///
+/// Paper: the persistence section — checkpoint-only durability, checkpoint
+/// spacing vs player-visible loss on crash, and importance-aware
+/// checkpointing (the "difficult fight / desirable reward" motivation
+/// benchmarked in E8).
 
 #include <functional>
 #include <memory>

@@ -5,7 +5,7 @@
 /// default for tests and benchmarks (it also provides crash/torn-write
 /// injection); DiskStorage persists to a real directory. This pair is the
 /// simulated substitution for the commercial RDBMS tier MMOs use
-/// (DESIGN.md §4): what matters for the experiments is write volume and
+/// (docs/ARCHITECTURE.md "Simulated substitutions"): what matters for the experiments is write volume and
 /// recovery semantics, not SQL.
 
 #include <map>

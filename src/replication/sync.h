@@ -8,6 +8,10 @@
 /// out of sync between computers but the persistent game state is the
 /// same". E7 measures bytes against divergence for each.
 ///
+/// Paper: the distributed-games / weak-consistency part of the consistency
+/// section (what may diverge between machines vs what must not), plus the
+/// aggro-management material in aggro.h / E11.
+///
 /// Scope: component *values* of live entities replicate; this layer does
 /// not propagate entity destruction (the experiment workloads mutate,
 /// they don't despawn mid-measurement).

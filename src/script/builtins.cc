@@ -202,7 +202,7 @@ void RegisterCoreBuiltins(Interpreter* interp) {
         std::vector<Value> items;
         items.reserve(static_cast<size_t>(n));
         for (int64_t i = 0; i < n; ++i) {
-          items.push_back(Value(static_cast<double>(i)));
+          items.emplace_back(static_cast<double>(i));
         }
         return Value::NewList(std::move(items));
       });

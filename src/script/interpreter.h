@@ -6,6 +6,10 @@
 /// ResourceExhausted when the per-invocation budget is gone. Fuel is how a
 /// game engine keeps a designer's script from eating the frame — and the
 /// metric E10 reports.
+///
+/// Paper: the game-scripting-languages section — SGL-style declarative
+/// scripting for designers, with the industry practice of restricting
+/// language power (analyzer.h) to bound per-frame cost.
 
 #include <functional>
 #include <memory>

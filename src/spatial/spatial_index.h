@@ -6,6 +6,10 @@
 /// Octrees"). All four implementations — LinearScan (the baseline designers'
 /// scripts effectively use), UniformGrid, KdBspTree and LooseOctree — share
 /// this interface so E2 can sweep them under identical workloads.
+///
+/// Paper: the indexing / scaling-simulations section — replacing the Ω(n²)
+/// object-pair scripts of E1 with index-backed proximity queries, plus the
+/// navmesh material covered by navmesh.h and E3.
 
 #include <functional>
 

@@ -8,6 +8,10 @@
 /// action vocabulary (attack / trade / move / area-of-effect) and the
 /// executor interface; concrete engines live in executors.h and bubbles.h.
 ///
+/// Paper: the transaction-processing / consistency section of the tutorial
+/// (conflicting player actions at high rate, why classical locking
+/// struggles, EVE-style partitioning as the games-industry answer).
+///
 /// Concurrency contract: transactions only mutate component *values* of
 /// pre-declared participant entities (no structural inserts/removes), so an
 /// executor guaranteeing per-entity mutual exclusion guarantees race

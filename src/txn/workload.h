@@ -2,7 +2,7 @@
 
 /// \file workload.h
 /// Synthetic MMO shard workloads (the "simulated substitution" for real
-/// player traffic — see DESIGN.md §4). Populates a world with players and
+/// player traffic — see docs/ARCHITECTURE.md "Simulated substitutions"). Populates a world with players and
 /// NPCs, then generates per-tick transaction batches whose contention
 /// profile is controlled by spatial density and a Zipf hotspot parameter
 /// (crowds around bosses and market hubs).

@@ -113,7 +113,7 @@ TEST(CodingTest, UnderflowReturnsCorruption) {
   uint64_t v;
   EXPECT_TRUE(dec2.GetVarint64(&v).IsCorruption());
 
-  Decoder dec3("\x05abc");  // length prefix says 5, only 3 bytes
+  Decoder dec3("\x05" "abc");  // length prefix says 5, only 3 bytes
   std::string_view s;
   EXPECT_TRUE(dec3.GetLengthPrefixed(&s).IsCorruption());
 }

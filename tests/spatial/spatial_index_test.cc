@@ -203,7 +203,9 @@ TEST(KdBspTreeTest, NearestNeighborsExact) {
     // (ties may permute ids, so compare distances).
     for (size_t i = 0; i < 5; ++i) {
       ASSERT_NEAR(dists[i] * dists[i], all[i].first, 1e-3f);
-      if (i > 0) ASSERT_GE(dists[i], dists[i - 1]);
+      if (i > 0) {
+        ASSERT_GE(dists[i], dists[i - 1]);
+      }
     }
   }
 }
