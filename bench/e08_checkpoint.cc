@@ -13,6 +13,9 @@
 // WAL mode loses ~nothing but pays per-action writes.
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
 
 #include "common/rng.h"
 #include "persist/manager.h"
@@ -28,6 +31,7 @@ struct SessionResult {
   double max_lost = 0;
   uint64_t bytes_written = 0;
   uint64_t checkpoints = 0;
+  uint64_t fsyncs = 0;
 };
 
 std::unique_ptr<CheckpointPolicy> MakePolicy(int kind) {
@@ -59,23 +63,28 @@ const char* PolicyName(int kind) {
 
 /// Simulates `ticks` of play under a policy; samples the importance a crash
 /// would lose at every tick (= pending importance under kCheckpointOnly).
-SessionResult RunSession(int policy_kind, DurabilityMode mode,
-                         uint64_t seed) {
+/// `storage` may be any backend: MemStorage counts syncs, DiskStorage pays
+/// for real fsyncs, so the durability-vs-write-cost trade is measurable on
+/// an actual device.
+SessionResult RunSession(int policy_kind, DurabilityMode mode, uint64_t seed,
+                         Storage* storage, uint64_t sync_every_n = 1,
+                         int ticks = 3000, uint32_t num_entities = 300) {
   txn::WorkloadOptions wopts;
-  wopts.num_entities = 300;
+  wopts.num_entities = num_entities;
   wopts.txns_per_entity = 0.2f;  // keep workload generation cheap
   wopts.seed = seed;
   txn::MmoWorkload workload(wopts);
   World& world = workload.world();
 
-  MemStorage storage;
   PersistenceOptions popts;
   popts.mode = mode;
-  PersistenceManager mgr(&storage, MakePolicy(policy_kind), popts);
+  popts.wal.sync_every_n = sync_every_n;
+  PersistenceManager mgr(storage, MakePolicy(policy_kind), popts);
   Rng rng(seed ^ 0xBADC0FFEE);
 
   SessionResult result;
-  const int kTicks = 3000;
+  const uint64_t syncs_before = storage->syncs();
+  const int kTicks = ticks;
   double lost_sum = 0;
   for (int tick = 1; tick <= kTicks; ++tick) {
     world.AdvanceTick();
@@ -107,8 +116,11 @@ SessionResult RunSession(int policy_kind, DurabilityMode mode,
     result.max_lost = std::max(result.max_lost, lost);
   }
   result.avg_lost = lost_sum / kTicks;
-  result.bytes_written = storage.bytes_written();
+  // Cumulative write volume, backend-independent (GC shrinks TotalBytes).
+  result.bytes_written =
+      mgr.metrics().checkpoint_bytes + mgr.metrics().wal_bytes;
   result.checkpoints = mgr.metrics().checkpoints;
+  result.fsyncs = storage->syncs() - syncs_before;
   return result;
 }
 
@@ -117,12 +129,14 @@ void BM_CheckpointPolicy(benchmark::State& state) {
   SessionResult total;
   uint64_t rounds = 0;
   for (auto _ : state) {
+    MemStorage storage;
     SessionResult r = RunSession(kind, DurabilityMode::kCheckpointOnly,
-                                 1000 + rounds);
+                                 1000 + rounds, &storage);
     total.avg_lost += r.avg_lost;
     total.max_lost = std::max(total.max_lost, r.max_lost);
     total.bytes_written += r.bytes_written;
     total.checkpoints += r.checkpoints;
+    total.fsyncs += r.fsyncs;
     ++rounds;
   }
   state.counters["avg_lost_importance"] =
@@ -133,6 +147,8 @@ void BM_CheckpointPolicy(benchmark::State& state) {
       double(total.bytes_written) / double(rounds) / (1024.0 * 1024.0));
   state.counters["checkpoints"] =
       benchmark::Counter(double(total.checkpoints) / double(rounds));
+  state.counters["fsyncs"] =
+      benchmark::Counter(double(total.fsyncs) / double(rounds));
   state.SetLabel(PolicyName(kind));
 }
 BENCHMARK(BM_CheckpointPolicy)
@@ -144,21 +160,70 @@ BENCHMARK(BM_CheckpointPolicy)
     ->Unit(benchmark::kMillisecond);
 
 void BM_WalMode(benchmark::State& state) {
-  // The "log everything" end of the trade: zero loss, maximal writes.
+  // The "log everything" end of the trade: zero loss, maximal writes. The
+  // arg is WalOptions::sync_every_n — 1 fsyncs per append, larger values
+  // group-commit, charting durability-vs-write-cost.
+  uint64_t sync_every_n = uint64_t(state.range(0));
   SessionResult total;
   uint64_t rounds = 0;
   for (auto _ : state) {
-    SessionResult r =
-        RunSession(0, DurabilityMode::kWalAndCheckpoint, 2000 + rounds);
+    MemStorage storage;
+    SessionResult r = RunSession(0, DurabilityMode::kWalAndCheckpoint,
+                                 2000 + rounds, &storage, sync_every_n);
     total.bytes_written += r.bytes_written;
+    total.fsyncs += r.fsyncs;
     ++rounds;
   }
   state.counters["avg_lost_importance"] = benchmark::Counter(0);
   state.counters["MB_written"] = benchmark::Counter(
       double(total.bytes_written) / double(rounds) / (1024.0 * 1024.0));
-  state.SetLabel("wal_periodic_600");
+  state.counters["fsyncs"] =
+      benchmark::Counter(double(total.fsyncs) / double(rounds));
+  state.SetLabel("wal_periodic_600_sync_every_" +
+                 std::to_string(sync_every_n));
 }
-BENCHMARK(BM_WalMode)->Iterations(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WalMode)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(128)
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WalModeDisk(benchmark::State& state) {
+  // Same trade on a real directory: every sync is an actual ::fsync, so
+  // wall-clock now moves with sync_every_n (smaller session to keep the
+  // fsync budget sane).
+  uint64_t sync_every_n = uint64_t(state.range(0));
+  std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("gamedb_e08_disk_" + std::to_string(::getpid()) + "_" +
+        std::to_string(sync_every_n)))
+          .string();
+  SessionResult total;
+  uint64_t rounds = 0;
+  for (auto _ : state) {
+    std::filesystem::remove_all(dir);
+    DiskStorage storage(dir);
+    SessionResult r = RunSession(0, DurabilityMode::kWalAndCheckpoint,
+                                 3000 + rounds, &storage, sync_every_n,
+                                 /*ticks=*/300, /*num_entities=*/50);
+    total.bytes_written += r.bytes_written;
+    total.fsyncs += r.fsyncs;
+    ++rounds;
+  }
+  std::filesystem::remove_all(dir);
+  state.counters["MB_written"] = benchmark::Counter(
+      double(total.bytes_written) / double(rounds) / (1024.0 * 1024.0));
+  state.counters["fsyncs"] =
+      benchmark::Counter(double(total.fsyncs) / double(rounds));
+  state.SetLabel("wal_disk_sync_every_" + std::to_string(sync_every_n));
+}
+BENCHMARK(BM_WalModeDisk)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(128)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RecoveryTime(benchmark::State& state) {
   // How long a restart takes: checkpoint load + WAL replay.

@@ -1,5 +1,6 @@
 #include "common/string_util.h"
 
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -93,9 +94,25 @@ bool ParseInt64(std::string_view s, int64_t* out) {
   if (s.empty()) return false;
   std::string buf(s);
   char* end = nullptr;
+  errno = 0;
   long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return false;  // would silently clamp to LLONG_MAX/MIN
   if (end != buf.c_str() + buf.size()) return false;
   *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  // strtoull silently wraps negative input; reject any sign outright.
+  if (s[0] == '-' || s[0] == '+') return false;
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno == ERANGE) return false;
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<uint64_t>(v);
   return true;
 }
 

@@ -39,4 +39,9 @@ uint64_t Fnv1a64(std::string_view s);
 bool ParseDouble(std::string_view s, double* out);
 bool ParseInt64(std::string_view s, int64_t* out);
 
+/// Parses an unsigned decimal uint64 (full 0..UINT64_MAX range); returns
+/// false on malformed input, any sign character, overflow, or trailing
+/// garbage.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
 }  // namespace gamedb

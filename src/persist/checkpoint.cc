@@ -6,19 +6,31 @@
 
 namespace gamedb::persist {
 
+namespace {
+constexpr char kTmpSuffix[] = ".tmp";
+}  // namespace
+
 std::string CheckpointStore::NameFor(uint64_t tick) const {
   // Zero-padded so lexicographic order == numeric order.
   return StringFormat("ckpt-%020llu", static_cast<unsigned long long>(tick));
 }
 
+namespace {
+/// True for a final (non-.tmp) checkpoint name; extracts its tick.
+/// Unsigned parse: the tick is a full uint64, so a signed parse would
+/// silently drop any checkpoint past INT64_MAX.
+bool TickOf(const std::string& name, uint64_t* tick) {
+  if (!StartsWith(name, "ckpt-")) return false;
+  if (EndsWith(name, kTmpSuffix)) return false;  // in-flight/orphaned write
+  return ParseUint64(name.substr(5), tick);
+}
+}  // namespace
+
 std::vector<uint64_t> CheckpointStore::CheckpointTicks() const {
   std::vector<uint64_t> ticks;
+  uint64_t tick = 0;
   for (const std::string& name : storage_->List()) {
-    if (!StartsWith(name, "ckpt-")) continue;
-    int64_t tick = 0;
-    if (ParseInt64(name.substr(5), &tick) && tick >= 0) {
-      ticks.push_back(static_cast<uint64_t>(tick));
-    }
+    if (TickOf(name, &tick)) ticks.push_back(tick);
   }
   std::sort(ticks.begin(), ticks.end());
   return ticks;
@@ -28,7 +40,13 @@ Status CheckpointStore::WriteCheckpoint(const World& world,
                                         uint64_t* bytes_out) {
   std::string snapshot;
   EncodeWorldSnapshot(world, &snapshot);
-  GAMEDB_RETURN_NOT_OK(storage_->Write(NameFor(world.tick()), snapshot));
+  // Write-sync-rename so a torn checkpoint can never shadow a valid older
+  // one: until the rename lands, recovery only sees the previous images.
+  const std::string name = NameFor(world.tick());
+  const std::string tmp = name + kTmpSuffix;
+  GAMEDB_RETURN_NOT_OK(storage_->Write(tmp, snapshot));
+  GAMEDB_RETURN_NOT_OK(storage_->Sync(tmp));
+  GAMEDB_RETURN_NOT_OK(storage_->Rename(tmp, name));
   ++checkpoints_written_;
   if (bytes_out != nullptr) *bytes_out = snapshot.size();
   GarbageCollect();
@@ -36,7 +54,18 @@ Status CheckpointStore::WriteCheckpoint(const World& world,
 }
 
 void CheckpointStore::GarbageCollect() {
-  std::vector<uint64_t> ticks = CheckpointTicks();
+  // One directory scan: reap orphaned .tmp images (crash between write and
+  // rename) and collect live ticks for the keep_ window.
+  std::vector<uint64_t> ticks;
+  uint64_t tick = 0;
+  for (const std::string& name : storage_->List()) {
+    if (StartsWith(name, "ckpt-") && EndsWith(name, kTmpSuffix)) {
+      storage_->Remove(name);
+    } else if (TickOf(name, &tick)) {
+      ticks.push_back(tick);
+    }
+  }
+  std::sort(ticks.begin(), ticks.end());
   while (ticks.size() > keep_) {
     storage_->Remove(NameFor(ticks.front()));
     ticks.erase(ticks.begin());

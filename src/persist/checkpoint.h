@@ -8,6 +8,11 @@
 /// and calls for intelligent checkpointing tied to important events. The
 /// policies here decide *when* to spend a checkpoint; the store handles
 /// atomic write + fallback-on-corruption load.
+///
+/// Atomicity protocol: a checkpoint is written to "ckpt-<tick>.tmp",
+/// synced, then renamed to its final name, so a crash mid-write leaves an
+/// orphan .tmp (ignored by recovery, collected by the next GC) and can
+/// never shadow or tear a previously valid image.
 
 #include <memory>
 #include <string>

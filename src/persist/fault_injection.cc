@@ -1,0 +1,55 @@
+#include "persist/fault_injection.h"
+
+namespace gamedb::persist {
+
+Status FaultInjectingStorage::NextOp() {
+  if (ops_++ >= fail_at_op_) {
+    crashed_ = true;
+    return Status::IOError("injected crash");
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingStorage::Write(const std::string& name,
+                                    std::string_view data) {
+  GAMEDB_RETURN_NOT_OK(NextOp());
+  return base_->Write(name, data);
+}
+
+Status FaultInjectingStorage::Append(const std::string& name,
+                                     std::string_view data) {
+  GAMEDB_RETURN_NOT_OK(NextOp());
+  return base_->Append(name, data);
+}
+
+Status FaultInjectingStorage::Remove(const std::string& name) {
+  GAMEDB_RETURN_NOT_OK(NextOp());
+  return base_->Remove(name);
+}
+
+Status FaultInjectingStorage::Sync(const std::string& name) {
+  GAMEDB_RETURN_NOT_OK(NextOp());
+  return base_->Sync(name);
+}
+
+Status FaultInjectingStorage::Rename(const std::string& from,
+                                     const std::string& to) {
+  GAMEDB_RETURN_NOT_OK(NextOp());
+  return base_->Rename(from, to);
+}
+
+void FaultInjectingStorage::CorruptTail(const std::string& name, size_t n) {
+  std::string data;
+  if (!base_->Read(name, &data).ok()) return;
+  data.resize(data.size() >= n ? data.size() - n : 0);
+  base_->Write(name, data);
+}
+
+void FaultInjectingStorage::FlipByte(const std::string& name, size_t offset) {
+  std::string data;
+  if (!base_->Read(name, &data).ok() || offset >= data.size()) return;
+  data[offset] = static_cast<char>(data[offset] ^ 0x5A);
+  base_->Write(name, data);
+}
+
+}  // namespace gamedb::persist

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file fault_injection.h
+/// Fault-injecting decorator over any Storage backend. This is how the
+/// recovery experiments simulate crashes: a process kill becomes "every
+/// mutating op from point N on fails", and the classic crash artifacts
+/// (torn tail append, media bit flip) are applied to whatever the backend
+/// durably holds. Because it wraps the Storage interface, the exact same
+/// crash-injection test runs against MemStorage and DiskStorage.
+
+#include "persist/storage.h"
+
+namespace gamedb::persist {
+
+/// Wraps a Storage; forwards everything, optionally failing mutating ops
+/// past an injected crash point.
+class FaultInjectingStorage final : public Storage {
+ public:
+  explicit FaultInjectingStorage(Storage* base) : base_(base) {
+    GAMEDB_CHECK(base_ != nullptr);
+  }
+
+  // Mutating ops consume the op budget and fail once crashed.
+  Status Write(const std::string& name, std::string_view data) override;
+  Status Append(const std::string& name, std::string_view data) override;
+  Status Remove(const std::string& name) override;
+  Status Sync(const std::string& name) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+
+  // Reads keep working after a crash so tests can inspect the post-crash
+  // image through the same object.
+  Status Read(const std::string& name, std::string* out) const override {
+    return base_->Read(name, out);
+  }
+  bool Exists(const std::string& name) const override {
+    return base_->Exists(name);
+  }
+  std::vector<std::string> List() const override { return base_->List(); }
+  uint64_t TotalBytes() const override { return base_->TotalBytes(); }
+  uint64_t syncs() const override { return base_->syncs(); }
+
+  /// Injects a crash point: the first `n` mutating ops (counting from the
+  /// ops already performed) succeed, every later one fails with IOError —
+  /// the storage behaves as if the process died after op `ops()+n`.
+  void FailAfter(uint64_t n) { fail_at_op_ = ops_ + n; }
+  /// Clears the crash point (storage works again; ops keep counting).
+  void ClearFailure() { fail_at_op_ = kNever; }
+
+  /// Mutating ops attempted so far (including the failed ones).
+  uint64_t ops() const { return ops_; }
+  /// True once a mutating op has been failed by the injected crash point.
+  bool crashed() const { return crashed_; }
+
+  /// Simulates a torn tail write: drops the last `n` bytes of `name`.
+  /// Applied directly to the wrapped storage (a crash artifact, not an
+  /// op), so it works even after the crash point.
+  void CorruptTail(const std::string& name, size_t n);
+  /// Flips one byte at `offset` in `name` (media corruption).
+  void FlipByte(const std::string& name, size_t offset);
+
+ private:
+  static constexpr uint64_t kNever = ~0ull;
+
+  /// Consumes one op from the budget; error once past the crash point.
+  Status NextOp();
+
+  Storage* base_;
+  uint64_t ops_ = 0;
+  uint64_t fail_at_op_ = kNever;
+  bool crashed_ = false;
+};
+
+}  // namespace gamedb::persist

@@ -13,7 +13,7 @@ PersistenceManager::PersistenceManager(
       policy_(std::move(policy)),
       options_(options),
       checkpoints_(storage, options.keep_checkpoints),
-      wal_(storage, kWalName) {
+      wal_(storage, kWalName, options.wal) {
   GAMEDB_CHECK(policy_ != nullptr);
 }
 
@@ -76,9 +76,13 @@ Status PersistenceManager::AfterCheckpoint(const World& world,
   last_checkpoint_tick_ = world.tick();
   pending_importance_ = 0.0;
   max_pending_event_ = 0.0;
+  // The checkpoint supersedes the log — in *both* modes. A kCheckpointOnly
+  // run must also clear any WAL a previous kWalAndCheckpoint incarnation
+  // left behind, or recovery replays those stale records over its images.
   if (options_.mode == DurabilityMode::kWalAndCheckpoint) {
-    // The checkpoint supersedes the log.
     GAMEDB_RETURN_NOT_OK(wal_.Reset());
+  } else if (storage_->Exists(wal_.file_name())) {
+    GAMEDB_RETURN_NOT_OK(storage_->Remove(wal_.file_name()));
   }
   return Status::OK();
 }

@@ -37,6 +37,9 @@ struct PersistenceOptions {
   DurabilityMode mode = DurabilityMode::kCheckpointOnly;
   /// Checkpoints kept for corruption fallback.
   size_t keep_checkpoints = 2;
+  /// WAL durability knobs (sync-per-append vs group commit), used in
+  /// kWalAndCheckpoint.
+  WalOptions wal;
 };
 
 /// Cumulative persistence metrics (E8 columns).

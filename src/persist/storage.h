@@ -2,11 +2,13 @@
 
 /// \file storage.h
 /// Storage device abstraction for the persistence tier. MemStorage is the
-/// default for tests and benchmarks (it also provides crash/torn-write
-/// injection); DiskStorage persists to a real directory. This pair is the
-/// simulated substitution for the commercial RDBMS tier MMOs use
-/// (docs/ARCHITECTURE.md "Simulated substitutions"): what matters for the experiments is write volume and
-/// recovery semantics, not SQL.
+/// default for tests and benchmarks; DiskStorage persists to a real
+/// directory with real fsync. This pair is the simulated substitution for
+/// the commercial RDBMS tier MMOs use (docs/ARCHITECTURE.md "Simulated
+/// substitutions"): what matters for the experiments is write volume,
+/// sync count and recovery semantics, not SQL. Crash/torn-write injection
+/// lives in the FaultInjectingStorage decorator (fault_injection.h) so the
+/// same fault tests run against either backend.
 
 #include <map>
 #include <string>
@@ -29,28 +31,41 @@ class Storage {
   virtual Status Read(const std::string& name, std::string* out) const = 0;
   /// Removes a file; OK if absent.
   virtual Status Remove(const std::string& name) = 0;
+  /// Forces `name`'s contents to durable media (fsync on DiskStorage).
+  /// NotFound when the file does not exist; only successful syncs count
+  /// toward syncs().
+  virtual Status Sync(const std::string& name) = 0;
+  /// Atomically replaces `to` with `from` (POSIX rename semantics: `to`
+  /// is overwritten if present). NotFound when `from` does not exist.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
   virtual bool Exists(const std::string& name) const = 0;
   /// Names of all files (sorted).
   virtual std::vector<std::string> List() const = 0;
   /// Total bytes across all files (write-amplification accounting).
   virtual uint64_t TotalBytes() const = 0;
+  /// Successful Sync() calls — the experiments' "fsync count" column.
+  /// Directory fsyncs DiskStorage issues internally (on file create,
+  /// rename, remove) are an implementation detail and are not counted.
+  virtual uint64_t syncs() const { return syncs_; }
+
+ protected:
+  uint64_t syncs_ = 0;
 };
 
-/// In-memory storage with fault injection.
+/// In-memory storage. Sync is a counted no-op (memory is always "durable"
+/// here); the counter still feeds the fsync-accounting experiments.
 class MemStorage final : public Storage {
  public:
   Status Write(const std::string& name, std::string_view data) override;
   Status Append(const std::string& name, std::string_view data) override;
   Status Read(const std::string& name, std::string* out) const override;
   Status Remove(const std::string& name) override;
+  Status Sync(const std::string& name) override;
+  Status Rename(const std::string& from, const std::string& to) override;
   bool Exists(const std::string& name) const override;
   std::vector<std::string> List() const override;
   uint64_t TotalBytes() const override;
 
-  /// Simulates a torn tail write: drops the last `n` bytes of `name`.
-  void CorruptTail(const std::string& name, size_t n);
-  /// Flips one byte at `offset` in `name`.
-  void FlipByte(const std::string& name, size_t offset);
   /// Cumulative bytes ever written/appended (not reduced by Remove).
   uint64_t bytes_written() const { return bytes_written_; }
 
@@ -59,7 +74,8 @@ class MemStorage final : public Storage {
   uint64_t bytes_written_ = 0;
 };
 
-/// Directory-backed storage.
+/// Directory-backed storage. Writes go through file descriptors so Sync
+/// maps to a real ::fsync; Rename maps to ::rename (atomic on POSIX).
 class DiskStorage final : public Storage {
  public:
   /// Files live under `dir` (created if missing; aborts on failure).
@@ -69,12 +85,19 @@ class DiskStorage final : public Storage {
   Status Append(const std::string& name, std::string_view data) override;
   Status Read(const std::string& name, std::string* out) const override;
   Status Remove(const std::string& name) override;
+  Status Sync(const std::string& name) override;
+  Status Rename(const std::string& from, const std::string& to) override;
   bool Exists(const std::string& name) const override;
   std::vector<std::string> List() const override;
   uint64_t TotalBytes() const override;
 
  private:
   std::string PathOf(const std::string& name) const;
+  Status WriteFd(const std::string& name, std::string_view data, int flags);
+  /// fsyncs the directory itself so created/renamed/removed dirents are
+  /// durable, not just file contents.
+  Status SyncDir();
+
   std::string dir_;
 };
 

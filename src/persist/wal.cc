@@ -14,11 +14,26 @@ Status WalWriter::Append(std::string_view record) {
   GAMEDB_RETURN_NOT_OK(storage_->Append(file_name_, framed));
   bytes_appended_ += framed.size();
   ++records_appended_;
+  // Separate Append + Sync ops: on DiskStorage this reopens the file for
+  // the fsync, but it keeps the two distinct crash points (record landed /
+  // record durable) injectable, which the recovery sweep depends on.
+  if (options_.sync_every_n > 0 &&
+      ++appends_since_sync_ >= options_.sync_every_n) {
+    GAMEDB_RETURN_NOT_OK(storage_->Sync(file_name_));
+    appends_since_sync_ = 0;
+  }
   return Status::OK();
 }
 
 Status WalWriter::Reset() {
-  return storage_->Write(file_name_, "");
+  GAMEDB_RETURN_NOT_OK(storage_->Write(file_name_, ""));
+  if (options_.sync_every_n > 0) {
+    GAMEDB_RETURN_NOT_OK(storage_->Sync(file_name_));
+  }
+  bytes_appended_ = 0;
+  records_appended_ = 0;
+  appends_since_sync_ = 0;
+  return Status::OK();
 }
 
 Result<WalReadResult> ReadWal(const Storage& storage,

@@ -16,18 +16,32 @@
 
 namespace gamedb::persist {
 
+/// Durability knobs for the writer.
+struct WalOptions {
+  /// Sync the log after every n-th appended record. 1 (the default) is
+  /// sync-per-append — nothing acknowledged is ever lost; larger values
+  /// group-commit, trading a window of loss for fewer fsyncs; 0 never
+  /// syncs (durability left to the OS page cache).
+  uint64_t sync_every_n = 1;
+};
+
 /// Appends CRC-framed records to a log file.
 class WalWriter {
  public:
-  WalWriter(Storage* storage, std::string file_name)
-      : storage_(storage), file_name_(std::move(file_name)) {}
+  WalWriter(Storage* storage, std::string file_name, WalOptions options = {})
+      : storage_(storage),
+        file_name_(std::move(file_name)),
+        options_(options) {}
 
-  /// Appends one record.
+  /// Appends one record (and syncs per WalOptions::sync_every_n).
   Status Append(std::string_view record);
 
-  /// Truncates the log (after a checkpoint supersedes it).
+  /// Truncates the log (after a checkpoint supersedes it) and zeroes the
+  /// per-epoch counters below. Cumulative totals across epochs belong to
+  /// the caller (PersistenceMetrics).
   Status Reset();
 
+  /// Bytes/records appended since the last Reset (current epoch).
   uint64_t bytes_appended() const { return bytes_appended_; }
   uint64_t records_appended() const { return records_appended_; }
   const std::string& file_name() const { return file_name_; }
@@ -35,8 +49,10 @@ class WalWriter {
  private:
   Storage* storage_;
   std::string file_name_;
+  WalOptions options_;
   uint64_t bytes_appended_ = 0;
   uint64_t records_appended_ = 0;
+  uint64_t appends_since_sync_ = 0;
 };
 
 /// Result of reading a log.

@@ -76,6 +76,29 @@ TEST(StringUtilTest, ParseInt64) {
   EXPECT_FALSE(ParseInt64("4.2", &v));
   EXPECT_FALSE(ParseInt64("", &v));
   EXPECT_FALSE(ParseInt64("12abc", &v));
+  // Overflow must fail, not clamp to INT64_MAX/MIN.
+  EXPECT_FALSE(ParseInt64("99999999999999999999", &v));
+  EXPECT_FALSE(ParseInt64("-99999999999999999999", &v));
+}
+
+TEST(StringUtilTest, ParseUint64) {
+  uint64_t v;
+  EXPECT_TRUE(ParseUint64("42", &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(ParseUint64("00000000000000000007", &v));  // zero-padded ticks
+  EXPECT_EQ(v, 7u);
+  // The full unsigned range: INT64_MAX+1 and UINT64_MAX must parse.
+  EXPECT_TRUE(ParseUint64("9223372036854775808", &v));
+  EXPECT_EQ(v, 9223372036854775808ull);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, 18446744073709551615ull);
+  // Overflow, signs, garbage.
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("+1", &v));
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("12abc", &v));
+  EXPECT_FALSE(ParseUint64("4.2", &v));
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "persist/fault_injection.h"
 #include "persist/manager.h"
 #include "txn/workload.h"
 
@@ -113,7 +114,8 @@ TEST_P(RecoveryEquivalenceTest, TornWalTailStillRecoversPrefix) {
   auto run = RunSession(seed, /*ticks=*/25,
                         DurabilityMode::kWalAndCheckpoint,
                         /*ckpt_interval=*/10);
-  run->storage.CorruptTail("wal", 7);  // crash mid-append
+  persist::FaultInjectingStorage(&run->storage)
+      .CorruptTail("wal", 7);  // crash mid-append
   World recovered;
   auto outcome = PersistenceManager::Recover(run->storage, &recovered);
   ASSERT_TRUE(outcome.ok());

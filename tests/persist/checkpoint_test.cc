@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "persist/fault_injection.h"
+
 namespace gamedb::persist {
 namespace {
 
@@ -55,7 +57,7 @@ TEST_F(CheckpointTest, CorruptNewestFallsBackToOlder) {
   ASSERT_TRUE(store.WriteCheckpoint(world).ok());
   // Corrupt the tick-2 image.
   auto names = storage.List();
-  storage.FlipByte(names.back(), 20);
+  FaultInjectingStorage(&storage).FlipByte(names.back(), 20);
 
   World restored;
   auto tick = store.LoadLatest(&restored);
@@ -77,6 +79,75 @@ TEST_F(CheckpointTest, GarbageCollectionKeepsNewest) {
   }
   auto ticks = store.CheckpointTicks();
   EXPECT_EQ(ticks, (std::vector<uint64_t>{4, 5}));
+}
+
+TEST_F(CheckpointTest, WriteLeavesNoTmpBehind) {
+  world.SetTick(3);
+  CheckpointStore store(&storage);
+  ASSERT_TRUE(store.WriteCheckpoint(world).ok());
+  for (const std::string& name : storage.List()) {
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+  }
+}
+
+TEST_F(CheckpointTest, CrashMidTmpWriteKeepsOlderCheckpoint) {
+  FaultInjectingStorage faults(&storage);
+  CheckpointStore store(&faults, /*keep=*/5);
+  world.SetTick(1);
+  ASSERT_TRUE(store.WriteCheckpoint(world).ok());
+  world.Patch<Health>(e, [](Health& h) { h.hp = 10; });
+  world.SetTick(2);
+  // Crash during the tick-2 tmp write: nothing of it may become visible.
+  faults.FailAfter(0);
+  EXPECT_FALSE(store.WriteCheckpoint(world).ok());
+  faults.ClearFailure();
+
+  World restored;
+  auto tick = store.LoadLatest(&restored);
+  ASSERT_TRUE(tick.ok());
+  EXPECT_EQ(*tick, 1u);
+  EXPECT_FLOAT_EQ(restored.Get<Health>(e)->hp, 42);
+}
+
+TEST_F(CheckpointTest, CrashBeforeRenameKeepsOlderCheckpointAndGcReapsTmp) {
+  FaultInjectingStorage faults(&storage);
+  CheckpointStore store(&faults, /*keep=*/5);
+  world.SetTick(1);
+  ASSERT_TRUE(store.WriteCheckpoint(world).ok());
+  world.SetTick(2);
+  // tmp write and its sync land, the rename does not: the orphaned .tmp
+  // must be invisible to CheckpointTicks/LoadLatest.
+  faults.FailAfter(2);
+  EXPECT_FALSE(store.WriteCheckpoint(world).ok());
+  faults.ClearFailure();
+
+  EXPECT_TRUE(storage.Exists("ckpt-00000000000000000002.tmp"));
+  EXPECT_EQ(store.CheckpointTicks(), (std::vector<uint64_t>{1}));
+  World restored;
+  auto tick = store.LoadLatest(&restored);
+  ASSERT_TRUE(tick.ok());
+  EXPECT_EQ(*tick, 1u);
+
+  // The next successful checkpoint garbage-collects the orphan.
+  world.SetTick(3);
+  ASSERT_TRUE(store.WriteCheckpoint(world).ok());
+  EXPECT_FALSE(storage.Exists("ckpt-00000000000000000002.tmp"));
+  EXPECT_EQ(store.CheckpointTicks(), (std::vector<uint64_t>{1, 3}));
+}
+
+// Regression: CheckpointTicks parsed the 20-digit tick with a signed
+// ParseInt64, silently dropping any checkpoint with tick > INT64_MAX.
+TEST_F(CheckpointTest, TickBeyondInt64Survives) {
+  const uint64_t huge = (1ull << 63) + 12345;  // > INT64_MAX
+  world.SetTick(huge);
+  CheckpointStore store(&storage);
+  ASSERT_TRUE(store.WriteCheckpoint(world).ok());
+  EXPECT_EQ(store.CheckpointTicks(), (std::vector<uint64_t>{huge}));
+
+  World restored;
+  auto tick = store.LoadLatest(&restored);
+  ASSERT_TRUE(tick.ok());
+  EXPECT_EQ(*tick, huge);
 }
 
 TEST(PolicyTest, PeriodicFiresOnInterval) {

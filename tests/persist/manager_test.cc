@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "persist/fault_injection.h"
+
 namespace gamedb::persist {
 namespace {
 
@@ -96,7 +98,8 @@ TEST_F(ManagerTest, WalTornTailDropsOnlyTail) {
     txn::ApplyTxn(&world, t);
     ASSERT_TRUE(mgr.OnTxn(t, world.tick()).ok());
   }
-  storage.CorruptTail("wal", 5);  // crash mid-append of the last record
+  FaultInjectingStorage(&storage)
+      .CorruptTail("wal", 5);  // crash mid-append of the last record
 
   World recovered;
   auto outcome = PersistenceManager::Recover(storage, &recovered);
@@ -125,6 +128,59 @@ TEST_F(ManagerTest, IntelligentPolicyCheckpointsOnBossKill) {
   EXPECT_TRUE(*r2);  // urgent event -> immediate checkpoint
   EXPECT_DOUBLE_EQ(mgr.pending_importance(), 0.0);
   EXPECT_EQ(mgr.metrics().checkpoints, 1u);
+}
+
+// Regression: AfterCheckpoint only reset the WAL in kWalAndCheckpoint, so
+// a WAL left behind by an earlier kWalAndCheckpoint incarnation was
+// replayed over the checkpoints of a later kCheckpointOnly run.
+TEST_F(ManagerTest, CheckpointOnlyRunRemovesStaleWal) {
+  {
+    PersistenceOptions opts;
+    opts.mode = DurabilityMode::kWalAndCheckpoint;
+    PersistenceManager old_run(&storage, std::make_unique<PeriodicPolicy>(1000),
+                               opts);
+    for (int tick = 1; tick <= 20; ++tick) {
+      world.AdvanceTick();
+      txn::GameTxn t = Attack(ids[0], ids[1], 1);
+      txn::ApplyTxn(&world, t);
+      ASSERT_TRUE(old_run.OnTxn(t, world.tick()).ok());
+    }
+  }
+  ASSERT_TRUE(storage.Exists("wal"));  // stale: ticks 1..20, no checkpoint
+
+  // The server is wiped and restarts fresh in kCheckpointOnly mode on the
+  // same storage.
+  World fresh;
+  EntityId hero = fresh.Create();
+  fresh.Set(hero, Health{100, 100});
+  PersistenceManager mgr(&storage, std::make_unique<PeriodicPolicy>(5));
+  for (int tick = 1; tick <= 5; ++tick) {
+    fresh.AdvanceTick();
+    ASSERT_TRUE(mgr.OnTickEnd(fresh).ok());
+  }
+  EXPECT_FALSE(storage.Exists("wal"));  // checkpoint superseded it
+
+  World recovered;
+  auto outcome = PersistenceManager::Recover(storage, &recovered);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->checkpoint_tick, 5u);
+  EXPECT_EQ(outcome->replayed_txns, 0u);  // stale records must NOT replay
+  EXPECT_EQ(outcome->recovered_tick, 5u);
+}
+
+TEST_F(ManagerTest, WalGroupCommitOptionReachesTheLog) {
+  PersistenceOptions opts;
+  opts.mode = DurabilityMode::kWalAndCheckpoint;
+  opts.wal.sync_every_n = 4;
+  PersistenceManager mgr(&storage, std::make_unique<PeriodicPolicy>(1000),
+                         opts);
+  for (int tick = 1; tick <= 8; ++tick) {
+    world.AdvanceTick();
+    txn::GameTxn t = Attack(ids[0], ids[1], 1);
+    ASSERT_TRUE(mgr.OnTxn(t, world.tick()).ok());
+    ASSERT_TRUE(mgr.OnTickEnd(world).ok());
+  }
+  EXPECT_EQ(storage.syncs(), 2u);  // 8 appends / group of 4
 }
 
 TEST_F(ManagerTest, RecoverWithNoDataFails) {

@@ -2,11 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <thread>
+
+#include "persist/fault_injection.h"
 
 namespace gamedb::persist {
 namespace {
 
+// Every Storage contract assertion runs against both backends: MemStorage
+// and a tmpdir-backed DiskStorage.
 template <typename T>
 class StorageTypedTest : public ::testing::Test {
  protected:
@@ -82,18 +88,128 @@ TYPED_TEST(StorageTypedTest, RemoveAndList) {
   EXPECT_EQ(s->TotalBytes(), 2u);
 }
 
-TEST(MemStorageTest, FaultInjection) {
+TYPED_TEST(StorageTypedTest, SyncCountsOnlySuccesses) {
+  Storage* s = this->storage();
+  EXPECT_EQ(s->syncs(), 0u);
+  EXPECT_TRUE(s->Sync("missing").IsNotFound());
+  EXPECT_EQ(s->syncs(), 0u);
+  ASSERT_TRUE(s->Write("a", "payload").ok());
+  ASSERT_TRUE(s->Sync("a").ok());
+  ASSERT_TRUE(s->Sync("a").ok());
+  EXPECT_EQ(s->syncs(), 2u);
+}
+
+TYPED_TEST(StorageTypedTest, RenameMovesAndOverwrites) {
+  Storage* s = this->storage();
+  ASSERT_TRUE(s->Write("from", "new").ok());
+  ASSERT_TRUE(s->Write("to", "old").ok());
+  ASSERT_TRUE(s->Rename("from", "to").ok());
+  EXPECT_FALSE(s->Exists("from"));
+  std::string out;
+  ASSERT_TRUE(s->Read("to", &out).ok());
+  EXPECT_EQ(out, "new");  // POSIX semantics: destination replaced
+  EXPECT_TRUE(s->Rename("missing", "x").IsNotFound());
+}
+
+TYPED_TEST(StorageTypedTest, RenameToSelfIsNoOp) {
+  Storage* s = this->storage();
+  ASSERT_TRUE(s->Write("a", "keep").ok());
+  ASSERT_TRUE(s->Rename("a", "a").ok());  // POSIX: self-rename is a no-op
+  std::string out;
+  ASSERT_TRUE(s->Read("a", &out).ok());
+  EXPECT_EQ(out, "keep");
+}
+
+// Fault injection is a Storage decorator, so the same crash tests run
+// against both backends too.
+TYPED_TEST(StorageTypedTest, FaultInjectionCorruptsDurableData) {
+  FaultInjectingStorage f(this->storage());
+  ASSERT_TRUE(f.Write("f", "0123456789").ok());
+  f.CorruptTail("f", 4);
+  std::string out;
+  ASSERT_TRUE(f.Read("f", &out).ok());
+  EXPECT_EQ(out, "012345");
+  f.FlipByte("f", 0);
+  ASSERT_TRUE(f.Read("f", &out).ok());
+  EXPECT_EQ(out.size(), 6u);
+  EXPECT_NE(out[0], '0');
+}
+
+TYPED_TEST(StorageTypedTest, FaultInjectionCrashPointKillsMutations) {
+  FaultInjectingStorage f(this->storage());
+  ASSERT_TRUE(f.Write("a", "1").ok());
+  f.FailAfter(2);  // two more ops succeed, then the "process dies"
+  ASSERT_TRUE(f.Append("a", "2").ok());
+  ASSERT_TRUE(f.Sync("a").ok());
+  EXPECT_FALSE(f.crashed());
+  EXPECT_TRUE(f.Write("a", "gone").IsIOError());
+  EXPECT_TRUE(f.crashed());
+  EXPECT_TRUE(f.Rename("a", "b").IsIOError());
+  EXPECT_TRUE(f.Remove("a").IsIOError());
+  EXPECT_EQ(f.ops(), 6u);
+  // The durable image is exactly what landed before the crash, and reads
+  // still work for post-mortem inspection.
+  std::string out;
+  ASSERT_TRUE(f.Read("a", &out).ok());
+  EXPECT_EQ(out, "12");
+  f.ClearFailure();
+  EXPECT_TRUE(f.Write("a", "alive").ok());
+}
+
+TEST(MemStorageTest, CumulativeWriteAccounting) {
   MemStorage s;
   ASSERT_TRUE(s.Write("f", "0123456789").ok());
-  s.CorruptTail("f", 4);
-  std::string out;
-  ASSERT_TRUE(s.Read("f", &out).ok());
-  EXPECT_EQ(out, "012345");
-  s.FlipByte("f", 0);
-  ASSERT_TRUE(s.Read("f", &out).ok());
-  EXPECT_NE(out[0], '0');
-  // Cumulative write accounting unaffected by corruption.
-  EXPECT_EQ(s.bytes_written(), 10u);
+  ASSERT_TRUE(s.Append("f", "ab").ok());
+  ASSERT_TRUE(s.Remove("f").ok());
+  // Cumulative: Remove does not reduce bytes ever written.
+  EXPECT_EQ(s.bytes_written(), 12u);
+}
+
+class DiskStorageDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gamedb_disk_dir_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    disk_ = std::make_unique<DiskStorage>(dir_.string());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<DiskStorage> disk_;
+};
+
+TEST_F(DiskStorageDirTest, ListSkipsNonRegularEntries) {
+  ASSERT_TRUE(disk_->Write("real", "data").ok());
+  std::filesystem::create_directory(dir_ / "subdir");
+  std::error_code ec;
+  std::filesystem::create_symlink(dir_ / "no_such_target", dir_ / "dangling",
+                                  ec);
+  EXPECT_EQ(disk_->List(), (std::vector<std::string>{"real"}));
+  EXPECT_EQ(disk_->TotalBytes(), 4u);
+}
+
+// Regression for the throwing is_regular_file()/file_size() overloads:
+// files removed while List()/TotalBytes() iterate (checkpoint GC racing a
+// reader) must be skipped, never thrown as std::filesystem_error.
+TEST_F(DiskStorageDirTest, ListAndTotalBytesSurviveConcurrentRemoval) {
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::string name = "churn-" + std::to_string(i++ % 50);
+      (void)disk_->Write(name, "xxxxxxxx");
+      (void)disk_->Remove(name);
+    }
+  });
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_NO_THROW({
+      (void)disk_->List();
+      (void)disk_->TotalBytes();
+    });
+  }
+  stop.store(true);
+  churn.join();
 }
 
 }  // namespace

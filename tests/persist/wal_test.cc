@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "persist/fault_injection.h"
+
 namespace gamedb::persist {
 namespace {
 
@@ -32,11 +34,12 @@ TEST(WalTest, MissingLogIsEmpty) {
 
 TEST(WalTest, TornTailReturnsValidPrefix) {
   MemStorage storage;
+  FaultInjectingStorage faults(&storage);
   WalWriter writer(&storage, "wal");
   ASSERT_TRUE(writer.Append("keep-me-1").ok());
   ASSERT_TRUE(writer.Append("keep-me-2").ok());
   ASSERT_TRUE(writer.Append("torn-away").ok());
-  storage.CorruptTail("wal", 3);  // rip bytes off the last record
+  faults.CorruptTail("wal", 3);  // rip bytes off the last record
 
   auto r = ReadWal(storage, "wal");
   ASSERT_TRUE(r.ok());
@@ -48,13 +51,14 @@ TEST(WalTest, TornTailReturnsValidPrefix) {
 
 TEST(WalTest, BitFlipDetectedByCrc) {
   MemStorage storage;
+  FaultInjectingStorage faults(&storage);
   WalWriter writer(&storage, "wal");
   ASSERT_TRUE(writer.Append("aaaa").ok());
   ASSERT_TRUE(writer.Append("bbbb").ok());
   // Flip a byte inside the *second* record's payload.
   std::string data;
   ASSERT_TRUE(storage.Read("wal", &data).ok());
-  storage.FlipByte("wal", data.size() - 2);
+  faults.FlipByte("wal", data.size() - 2);
 
   auto r = ReadWal(storage, "wal");
   ASSERT_TRUE(r.ok());
@@ -73,6 +77,71 @@ TEST(WalTest, ResetTruncates) {
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->records.size(), 1u);
   EXPECT_EQ(r->records[0], "new");
+}
+
+// Regression: Reset() used to leave bytes_appended_/records_appended_
+// untouched, so per-epoch WAL metrics over-reported after every checkpoint.
+TEST(WalTest, ResetZeroesEpochCounters) {
+  MemStorage storage;
+  WalWriter writer(&storage, "wal");
+  ASSERT_TRUE(writer.Append("record-one").ok());
+  ASSERT_TRUE(writer.Append("record-two").ok());
+  EXPECT_EQ(writer.records_appended(), 2u);
+  EXPECT_GT(writer.bytes_appended(), 0u);
+  ASSERT_TRUE(writer.Reset().ok());
+  EXPECT_EQ(writer.records_appended(), 0u);
+  EXPECT_EQ(writer.bytes_appended(), 0u);
+  ASSERT_TRUE(writer.Append("next-epoch").ok());
+  EXPECT_EQ(writer.records_appended(), 1u);
+}
+
+TEST(WalTest, SyncsPerAppendByDefault) {
+  MemStorage storage;
+  WalWriter writer(&storage, "wal");
+  ASSERT_TRUE(writer.Append("a").ok());
+  ASSERT_TRUE(writer.Append("b").ok());
+  ASSERT_TRUE(writer.Append("c").ok());
+  EXPECT_EQ(storage.syncs(), 3u);
+}
+
+TEST(WalTest, GroupCommitBatchesSyncs) {
+  MemStorage storage;
+  WalOptions options;
+  options.sync_every_n = 3;
+  WalWriter writer(&storage, "wal", options);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(writer.Append("r").ok());
+  }
+  EXPECT_EQ(storage.syncs(), 2u);  // after records 3 and 6
+  // Reset makes the truncation durable too and restarts the batch window.
+  ASSERT_TRUE(writer.Reset().ok());
+  EXPECT_EQ(storage.syncs(), 3u);
+  ASSERT_TRUE(writer.Append("r").ok());
+  ASSERT_TRUE(writer.Append("r").ok());
+  EXPECT_EQ(storage.syncs(), 3u);  // batch of 3 not full yet
+}
+
+TEST(WalTest, SyncDisabledNeverSyncs) {
+  MemStorage storage;
+  WalOptions options;
+  options.sync_every_n = 0;
+  WalWriter writer(&storage, "wal", options);
+  ASSERT_TRUE(writer.Append("a").ok());
+  ASSERT_TRUE(writer.Reset().ok());
+  EXPECT_EQ(storage.syncs(), 0u);
+}
+
+TEST(WalTest, AppendFailsPastInjectedCrashPoint) {
+  MemStorage base;
+  FaultInjectingStorage storage(&base);
+  WalWriter writer(&storage, "wal");
+  ASSERT_TRUE(writer.Append("durable").ok());
+  storage.FailAfter(0);
+  EXPECT_FALSE(writer.Append("lost").ok());
+  auto r = ReadWal(base, "wal");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->records.size(), 1u);
+  EXPECT_EQ(r->records[0], "durable");
 }
 
 TEST(WalTest, LargeRecordsSurvive) {
