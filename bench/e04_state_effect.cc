@@ -11,6 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
 #include "common/rng.h"
 #include "core/state_effect.h"
 #include "spatial/kdbsp_tree.h"
@@ -136,6 +139,40 @@ void BM_StateEffectProximityTick(benchmark::State& state) {
 BENCHMARK(BM_StateEffectProximityTick)
     ->ArgsProduct({{1, 4, 8}, {8192}})
     ->UseRealTime();
+
+// Apply-phase overhead as channel count grows. A scripted world drains one
+// channel per effect kind every tick; Effect<V> now owns reusable merge
+// scratch, so the drain stops paying a map + vector allocation per channel
+// per tick (it used to: N channels -> 2N allocations each tick).
+void BM_EffectDrainChannels(benchmark::State& state) {
+  const size_t channels = size_t(state.range(0));
+  const size_t total_contributions = 8192;
+  const size_t per_channel = total_contributions / channels;
+  constexpr size_t kShards = 4;
+  std::vector<std::unique_ptr<Effect<double>>> effects;
+  effects.reserve(channels);
+  for (size_t c = 0; c < channels; ++c) {
+    effects.push_back(std::make_unique<Effect<double>>(kShards));
+  }
+  double sink = 0;
+  for (auto _ : state) {
+    // One simulated tick: refill every channel, then drain every channel.
+    for (size_t c = 0; c < channels; ++c) {
+      for (size_t i = 0; i < per_channel; ++i) {
+        effects[c]->Contribute(i % kShards, EntityId(uint32_t(i % 512), 0),
+                               1.0);
+      }
+    }
+    for (size_t c = 0; c < channels; ++c) {
+      effects[c]->Drain([&](EntityId, const double& v) { sink += v; });
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetLabel(std::to_string(channels) + "_channels");
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(per_channel * channels));
+}
+BENCHMARK(BM_EffectDrainChannels)->Arg(1)->Arg(8)->Arg(64);
 
 }  // namespace
 

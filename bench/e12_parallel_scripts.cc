@@ -1,0 +1,141 @@
+// E12 — parallel scripted query phase: the tutorial's scripting section
+// ends where its join-processing analogy begins — the follow-up work
+// (Sowell et al., "From Declarative Languages to Declarative Processing in
+// Computer Games") argues scripts written in the state-effect style
+// *parallelize like joins*. The ScriptHost (script/host.h) realizes that:
+// one interpreter per shard, entities partitioned over the pool, writes
+// flowing only through effect channels, a deterministic apply phase.
+//
+// Workload: n scripted fighters, each reading its target's tick-start state
+// and emitting damage + regen effects. Sweeps thread count x entity count;
+// the classic one-interpreter read-modify-write loop is the baseline no
+// host can parallelize (direct writes race).
+//
+// Expected shape: query-phase throughput scales with thread count while the
+// RMW baseline is pinned to one core; the gap widens with entity count
+// (fixed per-tick host overhead amortizes away).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "script/builtins.h"
+#include "script/host.h"
+#include "script/parser.h"
+
+namespace {
+
+using namespace gamedb;  // NOLINT
+using script::Interpreter;
+using script::ScriptHost;
+using script::ScriptHostOptions;
+using script::Value;
+
+// State-effect style: reads are free, writes are emitted effects.
+constexpr char kEffectScript[] = R"(
+fn tick(e) {
+  let t = get(e, "Combat", "target")
+  emit("damage", t, get(e, "Combat", "attack") * 0.01)
+  emit("regen", e, 0.25)
+}
+)";
+
+// The same behavior as unordered read-modify-write — only correct single
+// threaded, so it is the sequential baseline.
+constexpr char kDirectScript[] = R"(
+fn tick(e) {
+  let t = get(e, "Combat", "target")
+  set(t, "Health", "hp",
+      get(t, "Health", "hp") - get(e, "Combat", "attack") * 0.01)
+  set(e, "Health", "hp", get(e, "Health", "hp") + 0.25)
+}
+)";
+
+void BuildWorld(World* world, std::vector<EntityId>* ids, size_t n) {
+  RegisterStandardComponents();
+  ids->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    EntityId e = world->Create();
+    ids->push_back(e);
+    world->Set(e, Health{100.0f, 100.0f});
+    Combat c;
+    c.attack = 1.0f + float(i % 7);
+    world->Set(e, c);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    world->Patch<Combat>((*ids)[i], [&](Combat& c) {
+      c.target = (*ids)[(i * 37 + 11) % n];
+    });
+  }
+}
+
+// Parallel scripted query phase at a given thread count.
+void BM_ParallelScriptTick(benchmark::State& state) {
+  World world;
+  std::vector<EntityId> ids;
+  BuildWorld(&world, &ids, size_t(state.range(1)));
+  ScriptHostOptions opts;
+  opts.num_threads = size_t(state.range(0));
+  ScriptHost host(&world, opts);
+  host.OnChannel("damage", [&world](EntityId e, double total) {
+    world.Patch<Health>(e, [&](Health& h) { h.hp -= float(total); });
+  });
+  host.OnChannel("regen", [&world](EntityId e, double total) {
+    world.Patch<Health>(e, [&](Health& h) { h.hp += float(total); });
+  });
+  if (Status st = host.Load(kEffectScript); !st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    world.AdvanceTick();
+    auto stats = host.RunTick("tick", ids);
+    if (!stats.ok() || stats->script_errors > 0) {
+      state.SkipWithError("scripted tick failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(1));
+  state.SetLabel(std::to_string(state.range(0)) + "_threads");
+}
+BENCHMARK(BM_ParallelScriptTick)
+    ->ArgsProduct({{1, 2, 4, 8}, {1024, 4096, 16384}})
+    ->UseRealTime();
+
+// Baseline: one interpreter, direct writes, one core — the industry-default
+// scripted tick the paper says stops scaling.
+void BM_SingleInterpreterDirectTick(benchmark::State& state) {
+  World world;
+  std::vector<EntityId> ids;
+  BuildWorld(&world, &ids, size_t(state.range(0)));
+  Interpreter interp;
+  script::RegisterCoreBuiltins(&interp);
+  script::BindWorld(&interp, &world, nullptr);
+  auto parsed = script::Parse(kDirectScript, "e12_direct.gsl");
+  if (!parsed.ok() || !interp.Load(std::move(*parsed)).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  for (auto _ : state) {
+    world.AdvanceTick();
+    for (EntityId e : ids) {
+      auto r = interp.Call("tick", {Value(e)});
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0));
+  state.SetLabel("rmw_1_thread");
+}
+BENCHMARK(BM_SingleInterpreterDirectTick)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -64,25 +64,31 @@ class Effect {
 
   /// Merges all shards and calls fn(EntityId, const V&) once per distinct
   /// target (in first-contribution order), then clears the buffers.
+  ///
+  /// The merge scratch (slot map + merged rows) is owned by the Effect and
+  /// reused across calls, so a steady-state per-tick drain performs no
+  /// allocations once capacities are warm. Consequently Drain is not
+  /// reentrant and must run on one thread at a time — which the apply phase
+  /// is by construction.
   template <typename Fn>
   void Drain(Fn&& fn) {
     size_t total = contribution_count();
-    std::unordered_map<EntityId, size_t> slot_of;
-    slot_of.reserve(total);
-    std::vector<std::pair<EntityId, V>> merged;
-    merged.reserve(total);
+    drain_slots_.clear();
+    drain_slots_.reserve(total);
+    drain_merged_.clear();
+    drain_merged_.reserve(total);
     for (auto& shard : shards_) {
       for (auto& [e, v] : shard) {
-        auto [it, inserted] = slot_of.try_emplace(e, merged.size());
+        auto [it, inserted] = drain_slots_.try_emplace(e, drain_merged_.size());
         if (inserted) {
-          merged.emplace_back(e, std::move(v));
+          drain_merged_.emplace_back(e, std::move(v));
         } else {
-          combine_(merged[it->second].second, v);
+          combine_(drain_merged_[it->second].second, v);
         }
       }
       shard.clear();
     }
-    for (auto& [e, v] : merged) fn(e, static_cast<const V&>(v));
+    for (auto& [e, v] : drain_merged_) fn(e, static_cast<const V&>(v));
   }
 
   /// Discards buffered contributions.
@@ -97,6 +103,9 @@ class Effect {
 
   std::vector<std::vector<std::pair<EntityId, V>>> shards_;
   Combine combine_;
+  // Reusable Drain scratch (see Drain); kept warm across ticks.
+  std::unordered_map<EntityId, size_t> drain_slots_;
+  std::vector<std::pair<EntityId, V>> drain_merged_;
 };
 
 /// Runs query phases in parallel over a World.

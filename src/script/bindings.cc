@@ -7,12 +7,15 @@
 namespace gamedb::script {
 
 Effect<double>& ScriptEffects::Channel(const std::string& name) {
-  auto it = channels_.find(name);
-  if (it == channels_.end()) {
-    it = channels_
-             .emplace(name, std::make_unique<Effect<double>>(shards_))
-             .first;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = channels_.find(name);
+    if (it != channels_.end()) return *it->second;
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] =
+      channels_.try_emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Effect<double>>(shards_);
   return *it->second;
 }
 
@@ -23,8 +26,89 @@ void ScriptEffects::Drain(const std::string& name,
   it->second->Drain([&](EntityId e, const double& v) { apply(e, v); });
 }
 
+size_t ScriptEffects::contribution_count() const {
+  size_t n = 0;
+  for (const auto& [name, ch] : channels_) n += ch->contribution_count();
+  return n;
+}
+
 void ScriptEffects::Clear() {
   for (auto& [name, ch] : channels_) ch->Clear();
+}
+
+void DeferredOps::Push(size_t shard, DeferredOp op) {
+  GAMEDB_DCHECK(shard < shards_.size());
+  shards_[shard].push_back(std::move(op));
+}
+
+size_t DeferredOps::size() const {
+  size_t n = 0;
+  for (const auto& s : shards_) n += s.size();
+  return n;
+}
+
+size_t DeferredOps::Apply(World* world, size_t* skipped) {
+  size_t applied = 0;
+  size_t skip = 0;
+  for (auto& shard : shards_) {
+    for (DeferredOp& op : shard) {
+      switch (op.kind) {
+        case DeferredOp::Kind::kDestroy:
+          if (world->Alive(op.entity)) {
+            world->Destroy(op.entity);
+            ++applied;
+          } else {
+            ++skip;
+          }
+          break;
+        case DeferredOp::Kind::kAdd: {
+          ComponentStore* store = world->StoreById(op.type_id);
+          if (!world->Alive(op.entity) || store == nullptr) {
+            ++skip;
+            break;
+          }
+          store->EmplaceDefault(op.entity);
+          ++applied;
+          break;
+        }
+        case DeferredOp::Kind::kRemove: {
+          ComponentStore* store = world->StoreById(op.type_id);
+          if (store != nullptr && store->Erase(op.entity)) {
+            ++applied;
+          } else {
+            ++skip;
+          }
+          break;
+        }
+        case DeferredOp::Kind::kSet: {
+          ComponentStore* store = world->StoreById(op.type_id);
+          if (!world->Alive(op.entity) || store == nullptr) {
+            ++skip;
+            break;
+          }
+          // PatchRaw keeps maintained aggregates / delta tracking
+          // consistent, exactly like the direct set path.
+          Status set_status = Status::OK();
+          bool found = store->PatchRaw(op.entity, [&](void* c) {
+            set_status = op.field->Set(c, op.value);
+          });
+          if (found && set_status.ok()) {
+            ++applied;
+          } else {
+            ++skip;  // component removed (or type error) since record time
+          }
+          break;
+        }
+      }
+    }
+    shard.clear();
+  }
+  if (skipped != nullptr) *skipped = skip;
+  return applied;
+}
+
+void DeferredOps::Clear() {
+  for (auto& s : shards_) s.clear();
 }
 
 namespace {
@@ -79,21 +163,80 @@ Result<const FieldInfo*> ResolveField(const std::string& comp,
   return f;
 }
 
+/// Whether FieldInfo::Set would accept this value kind for this field type
+/// (mirrors the conversion matrix in reflect.cc), so deferred sets surface
+/// type errors at the call site in the query phase, not silently at apply.
+bool ConvertibleTo(FieldType type, const FieldValue& v) {
+  switch (type) {
+    case FieldType::kFloat:
+    case FieldType::kDouble:
+    case FieldType::kInt32:
+    case FieldType::kUInt32:
+    case FieldType::kInt64:
+    case FieldType::kUInt64:
+    case FieldType::kBool:
+      return std::holds_alternative<double>(v) ||
+             std::holds_alternative<int64_t>(v) ||
+             std::holds_alternative<bool>(v);
+    case FieldType::kVec3:
+      return std::holds_alternative<Vec3>(v);
+    case FieldType::kString:
+      return std::holds_alternative<std::string>(v);
+    case FieldType::kEntity:
+      return std::holds_alternative<EntityId>(v);
+  }
+  return false;
+}
+
+Status ReadOnlyPhaseError(const char* name) {
+  return Status::NotSupported(
+      std::string(name) +
+      " mutates the world; the scripted query phase is read-only — emit() an "
+      "effect and apply it from the host instead");
+}
+
 }  // namespace
 
 void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
-               size_t shard) {
+               WorldBindOptions options) {
+  GAMEDB_CHECK(options.mutations != MutationPolicy::kDefer ||
+               options.deferred != nullptr);
+  const MutationPolicy policy = options.mutations;
+  DeferredOps* deferred = options.deferred;
+  const size_t shard = options.shard;
+
   interp->RegisterBuiltin(
-      "spawn", [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+      "spawn",
+      [world, policy](std::vector<Value>& args, Interpreter&) -> Result<Value> {
         GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 0, "spawn()"));
+        if (policy != MutationPolicy::kDirect) {
+          // Even under kDefer: a fresh entity id cannot be handed to the
+          // script before the apply phase allocates it.
+          return Status::NotSupported(
+              "spawn() is not available during the parallel query phase "
+              "(entity ids are allocated in the apply phase); spawn from the "
+              "host or a trigger handler instead");
+        }
         return Value(world->Create());
       });
   interp->RegisterBuiltin(
       "destroy",
-      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+      [world, policy, deferred, shard](std::vector<Value>& args,
+                                       Interpreter&) -> Result<Value> {
         GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 1, "destroy(e)"));
         GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "destroy(e)"));
-        world->Destroy(e);
+        switch (policy) {
+          case MutationPolicy::kReject:
+            return ReadOnlyPhaseError("destroy()");
+          case MutationPolicy::kDefer:
+            deferred->Push(shard,
+                           DeferredOp{DeferredOp::Kind::kDestroy, e, 0,
+                                      nullptr, FieldValue()});
+            return Value::Nil();
+          case MutationPolicy::kDirect:
+            world->Destroy(e);
+            return Value::Nil();
+        }
         return Value::Nil();
       });
   interp->RegisterBuiltin(
@@ -108,37 +251,63 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
         GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 2, "has(e, \"Comp\")"));
         GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "has"));
         GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 1, "has"));
-        ComponentStore* store = world->StoreByName(comp);
-        if (store == nullptr) {
+        const TypeInfo* info = TypeRegistry::Global().FindByName(comp);
+        if (info == nullptr) {
           return Status::NotFound("unknown component '" + comp + "'");
         }
-        return Value(store->Contains(e));
+        // Non-creating lookup: reads must not grow the store map (they run
+        // concurrently during the scripted query phase).
+        const ComponentStore* store = world->StoreByIdIfExists(info->id());
+        return Value(store != nullptr && store->Contains(e));
       });
   interp->RegisterBuiltin(
-      "add", [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+      "add",
+      [world, policy, deferred, shard](std::vector<Value>& args,
+                                       Interpreter&) -> Result<Value> {
         GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 2, "add(e, \"Comp\")"));
         GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "add"));
         GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 1, "add"));
+        if (policy == MutationPolicy::kReject) {
+          return ReadOnlyPhaseError("add()");
+        }
         if (!world->Alive(e)) {
           return Status::InvalidArgument("entity is dead");
         }
-        ComponentStore* store = world->StoreByName(comp);
-        if (store == nullptr) {
+        const TypeInfo* info = TypeRegistry::Global().FindByName(comp);
+        if (info == nullptr) {
           return Status::NotFound("unknown component '" + comp + "'");
         }
-        store->EmplaceDefault(e);
+        if (policy == MutationPolicy::kDefer) {
+          deferred->Push(shard, DeferredOp{DeferredOp::Kind::kAdd, e,
+                                           info->id(), nullptr, FieldValue()});
+          return Value::Nil();
+        }
+        world->StoreById(info->id())->EmplaceDefault(e);
         return Value::Nil();
       });
   interp->RegisterBuiltin(
       "remove",
-      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+      [world, policy, deferred, shard](std::vector<Value>& args,
+                                       Interpreter&) -> Result<Value> {
         GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 2, "remove(e, \"Comp\")"));
         GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "remove"));
         GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 1, "remove"));
-        ComponentStore* store = world->StoreByName(comp);
-        if (store == nullptr) {
+        if (policy == MutationPolicy::kReject) {
+          return ReadOnlyPhaseError("remove()");
+        }
+        const TypeInfo* info = TypeRegistry::Global().FindByName(comp);
+        if (info == nullptr) {
           return Status::NotFound("unknown component '" + comp + "'");
         }
+        if (policy == MutationPolicy::kDefer) {
+          deferred->Push(shard, DeferredOp{DeferredOp::Kind::kRemove, e,
+                                           info->id(), nullptr, FieldValue()});
+          // Deferred answer: was the component present at call time (the
+          // tick-start state this read-only phase observes)?
+          const ComponentStore* store = world->StoreByIdIfExists(info->id());
+          return Value(store != nullptr && store->Contains(e));
+        }
+        ComponentStore* store = world->StoreById(info->id());
         return Value(store->Erase(e));
       });
 
@@ -151,25 +320,48 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
         const TypeInfo* info = nullptr;
         GAMEDB_ASSIGN_OR_RETURN(const FieldInfo* f,
                                 ResolveField(comp, field, &info));
-        ComponentStore* store = world->StoreById(info->id());
-        void* c = store->Find(e);
+        // Non-creating lookup (see `has`): a missing table reads the same
+        // as an entity without the component.
+        const ComponentStore* store = world->StoreByIdIfExists(info->id());
+        const void* c = store == nullptr ? nullptr : store->Find(e);
         if (c == nullptr) {
           return Status::NotFound("entity has no '" + comp + "'");
         }
         return FromFieldValue(f->Get(c));
       });
   interp->RegisterBuiltin(
-      "set", [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+      "set",
+      [world, policy, deferred, shard](std::vector<Value>& args,
+                                       Interpreter&) -> Result<Value> {
         GAMEDB_RETURN_NOT_OK(
             ExpectArgs(args, 4, "set(e, \"Comp\", \"field\", v)"));
         GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "set"));
         GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 1, "set"));
         GAMEDB_ASSIGN_OR_RETURN(std::string field, ArgString(args, 2, "set"));
+        if (policy == MutationPolicy::kReject) {
+          return ReadOnlyPhaseError("set()");
+        }
         const TypeInfo* info = nullptr;
         GAMEDB_ASSIGN_OR_RETURN(const FieldInfo* f,
                                 ResolveField(comp, field, &info));
-        ComponentStore* store = world->StoreById(info->id());
         GAMEDB_ASSIGN_OR_RETURN(FieldValue fv, ToFieldValue(args[3]));
+        if (policy == MutationPolicy::kDefer) {
+          // Validate against tick-start state so the script fails at the
+          // call site, then postpone the write to the apply phase.
+          const ComponentStore* store = world->StoreByIdIfExists(info->id());
+          if (store == nullptr || !store->Contains(e)) {
+            return Status::NotFound("entity has no '" + comp + "'");
+          }
+          if (!ConvertibleTo(f->type(), fv)) {
+            return Status::InvalidArgument(
+                "cannot store " + FieldValueToString(fv) + " in field '" +
+                field + "' of '" + comp + "'");
+          }
+          deferred->Push(shard, DeferredOp{DeferredOp::Kind::kSet, e,
+                                           info->id(), f, std::move(fv)});
+          return Value::Nil();
+        }
+        ComponentStore* store = world->StoreById(info->id());
         // PatchRaw notifies observers with correct old/new values, keeping
         // maintained aggregates and delta tracking consistent.
         Status set_status = Status::OK();
@@ -321,6 +513,13 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
         GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 0, "tick()"));
         return Value(static_cast<double>(world->tick()));
       });
+}
+
+void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
+               size_t shard) {
+  WorldBindOptions options;
+  options.shard = shard;
+  BindWorld(interp, world, effects, options);
 }
 
 }  // namespace gamedb::script

@@ -8,8 +8,19 @@
 /// layer: scripts at the kDeclarative restriction level can ONLY express
 /// bulk reads through these aggregate builtins, which the engine evaluates
 /// with its indexes.
+///
+/// The same seam enforces the state-effect discipline when scripts run as a
+/// *parallel query phase* (script/host.h): bindings bound with a gated
+/// MutationPolicy stop the mutation builtins from writing the World directly
+/// — a data race once interpreters run on pool threads — and instead defer
+/// the writes into per-shard DeferredOps buffers the host replays in the
+/// apply phase.
 
+#include <memory>
+#include <shared_mutex>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/state_effect.h"
 #include "core/world.h"
@@ -19,6 +30,12 @@ namespace gamedb::script {
 
 /// Named effect channels scripts contribute into; the host drains them after
 /// the scripted query phase (see core/state_effect.h).
+///
+/// Channel() is safe to call concurrently from query-phase shards (creation
+/// of a new channel is serialized; the returned Effect collects into
+/// per-shard buffers). The drain-side APIs (Drain / Clear /
+/// contribution_count / HasChannel) belong to the sequential apply phase
+/// and must not overlap the query phase.
 class ScriptEffects {
  public:
   explicit ScriptEffects(size_t shards) : shards_(shards) {}
@@ -33,6 +50,9 @@ class ScriptEffects {
   void Drain(const std::string& name,
              const std::function<void(EntityId, double)>& apply);
 
+  /// Total contributions currently buffered across all channels.
+  size_t contribution_count() const;
+
   /// Discards all buffered contributions.
   void Clear();
 
@@ -40,7 +60,79 @@ class ScriptEffects {
 
  private:
   size_t shards_;
+  /// Guards channels_ map structure only (emit from pool threads may create
+  /// a channel lazily); Effect contents are per-shard and unsynchronized.
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<Effect<double>>> channels_;
+};
+
+/// How the world-mutating builtins (spawn / destroy / add / remove / set)
+/// behave for a bound interpreter.
+enum class MutationPolicy : uint8_t {
+  /// Write the World immediately (single-threaded hosts; the default).
+  kDirect,
+  /// Record the mutation into per-shard DeferredOps buffers; the host
+  /// replays them deterministically in the apply phase. spawn() is still
+  /// rejected (an entity id cannot be allocated before the apply phase).
+  kDefer,
+  /// Reject with NotSupported: the query phase is read-only, scripts must
+  /// emit() effects instead.
+  kReject,
+};
+
+/// One world mutation recorded during a gated query phase. Component and
+/// field names are resolved (and the entity's tick-start state validated)
+/// at record time, so scripts still get errors at the call site; only the
+/// write itself is postponed.
+struct DeferredOp {
+  enum class Kind : uint8_t { kSet, kAdd, kRemove, kDestroy };
+  Kind kind;
+  EntityId entity;
+  uint32_t type_id = 0;              // component (unused for kDestroy)
+  const FieldInfo* field = nullptr;  // kSet only
+  FieldValue value;                  // kSet only
+};
+
+/// Per-shard buffers of deferred mutations. Contributions are recorded with
+/// no synchronization (each query-phase shard owns its buffer); Apply
+/// replays shards in shard order and ops in record order within a shard.
+/// Because ParallelForChunks assigns contiguous ascending entity ranges to
+/// ascending chunk ids, that replay order equals the order a single thread
+/// would have produced — the apply phase is thread-count-independent.
+class DeferredOps {
+ public:
+  explicit DeferredOps(size_t shards) : shards_(shards) {
+    GAMEDB_CHECK(shards >= 1);
+  }
+
+  /// Records an op from `shard` (the query-phase chunk index).
+  void Push(size_t shard, DeferredOp op);
+
+  /// Ops currently buffered across all shards.
+  size_t size() const;
+
+  /// Replays all buffered ops against `world` and clears the buffers.
+  /// Ops invalidated by earlier ops (entity destroyed, component removed)
+  /// are skipped and counted into *skipped when non-null. Returns the
+  /// number of ops applied.
+  size_t Apply(World* world, size_t* skipped = nullptr);
+
+  /// Discards buffered ops.
+  void Clear();
+
+ private:
+  std::vector<std::vector<DeferredOp>> shards_;
+};
+
+/// Configuration for BindWorld.
+struct WorldBindOptions {
+  /// The query-phase chunk this interpreter runs in (0 for single-threaded
+  /// hosts); indexes ScriptEffects / DeferredOps shard buffers.
+  size_t shard = 0;
+  /// Gating for the mutation builtins (see MutationPolicy).
+  MutationPolicy mutations = MutationPolicy::kDirect;
+  /// Destination for deferred mutations; required when mutations == kDefer.
+  DeferredOps* deferred = nullptr;
 };
 
 /// Registers World-addressing builtins on `interp`:
@@ -57,8 +149,12 @@ class ScriptEffects {
 ///   tick() -> number                     (current simulation tick)
 ///
 /// `effects` may be null when the host does not use scripted effects; emit()
-/// then fails. The `shard` is the query-phase chunk the interpreter runs in
-/// (0 for single-threaded hosts).
+/// then fails. Under MutationPolicy::kDefer, remove() reports whether the
+/// component was present at call time (the write happens at apply).
+void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
+               WorldBindOptions options);
+
+/// Back-compat convenience: direct mutations on shard `shard`.
 void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
                size_t shard = 0);
 

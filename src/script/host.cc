@@ -1,0 +1,193 @@
+#include "script/host.h"
+
+#include <limits>
+
+#include "core/query.h"
+#include "script/builtins.h"
+#include "script/parser.h"
+
+namespace gamedb::script {
+
+namespace {
+
+/// Seed for one entity's random() stream this tick. SplitMix64-style mixing
+/// of (base, tick, entity) — Rng::Seed expands it further, we only need the
+/// three inputs to land in distinct, well-separated states.
+uint64_t PerEntitySeed(uint64_t base, uint64_t tick, EntityId e) {
+  uint64_t x = base;
+  x ^= tick * 0x9E3779B97F4A7C15ull;
+  x ^= e.Raw() * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 30)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ScriptHost::ScriptHost(World* world, ScriptHostOptions options)
+    : world_(world),
+      options_(options),
+      exec_(options.num_threads),
+      effects_(exec_.shard_count()),
+      deferred_(exec_.shard_count()) {
+  // kDirect would let pool threads write the World mid-query — the exact
+  // race the host exists to prevent.
+  GAMEDB_CHECK(options_.mutations != MutationPolicy::kDirect);
+  shards_.reserve(exec_.shard_count());
+  for (size_t i = 0; i < exec_.shard_count(); ++i) {
+    auto interp = std::make_unique<Interpreter>(options_.interpreter);
+    RegisterCoreBuiltins(interp.get());
+    WorldBindOptions bind;
+    bind.shard = i;
+    bind.mutations = options_.mutations;
+    bind.deferred = &deferred_;
+    BindWorld(interp.get(), world_, &effects_, bind);
+    shards_.push_back(std::move(interp));
+  }
+}
+
+Status ScriptHost::Load(std::string_view source, std::string_view origin) {
+  GAMEDB_ASSIGN_OR_RETURN(Script parsed, Parse(source, std::string(origin)));
+  auto script = std::make_shared<const Script>(std::move(parsed));
+  // Unload shards [0, n) — a load that failed partway must leave every
+  // interpreter exactly as it was, or the next Load of a corrected script
+  // would hit "function already defined" on the shards that succeeded.
+  auto roll_back = [this](size_t n) {
+    for (size_t i = 0; i < n; ++i) shards_[i]->UnloadLast();
+  };
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // Shard 0 runs static analysis; shards 1+ are configured identically
+    // (same restriction, same builtins), so the verdict carries over.
+    Status st = i == 0 ? shards_[i]->LoadShared(script)
+                       : shards_[i]->LoadSharedPreanalyzed(script);
+    if (!st.ok()) {
+      roll_back(i);  // shard i rolled itself back (LoadShared is
+                     // transactional); undo the shards before it
+      deferred_.Clear();
+      effects_.Clear();
+      return st;
+    }
+  }
+  // Top-level statements ran once per shard; had they mutated the world or
+  // emitted effects, the side effects would now be duplicated shard_count
+  // times. Reject instead of applying garbage.
+  if (deferred_.size() > 0 || effects_.contribution_count() > 0) {
+    roll_back(shards_.size());
+    deferred_.Clear();
+    effects_.Clear();
+    return Status::InvalidArgument(
+        "script top level must not mutate the world or emit effects (it runs "
+        "once per shard); do it from the host or inside the tick function");
+  }
+  return Status::OK();
+}
+
+void ScriptHost::OnChannel(std::string name,
+                           std::function<void(EntityId, double)> apply) {
+  channels_.emplace_back(std::move(name), std::move(apply));
+}
+
+void ScriptHost::SetGlobal(const std::string& name, const Value& v) {
+  for (auto& shard : shards_) shard->SetGlobal(name, v);
+}
+
+std::vector<std::string> ScriptHost::DrainOutput() {
+  std::vector<std::string> out;
+  for (auto& shard : shards_) {
+    for (const std::string& line : shard->output()) out.push_back(line);
+    shard->ClearOutput();
+  }
+  return out;
+}
+
+void ScriptHost::PrewarmStores() {
+  TypeRegistry& reg = TypeRegistry::Global();
+  for (uint32_t id = 0; id < reg.size(); ++id) {
+    world_->StoreById(id);
+  }
+}
+
+Result<ScriptTickStats> ScriptHost::RunTick(
+    const std::string& fn, const std::vector<EntityId>& entities) {
+  if (!shards_[0]->HasFunction(fn)) {
+    return Status::NotFound("no script function '" + fn +
+                            "' loaded in this host");
+  }
+  PrewarmStores();
+  // Pre-create the wired channels so steady-state emits take only the
+  // shared-lock path in ScriptEffects::Channel.
+  for (const auto& [name, apply] : channels_) {
+    effects_.Channel(name);
+  }
+
+  ScriptTickStats stats;
+  stats.entities = entities.size();
+
+  const size_t nshards = shards_.size();
+  std::vector<uint64_t> fuel_before(nshards);
+  for (size_t i = 0; i < nshards; ++i) {
+    fuel_before[i] = shards_[i]->total_fuel_used();
+  }
+  // Per-shard error records, reduced after the join so the reported error
+  // is the earliest in entity order regardless of execution interleaving.
+  constexpr size_t kNone = std::numeric_limits<size_t>::max();
+  std::vector<Status> first_status(nshards, Status::OK());
+  std::vector<size_t> first_index(nshards, kNone);
+  std::vector<size_t> error_count(nshards, 0);
+
+  const uint64_t tick = world_->tick();
+  const uint64_t base_seed = options_.interpreter.rng_seed;
+
+  // --- Query phase (parallel): read-only against tick-start state. -------
+  exec_.pool().ParallelForChunks(
+      entities.size(), [&](size_t chunk, size_t begin, size_t end) {
+        Interpreter& interp = *shards_[chunk];
+        for (size_t i = begin; i < end; ++i) {
+          EntityId e = entities[i];
+          if (!world_->Alive(e)) continue;
+          // Per-entity random() stream: independent of the partition.
+          interp.rng().Seed(PerEntitySeed(base_seed, tick, e));
+          Result<Value> r = interp.Call(fn, {Value(e)});
+          if (!r.ok()) {
+            ++error_count[chunk];
+            if (first_index[chunk] == kNone) {
+              first_index[chunk] = i;
+              first_status[chunk] = r.status();
+            }
+          }
+        }
+      });
+
+  size_t earliest = kNone;
+  for (size_t i = 0; i < nshards; ++i) {
+    stats.script_errors += error_count[i];
+    stats.fuel_used += shards_[i]->total_fuel_used() - fuel_before[i];
+    if (first_index[i] < earliest) {
+      earliest = first_index[i];
+      stats.first_error = first_status[i];
+    }
+  }
+  stats.effect_contributions = effects_.contribution_count();
+  stats.deferred_ops = deferred_.size();
+
+  // --- Apply phase (sequential, deterministic). --------------------------
+  // 1. Effect channels, in registration order.
+  for (const auto& [name, apply] : channels_) {
+    effects_.Drain(name, apply);
+  }
+  stats.dropped_contributions = effects_.contribution_count();
+  effects_.Clear();
+  // 2. Deferred structural ops, in shard order (== entity order).
+  deferred_.Apply(world_, &stats.deferred_skipped);
+
+  return stats;
+}
+
+Result<ScriptTickStats> ScriptHost::RunTickOver(const std::string& fn,
+                                                const std::string& component) {
+  DynamicQuery q(world_);
+  q.With(component);
+  GAMEDB_ASSIGN_OR_RETURN(std::vector<EntityId> entities, q.Collect());
+  return RunTick(fn, entities);
+}
+
+}  // namespace gamedb::script

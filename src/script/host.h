@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file host.h
+/// ScriptHost: executes a GSL behavior over a set of entities as a true
+/// *parallel query phase* — the set-at-a-time script processing the paper's
+/// follow-up work (Sowell et al., "From Declarative Languages to Declarative
+/// Processing in Computer Games") argues scripts written in the state-effect
+/// style admit: scripts "parallelize like joins".
+///
+/// One Interpreter per shard shares a single parsed Script; entities are
+/// partitioned with ThreadPool::ParallelForChunks; each shard runs the
+/// script's per-entity tick function read-only against tick-start state with
+/// writes flowing only through ScriptEffects channels (emit) or DeferredOps
+/// (gated set/add/remove/destroy). A deterministic apply phase then drains
+/// channels in registration order and replays deferred ops in shard order.
+///
+/// Determinism contract: for a fixed entity order, running a tick with 1, 2
+/// or 8 threads produces bit-identical world state. The pieces that make
+/// this hold:
+///   - chunking assigns contiguous ascending entity ranges to ascending
+///     shard ids, so shard-order drains reproduce the single-thread order;
+///   - the script-visible RNG is re-seeded per entity from
+///     (base seed, world tick, entity id), so random() streams do not
+///     depend on which shard an entity landed in;
+///   - mutation builtins never touch the World during the query phase.
+/// Scripts should treat interpreter globals as read-only during a parallel
+/// tick: global writes are per-shard and their final values depend on the
+/// partition (print() output is safe — it is drained in shard order).
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/state_effect.h"
+#include "script/bindings.h"
+#include "script/interpreter.h"
+
+namespace gamedb::script {
+
+/// Configuration for a ScriptHost.
+struct ScriptHostOptions {
+  /// Worker threads for the query phase (also the shard count). 1 gives a
+  /// sequential but still phase-separated (and identically-behaving) host.
+  size_t num_threads = 1;
+  /// Base options for every per-shard interpreter. `rng_seed` acts as the
+  /// base of the per-entity random() streams.
+  InterpreterOptions interpreter;
+  /// What the mutation builtins do during the query phase. kDirect is not
+  /// allowed here — it is exactly the data race the host exists to prevent.
+  MutationPolicy mutations = MutationPolicy::kDefer;
+};
+
+/// Outcome of one scripted parallel tick.
+struct ScriptTickStats {
+  /// Entities offered to the query phase (dead ids are skipped silently).
+  size_t entities = 0;
+  /// tick-function invocations that returned an error. The tick keeps
+  /// running (one bad entity must not wedge the shard); the error for the
+  /// earliest entity in tick order is preserved in `first_error`.
+  size_t script_errors = 0;
+  Status first_error = Status::OK();
+  /// Effect contributions emitted during the query phase, and how many were
+  /// discarded because no apply function was registered for their channel.
+  size_t effect_contributions = 0;
+  size_t dropped_contributions = 0;
+  /// Mutations deferred during the query phase, and how many no longer
+  /// applied at replay time (e.g. set after destroy of the same entity).
+  size_t deferred_ops = 0;
+  size_t deferred_skipped = 0;
+  /// Interpreter fuel burned across all shards this tick.
+  uint64_t fuel_used = 0;
+};
+
+/// Parallel scripted query phase over a World. See file comment.
+///
+/// Typical flow:
+///   ScriptHost host(&world, {.num_threads = 8});
+///   host.OnChannel("damage", [&](EntityId e, double v) { ... });
+///   host.Load(source);
+///   each frame: world.AdvanceTick();
+///               host.RunTickOver("tick", "ScriptRef");
+class ScriptHost {
+ public:
+  explicit ScriptHost(World* world, ScriptHostOptions options = {});
+  GAMEDB_DISALLOW_COPY(ScriptHost);
+
+  /// Parses `source` once and loads the shared Script into every shard
+  /// interpreter. The script's top level must not mutate the world or emit
+  /// effects (it runs once per shard; duplicated side effects would be
+  /// applied shard_count times).
+  Status Load(std::string_view source, std::string_view origin = "<host>");
+
+  /// Registers the apply function for an effect channel. The apply phase
+  /// drains channels in registration order; contributions to channels with
+  /// no registered apply are dropped (and counted per tick).
+  void OnChannel(std::string name, std::function<void(EntityId, double)> apply);
+
+  /// Runs `fn(entity)` for every live entity in `entities` (in order) as a
+  /// parallel query phase, then applies effects and deferred mutations.
+  /// Fails only on host-level problems (unknown function); per-entity
+  /// script errors are reported through the stats.
+  Result<ScriptTickStats> RunTick(const std::string& fn,
+                                  const std::vector<EntityId>& entities);
+
+  /// Convenience: RunTick over all entities carrying the named component
+  /// (deterministic table order).
+  Result<ScriptTickStats> RunTickOver(const std::string& fn,
+                                      const std::string& component);
+
+  /// Sets a global in every shard interpreter (host -> script parameters).
+  void SetGlobal(const std::string& name, const Value& v);
+
+  /// print() lines from all shards in tick order (shard order == entity
+  /// order), clearing the per-shard buffers.
+  std::vector<std::string> DrainOutput();
+
+  size_t shard_count() const { return shards_.size(); }
+  ScriptEffects& effects() { return effects_; }
+  /// Per-shard interpreter access (tests, per-shard globals).
+  Interpreter& interpreter(size_t shard) { return *shards_[shard]; }
+
+ private:
+  /// Ensures every registered component type has a store before the query
+  /// phase: reads through the bindings must not grow World's store map from
+  /// pool threads.
+  void PrewarmStores();
+
+  World* world_;
+  ScriptHostOptions options_;
+  StateEffectExecutor exec_;
+  ScriptEffects effects_;
+  DeferredOps deferred_;
+  std::vector<std::unique_ptr<Interpreter>> shards_;
+  /// (channel name, apply fn) in registration order.
+  std::vector<std::pair<std::string, std::function<void(EntityId, double)>>>
+      channels_;
+};
+
+}  // namespace gamedb::script

@@ -1,5 +1,6 @@
 #include "script/interpreter.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/string_util.h"
@@ -16,18 +17,26 @@ void Interpreter::RegisterBuiltin(const std::string& name, NativeFn fn) {
 }
 
 Status Interpreter::Load(Script script) {
+  return LoadShared(std::make_shared<const Script>(std::move(script)));
+}
+
+Status Interpreter::LoadShared(std::shared_ptr<const Script> script) {
   GAMEDB_RETURN_NOT_OK(Analyze(
-      script, options_.restriction,
+      *script, options_.restriction,
       [this](const std::string& n) { return IsBuiltin(n); }, nullptr));
-  scripts_.push_back(std::move(script));
-  const Script& s = scripts_.back();
+  return LoadSharedPreanalyzed(std::move(script));
+}
+
+Status Interpreter::LoadSharedPreanalyzed(
+    std::shared_ptr<const Script> script) {
+  const Script& s = *script;
   for (const auto& [name, fn] : s.functions) {
     if (functions_.count(name)) {
-      scripts_.pop_back();
       return Status::InvalidArgument("function '" + name +
                                      "' already defined by another script");
     }
   }
+  scripts_.push_back(std::move(script));
   for (const auto& [name, fn] : s.functions) functions_[name] = fn;
   for (const Stmt* h : s.handlers) handlers_[h->name].push_back(h);
 
@@ -37,7 +46,25 @@ Status Interpreter::Load(Script script) {
   Result<Flow> flow = ExecBlock(s.top_level);
   last_fuel_used_ = options_.fuel_per_invocation - fuel_remaining_;
   total_fuel_used_ += last_fuel_used_;
+  if (!flow.ok()) {
+    // Transactional load: leave no half-registered script behind.
+    UnloadLast();
+  }
   return flow.status();
+}
+
+void Interpreter::UnloadLast() {
+  if (scripts_.empty()) return;
+  const Script& s = *scripts_.back();
+  for (const auto& [name, fn] : s.functions) functions_.erase(name);
+  for (const Stmt* h : s.handlers) {
+    auto it = handlers_.find(h->name);
+    if (it == handlers_.end()) continue;
+    auto& v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), h), v.end());
+    if (v.empty()) handlers_.erase(it);
+  }
+  scripts_.pop_back();
 }
 
 bool Interpreter::HasFunction(const std::string& fn) const {
@@ -59,7 +86,9 @@ Result<Value> Interpreter::Call(const std::string& fn,
 }
 
 Status Interpreter::FireEvent(const std::string& event,
-                              const std::vector<Value>& args) {
+                              const std::vector<Value>& args,
+                              size_t* completed) {
+  if (completed != nullptr) *completed = 0;
   auto it = handlers_.find(event);
   if (it == handlers_.end()) return Status::OK();
   for (const Stmt* h : it->second) {
@@ -69,6 +98,7 @@ Status Interpreter::FireEvent(const std::string& event,
     last_fuel_used_ = options_.fuel_per_invocation - fuel_remaining_;
     total_fuel_used_ += last_fuel_used_;
     if (!r.ok()) return r.status();
+    if (completed != nullptr) ++*completed;
   }
   return Status::OK();
 }

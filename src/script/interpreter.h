@@ -69,13 +69,40 @@ class Interpreter {
   /// callable.
   Status Load(Script script);
 
+  /// Like Load, but shares an already-parsed script. The AST is immutable
+  /// during execution, so a ScriptHost parses a behavior once and loads the
+  /// same Script into every per-shard interpreter (each still runs its own
+  /// copy of the top-level statements to populate its globals).
+  ///
+  /// Loading is transactional: if the top-level statements error, the
+  /// script's functions and handlers are unregistered again, so a corrected
+  /// script can be re-loaded without "already defined" failures. (Globals a
+  /// partially-run top level already set do persist.)
+  Status LoadShared(std::shared_ptr<const Script> script);
+
+  /// Like LoadShared but skips static analysis. Only for hosts loading one
+  /// shared script into many interpreters whose restriction level and
+  /// builtin set are identical to an interpreter that already analyzed it
+  /// (analysis depends on nothing else); the ScriptHost analyzes on shard 0
+  /// and reuses the verdict for shards 1..N-1.
+  Status LoadSharedPreanalyzed(std::shared_ptr<const Script> script);
+
+  /// Unregisters the most recently loaded script's functions and handlers
+  /// (globals persist). No-op when nothing is loaded. Lets hosts roll back
+  /// a multi-interpreter load that failed partway, and enables hot-reload.
+  void UnloadLast();
+
   /// Calls a script function by name.
   Result<Value> Call(const std::string& fn, std::vector<Value> args);
   bool HasFunction(const std::string& fn) const;
 
   /// Dispatches an event to every loaded `on <event>(...)` handler, in load
-  /// order. Each handler gets a fresh fuel budget. Returns the first error.
-  Status FireEvent(const std::string& event, const std::vector<Value>& args);
+  /// order. Each handler gets a fresh fuel budget. Stops at and returns the
+  /// first error. When `completed` is non-null it receives the number of
+  /// handler invocations that ran to completion (the erroring handler and
+  /// any handlers after it are not counted).
+  Status FireEvent(const std::string& event, const std::vector<Value>& args,
+                   size_t* completed = nullptr);
   /// Number of handlers registered for an event.
   size_t HandlerCount(const std::string& event) const;
 
@@ -119,7 +146,7 @@ class Interpreter {
   void DeclareVar(const std::string& name, Value v);
 
   InterpreterOptions options_;
-  std::vector<Script> scripts_;
+  std::vector<std::shared_ptr<const Script>> scripts_;
   std::unordered_map<std::string, const Stmt*> functions_;
   std::unordered_map<std::string, std::vector<const Stmt*>> handlers_;
   std::unordered_map<std::string, NativeFn> builtins_;

@@ -30,8 +30,12 @@ Status TriggerSystem::Pump() {
     Pending p = std::move(queue_.front());
     queue_.pop_front();
     current_depth_ = p.depth + 1;  // children of this event run one deeper
-    Status st = interp_->FireEvent(p.event, p.args);
-    stats_.handled += interp_->HandlerCount(p.event);
+    size_t completed = 0;
+    Status st = interp_->FireEvent(p.event, p.args, &completed);
+    // Count only invocations that actually completed: when a handler errors,
+    // FireEvent stops, so crediting HandlerCount() here would overcount
+    // (the header promises "handler invocations completed").
+    stats_.handled += completed;
     if (!st.ok()) {
       ++stats_.errors;
       if (first_error.ok()) first_error = st;

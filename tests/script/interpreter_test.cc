@@ -20,6 +20,49 @@ std::unique_ptr<Interpreter> Boot(std::string_view src,
   return interp;
 }
 
+// Load is transactional: a script whose top level errors at runtime leaves
+// no functions or handlers registered, so a corrected script reusing the
+// names loads cleanly afterwards.
+TEST(InterpreterTest, FailedTopLevelRollsBackFunctionsAndHandlers) {
+  Interpreter in;
+  RegisterCoreBuiltins(&in);
+  auto broken = Parse(
+      "fn f() { return 1 }\n"
+      "on ping() { }\n"
+      "let boom = 1 / 0");
+  ASSERT_TRUE(broken.ok());
+  EXPECT_FALSE(in.Load(std::move(*broken)).ok());
+  EXPECT_FALSE(in.HasFunction("f"));
+  EXPECT_EQ(in.HandlerCount("ping"), 0u);
+
+  auto fixed = Parse("fn f() { return 2 }\non ping() { }");
+  ASSERT_TRUE(fixed.ok());
+  ASSERT_TRUE(in.Load(std::move(*fixed)).ok());
+  auto r = in.Call("f", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->AsNumber(), 2.0);
+  EXPECT_EQ(in.HandlerCount("ping"), 1u);
+}
+
+// UnloadLast removes the newest script's functions/handlers but keeps
+// earlier scripts' registrations (and all globals).
+TEST(InterpreterTest, UnloadLastRemovesOnlyNewestScript) {
+  Interpreter in;
+  RegisterCoreBuiltins(&in);
+  auto first = Parse("fn keep() { return 1 }");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(in.Load(std::move(*first)).ok());
+  auto second = Parse("let g = 7\nfn drop_me() { return 2 }\non hit() { }");
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(in.Load(std::move(*second)).ok());
+
+  in.UnloadLast();
+  EXPECT_TRUE(in.HasFunction("keep"));
+  EXPECT_FALSE(in.HasFunction("drop_me"));
+  EXPECT_EQ(in.HandlerCount("hit"), 0u);
+  EXPECT_DOUBLE_EQ(in.GetGlobal("g")->AsNumber(), 7.0);  // globals persist
+}
+
 TEST(InterpreterTest, ArithmeticAndGlobals) {
   auto in = Boot("let x = 2 + 3 * 4\nlet y = (2 + 3) * 4\nlet z = 10 / 4");
   EXPECT_DOUBLE_EQ(in->GetGlobal("x")->AsNumber(), 14.0);

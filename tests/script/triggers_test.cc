@@ -106,6 +106,24 @@ TEST_F(TriggersTest, HandlerErrorsReportedButPumpContinues) {
   EXPECT_DOUBLE_EQ(interp.GetGlobal("ran")->AsNumber(), 1.0);
 }
 
+// Regression: `handled` used to credit HandlerCount(event) even when
+// FireEvent stopped at a failing handler, overcounting on error. With three
+// handlers and the second erroring, exactly one invocation completed.
+TEST_F(TriggersTest, HandledCountsOnlyCompletedInvocationsOnError) {
+  Load("let ran = 0\n"
+       "on hit() { ran = ran + 1 }\n"
+       "on hit() { let x = 1 / 0 }\n"
+       "on hit() { ran = ran + 100 }");
+  TriggerSystem triggers(&interp);
+  triggers.Fire("hit", {});
+  Status st = triggers.Pump();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(triggers.stats().errors, 1u);
+  EXPECT_EQ(triggers.stats().handled, 1u);  // first handler only
+  // The third handler never ran (FireEvent stops at the first error).
+  EXPECT_DOUBLE_EQ(interp.GetGlobal("ran")->AsNumber(), 1.0);
+}
+
 TEST_F(TriggersTest, HandlerArgsArePassed) {
   Load("let total = 0\n"
        "on pay(who, amount) { total = total + amount }");
