@@ -11,6 +11,14 @@
 // and comparing serialized world state bit for bit.
 //
 //   ./build/examples/scripted_world --threads 8 [--wolves 2000] [--ticks 50]
+//
+// With `--explain` the classic hunt runs with the cost-based query planner
+// attached: before the hunt it prints the statistics snapshot and the
+// EXPLAIN output of the queries the designer script executes every tick,
+// and after the hunt the plan-cache hit rate (per-tick replanning is a
+// hash lookup).
+//
+//   ./build/examples/scripted_world --explain
 
 #include <algorithm>
 #include <chrono>
@@ -23,6 +31,7 @@
 #include "content/data_table.h"
 #include "content/prefab.h"
 #include "core/serialize.h"
+#include "planner/planner.h"
 #include "script/bindings.h"
 #include "script/builtins.h"
 #include "script/host.h"
@@ -190,6 +199,7 @@ int main(int argc, char** argv) {
   size_t threads = 0;  // 0 = classic single-threaded hunt demo
   size_t wolves = 2000;
   size_t ticks = 50;
+  bool explain = false;
   for (int i = 1; i < argc; ++i) {
     auto number_after = [&](const char* flag) -> size_t {
       if (i + 1 >= argc) {
@@ -213,9 +223,12 @@ int main(int argc, char** argv) {
       wolves = number_after("--wolves");
     } else if (std::strcmp(argv[i], "--ticks") == 0) {
       ticks = number_after("--ticks");
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
     } else {
-      std::printf("usage: %s [--threads N] [--wolves M] [--ticks K]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--threads N] [--wolves M] [--ticks K] [--explain]\n",
+          argv[0]);
       return 2;
     }
   }
@@ -242,14 +255,38 @@ int main(int argc, char** argv) {
   std::printf("spawned %zu entities from prefabs (%zu templates)\n",
               world.AliveCount(), prefabs->size());
 
-  // Boot the interpreter with ECS bindings + triggers.
+  // Boot the interpreter with ECS bindings + triggers — and, under
+  // --explain, the cost-based planner behind every query builtin.
+  planner::QueryPlanner query_planner(&world);
   script::InterpreterOptions opts;
   opts.restriction = script::Restriction::kNoRecursion;
   script::Interpreter interp(opts);
   script::RegisterCoreBuiltins(&interp);
-  script::BindWorld(&interp, &world, nullptr);
+  script::WorldBindOptions bind;
+  if (explain) bind.planner = &query_planner;
+  script::BindWorld(&interp, &world, nullptr, bind);
   script::TriggerSystem triggers(&interp);
   triggers.InstallFireBuiltin();
+
+  if (explain) {
+    query_planner.Analyze();
+    std::printf("%s", query_planner.stats().ToString().c_str());
+    // The queries the hunt script runs every tick, as the planner sees
+    // them: argmin("Health","hp") and the kill handler's count("Health").
+    DynamicQuery weakest(&world);
+    weakest.SetPlanner(&query_planner).With("Health");
+    std::printf("argmin(\"Health\", \"hp\") -> %s",
+                weakest.Explain()->c_str());
+    DynamicQuery wounded(&world);
+    wounded.SetPlanner(&query_planner)
+        .WhereField("Health", "hp", CmpOp::kLt, 50.0);
+    std::printf("where(\"Health\", \"hp\", \"<\", 50) -> %s",
+                wounded.Explain()->c_str());
+    DynamicQuery nearby(&world);
+    nearby.SetPlanner(&query_planner)
+        .WithinRadius("Position", "value", Vec3(0, 0, 0), 10.0f);
+    std::printf("within(vec3(0,0,0), 10) -> %s", nearby.Explain()->c_str());
+  }
 
   auto parsed = script::Parse(kScript, "hunt.gsl");
   if (!parsed.ok()) {
@@ -267,6 +304,9 @@ int main(int argc, char** argv) {
   int kills = 0;
   for (int tick = 0; tick < 100 && world.AliveCount() > 1; ++tick) {
     world.AdvanceTick();
+    // Sequential point: refresh stats once the kills drift table sizes
+    // past the threshold (this is what invalidates cached plans).
+    if (explain) query_planner.MaybeRefreshStats();
     auto alive = interp.Call("hunt_tick", {Value(hunter)});
     if (!alive.ok()) {
       std::printf("script error: %s\n", alive.status().ToString().c_str());
@@ -287,5 +327,13 @@ int main(int argc, char** argv) {
   std::printf("hunt over: %d wolves slain across %llu ticks, fuel used %llu\n",
               kills, static_cast<unsigned long long>(world.tick()),
               static_cast<unsigned long long>(interp.total_fuel_used()));
+  if (explain) {
+    std::printf(
+        "planner: %llu plans built, %llu cache hits (replanning per tick "
+        "is a hash lookup), %llu stats refreshes\n",
+        static_cast<unsigned long long>(query_planner.plan_cache_misses()),
+        static_cast<unsigned long long>(query_planner.plan_cache_hits()),
+        static_cast<unsigned long long>(query_planner.stats_refreshes()));
+  }
   return kills == 6 ? 0 : 1;
 }

@@ -22,9 +22,7 @@ const char* CmpOpName(CmpOp op) {
   return "?";
 }
 
-namespace {
-
-bool NumericOf(const FieldValue& v, double* out) {
+bool FieldValueAsNumber(const FieldValue& v, double* out) {
   if (const double* d = std::get_if<double>(&v)) {
     *out = *d;
     return true;
@@ -39,6 +37,8 @@ bool NumericOf(const FieldValue& v, double* out) {
   }
   return false;
 }
+
+namespace {
 
 template <typename T>
 bool ApplyOrdered(const T& a, CmpOp op, const T& b) {
@@ -64,7 +64,7 @@ bool ApplyOrdered(const T& a, CmpOp op, const T& b) {
 bool CompareFieldValues(const FieldValue& lhs, CmpOp op,
                         const FieldValue& rhs) {
   double a, b;
-  if (NumericOf(lhs, &a) && NumericOf(rhs, &b)) {
+  if (FieldValueAsNumber(lhs, &a) && FieldValueAsNumber(rhs, &b)) {
     return ApplyOrdered(a, op, b);
   }
   if (const auto* ls = std::get_if<std::string>(&lhs)) {
@@ -165,23 +165,71 @@ bool DynamicQuery::Matches(EntityId e) const {
   return true;
 }
 
+const ComponentStore* DynamicQuery::CanonicalDriver() const {
+  const ComponentStore* driver = nullptr;
+  for (uint32_t id : required_) {
+    const ComponentStore* store = world_->StoreByIdIfExists(id);
+    if (store == nullptr) return nullptr;  // missing table -> no matches
+    if (driver == nullptr || store->Size() < driver->Size()) driver = store;
+  }
+  return driver;
+}
+
 Status DynamicQuery::Each(const std::function<void(EntityId)>& fn) {
   if (!error_.ok()) return error_;
   if (required_.empty()) {
     return Status::InvalidArgument("query has no component constraint");
   }
-  // Drive from the smallest required table.
-  const ComponentStore* driver = nullptr;
-  for (uint32_t id : required_) {
-    const ComponentStore* store = world_->StoreByIdIfExists(id);
-    if (store == nullptr) return Status::OK();  // empty table -> no matches
-    if (driver == nullptr || store->Size() < driver->Size()) driver = store;
+  if (planner_ != nullptr && planner_->PlanningEnabled()) {
+    return planner_->Execute(*this, fn);
   }
+  return EachUnplanned(fn);
+}
+
+Status DynamicQuery::EachUnplanned(const std::function<void(EntityId)>& fn) {
+  // Drive from the smallest required table.
+  const ComponentStore* driver = CanonicalDriver();
+  if (driver == nullptr) return Status::OK();
   for (size_t i = 0; i < driver->Size(); ++i) {
     EntityId e = driver->EntityAt(i);
     if (world_->Alive(e) && Matches(e)) fn(e);
   }
   return Status::OK();
+}
+
+Result<std::string> DynamicQuery::Explain() {
+  if (!error_.ok()) return error_;
+  if (required_.empty()) {
+    return Status::InvalidArgument("query has no component constraint");
+  }
+  if (planner_ != nullptr) return planner_->ExplainQuery(*this);
+  // No planner: describe the built-in path (no estimates available).
+  const TypeRegistry& reg = TypeRegistry::Global();
+  std::string out = "plan (no planner attached):\n";
+  const ComponentStore* driver = CanonicalDriver();
+  if (driver == nullptr) {
+    out += "  empty: a required component table does not exist\n";
+    return out;
+  }
+  for (uint32_t id : required_) {
+    if (world_->StoreByIdIfExists(id) == driver) {
+      const TypeInfo* info = reg.Find(id);
+      out += "  access: full_scan of " + info->name() + " (" +
+             std::to_string(driver->Size()) + " rows)\n";
+      break;
+    }
+  }
+  for (const Predicate& p : predicates_) {
+    out += "  filter: " + reg.Find(p.type_id)->name() + "." +
+           p.field->name() + " " + CmpOpName(p.op) + " " +
+           FieldValueToString(p.rhs) + "\n";
+  }
+  for (const RadiusPredicate& rp : radius_predicates_) {
+    out += "  filter: distance(" + reg.Find(rp.type_id)->name() + "." +
+           rp.field->name() + ", " + rp.center.ToString() +
+           ") <= " + std::to_string(rp.radius) + " (linear)\n";
+  }
+  return out;
 }
 
 Result<int64_t> DynamicQuery::Count() {
@@ -234,7 +282,7 @@ struct NumericFold {
       const ComponentStore* store = world_->StoreByIdIfExists(type_id); \
       FieldValue v = f->Get(store->Find(e));                            \
       double num = 0.0;                                                 \
-      if (NumericOf(v, &num)) (fold).Add(e, num);                       \
+      if (FieldValueAsNumber(v, &num)) (fold).Add(e, num);              \
     });                                                                 \
     if (!st.ok()) return st;                                            \
   } while (0)

@@ -93,6 +93,38 @@ enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
 
 const char* CmpOpName(CmpOp op);
 
+class DynamicQuery;
+
+/// Execution hook a query optimizer implements (planner/planner.h). The
+/// dependency is inverted — core/ cannot depend on planner/ — so DynamicQuery
+/// talks to the planner through this interface. Contract for Execute: call
+/// `fn` exactly for the entities the unplanned path would visit, in the same
+/// order (the dense order of the smallest required table), so plans change
+/// cost but never results.
+class QueryPlanHook {
+ public:
+  virtual ~QueryPlanHook() = default;
+
+  /// False parks the hook (PlannerPolicy::kOff): DynamicQuery uses its
+  /// built-in path, keeping the old behaviour testable with the hook wired.
+  virtual bool PlanningEnabled() const { return true; }
+
+  /// Plans and executes `q`, invoking `fn` per matching entity.
+  virtual Status Execute(const DynamicQuery& q,
+                         const std::function<void(EntityId)>& fn) = 0;
+
+  /// Renders the plan that Execute would choose, with cardinality and cost
+  /// estimates, as human-readable text.
+  virtual Result<std::string> ExplainQuery(const DynamicQuery& q) = 0;
+
+  /// Called from a sequential point before a batch of (possibly
+  /// concurrent) queries — ScriptHost::RunTick invokes it before the
+  /// parallel query phase. Implementations refresh statistics and caches
+  /// here; Execute must then be safe to call concurrently until the next
+  /// sequential point.
+  virtual void OnQuiescent() {}
+};
+
 /// Runtime-typed declarative query: components and fields addressed by name.
 ///
 /// Example (what a designer's script compiles to):
@@ -102,7 +134,32 @@ const char* CmpOpName(CmpOp op);
 ///   Result<double> total = q.Sum("Health", "hp");
 class DynamicQuery {
  public:
+  /// One field comparison constraint (component.field op rhs).
+  struct Predicate {
+    uint32_t type_id;
+    const FieldInfo* field;
+    CmpOp op;
+    FieldValue rhs;
+  };
+  /// One proximity constraint (distance(component.field, center) <= radius).
+  struct RadiusPredicate {
+    uint32_t type_id;
+    const FieldInfo* field;
+    Vec3 center;
+    float radius;
+  };
+
   explicit DynamicQuery(World* world) : world_(world) {}
+
+  /// Attaches (or detaches, with nullptr) a query planner. With a planner
+  /// attached and enabled, Each/terminals execute through the planner's
+  /// chosen physical plan instead of the built-in
+  /// smallest-table-scan-plus-filters path. Results are identical either
+  /// way; only the access path changes.
+  DynamicQuery& SetPlanner(QueryPlanHook* planner) {
+    planner_ = planner;
+    return *this;
+  }
 
   /// Requires entities to carry the named component. Unknown names put the
   /// query in an error state surfaced by the terminal call.
@@ -141,27 +198,37 @@ class DynamicQuery {
   Result<EntityId> ArgMin(std::string_view component, std::string_view field);
   Result<EntityId> ArgMax(std::string_view component, std::string_view field);
 
- private:
-  struct Predicate {
-    uint32_t type_id;
-    const FieldInfo* field;
-    CmpOp op;
-    FieldValue rhs;
-  };
-  struct RadiusPredicate {
-    uint32_t type_id;
-    const FieldInfo* field;
-    Vec3 center;
-    float radius;
-  };
+  /// Renders the physical plan the next terminal would execute. With a
+  /// planner attached this is the cost-based plan with cardinality
+  /// estimates; without one it describes the built-in path.
+  Result<std::string> Explain();
 
+  // --- Read access for the planner (QueryPlanHook implementations) -------
+
+  World* world() const { return world_; }
+  const std::vector<uint32_t>& required() const { return required_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  const std::vector<RadiusPredicate>& radius_predicates() const {
+    return radius_predicates_;
+  }
+
+  /// The store the built-in path drives from: smallest required table,
+  /// earliest in required() on ties. nullptr when any required table is
+  /// missing (no matches possible). Planned execution emits matches in this
+  /// store's dense order so plans never change result order.
+  const ComponentStore* CanonicalDriver() const;
+
+ private:
   /// Resolves a component name; records error state on failure.
   const TypeInfo* ResolveComponent(std::string_view name);
   const FieldInfo* ResolveField(std::string_view component,
                                 std::string_view field, uint32_t* type_id);
   bool Matches(EntityId e) const;
+  /// The built-in access path: scan CanonicalDriver, filter everything.
+  Status EachUnplanned(const std::function<void(EntityId)>& fn);
 
   World* world_;
+  QueryPlanHook* planner_ = nullptr;
   Status error_ = Status::OK();
   std::vector<uint32_t> required_;  // type ids
   std::vector<Predicate> predicates_;
@@ -172,5 +239,11 @@ class DynamicQuery {
 /// (numeric kinds compare numerically; strings lexicographically; entities
 /// by raw id; mismatched kinds are never equal and are unordered).
 bool CompareFieldValues(const FieldValue& lhs, CmpOp op, const FieldValue& rhs);
+
+/// Widens a numeric FieldValue (double/int64/bool) to double — the exact
+/// numeric-comparison domain CompareFieldValues uses, so index keys built
+/// through this helper reproduce predicate semantics bit for bit. Returns
+/// false for non-numeric kinds.
+bool FieldValueAsNumber(const FieldValue& v, double* out);
 
 }  // namespace gamedb

@@ -33,6 +33,11 @@ class ComponentStore {
   virtual bool Erase(EntityId e) = 0;
   /// Entity at dense position `i` (i < Size()).
   virtual EntityId EntityAt(size_t i) const = 0;
+  /// Dense position of `e`'s row, or npos when absent. The inverse of
+  /// EntityAt; planned query execution uses it to restore the table's scan
+  /// order after an index delivered matches in index order.
+  static constexpr size_t kNoDenseIndex = std::numeric_limits<size_t>::max();
+  virtual size_t DenseIndexOf(EntityId e) const = 0;
   /// Raw pointer to the component at dense position `i`.
   virtual void* ValueAt(size_t i) = 0;
   virtual const void* ValueAt(size_t i) const = 0;
@@ -156,6 +161,11 @@ class SparseSet final : public ComponentStore {
 
   size_t Size() const override { return dense_entities_.size(); }
   EntityId EntityAt(size_t i) const override { return dense_entities_[i]; }
+  size_t DenseIndexOf(EntityId e) const override {
+    uint32_t pos = SparsePos(e);
+    if (pos == kNpos || !(dense_entities_[pos] == e)) return kNoDenseIndex;
+    return pos;
+  }
   void* ValueAt(size_t i) override { return &dense_values_[i]; }
   const void* ValueAt(size_t i) const override { return &dense_values_[i]; }
   void* Find(EntityId e) override {

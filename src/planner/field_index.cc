@@ -1,0 +1,54 @@
+#include "planner/field_index.h"
+
+#include <cmath>
+#include <mutex>
+
+#include "core/query.h"
+
+namespace gamedb::planner {
+
+const FieldIndex* FieldIndexCache::Get(uint32_t type_id,
+                                       const FieldInfo* field,
+                                       const ComponentStore* store) {
+  const uint64_t version = store->last_version();
+  const IndexCacheKey key{type_id, field};
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end() && it->second->built_version == version) {
+      return it->second.get();
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = cache_[key];
+  if (slot != nullptr && slot->built_version == version) {
+    return slot.get();  // another thread built it while we waited
+  }
+  auto index = std::make_unique<FieldIndex>();
+  index->built_version = version;
+  index->entries.reserve(store->Size());
+  for (size_t i = 0; i < store->Size(); ++i) {
+    double v = 0.0;
+    if (!FieldValueAsNumber(field->Get(store->ValueAt(i)), &v)) continue;
+    if (std::isnan(v)) {
+      index->has_nan = true;
+      continue;
+    }
+    index->entries.emplace_back(v, store->EntityAt(i));
+  }
+  std::sort(index->entries.begin(), index->entries.end(),
+            [](const std::pair<double, EntityId>& a,
+               const std::pair<double, EntityId>& b) {
+              return a.first < b.first;
+            });
+  ++builds_;
+  slot = std::move(index);
+  return slot.get();
+}
+
+void FieldIndexCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace gamedb::planner

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file field_index.h
+/// Sorted projection indexes over numeric component fields, built on demand
+/// by the planner when a predicate is selective enough to beat a full scan.
+/// An index is valid for exactly one table version (SparseSet bumps
+/// last_version on every mutation), so correctness never depends on the
+/// planner's staleness heuristics: a mutated table simply rebuilds on next
+/// use. The payoff is the common game shape — a frozen world during a
+/// scripted query phase, where thousands of per-entity queries share one
+/// build (CostConstants::assumed_index_reuse).
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/reflect.h"
+#include "core/world.h"
+
+namespace gamedb::planner {
+
+/// One immutable sorted projection: (numeric key, entity) pairs ascending
+/// by key. NaN-keyed rows poison the index (has_nan) — ordered predicates
+/// on NaN don't follow sort order, so the planner falls back to a scan.
+struct FieldIndex {
+  uint64_t built_version = 0;
+  bool has_nan = false;
+  std::vector<std::pair<double, EntityId>> entries;
+
+  /// Calls `fn(EntityId)` for entries with key in [lo, hi] (inclusive).
+  template <typename Fn>
+  void ForEachInRange(double lo, double hi, Fn&& fn) const {
+    auto cmp = [](const std::pair<double, EntityId>& a, double b) {
+      return a.first < b;
+    };
+    auto it = std::lower_bound(entries.begin(), entries.end(), lo, cmp);
+    for (; it != entries.end() && it->first <= hi; ++it) fn(it->second);
+  }
+};
+
+/// Cache key shared by the planner's per-(table, field) index caches
+/// (FieldIndexCache here, the spatial KD-tree cache in planner.cc).
+struct IndexCacheKey {
+  uint32_t type_id;
+  const FieldInfo* field;
+  bool operator==(const IndexCacheKey& o) const {
+    return type_id == o.type_id && field == o.field;
+  }
+};
+struct IndexCacheKeyHash {
+  size_t operator()(const IndexCacheKey& k) const {
+    return std::hash<const void*>()(k.field) ^
+           (static_cast<size_t>(k.type_id) * 0x9E3779B97F4A7C15ull);
+  }
+};
+
+/// Thread-safe cache of FieldIndexes keyed by (type id, field). Concurrent
+/// Get calls are safe (shared lock on the fast path; one builder under the
+/// exclusive lock when the table version moved). Returned pointers stay
+/// valid until the entry is rebuilt for a newer version — callers must not
+/// hold them across world mutations.
+class FieldIndexCache {
+ public:
+  /// Returns the up-to-date index for (store, field), building it if the
+  /// cached one is missing or stale. `store` must be the table for
+  /// `type_id`.
+  const FieldIndex* Get(uint32_t type_id, const FieldInfo* field,
+                        const ComponentStore* store);
+
+  /// Total index builds (diagnostics; amortization visibility in tests).
+  uint64_t builds() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return builds_;
+  }
+
+  void Clear();
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<IndexCacheKey, std::unique_ptr<FieldIndex>,
+                     IndexCacheKeyHash>
+      cache_;
+  uint64_t builds_ = 0;
+};
+
+}  // namespace gamedb::planner

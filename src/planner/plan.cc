@@ -1,0 +1,103 @@
+#include "planner/plan.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gamedb::planner {
+
+namespace {
+
+std::string TypeName(uint32_t type_id) {
+  const TypeInfo* info = TypeRegistry::Global().Find(type_id);
+  return info != nullptr ? info->name() : std::to_string(type_id);
+}
+
+std::string Num(double v) {
+  char buf[32];
+  // Range-check before the integer cast: casting non-finite or >= 2^63
+  // values to long long is undefined behavior.
+  if (std::isfinite(v) && std::fabs(v) < 1e15 && v == std::floor(v)) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  }
+  return buf;
+}
+
+std::string PredicateText(const DynamicQuery::Predicate& p) {
+  return TypeName(p.type_id) + "." + p.field->name() + " " +
+         CmpOpName(p.op) + " " + FieldValueToString(p.rhs);
+}
+
+std::string RadiusText(const DynamicQuery::RadiusPredicate& rp) {
+  return "distance(" + TypeName(rp.type_id) + "." + rp.field->name() +
+         ", center) <= " + Num(rp.radius);
+}
+
+}  // namespace
+
+const char* AccessPathName(AccessPath path) {
+  switch (path) {
+    case AccessPath::kFullScan:
+      return "full_scan";
+    case AccessPath::kFieldIndex:
+      return "field_index";
+    case AccessPath::kSpatialIndex:
+      return "spatial_index";
+  }
+  return "?";
+}
+
+std::string QueryPlan::ToString(const DynamicQuery& q) const {
+  std::string out = "plan (stats epoch " + std::to_string(stats_epoch) +
+                    ", est. cost " + Num(est_cost) + "):\n";
+  switch (access) {
+    case AccessPath::kFullScan:
+      out += "  access: full_scan of " + TypeName(driver_type) + " (est. " +
+             Num(est_driver_rows) + " rows)\n";
+      break;
+    case AccessPath::kFieldIndex: {
+      const auto& p = q.predicates()[static_cast<size_t>(index_predicate)];
+      out += "  access: field_index on " + PredicateText(p) + " (est. " +
+             Num(est_driver_rows) + " of " +
+             Num(q.world()->StoreByIdIfExists(p.type_id) != nullptr
+                     ? static_cast<double>(
+                           q.world()->StoreByIdIfExists(p.type_id)->Size())
+                     : 0.0) +
+             " rows)\n";
+      break;
+    }
+    case AccessPath::kSpatialIndex: {
+      const auto& rp =
+          q.radius_predicates()[static_cast<size_t>(radius_predicate)];
+      out += "  access: spatial_index probe for " + RadiusText(rp) +
+             " (est. " + Num(est_driver_rows) + " candidates)\n";
+      break;
+    }
+  }
+  for (uint32_t id : probe_order) {
+    out += "  probe: " + TypeName(id) + "\n";
+  }
+  for (int pi : predicate_order) {
+    out += "  filter: " +
+           PredicateText(q.predicates()[static_cast<size_t>(pi)]) + "\n";
+  }
+  for (size_t i = 0; i < q.radius_predicates().size(); ++i) {
+    if (static_cast<int>(i) == radius_predicate) continue;
+    out += "  filter: " + RadiusText(q.radius_predicates()[i]) +
+           " (linear)\n";
+  }
+  out += "  output: est. " + Num(est_output_rows) + " rows\n";
+  return out;
+}
+
+std::string PairJoinPlan::ToString() const {
+  std::string out = "pair_join: ";
+  out += spatial::PairAlgoName(algo);
+  out += " (n=" + std::to_string(n) + ", est. neighbors=" +
+         Num(est_neighbors) + ", est. cost nested=" + Num(est_cost_nested) +
+         " grid=" + Num(est_cost_grid) + " tree=" + Num(est_cost_tree) + ")";
+  return out;
+}
+
+}  // namespace gamedb::planner

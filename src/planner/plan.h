@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file plan.h
+/// Physical plan representation for declarative game queries, plus the cost
+/// constants the planner prices plans with. A QueryPlan is what the
+/// cost-based planner (planner.h) emits for a DynamicQuery; a PairJoinPlan
+/// is the analogous choice among the proximity self-join algorithms
+/// (spatial/pair_join.h). Both render themselves as EXPLAIN text.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "spatial/pair_join.h"
+
+namespace gamedb::planner {
+
+/// Master switch call sites thread the planner behind: kOff keeps the
+/// hard-coded access paths (smallest-table scan + linear filters) fully
+/// exercisable; kOn routes execution through the cost-based plan.
+enum class PlannerPolicy : uint8_t { kOff, kOn };
+
+/// How the driver rows of a DynamicQuery plan are enumerated.
+enum class AccessPath : uint8_t {
+  /// Dense scan of the driver table, all predicates as filters.
+  kFullScan,
+  /// Range scan of a sorted per-(table,field) projection index serving one
+  /// field predicate; surviving candidates are filtered and re-sorted into
+  /// canonical table order.
+  kFieldIndex,
+  /// Probe of a spatial index (KD-BSP tree) serving one radius predicate.
+  kSpatialIndex,
+};
+
+const char* AccessPathName(AccessPath path);
+
+/// Cost constants. Units are arbitrary but calibrated: within the query
+/// constants one unit ≈ one seventh of a reflective row visit, within the
+/// pair-join constants one unit ≈ one distance check (the two families
+/// never cross-compare). Values were fit to the e13 sweep measured on the
+/// dev container, which itself reproduces the e01/e02 shapes:
+///   - a full-scan row costs scan_row + predicate ≈ 28ns (e01
+///     BM_RescanAggregate's reflective loop),
+///   - index candidates are cheap until the result sort + out-of-cache
+///     lookups kick in at scale — index_sort carries that superlinear term
+///     (the e13 50%-selectivity flip between n=1k and n=16k),
+///   - GridPairs' cost is dominated by per-occupied-cell neighbor hash
+///     lookups, not distance checks (e13 sparse grids cost more than
+///     dense ones at equal n; see PlanPairJoin).
+struct CostConstants {
+  double scan_row = 1.0;        ///< visit one dense driver row (+alive check)
+  double predicate = 3.0;       ///< evaluate one reflective field predicate
+  double probe_table = 1.0;     ///< one membership probe of a required table
+  double radius_filter = 4.0;   ///< one linear distance filter evaluation
+  double index_build_row = 6.0;   ///< sort one row into a field index
+  double index_candidate = 1.0;   ///< emit one index candidate
+  /// Per candidate × log2(candidates): the canonical re-sort of the result
+  /// buffer plus out-of-cache dense-position lookups. This term is what
+  /// hands high-selectivity queries back to the full scan at large n.
+  double index_sort = 0.28;
+  /// Per-query fixed overhead of the field-index path: cache lookup,
+  /// binary search, result-buffer setup. This is what keeps tiny tables on
+  /// the full scan.
+  double index_seek = 200.0;
+  double spatial_build_row = 14.0;  ///< insert one row into the KD tree
+  /// Per-query fixed overhead of a spatial probe (cache lookup, tree
+  /// descent, result-buffer setup).
+  double spatial_probe = 250.0;
+  double spatial_candidate = 6.0;   ///< visit one probe candidate
+  /// Index/spatial build costs amortize over this many queries: caches are
+  /// keyed by table version, and between mutations (e.g. within one
+  /// scripted query phase, where every entity queries) this many reuses is
+  /// conservative.
+  double assumed_index_reuse = 16.0;
+  // --- pair-join constants (see PairJoinPlan) ---------------------------
+  double pair_distance = 1.0;     ///< one distance check
+  double pair_grid_insert = 110.0;  ///< hash one point into the grid
+  /// One neighbor-cell hash lookup; GridPairs pays 13 per occupied cell,
+  /// which dominates sparse workloads (many cells, few candidates).
+  double pair_grid_cell_lookup = 11.0;
+  double pair_grid_overhead = 3000.0;  ///< fixed: grid hash-map setup
+  double pair_tree_build_row = 20.0;  ///< insert one point into the KD tree
+  double pair_tree_probe = 300.0;     ///< per-point probe overhead
+  double pair_tree_candidate = 35.0;  ///< per candidate visited in a probe
+  double pair_tree_overhead = 600.0;  ///< fixed: tree build + id-map setup
+};
+
+/// Physical plan for one DynamicQuery shape.
+struct QueryPlan {
+  AccessPath access = AccessPath::kFullScan;
+  /// Driver table to enumerate for kFullScan. Execution honors it when it
+  /// is one of the query's required tables (buffering + re-sorting into
+  /// canonical order when it differs from the canonical driver, so result
+  /// order stays plan-independent); 0xFFFFFFFF means "canonical".
+  uint32_t driver_type = 0xFFFFFFFFu;
+  /// Index into DynamicQuery::predicates() served by the field index
+  /// (kFieldIndex only).
+  int index_predicate = -1;
+  /// Index into DynamicQuery::radius_predicates() served by the spatial
+  /// index (kSpatialIndex only).
+  int radius_predicate = -1;
+  /// Evaluation order of field predicates (most selective first); indexes
+  /// into DynamicQuery::predicates(). The served predicate is excluded.
+  std::vector<int> predicate_order;
+  /// Membership-probe order of required tables (ascending estimated size).
+  std::vector<uint32_t> probe_order;
+
+  // --- estimates (from stats at plan time) ------------------------------
+  uint64_t stats_epoch = 0;
+  double est_driver_rows = 0.0;   ///< rows the access path enumerates
+  double est_output_rows = 0.0;   ///< rows surviving all predicates
+  double est_cost = 0.0;          ///< total cost in CostConstants units
+
+  /// EXPLAIN rendering; `q` supplies predicate text. Stable tokens
+  /// ("access: full_scan", "access: field_index", "access: spatial_index")
+  /// are part of the testable surface.
+  std::string ToString(const DynamicQuery& q) const;
+};
+
+/// Cost-based choice among the three proximity self-join algorithms.
+struct PairJoinPlan {
+  spatial::PairAlgo algo = spatial::PairAlgo::kNestedLoop;
+  size_t n = 0;
+  double est_neighbors = 0.0;  ///< per-entity neighbors within the radius
+  double est_cost_nested = 0.0;
+  double est_cost_grid = 0.0;
+  double est_cost_tree = 0.0;
+
+  /// EXPLAIN rendering with the per-algorithm cost estimates. Stable token:
+  /// "pair_join: <algo>".
+  std::string ToString() const;
+};
+
+}  // namespace gamedb::planner

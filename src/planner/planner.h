@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file planner.h
+/// The cost-based query planner: the missing database layer between
+/// gamedb's declarative queries (core/query.h DynamicQuery, the GSL query
+/// builtins) and its physical operators (table scans, sorted field indexes,
+/// spatial indexes, the three pair-join algorithms). The paper's framing is
+/// that a designer's Ω(n²) "every object interacts with every object" loop
+/// is just a bad plan; this module is the component that picks a good one —
+/// the "declarative processing" step of the Sowell et al. follow-up.
+///
+/// Data flow: stats (stats.h) → cost model (CostConstants, plan.h) → plan
+/// (QueryPlan) → execution (this file). Plans are cached by predicate shape
+/// + stats epoch, so per-tick replanning costs a hash lookup until stats
+/// drift past the refresh threshold.
+///
+/// Correctness contract: with the planner attached and enabled
+/// (PlannerPolicy::kOn), every DynamicQuery produces bit-identical results
+/// — same entities, same order — as the built-in path (kOff). Planned
+/// access paths that enumerate in index order buffer their matches and
+/// re-sort them into the canonical driver's dense order before emitting.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "planner/field_index.h"
+#include "planner/plan.h"
+#include "planner/stats.h"
+
+namespace gamedb::spatial {
+class KdBspTree;
+}  // namespace gamedb::spatial
+
+namespace gamedb::planner {
+
+/// Configuration for a QueryPlanner.
+struct PlannerOptions {
+  PlannerPolicy policy = PlannerPolicy::kOn;
+  /// Relative row-count drift that triggers a stats refresh (and therefore
+  /// invalidates every cached plan) at the next quiescent point.
+  double drift_threshold = 0.25;
+  StatsOptions stats;
+  CostConstants costs;
+};
+
+/// Cost-based planner + executor for one World. Attach to queries with
+/// DynamicQuery::SetPlanner, or to a ScriptHost via
+/// ScriptHostOptions::planner (every query builtin then plans through it).
+///
+/// Thread safety: Execute/ExplainQuery are safe to call concurrently (the
+/// scripted parallel query phase does); Analyze/MaybeRefreshStats/
+/// OnQuiescent mutate statistics and must run from sequential code — the
+/// ScriptHost calls OnQuiescent before fanning out, which is the intended
+/// pattern.
+class QueryPlanner final : public QueryPlanHook {
+ public:
+  explicit QueryPlanner(World* world, PlannerOptions options = {});
+  ~QueryPlanner() override;
+
+  /// Full statistics rebuild (bumps the stats epoch; invalidates cached
+  /// plans).
+  void Analyze();
+
+  /// Re-analyzes when table sizes drifted past the threshold. Returns
+  /// whether a refresh happened.
+  bool MaybeRefreshStats();
+
+  const WorldStats& stats() const { return stats_; }
+  World* world() const { return world_; }
+
+  PlannerPolicy policy() const { return options_.policy; }
+  void set_policy(PlannerPolicy p) { options_.policy = p; }
+
+  // --- QueryPlanHook ------------------------------------------------------
+
+  bool PlanningEnabled() const override {
+    return options_.policy == PlannerPolicy::kOn;
+  }
+  Status Execute(const DynamicQuery& q,
+                 const std::function<void(EntityId)>& fn) override;
+  Result<std::string> ExplainQuery(const DynamicQuery& q) override;
+  /// Sequential-point hook: refreshes stats if drifted (the ScriptHost
+  /// calls this before each parallel query phase).
+  void OnQuiescent() override { MaybeRefreshStats(); }
+
+  // --- Plan surface (benchmarks, tests) -----------------------------------
+
+  /// Builds a fresh plan for `q` from current stats, bypassing the cache.
+  QueryPlan BuildPlan(const DynamicQuery& q) const;
+
+  /// Executes `q` under an explicit plan (the e13 "force each fixed plan"
+  /// harness). Falls back to a full scan when the plan does not fit the
+  /// query's shape. Emits in canonical order regardless of plan.
+  Status ExecuteWithPlan(const DynamicQuery& q, const QueryPlan& plan,
+                         const std::function<void(EntityId)>& fn);
+
+  /// Chooses among the three pair-join algorithms for `n` points with
+  /// `est_neighbors` expected matches per point within the join radius.
+  PairJoinPlan PlanPairJoin(size_t n, float radius, double est_neighbors,
+                            int dims = 3) const;
+
+  /// Same, reading density from the stats of a Vec3 field (e.g. Position
+  /// "value") and scaling it to `n` points. Falls back to a uniform guess
+  /// when the field was never analyzed.
+  PairJoinPlan PlanPairJoinFor(std::string_view component,
+                               std::string_view field, size_t n,
+                               float radius) const;
+
+  // --- Diagnostics --------------------------------------------------------
+
+  uint64_t plan_cache_hits() const { return cache_hits_.load(); }
+  uint64_t plan_cache_misses() const { return cache_misses_.load(); }
+  size_t plan_cache_size() const;
+  uint64_t field_index_builds() const { return field_indexes_.builds(); }
+  uint64_t spatial_index_builds() const;
+  uint64_t stats_refreshes() const { return stats_refreshes_; }
+
+ private:
+  struct SpatialIndexCache;
+
+  /// Plan-cache size bound: value-parameterized query shapes (a varying
+  /// rhs is part of the shape hash) would otherwise grow the cache without
+  /// limit on long-running shards.
+  static constexpr size_t kMaxCachedPlans = 1024;
+
+  /// Cached plan lookup keyed by predicate shape + stats epoch.
+  QueryPlan GetOrBuildPlan(const DynamicQuery& q);
+  /// Hash of the query's shape: required set, field predicates (including
+  /// rhs values), radius predicates (radius but NOT center, so per-entity
+  /// proximity probes share one plan).
+  static uint64_t ShapeHash(const DynamicQuery& q);
+  /// True when `plan`'s operator indexes fit `q` (cache-collision guard).
+  static bool PlanFits(const DynamicQuery& q, const QueryPlan& plan);
+
+  Status ExecuteFullScan(const DynamicQuery& q, const QueryPlan& plan,
+                         const std::function<void(EntityId)>& fn);
+  Status ExecuteFieldIndex(const DynamicQuery& q, const QueryPlan& plan,
+                           const std::function<void(EntityId)>& fn);
+  Status ExecuteSpatialIndex(const DynamicQuery& q, const QueryPlan& plan,
+                             const std::function<void(EntityId)>& fn);
+
+  World* world_;
+  PlannerOptions options_;
+  WorldStats stats_;
+  FieldIndexCache field_indexes_;
+  std::unique_ptr<SpatialIndexCache> spatial_indexes_;
+
+  mutable std::shared_mutex plan_mu_;
+  std::unordered_map<uint64_t, QueryPlan> plan_cache_;
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  uint64_t stats_refreshes_ = 0;
+};
+
+}  // namespace gamedb::planner

@@ -204,6 +204,7 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
   const MutationPolicy policy = options.mutations;
   DeferredOps* deferred = options.deferred;
   const size_t shard = options.shard;
+  QueryPlanHook* planner = options.planner;
 
   interp->RegisterBuiltin(
       "spawn",
@@ -377,12 +378,13 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
 
   interp->RegisterBuiltin(
       "entities_with",
-      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+      [world, planner](std::vector<Value>& args,
+                       Interpreter&) -> Result<Value> {
         GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 1, "entities_with(\"Comp\")"));
         GAMEDB_ASSIGN_OR_RETURN(std::string comp,
                                 ArgString(args, 0, "entities_with"));
         DynamicQuery q(world);
-        q.With(comp);
+        q.SetPlanner(planner).With(comp);
         GAMEDB_ASSIGN_OR_RETURN(std::vector<EntityId> ids, q.Collect());
         std::vector<Value> items;
         items.reserve(ids.size());
@@ -392,20 +394,21 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
 
   interp->RegisterBuiltin(
       "count",
-      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+      [world, planner](std::vector<Value>& args,
+                       Interpreter&) -> Result<Value> {
         GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 1, "count(\"Comp\")"));
         GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 0, "count"));
         DynamicQuery q(world);
-        q.With(comp);
+        q.SetPlanner(planner).With(comp);
         GAMEDB_ASSIGN_OR_RETURN(int64_t n, q.Count());
         return Value(static_cast<double>(n));
       });
 
-  auto aggregate = [world, interp](const char* name, int which) {
+  auto aggregate = [world, interp, planner](const char* name, int which) {
     interp->RegisterBuiltin(
         name,
-        [world, which, name](std::vector<Value>& args,
-                             Interpreter&) -> Result<Value> {
+        [world, which, name, planner](std::vector<Value>& args,
+                                      Interpreter&) -> Result<Value> {
           std::string sig = std::string(name) + "(\"Comp\", \"field\")";
           GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 2, sig.c_str()));
           GAMEDB_ASSIGN_OR_RETURN(std::string comp,
@@ -413,6 +416,7 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
           GAMEDB_ASSIGN_OR_RETURN(std::string field,
                                   ArgString(args, 1, sig.c_str()));
           DynamicQuery q(world);
+          q.SetPlanner(planner);
           Result<double> r =
               which == 0   ? q.Sum(comp, field)
               : which == 1 ? q.Min(comp, field)
@@ -432,11 +436,11 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
   aggregate("smax", 2);
   aggregate("avg", 3);
 
-  auto arg_extreme = [world, interp](const char* name, bool is_min) {
+  auto arg_extreme = [world, interp, planner](const char* name, bool is_min) {
     interp->RegisterBuiltin(
         name,
-        [world, is_min, name](std::vector<Value>& args,
-                              Interpreter&) -> Result<Value> {
+        [world, is_min, name, planner](std::vector<Value>& args,
+                                       Interpreter&) -> Result<Value> {
           std::string sig = std::string(name) + "(\"Comp\", \"field\")";
           GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 2, sig.c_str()));
           GAMEDB_ASSIGN_OR_RETURN(std::string comp,
@@ -444,6 +448,7 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
           GAMEDB_ASSIGN_OR_RETURN(std::string field,
                                   ArgString(args, 1, sig.c_str()));
           DynamicQuery q(world);
+          q.SetPlanner(planner);
           Result<EntityId> r =
               is_min ? q.ArgMin(comp, field) : q.ArgMax(comp, field);
           if (!r.ok()) {
@@ -458,7 +463,8 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
 
   interp->RegisterBuiltin(
       "where",
-      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+      [world, planner](std::vector<Value>& args,
+                       Interpreter&) -> Result<Value> {
         const char* sig = "where(\"Comp\", \"field\", \"op\", v)";
         GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 4, sig));
         GAMEDB_ASSIGN_OR_RETURN(std::string comp, ArgString(args, 0, sig));
@@ -467,7 +473,7 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
         GAMEDB_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp(op_str));
         GAMEDB_ASSIGN_OR_RETURN(FieldValue rhs, ToFieldValue(args[3]));
         DynamicQuery q(world);
-        q.WhereField(comp, field, op, std::move(rhs));
+        q.SetPlanner(planner).WhereField(comp, field, op, std::move(rhs));
         GAMEDB_ASSIGN_OR_RETURN(std::vector<EntityId> ids, q.Collect());
         std::vector<Value> items;
         items.reserve(ids.size());
@@ -477,14 +483,15 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
 
   interp->RegisterBuiltin(
       "within",
-      [world](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+      [world, planner](std::vector<Value>& args,
+                       Interpreter&) -> Result<Value> {
         const char* sig = "within(center, radius)";
         GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 2, sig));
         GAMEDB_ASSIGN_OR_RETURN(Vec3 center, ArgVec3(args, 0, sig));
         GAMEDB_ASSIGN_OR_RETURN(double radius, ArgNumber(args, 1, sig));
         DynamicQuery q(world);
-        q.WithinRadius("Position", "value", center,
-                       static_cast<float>(radius));
+        q.SetPlanner(planner).WithinRadius("Position", "value", center,
+                                           static_cast<float>(radius));
         GAMEDB_ASSIGN_OR_RETURN(std::vector<EntityId> ids, q.Collect());
         std::vector<Value> items;
         items.reserve(ids.size());

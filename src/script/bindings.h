@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/query.h"
 #include "core/state_effect.h"
 #include "core/world.h"
 #include "script/interpreter.h"
@@ -133,6 +134,12 @@ struct WorldBindOptions {
   MutationPolicy mutations = MutationPolicy::kDirect;
   /// Destination for deferred mutations; required when mutations == kDefer.
   DeferredOps* deferred = nullptr;
+  /// Optional query planner: the query builtins (where / within / count /
+  /// aggregates / argmin / argmax / entities_with) attach it to their
+  /// DynamicQuery, so scripts execute cost-based plans instead of the
+  /// hard-coded scan. Results are identical either way; nullptr keeps the
+  /// built-in paths. Must outlive the interpreter.
+  QueryPlanHook* planner = nullptr;
 };
 
 /// Registers World-addressing builtins on `interp`:

@@ -40,6 +40,7 @@ ScriptHost::ScriptHost(World* world, ScriptHostOptions options)
     bind.shard = i;
     bind.mutations = options_.mutations;
     bind.deferred = &deferred_;
+    bind.planner = options_.planner;
     BindWorld(interp.get(), world_, &effects_, bind);
     shards_.push_back(std::move(interp));
   }
@@ -113,6 +114,9 @@ Result<ScriptTickStats> ScriptHost::RunTick(
                             "' loaded in this host");
   }
   PrewarmStores();
+  // Sequential point: let the planner refresh its statistics (and thereby
+  // invalidate cached plans) before shards start planning concurrently.
+  if (options_.planner != nullptr) options_.planner->OnQuiescent();
   // Pre-create the wired channels so steady-state emits take only the
   // shared-lock path in ScriptEffects::Channel.
   for (const auto& [name, apply] : channels_) {
@@ -185,7 +189,7 @@ Result<ScriptTickStats> ScriptHost::RunTick(
 Result<ScriptTickStats> ScriptHost::RunTickOver(const std::string& fn,
                                                 const std::string& component) {
   DynamicQuery q(world_);
-  q.With(component);
+  q.SetPlanner(options_.planner).With(component);
   GAMEDB_ASSIGN_OR_RETURN(std::vector<EntityId> entities, q.Collect());
   return RunTick(fn, entities);
 }

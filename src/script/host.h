@@ -50,6 +50,13 @@ struct ScriptHostOptions {
   /// What the mutation builtins do during the query phase. kDirect is not
   /// allowed here — it is exactly the data race the host exists to prevent.
   MutationPolicy mutations = MutationPolicy::kDefer;
+  /// Optional cost-based query planner (planner/planner.h QueryPlanner):
+  /// the query builtins of every shard plan through it, and RunTick calls
+  /// its OnQuiescent() hook before the parallel query phase (the
+  /// sequential point where it refreshes statistics). The hook's Execute
+  /// must be thread-safe — QueryPlanner's is. nullptr keeps the
+  /// hard-coded access paths (PlannerPolicy::kOff equivalent).
+  QueryPlanHook* planner = nullptr;
 };
 
 /// Outcome of one scripted parallel tick.

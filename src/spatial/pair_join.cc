@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "spatial/kdbsp_tree.h"
+
 namespace gamedb::spatial {
 
 void NestedLoopPairs(const std::vector<PointEntry>& points, float max_dist,
@@ -113,6 +115,38 @@ void IndexPairs(const SpatialIndex& index,
       const PointEntry& q = *it->second;
       if (p.pos.DistanceSquaredTo(q.pos) <= d2) cb(p, q);
     });
+  }
+}
+
+const char* PairAlgoName(PairAlgo algo) {
+  switch (algo) {
+    case PairAlgo::kNestedLoop:
+      return "nested_loop";
+    case PairAlgo::kGrid:
+      return "grid";
+    case PairAlgo::kIndexed:
+      return "indexed";
+  }
+  return "?";
+}
+
+void RunPairs(PairAlgo algo, const std::vector<PointEntry>& points,
+              float max_dist, const PairCallback& cb) {
+  switch (algo) {
+    case PairAlgo::kNestedLoop:
+      NestedLoopPairs(points, max_dist, cb);
+      return;
+    case PairAlgo::kGrid:
+      GridPairs(points, max_dist, cb);
+      return;
+    case PairAlgo::kIndexed: {
+      KdBspTree tree;
+      for (const PointEntry& p : points) {
+        tree.Insert(p.id, Aabb::FromPoint(p.pos));
+      }
+      IndexPairs(tree, points, max_dist, cb);
+      return;
+    }
   }
 }
 

@@ -44,4 +44,16 @@ void IndexPairs(const SpatialIndex& index,
                 const std::vector<PointEntry>& points, float max_dist,
                 const PairCallback& cb);
 
+/// The three physical pair-join algorithms above, as a value the planner
+/// can choose among (planner/plan.h PairJoinPlan).
+enum class PairAlgo : uint8_t { kNestedLoop, kGrid, kIndexed };
+
+const char* PairAlgoName(PairAlgo algo);
+
+/// Runs the chosen algorithm over `points`. kIndexed builds (and warms) a
+/// throwaway KD-BSP tree over the points — callers that already maintain an
+/// index should use IndexPairs directly.
+void RunPairs(PairAlgo algo, const std::vector<PointEntry>& points,
+              float max_dist, const PairCallback& cb);
+
 }  // namespace gamedb::spatial

@@ -125,6 +125,92 @@ TEST_F(QueryTest, DynamicEmptyMatchBehaviour) {
   EXPECT_TRUE(q2.Min("Health", "hp").status().IsNotFound());
 }
 
+TEST_F(QueryTest, DynamicEmptyTableBehaviour) {
+  // "Actor" is registered but this world never created its table: every
+  // terminal must treat it as an empty relation, not an error.
+  DynamicQuery q(&world);
+  q.With("Actor");
+  EXPECT_EQ(*q.Count(), 0);
+
+  DynamicQuery q2(&world);
+  q2.With("Actor");
+  EXPECT_TRUE(q2.Collect()->empty());
+
+  DynamicQuery q3(&world);
+  EXPECT_DOUBLE_EQ(*q3.Sum("Actor", "gold"), 0.0);
+
+  DynamicQuery q4(&world);
+  EXPECT_TRUE(q4.Avg("Actor", "gold").status().IsNotFound());
+
+  DynamicQuery q5(&world);
+  EXPECT_TRUE(q5.ArgMin("Actor", "gold").status().IsNotFound());
+
+  // Joining an empty table against a populated one is still empty.
+  DynamicQuery q6(&world);
+  q6.With("Health").With("Actor");
+  EXPECT_EQ(*q6.Count(), 0);
+}
+
+TEST_F(QueryTest, DynamicAllRowsFilteredBehaviour) {
+  // Predicates that reject every row: all terminals see zero matches.
+  auto shape = [](DynamicQuery& q) {
+    q.WhereField("Health", "hp", CmpOp::kLt, -1.0);
+  };
+  DynamicQuery q(&world);
+  shape(q);
+  EXPECT_TRUE(q.Collect()->empty());
+
+  DynamicQuery q2(&world);
+  shape(q2);
+  EXPECT_DOUBLE_EQ(*q2.Sum("Health", "hp"), 0.0);
+
+  DynamicQuery q3(&world);
+  shape(q3);
+  EXPECT_TRUE(q3.Max("Health", "hp").status().IsNotFound());
+
+  DynamicQuery q4(&world);
+  shape(q4);
+  EXPECT_TRUE(q4.Avg("Health", "hp").status().IsNotFound());
+
+  DynamicQuery q5(&world);
+  shape(q5);
+  EXPECT_TRUE(q5.ArgMax("Health", "hp").status().IsNotFound());
+
+  DynamicQuery q6(&world);
+  shape(q6);
+  size_t visits = 0;
+  EXPECT_TRUE(q6.Each([&](EntityId) { ++visits; }).ok());
+  EXPECT_EQ(visits, 0u);
+}
+
+TEST_F(QueryTest, DynamicAggregateOverZeroMatchingRows) {
+  // The aggregate's component joins against the predicate's matches:
+  // team==1 entities (odd i) never carry Position, so the fold sees zero
+  // rows even though both tables are populated.
+  DynamicQuery q(&world);
+  q.WhereField("Faction", "team", CmpOp::kEq, int64_t{1});
+  EXPECT_DOUBLE_EQ(*q.Sum("Health", "hp"), 10 + 30 + 50 + 70 + 90);
+  DynamicQuery q2(&world);
+  q2.WhereField("Faction", "team", CmpOp::kEq, int64_t{1});
+  q2.With("Position");
+  EXPECT_DOUBLE_EQ(*q2.Sum("Health", "hp"), 0.0);
+  DynamicQuery q3(&world);
+  q3.WhereField("Faction", "team", CmpOp::kEq, int64_t{1});
+  EXPECT_TRUE(q3.Min("Position", "value").status().IsNotFound());
+}
+
+TEST_F(QueryTest, ExplainWithoutPlannerDescribesBuiltInPath) {
+  DynamicQuery q(&world);
+  q.WhereField("Health", "hp", CmpOp::kGe, 50.0);
+  auto text = q.Explain();
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("no planner"), std::string::npos) << *text;
+  EXPECT_NE(text->find("full_scan"), std::string::npos) << *text;
+
+  DynamicQuery q2(&world);
+  EXPECT_TRUE(q2.Explain().status().IsInvalidArgument());
+}
+
 TEST_F(QueryTest, DynamicUnknownNamesError) {
   DynamicQuery q(&world);
   q.With("Bogus");

@@ -1,0 +1,143 @@
+// Cross-index differential test: the planner chooses freely among the four
+// spatial indexes (and the three pair-join algorithms), which is only sound
+// if they agree on every answer. Randomized insert/update/remove workloads
+// followed by randomized range, radius and proximity-pair queries assert
+// exactly that: identical result sets everywhere.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "spatial/kdbsp_tree.h"
+#include "spatial/linear_scan.h"
+#include "spatial/loose_octree.h"
+#include "spatial/pair_join.h"
+#include "spatial/uniform_grid.h"
+
+namespace gamedb::spatial {
+namespace {
+
+constexpr float kArea = 400.0f;
+
+std::vector<std::unique_ptr<SpatialIndex>> MakeAllIndexes() {
+  std::vector<std::unique_ptr<SpatialIndex>> out;
+  out.push_back(std::make_unique<LinearScan>());
+  out.push_back(std::make_unique<UniformGrid>(UniformGridOptions{25.0f}));
+  out.push_back(std::make_unique<KdBspTree>());
+  LooseOctreeOptions octree;
+  octree.world_bounds = Aabb{{-50, -50, -50}, {kArea + 50, 50, kArea + 50}};
+  out.push_back(std::make_unique<LooseOctree>(octree));
+  return out;
+}
+
+std::vector<uint64_t> SortedRangeHits(const SpatialIndex& index,
+                                      const Aabb& range) {
+  std::vector<uint64_t> hits;
+  index.QueryRange(range, [&](EntityId e, const Aabb&) {
+    hits.push_back(e.Raw());
+  });
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+std::vector<uint64_t> SortedRadiusHits(const SpatialIndex& index,
+                                       const Vec3& center, float radius) {
+  std::vector<uint64_t> hits;
+  index.QueryRadius(center, radius, [&](EntityId e, const Aabb&) {
+    hits.push_back(e.Raw());
+  });
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+TEST(IndexDifferentialTest, RandomizedWorkloadIdenticalAcrossAllIndexes) {
+  Rng rng(2009);
+  auto indexes = MakeAllIndexes();
+
+  // Mutation phase: inserts, then a mix of updates and removes, mirrored
+  // into every index.
+  std::vector<std::pair<EntityId, Aabb>> live;
+  for (uint32_t i = 0; i < 600; ++i) {
+    Vec3 p{rng.NextFloat(0, kArea), rng.NextFloat(-5, 5),
+           rng.NextFloat(0, kArea)};
+    Aabb box = Aabb::FromPoint(p).Inflated(rng.NextFloat(0.1f, 3.0f));
+    EntityId e(i, 1);
+    live.emplace_back(e, box);
+    for (auto& index : indexes) index->Insert(e, box);
+  }
+  for (int step = 0; step < 400; ++step) {
+    size_t pick = rng.NextBounded(live.size());
+    if (step % 3 == 0 && live.size() > 50) {
+      for (auto& index : indexes) {
+        EXPECT_TRUE(index->Remove(live[pick].first));
+      }
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      Vec3 p{rng.NextFloat(0, kArea), rng.NextFloat(-5, 5),
+             rng.NextFloat(0, kArea)};
+      Aabb box = Aabb::FromPoint(p).Inflated(rng.NextFloat(0.1f, 3.0f));
+      live[pick].second = box;
+      for (auto& index : indexes) index->Update(live[pick].first, box);
+    }
+  }
+  for (auto& index : indexes) {
+    EXPECT_EQ(index->Size(), live.size()) << index->Name();
+  }
+
+  // Query phase: random ranges and radii, all four must agree.
+  for (int qi = 0; qi < 60; ++qi) {
+    Vec3 c{rng.NextFloat(0, kArea), 0, rng.NextFloat(0, kArea)};
+    Aabb range = Aabb::FromPoint(c).Inflated(rng.NextFloat(5.0f, 60.0f));
+    auto expected = SortedRangeHits(*indexes[0], range);
+    for (size_t k = 1; k < indexes.size(); ++k) {
+      EXPECT_EQ(SortedRangeHits(*indexes[k], range), expected)
+          << indexes[k]->Name() << " range query " << qi;
+    }
+    float radius = rng.NextFloat(5.0f, 60.0f);
+    auto expected_r = SortedRadiusHits(*indexes[0], c, radius);
+    for (size_t k = 1; k < indexes.size(); ++k) {
+      EXPECT_EQ(SortedRadiusHits(*indexes[k], c, radius), expected_r)
+          << indexes[k]->Name() << " radius query " << qi;
+    }
+  }
+}
+
+std::set<std::pair<uint64_t, uint64_t>> PairSet(
+    PairAlgo algo, const std::vector<PointEntry>& points, float max_dist) {
+  std::set<std::pair<uint64_t, uint64_t>> pairs;
+  RunPairs(algo, points, max_dist,
+           [&](const PointEntry& a, const PointEntry& b) {
+             EXPECT_LT(a.id.Raw(), b.id.Raw());
+             auto [it, inserted] =
+                 pairs.emplace(a.id.Raw(), b.id.Raw());
+             EXPECT_TRUE(inserted) << "duplicate pair from "
+                                   << PairAlgoName(algo);
+           });
+  return pairs;
+}
+
+TEST(IndexDifferentialTest, PairJoinAlgorithmsProduceIdenticalPairSets) {
+  Rng rng(77);
+  for (float radius : {3.0f, 12.0f, 45.0f}) {
+    std::vector<PointEntry> points;
+    for (uint32_t i = 0; i < 500; ++i) {
+      points.push_back(PointEntry{
+          EntityId(i, 2),
+          {rng.NextFloat(0, kArea), 0, rng.NextFloat(0, kArea)}});
+    }
+    auto nested = PairSet(PairAlgo::kNestedLoop, points, radius);
+    auto grid = PairSet(PairAlgo::kGrid, points, radius);
+    auto indexed = PairSet(PairAlgo::kIndexed, points, radius);
+    EXPECT_EQ(nested, grid) << "grid vs nested at r=" << radius;
+    EXPECT_EQ(nested, indexed) << "indexed vs nested at r=" << radius;
+    EXPECT_FALSE(nested.empty()) << "degenerate workload at r=" << radius;
+  }
+}
+
+}  // namespace
+}  // namespace gamedb::spatial
