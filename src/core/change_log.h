@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file change_log.h
+/// Net per-window change sets of a component table — the delta layer the
+/// incremental view maintenance in views/ consumes (docs/ARCHITECTURE.md
+/// "Live views").
+///
+/// A capturing table (ComponentStore::EnableChangeCapture) appends one
+/// record per tracked mutation to a cheap ring; FlushChanges coalesces the
+/// ring into *net* changes relative to the window start:
+///   - a row added and removed within the window cancels out entirely;
+///   - a row present at window start that was updated (any number of times)
+///     and finally removed reports only `removed`;
+///   - a row removed and re-added reports `updated` (its value may differ);
+///   - destroy-then-recreate of an entity slot reports `removed` for the
+///     old generation and `added` for the new one (records are keyed by the
+///     full 64-bit id, so slot reuse cannot alias).
+/// Consumers that re-evaluate every reported entity against current table
+/// state therefore converge regardless of the intra-window mutation order.
+///
+/// The paper connection: this is the change-capture half of materialized
+/// view maintenance — the "declarative processing" follow-up's argument
+/// that per-tick cost should scale with change volume, not world size.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/entity.h"
+
+namespace gamedb {
+
+/// Net changes of one component table over one capture window.
+///
+/// `added`: rows that exist now but did not at window start.
+/// `removed`: rows that existed at window start but are gone now.
+/// `updated`: rows that existed throughout but whose value was written.
+/// Each vector lists entities in first-mutation order (deterministic for a
+/// deterministic mutation sequence); an entity appears in at most one list.
+struct ChangeSet {
+  std::vector<EntityId> added;
+  std::vector<EntityId> removed;
+  std::vector<EntityId> updated;
+
+  bool Empty() const {
+    return added.empty() && removed.empty() && updated.empty();
+  }
+  size_t TotalChanges() const {
+    return added.size() + removed.size() + updated.size();
+  }
+  void Clear() {
+    added.clear();
+    removed.clear();
+    updated.clear();
+  }
+};
+
+}  // namespace gamedb

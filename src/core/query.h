@@ -23,12 +23,26 @@
 
 namespace gamedb {
 
+class QueryPlanHook;
+
 /// Statically-typed view over all entities that have every component in
-/// Ts... Iteration visits entities in the dense order of the smallest table.
+/// Ts... Iteration visits entities in the dense order of the chosen driver
+/// table: the smallest table by default, or the planner's cost-based pick
+/// when one is attached via SetPlanner (a raw-smallest table dominated by
+/// rows of dead entities can be the wrong driver; live-row statistics see
+/// that — planner/planner.h ChooseViewDriver).
 template <typename... Ts>
 class View {
  public:
   explicit View(World& world) : world_(world) {}
+
+  /// Attaches (or detaches, with nullptr) a planner whose ChooseViewDriver
+  /// picks the driver table from table statistics. Only the iteration
+  /// order and cost change; the visited entity set is identical.
+  View& SetPlanner(QueryPlanHook* planner) {
+    planner_ = planner;
+    return *this;
+  }
 
   /// Calls fn(EntityId, Ts&...) for each matching entity. Adding or removing
   /// rows of the iterated tables from inside `fn` is undefined behaviour
@@ -41,6 +55,7 @@ class View {
     for (size_t i = 1; i < sizeof...(Ts); ++i) {
       if (sizes[i] < sizes[driver]) driver = i;
     }
+    driver = PlannedDriver(driver);
     DispatchDriver<0>(driver, tables, std::forward<Fn>(fn));
   }
 
@@ -59,6 +74,10 @@ class View {
   }
 
  private:
+  /// Lets the attached planner override the smallest-table driver choice.
+  /// Defined after QueryPlanHook below; instantiated only at call sites.
+  size_t PlannedDriver(size_t smallest);
+
   template <size_t I, typename Tables, typename Fn>
   void DispatchDriver(size_t driver, Tables& tables, Fn&& fn) {
     if constexpr (I < sizeof...(Ts)) {
@@ -86,6 +105,7 @@ class View {
   }
 
   World& world_;
+  QueryPlanHook* planner_ = nullptr;
 };
 
 /// Comparison operator for dynamic predicates.
@@ -123,7 +143,27 @@ class QueryPlanHook {
   /// here; Execute must then be safe to call concurrently until the next
   /// sequential point.
   virtual void OnQuiescent() {}
+
+  /// Driver choice for a statically-typed View<Ts...> join: given the
+  /// joined tables' type ids, returns the index of the table to iterate,
+  /// or kNoDriverPreference to keep the caller's smallest-table default.
+  /// Must be safe to call concurrently with other reads (View iteration
+  /// happens on query-phase shards).
+  static constexpr size_t kNoDriverPreference = static_cast<size_t>(-1);
+  virtual size_t ChooseViewDriver(const uint32_t* type_ids, size_t n) const {
+    (void)type_ids;
+    (void)n;
+    return kNoDriverPreference;
+  }
 };
+
+template <typename... Ts>
+size_t View<Ts...>::PlannedDriver(size_t smallest) {
+  if (planner_ == nullptr || !planner_->PlanningEnabled()) return smallest;
+  const uint32_t ids[] = {TypeRegistry::IdOf<Ts>()...};
+  size_t pick = planner_->ChooseViewDriver(ids, sizeof...(Ts));
+  return pick < sizeof...(Ts) ? pick : smallest;
+}
 
 /// Runtime-typed declarative query: components and fields addressed by name.
 ///

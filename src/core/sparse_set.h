@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
+#include "core/change_log.h"
 #include "core/entity.h"
 
 namespace gamedb {
@@ -65,6 +67,26 @@ class ComponentStore {
   /// Type-erased removal-log iteration (see ForEachRemovedSince).
   virtual void ForEachRemoved(
       uint64_t since, const std::function<void(EntityId)>& fn) const = 0;
+
+  // --- Change capture (incremental view maintenance; core/change_log.h) ---
+
+  /// Starts recording every tracked mutation (Set/Patch/PatchRaw/Touch/
+  /// Erase) into a per-table change ring. Idempotent. Writes that bypass
+  /// tracking (GetMutableUntracked without Touch) are invisible here, the
+  /// same contract maintained aggregates live with. A capturing table whose
+  /// ring is never flushed grows it without bound — enable capture only
+  /// when something (a views::ViewCatalog) flushes each tick.
+  virtual void EnableChangeCapture() = 0;
+  /// Stops capturing and discards any buffered records (the flusher went
+  /// away — e.g. a views::ViewCatalog was destroyed).
+  virtual void DisableChangeCapture() = 0;
+  virtual bool change_capture_enabled() const = 0;
+  /// Coalesces the ring into net changes since the last flush (see
+  /// ChangeSet) and clears it. `out` is Clear()ed first. With capture
+  /// disabled this reports nothing.
+  virtual void FlushChanges(ChangeSet* out) = 0;
+  /// Raw (un-coalesced) records currently buffered; diagnostics and tests.
+  virtual size_t pending_change_records() const = 0;
 };
 
 /// Dense table of components of type T keyed by entity.
@@ -91,6 +113,7 @@ class SparseSet final : public ComponentStore {
       T old = dense_values_[pos];
       dense_values_[pos] = std::move(value);
       row_versions_[pos] = ++version_;
+      Capture(ChangeKind::kUpdate, e);
       Notify(ChangeKind::kUpdate, e, &old, &dense_values_[pos]);
       return dense_values_[pos];
     }
@@ -99,6 +122,7 @@ class SparseSet final : public ComponentStore {
     dense_entities_.push_back(e);
     dense_values_.push_back(std::move(value));
     row_versions_.push_back(++version_);
+    Capture(ChangeKind::kAdd, e);
     Notify(ChangeKind::kAdd, e, nullptr, &dense_values_.back());
     return dense_values_.back();
   }
@@ -120,6 +144,7 @@ class SparseSet final : public ComponentStore {
     T old = dense_values_[pos];
     fn(dense_values_[pos]);
     row_versions_[pos] = ++version_;
+    Capture(ChangeKind::kUpdate, e);
     Notify(ChangeKind::kUpdate, e, &old, &dense_values_[pos]);
     return true;
   }
@@ -155,6 +180,7 @@ class SparseSet final : public ComponentStore {
     sparse_[e.index] = kNpos;
     ++version_;
     removed_log_.push_back({e, version_});
+    Capture(ChangeKind::kRemove, e);
     Notify(ChangeKind::kRemove, e, &old, nullptr);
     return true;
   }
@@ -191,6 +217,7 @@ class SparseSet final : public ComponentStore {
     uint32_t pos = SparsePos(e);
     if (pos == kNpos || !(dense_entities_[pos] == e)) return;
     row_versions_[pos] = ++version_;
+    Capture(ChangeKind::kUpdate, e);
     Notify(ChangeKind::kUpdate, e, nullptr, &dense_values_[pos]);
   }
 
@@ -203,6 +230,69 @@ class SparseSet final : public ComponentStore {
       uint64_t since,
       const std::function<void(EntityId)>& fn) const override {
     ForEachRemovedSince(since, fn);
+  }
+
+  void EnableChangeCapture() override { capture_ = true; }
+  void DisableChangeCapture() override {
+    capture_ = false;
+    change_log_.clear();
+  }
+  bool change_capture_enabled() const override { return capture_; }
+  size_t pending_change_records() const override {
+    return change_log_.size();
+  }
+
+  void FlushChanges(ChangeSet* out) override {
+    out->Clear();
+    if (change_log_.empty()) return;
+    // Coalescing scratch is reused across flushes (this runs once per
+    // captured table per tick — the path whose cost must stay
+    // O(change volume), not O(allocations)).
+    auto& net = flush_net_;
+    auto& order = flush_order_;
+    net.clear();
+    order.clear();
+    net.reserve(change_log_.size());
+    for (const auto& [kind, e] : change_log_) {
+      auto [it, inserted] = net.try_emplace(e.Raw());
+      NetState& s = it->second;
+      if (inserted) {
+        order.push_back(e);
+        // The first record tells us the window-start state: a row can only
+        // be added if absent, and only updated/removed if present.
+        s.existed_at_start = kind != ChangeKind::kAdd;
+        s.present = kind != ChangeKind::kRemove;
+        s.updated = kind == ChangeKind::kUpdate;
+      } else {
+        switch (kind) {
+          case ChangeKind::kAdd:
+            s.present = true;
+            // Removed then re-added: the row existed at window start and
+            // exists now, but its value may differ — net update.
+            if (s.existed_at_start) s.updated = true;
+            break;
+          case ChangeKind::kUpdate:
+            s.updated = true;
+            break;
+          case ChangeKind::kRemove:
+            s.present = false;
+            break;
+        }
+      }
+    }
+    for (EntityId e : order) {
+      const NetState& s = net[e.Raw()];
+      if (s.existed_at_start && !s.present) {
+        out->removed.push_back(e);
+      } else if (!s.existed_at_start && s.present) {
+        out->added.push_back(e);
+      } else if (s.existed_at_start && s.present && s.updated) {
+        out->updated.push_back(e);
+      }
+      // !existed && !present: added and removed within the window — no net
+      // change, nothing reported.
+    }
+    change_log_.clear();
   }
 
   /// Iterates all rows: fn(EntityId, T&).
@@ -268,6 +358,24 @@ class SparseSet final : public ComponentStore {
     uint64_t version;
   };
 
+  /// One raw change-capture record (coalesced at FlushChanges).
+  struct ChangeRec {
+    ChangeKind kind;
+    EntityId entity;
+  };
+
+  /// Net state per entity over a capture window, keyed by the full 64-bit
+  /// id so destroy-then-recreate of a slot yields two distinct entries.
+  struct NetState {
+    bool existed_at_start = false;
+    bool present = false;
+    bool updated = false;
+  };
+
+  void Capture(ChangeKind kind, EntityId e) {
+    if (capture_) change_log_.push_back(ChangeRec{kind, e});
+  }
+
   uint32_t SparsePos(EntityId e) const {
     if (e.index >= sparse_.size()) return kNpos;
     return sparse_[e.index];
@@ -290,6 +398,11 @@ class SparseSet final : public ComponentStore {
   std::vector<uint64_t> row_versions_;
   std::vector<Removal> removed_log_;
   std::vector<Observer> observers_;
+  std::vector<ChangeRec> change_log_;
+  /// FlushChanges coalescing scratch, reused across flushes.
+  std::unordered_map<uint64_t, NetState> flush_net_;
+  std::vector<EntityId> flush_order_;
+  bool capture_ = false;
   uint64_t version_ = 0;
 };
 

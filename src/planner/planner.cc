@@ -657,6 +657,35 @@ Status QueryPlanner::ExecuteSpatialIndex(
   return Status::OK();
 }
 
+size_t QueryPlanner::ChooseViewDriver(const uint32_t* type_ids,
+                                      size_t n) const {
+  if (n <= 1) return 0;
+  const CostConstants& c = options_.costs;
+  size_t best = 0;
+  double best_cost = kInf;
+  for (size_t i = 0; i < n; ++i) {
+    double raw, live;
+    const TableStats* t = stats_.Table(type_ids[i]);
+    if (t != nullptr) {
+      raw = static_cast<double>(t->rows);
+      live = static_cast<double>(t->live_rows);
+    } else {
+      // Never analyzed: fall back to the current size, assumed fully live
+      // (exactly the built-in smallest-table behaviour).
+      const ComponentStore* store = world_->StoreByIdIfExists(type_ids[i]);
+      raw = store != nullptr ? static_cast<double>(store->Size()) : 0.0;
+      live = raw;
+    }
+    double cost = raw * c.scan_row +
+                  live * static_cast<double>(n - 1) * c.probe_table;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return best;
+}
+
 PairJoinPlan QueryPlanner::PlanPairJoin(size_t n, float radius,
                                         double est_neighbors,
                                         int dims) const {

@@ -87,6 +87,16 @@ class QueryPlanner final : public QueryPlanHook {
   /// calls this before each parallel query phase).
   void OnQuiescent() override { MaybeRefreshStats(); }
 
+  /// View<Ts...> driver choice from live-row statistics. Cost of driving
+  /// from table D: every raw row pays the scan visit (rows of dead
+  /// entities are skipped by a cheap alive check but still walked), and
+  /// only live rows pay the (n-1) membership probes of the other tables —
+  /// so a raw-smallest table dominated by dead rows loses to a slightly
+  /// larger fully-live one. Earliest index wins ties (the built-in
+  /// heuristic's tie-break). Thread-safe against concurrent reads.
+  size_t ChooseViewDriver(const uint32_t* type_ids,
+                          size_t n) const override;
+
   // --- Plan surface (benchmarks, tests) -----------------------------------
 
   /// Builds a fresh plan for `q` from current stats, bypassing the cache.

@@ -1,9 +1,27 @@
 #include "replication/sync.h"
 
+#include <atomic>
+
 #include "common/coding.h"
 #include "core/serialize.h"
+#include "views/maintainer.h"
 
 namespace gamedb::replication {
+
+SyncServer::SyncServer(World* server_world, SyncOptions options)
+    : server_(server_world), options_(options) {
+  static std::atomic<uint64_t> next_instance{0};
+  instance_id_ = next_instance.fetch_add(1, std::memory_order_relaxed);
+}
+
+SyncServer::~SyncServer() {
+  if (options_.view_catalog == nullptr) return;
+  for (auto& client : clients_) {
+    if (client->interest_view_ != nullptr) {
+      options_.view_catalog->Unregister(client->interest_view_->name());
+    }
+  }
+}
 
 const char* SyncStrategyName(SyncStrategy s) {
   switch (s) {
@@ -15,17 +33,45 @@ const char* SyncStrategyName(SyncStrategy s) {
       return "interest";
     case SyncStrategy::kEventual:
       return "eventual";
+    case SyncStrategy::kInterestView:
+      return "interest_view";
   }
   return "?";
 }
 
 size_t SyncServer::AddClient(EntityId avatar) {
   clients_.push_back(std::make_unique<ClientReplica>(avatar));
-  return clients_.size() - 1;
+  size_t index = clients_.size() - 1;
+  if (options_.strategy == SyncStrategy::kInterestView) {
+    GAMEDB_CHECK(options_.view_catalog != nullptr);  // see SyncOptions
+    views::ViewDef def;
+    def.name = "__sync_interest_" + std::to_string(instance_id_) + "_" +
+               std::to_string(index);
+    def.has_near = true;
+    def.near.component = "Position";
+    def.near.field = "value";
+    // Center starts at the avatar's current position when it has one; the
+    // first SyncOne recenters anyway.
+    const Position* p = server_->Get<Position>(avatar);
+    def.near.center = p != nullptr ? p->value : Vec3{};
+    def.near.radius = options_.interest_radius;
+    Result<views::LiveView*> view = options_.view_catalog->Register(
+        std::move(def));
+    GAMEDB_CHECK(view.ok());  // Position is a registered standard component
+    clients_.back()->interest_view_ = *view;
+  }
+  return index;
 }
 
 Status SyncServer::SyncAll(std::vector<SyncStats>* stats) {
   stats->assign(clients_.size(), SyncStats{});
+  // One maintenance round serves every client: the interest views absorb
+  // all position/table deltas since the last sync here, instead of each
+  // client rescanning the Position table below.
+  if (options_.strategy == SyncStrategy::kInterestView &&
+      options_.view_catalog != nullptr) {
+    options_.view_catalog->Maintain();
+  }
   for (size_t i = 0; i < clients_.size(); ++i) {
     GAMEDB_RETURN_NOT_OK(SyncOne(clients_[i].get(), &(*stats)[i]));
   }
@@ -39,6 +85,7 @@ Status SyncServer::SyncOne(ClientReplica* client, SyncStats* stats) {
     case SyncStrategy::kDelta:
       return SendDelta(client, /*interest_filtered=*/false, stats);
     case SyncStrategy::kInterest:
+    case SyncStrategy::kInterestView:
       return SendDelta(client, /*interest_filtered=*/true, stats);
     case SyncStrategy::kEventual: {
       uint64_t now = server_->tick();
@@ -64,12 +111,21 @@ Status SyncServer::SendFullSnapshot(ClientReplica* client, SyncStats* stats) {
 Status SyncServer::SendDelta(ClientReplica* client, bool interest_filtered,
                              SyncStats* stats) {
   // Interest set: entities with Position within radius of the avatar, plus
-  // the avatar itself.
+  // the avatar itself. kInterest rescans the Position table per client;
+  // kInterestView reads the client's incrementally-maintained LiveView
+  // (recentered when the avatar moved — an index-assisted repopulate).
   std::unordered_set<uint64_t> interest;
   if (interest_filtered) {
     const Position* center = server_->Get<Position>(client->avatar());
-    float r2 = options_.interest_radius * options_.interest_radius;
-    if (center != nullptr) {
+    if (options_.strategy == SyncStrategy::kInterestView) {
+      views::LiveView* view = client->interest_view_;
+      if (center != nullptr && view != nullptr) {
+        GAMEDB_RETURN_NOT_OK(view->Recenter(center->value));
+        view->ForEachMember(
+            [&](EntityId e) { interest.insert(e.Raw()); });
+      }
+    } else if (center != nullptr) {
+      float r2 = options_.interest_radius * options_.interest_radius;
       const auto* table = server_->TableIfExists<Position>();
       if (table != nullptr) {
         table->ForEach([&](EntityId e, const Position& p) {

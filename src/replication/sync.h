@@ -25,6 +25,11 @@
 #include "common/status.h"
 #include "core/world.h"
 
+namespace gamedb::views {
+class LiveView;
+class ViewCatalog;
+}  // namespace gamedb::views
+
 namespace gamedb::replication {
 
 /// How a client is kept in sync.
@@ -40,6 +45,17 @@ enum class SyncStrategy : uint8_t {
   /// Deltas only every `period_ticks` — weak consistency; divergence grows
   /// between rounds and collapses on sync.
   kEventual,
+  /// kInterest semantics, but the per-client interest set is a LiveView
+  /// (views/view.h) maintained incrementally from change capture instead
+  /// of an O(world) Position rescan per client per sync: moved entities
+  /// re-probe against the radius via deltas, and avatar movement triggers
+  /// an index-assisted Recenter. Requires SyncOptions::view_catalog;
+  /// replicated state is identical to kInterest for live entities. (One
+  /// deliberate divergence: rows of *dead* entities — possible only via
+  /// raw SparseSet writes with stale ids — are excluded here, where
+  /// kInterest's raw rescan would replicate and resurrect them on the
+  /// client.)
+  kInterestView,
 };
 
 const char* SyncStrategyName(SyncStrategy s);
@@ -47,10 +63,14 @@ const char* SyncStrategyName(SyncStrategy s);
 /// Options for SyncServer.
 struct SyncOptions {
   SyncStrategy strategy = SyncStrategy::kDelta;
-  /// kInterest: radius around the avatar that replicates.
+  /// kInterest / kInterestView: radius around the avatar that replicates.
   float interest_radius = 50.0f;
   /// kEventual: ticks between syncs.
   uint32_t period_ticks = 10;
+  /// kInterestView: catalog hosting the per-client interest views (one
+  /// "__sync_interest_<i>" view per client, registered by AddClient). The
+  /// server Maintain()s it once per SyncAll; must outlive the SyncServer.
+  views::ViewCatalog* view_catalog = nullptr;
 };
 
 /// One connected client: a replica world plus sync bookkeeping.
@@ -68,8 +88,10 @@ class ClientReplica {
   EntityId avatar_;
   /// Last acked version per component table (by type id).
   std::unordered_map<uint32_t, uint64_t> acked_;
-  /// kInterest: entities currently replicated.
+  /// kInterest / kInterestView: entities currently replicated.
   std::unordered_set<uint64_t> subscribed_;
+  /// kInterestView: this client's interest view (owned by the catalog).
+  views::LiveView* interest_view_ = nullptr;
   uint64_t last_sync_tick_ = 0;
   bool ever_synced_ = false;
 };
@@ -84,8 +106,11 @@ struct SyncStats {
 /// Drives replication for any number of clients against one server world.
 class SyncServer {
  public:
-  SyncServer(World* server_world, SyncOptions options)
-      : server_(server_world), options_(options) {}
+  SyncServer(World* server_world, SyncOptions options);
+  /// kInterestView: unregisters this server's interest views from the
+  /// catalog (clients of a torn-down server must not keep costing
+  /// maintenance).
+  ~SyncServer();
 
   /// Registers a client whose avatar is `avatar`; returns its index.
   size_t AddClient(EntityId avatar);
@@ -104,6 +129,9 @@ class SyncServer {
 
   World* server_;
   SyncOptions options_;
+  /// Distinguishes this server's interest-view names from those of other
+  /// (including earlier, destroyed) SyncServers sharing one catalog.
+  uint64_t instance_id_ = 0;
   std::vector<std::unique_ptr<ClientReplica>> clients_;
 };
 

@@ -3,6 +3,7 @@
 #include "common/string_util.h"
 #include "core/query.h"
 #include "script/builtins.h"
+#include "views/maintainer.h"
 
 namespace gamedb::script {
 
@@ -527,6 +528,76 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
   WorldBindOptions options;
   options.shard = shard;
   BindWorld(interp, world, effects, options);
+}
+
+namespace {
+
+Result<const views::LiveView*> FindView(views::ViewCatalog* catalog,
+                                        const std::string& name,
+                                        const char* builtin) {
+  const views::LiveView* view = catalog->Find(name);
+  if (view == nullptr) {
+    return Status::NotFound(std::string(builtin) + ": no view named '" +
+                            name + "'");
+  }
+  return view;
+}
+
+}  // namespace
+
+void BindViews(Interpreter* interp, views::ViewCatalog* catalog) {
+  interp->RegisterBuiltin(
+      "view_count",
+      [catalog](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 1, "view_count(\"name\")"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string name,
+                                ArgString(args, 0, "view_count"));
+        GAMEDB_ASSIGN_OR_RETURN(const views::LiveView* view,
+                                FindView(catalog, name, "view_count"));
+        return Value(static_cast<double>(view->size()));
+      });
+
+  interp->RegisterBuiltin(
+      "view_contains",
+      [catalog](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(
+            ExpectArgs(args, 2, "view_contains(\"name\", e)"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string name,
+                                ArgString(args, 0, "view_contains"));
+        GAMEDB_ASSIGN_OR_RETURN(EntityId e,
+                                ArgEntity(args, 1, "view_contains"));
+        GAMEDB_ASSIGN_OR_RETURN(const views::LiveView* view,
+                                FindView(catalog, name, "view_contains"));
+        return Value(view->Contains(e));
+      });
+
+  interp->RegisterBuiltin(
+      "view_members",
+      [catalog](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(ExpectArgs(args, 1, "view_members(\"name\")"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string name,
+                                ArgString(args, 0, "view_members"));
+        GAMEDB_ASSIGN_OR_RETURN(const views::LiveView* view,
+                                FindView(catalog, name, "view_members"));
+        const std::vector<EntityId>& members = view->Members();
+        std::vector<Value> items;
+        items.reserve(members.size());
+        for (EntityId e : members) items.push_back(Value(e));
+        return Value::NewList(std::move(items));
+      });
+
+  interp->RegisterBuiltin(
+      "view_aggregate",
+      [catalog](std::vector<Value>& args, Interpreter&) -> Result<Value> {
+        GAMEDB_RETURN_NOT_OK(
+            ExpectArgs(args, 1, "view_aggregate(\"name\")"));
+        GAMEDB_ASSIGN_OR_RETURN(std::string name,
+                                ArgString(args, 0, "view_aggregate"));
+        GAMEDB_ASSIGN_OR_RETURN(const views::LiveView* view,
+                                FindView(catalog, name, "view_aggregate"));
+        GAMEDB_ASSIGN_OR_RETURN(double v, view->Aggregate());
+        return Value(v);
+      });
 }
 
 }  // namespace gamedb::script

@@ -27,6 +27,10 @@
 #include "core/world.h"
 #include "script/interpreter.h"
 
+namespace gamedb::views {
+class ViewCatalog;
+}  // namespace gamedb::views
+
 namespace gamedb::script {
 
 /// Named effect channels scripts contribute into; the host drains them after
@@ -164,5 +168,19 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
 /// Back-compat convenience: direct mutations on shard `shard`.
 void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
                size_t shard = 0);
+
+/// Registers LiveView read builtins (views/view.h) on `interp`:
+///   view_count("name") -> number        (membership size, O(1))
+///   view_contains("name", e) -> bool
+///   view_members("name") -> list        (canonical order)
+///   view_aggregate("name") -> number    (exact fold; errors when the view
+///                                        has no aggregate, and — mirroring
+///                                        the DynamicQuery terminals — when
+///                                        a min/max/avg view is empty;
+///                                        empty sum/count views return 0)
+/// All are read-only and safe during the parallel query phase — the host
+/// maintains views only at its sequential point. Unknown view names are
+/// script errors. `catalog` must outlive the interpreter.
+void BindViews(Interpreter* interp, views::ViewCatalog* catalog);
 
 }  // namespace gamedb::script

@@ -5,6 +5,7 @@
 #include "core/query.h"
 #include "script/builtins.h"
 #include "script/parser.h"
+#include "views/maintainer.h"
 
 namespace gamedb::script {
 
@@ -42,6 +43,7 @@ ScriptHost::ScriptHost(World* world, ScriptHostOptions options)
     bind.deferred = &deferred_;
     bind.planner = options_.planner;
     BindWorld(interp.get(), world_, &effects_, bind);
+    if (options_.views != nullptr) BindViews(interp.get(), options_.views);
     shards_.push_back(std::move(interp));
   }
 }
@@ -115,8 +117,12 @@ Result<ScriptTickStats> ScriptHost::RunTick(
   }
   PrewarmStores();
   // Sequential point: let the planner refresh its statistics (and thereby
-  // invalidate cached plans) before shards start planning concurrently.
+  // invalidate cached plans) before shards start planning concurrently,
+  // then maintain live views from the change capture of the previous
+  // apply phase — subscriptions fire here, and shards read a consistent
+  // view snapshot for the whole parallel phase.
   if (options_.planner != nullptr) options_.planner->OnQuiescent();
+  if (options_.views != nullptr) options_.views->Maintain();
   // Pre-create the wired channels so steady-state emits take only the
   // shared-lock path in ScriptEffects::Channel.
   for (const auto& [name, apply] : channels_) {

@@ -37,6 +37,10 @@
 #include "script/bindings.h"
 #include "script/interpreter.h"
 
+namespace gamedb::views {
+class ViewCatalog;
+}  // namespace gamedb::views
+
 namespace gamedb::script {
 
 /// Configuration for a ScriptHost.
@@ -57,6 +61,13 @@ struct ScriptHostOptions {
   /// must be thread-safe — QueryPlanner's is. nullptr keeps the
   /// hard-coded access paths (PlannerPolicy::kOff equivalent).
   QueryPlanHook* planner = nullptr;
+  /// Optional live-view catalog (views/maintainer.h). RunTick calls its
+  /// Maintain() at the sequential point before the parallel query phase —
+  /// change logs flush, memberships update and subscriptions fire there, so
+  /// shards then read a consistent tick-start snapshot of every view. The
+  /// view read builtins (view_count / view_contains / view_members /
+  /// view_aggregate) are bound on every shard interpreter.
+  views::ViewCatalog* views = nullptr;
 };
 
 /// Outcome of one scripted parallel tick.

@@ -1,9 +1,19 @@
 #include "script/triggers.h"
 
+#include "views/view.h"
+
 namespace gamedb::script {
 
 TriggerSystem::TriggerSystem(Interpreter* interp, TriggerOptions options)
     : interp_(interp), options_(options) {}
+
+TriggerSystem::~TriggerSystem() {
+  for (const Watch& w : watches_) {
+    if (w.enter != kNoHandle) w.view->RemoveOnEnter(w.enter);
+    if (w.exit != kNoHandle) w.view->RemoveOnExit(w.exit);
+    if (w.update != kNoHandle) w.view->RemoveOnUpdate(w.update);
+  }
+}
 
 void TriggerSystem::Fire(const std::string& event, std::vector<Value> args) {
   FireFrom(/*parent_depth=*/0, event, std::move(args));
@@ -43,6 +53,31 @@ Status TriggerSystem::Pump() {
   }
   current_depth_ = 0;
   return first_error;
+}
+
+void TriggerSystem::WatchView(views::LiveView* view, std::string enter_event,
+                              std::string exit_event,
+                              std::string update_event) {
+  Watch watch{view, kNoHandle, kNoHandle, kNoHandle};
+  if (!enter_event.empty()) {
+    watch.enter =
+        view->OnEnter([this, event = std::move(enter_event)](EntityId e) {
+          Fire(event, {Value(e)});
+        });
+  }
+  if (!exit_event.empty()) {
+    watch.exit =
+        view->OnExit([this, event = std::move(exit_event)](EntityId e) {
+          Fire(event, {Value(e)});
+        });
+  }
+  if (!update_event.empty()) {
+    watch.update =
+        view->OnUpdate([this, event = std::move(update_event)](EntityId e) {
+          Fire(event, {Value(e)});
+        });
+  }
+  watches_.push_back(watch);
 }
 
 void TriggerSystem::InstallFireBuiltin() {

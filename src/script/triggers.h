@@ -15,6 +15,10 @@
 #include "common/status.h"
 #include "script/interpreter.h"
 
+namespace gamedb::views {
+class LiveView;
+}  // namespace gamedb::views
+
 namespace gamedb::script {
 
 /// Options for TriggerSystem.
@@ -39,6 +43,9 @@ struct TriggerStats {
 class TriggerSystem {
  public:
   explicit TriggerSystem(Interpreter* interp, TriggerOptions options = {});
+  /// Unsubscribes every WatchView registration (views fired after this
+  /// system is gone must not call into it).
+  ~TriggerSystem();
 
   /// Enqueues an event at cascade depth 0.
   void Fire(const std::string& event, std::vector<Value> args);
@@ -57,6 +64,19 @@ class TriggerSystem {
   /// wired to this system with correct cascade depths.
   void InstallFireBuiltin();
 
+  /// Subscribes to a LiveView (views/view.h) so GSL `on <event>(e)`
+  /// handlers run on membership changes: entering entities enqueue
+  /// `enter_event`, leaving ones `exit_event`, tracked writes to current
+  /// members `update_event` — each with the entity as the only argument;
+  /// an empty event name skips that transition. Events enqueue at cascade
+  /// depth 0 during view maintenance (a sequential point) and run at the
+  /// next Pump(), where handlers may mutate the world — the maintenance
+  /// phase itself stays read-only. The destructor unsubscribes, so destroy
+  /// this system while the watched view is still registered (the
+  /// core/aggregate.h subscriber ordering).
+  void WatchView(views::LiveView* view, std::string enter_event,
+                 std::string exit_event, std::string update_event = "");
+
   const TriggerStats& stats() const { return stats_; }
   size_t pending() const { return queue_.size(); }
 
@@ -67,9 +87,19 @@ class TriggerSystem {
     uint32_t depth;
   };
 
+  /// One WatchView registration (handles into the view's callback lists).
+  struct Watch {
+    views::LiveView* view;
+    size_t enter = kNoHandle;
+    size_t exit = kNoHandle;
+    size_t update = kNoHandle;
+  };
+  static constexpr size_t kNoHandle = static_cast<size_t>(-1);
+
   Interpreter* interp_;
   TriggerOptions options_;
   std::deque<Pending> queue_;
+  std::vector<Watch> watches_;
   TriggerStats stats_;
   uint32_t current_depth_ = 0;  // depth of the event being handled
 };

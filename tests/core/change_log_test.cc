@@ -1,0 +1,186 @@
+#include "core/change_log.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/reflect.h"
+#include "core/sparse_set.h"
+#include "core/world.h"
+
+namespace gamedb {
+namespace {
+
+class ChangeLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterStandardComponents(); }
+
+  /// Raw ids in a ChangeSet list, for order-insensitive membership checks.
+  static std::vector<uint64_t> Raw(const std::vector<EntityId>& v) {
+    std::vector<uint64_t> out;
+    for (EntityId e : v) out.push_back(e.Raw());
+    return out;
+  }
+
+  static bool Lists(const std::vector<EntityId>& v, EntityId e) {
+    return std::find(v.begin(), v.end(), e) != v.end();
+  }
+
+  World world;
+  ChangeSet cs;
+};
+
+TEST_F(ChangeLogTest, CaptureDisabledRecordsNothing) {
+  auto& table = world.Table<Health>();
+  EXPECT_FALSE(table.change_capture_enabled());
+  EntityId e = world.Create();
+  world.Set(e, Health{50, 100});
+  world.Patch<Health>(e, [](Health& h) { h.hp = 10; });
+  table.Erase(e);
+  EXPECT_EQ(table.pending_change_records(), 0u);
+  table.FlushChanges(&cs);
+  EXPECT_TRUE(cs.Empty());
+}
+
+TEST_F(ChangeLogTest, DisableDiscardsBufferAndStopsRecording) {
+  auto& table = world.Table<Health>();
+  table.EnableChangeCapture();
+  EntityId e = world.Create();
+  world.Set(e, Health{50, 100});
+  ASSERT_GT(table.pending_change_records(), 0u);
+
+  table.DisableChangeCapture();
+  EXPECT_FALSE(table.change_capture_enabled());
+  EXPECT_EQ(table.pending_change_records(), 0u);
+  world.Patch<Health>(e, [](Health& h) { h.hp = 1; });
+  EXPECT_EQ(table.pending_change_records(), 0u);
+  table.FlushChanges(&cs);
+  EXPECT_TRUE(cs.Empty());
+}
+
+TEST_F(ChangeLogTest, AddUpdateRemoveReportedSeparately) {
+  auto& table = world.Table<Health>();
+  table.EnableChangeCapture();
+  EXPECT_TRUE(table.change_capture_enabled());
+
+  EntityId e = world.Create();
+  world.Set(e, Health{50, 100});
+  table.FlushChanges(&cs);
+  EXPECT_EQ(cs.added.size(), 1u);
+  EXPECT_TRUE(cs.removed.empty());
+  EXPECT_TRUE(cs.updated.empty());
+  EXPECT_TRUE(Lists(cs.added, e));
+
+  // Multiple updates coalesce into one net `updated` record.
+  world.Patch<Health>(e, [](Health& h) { h.hp = 20; });
+  world.Patch<Health>(e, [](Health& h) { h.hp = 30; });
+  table.Touch(e);
+  table.FlushChanges(&cs);
+  EXPECT_TRUE(cs.added.empty());
+  EXPECT_EQ(cs.updated.size(), 1u);
+  EXPECT_TRUE(Lists(cs.updated, e));
+
+  table.Erase(e);
+  table.FlushChanges(&cs);
+  EXPECT_EQ(cs.removed.size(), 1u);
+  EXPECT_TRUE(Lists(cs.removed, e));
+
+  // Flushing again reports nothing: the window reset.
+  table.FlushChanges(&cs);
+  EXPECT_TRUE(cs.Empty());
+}
+
+TEST_F(ChangeLogTest, UpdateThenRemoveCoalescesToRemoved) {
+  auto& table = world.Table<Health>();
+  EntityId e = world.Create();
+  world.Set(e, Health{50, 100});
+  table.EnableChangeCapture();
+
+  world.Patch<Health>(e, [](Health& h) { h.hp = 1; });
+  world.Patch<Health>(e, [](Health& h) { h.hp = 2; });
+  table.Erase(e);
+  table.FlushChanges(&cs);
+  EXPECT_TRUE(cs.added.empty());
+  EXPECT_TRUE(cs.updated.empty());
+  EXPECT_EQ(Raw(cs.removed), std::vector<uint64_t>{e.Raw()});
+}
+
+TEST_F(ChangeLogTest, AddThenRemoveCancelsOut) {
+  auto& table = world.Table<Health>();
+  table.EnableChangeCapture();
+  EntityId e = world.Create();
+  world.Set(e, Health{50, 100});
+  world.Patch<Health>(e, [](Health& h) { h.hp = 1; });
+  table.Erase(e);
+  table.FlushChanges(&cs);
+  EXPECT_TRUE(cs.Empty()) << "a row born and dead within one window is "
+                             "invisible to delta consumers";
+}
+
+TEST_F(ChangeLogTest, RemoveThenReAddReportsUpdated) {
+  auto& table = world.Table<Health>();
+  EntityId e = world.Create();
+  world.Set(e, Health{50, 100});
+  table.EnableChangeCapture();
+
+  table.Erase(e);
+  world.Set(e, Health{75, 100});
+  table.FlushChanges(&cs);
+  EXPECT_TRUE(cs.added.empty());
+  EXPECT_TRUE(cs.removed.empty());
+  EXPECT_EQ(Raw(cs.updated), std::vector<uint64_t>{e.Raw()})
+      << "row existed at window start and exists now, value may differ";
+}
+
+TEST_F(ChangeLogTest, DestroyThenRecreateSameSlotInOneWindow) {
+  auto& table = world.Table<Health>();
+  table.EnableChangeCapture();
+
+  EntityId old_e = world.Create();
+  world.Set(old_e, Health{50, 100});
+  table.FlushChanges(&cs);  // window boundary: old_e's add is consumed
+
+  world.Destroy(old_e);  // erases the Health row -> captured as remove
+  EntityId new_e = world.Create();
+  ASSERT_EQ(new_e.index, old_e.index);  // slot reuse
+  ASSERT_NE(new_e, old_e);              // distinct generation
+  world.Set(new_e, Health{10, 100});
+
+  table.FlushChanges(&cs);
+  EXPECT_EQ(Raw(cs.removed), std::vector<uint64_t>{old_e.Raw()});
+  EXPECT_EQ(Raw(cs.added), std::vector<uint64_t>{new_e.Raw()});
+  EXPECT_TRUE(cs.updated.empty());
+}
+
+TEST_F(ChangeLogTest, ClearReportsEveryRemoval) {
+  auto& table = world.Table<Health>();
+  std::vector<EntityId> es;
+  for (int i = 0; i < 5; ++i) {
+    EntityId e = world.Create();
+    world.Set(e, Health{float(i), 100});
+    es.push_back(e);
+  }
+  table.EnableChangeCapture();
+  table.Clear();
+  table.FlushChanges(&cs);
+  EXPECT_EQ(cs.removed.size(), 5u);
+  for (EntityId e : es) EXPECT_TRUE(Lists(cs.removed, e));
+}
+
+TEST_F(ChangeLogTest, FirstMutationOrderIsPreserved) {
+  auto& table = world.Table<Health>();
+  table.EnableChangeCapture();
+  EntityId a = world.Create();
+  EntityId b = world.Create();
+  EntityId c = world.Create();
+  world.Set(b, Health{1, 100});
+  world.Set(a, Health{2, 100});
+  world.Set(c, Health{3, 100});
+  world.Patch<Health>(a, [](Health& h) { h.hp = 9; });  // no reordering
+  table.FlushChanges(&cs);
+  EXPECT_EQ(Raw(cs.added),
+            (std::vector<uint64_t>{b.Raw(), a.Raw(), c.Raw()}));
+}
+
+}  // namespace
+}  // namespace gamedb

@@ -1,0 +1,133 @@
+// The View<Ts...> driver-choice satellite: live-row statistics pick the
+// join driver instead of the raw smallest-table heuristic. The regression
+// scenario: a table written through the raw SparseSet API can carry rows
+// for entities that have since died (a system applying a buffered batch
+// with stale ids). Those rows are skipped by View's alive check but still
+// cost scan time — and they never probe. A raw-smallest table full of live
+// rows then pays more probes than a slightly larger mostly-dead table pays
+// scan visits, so smallest-by-Size() is the wrong driver.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/query.h"
+#include "core/world.h"
+#include "planner/planner.h"
+
+namespace gamedb::planner {
+namespace {
+
+class ViewDriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterStandardComponents(); }
+
+  /// 50 live entities carrying Health + Faction; then 1150 Health rows for
+  /// destroyed entities, written via the raw table API with stale ids.
+  /// Result: Health raw=1200/live=50, Faction raw=1000/live=1000 (950
+  /// extra live Faction-only entities pad it).
+  void PopulateSkewed() {
+    for (int i = 0; i < 50; ++i) {
+      EntityId e = world.Create();
+      world.Set(e, Health{float(i), 100.0f});
+      world.Set(e, Faction{i % 4});
+      joined.push_back(e);
+    }
+    for (int i = 0; i < 950; ++i) {
+      EntityId e = world.Create();
+      world.Set(e, Faction{i % 4});
+    }
+    std::vector<EntityId> stale;
+    for (int i = 0; i < 1150; ++i) stale.push_back(world.Create());
+    for (EntityId e : stale) world.Destroy(e);
+    auto& health = world.Table<Health>();
+    for (EntityId e : stale) health.Set(e, Health{1.0f, 100.0f});
+
+    ASSERT_EQ(world.Table<Health>().Size(), 1200u);
+    ASSERT_EQ(world.Table<Faction>().Size(), 1000u);
+  }
+
+  World world;
+  std::vector<EntityId> joined;
+};
+
+TEST_F(ViewDriverTest, LiveRowStatsOverrideRawSmallestTable) {
+  PopulateSkewed();
+  QueryPlanner planner(&world);
+  planner.Analyze();
+
+  const uint32_t health_id = TypeRegistry::IdOf<Health>();
+  const uint32_t faction_id = TypeRegistry::IdOf<Faction>();
+  ASSERT_EQ(planner.stats().EstimateRows(health_id), 1200.0);
+  ASSERT_EQ(planner.stats().EstimateLiveRows(health_id), 50.0);
+  ASSERT_EQ(planner.stats().EstimateLiveRows(faction_id), 1000.0);
+
+  // Raw smallest is Faction (1000 < 1200) — the built-in heuristic's pick.
+  // Live-aware cost: Health = 1200 scans + 50 probes; Faction = 1000
+  // scans + 1000 probes. Health wins.
+  const uint32_t ids[] = {health_id, faction_id};
+  EXPECT_EQ(planner.ChooseViewDriver(ids, 2), 0u);
+  const uint32_t flipped[] = {faction_id, health_id};
+  EXPECT_EQ(planner.ChooseViewDriver(flipped, 2), 1u);
+}
+
+TEST_F(ViewDriverTest, PlannedViewVisitsTheSameEntities) {
+  PopulateSkewed();
+  QueryPlanner planner(&world);
+  planner.Analyze();
+
+  View<Health, Faction> unplanned(world);
+  std::vector<EntityId> base = unplanned.Entities();
+
+  View<Health, Faction> planned(world);
+  planned.SetPlanner(&planner);
+  std::vector<EntityId> picked = planned.Entities();
+
+  // Different driver => possibly different order, identical set.
+  auto sorted = [](std::vector<EntityId> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(base), sorted(picked));
+  EXPECT_EQ(picked.size(), joined.size());
+  EXPECT_EQ(planned.Count(), joined.size());
+}
+
+TEST_F(ViewDriverTest, PolicyOffKeepsBuiltinDriver) {
+  PopulateSkewed();
+  PlannerOptions opts;
+  opts.policy = PlannerPolicy::kOff;
+  QueryPlanner planner(&world, opts);
+  planner.Analyze();
+
+  View<Health, Faction> off(world);
+  off.SetPlanner(&planner);
+  View<Health, Faction> base(world);
+  // kOff: identical driver, identical order.
+  EXPECT_EQ(off.Entities(), base.Entities());
+}
+
+TEST_F(ViewDriverTest, UnanalyzedPlannerFallsBackToSmallest) {
+  PopulateSkewed();
+  QueryPlanner planner(&world);  // no Analyze(): no table stats
+  const uint32_t ids[] = {TypeRegistry::IdOf<Health>(),
+                          TypeRegistry::IdOf<Faction>()};
+  // Without stats every row is assumed live: the cost model degenerates to
+  // the built-in smallest-table choice (Faction).
+  EXPECT_EQ(planner.ChooseViewDriver(ids, 2), 1u);
+}
+
+TEST_F(ViewDriverTest, LiveRowsNeverExceedRawRows) {
+  PopulateSkewed();
+  QueryPlanner planner(&world);
+  planner.Analyze();
+  for (uint32_t id :
+       {TypeRegistry::IdOf<Health>(), TypeRegistry::IdOf<Faction>()}) {
+    EXPECT_LE(planner.stats().EstimateLiveRows(id),
+              planner.stats().EstimateRows(id));
+  }
+}
+
+}  // namespace
+}  // namespace gamedb::planner

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "planner/planner.h"
 #include "replication/divergence.h"
+#include "views/maintainer.h"
 
 namespace gamedb::replication {
 namespace {
@@ -146,6 +149,86 @@ TEST_F(SyncTest, EventualSkipsRoundsAndDiverges) {
   EXPECT_GT(stats[0].bytes_sent, 0u);
   auto after = MeasureDivergence(server, sync.client(0).world());
   EXPECT_DOUBLE_EQ(after.position_rmse, 0.0);
+}
+
+// kInterestView must replicate exactly what kInterest replicates — the
+// LiveView-backed interest set only changes *how* the set is computed
+// (incremental deltas + recenter instead of a per-client world rescan).
+TEST_F(SyncTest, InterestViewReplicatesExactlyLikeInterest) {
+  Rng rng(99);
+  SyncOptions scan_opts;
+  scan_opts.strategy = SyncStrategy::kInterest;
+  scan_opts.interest_radius = 25.0f;
+  SyncServer scan_sync(&server, scan_opts);
+  scan_sync.AddClient(ids[0]);
+
+  planner::QueryPlanner planner(&server);
+  views::ViewCatalog catalog(&server, &planner);
+  SyncOptions view_opts = scan_opts;
+  view_opts.strategy = SyncStrategy::kInterestView;
+  view_opts.view_catalog = &catalog;
+  SyncServer view_sync(&server, view_opts);
+  view_sync.AddClient(ids[0]);
+
+  std::vector<SyncStats> stats;
+  for (int tick = 0; tick < 12; ++tick) {
+    server.AdvanceTick();
+    // Wander everyone, including the avatar (exercises Recenter), so
+    // entities churn in and out of the interest bubble.
+    for (EntityId e : ids) {
+      server.Patch<Position>(e, [&](Position& p) {
+        p.value.x += rng.NextFloat(-12, 12);
+        p.value.z += rng.NextFloat(-12, 12);
+      });
+      if (rng.NextBool(0.3)) {
+        server.Patch<Health>(e, [&](Health& h) {
+          h.hp = rng.NextFloat(0, 100);
+        });
+      }
+    }
+    ASSERT_TRUE(scan_sync.SyncAll(&stats).ok());
+    ASSERT_TRUE(view_sync.SyncAll(&stats).ok());
+
+    // Same replicated rows, same values, tick for tick.
+    const World& a = scan_sync.client(0).world();
+    const World& b = view_sync.client(0).world();
+    for (EntityId e : ids) {
+      ASSERT_EQ(a.Has<Position>(e), b.Has<Position>(e)) << "tick " << tick;
+      ASSERT_EQ(a.Has<Health>(e), b.Has<Health>(e)) << "tick " << tick;
+      if (a.Has<Position>(e)) {
+        EXPECT_EQ(a.Get<Position>(e)->value, b.Get<Position>(e)->value);
+        EXPECT_EQ(a.Get<Health>(e)->hp, b.Get<Health>(e)->hp);
+      }
+    }
+    auto report = MeasureDivergence(server, b);
+    EXPECT_EQ(report.missing_on_client,
+              MeasureDivergence(server, a).missing_on_client);
+  }
+}
+
+// A torn-down kInterestView server must release its catalog views so a
+// successor (shard restart, reconnect) can register cleanly.
+TEST_F(SyncTest, InterestViewServersShareACatalogAcrossRestarts) {
+  planner::QueryPlanner planner(&server);
+  views::ViewCatalog catalog(&server, &planner);
+  SyncOptions opts;
+  opts.strategy = SyncStrategy::kInterestView;
+  opts.interest_radius = 25.0f;
+  opts.view_catalog = &catalog;
+
+  std::vector<SyncStats> stats;
+  {
+    SyncServer first(&server, opts);
+    first.AddClient(ids[0]);
+    ASSERT_TRUE(first.SyncAll(&stats).ok());
+    EXPECT_EQ(catalog.view_count(), 1u);
+  }
+  EXPECT_EQ(catalog.view_count(), 0u);  // destructor unregistered
+
+  SyncServer second(&server, opts);
+  second.AddClient(ids[0]);  // same client index: name must not collide
+  ASSERT_TRUE(second.SyncAll(&stats).ok());
+  EXPECT_TRUE(second.client(0).world().Has<Position>(ids[1]));
 }
 
 TEST_F(SyncTest, MultipleClientsTrackIndependently) {
