@@ -3,18 +3,38 @@
 // simulated crash and recovery. The systems-integration example.
 //
 //   ./build/examples/mmo_shard
+//   ./build/examples/mmo_shard --interest-view   # LiveView-backed interest
+//
+// With --interest-view, client replication reads each client's
+// incrementally-maintained interest LiveView (ViewCatalog + cost-based
+// planner) instead of rescanning the Position table per client — the
+// kInterestView configuration the scenario harness (tools/loadgen) runs at
+// scale.
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "persist/manager.h"
+#include "planner/planner.h"
 #include "replication/divergence.h"
 #include "replication/sync.h"
 #include "txn/bubbles.h"
 #include "txn/workload.h"
+#include "views/maintainer.h"
 
 using namespace gamedb;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  bool interest_view = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--interest-view") == 0) {
+      interest_view = true;
+    } else {
+      std::printf("usage: %s [--interest-view]\n", argv[0]);
+      return 1;
+    }
+  }
   // --- World ------------------------------------------------------------
   txn::WorkloadOptions wopts;
   wopts.num_entities = 800;
@@ -35,9 +55,24 @@ int main() {
   txn::BubbleExecutor executor(bopts);
   ThreadPool pool(4);
 
+  // Interest replication: per-client Position rescan by default, or (with
+  // --interest-view) a planner-executed LiveView per client, recentered as
+  // its avatar moves. Planner + catalog must outlive the sync server.
+  std::unique_ptr<planner::QueryPlanner> planner;
+  std::unique_ptr<views::ViewCatalog> catalog;
   replication::SyncOptions sopts;
-  sopts.strategy = replication::SyncStrategy::kInterest;
   sopts.interest_radius = 80.0f;
+  if (interest_view) {
+    planner = std::make_unique<planner::QueryPlanner>(&world);
+    planner->Analyze();
+    catalog = std::make_unique<views::ViewCatalog>(&world, planner.get());
+    sopts.strategy = replication::SyncStrategy::kInterestView;
+    sopts.view_catalog = catalog.get();
+    std::printf("interest mode: LiveView (catalog + cost-based planner)\n");
+  } else {
+    sopts.strategy = replication::SyncStrategy::kInterest;
+    std::printf("interest mode: per-client rescan\n");
+  }
   replication::SyncServer sync(&world, sopts);
   sync.AddClient(workload.entities()[0]);
   sync.AddClient(workload.entities()[400]);

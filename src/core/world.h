@@ -53,6 +53,17 @@ class World {
            generations_[e.index] == e.generation && alive_[e.index];
   }
 
+  /// The live entity currently occupying `slot`, or Invalid when the slot
+  /// is dead or out of range. Lets replication reconcile id reuse: a
+  /// replica holding a stale generation of a slot can identify and destroy
+  /// it before recreating the slot's current occupant.
+  EntityId LiveAt(uint32_t slot) const {
+    if (slot < generations_.size() && alive_[slot]) {
+      return EntityId(slot, generations_[slot]);
+    }
+    return EntityId::Invalid();
+  }
+
   /// Number of live entities.
   size_t AliveCount() const { return alive_count_; }
 

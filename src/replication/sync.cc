@@ -41,6 +41,7 @@ const char* SyncStrategyName(SyncStrategy s) {
 
 size_t SyncServer::AddClient(EntityId avatar) {
   clients_.push_back(std::make_unique<ClientReplica>(avatar));
+  ++connected_count_;
   size_t index = clients_.size() - 1;
   if (options_.strategy == SyncStrategy::kInterestView) {
     GAMEDB_CHECK(options_.view_catalog != nullptr);  // see SyncOptions
@@ -63,6 +64,19 @@ size_t SyncServer::AddClient(EntityId avatar) {
   return index;
 }
 
+void SyncServer::RemoveClient(size_t i) {
+  GAMEDB_CHECK(i < clients_.size());
+  ClientReplica* client = clients_[i].get();
+  if (!client->connected_) return;
+  client->connected_ = false;
+  --connected_count_;
+  if (client->interest_view_ != nullptr &&
+      options_.view_catalog != nullptr) {
+    options_.view_catalog->Unregister(client->interest_view_->name());
+    client->interest_view_ = nullptr;
+  }
+}
+
 Status SyncServer::SyncAll(std::vector<SyncStats>* stats) {
   stats->assign(clients_.size(), SyncStats{});
   // One maintenance round serves every client: the interest views absorb
@@ -73,6 +87,7 @@ Status SyncServer::SyncAll(std::vector<SyncStats>* stats) {
     options_.view_catalog->Maintain();
   }
   for (size_t i = 0; i < clients_.size(); ++i) {
+    if (!clients_[i]->connected_) continue;
     GAMEDB_RETURN_NOT_OK(SyncOne(clients_[i].get(), &(*stats)[i]));
   }
   return Status::OK();
@@ -171,8 +186,14 @@ Status SyncServer::SendDelta(ClientReplica* client, bool interest_filtered,
       PutLengthPrefixed(&message, payload);
       ++stats->rows_sent;
 
-      // Apply to the replica.
+      // Apply to the replica. The replica may still hold a previous
+      // generation of this slot — the old entity died server-side (or left
+      // interest) and the slot was reused before any removal reached this
+      // client. The stale generation no longer exists on the server, so
+      // evict it before recreating the slot's current occupant.
       if (!replica.Alive(e)) {
+        EntityId stale = replica.LiveAt(e.index);
+        if (stale.valid()) replica.Destroy(stale);
         Status st = replica.CreateWithId(e);
         if (!st.ok()) {
           apply_status = st;
@@ -209,9 +230,10 @@ Status SyncServer::SendDelta(ClientReplica* client, bool interest_filtered,
       EntityId e = EntityId::FromRaw(raw);
       PutFixed64(&message, raw);
       ++stats->removals_sent;
-      replica.ForEachStore([&](const TypeInfo&, ComponentStore& cs) {
-        cs.Erase(e);
-      });
+      // Destroy, not per-store Erase: an out-of-interest entity should not
+      // linger as an alive-but-empty replica entity (it would also collide
+      // with a later CreateWithId when the server reuses the slot).
+      replica.Destroy(e);
     }
     client->subscribed_ = std::move(interest);
   }

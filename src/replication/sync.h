@@ -94,6 +94,8 @@ class ClientReplica {
   views::LiveView* interest_view_ = nullptr;
   uint64_t last_sync_tick_ = 0;
   bool ever_synced_ = false;
+  /// False after RemoveClient: SyncAll skips the slot.
+  bool connected_ = true;
 };
 
 /// Per-sync metrics.
@@ -114,8 +116,19 @@ class SyncServer {
 
   /// Registers a client whose avatar is `avatar`; returns its index.
   size_t AddClient(EntityId avatar);
+
+  /// Disconnects client `i`: its interest view (kInterestView) is
+  /// unregistered from the catalog immediately — a logged-out client must
+  /// stop costing per-tick maintenance — and SyncAll skips it from now on.
+  /// The replica world and index stay valid (indices of other clients are
+  /// stable); reconnecting is a fresh AddClient. No-op when already
+  /// disconnected.
+  void RemoveClient(size_t i);
+
   ClientReplica& client(size_t i) { return *clients_[i]; }
   size_t client_count() const { return clients_.size(); }
+  /// Clients still being synced (AddClient minus RemoveClient).
+  size_t connected_count() const { return connected_count_; }
 
   /// Synchronizes every client for the server's current tick. Appends the
   /// per-client byte cost into `stats` (sized to client count).
@@ -133,6 +146,7 @@ class SyncServer {
   /// (including earlier, destroyed) SyncServers sharing one catalog.
   uint64_t instance_id_ = 0;
   std::vector<std::unique_ptr<ClientReplica>> clients_;
+  size_t connected_count_ = 0;
 };
 
 }  // namespace gamedb::replication

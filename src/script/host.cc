@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/percentile.h"
 #include "core/query.h"
 #include "script/builtins.h"
 #include "script/parser.h"
@@ -116,20 +117,28 @@ Result<ScriptTickStats> ScriptHost::RunTick(
                             "' loaded in this host");
   }
   PrewarmStores();
+  ScriptTickStats stats;
   // Sequential point: let the planner refresh its statistics (and thereby
   // invalidate cached plans) before shards start planning concurrently,
   // then maintain live views from the change capture of the previous
   // apply phase — subscriptions fire here, and shards read a consistent
   // view snapshot for the whole parallel phase.
-  if (options_.planner != nullptr) options_.planner->OnQuiescent();
-  if (options_.views != nullptr) options_.views->Maintain();
+  if (options_.planner != nullptr) {
+    uint64_t t0 = MonotonicNanos();
+    options_.planner->OnQuiescent();
+    stats.quiescent_ns = MonotonicNanos() - t0;
+  }
+  if (options_.views != nullptr) {
+    uint64_t t0 = MonotonicNanos();
+    options_.views->Maintain();
+    stats.maintain_ns = MonotonicNanos() - t0;
+  }
   // Pre-create the wired channels so steady-state emits take only the
   // shared-lock path in ScriptEffects::Channel.
   for (const auto& [name, apply] : channels_) {
     effects_.Channel(name);
   }
 
-  ScriptTickStats stats;
   stats.entities = entities.size();
 
   const size_t nshards = shards_.size();
@@ -148,6 +157,7 @@ Result<ScriptTickStats> ScriptHost::RunTick(
   const uint64_t base_seed = options_.interpreter.rng_seed;
 
   // --- Query phase (parallel): read-only against tick-start state. -------
+  const uint64_t query_t0 = MonotonicNanos();
   exec_.pool().ParallelForChunks(
       entities.size(), [&](size_t chunk, size_t begin, size_t end) {
         Interpreter& interp = *shards_[chunk];
@@ -167,6 +177,8 @@ Result<ScriptTickStats> ScriptHost::RunTick(
         }
       });
 
+  stats.query_phase_ns = MonotonicNanos() - query_t0;
+
   size_t earliest = kNone;
   for (size_t i = 0; i < nshards; ++i) {
     stats.script_errors += error_count[i];
@@ -180,6 +192,7 @@ Result<ScriptTickStats> ScriptHost::RunTick(
   stats.deferred_ops = deferred_.size();
 
   // --- Apply phase (sequential, deterministic). --------------------------
+  const uint64_t apply_t0 = MonotonicNanos();
   // 1. Effect channels, in registration order.
   for (const auto& [name, apply] : channels_) {
     effects_.Drain(name, apply);
@@ -188,6 +201,7 @@ Result<ScriptTickStats> ScriptHost::RunTick(
   effects_.Clear();
   // 2. Deferred structural ops, in shard order (== entity order).
   deferred_.Apply(world_, &stats.deferred_skipped);
+  stats.apply_phase_ns = MonotonicNanos() - apply_t0;
 
   return stats;
 }

@@ -89,6 +89,14 @@ struct ScriptTickStats {
   size_t deferred_skipped = 0;
   /// Interpreter fuel burned across all shards this tick.
   uint64_t fuel_used = 0;
+  /// Tick-phase wall-clock breakdown (steady_clock nanoseconds), the
+  /// instrumentation the scenario load harness (tools/loadgen) aggregates
+  /// into per-phase latency histograms. Timing only — never feeds back into
+  /// execution, so determinism contracts are unaffected.
+  uint64_t quiescent_ns = 0;    ///< planner OnQuiescent (stats refresh)
+  uint64_t maintain_ns = 0;     ///< ViewCatalog::Maintain + subscriptions
+  uint64_t query_phase_ns = 0;  ///< parallel script fan-out + join
+  uint64_t apply_phase_ns = 0;  ///< channel drains + deferred-op replay
 };
 
 /// Parallel scripted query phase over a World. See file comment.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/percentile.h"
+
 namespace gamedb::views {
 
 ViewCatalog::~ViewCatalog() {
@@ -84,6 +86,8 @@ bool ViewCatalog::Unregister(const std::string& name) {
 }
 
 void ViewCatalog::Maintain() {
+  const uint64_t t0 = MonotonicNanos();
+  const uint64_t changes_before = stats_.change_records;
   ++stats_.rounds;
   for (uint32_t id : captured_) {
     ComponentStore* store = world_->StoreById(id);
@@ -103,6 +107,9 @@ void ViewCatalog::Maintain() {
     }
   }
   for (auto& v : views_) v->ApplyCandidates();
+  stats_.last_round_changes = stats_.change_records - changes_before;
+  stats_.last_round_ns = MonotonicNanos() - t0;
+  stats_.maintain_ns += stats_.last_round_ns;
 }
 
 }  // namespace gamedb::views

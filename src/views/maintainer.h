@@ -39,6 +39,13 @@ struct CatalogStats {
   uint64_t rounds = 0;          ///< Maintain() calls
   uint64_t tables_flushed = 0;  ///< flushes that carried any net change
   uint64_t change_records = 0;  ///< net change records routed to views
+  /// Per-maintain cost counters (scenario-harness breakdown): cumulative
+  /// wall time (ns) across all Maintain() rounds, plus what the most
+  /// recent round did — so a driver can attribute a latency spike to "this
+  /// tick flushed 40k deltas", not just "views were slow".
+  uint64_t maintain_ns = 0;
+  uint64_t last_round_ns = 0;
+  uint64_t last_round_changes = 0;
 };
 
 /// Registry + maintainer of LiveViews over one World. Sequential-phase

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <mutex>
 
+#include "common/percentile.h"
+
 namespace gamedb::views {
 
 const char* AggKindName(AggKind k) {
@@ -313,9 +315,12 @@ void LiveView::MarkCandidate(EntityId e) {
 }
 
 void LiveView::ApplyCandidates() {
+  if (candidates_.empty()) return;
+  const uint64_t t0 = MonotonicNanos();
   for (EntityId e : candidates_) Reevaluate(e);
   candidates_.clear();
   candidate_set_.clear();
+  stats_.maintain_ns += MonotonicNanos() - t0;
 }
 
 void LiveView::Reevaluate(EntityId e) {
@@ -369,6 +374,7 @@ void LiveView::Update(EntityId e) {
 }
 
 Status LiveView::Repopulate() {
+  const uint64_t t0 = MonotonicNanos();
   std::vector<EntityId> fresh;
   GAMEDB_RETURN_NOT_OK(RunQuery(&fresh));
   ++stats_.repopulations;
@@ -391,6 +397,7 @@ Status LiveView::Repopulate() {
   sorted_driver_ = driver;
   sorted_driver_version_ = driver != nullptr ? driver->last_version() : 0;
   sorted_dirty_ = driver == nullptr;
+  stats_.maintain_ns += MonotonicNanos() - t0;
   return Status::OK();
 }
 

@@ -1,0 +1,176 @@
+// Pins the documented ChangeSet multi-consumer footgun (see
+// views/maintainer.h "Ownership rule" and ROADMAP.md): a component table's
+// change ring is consumed destructively by FlushChanges, so two
+// ViewCatalogs on one World — or a catalog plus any external FlushChanges
+// caller — steal each other's deltas, and the loser silently serves stale
+// view state.
+//
+// These tests document the CURRENT (lossy) semantics on purpose. When
+// scale-out work replaces the single-flusher ring with per-consumer
+// cursors, the stale-view expectations below are the spec to flip: each
+// EXPECT marked "footgun:" should then assert fresh state instead.
+
+#include "core/change_log.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reflect.h"
+#include "core/sparse_set.h"
+#include "core/world.h"
+#include "views/maintainer.h"
+
+namespace gamedb {
+namespace {
+
+using views::LiveView;
+using views::ViewCatalog;
+using views::ViewDef;
+
+ViewDef WoundedDef(const std::string& name) {
+  ViewDef def;
+  def.name = name;
+  def.where = {{"Health", "hp", CmpOp::kLt, 30.0}};
+  return def;
+}
+
+class ChangeLogMultiConsumerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterStandardComponents(); }
+
+  EntityId Spawn(float hp) {
+    EntityId e = world.Create();
+    world.Set(e, Health{hp, 100.0f});
+    return e;
+  }
+
+  void Wound(EntityId e) {
+    world.Patch<Health>(e, [](Health& h) { h.hp = 5.0f; });
+  }
+
+  World world;
+};
+
+// Baseline sanity: with exactly one consumer, deltas arrive exactly once
+// and maintenance converges. (If this fails, the footgun tests below are
+// meaningless.)
+TEST_F(ChangeLogMultiConsumerTest, SingleCatalogSeesEveryDelta) {
+  ViewCatalog catalog(&world);
+  EntityId e = Spawn(80.0f);
+  LiveView* view = catalog.Register(WoundedDef("wounded")).value();
+  EXPECT_FALSE(view->Contains(e));
+
+  Wound(e);
+  catalog.Maintain();
+  EXPECT_TRUE(view->Contains(e));
+  EXPECT_EQ(catalog.stats().change_records, 1u);
+}
+
+// An external FlushChanges between the mutation and Maintain() consumes the
+// ring; the catalog's next Maintain sees an empty window and the view goes
+// stale even though the table state changed.
+TEST_F(ChangeLogMultiConsumerTest, ExternalFlushStarvesTheCatalog) {
+  ViewCatalog catalog(&world);
+  EntityId e = Spawn(80.0f);
+  LiveView* view = catalog.Register(WoundedDef("wounded")).value();
+
+  Wound(e);
+  ChangeSet stolen;
+  world.Table<Health>().FlushChanges(&stolen);
+  ASSERT_EQ(stolen.updated.size(), 1u) << "external consumer got the delta";
+
+  catalog.Maintain();
+  // footgun: the entity now matches the predicate but the view never heard.
+  EXPECT_FALSE(view->Contains(e))
+      << "current semantics: the externally-flushed delta is lost to the "
+         "catalog; if this now sees the entity, the ring grew per-consumer "
+         "cursors — flip this test into a freshness assertion";
+  EXPECT_EQ(catalog.stats().change_records, 0u);
+
+  // The loss is permanent for that window, not just deferred: later
+  // windows only carry later mutations.
+  catalog.Maintain();
+  EXPECT_FALSE(view->Contains(e));
+
+  // A later mutation of the same row does reach the catalog (the ring
+  // restarts empty after the steal) — stale, not wedged.
+  world.Patch<Health>(e, [](Health& h) { h.hp = 4.0f; });
+  catalog.Maintain();
+  EXPECT_TRUE(view->Contains(e));
+}
+
+// Two catalogs on one World: whoever Maintains first after a mutation
+// consumes the shared ring; the other catalog's dependent view misses the
+// transition. Maintenance order decides who is correct.
+TEST_F(ChangeLogMultiConsumerTest, TwoCatalogsStealEachOthersDeltas) {
+  ViewCatalog first(&world);
+  ViewCatalog second(&world);
+  EntityId e = Spawn(80.0f);
+  LiveView* first_view = first.Register(WoundedDef("wounded_a")).value();
+  LiveView* second_view = second.Register(WoundedDef("wounded_b")).value();
+
+  Wound(e);
+  first.Maintain();
+  second.Maintain();
+
+  EXPECT_TRUE(first_view->Contains(e)) << "the first flusher wins";
+  // footgun: the second catalog flushed an already-drained ring.
+  EXPECT_FALSE(second_view->Contains(e))
+      << "current semantics: the second catalog lost the delta; per-consumer "
+         "change cursors would make both views converge";
+  EXPECT_EQ(second.stats().change_records, 0u);
+
+  // Reverse the order for the next mutation: the winner flips, proving the
+  // data race is ordering, not catalog identity.
+  world.Patch<Health>(e, [](Health& h) { h.hp = 95.0f; });
+  second.Maintain();
+  first.Maintain();
+  EXPECT_FALSE(second_view->Contains(e)) << "now the second catalog is fresh";
+  EXPECT_TRUE(first_view->Contains(e))
+      << "footgun: the first catalog missed the exit transition and still "
+         "lists a healed entity as wounded";
+}
+
+// Registration itself populates from a full scan, so a brand-new catalog is
+// correct at birth even if another consumer has been draining the ring all
+// along — the footgun is confined to incremental maintenance.
+TEST_F(ChangeLogMultiConsumerTest, RegistrationSnapshotIsUnaffected) {
+  ViewCatalog drainer(&world);
+  drainer.Register(WoundedDef("drain")).value();
+  EntityId e = Spawn(80.0f);
+  Wound(e);
+  drainer.Maintain();  // consumes the delta
+
+  ViewCatalog late(&world);
+  LiveView* late_view = late.Register(WoundedDef("late")).value();
+  EXPECT_TRUE(late_view->Contains(e))
+      << "Register() populates by scan, not from the (already drained) ring";
+}
+
+// Destroying a catalog disables capture on its tables — which also discards
+// deltas a second catalog was counting on (the destructor cannot know
+// another flusher exists). Documented corollary of the ownership rule.
+TEST_F(ChangeLogMultiConsumerTest, CatalogTeardownDropsPendingDeltas) {
+  ViewCatalog survivor(&world);
+  LiveView* view = survivor.Register(WoundedDef("survivor")).value();
+  EntityId e = Spawn(80.0f);
+  {
+    ViewCatalog doomed(&world);
+    doomed.Register(WoundedDef("doomed")).value();
+    Wound(e);  // buffered in the shared ring
+  }  // ~ViewCatalog disables capture on Health, discarding the buffer
+
+  ASSERT_FALSE(world.Table<Health>().change_capture_enabled())
+      << "teardown disabled capture under the surviving catalog";
+  survivor.Maintain();
+  // footgun: the surviving catalog never sees the wound.
+  EXPECT_FALSE(view->Contains(e));
+
+  // And with capture now off, even future mutations go unseen until
+  // something re-enables it.
+  world.Patch<Health>(e, [](Health& h) { h.hp = 2.0f; });
+  survivor.Maintain();
+  EXPECT_FALSE(view->Contains(e));
+}
+
+}  // namespace
+}  // namespace gamedb

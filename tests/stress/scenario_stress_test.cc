@@ -1,0 +1,59 @@
+// Stress tier of the scenario-replay regression suite (`ctest -L stress`;
+// also the TSan CI target): every scenario at a config an order of
+// magnitude past tests/loadgen — hundreds of clients, thousands of NPCs,
+// real thread fan-out — still bit-identical at 1 vs 4 ScriptHost threads
+// and with the planner on vs off. tests/loadgen/scenario_test.cc holds the
+// fast tier-1 versions of these assertions.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "loadgen/metrics.h"
+#include "loadgen/scenario.h"
+
+namespace gamedb::loadgen {
+namespace {
+
+ScenarioConfig StressConfig(const std::string& name) {
+  ScenarioConfig cfg = DefaultConfig(name).value();
+  cfg.clients = 96;
+  cfg.npcs = 3000;
+  cfg.ticks = 60;
+  cfg.seed = 20260808;
+  cfg.collect_timing = false;
+  return cfg;
+}
+
+ScenarioReport MustRun(ScenarioConfig cfg) {
+  Result<ScenarioReport> r = RunScenario(cfg);
+  EXPECT_TRUE(r.ok()) << cfg.scenario << ": " << r.status().ToString();
+  return r.ok() ? r.value() : ScenarioReport{};
+}
+
+class ScenarioStressTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioStressTest, LargeConfigBitIdenticalAcrossThreadsAndPlanner) {
+  ScenarioConfig cfg = StressConfig(GetParam());
+  ScenarioReport one = MustRun(cfg);
+  EXPECT_EQ(one.script_errors, 0u);
+  EXPECT_GT(one.client_ticks, 0u);
+
+  cfg.threads = 4;
+  ScenarioReport four = MustRun(cfg);
+  EXPECT_EQ(one.world_hash, four.world_hash);
+  EXPECT_EQ(RenderReportJson(one), RenderReportJson(four))
+      << GetParam() << ": replay artifact diverged across thread counts";
+
+  cfg.planner_on = false;
+  ScenarioReport off = MustRun(cfg);
+  EXPECT_EQ(one.world_hash, off.world_hash)
+      << GetParam() << ": planner policy leaked into world state";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioStressTest,
+                         ::testing::ValuesIn(ScenarioNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace gamedb::loadgen

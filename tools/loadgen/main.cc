@@ -1,0 +1,223 @@
+/// \file main.cc
+/// loadgen CLI — the e15 scenario harness entry point.
+///
+///   loadgen --list
+///   loadgen --scenario=steady_state --clients=64 --npcs=4000 --ticks=200
+///   loadgen --scenario=all --out=bench_out --validate --enforce-slo
+///   loadgen --scenario=chase --deterministic --threads=4
+///
+/// Exit codes: 0 success; 1 usage / harness error; 2 schema validation
+/// failure (--validate); 3 SLO violation (--enforce-slo).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "loadgen/metrics.h"
+#include "loadgen/scenario.h"
+
+namespace {
+
+using gamedb::Result;
+using gamedb::Status;
+using namespace gamedb::loadgen;
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: loadgen [--scenario=<name|all>] [options]\n"
+               "  --list              list scenarios and exit\n"
+               "  --scenario=NAME     scenario to run, or 'all' (default: "
+               "steady_state)\n"
+               "  --clients=N         simulated clients\n"
+               "  --npcs=N            initial NPC population\n"
+               "  --ticks=N           simulation ticks\n"
+               "  --seed=N            rng seed\n"
+               "  --threads=N         script-phase threads\n"
+               "  --planner=on|off    cost-based planner policy\n"
+               "  --out=DIR           directory for BENCH_e15_*.json "
+               "(default: .)\n"
+               "  --deterministic     omit timing from the report (replay "
+               "mode)\n"
+               "  --validate          schema-check each emitted report\n"
+               "  --enforce-slo       exit 3 if any scenario violates its "
+               "SLO\n");
+}
+
+bool ParseUint(const std::string& v, uint64_t* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+struct CliOptions {
+  std::string scenario = "steady_state";
+  std::string out_dir;
+  bool list = false;
+  bool deterministic = false;
+  bool validate = false;
+  bool enforce_slo = false;
+  // Overrides: only applied when the flag was given, so per-scenario
+  // defaults (DefaultConfig) survive untouched flags.
+  bool has_clients = false, has_npcs = false, has_ticks = false;
+  bool has_seed = false, has_threads = false, has_planner = false;
+  uint64_t clients = 0, npcs = 0, ticks = 0, seed = 0, threads = 0;
+  bool planner_on = true;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    auto eat = [&](const char* name) {
+      std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        value = arg.substr(prefix.size());
+        return true;
+      }
+      return false;
+    };
+    if (arg == "--list") {
+      opts->list = true;
+    } else if (arg == "--deterministic") {
+      opts->deterministic = true;
+    } else if (arg == "--validate") {
+      opts->validate = true;
+    } else if (arg == "--enforce-slo") {
+      opts->enforce_slo = true;
+    } else if (eat("--scenario")) {
+      opts->scenario = value;
+    } else if (eat("--out")) {
+      opts->out_dir = value;
+    } else if (eat("--clients")) {
+      if (!ParseUint(value, &opts->clients)) return false;
+      opts->has_clients = true;
+    } else if (eat("--npcs")) {
+      if (!ParseUint(value, &opts->npcs)) return false;
+      opts->has_npcs = true;
+    } else if (eat("--ticks")) {
+      if (!ParseUint(value, &opts->ticks)) return false;
+      opts->has_ticks = true;
+    } else if (eat("--seed")) {
+      if (!ParseUint(value, &opts->seed)) return false;
+      opts->has_seed = true;
+    } else if (eat("--threads")) {
+      if (!ParseUint(value, &opts->threads) || opts->threads == 0) {
+        return false;
+      }
+      opts->has_threads = true;
+    } else if (eat("--planner")) {
+      if (value != "on" && value != "off") return false;
+      opts->planner_on = (value == "on");
+      opts->has_planner = true;
+    } else {
+      std::fprintf(stderr, "loadgen: unknown flag '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs one scenario; returns its exit code contribution (0/1/2/3).
+int RunOne(const std::string& name, const CliOptions& opts) {
+  Result<ScenarioConfig> cfg_or = DefaultConfig(name);
+  if (!cfg_or.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n",
+                 cfg_or.status().ToString().c_str());
+    return 1;
+  }
+  ScenarioConfig cfg = cfg_or.value();
+  if (opts.has_clients) cfg.clients = opts.clients;
+  if (opts.has_npcs) cfg.npcs = opts.npcs;
+  if (opts.has_ticks) cfg.ticks = opts.ticks;
+  if (opts.has_seed) cfg.seed = opts.seed;
+  if (opts.has_threads) cfg.threads = opts.threads;
+  if (opts.has_planner) cfg.planner_on = opts.planner_on;
+  cfg.collect_timing = !opts.deterministic;
+
+  Result<ScenarioReport> report_or = RunScenario(cfg);
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "loadgen: %s: %s\n", name.c_str(),
+                 report_or.status().ToString().c_str());
+    return 1;
+  }
+  const ScenarioReport& report = report_or.value();
+
+  Result<std::string> path_or = WriteReportFile(report, opts.out_dir);
+  if (!path_or.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n",
+                 path_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-14s hash=%s entities=%llu sync=%.1f B/client-tick",
+              name.c_str(), report.world_hash.c_str(),
+              static_cast<unsigned long long>(report.final_entities),
+              report.sync_bytes_per_client_tick);
+  if (cfg.collect_timing) {
+    std::printf(" tick p50=%.3fms p99=%.3fms p99.9=%.3fms",
+                report.tick.p50_ns / 1e6, report.tick.p99_ns / 1e6,
+                report.tick.p999_ns / 1e6);
+  }
+  std::printf(" -> %s\n", path_or.value().c_str());
+
+  int rc = 0;
+  if (opts.validate) {
+    std::ifstream in(path_or.value(), std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Status v = ValidateReportJson(buffer.str());
+    if (!v.ok()) {
+      std::fprintf(stderr, "loadgen: %s: validation failed: %s\n",
+                   name.c_str(), v.ToString().c_str());
+      rc = 2;
+    } else {
+      std::printf("%-14s schema OK (%s)\n", name.c_str(), kReportSchema);
+    }
+  }
+  if (report.slo_evaluated && report.slo_violated) {
+    std::fprintf(stderr, "loadgen: %s: SLO VIOLATED: %s\n", name.c_str(),
+                 report.slo_detail.c_str());
+    if (opts.enforce_slo && rc == 0) rc = 3;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    PrintUsage();
+    return 1;
+  }
+  if (opts.list) {
+    for (const std::string& name : ScenarioNames()) {
+      std::printf("%-14s %s\n", name.c_str(),
+                  ScenarioDescription(name).c_str());
+    }
+    return 0;
+  }
+  std::vector<std::string> to_run;
+  if (opts.scenario == "all") {
+    to_run = ScenarioNames();
+  } else {
+    if (!IsScenarioName(opts.scenario)) {
+      std::fprintf(stderr, "loadgen: unknown scenario '%s' (try --list)\n",
+                   opts.scenario.c_str());
+      return 1;
+    }
+    to_run.push_back(opts.scenario);
+  }
+  int rc = 0;
+  for (const std::string& name : to_run) {
+    int one = RunOne(name, opts);
+    if (one != 0 && (rc == 0 || one < rc)) rc = one;
+  }
+  return rc;
+}

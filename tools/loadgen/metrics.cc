@@ -1,0 +1,480 @@
+#include "loadgen/metrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace gamedb::loadgen {
+
+namespace {
+
+// --- Rendering --------------------------------------------------------------
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Fixed-precision double rendering: deterministic for identical values,
+/// never locale-dependent, never scientific notation.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+/// Streams `"key": value` pairs with fixed order and indentation.
+class ObjectWriter {
+ public:
+  ObjectWriter(std::string* out, int indent) : out_(out), indent_(indent) {
+    *out_ += "{";
+  }
+  void Field(const char* key, const std::string& s) {
+    Key(key);
+    *out_ += '"' + EscapeJson(s) + '"';
+  }
+  void Field(const char* key, uint64_t v) {
+    Key(key);
+    *out_ += std::to_string(v);
+  }
+  void Field(const char* key, double v) {
+    Key(key);
+    *out_ += FormatDouble(v);
+  }
+  void Field(const char* key, bool v) {
+    Key(key);
+    *out_ += v ? "true" : "false";
+  }
+  /// Opens a nested object; `body` fills it via its own ObjectWriter.
+  template <typename Fn>
+  void Object(const char* key, Fn body) {
+    Key(key);
+    ObjectWriter child(out_, indent_ + 2);
+    body(child);
+    child.Close();
+  }
+  void Close() {
+    *out_ += '\n' + std::string(indent_ > 2 ? indent_ - 2 : 0, ' ') + "}";
+  }
+
+ private:
+  void Key(const char* key) {
+    if (!first_) *out_ += ',';
+    first_ = false;
+    *out_ += '\n' + std::string(indent_, ' ') + '"' + key + "\": ";
+  }
+  std::string* out_;
+  int indent_;
+  bool first_ = true;
+};
+
+void RenderSummary(ObjectWriter& w, const char* key,
+                   const LatencySummary& s) {
+  w.Object(key, [&](ObjectWriter& o) {
+    o.Field("count", s.count);
+    o.Field("p50", s.p50_ns);
+    o.Field("p99", s.p99_ns);
+    o.Field("p999", s.p999_ns);
+    o.Field("max", s.max_ns);
+    o.Field("mean", s.mean_ns);
+  });
+}
+
+// --- Minimal JSON parser (validation only) ----------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  /// Insertion order is irrelevant for validation; a map keeps lookup easy.
+  std::map<std::string, JsonValue> fields;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    GAMEDB_RETURN_NOT_OK(ParseValue(out));
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return Status::OK();
+  }
+
+ private:
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') return ParseLiteral(out);
+    if (c == 'n') return ParseLiteral(out);
+    return ParseNumber(out);
+  }
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      GAMEDB_RETURN_NOT_OK(ParseString(&key));
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      GAMEDB_RETURN_NOT_OK(ParseValue(&value));
+      out->fields.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Fail("expected ',' or '}'");
+    }
+  }
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      GAMEDB_RETURN_NOT_OK(ParseValue(&value));
+      out->items.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Fail("expected ',' or ']'");
+    }
+  }
+  Status ParseString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            // Validation never inspects escaped text; keep the raw form.
+            *out += "\\u" + text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+  Status ParseLiteral(JsonValue* out) {
+    auto match = [&](const char* word) {
+      size_t n = std::char_traits<char>::length(word);
+      if (text_.compare(pos_, n, word) == 0) {
+        pos_ += n;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->b = true;
+      return Status::OK();
+    }
+    if (match("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->b = false;
+      return Status::OK();
+    }
+    if (match("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    return Fail("bad literal");
+  }
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    try {
+      out->num = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return Fail("bad number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// --- Schema checks ----------------------------------------------------------
+
+Status Require(const JsonValue& obj, const char* section, const char* key,
+               JsonValue::Kind kind) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument(std::string("schema: missing ") + section +
+                                   "." + key);
+  }
+  if (v->kind != kind) {
+    return Status::InvalidArgument(std::string("schema: wrong type for ") +
+                                   section + "." + key);
+  }
+  return Status::OK();
+}
+
+Status CheckSummary(const JsonValue& timing, const char* key) {
+  const JsonValue* s = timing.Find(key);
+  if (s == nullptr || s->kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument(std::string("schema: missing timing.") +
+                                   key);
+  }
+  for (const char* field : {"count", "p50", "p99", "p999", "max", "mean"}) {
+    GAMEDB_RETURN_NOT_OK(Require(*s, key, field, JsonValue::Kind::kNumber));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string RenderReportJson(const ScenarioReport& report) {
+  std::string out;
+  out.reserve(2048);
+  ObjectWriter root(&out, 2);
+  root.Field("schema", std::string(kReportSchema));
+  root.Object("config", [&](ObjectWriter& o) {
+    const ScenarioConfig& c = report.config;
+    o.Field("scenario", c.scenario);
+    o.Field("clients", static_cast<uint64_t>(c.clients));
+    o.Field("npcs", static_cast<uint64_t>(c.npcs));
+    o.Field("ticks", static_cast<uint64_t>(c.ticks));
+    o.Field("seed", c.seed);
+    // Thread count is an execution detail the determinism contract says
+    // cannot affect results; replay-mode reports omit it so the whole file
+    // is byte-identical at any thread count.
+    if (c.collect_timing) {
+      o.Field("threads", static_cast<uint64_t>(c.threads));
+    }
+    o.Field("planner", std::string(c.planner_on ? "on" : "off"));
+    o.Field("arena", static_cast<double>(c.arena));
+    o.Field("interest_radius", static_cast<double>(c.interest_radius));
+    o.Field("collect_timing", c.collect_timing);
+  });
+  root.Object("deterministic", [&](ObjectWriter& o) {
+    o.Field("world_hash", report.world_hash);
+    o.Field("final_entities", report.final_entities);
+    o.Field("peak_entities", report.peak_entities);
+    o.Field("logins", report.logins);
+    o.Field("logouts", report.logouts);
+    o.Field("spawns", report.spawns);
+    o.Field("despawns", report.despawns);
+    o.Field("deaths", report.deaths);
+    o.Field("sync_bytes_total", report.sync_bytes_total);
+    o.Field("sync_rows_total", report.sync_rows_total);
+    o.Field("sync_removals_total", report.sync_removals_total);
+    o.Field("client_ticks", report.client_ticks);
+    o.Field("sync_bytes_per_client_tick", report.sync_bytes_per_client_tick);
+    o.Field("script_errors", report.script_errors);
+    o.Field("effect_contributions", report.effect_contributions);
+    o.Field("deferred_ops", report.deferred_ops);
+    o.Field("view_rounds", report.view_rounds);
+    o.Field("view_change_records", report.view_change_records);
+    o.Field("wounded_final", report.wounded_final);
+    o.Field("critical_final", report.critical_final);
+    o.Field("checkpoints", report.checkpoints);
+    o.Field("wal_records", report.wal_records);
+    o.Field("recovery_tick", report.recovery_tick);
+  });
+  if (report.config.collect_timing) {
+    root.Object("timing", [&](ObjectWriter& o) {
+      RenderSummary(o, "tick_ns", report.tick);
+      RenderSummary(o, "script_phase_ns", report.script_phase);
+      RenderSummary(o, "view_maintain_ns", report.view_maintain);
+      RenderSummary(o, "sync_phase_ns", report.sync_phase);
+      RenderSummary(o, "persist_phase_ns", report.persist_phase);
+      o.Object("slo", [&](ObjectWriter& slo) {
+        slo.Field("evaluated", report.slo_evaluated);
+        slo.Field("violated", report.slo_violated);
+        slo.Field("detail", report.slo_detail);
+      });
+    });
+  }
+  root.Close();
+  out += '\n';
+  return out;
+}
+
+std::string ReportFileName(const std::string& scenario) {
+  return "BENCH_e15_" + scenario + ".json";
+}
+
+Result<std::string> WriteReportFile(const ScenarioReport& report,
+                                    const std::string& dir) {
+  std::string path = dir.empty()
+                         ? ReportFileName(report.config.scenario)
+                         : dir + "/" + ReportFileName(report.config.scenario);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << RenderReportJson(report);
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return path;
+}
+
+Status ValidateReportJson(const std::string& json) {
+  JsonValue root;
+  GAMEDB_RETURN_NOT_OK(JsonParser(json).Parse(&root));
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("schema: top level must be an object");
+  }
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString) {
+    return Status::InvalidArgument("schema: missing schema tag");
+  }
+  if (schema->str != kReportSchema) {
+    return Status::InvalidArgument("schema: unknown schema '" + schema->str +
+                                   "'");
+  }
+
+  const JsonValue* config = root.Find("config");
+  if (config == nullptr || config->kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("schema: missing config object");
+  }
+  GAMEDB_RETURN_NOT_OK(
+      Require(*config, "config", "scenario", JsonValue::Kind::kString));
+  for (const char* key : {"clients", "npcs", "ticks", "seed"}) {
+    GAMEDB_RETURN_NOT_OK(
+        Require(*config, "config", key, JsonValue::Kind::kNumber));
+  }
+  // `threads` is omitted from replay-mode reports (see RenderReportJson).
+  const JsonValue* threads = config->Find("threads");
+  if (threads != nullptr && threads->kind != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument("schema: wrong type for config.threads");
+  }
+  GAMEDB_RETURN_NOT_OK(
+      Require(*config, "config", "planner", JsonValue::Kind::kString));
+  GAMEDB_RETURN_NOT_OK(Require(*config, "config", "collect_timing",
+                               JsonValue::Kind::kBool));
+
+  const JsonValue* det = root.Find("deterministic");
+  if (det == nullptr || det->kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("schema: missing deterministic object");
+  }
+  GAMEDB_RETURN_NOT_OK(Require(*det, "deterministic", "world_hash",
+                               JsonValue::Kind::kString));
+  for (const char* key :
+       {"final_entities", "peak_entities", "logins", "logouts", "spawns",
+        "despawns", "deaths", "sync_bytes_total", "sync_rows_total",
+        "sync_removals_total", "client_ticks", "sync_bytes_per_client_tick",
+        "script_errors", "effect_contributions", "deferred_ops",
+        "view_rounds", "view_change_records", "wounded_final",
+        "critical_final", "checkpoints", "wal_records", "recovery_tick"}) {
+    GAMEDB_RETURN_NOT_OK(
+        Require(*det, "deterministic", key, JsonValue::Kind::kNumber));
+  }
+
+  const JsonValue* timing = root.Find("timing");
+  const JsonValue* collect = config->Find("collect_timing");
+  if (collect != nullptr && collect->b) {
+    if (timing == nullptr || timing->kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument(
+          "schema: collect_timing=true but no timing object");
+    }
+  }
+  if (timing != nullptr) {
+    if (timing->kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("schema: timing must be an object");
+    }
+    for (const char* key : {"tick_ns", "script_phase_ns", "view_maintain_ns",
+                            "sync_phase_ns", "persist_phase_ns"}) {
+      GAMEDB_RETURN_NOT_OK(CheckSummary(*timing, key));
+    }
+    const JsonValue* slo = timing->Find("slo");
+    if (slo == nullptr || slo->kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("schema: missing timing.slo");
+    }
+    GAMEDB_RETURN_NOT_OK(
+        Require(*slo, "timing.slo", "evaluated", JsonValue::Kind::kBool));
+    GAMEDB_RETURN_NOT_OK(
+        Require(*slo, "timing.slo", "violated", JsonValue::Kind::kBool));
+  }
+  return Status::OK();
+}
+
+}  // namespace gamedb::loadgen

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file scenario.h
+/// The MMO scenario load harness: seed-deterministic hostile workloads
+/// driven against the *full* gamedb stack — World mutations, the ScriptHost
+/// parallel query phase, the cost-based planner, ViewCatalog interest-view
+/// client sync, and the WAL/checkpoint persistence tier — with per-tick
+/// latency histograms (p50/p99/p99.9), per-phase breakdowns and sync
+/// bytes/client, serialized as machine-readable BENCH_e15_<scenario>.json
+/// (metrics.h) so the perf trajectory is diffable PR-over-PR.
+///
+/// Paper: the tutorial's core claim is that a declarative, database-backed
+/// engine can sustain massive multiplayer workloads; the Sowell et al.
+/// follow-up argues the payoff shows up under rich, *shifting* query
+/// workloads. The scenario library is exactly that shifting load: login
+/// storms, hotspot flash crowds, mass spawn waves, churny interest-view
+/// chases — not one subsystem in isolation (e01–e14), the whole tick loop.
+///
+/// Determinism contract (tests/loadgen, tests/stress): for a fixed
+/// (scenario, seed, clients, npcs, ticks), the final world-state hash — and
+/// every counter in ScenarioReport's deterministic section — is identical
+/// at 1 vs N ScriptHost threads and with the planner on vs off. Latency
+/// timings are observational only and never feed back into the simulation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/percentile.h"
+#include "common/status.h"
+
+namespace gamedb::loadgen {
+
+/// Parameters of one scenario run. Defaults are the bench-scale
+/// configuration; tests run reduced scale, the stress tier larger.
+struct ScenarioConfig {
+  std::string scenario = "steady_state";
+  /// Simulated clients (each: an avatar entity + an interest-view synced
+  /// replica). Scenario phases may connect/disconnect a subset.
+  size_t clients = 32;
+  /// Initial NPC population (spawn waves may grow it).
+  size_t npcs = 2000;
+  size_t ticks = 120;
+  uint64_t seed = 2026;
+  /// ScriptHost query-phase threads (also the shard count).
+  size_t threads = 1;
+  /// Cost-based planner on (PlannerPolicy::kOn) or off (built-in paths).
+  bool planner_on = true;
+  float arena = 1000.0f;
+  float interest_radius = 80.0f;
+  /// When false, latency histograms are not collected and the emitted JSON
+  /// omits the timing section entirely — the whole report is then
+  /// byte-identical for a given (scenario, seed) at any thread count (the
+  /// scenario-replay regression tier asserts exactly this).
+  bool collect_timing = true;
+  /// Tick-latency SLO targets in milliseconds; <= 0 disables that gate.
+  /// Violations are recorded in the report (and fail the CLI under
+  /// --enforce-slo); they never abort the run.
+  double slo_p50_ms = 0.0;
+  double slo_p99_ms = 0.0;
+  double slo_p999_ms = 0.0;
+};
+
+/// Quantile digest of one latency histogram, in nanoseconds.
+struct LatencySummary {
+  uint64_t count = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+  uint64_t max_ns = 0;
+  double mean_ns = 0.0;
+};
+
+LatencySummary Summarize(const LatencyHistogram& h);
+
+/// Everything one scenario run produced. Fields above `tick` are the
+/// deterministic section (thread- and planner-invariant, timing-free);
+/// the LatencySummary fields and the SLO verdict are observational.
+struct ScenarioReport {
+  ScenarioConfig config;
+
+  // --- Deterministic section --------------------------------------------
+  /// CRC-32C (hex) of the final world snapshot: the whole-system
+  /// differential discipline of PRs 3–5 extended to scenario scale.
+  std::string world_hash;
+  uint64_t final_entities = 0;
+  uint64_t peak_entities = 0;
+  uint64_t logins = 0;
+  uint64_t logouts = 0;
+  uint64_t spawns = 0;
+  uint64_t despawns = 0;
+  uint64_t deaths = 0;
+  uint64_t sync_bytes_total = 0;
+  uint64_t sync_rows_total = 0;
+  uint64_t sync_removals_total = 0;
+  /// Σ over ticks of connected clients — the denominator of bytes/client.
+  uint64_t client_ticks = 0;
+  double sync_bytes_per_client_tick = 0.0;
+  uint64_t script_errors = 0;
+  uint64_t effect_contributions = 0;
+  uint64_t deferred_ops = 0;
+  uint64_t view_rounds = 0;
+  uint64_t view_change_records = 0;
+  /// Final membership of the two global monitoring views.
+  uint64_t wounded_final = 0;
+  uint64_t critical_final = 0;
+  uint64_t checkpoints = 0;
+  uint64_t wal_records = 0;
+  /// Post-run crash-recovery check: tick a fresh Recover() restored to.
+  uint64_t recovery_tick = 0;
+
+  // --- Timing section (zeroed when !config.collect_timing) ---------------
+  LatencySummary tick;           ///< whole tick (mutate+script+sync+persist)
+  LatencySummary script_phase;   ///< ScriptHost parallel query fan-out
+  LatencySummary view_maintain;  ///< ViewCatalog::Maintain rounds
+  LatencySummary sync_phase;     ///< SyncServer::SyncAll
+  LatencySummary persist_phase;  ///< PersistenceManager::OnTickEnd
+  bool slo_evaluated = false;
+  bool slo_violated = false;
+  std::string slo_detail;
+};
+
+/// Names of every registered scenario, in registry order.
+std::vector<std::string> ScenarioNames();
+bool IsScenarioName(const std::string& name);
+/// One-line description of a scenario ("" when unknown).
+std::string ScenarioDescription(const std::string& name);
+
+/// Bench-scale default configuration for a scenario, including its default
+/// latency SLO targets. InvalidArgument on an unknown name.
+Result<ScenarioConfig> DefaultConfig(const std::string& name);
+
+/// Runs one scenario to completion. Fails only on harness-level errors
+/// (unknown scenario, script load failure); script errors and SLO
+/// violations are reported through the ScenarioReport.
+Result<ScenarioReport> RunScenario(const ScenarioConfig& cfg);
+
+}  // namespace gamedb::loadgen
