@@ -16,7 +16,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "common/rng.h"
+#include "script/analyzer.h"
 #include "script/bindings.h"
 #include "script/builtins.h"
 #include "script/parser.h"
@@ -144,6 +147,74 @@ void BM_FuelExhaustionGuard(benchmark::State& state) {
   state.SetLabel("fuel=" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_FuelExhaustionGuard)->Arg(10000)->Arg(100000);
+
+// --- static verifier cost --------------------------------------------------
+// The multi-pass verifier (analyzer.h Verify) runs at every Load; its price
+// must stay far below the per-tick work it saves. Scaled over synthetic
+// packs of N chained functions, each exercising every pass: a call edge
+// (structure/effects fixpoint), a component read+write and an emit
+// (phase + bindings), and a loop over a query (cost model).
+
+std::string SyntheticPack(size_t functions) {
+  std::ostringstream src;
+  for (size_t i = 0; i < functions; ++i) {
+    src << "fn f" << i << "(e) {\n"
+        << "  let hp = get(e, \"Health\", \"hp\")\n"
+        << "  foreach x in entities_with(\"Health\") {\n"
+        << "    emit(\"damage\", x, hp * 0.1)\n"
+        << "  }\n"
+        << "  set(e, \"Health\", \"hp\", hp - 1)\n";
+    if (i + 1 < functions) src << "  f" << (i + 1) << "(e)\n";
+    src << "}\n";
+  }
+  return src.str();
+}
+
+void BM_VerifyPack(benchmark::State& state) {
+  RegisterStandardComponents();
+  World world;
+  auto interp = std::make_unique<Interpreter>();
+  RegisterCoreBuiltins(interp.get());
+  BindWorld(interp.get(), &world, nullptr);
+  auto parsed = Parse(SyntheticPack(size_t(state.range(0))), "synthetic.gsl");
+  GAMEDB_CHECK(parsed.ok());
+
+  VerifierOptions opts;
+  opts.phase = PhaseContext::kParallelDefer;
+  opts.is_builtin = [&interp](const std::string& n) {
+    return interp->IsBuiltin(n);
+  };
+  opts.schema = ReflectionSchema();
+  opts.cost_budget = 1e12;  // priced but never tripped
+  double max_cost = 0;
+  for (auto _ : state) {
+    DiagnosticSink sink;
+    VerifyReport report = Verify(*parsed, opts, &sink);
+    GAMEDB_CHECK(!sink.has_errors());
+    max_cost = report.max_entry_cost;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["max_entry_cost"] = benchmark::Counter(max_cost);
+  state.SetLabel("verify_all_passes");
+}
+BENCHMARK(BM_VerifyPack)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_VerifyVsParse(benchmark::State& state) {
+  // Parse+verify together — the full load-time analysis price per pack.
+  RegisterStandardComponents();
+  const std::string src = SyntheticPack(size_t(state.range(0)));
+  VerifierOptions opts;
+  opts.schema = ReflectionSchema();
+  for (auto _ : state) {
+    auto parsed = Parse(src, "synthetic.gsl");
+    GAMEDB_CHECK(parsed.ok());
+    DiagnosticSink sink;
+    VerifyReport report = Verify(*parsed, opts, &sink);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetLabel("parse_plus_verify");
+}
+BENCHMARK(BM_VerifyVsParse)->Arg(16)->Arg(128);
 
 }  // namespace
 

@@ -1,0 +1,50 @@
+# Build-time embedding of GSL script assets (assets/scripts/*.gsl) into
+# C++ headers, so the .gsl files are the single source of truth: the same
+# file the programs run is what tools/gsl_lint and CI verify.
+#
+# This file is both a module (include() it, then call gamedb_embed_gsl)
+# and the generator itself (invoked in cmake -P script mode by the custom
+# command the function registers).
+
+if(CMAKE_SCRIPT_MODE_FILE AND CMAKE_SCRIPT_MODE_FILE STREQUAL CMAKE_CURRENT_LIST_FILE)
+  # Script mode: -DGSL_INPUT=<file.gsl> -DGSL_OUTPUT=<header> -DGSL_VAR=<id>
+  file(READ "${GSL_INPUT}" _gsl_source)
+  get_filename_component(_gsl_name "${GSL_INPUT}" NAME)
+  string(CONCAT _header
+      "// Generated from ${_gsl_name} by cmake/EmbedGsl.cmake — do not edit;\n"
+      "// edit assets/scripts/${_gsl_name} instead.\n"
+      "#pragma once\n"
+      "\n"
+      "/// Source path of the embedded script (diagnostics origin).\n"
+      "inline constexpr char ${GSL_VAR}Name[] = \"${_gsl_name}\";\n"
+      "\n"
+      "inline constexpr char ${GSL_VAR}[] = R\"GSL(${_gsl_source})GSL\";\n")
+  file(WRITE "${GSL_OUTPUT}" "${_header}")
+  return()
+endif()
+
+set(GAMEDB_EMBED_GSL_SCRIPT ${CMAKE_CURRENT_LIST_FILE})
+set(GAMEDB_GSL_GEN_DIR ${CMAKE_BINARY_DIR}/assets_gen)
+
+# gamedb_embed_gsl(<var> <path-to-gsl>)
+#
+# Registers a custom command generating
+#   ${GAMEDB_GSL_GEN_DIR}/<base>_gsl.h
+# which defines `inline constexpr char <var>[]` (the script source) and
+# `<var>Name` (the file name, for use as the script origin). Also creates
+# target gsl_header_<base>; consumers add_dependencies() on it and put
+# ${GAMEDB_GSL_GEN_DIR} on their include path (include "<base>_gsl.h").
+function(gamedb_embed_gsl var gsl_path)
+  get_filename_component(base ${gsl_path} NAME_WE)
+  set(header ${GAMEDB_GSL_GEN_DIR}/${base}_gsl.h)
+  add_custom_command(
+    OUTPUT ${header}
+    COMMAND ${CMAKE_COMMAND}
+            -DGSL_INPUT=${gsl_path}
+            -DGSL_OUTPUT=${header}
+            -DGSL_VAR=${var}
+            -P ${GAMEDB_EMBED_GSL_SCRIPT}
+    DEPENDS ${gsl_path} ${GAMEDB_EMBED_GSL_SCRIPT}
+    COMMENT "Embedding ${base}.gsl")
+  add_custom_target(gsl_header_${base} DEPENDS ${header})
+endfunction()

@@ -19,6 +19,12 @@
 // hash lookup).
 //
 //   ./build/examples/scripted_world --explain
+//
+// `--lint` runs the GSL static verifier (script/analyzer.h) over the
+// shipped packs (assets/scripts/hunt.gsl, wolf_pack.gsl) and exits 0/1;
+// `--strict-scripts` makes every script load reject on verifier errors.
+//
+//   ./build/examples/scripted_world --lint
 
 #include <algorithm>
 #include <chrono>
@@ -32,11 +38,17 @@
 #include "content/prefab.h"
 #include "core/serialize.h"
 #include "planner/planner.h"
+#include "script/analyzer.h"
 #include "script/bindings.h"
 #include "script/builtins.h"
 #include "script/host.h"
 #include "script/parser.h"
 #include "script/triggers.h"
+
+// Shipped GSL packs, embedded from assets/scripts/ at build time
+// (cmake/EmbedGsl.cmake): kHuntScript / kWolfPackScript + *Name origins.
+#include "hunt_gsl.h"
+#include "wolf_pack_gsl.h"
 
 using namespace gamedb;          // NOLINT
 using gamedb::script::Value;
@@ -73,47 +85,10 @@ constexpr char kLoot[] = R"(
   </LootTable>
 </LootTables>)";
 
-// Designer behavior: the hunter always attacks the weakest living wolf;
-// kills fire an event that rolls loot (handled below).
-constexpr char kScript[] = R"(
-fn hunt_tick(hunter) {
-  let prey = argmin("Health", "hp")
-  if prey == nil { return false }
-  let dmg = get(hunter, "Combat", "attack")
-  let hp = get(prey, "Health", "hp") - dmg
-  set(prey, "Health", "hp", hp)
-  if hp <= 0 {
-    fire("killed", prey)
-    destroy(prey)
-  }
-  return true
-}
-
-on killed(prey) {
-  print("wolf down! remaining:", count("Health") - 1)
-}
-)";
-
-// Pack behavior for the parallel mode: every wolf bites the packmate it is
-// feuding with (reads tick-start state), licks its own wounds with a
-// per-entity random() stream, and submits at the alpha (a deferred set).
-constexpr char kPackScript[] = R"(
-fn pack_tick(e) {
-  let rival = get(e, "Combat", "target")
-  if is_alive(rival) {
-    emit("bite", rival, get(e, "Combat", "attack") * 0.5)
-  }
-  emit("lick", e, 1 + random() * 2)
-  if get(e, "Health", "hp") > 38 {
-    set(e, "Health", "hp", 38)
-  }
-}
-)";
-
 // Runs the pack sim at `threads` threads; fills `snapshot` with the final
 // serialized world and returns elapsed seconds for the scripted ticks.
 static double RunPack(size_t threads, size_t wolves, size_t ticks,
-                      const content::PrefabLibrary& prefabs,
+                      const content::PrefabLibrary& prefabs, bool strict,
                       std::string* snapshot) {
   World world;
   std::vector<EntityId> pack;
@@ -131,6 +106,7 @@ static double RunPack(size_t threads, size_t wolves, size_t ticks,
   script::ScriptHostOptions opts;
   opts.num_threads = threads;
   opts.interpreter.restriction = script::Restriction::kNoRecursion;
+  if (strict) opts.strictness = script::Strictness::kStrict;
   script::ScriptHost host(&world, opts);
   host.OnChannel("bite", [&world](EntityId e, double total) {
     bool dead = false;
@@ -145,7 +121,7 @@ static double RunPack(size_t threads, size_t wolves, size_t ticks,
       h.hp = std::min(h.hp + float(total), h.max_hp);
     });
   });
-  if (Status st = host.Load(kPackScript); !st.ok()) {
+  if (Status st = host.Load(kWolfPackScript, kWolfPackScriptName); !st.ok()) {
     std::printf("pack script error: %s\n", st.ToString().c_str());
     std::exit(1);
   }
@@ -174,7 +150,8 @@ static double RunPack(size_t threads, size_t wolves, size_t ticks,
   return secs;
 }
 
-static int RunParallelMode(size_t threads, size_t wolves, size_t ticks) {
+static int RunParallelMode(size_t threads, size_t wolves, size_t ticks,
+                           bool strict) {
   auto prefabs = content::PrefabLibrary::Load(kPrefabs);
   if (!prefabs.ok()) {
     std::printf("prefab error: %s\n", prefabs.status().ToString().c_str());
@@ -182,15 +159,72 @@ static int RunParallelMode(size_t threads, size_t wolves, size_t ticks) {
   }
   std::printf("parallel pack sim (set-at-a-time GSL on the script host):\n");
   std::string snap_seq;
-  double secs_seq = RunPack(1, wolves, ticks, *prefabs, &snap_seq);
+  double secs_seq = RunPack(1, wolves, ticks, *prefabs, strict, &snap_seq);
   std::string snap_par;
-  double secs_par = RunPack(threads, wolves, ticks, *prefabs, &snap_par);
+  double secs_par =
+      RunPack(threads, wolves, ticks, *prefabs, strict, &snap_par);
   bool identical = snap_seq == snap_par;
   std::printf("  speedup at %zu threads: %.2fx — world state %s\n", threads,
               secs_seq / secs_par,
               identical ? "bit-identical to the 1-thread run"
                         : "DIVERGED (determinism bug!)");
   return identical ? 0 : 1;
+}
+
+// --lint: run the static verifier over every shipped pack (no simulation)
+// and exit non-zero on any error-severity finding. This is what CI's
+// scenario-smoke job runs to keep the shipped packs strict-clean.
+static int RunLint() {
+  World world;
+  script::Interpreter interp;
+  script::RegisterCoreBuiltins(&interp);
+  script::BindWorld(&interp, &world, nullptr, script::WorldBindOptions{});
+  script::TriggerSystem triggers(&interp);
+  triggers.InstallFireBuiltin();
+
+  struct Pack {
+    const char* source;
+    const char* origin;
+    script::PhaseContext phase;
+  };
+  // hunt.gsl runs on a sequential interpreter (direct mutations legal);
+  // wolf_pack.gsl runs as a parallel query phase with deferred writes.
+  const Pack packs[] = {
+      {kHuntScript, kHuntScriptName, script::PhaseContext::kSequential},
+      {kWolfPackScript, kWolfPackScriptName,
+       script::PhaseContext::kParallelDefer},
+  };
+  bool ok = true;
+  for (const Pack& pack : packs) {
+    auto parsed = script::Parse(pack.source, pack.origin);
+    if (!parsed.ok()) {
+      std::printf("%s: parse error: %s\n", pack.origin,
+                  parsed.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+    script::VerifierOptions vopts;
+    vopts.restriction = script::Restriction::kNoRecursion;
+    vopts.phase = pack.phase;
+    vopts.is_builtin = [&interp](const std::string& name) {
+      return interp.IsBuiltin(name);
+    };
+    vopts.schema = script::ReflectionSchema();
+    vopts.top_level_must_be_pure =
+        pack.phase != script::PhaseContext::kSequential;
+    script::DiagnosticSink sink;
+    script::VerifyReport report = script::Verify(*parsed, vopts, &sink);
+    for (const auto& d : sink.diagnostics()) {
+      std::printf("%s\n", d.ToString().c_str());
+    }
+    std::printf("%s: %zu error(s), %zu warning(s); effects [%s], "
+                "max entry cost %.0f units (%s)\n",
+                pack.origin, sink.error_count(), sink.warning_count(),
+                script::EffectSetName(report.effects).c_str(),
+                report.max_entry_cost, report.max_entry_name.c_str());
+    if (sink.has_errors()) ok = false;
+  }
+  return ok ? 0 : 1;
 }
 
 int main(int argc, char** argv) {
@@ -200,6 +234,8 @@ int main(int argc, char** argv) {
   size_t wolves = 2000;
   size_t ticks = 50;
   bool explain = false;
+  bool lint = false;
+  bool strict = false;
   for (int i = 1; i < argc; ++i) {
     auto number_after = [&](const char* flag) -> size_t {
       if (i + 1 >= argc) {
@@ -225,14 +261,20 @@ int main(int argc, char** argv) {
       ticks = number_after("--ticks");
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      lint = true;
+    } else if (std::strcmp(argv[i], "--strict-scripts") == 0) {
+      strict = true;
     } else {
       std::printf(
-          "usage: %s [--threads N] [--wolves M] [--ticks K] [--explain]\n",
+          "usage: %s [--threads N] [--wolves M] [--ticks K] [--explain] "
+          "[--lint] [--strict-scripts]\n",
           argv[0]);
       return 2;
     }
   }
-  if (threads > 0) return RunParallelMode(threads, wolves, ticks);
+  if (lint) return RunLint();
+  if (threads > 0) return RunParallelMode(threads, wolves, ticks, strict);
 
   World world;
 
@@ -288,10 +330,27 @@ int main(int argc, char** argv) {
     std::printf("within(vec3(0,0,0), 10) -> %s", nearby.Explain()->c_str());
   }
 
-  auto parsed = script::Parse(kScript, "hunt.gsl");
+  auto parsed = script::Parse(kHuntScript, kHuntScriptName);
   if (!parsed.ok()) {
     std::printf("parse error: %s\n", parsed.status().ToString().c_str());
     return 1;
+  }
+  if (strict) {
+    // Full static verification (phase safety, schema bindings, cost)
+    // before the load — the interpreter alone only runs structure checks.
+    script::VerifierOptions vopts;
+    vopts.restriction = opts.restriction;
+    vopts.is_builtin = [&interp](const std::string& name) {
+      return interp.IsBuiltin(name);
+    };
+    vopts.schema = script::ReflectionSchema();
+    script::DiagnosticSink sink;
+    script::Verify(*parsed, vopts, &sink);
+    if (sink.has_errors()) {
+      std::printf("script verification failed:\n%s\n",
+                  sink.ToString().c_str());
+      return 1;
+    }
   }
   if (Status st = interp.Load(std::move(*parsed)); !st.ok()) {
     std::printf("load error: %s\n", st.ToString().c_str());

@@ -1,9 +1,14 @@
 #include "script/analyzer.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "core/reflect.h"
+#include "planner/plan.h"
 
 namespace gamedb::script {
 
@@ -19,127 +24,671 @@ const char* RestrictionName(Restriction r) {
   return "?";
 }
 
+const char* StrictnessName(Strictness s) {
+  switch (s) {
+    case Strictness::kOff:
+      return "off";
+    case Strictness::kWarn:
+      return "warn";
+    case Strictness::kStrict:
+      return "strict";
+  }
+  return "?";
+}
+
+const char* PhaseContextName(PhaseContext p) {
+  switch (p) {
+    case PhaseContext::kSequential:
+      return "sequential";
+    case PhaseContext::kParallelDefer:
+      return "parallel-defer";
+    case PhaseContext::kParallelReject:
+      return "parallel-reject";
+  }
+  return "?";
+}
+
+std::string EffectSetName(uint32_t effects) {
+  if (effects == kEffectNone) return "pure";
+  std::string out;
+  auto add = [&](uint32_t bit, const char* tok) {
+    if ((effects & bit) == 0) return;
+    if (!out.empty()) out += "|";
+    out += tok;
+  };
+  add(kEffectWorldRead, "read");
+  add(kEffectViewRead, "view-read");
+  add(kEffectEmit, "emit");
+  add(kEffectGatedWrite, "write");
+  add(kEffectSpawn, "spawn");
+  add(kEffectFire, "fire");
+  return out;
+}
+
+SchemaCatalog ReflectionSchema() {
+  SchemaCatalog schema;
+  schema.has_component = [](const std::string& comp) {
+    return TypeRegistry::Global().FindByName(comp) != nullptr;
+  };
+  schema.has_field = [](const std::string& comp, const std::string& field) {
+    const TypeInfo* info = TypeRegistry::Global().FindByName(comp);
+    return info != nullptr && info->FindField(field) != nullptr;
+  };
+  return schema;
+}
+
 namespace {
 
-class Analyzer {
- public:
-  Analyzer(const Script& script, Restriction restriction,
-           const std::function<bool(const std::string&)>& is_builtin)
-      : script_(script), restriction_(restriction), is_builtin_(is_builtin) {}
+/// How the cost pass prices a world builtin.
+enum class CostClass : uint8_t {
+  kCheap,        ///< O(1) native work
+  kScan,         ///< visits every row of a table (scan + predicate)
+  kSpatial,      ///< spatial probe + candidate visits
+  kViewConst,    ///< O(1) view read
+  kViewMembers,  ///< materializes the view membership snapshot
+};
 
-  Status Run(AnalysisReport* report) {
-    // Statement-level checks on every body.
-    for (const auto& s : script_.top_level) {
-      GAMEDB_RETURN_NOT_OK(CheckStmt(*s, /*loop_depth=*/0));
+constexpr int kNoArg = -1;
+
+/// Static signature of a world/view/trigger builtin: its effect bits, its
+/// arity (as enforced at runtime by ExpectArgs), which literal string args
+/// name schema objects, and its cost class. Builtins absent from this table
+/// (math, list ops, random, ...) are effect-free and priced as kCheap.
+struct BuiltinSig {
+  const char* name;
+  uint32_t effects;
+  int arity;  ///< -1: variadic (fire)
+  const char* signature;
+  int comp_arg;     ///< literal arg resolved as a component name
+  int field_arg;    ///< literal arg resolved as a field of comp_arg
+  int view_arg;     ///< literal arg resolved as a LiveView name
+  int channel_arg;  ///< literal arg resolved as an effect channel
+  int event_arg;    ///< literal arg resolved as a trigger event
+  int op_arg;       ///< literal arg holding a comparison operator
+  CostClass cost;
+};
+
+// Keep signature strings identical to the runtime ExpectArgs call sites in
+// bindings.cc / triggers.cc — the static arity diagnostic renders the same
+// text a designer would have hit at runtime.
+const BuiltinSig kBuiltinSigs[] = {
+    {"spawn", kEffectSpawn, 0, "spawn()", kNoArg, kNoArg, kNoArg, kNoArg,
+     kNoArg, kNoArg, CostClass::kCheap},
+    {"destroy", kEffectGatedWrite, 1, "destroy(e)", kNoArg, kNoArg, kNoArg,
+     kNoArg, kNoArg, kNoArg, CostClass::kCheap},
+    {"is_alive", kEffectWorldRead, 1, "is_alive(e)", kNoArg, kNoArg, kNoArg,
+     kNoArg, kNoArg, kNoArg, CostClass::kCheap},
+    {"has", kEffectWorldRead, 2, "has(e, \"Comp\")", 1, kNoArg, kNoArg, kNoArg,
+     kNoArg, kNoArg, CostClass::kCheap},
+    {"add", kEffectGatedWrite, 2, "add(e, \"Comp\")", 1, kNoArg, kNoArg,
+     kNoArg, kNoArg, kNoArg, CostClass::kCheap},
+    {"remove", kEffectGatedWrite, 2, "remove(e, \"Comp\")", 1, kNoArg, kNoArg,
+     kNoArg, kNoArg, kNoArg, CostClass::kCheap},
+    {"get", kEffectWorldRead, 3, "get(e, \"Comp\", \"field\")", 1, 2, kNoArg,
+     kNoArg, kNoArg, kNoArg, CostClass::kCheap},
+    {"set", kEffectGatedWrite, 4, "set(e, \"Comp\", \"field\", v)", 1, 2,
+     kNoArg, kNoArg, kNoArg, kNoArg, CostClass::kCheap},
+    {"entities_with", kEffectWorldRead, 1, "entities_with(\"Comp\")", 0,
+     kNoArg, kNoArg, kNoArg, kNoArg, kNoArg, CostClass::kScan},
+    {"count", kEffectWorldRead, 1, "count(\"Comp\")", 0, kNoArg, kNoArg,
+     kNoArg, kNoArg, kNoArg, CostClass::kScan},
+    {"sum", kEffectWorldRead, 2, "sum(\"Comp\", \"field\")", 0, 1, kNoArg,
+     kNoArg, kNoArg, kNoArg, CostClass::kScan},
+    {"smin", kEffectWorldRead, 2, "smin(\"Comp\", \"field\")", 0, 1, kNoArg,
+     kNoArg, kNoArg, kNoArg, CostClass::kScan},
+    {"smax", kEffectWorldRead, 2, "smax(\"Comp\", \"field\")", 0, 1, kNoArg,
+     kNoArg, kNoArg, kNoArg, CostClass::kScan},
+    {"avg", kEffectWorldRead, 2, "avg(\"Comp\", \"field\")", 0, 1, kNoArg,
+     kNoArg, kNoArg, kNoArg, CostClass::kScan},
+    {"argmin", kEffectWorldRead, 2, "argmin(\"Comp\", \"field\")", 0, 1,
+     kNoArg, kNoArg, kNoArg, kNoArg, CostClass::kScan},
+    {"argmax", kEffectWorldRead, 2, "argmax(\"Comp\", \"field\")", 0, 1,
+     kNoArg, kNoArg, kNoArg, kNoArg, CostClass::kScan},
+    {"where", kEffectWorldRead, 4, "where(\"Comp\", \"field\", \"op\", v)", 0,
+     1, kNoArg, kNoArg, kNoArg, 2, CostClass::kScan},
+    {"within", kEffectWorldRead, 2, "within(center, radius)", kNoArg, kNoArg,
+     kNoArg, kNoArg, kNoArg, kNoArg, CostClass::kSpatial},
+    {"emit", kEffectEmit, 3, "emit(\"channel\", target, amount)", kNoArg,
+     kNoArg, kNoArg, 0, kNoArg, kNoArg, CostClass::kCheap},
+    {"tick", kEffectWorldRead, 0, "tick()", kNoArg, kNoArg, kNoArg, kNoArg,
+     kNoArg, kNoArg, CostClass::kCheap},
+    {"view_count", kEffectViewRead, 1, "view_count(\"name\")", kNoArg, kNoArg,
+     0, kNoArg, kNoArg, kNoArg, CostClass::kViewConst},
+    {"view_contains", kEffectViewRead, 2, "view_contains(\"name\", e)", kNoArg,
+     kNoArg, 0, kNoArg, kNoArg, kNoArg, CostClass::kViewConst},
+    {"view_members", kEffectViewRead, 1, "view_members(\"name\")", kNoArg,
+     kNoArg, 0, kNoArg, kNoArg, kNoArg, CostClass::kViewMembers},
+    {"view_aggregate", kEffectViewRead, 1, "view_aggregate(\"name\")", kNoArg,
+     kNoArg, 0, kNoArg, kNoArg, kNoArg, CostClass::kViewConst},
+    {"fire", kEffectFire, -1, "fire(\"event\", args...)", kNoArg, kNoArg,
+     kNoArg, kNoArg, 0, kNoArg, CostClass::kCheap},
+};
+
+const BuiltinSig* FindSig(const std::string& name) {
+  for (const BuiltinSig& sig : kBuiltinSigs) {
+    if (name == sig.name) return &sig;
+  }
+  return nullptr;
+}
+
+/// Literal string argument at `idx`, or nullptr when the argument is absent
+/// or computed at runtime (only literals are statically checkable).
+const std::string* LiteralStringArg(const Expr& call, size_t idx) {
+  if (idx >= call.args.size()) return nullptr;
+  const Expr& a = *call.args[idx];
+  if (a.kind != ExprKind::kLiteral || !a.literal.IsString()) return nullptr;
+  return &a.literal.AsString();
+}
+
+SourceLoc LocOf(const Expr& e) { return SourceLoc{e.line, e.col}; }
+SourceLoc LocOf(const Stmt& s) { return SourceLoc{s.line, s.col}; }
+
+bool IsCmpOpToken(const std::string& op) {
+  return op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+         op == ">=";
+}
+
+class Verifier {
+ public:
+  Verifier(const Script& script, const VerifierOptions& options,
+           DiagnosticSink* sink)
+      : script_(script), options_(options), sink_(sink) {}
+
+  VerifyReport Run() {
+    // --- structure ------------------------------------------------------
+    for (const auto& s : script_.top_level) StructureStmt(*s, 0);
+    for (const auto& d : script_.decls) {
+      for (const auto& b : d->body) StructureStmt(*b, 0);
     }
-    for (const auto& s : script_.decls) {
-      for (const auto& b : s->body) {
-        GAMEDB_RETURN_NOT_OK(CheckStmt(*b, 0));
-      }
+    BuildCallGraph();
+    if (options_.restriction != Restriction::kFull) CheckRecursion();
+
+    // --- phase ----------------------------------------------------------
+    ComputeEffects();
+    for (const auto& s : script_.top_level) PhaseStmt(*s);
+    for (const auto& d : script_.decls) {
+      for (const auto& b : d->body) PhaseStmt(*b);
     }
-    // Call-graph construction and cycle detection.
-    for (const auto& [name, fn] : script_.functions) {
-      CollectCalls(*fn, &calls_[name]);
+    if (options_.top_level_must_be_pure) {
+      for (const auto& s : script_.top_level) TopLevelPurityStmt(*s);
     }
-    if (restriction_ != Restriction::kFull) {
-      for (const auto& [name, fn] : script_.functions) {
-        std::unordered_set<std::string> on_stack;
-        GAMEDB_RETURN_NOT_OK(CheckCycles(name, &on_stack));
-      }
+
+    // --- bindings -------------------------------------------------------
+    for (const auto& s : script_.top_level) BindingsStmt(*s);
+    for (const auto& d : script_.decls) {
+      for (const auto& b : d->body) BindingsStmt(*b);
     }
-    if (report != nullptr) {
-      report->stats = CountNodes(script_);
-      report->max_call_depth = 0;
-      for (const auto& [name, fn] : script_.functions) {
-        std::unordered_set<std::string> on_stack;
-        report->max_call_depth =
-            std::max(report->max_call_depth, Depth(name, &on_stack));
-      }
-    }
-    return Status::OK();
+
+    // --- cost -----------------------------------------------------------
+    VerifyReport report = CostPassAndReport();
+    sink_->SetOrigin(script_.name);
+    return report;
   }
 
  private:
-  Status Err(int line, const std::string& msg) const {
-    return Status::ParseError(StringFormat("line %d: %s", line, msg.c_str()));
+  // Is `name` a call to a native builtin (not shadowed by a script fn)?
+  bool ResolvesToBuiltin(const std::string& name) const {
+    if (script_.functions.count(name)) return false;
+    return !options_.is_builtin || options_.is_builtin(name);
   }
 
-  Status CheckExpr(const Expr& e) {
+  const BuiltinSig* SigFor(const Expr& call) const {
+    if (call.kind != ExprKind::kCall) return nullptr;
+    if (!ResolvesToBuiltin(call.name)) return nullptr;
+    return FindSig(call.name);
+  }
+
+  // ---- structure pass --------------------------------------------------
+
+  void StructureExpr(const Expr& e) {
     if (e.kind == ExprKind::kCall) {
-      if (!script_.functions.count(e.name) && !is_builtin_(e.name)) {
-        return Err(e.line, "call to undefined function '" + e.name + "'");
+      if (!script_.functions.count(e.name) &&
+          (!options_.is_builtin || !options_.is_builtin(e.name))) {
+        sink_->Error(DiagPass::kStructure, LocOf(e),
+                     "call to undefined function '" + e.name + "'");
       }
     }
-    for (const auto& a : e.args) {
-      GAMEDB_RETURN_NOT_OK(CheckExpr(*a));
-    }
-    return Status::OK();
+    for (const auto& a : e.args) StructureExpr(*a);
   }
 
-  Status CheckStmt(const Stmt& s, int loop_depth) {
+  void StructureStmt(const Stmt& s, int loop_depth) {
     switch (s.kind) {
       case StmtKind::kWhile:
       case StmtKind::kForeach:
-        if (restriction_ == Restriction::kDeclarative) {
-          return Err(s.line,
-                     std::string("iteration ('") +
-                         (s.kind == StmtKind::kWhile ? "while" : "foreach") +
-                         "') is not allowed at the declarative restriction "
-                         "level; use aggregate builtins");
+        if (options_.restriction == Restriction::kDeclarative) {
+          sink_->Error(
+              DiagPass::kStructure, LocOf(s),
+              std::string("iteration ('") +
+                  (s.kind == StmtKind::kWhile ? "while" : "foreach") +
+                  "') is not allowed at the declarative restriction level; "
+                  "use aggregate builtins");
         }
         ++loop_depth;
         break;
       case StmtKind::kBreak:
       case StmtKind::kContinue:
         if (loop_depth == 0) {
-          return Err(s.line, s.kind == StmtKind::kBreak
-                                 ? "'break' outside loop"
-                                 : "'continue' outside loop");
+          sink_->Error(DiagPass::kStructure, LocOf(s),
+                       s.kind == StmtKind::kBreak ? "'break' outside loop"
+                                                  : "'continue' outside loop");
         }
         break;
       case StmtKind::kFn:
       case StmtKind::kOn:
-        return Err(s.line, "nested function declarations are not allowed");
+        sink_->Error(DiagPass::kStructure, LocOf(s),
+                     "nested function declarations are not allowed");
+        break;
       default:
         break;
     }
-    if (s.expr) GAMEDB_RETURN_NOT_OK(CheckExpr(*s.expr));
-    for (const auto& b : s.body) {
-      GAMEDB_RETURN_NOT_OK(CheckStmt(*b, loop_depth));
-    }
-    for (const auto& b : s.else_body) {
-      GAMEDB_RETURN_NOT_OK(CheckStmt(*b, loop_depth));
-    }
-    return Status::OK();
+    if (s.expr) StructureExpr(*s.expr);
+    for (const auto& b : s.body) StructureStmt(*b, loop_depth);
+    for (const auto& b : s.else_body) StructureStmt(*b, loop_depth);
   }
 
-  void CollectCallsExpr(const Expr& e, std::unordered_set<std::string>* out) {
+  // ---- call graph ------------------------------------------------------
+
+  struct CallSite {
+    std::string callee;
+    SourceLoc loc;
+  };
+
+  void CollectCallsExpr(const Expr& e, std::vector<CallSite>* out) {
     if (e.kind == ExprKind::kCall && script_.functions.count(e.name)) {
-      out->insert(e.name);
+      out->push_back(CallSite{e.name, LocOf(e)});
     }
     for (const auto& a : e.args) CollectCallsExpr(*a, out);
   }
-  void CollectCalls(const Stmt& s, std::unordered_set<std::string>* out) {
+  void CollectCalls(const Stmt& s, std::vector<CallSite>* out) {
     if (s.expr) CollectCallsExpr(*s.expr, out);
     for (const auto& b : s.body) CollectCalls(*b, out);
     for (const auto& b : s.else_body) CollectCalls(*b, out);
   }
 
-  Status CheckCycles(const std::string& name,
-                     std::unordered_set<std::string>* on_stack) {
-    if (on_stack->count(name)) {
-      return Status::ParseError(
-          "recursion involving '" + name + "' is not allowed at the " +
-          RestrictionName(restriction_) + " restriction level");
+  void BuildCallGraph() {
+    for (const auto& d : script_.decls) {
+      if (d->kind != StmtKind::kFn) continue;
+      std::vector<CallSite>& sites = calls_[d->name];
+      for (const auto& b : d->body) CollectCalls(*b, &sites);
     }
-    if (verified_.count(name)) return Status::OK();
+  }
+
+  // Recursion check in declaration order; the diagnostic is anchored at the
+  // call site that closes the cycle, so the designer sees *where* the
+  // recursive call happens, not just that one exists.
+  void CheckRecursion() {
+    std::unordered_set<std::string> verified;
+    for (const auto& d : script_.decls) {
+      if (d->kind != StmtKind::kFn) continue;
+      std::unordered_set<std::string> on_stack;
+      RecursionDfs(d->name, &on_stack, &verified);
+    }
+  }
+
+  void RecursionDfs(const std::string& name,
+                    std::unordered_set<std::string>* on_stack,
+                    std::unordered_set<std::string>* verified) {
+    if (verified->count(name)) return;
     on_stack->insert(name);
-    for (const auto& callee : calls_[name]) {
-      GAMEDB_RETURN_NOT_OK(CheckCycles(callee, on_stack));
+    auto it = calls_.find(name);
+    if (it != calls_.end()) {
+      for (const CallSite& site : it->second) {
+        if (on_stack->count(site.callee)) {
+          sink_->Error(DiagPass::kStructure, site.loc,
+                       "recursion involving '" + site.callee +
+                           "' is not allowed at the " +
+                           RestrictionName(options_.restriction) +
+                           " restriction level");
+          continue;  // report, but don't descend into the cycle
+        }
+        RecursionDfs(site.callee, on_stack, verified);
+      }
     }
     on_stack->erase(name);
-    verified_.insert(name);
-    return Status::OK();
+    verified->insert(name);
+  }
+
+  // ---- phase pass ------------------------------------------------------
+
+  uint32_t DirectEffects(const std::string& fn_name) {
+    uint32_t effects = 0;
+    const Stmt* decl = nullptr;
+    for (const auto& d : script_.decls) {
+      if (d->kind == StmtKind::kFn && d->name == fn_name) {
+        decl = d.get();
+        break;
+      }
+    }
+    if (decl == nullptr) return 0;
+    for (const auto& b : decl->body) DirectEffectsStmt(*b, &effects);
+    return effects;
+  }
+
+  void DirectEffectsExpr(const Expr& e, uint32_t* effects) {
+    if (const BuiltinSig* sig = SigFor(e)) *effects |= sig->effects;
+    for (const auto& a : e.args) DirectEffectsExpr(*a, effects);
+  }
+  void DirectEffectsStmt(const Stmt& s, uint32_t* effects) {
+    if (s.expr) DirectEffectsExpr(*s.expr, effects);
+    for (const auto& b : s.body) DirectEffectsStmt(*b, effects);
+    for (const auto& b : s.else_body) DirectEffectsStmt(*b, effects);
+  }
+
+  // Transitive effects over the call graph by fixpoint iteration (the
+  // graph may contain cycles under Restriction::kFull; effects are a small
+  // monotone lattice, so this converges in at most |functions| rounds).
+  void ComputeEffects() {
+    for (const auto& [name, fn] : script_.functions) {
+      (void)fn;
+      effects_[name] = DirectEffects(name);
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto& [name, eff] : effects_) {
+        uint32_t merged = eff;
+        for (const CallSite& site : calls_[name]) {
+          merged |= effects_[site.callee];
+        }
+        if (merged != eff) {
+          eff = merged;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  uint32_t TransitiveEffects(const std::string& fn_name) {
+    auto it = effects_.find(fn_name);
+    return it == effects_.end() ? 0 : it->second;
+  }
+
+  // Checks one builtin call site against the execution phase. Messages
+  // mirror the runtime rejections in bindings.cc word for word — the whole
+  // point is that the designer reads the same explanation at load time.
+  void PhaseCheckSite(const Expr& call, const BuiltinSig& sig) {
+    if (options_.phase == PhaseContext::kSequential) return;
+    if (sig.effects & kEffectSpawn) {
+      sink_->Error(DiagPass::kPhase, LocOf(call),
+                   "spawn() is not available during the parallel query phase "
+                   "(entity ids are allocated in the apply phase); spawn from "
+                   "the host or a trigger handler instead");
+      return;
+    }
+    if (options_.phase == PhaseContext::kParallelReject &&
+        (sig.effects & kEffectGatedWrite)) {
+      sink_->Error(DiagPass::kPhase, LocOf(call),
+                   call.name +
+                       "() mutates the world; the scripted query phase is "
+                       "read-only — emit() an effect and apply it from the "
+                       "host instead");
+    }
+  }
+
+  void PhaseExpr(const Expr& e) {
+    if (const BuiltinSig* sig = SigFor(e)) PhaseCheckSite(e, *sig);
+    for (const auto& a : e.args) PhaseExpr(*a);
+  }
+  void PhaseStmt(const Stmt& s) {
+    if (s.expr) PhaseExpr(*s.expr);
+    for (const auto& b : s.body) PhaseStmt(*b);
+    for (const auto& b : s.else_body) PhaseStmt(*b);
+  }
+
+  // Top-level purity: the host runs the top level once per shard, so any
+  // effect there would be applied shard_count times. Direct offense sites
+  // are flagged by PhaseExpr already when the phase bans them; here we flag
+  // *all* impure effects, including calls into impure functions.
+  static constexpr uint32_t kImpure =
+      kEffectEmit | kEffectGatedWrite | kEffectSpawn | kEffectFire;
+
+  void TopLevelPurityExpr(const Expr& e) {
+    if (e.kind == ExprKind::kCall) {
+      if (const BuiltinSig* sig = FindSig(e.name);
+          sig != nullptr && ResolvesToBuiltin(e.name) &&
+          (sig->effects & kImpure)) {
+        sink_->Error(DiagPass::kPhase, LocOf(e),
+                     "script top level must not mutate the world or emit "
+                     "effects (it runs once per shard); do it from the host "
+                     "or inside the tick function");
+      } else if (script_.functions.count(e.name)) {
+        uint32_t eff = TransitiveEffects(e.name) & kImpure;
+        if (eff != 0) {
+          sink_->Error(
+              DiagPass::kPhase, LocOf(e),
+              "script top level must not mutate the world or emit effects "
+              "(it runs once per shard); '" +
+                  e.name + "' has effects [" + EffectSetName(eff) +
+                  "] — do it from the host or inside the tick function");
+        }
+      }
+    }
+    for (const auto& a : e.args) TopLevelPurityExpr(*a);
+  }
+  void TopLevelPurityStmt(const Stmt& s) {
+    if (s.expr) TopLevelPurityExpr(*s.expr);
+    for (const auto& b : s.body) TopLevelPurityStmt(*b);
+    for (const auto& b : s.else_body) TopLevelPurityStmt(*b);
+  }
+
+  // ---- bindings pass ---------------------------------------------------
+
+  void BindingsCheckSite(const Expr& call, const BuiltinSig& sig) {
+    // Arity first (mirrors runtime ExpectArgs / the fire() check).
+    if (sig.arity >= 0) {
+      if (call.args.size() != static_cast<size_t>(sig.arity)) {
+        sink_->Error(DiagPass::kBindings, LocOf(call),
+                     StringFormat("expected %zu args: %s",
+                                  static_cast<size_t>(sig.arity),
+                                  sig.signature));
+        return;  // positional checks below would mis-index
+      }
+    } else if (call.args.empty()) {
+      sink_->Error(DiagPass::kBindings, LocOf(call),
+                   std::string(sig.signature) + " requires an event name");
+      return;
+    }
+
+    const std::string* comp =
+        sig.comp_arg >= 0
+            ? LiteralStringArg(call, static_cast<size_t>(sig.comp_arg))
+            : nullptr;
+    if (comp != nullptr && options_.schema.has_component) {
+      if (!options_.schema.has_component(*comp)) {
+        sink_->Error(DiagPass::kBindings,
+                     LocOf(*call.args[static_cast<size_t>(sig.comp_arg)]),
+                     "unknown component '" + *comp + "'");
+        comp = nullptr;  // field check below would be noise
+      }
+    }
+    if (comp != nullptr && sig.field_arg >= 0 && options_.schema.has_field) {
+      if (const std::string* field =
+              LiteralStringArg(call, static_cast<size_t>(sig.field_arg))) {
+        if (!options_.schema.has_field(*comp, *field)) {
+          sink_->Error(DiagPass::kBindings,
+                       LocOf(*call.args[static_cast<size_t>(sig.field_arg)]),
+                       "component '" + *comp + "' has no field '" + *field +
+                           "'");
+        }
+      }
+    }
+    if (sig.view_arg >= 0 && options_.schema.has_view) {
+      if (const std::string* view =
+              LiteralStringArg(call, static_cast<size_t>(sig.view_arg))) {
+        if (!options_.schema.has_view(*view)) {
+          sink_->Error(DiagPass::kBindings,
+                       LocOf(*call.args[static_cast<size_t>(sig.view_arg)]),
+                       call.name + ": no view named '" + *view + "'");
+        }
+      }
+    }
+    if (sig.channel_arg >= 0 && options_.schema.has_channel) {
+      if (const std::string* channel = LiteralStringArg(
+              call, static_cast<size_t>(sig.channel_arg))) {
+        if (!options_.schema.has_channel(*channel)) {
+          sink_->Warn(
+              DiagPass::kBindings,
+              LocOf(*call.args[static_cast<size_t>(sig.channel_arg)]),
+              "emit() into unwired channel '" + *channel +
+                  "'; contributions to it are buffered but never drained");
+        }
+      }
+    }
+    if (sig.event_arg >= 0 && options_.schema.has_event) {
+      if (const std::string* event =
+              LiteralStringArg(call, static_cast<size_t>(sig.event_arg))) {
+        if (!options_.schema.has_event(*event)) {
+          sink_->Warn(DiagPass::kBindings,
+                      LocOf(*call.args[static_cast<size_t>(sig.event_arg)]),
+                      "fire(\"" + *event +
+                          "\") has no handler; the event will be dropped");
+        }
+      }
+    }
+    if (sig.op_arg >= 0) {
+      if (const std::string* op =
+              LiteralStringArg(call, static_cast<size_t>(sig.op_arg))) {
+        if (!IsCmpOpToken(*op)) {
+          sink_->Error(DiagPass::kBindings,
+                       LocOf(*call.args[static_cast<size_t>(sig.op_arg)]),
+                       "unknown comparison operator '" + *op + "'");
+        }
+      }
+    }
+  }
+
+  void BindingsExpr(const Expr& e) {
+    if (const BuiltinSig* sig = SigFor(e)) BindingsCheckSite(e, *sig);
+    for (const auto& a : e.args) BindingsExpr(*a);
+  }
+  void BindingsStmt(const Stmt& s) {
+    if (s.expr) BindingsExpr(*s.expr);
+    for (const auto& b : s.body) BindingsStmt(*b);
+    for (const auto& b : s.else_body) BindingsStmt(*b);
+  }
+
+  // ---- cost pass -------------------------------------------------------
+
+  double ScanCost() const {
+    return options_.cost.assumed_rows * (constants_.scan_row +
+                                         constants_.predicate);
+  }
+
+  double BuiltinCost(const BuiltinSig& sig) const {
+    switch (sig.cost) {
+      case CostClass::kCheap:
+        return options_.cost.builtin_call;
+      case CostClass::kScan:
+        return ScanCost();
+      case CostClass::kSpatial:
+        return constants_.spatial_probe +
+               options_.cost.assumed_rows * constants_.spatial_candidate;
+      case CostClass::kViewConst:
+        return options_.cost.builtin_call;
+      case CostClass::kViewMembers:
+        return options_.cost.builtin_call +
+               options_.cost.assumed_view_members * constants_.scan_row;
+    }
+    return options_.cost.builtin_call;
+  }
+
+  // Worst-case iteration count of a foreach over `iterable`.
+  double TripCount(const Expr& iterable) const {
+    if (iterable.kind == ExprKind::kList) {
+      return static_cast<double>(iterable.args.size());
+    }
+    if (iterable.kind == ExprKind::kCall && ResolvesToBuiltin(iterable.name)) {
+      const std::string& n = iterable.name;
+      if (n == "entities_with" || n == "where" || n == "within") {
+        return options_.cost.assumed_rows;
+      }
+      if (n == "view_members") return options_.cost.assumed_view_members;
+      if (n == "range" && iterable.args.size() == 1 &&
+          iterable.args[0]->kind == ExprKind::kLiteral &&
+          iterable.args[0]->literal.IsNumber()) {
+        return std::max(0.0, iterable.args[0]->literal.AsNumber());
+      }
+    }
+    return options_.cost.assumed_loop_iterations;
+  }
+
+  double ExprCost(const Expr& e, std::unordered_set<std::string>* on_stack) {
+    double cost = options_.cost.ast_node;
+    for (const auto& a : e.args) cost += ExprCost(*a, on_stack);
+    if (e.kind == ExprKind::kCall) {
+      if (const BuiltinSig* sig = SigFor(e)) {
+        cost += BuiltinCost(*sig);
+      } else if (script_.functions.count(e.name)) {
+        cost += FunctionCost(e.name, on_stack);
+      } else if (ResolvesToBuiltin(e.name)) {
+        cost += options_.cost.builtin_call;  // math/list/etc builtin
+      }
+    }
+    return cost;
+  }
+
+  double BodyCost(const std::vector<std::unique_ptr<Stmt>>& body,
+                  std::unordered_set<std::string>* on_stack) {
+    double cost = 0;
+    for (const auto& s : body) cost += StmtCost(*s, on_stack);
+    return cost;
+  }
+
+  double StmtCost(const Stmt& s, std::unordered_set<std::string>* on_stack) {
+    double cost = options_.cost.ast_node;
+    switch (s.kind) {
+      case StmtKind::kIf: {
+        if (s.expr) cost += ExprCost(*s.expr, on_stack);
+        double then_cost = BodyCost(s.body, on_stack);
+        double else_cost = BodyCost(s.else_body, on_stack);
+        cost += std::max(then_cost, else_cost);
+        break;
+      }
+      case StmtKind::kWhile: {
+        double per_iter = (s.expr ? ExprCost(*s.expr, on_stack) : 0) +
+                          BodyCost(s.body, on_stack);
+        cost += options_.cost.assumed_loop_iterations * per_iter;
+        break;
+      }
+      case StmtKind::kForeach: {
+        double trips = s.expr ? TripCount(*s.expr) : 0;
+        if (s.expr) cost += ExprCost(*s.expr, on_stack);
+        cost += trips * (options_.cost.ast_node + BodyCost(s.body, on_stack));
+        break;
+      }
+      default:
+        if (s.expr) cost += ExprCost(*s.expr, on_stack);
+        cost += BodyCost(s.body, on_stack);
+        cost += BodyCost(s.else_body, on_stack);
+        break;
+    }
+    return cost;
+  }
+
+  double FunctionCost(const std::string& name,
+                      std::unordered_set<std::string>* on_stack) {
+    auto it = fn_cost_.find(name);
+    if (it != fn_cost_.end()) return it->second;
+    if (on_stack->count(name)) {
+      // Recursion (only reachable under Restriction::kFull): no static
+      // bound exists.
+      return std::numeric_limits<double>::infinity();
+    }
+    const Stmt* decl = nullptr;
+    for (const auto& d : script_.decls) {
+      if (d->kind == StmtKind::kFn && d->name == name) {
+        decl = d.get();
+        break;
+      }
+    }
+    if (decl == nullptr) return 0;
+    on_stack->insert(name);
+    double cost = BodyCost(decl->body, on_stack);
+    on_stack->erase(name);
+    // Only memoize cycle-free results: a cost computed while the cycle head
+    // was on the stack would under-report the recursive branch.
+    if (std::isfinite(cost)) fn_cost_[name] = cost;
+    return cost;
   }
 
   size_t Depth(const std::string& name,
@@ -147,27 +696,144 @@ class Analyzer {
     if (on_stack->count(name)) return 0;  // cycle (only under kFull)
     on_stack->insert(name);
     size_t best = 0;
-    for (const auto& callee : calls_[name]) {
-      best = std::max(best, Depth(callee, on_stack));
+    for (const CallSite& site : calls_[name]) {
+      best = std::max(best, Depth(site.callee, on_stack));
     }
     on_stack->erase(name);
     return best + 1;
   }
 
+  void AddEntry(VerifyReport* report, std::string name, bool is_handler,
+                SourceLoc loc, uint32_t effects, double cost) {
+    EntryFacts entry;
+    entry.name = std::move(name);
+    entry.is_handler = is_handler;
+    entry.loc = loc;
+    entry.facts.effects = effects;
+    entry.facts.cost = std::isfinite(cost) ? cost : 0;
+    entry.facts.cost_unbounded = !std::isfinite(cost);
+    report->effects |= effects;
+    if (entry.facts.cost_unbounded) {
+      if (options_.cost_budget > 0) {
+        sink_->Error(
+            DiagPass::kCost, loc,
+            "'" + entry.name +
+                "' is recursive; its worst-case cost is statically unbounded "
+                "and cannot meet the cost budget of " +
+                StringFormat("%.0f", options_.cost_budget) + " units");
+      }
+    } else {
+      if (cost > report->max_entry_cost) {
+        report->max_entry_cost = cost;
+        report->max_entry_name = entry.name;
+      }
+      if (options_.cost_budget > 0 && cost > options_.cost_budget) {
+        sink_->Error(
+            DiagPass::kCost, loc,
+            "'" + entry.name + "' has a worst-case cost of " +
+                StringFormat("%.0f", cost) +
+                " units per invocation, over the budget of " +
+                StringFormat("%.0f", options_.cost_budget) + " units");
+      }
+    }
+    report->entries.push_back(std::move(entry));
+  }
+
+  VerifyReport CostPassAndReport() {
+    if (options_.cost.constants != nullptr) {
+      constants_ = *options_.cost.constants;
+    }
+    VerifyReport report;
+    report.stats = CountNodes(script_);
+    for (const auto& [name, fn] : script_.functions) {
+      (void)fn;
+      std::unordered_set<std::string> on_stack;
+      report.max_call_depth = std::max(report.max_call_depth,
+                                       Depth(name, &on_stack));
+    }
+
+    if (!script_.top_level.empty()) {
+      uint32_t eff = 0;
+      for (const auto& s : script_.top_level) DirectEffectsStmt(*s, &eff);
+      std::vector<CallSite> sites;
+      for (const auto& s : script_.top_level) CollectCalls(*s, &sites);
+      for (const CallSite& site : sites) eff |= TransitiveEffects(site.callee);
+      std::unordered_set<std::string> on_stack;
+      double cost = 0;
+      for (const auto& s : script_.top_level) cost += StmtCost(*s, &on_stack);
+      AddEntry(&report, "<top level>", /*is_handler=*/false,
+               LocOf(*script_.top_level.front()), eff, cost);
+    }
+    for (const auto& d : script_.decls) {
+      if (d->kind != StmtKind::kFn && d->kind != StmtKind::kOn) continue;
+      bool is_handler = d->kind == StmtKind::kOn;
+      std::string name = is_handler ? "on " + d->name : d->name;
+      uint32_t eff;
+      double cost;
+      if (is_handler) {
+        eff = 0;
+        for (const auto& b : d->body) DirectEffectsStmt(*b, &eff);
+        std::vector<CallSite> sites;
+        for (const auto& b : d->body) CollectCalls(*b, &sites);
+        for (const CallSite& site : sites) {
+          eff |= TransitiveEffects(site.callee);
+        }
+        std::unordered_set<std::string> on_stack;
+        cost = 0;
+        for (const auto& b : d->body) cost += StmtCost(*b, &on_stack);
+      } else {
+        eff = TransitiveEffects(d->name);
+        std::unordered_set<std::string> on_stack;
+        cost = FunctionCost(d->name, &on_stack);
+      }
+      AddEntry(&report, std::move(name), is_handler, LocOf(*d), eff, cost);
+    }
+    return report;
+  }
+
   const Script& script_;
-  Restriction restriction_;
-  const std::function<bool(const std::string&)>& is_builtin_;
-  std::unordered_map<std::string, std::unordered_set<std::string>> calls_;
-  std::unordered_set<std::string> verified_;
+  const VerifierOptions& options_;
+  DiagnosticSink* sink_;
+  planner::CostConstants constants_;
+  std::unordered_map<std::string, std::vector<CallSite>> calls_;
+  std::unordered_map<std::string, uint32_t> effects_;
+  std::unordered_map<std::string, double> fn_cost_;
 };
 
 }  // namespace
 
+VerifyReport Verify(const Script& script, const VerifierOptions& options,
+                    DiagnosticSink* sink) {
+  Verifier verifier(script, options, sink);
+  return verifier.Run();
+}
+
 Status Analyze(const Script& script, Restriction restriction,
                const std::function<bool(const std::string&)>& is_builtin,
                AnalysisReport* report) {
-  Analyzer analyzer(script, restriction, is_builtin);
-  return analyzer.Run(report);
+  VerifierOptions options;
+  options.restriction = restriction;
+  options.is_builtin = is_builtin;
+  DiagnosticSink sink;
+  VerifyReport full = Verify(script, options, &sink);
+  if (report != nullptr) {
+    report->stats = full.stats;
+    report->max_call_depth = full.max_call_depth;
+  }
+  // Historical contract: fail on the first *structural* finding only (the
+  // verifier's phase/bindings/cost findings need host context to be
+  // meaningful and are surfaced through Verify()).
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.severity != Severity::kError || d.pass != DiagPass::kStructure) {
+      continue;
+    }
+    if (d.loc.valid()) {
+      return Status::ParseError(
+          StringFormat("line %d: %s", d.loc.line, d.message.c_str()));
+    }
+    return Status::ParseError(d.message);
+  }
+  return Status::OK();
 }
 
 }  // namespace gamedb::script

@@ -1,16 +1,52 @@
 #pragma once
 
 /// \file analyzer.h
-/// Static analysis of GSL scripts, most importantly the *restriction levels*
-/// the tutorial reports from industry: "some studios have taken drastic
-/// measures — such as removing support for iteration and recursion from
-/// their scripting languages — to keep their designers from producing
-/// computationally expensive behavior" [10]. E10 measures what that buys.
+/// Static analysis of GSL scripts. Two layers:
+///
+///  1. The historical *restriction levels* the tutorial reports from
+///     industry: "some studios have taken drastic measures — such as
+///     removing support for iteration and recursion from their scripting
+///     languages — to keep their designers from producing computationally
+///     expensive behavior" [10]. E10 measures what that buys. `Analyze()`
+///     is the original fail-fast entry point for these checks.
+///
+///  2. A multi-pass load-time *verifier* (`Verify()`) that answers the
+///     same "expensive/unsafe behavior" problem with analysis instead of
+///     amputation. Passes, in fixed order (diagnostic order is part of the
+///     testable surface):
+///       structure — undefined functions, loop/recursion restriction
+///                   levels, break/continue placement;
+///       phase     — each function/handler's *transitive* effect set over
+///                   the call graph (pure read, view read, emit, gated
+///                   write, spawn, fire), checked against the execution
+///                   phase the script will run in. A write or spawn that
+///                   would only fail at runtime mid-tick inside ScriptHost
+///                   (MutationPolicy::kReject, the in-phase spawn ban)
+///                   becomes a load-time error with line/column;
+///       bindings  — every component/field name in get/set/add/remove/...
+///                   and every view name in view_* resolved against the
+///                   reflection registry / ViewCatalog at load time, plus
+///                   arity and comparison-operator literals;
+///       cost      — worst-case per-entity cost of each entry point priced
+///                   in the planner's calibrated cost units
+///                   (planner/plan.h CostConstants) with an optional
+///                   budget, so unbounded designer logic is rejected
+///                   before it ever eats a frame.
+///
+/// All passes report into a DiagnosticSink (script/diagnostics.h): every
+/// finding, source-located, not just the first.
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "script/ast.h"
+#include "script/diagnostics.h"
+
+namespace gamedb::planner {
+struct CostConstants;
+}  // namespace gamedb::planner
 
 namespace gamedb::script {
 
@@ -28,19 +64,167 @@ enum class Restriction : uint8_t {
 
 const char* RestrictionName(Restriction r);
 
-/// Result of analysis.
+/// How a host treats verifier findings at load time.
+enum class Strictness : uint8_t {
+  /// Verifier does not run (historical behavior: structural analysis only).
+  kOff,
+  /// Verifier runs; findings are logged and retrievable, the load proceeds
+  /// (existing packs keep loading — the default).
+  kWarn,
+  /// Error-severity findings reject the load.
+  kStrict,
+};
+
+const char* StrictnessName(Strictness s);
+
+/// Execution phase the verified script will run in — determines which
+/// effects are legal. Mirrors bindings.h MutationPolicy.
+enum class PhaseContext : uint8_t {
+  /// Single-threaded interpreter, direct mutations (MutationPolicy::kDirect).
+  kSequential,
+  /// ScriptHost parallel query phase with gated-deferred writes
+  /// (MutationPolicy::kDefer): spawn is banned (no id allocation before
+  /// the apply phase); set/add/remove/destroy defer and are fine.
+  kParallelDefer,
+  /// Read-only parallel query phase (MutationPolicy::kReject): all world
+  /// mutations and spawn are banned — scripts must emit() effects.
+  kParallelReject,
+};
+
+const char* PhaseContextName(PhaseContext p);
+
+/// Effect lattice: what a function/handler may do to the world, computed
+/// transitively over the static call graph.
+enum EffectBit : uint32_t {
+  kEffectNone = 0,
+  kEffectWorldRead = 1u << 0,   ///< get/has/is_alive/queries/aggregates
+  kEffectViewRead = 1u << 1,    ///< view_count/contains/members/aggregate
+  kEffectEmit = 1u << 2,        ///< emit() — the sanctioned parallel write
+  kEffectGatedWrite = 1u << 3,  ///< set/add/remove/destroy (deferrable)
+  kEffectSpawn = 1u << 4,       ///< spawn() — never deferrable
+  kEffectFire = 1u << 5,        ///< fire() — trigger cascade
+};
+
+/// "pure" or e.g. "read|emit|write" — stable tokens for reports and tests.
+std::string EffectSetName(uint32_t effects);
+
+/// Name-resolution sources for the bindings pass. Every callback is
+/// optional: a null std::function skips that family of checks (e.g.
+/// gsl_lint run without a view catalog cannot validate view names).
+struct SchemaCatalog {
+  /// Does a component table with this name exist?
+  std::function<bool(const std::string& comp)> has_component;
+  /// Does `comp` (known to exist) have this field?
+  std::function<bool(const std::string& comp, const std::string& field)>
+      has_field;
+  /// Is this a registered LiveView name?
+  std::function<bool(const std::string& view)> has_view;
+  /// Is this a wired effect channel? Unknown channels are *warnings* —
+  /// contributions to them are silently dropped (and counted) at runtime.
+  std::function<bool(const std::string& channel)> has_channel;
+  /// Is this a handled trigger event? fire() with an event nothing handles
+  /// is a *warning* (handlers may live in a pack loaded later). Hosts
+  /// typically back this with the interpreter's cross-pack handler set.
+  std::function<bool(const std::string& event)> has_event;
+};
+
+/// SchemaCatalog backed by the global reflection registry
+/// (core/reflect.h): component and field names resolve against
+/// TypeRegistry::Global(). View/channel callbacks are left unset.
+SchemaCatalog ReflectionSchema();
+
+/// Static cost model: prices worst-case per-entity work in the planner's
+/// calibrated cost units (CostConstants — one unit ≈ 1/7 of a reflective
+/// row visit; see planner/plan.h). Load-time analysis cannot know table
+/// sizes, so per-row work is priced against the assumed_* sizes below;
+/// the point is a calibrated *bound*, not a prediction.
+struct CostModelOptions {
+  /// Query-cost constants; null uses a default-constructed CostConstants
+  /// (the calibrated defaults).
+  const planner::CostConstants* constants = nullptr;
+  /// Rows a table scan / aggregate visits.
+  double assumed_rows = 1024;
+  /// Trip count for while loops and foreach over non-query iterables.
+  double assumed_loop_iterations = 64;
+  /// Members a view_members() snapshot returns (and foreach over it).
+  double assumed_view_members = 256;
+  /// One interpreted AST node (≈ a couple of units of interpretive
+  /// overhead per node evaluated — the fuel metric, priced).
+  double ast_node = 2.0;
+  /// Any other native builtin call (math, list ops, get/set field access
+  /// ≈ one reflective row visit).
+  double builtin_call = 7.0;
+};
+
+/// Configuration for Verify().
+struct VerifierOptions {
+  Restriction restriction = Restriction::kFull;
+  PhaseContext phase = PhaseContext::kSequential;
+  /// Names resolvable as native builtins (Interpreter::IsBuiltin). Null:
+  /// no names are builtins.
+  std::function<bool(const std::string&)> is_builtin;
+  /// Name sources for the bindings pass.
+  SchemaCatalog schema;
+  CostModelOptions cost;
+  /// Per-entry-point worst-case cost budget in cost units; <= 0 disables
+  /// budget enforcement (costs are still computed into the report).
+  double cost_budget = 0.0;
+  /// Require the script's top level to be free of emit/write/spawn/fire
+  /// effects, transitively (ScriptHost runs the top level once per shard;
+  /// side effects would be applied shard_count times — today a runtime
+  /// rejection, with this a load-time one).
+  bool top_level_must_be_pure = false;
+};
+
+/// Per-function (or handler) analysis facts.
+struct FunctionFacts {
+  /// Transitive EffectBit mask over the static call graph.
+  uint32_t effects = 0;
+  /// Worst-case per-invocation cost in cost units.
+  double cost = 0.0;
+  /// Cost is statically unbounded (recursion under Restriction::kFull).
+  bool cost_unbounded = false;
+};
+
+/// One entry point (named function or event handler) of a verified script.
+struct EntryFacts {
+  std::string name;  ///< function name, or "on <event>" for handlers
+  bool is_handler = false;
+  SourceLoc loc;  ///< declaration site
+  FunctionFacts facts;
+};
+
+/// Node counters + call-graph depth (the historical report).
 struct AnalysisReport {
   AstStats stats;
   /// Maximum static call-graph depth from any root (top level / handler).
   size_t max_call_depth = 0;
 };
 
-/// Validates `script` under `restriction`:
-///  - calls to undefined script functions are rejected (builtins are
-///    resolved at runtime and skipped here via the `is_builtin` predicate),
-///  - kNoRecursion/kDeclarative reject call-graph cycles,
-///  - kDeclarative rejects while/foreach statements,
-///  - break/continue outside a loop are rejected.
+/// Result of a full Verify() run.
+struct VerifyReport {
+  AstStats stats;
+  size_t max_call_depth = 0;
+  /// Union of every entry point's transitive effects.
+  uint32_t effects = 0;
+  /// Entry points in declaration order.
+  std::vector<EntryFacts> entries;
+  /// Most expensive entry point (ties: first in declaration order).
+  double max_entry_cost = 0.0;
+  std::string max_entry_name;
+};
+
+/// Runs every verifier pass over `script`, appending all findings to
+/// `sink` (never fail-fast: the verdict is sink->has_errors()). The passes
+/// run unconditionally; checks whose name sources are absent from
+/// `options.schema` are skipped per call site. Returns the report.
+VerifyReport Verify(const Script& script, const VerifierOptions& options,
+                    DiagnosticSink* sink);
+
+/// Historical fail-fast entry point — structure checks only (undefined
+/// script functions, restriction-level loop/recursion bans, break/continue
+/// placement), first finding returned as a ParseError Status. Kept for
+/// standalone Interpreter loads; hosts run Verify().
 Status Analyze(const Script& script, Restriction restriction,
                const std::function<bool(const std::string&)>& is_builtin,
                AnalysisReport* report = nullptr);

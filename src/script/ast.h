@@ -24,10 +24,12 @@ enum class ExprKind : uint8_t {
   kList,     // args... (list literal)
 };
 
-/// Expression node.
+/// Expression node. `line`/`col` are the 1-based source position of the
+/// token that introduced the node (diagnostics anchor here).
 struct Expr {
   ExprKind kind;
   int line = 0;
+  int col = 0;
   Value literal;
   std::string name;
   TokenType op = TokenType::kEof;
@@ -48,10 +50,11 @@ enum class StmtKind : uint8_t {
   kOn,        // name (event), params, body
 };
 
-/// Statement node.
+/// Statement node. `line`/`col` as on Expr.
 struct Stmt {
   StmtKind kind;
   int line = 0;
+  int col = 0;
   std::string name;
   std::unique_ptr<Expr> expr;
   std::vector<std::unique_ptr<Stmt>> body;

@@ -1,0 +1,95 @@
+#include "script/diagnostics.h"
+
+#include "common/string_util.h"
+
+namespace gamedb::script {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const char* DiagPassName(DiagPass p) {
+  switch (p) {
+    case DiagPass::kStructure:
+      return "structure";
+    case DiagPass::kPhase:
+      return "phase";
+    case DiagPass::kBindings:
+      return "bindings";
+    case DiagPass::kCost:
+      return "cost";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out;
+  if (!origin.empty()) out += origin + ":";
+  if (loc.valid()) {
+    out += StringFormat("%d:%d: ", loc.line, loc.col);
+  } else if (!out.empty()) {
+    out += " ";
+  }
+  out += SeverityName(severity);
+  out += StringFormat(": [%s] ", DiagPassName(pass));
+  out += message;
+  return out;
+}
+
+void DiagnosticSink::Report(Diagnostic d) {
+  if (d.severity == Severity::kError) ++errors_;
+  diags_.push_back(std::move(d));
+}
+
+void DiagnosticSink::Error(DiagPass pass, SourceLoc loc, std::string message) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.pass = pass;
+  d.loc = loc;
+  d.message = std::move(message);
+  Report(std::move(d));
+}
+
+void DiagnosticSink::Warn(DiagPass pass, SourceLoc loc, std::string message) {
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.pass = pass;
+  d.loc = loc;
+  d.message = std::move(message);
+  Report(std::move(d));
+}
+
+void DiagnosticSink::SetOrigin(const std::string& origin) {
+  for (Diagnostic& d : diags_) {
+    if (d.origin.empty()) d.origin = origin;
+  }
+}
+
+std::string DiagnosticSink::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    if (!out.empty()) out += "\n";
+    out += d.ToString();
+  }
+  return out;
+}
+
+Status DiagnosticSink::FirstError() const {
+  for (const Diagnostic& d : diags_) {
+    if (d.severity != Severity::kError) continue;
+    if (d.loc.valid()) {
+      return Status::ParseError(StringFormat("line %d: %s", d.loc.line,
+                                             d.message.c_str()));
+    }
+    return Status::ParseError(d.message);
+  }
+  return Status::OK();
+}
+
+}  // namespace gamedb::script

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file diagnostics.h
+/// Source-located, multi-error diagnostics for the GSL static verifier
+/// (script/analyzer.h). Unlike Status — which carries exactly one failure
+/// and aborts the pass that produced it — a DiagnosticSink collects *every*
+/// finding of a verification run, so a designer fixing a script sees all of
+/// its problems at once, each with line/column, severity and the pass that
+/// produced it. This is the layer that turns the analyzer's historical
+/// fail-fast `Analyze()` into a real lint toolchain (tools/gsl_lint).
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gamedb::script {
+
+/// 1-based source position; {0,0} means "no location" (whole-script
+/// findings such as an empty pack or a missing entry function).
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+  bool valid() const { return line > 0; }
+};
+
+enum class Severity : uint8_t {
+  /// Suspicious but loadable (unknown effect channel, unhandled event).
+  kWarning,
+  /// Rejected under Strictness::kStrict; reported-and-loaded under kWarn.
+  kError,
+};
+
+const char* SeverityName(Severity s);
+
+/// Which verifier pass produced a finding (stable lint-category tokens;
+/// tools/gsl_lint prints them and tests match on them).
+enum class DiagPass : uint8_t {
+  kStructure,  ///< undefined functions, loop/recursion restrictions
+  kPhase,      ///< effect/phase-safety (writes or spawn in a gated phase)
+  kBindings,   ///< table/field/view/channel/event name resolution
+  kCost,       ///< static per-entity cost budget
+};
+
+const char* DiagPassName(DiagPass p);
+
+/// One finding.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  DiagPass pass = DiagPass::kStructure;
+  SourceLoc loc;
+  std::string message;
+  /// Script name (Script::name, e.g. "hunt.gsl") for multi-pack runs.
+  std::string origin;
+
+  /// "hunt.gsl:12:3: error: [phase] spawn() is not available …"
+  std::string ToString() const;
+};
+
+/// Collects diagnostics across all passes of a verification run.
+/// Deterministic order: passes append findings in source order within a
+/// pass, and passes run in a fixed sequence — tests pin that ordering.
+class DiagnosticSink {
+ public:
+  void Report(Diagnostic d);
+
+  /// Convenience used by the verifier passes.
+  void Error(DiagPass pass, SourceLoc loc, std::string message);
+  void Warn(DiagPass pass, SourceLoc loc, std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  size_t error_count() const { return errors_; }
+  size_t warning_count() const { return diags_.size() - errors_; }
+  bool has_errors() const { return errors_ > 0; }
+  bool empty() const { return diags_.empty(); }
+  void clear() {
+    diags_.clear();
+    errors_ = 0;
+  }
+
+  /// Stamps `origin` onto every diagnostic that doesn't carry one yet
+  /// (the verifier calls this once per script).
+  void SetOrigin(const std::string& origin);
+
+  /// All findings, one rendered line each, '\n'-joined.
+  std::string ToString() const;
+
+  /// First error as a Status (ParseError, message matching the historical
+  /// fail-fast `Analyze()` format "line %d: …"); OK when error-free.
+  /// Back-compat seam for callers that still want a single Status verdict.
+  Status FirstError() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  size_t errors_ = 0;
+};
+
+}  // namespace gamedb::script

@@ -2,7 +2,9 @@
 
 #include <limits>
 
+#include "common/logging.h"
 #include "common/percentile.h"
+#include "common/string_util.h"
 #include "core/query.h"
 #include "script/builtins.h"
 #include "script/parser.h"
@@ -51,6 +53,70 @@ ScriptHost::ScriptHost(World* world, ScriptHostOptions options)
 
 Status ScriptHost::Load(std::string_view source, std::string_view origin) {
   GAMEDB_ASSIGN_OR_RETURN(Script parsed, Parse(source, std::string(origin)));
+  diagnostics_.clear();
+  verify_report_ = VerifyReport{};
+  const bool verified = options_.strictness != Strictness::kOff;
+  if (verified) {
+    VerifierOptions vopts;
+    vopts.restriction = options_.interpreter.restriction;
+    vopts.phase = options_.mutations == MutationPolicy::kReject
+                      ? PhaseContext::kParallelReject
+                      : PhaseContext::kParallelDefer;
+    Interpreter* shard0 = shards_[0].get();
+    vopts.is_builtin = [shard0](const std::string& name) {
+      return shard0->IsBuiltin(name);
+    };
+    vopts.schema = ReflectionSchema();
+    if (options_.views != nullptr) {
+      views::ViewCatalog* catalog = options_.views;
+      vopts.schema.has_view = [catalog](const std::string& name) {
+        return catalog->Find(name) != nullptr;
+      };
+    }
+    vopts.schema.has_channel = [this](const std::string& name) {
+      if (effects_.HasChannel(name)) return true;
+      for (const auto& [channel, apply] : channels_) {
+        if (channel == name) return true;
+      }
+      return false;
+    };
+    // An event is handled if a previously loaded pack registered a handler
+    // for it, or this script declares one itself.
+    const Script* raw = &parsed;
+    vopts.schema.has_event = [shard0, raw](const std::string& event) {
+      if (shard0->HandlerCount(event) > 0) return true;
+      for (const Stmt* h : raw->handlers) {
+        if (h->name == event) return true;
+      }
+      return false;
+    };
+    vopts.cost_budget = options_.script_cost_budget;
+    vopts.top_level_must_be_pure = true;
+    verify_report_ = Verify(parsed, vopts, &diagnostics_);
+    if (diagnostics_.has_errors()) {
+      if (options_.strictness == Strictness::kStrict) {
+        return Status::InvalidArgument("script verification failed:\n" +
+                                       diagnostics_.ToString());
+      }
+      // kWarn: structural errors still reject (they always have — the
+      // script would be unloadable or trivially broken); phase, bindings
+      // and cost findings are advisory.
+      for (const Diagnostic& d : diagnostics_.diagnostics()) {
+        if (d.severity == Severity::kError &&
+            d.pass == DiagPass::kStructure) {
+          return Status::ParseError(
+              d.loc.valid() ? StringFormat("line %d: %s", d.loc.line,
+                                           d.message.c_str())
+                            : d.message);
+        }
+      }
+    }
+    if (!diagnostics_.empty()) {
+      for (const Diagnostic& d : diagnostics_.diagnostics()) {
+        GAMEDB_LOG(kWarn) << "script verifier: " << d.ToString();
+      }
+    }
+  }
   auto script = std::make_shared<const Script>(std::move(parsed));
   // Unload shards [0, n) — a load that failed partway must leave every
   // interpreter exactly as it was, or the next Load of a corrected script
@@ -59,10 +125,11 @@ Status ScriptHost::Load(std::string_view source, std::string_view origin) {
     for (size_t i = 0; i < n; ++i) shards_[i]->UnloadLast();
   };
   for (size_t i = 0; i < shards_.size(); ++i) {
-    // Shard 0 runs static analysis; shards 1+ are configured identically
-    // (same restriction, same builtins), so the verdict carries over.
-    Status st = i == 0 ? shards_[i]->LoadShared(script)
-                       : shards_[i]->LoadSharedPreanalyzed(script);
+    // When the verifier ran, its structure pass subsumes shard 0's static
+    // analysis; otherwise shard 0 analyzes and shards 1+ (configured
+    // identically: same restriction, same builtins) reuse the verdict.
+    Status st = i == 0 && !verified ? shards_[i]->LoadShared(script)
+                                    : shards_[i]->LoadSharedPreanalyzed(script);
     if (!st.ok()) {
       roll_back(i);  // shard i rolled itself back (LoadShared is
                      // transactional); undo the shards before it

@@ -68,6 +68,20 @@ struct ScriptHostOptions {
   /// view read builtins (view_count / view_contains / view_members /
   /// view_aggregate) are bound on every shard interpreter.
   views::ViewCatalog* views = nullptr;
+  /// Static-verifier strictness for Load (analyzer.h Verify): the verifier
+  /// checks phase safety (writes/spawn against `mutations`), schema
+  /// bindings (components/fields/views/channels against the reflection
+  /// registry, the view catalog and the wired channels) and static cost.
+  ///   kOff    — historical behavior: structural analysis only.
+  ///   kWarn   — full verifier; phase/bindings/cost findings are logged and
+  ///             kept readable via diagnostics(), the load proceeds
+  ///             (structural errors still reject, as they always have).
+  ///   kStrict — any error-severity finding rejects the load.
+  Strictness strictness = Strictness::kWarn;
+  /// Per-entry-point worst-case cost budget for the verifier's cost pass,
+  /// in planner cost units (analyzer.h CostModelOptions); 0 disables
+  /// budget enforcement.
+  double script_cost_budget = 0.0;
 };
 
 /// Outcome of one scripted parallel tick.
@@ -147,6 +161,12 @@ class ScriptHost {
   /// Per-shard interpreter access (tests, per-shard globals).
   Interpreter& interpreter(size_t shard) { return *shards_[shard]; }
 
+  /// Verifier findings from the most recent Load (empty under
+  /// Strictness::kOff, and cleared at the start of every Load).
+  const DiagnosticSink& diagnostics() const { return diagnostics_; }
+  /// Verifier report (effects, per-entry costs) from the most recent Load.
+  const VerifyReport& verify_report() const { return verify_report_; }
+
  private:
   /// Ensures every registered component type has a store before the query
   /// phase: reads through the bindings must not grow World's store map from
@@ -162,6 +182,8 @@ class ScriptHost {
   /// (channel name, apply fn) in registration order.
   std::vector<std::pair<std::string, std::function<void(EntityId, double)>>>
       channels_;
+  DiagnosticSink diagnostics_;
+  VerifyReport verify_report_;
 };
 
 }  // namespace gamedb::script

@@ -27,8 +27,13 @@ Result<std::vector<Token>> Lex(std::string_view src) {
   std::vector<Token> out;
   size_t i = 0;
   int line = 1;
+  size_t line_start = 0;  // index of the current line's first character
+  // Source position of the token being lexed (captured before consuming
+  // its characters, so multi-char tokens point at their first character).
+  int tok_line = 1;
+  int tok_col = 1;
   auto push = [&](TokenType t, std::string text = "", double num = 0.0) {
-    out.push_back(Token{t, std::move(text), num, line});
+    out.push_back(Token{t, std::move(text), num, tok_line, tok_col});
   };
 
   while (i < src.size()) {
@@ -36,6 +41,7 @@ Result<std::vector<Token>> Lex(std::string_view src) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -46,6 +52,8 @@ Result<std::vector<Token>> Lex(std::string_view src) {
       while (i < src.size() && src[i] != '\n') ++i;
       continue;
     }
+    tok_line = line;
+    tok_col = static_cast<int>(i - line_start) + 1;
     if (std::isdigit(static_cast<unsigned char>(c)) ||
         (c == '.' && i + 1 < src.size() &&
          std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
@@ -176,6 +184,8 @@ Result<std::vector<Token>> Lex(std::string_view src) {
             StringFormat("line %d: unexpected character '%c'", line, c));
     }
   }
+  tok_line = line;
+  tok_col = static_cast<int>(i - line_start) + 1;
   push(TokenType::kEof);
   return out;
 }

@@ -59,6 +59,7 @@ class Parser {
     auto stmt = std::make_unique<Stmt>();
     stmt->kind = is_fn ? StmtKind::kFn : StmtKind::kOn;
     stmt->line = Prev().line;
+    stmt->col = Prev().column;
     GAMEDB_RETURN_NOT_OK(Expect(TokenType::kIdent));
     stmt->name = Prev().text;
     GAMEDB_RETURN_NOT_OK(Expect(TokenType::kLParen));
@@ -88,9 +89,9 @@ class Parser {
   }
 
   Result<std::unique_ptr<Stmt>> ParseStmt() {
-    int line = Peek().line;
     auto stmt = std::make_unique<Stmt>();
-    stmt->line = line;
+    stmt->line = Peek().line;
+    stmt->col = Peek().column;
 
     if (Match(TokenType::kLet)) {
       stmt->kind = StmtKind::kLet;
@@ -172,6 +173,7 @@ class Parser {
           auto node = std::make_unique<Expr>();
           node->kind = ExprKind::kBinary;
           node->line = Prev().line;
+          node->col = Prev().column;
           node->op = op;
           GAMEDB_ASSIGN_OR_RETURN(auto rhs, (this->*next)());
           node->args.push_back(std::move(lhs));
@@ -215,6 +217,7 @@ class Parser {
       auto node = std::make_unique<Expr>();
       node->kind = ExprKind::kUnary;
       node->line = Prev().line;
+      node->col = Prev().column;
       node->op = Prev().type;
       GAMEDB_ASSIGN_OR_RETURN(auto operand, ParseUnary());
       node->args.push_back(std::move(operand));
@@ -226,6 +229,7 @@ class Parser {
   Result<std::unique_ptr<Expr>> ParsePrimary() {
     auto node = std::make_unique<Expr>();
     node->line = Peek().line;
+    node->col = Peek().column;
     if (Match(TokenType::kNumber)) {
       node->kind = ExprKind::kLiteral;
       node->literal = Value(Prev().number);

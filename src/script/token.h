@@ -59,12 +59,16 @@ enum class TokenType : uint8_t {
 const char* TokenTypeName(TokenType t);
 
 /// One lexed token. `text` is the raw lexeme (string literals are unescaped
-/// into `text`), `number` is set for kNumber.
+/// into `text`), `number` is set for kNumber. `line`/`column` are 1-based
+/// source coordinates of the token's first character; the parser copies
+/// them into AST nodes so every diagnostic the static verifier emits
+/// (script/diagnostics.h) can point at the offending source position.
 struct Token {
   TokenType type = TokenType::kEof;
   std::string text;
   double number = 0.0;
   int line = 0;
+  int column = 0;
 };
 
 }  // namespace gamedb::script

@@ -1,5 +1,6 @@
 #include "script/triggers.h"
 
+#include "common/logging.h"
 #include "views/view.h"
 
 namespace gamedb::script {
@@ -58,6 +59,16 @@ Status TriggerSystem::Pump() {
 void TriggerSystem::WatchView(views::LiveView* view, std::string enter_event,
                               std::string exit_event,
                               std::string update_event) {
+  // A watch wired to an event nothing handles fires into the void every
+  // membership change — almost always a typo'd event name. Warn (not fail:
+  // the handler pack may legitimately load after the watch is set up).
+  for (const std::string& event : {enter_event, exit_event, update_event}) {
+    if (!event.empty() && interp_->HandlerCount(event) == 0) {
+      GAMEDB_LOG(kWarn) << "TriggerSystem::WatchView: no 'on " << event
+                        << "' handler is loaded; view events will be "
+                           "dropped until one is";
+    }
+  }
   Watch watch{view, kNoHandle, kNoHandle, kNoHandle};
   if (!enter_event.empty()) {
     watch.enter =

@@ -1,0 +1,289 @@
+/// \file main.cc
+/// gsl_lint — standalone lint driver for the GSL static verifier
+/// (src/script/analyzer.h). Lints .gsl files without running them:
+///
+///   gsl_lint [options] file.gsl [file2.gsl ...]
+///
+/// Options (defaults in brackets):
+///   --restriction=full|no-recursion|declarative   language level [full]
+///   --phase=sequential|parallel-defer|parallel-reject
+///                        execution phase the script is checked for
+///                        [sequential]
+///   --budget=N           per-entry-point cost budget in planner cost
+///                        units; 0 = off [0]
+///   --views=a,b          view names that exist (standalone runs have no
+///                        ViewCatalog; without this, view names are not
+///                        checked)
+///   --channels=a,b       wired effect channels (emit() into any other
+///                        literal channel warns)
+///   --werror             treat warnings as errors
+///   --quiet              print findings only (no per-file summary)
+///
+/// A .gsl file can carry the same configuration in-line via lint directive
+/// comments (any line starting with `# lint:`), e.g.
+///
+///   # lint: phase=parallel-defer restriction=no-recursion budget=5000
+///   # lint: views=wounded,critical channels=damage,regen
+///
+/// Command-line options override file directives; file directives override
+/// the defaults. Component/field names always resolve against the global
+/// reflection registry (the standard component set).
+///
+/// Exit codes: 0 clean; 1 findings; 2 usage or I/O error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/reflect.h"
+#include "core/world.h"
+#include "script/analyzer.h"
+#include "script/bindings.h"
+#include "script/builtins.h"
+#include "script/parser.h"
+#include "script/triggers.h"
+#include "views/maintainer.h"
+
+using namespace gamedb;  // NOLINT
+
+namespace {
+
+/// One file's effective lint configuration (defaults <- directives <- CLI).
+struct LintConfig {
+  script::Restriction restriction = script::Restriction::kFull;
+  script::PhaseContext phase = script::PhaseContext::kSequential;
+  double budget = 0.0;
+  std::vector<std::string> views;
+  std::vector<std::string> channels;
+  // Which keys the CLI pinned (those ignore file directives).
+  bool cli_restriction = false, cli_phase = false, cli_budget = false;
+  bool cli_views = false, cli_channels = false;
+};
+
+std::vector<std::string> SplitCommas(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::stringstream ss(csv);
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool ParseRestriction(const std::string& v, script::Restriction* out) {
+  if (v == "full") *out = script::Restriction::kFull;
+  else if (v == "no-recursion") *out = script::Restriction::kNoRecursion;
+  else if (v == "declarative") *out = script::Restriction::kDeclarative;
+  else return false;
+  return true;
+}
+
+bool ParsePhase(const std::string& v, script::PhaseContext* out) {
+  if (v == "sequential") *out = script::PhaseContext::kSequential;
+  else if (v == "parallel-defer") *out = script::PhaseContext::kParallelDefer;
+  else if (v == "parallel-reject") {
+    *out = script::PhaseContext::kParallelReject;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Applies one key=value setting (from a directive or the CLI). Returns
+/// false on an unknown key or a bad value.
+bool ApplySetting(const std::string& key, const std::string& value,
+                  bool from_cli, LintConfig* cfg) {
+  if (key == "restriction") {
+    if (from_cli) cfg->cli_restriction = true;
+    else if (cfg->cli_restriction) return true;
+    return ParseRestriction(value, &cfg->restriction);
+  }
+  if (key == "phase") {
+    if (from_cli) cfg->cli_phase = true;
+    else if (cfg->cli_phase) return true;
+    return ParsePhase(value, &cfg->phase);
+  }
+  if (key == "budget") {
+    if (from_cli) cfg->cli_budget = true;
+    else if (cfg->cli_budget) return true;
+    char* end = nullptr;
+    cfg->budget = std::strtod(value.c_str(), &end);
+    return end != nullptr && *end == '\0' && cfg->budget >= 0;
+  }
+  if (key == "views") {
+    if (from_cli) cfg->cli_views = true;
+    else if (cfg->cli_views) return true;
+    cfg->views = SplitCommas(value);
+    return true;
+  }
+  if (key == "channels") {
+    if (from_cli) cfg->cli_channels = true;
+    else if (cfg->cli_channels) return true;
+    cfg->channels = SplitCommas(value);
+    return true;
+  }
+  return false;
+}
+
+/// Scans `source` for `# lint: key=value ...` directive comments.
+bool ApplyFileDirectives(const std::string& source, const std::string& path,
+                         LintConfig* cfg) {
+  std::stringstream ss(source);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(ss, line)) {
+    ++lineno;
+    size_t at = line.find_first_not_of(" \t");
+    if (at == std::string::npos) continue;
+    const char kPrefix[] = "# lint:";
+    if (line.compare(at, sizeof(kPrefix) - 1, kPrefix) != 0) continue;
+    std::stringstream items(line.substr(at + sizeof(kPrefix) - 1));
+    std::string item;
+    while (items >> item) {
+      size_t eq = item.find('=');
+      if (eq == std::string::npos ||
+          !ApplySetting(item.substr(0, eq), item.substr(eq + 1),
+                        /*from_cli=*/false, cfg)) {
+        std::fprintf(stderr, "%s:%d: bad lint directive '%s'\n", path.c_str(),
+                     lineno, item.c_str());
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gsl_lint [options] file.gsl [file2.gsl ...]\n"
+      "  --restriction=full|no-recursion|declarative\n"
+      "  --phase=sequential|parallel-defer|parallel-reject\n"
+      "  --budget=N       per-entry cost budget (planner units, 0=off)\n"
+      "  --views=a,b      view names that exist\n"
+      "  --channels=a,b   wired effect channels\n"
+      "  --werror         treat warnings as errors\n"
+      "  --quiet          findings only, no summaries\n"
+      "files may embed '# lint: key=value ...' directive comments\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterStandardComponents();
+
+  LintConfig base;
+  bool werror = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos ||
+          !ApplySetting(arg.substr(2, eq - 2), arg.substr(eq + 1),
+                        /*from_cli=*/true, &base)) {
+        std::fprintf(stderr, "gsl_lint: bad option '%s'\n", arg.c_str());
+        return Usage();
+      }
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Usage();
+
+  // A throwaway interpreter with the full builtin surface (core + world +
+  // views + fire) tells the verifier which call names are native.
+  World world;
+  views::ViewCatalog catalog(&world);
+  script::Interpreter interp;
+  script::RegisterCoreBuiltins(&interp);
+  script::BindWorld(&interp, &world, nullptr, script::WorldBindOptions{});
+  script::BindViews(&interp, &catalog);
+  script::TriggerSystem triggers(&interp);
+  triggers.InstallFireBuiltin();
+
+  size_t total_errors = 0;
+  size_t total_warnings = 0;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "gsl_lint: cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string source = buffer.str();
+
+    LintConfig cfg = base;
+    if (!ApplyFileDirectives(source, path, &cfg)) return 2;
+
+    // Origin: file name without directories (matches the embedded-header
+    // origins the programs use, so rendered findings line up).
+    size_t slash = path.find_last_of('/');
+    const std::string origin =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+
+    auto parsed = script::Parse(source, origin);
+    if (!parsed.ok()) {
+      std::printf("%s: parse error: %s\n", origin.c_str(),
+                  parsed.status().ToString().c_str());
+      ++total_errors;
+      continue;
+    }
+
+    script::VerifierOptions vopts;
+    vopts.restriction = cfg.restriction;
+    vopts.phase = cfg.phase;
+    vopts.cost_budget = cfg.budget;
+    vopts.is_builtin = [&interp](const std::string& name) {
+      return interp.IsBuiltin(name);
+    };
+    vopts.schema = script::ReflectionSchema();
+    if (!cfg.views.empty()) {
+      std::unordered_set<std::string> views(cfg.views.begin(),
+                                            cfg.views.end());
+      vopts.schema.has_view = [views](const std::string& name) {
+        return views.count(name) > 0;
+      };
+    }
+    if (!cfg.channels.empty()) {
+      std::unordered_set<std::string> channels(cfg.channels.begin(),
+                                               cfg.channels.end());
+      vopts.schema.has_channel = [channels](const std::string& name) {
+        return channels.count(name) > 0;
+      };
+    }
+    vopts.top_level_must_be_pure =
+        cfg.phase != script::PhaseContext::kSequential;
+
+    script::DiagnosticSink sink;
+    script::VerifyReport report = script::Verify(*parsed, vopts, &sink);
+    for (const auto& d : sink.diagnostics()) {
+      std::printf("%s\n", d.ToString().c_str());
+    }
+    total_errors += sink.error_count();
+    total_warnings += sink.warning_count();
+    if (!quiet) {
+      std::printf(
+          "%s: %zu error(s), %zu warning(s); phase %s, effects [%s], max "
+          "entry cost %.0f units (%s)\n",
+          origin.c_str(), sink.error_count(), sink.warning_count(),
+          script::PhaseContextName(cfg.phase),
+          script::EffectSetName(report.effects).c_str(),
+          report.max_entry_cost, report.max_entry_name.c_str());
+    }
+  }
+  if (total_errors > 0) return 1;
+  if (werror && total_warnings > 0) return 1;
+  return 0;
+}

@@ -7,31 +7,15 @@
 #include "common/crc32.h"
 #include "common/percentile.h"
 #include "core/serialize.h"
+#include "loadgen_combat_gsl.h"
 
 namespace gamedb::loadgen {
 
 namespace {
 
-/// The per-entity behavior every scenario runs through the parallel script
-/// phase: target damage, conditional regeneration modulated by a live-view
-/// read (so the query builtins, effect channels and view read path are all
-/// on the measured hot path). Writes flow only through effect channels —
-/// the gated-parallel-phase discipline of PR 3.
-constexpr char kBehaviorScript[] = R"(
-fn tick(e) {
-  let t = get(e, "Combat", "target")
-  if is_alive(t) {
-    emit("damage", t, get(e, "Combat", "attack") * 0.2)
-  }
-  if get(e, "Health", "hp") < 95 {
-    if view_count("loadgen_wounded") > 25 {
-      emit("regen", e, 2 + random())
-    } else {
-      emit("regen", e, 1 + random())
-    }
-  }
-}
-)";
+// The per-entity behavior every scenario runs through the parallel script
+// phase ships as assets/scripts/loadgen_combat.gsl, embedded at build time
+// (cmake/EmbedGsl.cmake) as kLoadgenCombatScript.
 
 uint64_t HashSnapshot(const World& world) {
   std::string snapshot;
@@ -120,6 +104,7 @@ Status Driver::Init() {
   hopts.planner = &planner_;
   hopts.views = &catalog_;
   hopts.interpreter.rng_seed = cfg_.seed ^ 0x5ca1ab1eULL;
+  if (cfg_.strict_scripts) hopts.strictness = script::Strictness::kStrict;
   host_ = std::make_unique<script::ScriptHost>(&world_, hopts);
   host_->OnChannel("damage", [this](EntityId e, double total) {
     bool dead = false;
@@ -137,7 +122,7 @@ Status Driver::Init() {
       h.hp = std::min(h.hp + static_cast<float>(total), h.max_hp);
     });
   });
-  return host_->Load(kBehaviorScript, "<loadgen>");
+  return host_->Load(kLoadgenCombatScript, kLoadgenCombatScriptName);
 }
 
 Status Driver::Tick(uint64_t t,

@@ -91,6 +91,12 @@ class Driver {
   std::vector<EntityId>& npcs() { return npcs_; }
   /// A live NPC chosen by rng, or Invalid when none are left.
   EntityId RandomLiveNpc();
+  /// Static-verifier findings from the behavior-pack load (host Load runs
+  /// the GSL verifier; see ScriptHostOptions::strictness). Valid after
+  /// Init().
+  const script::DiagnosticSink& script_diagnostics() const {
+    return host_->diagnostics();
+  }
   Vec3 RandomPoint();
   /// Per-scenario scratch (e.g. chase quarry assignments).
   std::vector<EntityId> scratch;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "loadgen/driver.h"
 #include "loadgen/metrics.h"
 #include "loadgen/scenario.h"
 
@@ -44,7 +45,11 @@ void PrintUsage() {
                "mode)\n"
                "  --validate          schema-check each emitted report\n"
                "  --enforce-slo       exit 3 if any scenario violates its "
-               "SLO\n");
+               "SLO\n"
+               "  --strict-scripts    reject the behavior pack on any GSL "
+               "verifier error\n"
+               "  --lint              verify the behavior pack against the "
+               "full stack and exit\n");
 }
 
 bool ParseUint(const std::string& v, uint64_t* out) {
@@ -60,9 +65,11 @@ struct CliOptions {
   std::string scenario = "steady_state";
   std::string out_dir;
   bool list = false;
+  bool lint = false;
   bool deterministic = false;
   bool validate = false;
   bool enforce_slo = false;
+  bool strict_scripts = false;
   // Overrides: only applied when the flag was given, so per-scenario
   // defaults (DefaultConfig) survive untouched flags.
   bool has_clients = false, has_npcs = false, has_ticks = false;
@@ -85,6 +92,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     };
     if (arg == "--list") {
       opts->list = true;
+    } else if (arg == "--lint") {
+      opts->lint = true;
+    } else if (arg == "--strict-scripts") {
+      opts->strict_scripts = true;
     } else if (arg == "--deterministic") {
       opts->deterministic = true;
     } else if (arg == "--validate") {
@@ -139,6 +150,7 @@ int RunOne(const std::string& name, const CliOptions& opts) {
   if (opts.has_seed) cfg.seed = opts.seed;
   if (opts.has_threads) cfg.threads = opts.threads;
   if (opts.has_planner) cfg.planner_on = opts.planner_on;
+  cfg.strict_scripts = opts.strict_scripts;
   cfg.collect_timing = !opts.deterministic;
 
   Result<ScenarioReport> report_or = RunScenario(cfg);
@@ -188,6 +200,31 @@ int RunOne(const std::string& name, const CliOptions& opts) {
   return rc;
 }
 
+/// --lint: stand up the full stack (world, planner, views, channels),
+/// strict-load the shipped behavior pack so the GSL verifier checks it
+/// against the real schema/catalog, print every finding, and exit 0/1.
+int RunLint() {
+  ScenarioConfig cfg;
+  cfg.clients = 1;
+  cfg.npcs = 4;
+  cfg.ticks = 0;
+  cfg.collect_timing = false;
+  cfg.strict_scripts = true;
+  Driver driver(cfg);
+  Status st = driver.Init();
+  for (const auto& d : driver.script_diagnostics().diagnostics()) {
+    std::printf("%s\n", d.ToString().c_str());
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "loadgen: lint failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("loadgen behavior pack: strict verification clean (%zu "
+              "warning(s))\n",
+              driver.script_diagnostics().warning_count());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +233,7 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 1;
   }
+  if (opts.lint) return RunLint();
   if (opts.list) {
     for (const std::string& name : ScenarioNames()) {
       std::printf("%-14s %s\n", name.c_str(),

@@ -53,6 +53,11 @@ struct ScenarioConfig {
   /// byte-identical for a given (scenario, seed) at any thread count (the
   /// scenario-replay regression tier asserts exactly this).
   bool collect_timing = true;
+  /// Load the behavior pack under Strictness::kStrict — any error-severity
+  /// finding from the GSL static verifier (script/analyzer.h) rejects the
+  /// load and fails Init. The default kWarn keeps findings observable via
+  /// Driver::script_diagnostics() without gating.
+  bool strict_scripts = false;
   /// Tick-latency SLO targets in milliseconds; <= 0 disables that gate.
   /// Violations are recorded in the report (and fail the CLI under
   /// --enforce-slo); they never abort the run.
