@@ -136,6 +136,107 @@ BENCHMARK(BM_SingleInterpreterDirectTick)
     ->Arg(16384)
     ->UseRealTime();
 
+// A write-heavy, analysis-provable behavior (self-only writes, fields
+// disjoint from reads, no emits): the shape where deferred replay pays
+// for a second pass over every write and MutationPolicy::kDirectChecked
+// is allowed to skip it.
+constexpr char kSelfWriteScript[] = R"(
+fn tick(e) {
+  let a = get(e, "Combat", "attack")
+  set(e, "Health", "hp", a * 2 + 10)
+  set(e, "Health", "max_hp", 100 + a)
+  set(e, "Combat", "range", a * 0.5)
+}
+)";
+
+// Deferred replay vs the analysis-gated in-place fast path on the same
+// write-heavy workload, swept over policy x threads x entities. Expected
+// shape: kDirectChecked wins by the cost of buffering + replaying the
+// FieldValue for every set(); the gap grows with writes per tick and is
+// pure overhead reduction (both runs end bit-identical — asserted by
+// tests/script/host_test.cc, not re-checked here).
+void BM_DeferVsDirectCheckedTick(benchmark::State& state) {
+  World world;
+  std::vector<EntityId> ids;
+  BuildWorld(&world, &ids, size_t(state.range(2)));
+  ScriptHostOptions opts;
+  opts.num_threads = size_t(state.range(1));
+  opts.mutations = state.range(0) == 0
+                       ? script::MutationPolicy::kDefer
+                       : script::MutationPolicy::kDirectChecked;
+  ScriptHost host(&world, opts);
+  if (Status st = host.Load(kSelfWriteScript); !st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    world.AdvanceTick();
+    auto stats = host.RunTick("tick", ids);
+    if (!stats.ok() || stats->script_errors > 0) {
+      state.SkipWithError("scripted tick failed");
+      return;
+    }
+  }
+  if (state.range(0) != 0 && host.direct_ticks() == 0) {
+    state.SkipWithError("direct-checked never took the fast path");
+    return;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(2));
+  state.SetLabel(std::string(state.range(0) == 0 ? "defer" : "direct_checked") +
+                 "_" + std::to_string(state.range(1)) + "_threads");
+}
+BENCHMARK(BM_DeferVsDirectCheckedTick)
+    ->ArgsProduct({{0, 1}, {1, 2, 4, 8}, {4096, 16384}})
+    ->UseRealTime();
+
+// The fallback arm: a pack the analysis cannot prove disjoint (it emits
+// while writing). Under kDirectChecked every tick silently falls back to
+// deferred replay, so the two policies must time identically — the
+// analysis gate costs one hash lookup per tick, not per entity.
+constexpr char kEmitWriteScript[] = R"(
+fn tick(e) {
+  emit("regen", e, 0.25)
+  set(e, "Health", "hp", get(e, "Combat", "attack") + 40)
+}
+)";
+
+void BM_DirectCheckedFallbackTick(benchmark::State& state) {
+  World world;
+  std::vector<EntityId> ids;
+  BuildWorld(&world, &ids, 4096);
+  ScriptHostOptions opts;
+  opts.num_threads = size_t(state.range(1));
+  opts.mutations = state.range(0) == 0
+                       ? script::MutationPolicy::kDefer
+                       : script::MutationPolicy::kDirectChecked;
+  ScriptHost host(&world, opts);
+  host.OnChannel("regen", [&world](EntityId e, double total) {
+    world.Patch<Health>(e, [&](Health& h) { h.hp += float(total); });
+  });
+  if (Status st = host.Load(kEmitWriteScript); !st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    world.AdvanceTick();
+    auto stats = host.RunTick("tick", ids);
+    if (!stats.ok() || stats->script_errors > 0) {
+      state.SkipWithError("scripted tick failed");
+      return;
+    }
+  }
+  if (state.range(0) != 0 && host.direct_ticks() != 0) {
+    state.SkipWithError("ineligible pack took the fast path");
+    return;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 4096);
+  state.SetLabel(std::string(state.range(0) == 0 ? "defer" : "fallback") +
+                 "_" + std::to_string(state.range(1)) + "_threads");
+}
+BENCHMARK(BM_DirectCheckedFallbackTick)
+    ->ArgsProduct({{0, 1}, {1, 4}})
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

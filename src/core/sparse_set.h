@@ -87,6 +87,12 @@ class ComponentStore {
   virtual void FlushChanges(ChangeSet* out) = 0;
   /// Raw (un-coalesced) records currently buffered; diagnostics and tests.
   virtual size_t pending_change_records() const = 0;
+
+  /// Number of live change observers subscribed to this table. Observers see
+  /// old/new values on Patch but old == nullptr on Touch, so code that wants
+  /// to substitute Touch for Patch (direct-write fast paths) must check this
+  /// is zero first.
+  virtual size_t observer_count() const = 0;
 };
 
 /// Dense table of components of type T keyed by entity.
@@ -343,6 +349,14 @@ class SparseSet final : public ComponentStore {
   void Unsubscribe(size_t handle) {
     GAMEDB_DCHECK(handle < observers_.size());
     observers_[handle] = nullptr;
+  }
+
+  size_t observer_count() const override {
+    size_t n = 0;
+    for (const auto& obs : observers_) {
+      if (obs) ++n;
+    }
+    return n;
   }
 
   /// Direct access to the dense arrays (hot loops, benchmarks).

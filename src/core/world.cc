@@ -84,6 +84,12 @@ const ComponentStore* World::StoreByIdIfExists(uint32_t type_id) const {
   return it->second.get();
 }
 
+ComponentStore* World::StoreByIdIfExists(uint32_t type_id) {
+  auto it = stores_.find(type_id);
+  if (it == stores_.end()) return nullptr;
+  return it->second.get();
+}
+
 void World::ForEachStore(
     const std::function<void(const TypeInfo&, ComponentStore&)>& fn) {
   for (auto& [id, store] : stores_) {

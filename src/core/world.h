@@ -146,6 +146,7 @@ class World {
 
   /// Store by id without creating; nullptr when the world has no such table.
   const ComponentStore* StoreByIdIfExists(uint32_t type_id) const;
+  ComponentStore* StoreByIdIfExists(uint32_t type_id);
 
   /// Iterates every existing table with its type metadata.
   void ForEachStore(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -65,6 +67,43 @@ std::string EffectSetName(uint32_t effects) {
   return out;
 }
 
+std::string AccessSummaryToString(const AccessSummary& s) {
+  std::string out = "reads{";
+  bool first = true;
+  auto append = [&](const std::string& tok) {
+    if (!first) out += ", ";
+    first = false;
+    out += tok;
+  };
+  for (const auto& [key, bits] : s.fields) {
+    if (bits & kAccessRead) append(key);
+  }
+  if (s.unknown_read) append("*");
+  out += "} writes{";
+  first = true;
+  for (const auto& [key, bits] : s.fields) {
+    if ((bits & (kAccessWriteSelf | kAccessWriteForeign)) == 0) continue;
+    std::string tok = key;
+    if ((bits & kAccessWriteSelf) && (bits & kAccessWriteForeign)) {
+      tok += ":self+foreign";
+    } else if (bits & kAccessWriteSelf) {
+      tok += ":self";
+    } else {
+      tok += ":foreign";
+    }
+    append(tok);
+  }
+  if (s.unknown_write) append("*");
+  out += "}";
+  if (s.structural_write) out += " structural";
+  if (s.radius_unbounded) {
+    out += " radius unbounded";
+  } else {
+    out += StringFormat(" radius %g", s.radius);
+  }
+  return out;
+}
+
 SchemaCatalog ReflectionSchema() {
   SchemaCatalog schema;
   schema.has_component = [](const std::string& comp) {
@@ -73,6 +112,23 @@ SchemaCatalog ReflectionSchema() {
   schema.has_field = [](const std::string& comp, const std::string& field) {
     const TypeInfo* info = TypeRegistry::Global().FindByName(comp);
     return info != nullptr && info->FindField(field) != nullptr;
+  };
+  schema.component_names = []() {
+    TypeRegistry& reg = TypeRegistry::Global();
+    std::vector<std::string> names;
+    names.reserve(reg.size());
+    for (uint32_t id = 0; id < reg.size(); ++id) {
+      if (const TypeInfo* info = reg.Find(id)) names.push_back(info->name());
+    }
+    return names;
+  };
+  schema.field_names = [](const std::string& comp) {
+    std::vector<std::string> names;
+    if (const TypeInfo* info = TypeRegistry::Global().FindByName(comp)) {
+      names.reserve(info->fields().size());
+      for (const FieldInfo& f : info->fields()) names.push_back(f.name());
+    }
+    return names;
   };
   return schema;
 }
@@ -188,11 +244,102 @@ bool IsCmpOpToken(const std::string& op) {
          op == ">=";
 }
 
+// ---- access-summary lattice helpers ------------------------------------
+
+std::string_view CompOf(const std::string& key) {
+  return std::string_view(key).substr(0, key.find('.'));
+}
+std::string_view FieldOf(const std::string& key) {
+  size_t dot = key.find('.');
+  return dot == std::string::npos ? std::string_view("*")
+                                  : std::string_view(key).substr(dot + 1);
+}
+
+/// Do two "Comp.field" keys name overlapping storage? "Comp.*" (field
+/// statically unknown) overlaps every field of Comp.
+bool KeysOverlap(const std::string& a, const std::string& b) {
+  if (CompOf(a) != CompOf(b)) return false;
+  std::string_view fa = FieldOf(a);
+  std::string_view fb = FieldOf(b);
+  return fa == "*" || fb == "*" || fa == fb;
+}
+
+constexpr uint8_t kAccessWriteAny = kAccessWriteSelf | kAccessWriteForeign;
+
+bool HasFieldWrites(const EntryFacts& e) {
+  const AccessSummary& a = e.facts.access;
+  if (a.unknown_write || a.structural_write) return true;
+  for (const auto& [key, bits] : a.fields) {
+    if (bits & kAccessWriteAny) return true;
+  }
+  return false;
+}
+
+/// Does this entry read or write world state at all? (The peer test for ⊤
+/// writes: a destroy() conflicts even with an entry that only calls
+/// is_alive(), which records no field key but carries kEffectWorldRead.)
+bool TouchesWorld(const EntryFacts& e) {
+  const AccessSummary& a = e.facts.access;
+  return (e.facts.effects & (kEffectWorldRead | kEffectGatedWrite)) != 0 ||
+         !a.fields.empty() || a.unknown_read || a.unknown_write ||
+         a.structural_write;
+}
+
+// ---- did-you-mean (bindings-pass UX) -----------------------------------
+
+/// Levenshtein edit distance, early-exiting with cap+1 once the distance
+/// provably exceeds `cap` (names are short; the DP rows stay tiny).
+size_t EditDistance(const std::string& a, const std::string& b, size_t cap) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n > m + cap || m > n + cap) return cap + 1;
+  std::vector<size_t> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    size_t best = row[0];
+    for (size_t j = 1; j <= m; ++j) {
+      size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      best = std::min(best, row[j]);
+    }
+    if (best > cap) return cap + 1;
+  }
+  return row[m];
+}
+
+/// "; did you mean 'X'?" for the closest candidate within edit distance 2
+/// (ties resolve to the first candidate), or "" when nothing is close.
+std::string Suggestion(const std::string& name,
+                       const std::vector<std::string>& candidates) {
+  constexpr size_t kMaxDistance = 2;
+  const std::string* best = nullptr;
+  size_t best_d = kMaxDistance + 1;
+  for (const std::string& c : candidates) {
+    if (c == name) continue;
+    size_t d = EditDistance(name, c, kMaxDistance);
+    if (d < best_d) {
+      best_d = d;
+      best = &c;
+    }
+  }
+  if (best == nullptr) return "";
+  return "; did you mean '" + *best + "'?";
+}
+
 class Verifier {
  public:
   Verifier(const Script& script, const VerifierOptions& options,
            DiagnosticSink* sink)
-      : script_(script), options_(options), sink_(sink) {}
+      : script_(script), options_(options), sink_(sink) {
+    // ⊤ of the access lattice: what a recursion cycle (or an undefined
+    // callee) is assumed to do — anything, anywhere.
+    top_access_.unknown_read = true;
+    top_access_.unknown_write = true;
+    top_access_.radius_unbounded = true;
+  }
 
   VerifyReport Run() {
     // --- structure ------------------------------------------------------
@@ -471,7 +618,229 @@ class Verifier {
     for (const auto& b : s.else_body) TopLevelPurityStmt(*b);
   }
 
+  // ---- access-summary pass ---------------------------------------------
+  //
+  // Field-granular dataflow: per function, the set of "Comp.field" keys it
+  // may read, the keys it may write (with *which parameters* the write can
+  // land on — substituted through call sites, so a helper that only ever
+  // receives the entry's own entity still yields a self write), structural
+  // membership changes, ⊤ flags for statically unresolvable access, and
+  // the spatial footprint. Memoized DFS over the call graph; a back edge
+  // (recursion) returns ⊤, poisoning every function on the cycle —
+  // conservative and convergent.
+
+  struct WriteTarget {
+    uint32_t params = 0;   ///< bitmask: the write may land on param i
+    bool foreign = false;  ///< the write may land on a non-parameter entity
+  };
+  struct FnAccess {
+    std::set<std::string> reads;
+    std::map<std::string, WriteTarget> writes;
+    bool unknown_read = false;
+    bool unknown_write = false;
+    bool structural = false;
+    double radius = 0.0;
+    bool radius_unbounded = false;
+  };
+  /// Parameter name -> index, for parameters never rebound in the body.
+  using ParamMap = std::unordered_map<std::string, uint32_t>;
+
+  const Stmt* FindDecl(const std::string& name) const {
+    for (const auto& d : script_.decls) {
+      if (d->kind == StmtKind::kFn && d->name == name) return d.get();
+    }
+    return nullptr;
+  }
+
+  void CollectRebinds(const std::vector<std::unique_ptr<Stmt>>& body,
+                      ParamMap* params) const {
+    for (const auto& s : body) {
+      if (s->kind == StmtKind::kLet || s->kind == StmtKind::kAssign ||
+          s->kind == StmtKind::kForeach) {
+        // Flow-insensitive taint: a name rebound *anywhere* stops counting
+        // as the incoming argument (a write through it may hit any entity).
+        params->erase(s->name);
+      }
+      CollectRebinds(s->body, params);
+      CollectRebinds(s->else_body, params);
+    }
+  }
+
+  ParamMap UntaintedParams(const Stmt& decl) const {
+    ParamMap params;
+    for (size_t i = 0; i < decl.params.size() && i < 32; ++i) {
+      params.emplace(decl.params[i], static_cast<uint32_t>(i));
+    }
+    CollectRebinds(decl.body, &params);
+    return params;
+  }
+
+  /// Which untainted parameter `call`'s argument `arg_idx` names, or -1.
+  int ParamIndexOf(const Expr& call, size_t arg_idx,
+                   const ParamMap& params) const {
+    if (arg_idx >= call.args.size()) return -1;
+    const Expr& a = *call.args[arg_idx];
+    if (a.kind != ExprKind::kVar) return -1;
+    auto it = params.find(a.name);
+    return it == params.end() ? -1 : static_cast<int>(it->second);
+  }
+
+  /// Records a write of `key` targeted at the entity expression in arg 0.
+  void AddWrite(FnAccess* acc, const std::string& key, const Expr& call,
+                const ParamMap& params) const {
+    WriteTarget& t = acc->writes[key];
+    int pi = ParamIndexOf(call, 0, params);
+    if (pi >= 0) {
+      t.params |= 1u << static_cast<uint32_t>(pi);
+    } else {
+      t.foreign = true;
+    }
+  }
+
+  void AccessBuiltinSite(const Expr& call, const BuiltinSig& sig,
+                         const ParamMap& params, FnAccess* acc) const {
+    const std::string& n = call.name;
+    if (n == "destroy") {
+      // Removes the entity's row from *every* table: a ⊤ structural write.
+      acc->structural = true;
+      acc->unknown_write = true;
+      return;
+    }
+    if (n == "within") {
+      acc->reads.insert("Position.value");
+      const Expr* r = call.args.size() > 1 ? call.args[1].get() : nullptr;
+      if (r != nullptr && r->kind == ExprKind::kLiteral &&
+          r->literal.IsNumber()) {
+        acc->radius = std::max(acc->radius, r->literal.AsNumber());
+      } else {
+        acc->radius_unbounded = true;  // data-dependent footprint
+      }
+      return;
+    }
+    if (sig.comp_arg < 0) return;  // no table named (emit/fire/tick/views…)
+    const bool is_write = (sig.effects & kEffectGatedWrite) != 0;
+    const bool is_structural = n == "add" || n == "remove";
+    const std::string* comp =
+        LiteralStringArg(call, static_cast<size_t>(sig.comp_arg));
+    if (comp == nullptr) {
+      // Computed component name: ⊤ for this access direction.
+      if (is_write) {
+        acc->unknown_write = true;
+        acc->structural |= is_structural;
+      } else {
+        acc->unknown_read = true;
+      }
+      return;
+    }
+    std::string key;
+    if (sig.field_arg >= 0) {
+      const std::string* field =
+          LiteralStringArg(call, static_cast<size_t>(sig.field_arg));
+      key = *comp + "." + (field != nullptr ? *field : "*");
+    } else {
+      key = *comp + ".*";
+    }
+    if (is_write) {
+      acc->structural |= is_structural;
+      AddWrite(acc, key, call, params);
+    } else {
+      acc->reads.insert(key);
+    }
+  }
+
+  /// Substitutes a callee's summary into the caller at one call site:
+  /// reads and flags merge unchanged; a write that may land on callee
+  /// param j becomes a write on whatever the caller passes as argument j —
+  /// one of the caller's own untainted params, or foreign.
+  void MergeCall(const Expr& call, const FnAccess& callee,
+                 const ParamMap& params, FnAccess* acc) const {
+    acc->reads.insert(callee.reads.begin(), callee.reads.end());
+    acc->unknown_read |= callee.unknown_read;
+    acc->unknown_write |= callee.unknown_write;
+    acc->structural |= callee.structural;
+    acc->radius = std::max(acc->radius, callee.radius);
+    acc->radius_unbounded |= callee.radius_unbounded;
+    for (const auto& [key, target] : callee.writes) {
+      WriteTarget& mine = acc->writes[key];
+      mine.foreign |= target.foreign;
+      for (uint32_t j = 0; j < 32; ++j) {
+        if ((target.params & (1u << j)) == 0) continue;
+        int pi = ParamIndexOf(call, j, params);
+        if (pi >= 0) {
+          mine.params |= 1u << static_cast<uint32_t>(pi);
+        } else {
+          mine.foreign = true;
+        }
+      }
+    }
+  }
+
+  void AccessExpr(const Expr& e, const ParamMap& params, FnAccess* acc) {
+    for (const auto& a : e.args) AccessExpr(*a, params, acc);
+    if (e.kind != ExprKind::kCall) return;
+    if (const BuiltinSig* sig = SigFor(e)) {
+      AccessBuiltinSite(e, *sig, params, acc);
+    } else if (script_.functions.count(e.name)) {
+      MergeCall(e, FnAccessOf(e.name), params, acc);
+    }
+  }
+  void AccessStmt(const Stmt& s, const ParamMap& params, FnAccess* acc) {
+    if (s.expr) AccessExpr(*s.expr, params, acc);
+    for (const auto& b : s.body) AccessStmt(*b, params, acc);
+    for (const auto& b : s.else_body) AccessStmt(*b, params, acc);
+  }
+
+  FnAccess BodyAccess(const std::vector<std::unique_ptr<Stmt>>& body,
+                      const ParamMap& params) {
+    FnAccess acc;
+    for (const auto& s : body) AccessStmt(*s, params, &acc);
+    return acc;
+  }
+
+  const FnAccess& FnAccessOf(const std::string& name) {
+    auto it = fn_access_.find(name);
+    if (it != fn_access_.end()) return it->second;
+    if (access_stack_.count(name)) return top_access_;  // recursion -> ⊤
+    const Stmt* decl = FindDecl(name);
+    if (decl == nullptr) return top_access_;  // undefined (structure error)
+    access_stack_.insert(name);
+    ParamMap params = UntaintedParams(*decl);
+    FnAccess acc = BodyAccess(decl->body, params);
+    access_stack_.erase(name);
+    return fn_access_.emplace(name, std::move(acc)).first->second;
+  }
+
+  /// Collapses parameter-indexed write targets to the entry-point view:
+  /// the host invokes an entry with a single argument (the ticked entity),
+  /// so a write on param 0 is self and everything else is foreign.
+  AccessSummary Flatten(const FnAccess& acc) const {
+    AccessSummary s;
+    s.unknown_read = acc.unknown_read;
+    s.unknown_write = acc.unknown_write;
+    s.structural_write = acc.structural;
+    s.radius = acc.radius;
+    s.radius_unbounded = acc.radius_unbounded;
+    for (const std::string& key : acc.reads) s.fields[key] |= kAccessRead;
+    for (const auto& [key, target] : acc.writes) {
+      uint8_t bits = 0;
+      if (target.params & 1u) bits |= kAccessWriteSelf;
+      if (target.foreign || (target.params & ~1u) != 0) {
+        bits |= kAccessWriteForeign;
+      }
+      if (bits == 0) bits = kAccessWriteForeign;  // defensive
+      s.fields[key] |= bits;
+    }
+    return s;
+  }
+
   // ---- bindings pass ---------------------------------------------------
+
+  std::string SuggestName(
+      const std::function<std::vector<std::string>()>& enumerate,
+      const std::string& name) const {
+    if (!enumerate) return "";
+    return Suggestion(name, enumerate());
+  }
 
   void BindingsCheckSite(const Expr& call, const BuiltinSig& sig) {
     // Arity first (mirrors runtime ExpectArgs / the fire() check).
@@ -497,7 +866,8 @@ class Verifier {
       if (!options_.schema.has_component(*comp)) {
         sink_->Error(DiagPass::kBindings,
                      LocOf(*call.args[static_cast<size_t>(sig.comp_arg)]),
-                     "unknown component '" + *comp + "'");
+                     "unknown component '" + *comp + "'" +
+                         SuggestName(options_.schema.component_names, *comp));
         comp = nullptr;  // field check below would be noise
       }
     }
@@ -505,10 +875,14 @@ class Verifier {
       if (const std::string* field =
               LiteralStringArg(call, static_cast<size_t>(sig.field_arg))) {
         if (!options_.schema.has_field(*comp, *field)) {
+          std::string hint =
+              options_.schema.field_names
+                  ? Suggestion(*field, options_.schema.field_names(*comp))
+                  : "";
           sink_->Error(DiagPass::kBindings,
                        LocOf(*call.args[static_cast<size_t>(sig.field_arg)]),
                        "component '" + *comp + "' has no field '" + *field +
-                           "'");
+                           "'" + hint);
         }
       }
     }
@@ -518,7 +892,8 @@ class Verifier {
         if (!options_.schema.has_view(*view)) {
           sink_->Error(DiagPass::kBindings,
                        LocOf(*call.args[static_cast<size_t>(sig.view_arg)]),
-                       call.name + ": no view named '" + *view + "'");
+                       call.name + ": no view named '" + *view + "'" +
+                           SuggestName(options_.schema.view_names, *view));
         }
       }
     }
@@ -530,7 +905,8 @@ class Verifier {
               DiagPass::kBindings,
               LocOf(*call.args[static_cast<size_t>(sig.channel_arg)]),
               "emit() into unwired channel '" + *channel +
-                  "'; contributions to it are buffered but never drained");
+                  "'; contributions to it are buffered but never drained" +
+                  SuggestName(options_.schema.channel_names, *channel));
         }
       }
     }
@@ -704,7 +1080,8 @@ class Verifier {
   }
 
   void AddEntry(VerifyReport* report, std::string name, bool is_handler,
-                SourceLoc loc, uint32_t effects, double cost) {
+                SourceLoc loc, uint32_t effects, double cost,
+                AccessSummary access) {
     EntryFacts entry;
     entry.name = std::move(name);
     entry.is_handler = is_handler;
@@ -712,6 +1089,7 @@ class Verifier {
     entry.facts.effects = effects;
     entry.facts.cost = std::isfinite(cost) ? cost : 0;
     entry.facts.cost_unbounded = !std::isfinite(cost);
+    entry.facts.access = std::move(access);
     report->effects |= effects;
     if (entry.facts.cost_unbounded) {
       if (options_.cost_budget > 0) {
@@ -761,8 +1139,12 @@ class Verifier {
       std::unordered_set<std::string> on_stack;
       double cost = 0;
       for (const auto& s : script_.top_level) cost += StmtCost(*s, &on_stack);
+      // The top level has no parameters, so every write it reaches is
+      // foreign by construction.
+      AccessSummary access = Flatten(BodyAccess(script_.top_level, ParamMap{}));
       AddEntry(&report, "<top level>", /*is_handler=*/false,
-               LocOf(*script_.top_level.front()), eff, cost);
+               LocOf(*script_.top_level.front()), eff, cost,
+               std::move(access));
     }
     for (const auto& d : script_.decls) {
       if (d->kind != StmtKind::kFn && d->kind != StmtKind::kOn) continue;
@@ -770,6 +1152,7 @@ class Verifier {
       std::string name = is_handler ? "on " + d->name : d->name;
       uint32_t eff;
       double cost;
+      AccessSummary access;
       if (is_handler) {
         eff = 0;
         for (const auto& b : d->body) DirectEffectsStmt(*b, &eff);
@@ -781,12 +1164,25 @@ class Verifier {
         std::unordered_set<std::string> on_stack;
         cost = 0;
         for (const auto& b : d->body) cost += StmtCost(*b, &on_stack);
+        access = Flatten(BodyAccess(d->body, UntaintedParams(*d)));
       } else {
         eff = TransitiveEffects(d->name);
         std::unordered_set<std::string> on_stack;
         cost = FunctionCost(d->name, &on_stack);
+        access = Flatten(FnAccessOf(d->name));
       }
-      AddEntry(&report, std::move(name), is_handler, LocOf(*d), eff, cost);
+      AddEntry(&report, std::move(name), is_handler, LocOf(*d), eff, cost,
+               std::move(access));
+    }
+    // Pack-level conflict graph: every unordered entry pair, tested with
+    // the public conflict rule (deterministic (a, b) order).
+    for (size_t i = 0; i < report.entries.size(); ++i) {
+      for (size_t j = i + 1; j < report.entries.size(); ++j) {
+        std::string reason;
+        if (AccessConflicts(report.entries[i], report.entries[j], &reason)) {
+          report.conflicts.push_back(ConflictEdge{i, j, std::move(reason)});
+        }
+      }
     }
     return report;
   }
@@ -798,9 +1194,110 @@ class Verifier {
   std::unordered_map<std::string, std::vector<CallSite>> calls_;
   std::unordered_map<std::string, uint32_t> effects_;
   std::unordered_map<std::string, double> fn_cost_;
+  std::unordered_map<std::string, FnAccess> fn_access_;
+  std::unordered_set<std::string> access_stack_;
+  FnAccess top_access_;
 };
 
 }  // namespace
+
+bool AccessConflicts(const EntryFacts& a, const EntryFacts& b,
+                     std::string* reason) {
+  auto conflict = [reason](std::string why) {
+    if (reason != nullptr) *reason = std::move(why);
+    return true;
+  };
+  const uint32_t both = a.facts.effects | b.facts.effects;
+  if (both & kEffectSpawn) {
+    return conflict("spawn() allocates entity ids");
+  }
+  if (both & kEffectFire) {
+    return conflict("fire() cascades into trigger handlers");
+  }
+  const AccessSummary& aa = a.facts.access;
+  const AccessSummary& ba = b.facts.access;
+  if (aa.unknown_write && TouchesWorld(b)) {
+    return conflict("'" + a.name + "' has statically unknown writes");
+  }
+  if (ba.unknown_write && TouchesWorld(a)) {
+    return conflict("'" + b.name + "' has statically unknown writes");
+  }
+  if (aa.unknown_read && HasFieldWrites(b)) {
+    return conflict("'" + a.name + "' has statically unknown reads");
+  }
+  if (ba.unknown_read && HasFieldWrites(a)) {
+    return conflict("'" + b.name + "' has statically unknown reads");
+  }
+  for (const auto& [ka, bits_a] : aa.fields) {
+    for (const auto& [kb, bits_b] : ba.fields) {
+      if (!KeysOverlap(ka, kb)) continue;
+      const std::string where = ka == kb ? ka : ka + " vs " + kb;
+      if ((bits_a & kAccessWriteAny) && (bits_b & kAccessWriteAny)) {
+        return conflict("write/write overlap on " + where);
+      }
+      if ((bits_a & kAccessWriteAny) && (bits_b & kAccessRead)) {
+        return conflict("write/read overlap on " + where);
+      }
+      if ((bits_a & kAccessRead) && (bits_b & kAccessWriteAny)) {
+        return conflict("read/write overlap on " + where);
+      }
+    }
+  }
+  return false;
+}
+
+bool DirectWriteEligible(const EntryFacts& entry, std::string* reason) {
+  auto no = [reason](std::string why) {
+    if (reason != nullptr) *reason = std::move(why);
+    return false;
+  };
+  const AccessSummary& a = entry.facts.access;
+  if (entry.facts.effects & kEffectSpawn) return no("spawns entities");
+  if (entry.facts.effects & kEffectFire) {
+    return no("fires trigger events (handler effects run mid-phase)");
+  }
+  if (a.structural_write) {
+    return no("changes table membership (add/remove/destroy)");
+  }
+  if (a.unknown_write) return no("writes a statically unknown table/field");
+  bool writes = false;
+  for (const auto& [key, bits] : a.fields) {
+    if (bits & kAccessWriteAny) {
+      writes = true;
+      break;
+    }
+  }
+  // Read-only entries never record a mutation, so there is nothing an
+  // in-place fast path could reorder.
+  if (!writes) return true;
+  if (a.unknown_read) {
+    return no("writes fields while reading a statically unknown table");
+  }
+  if (entry.facts.effects & kEffectEmit) {
+    // kDefer drains effect channels *before* replaying deferred writes; an
+    // in-place write would land before the drain and flip that order.
+    return no("emits effects while writing fields (channel applies would "
+              "observe mid-tick writes)");
+  }
+  for (const auto& [key, bits] : a.fields) {
+    if ((bits & kAccessWriteForeign) != 0) {
+      return no("writes " + key + " on entities other than the ticked "
+                "entity");
+    }
+  }
+  for (const auto& [kw, bits_w] : a.fields) {
+    if ((bits_w & kAccessWriteAny) == 0) continue;
+    for (const auto& [kr, bits_r] : a.fields) {
+      if ((bits_r & kAccessRead) == 0) continue;
+      if (KeysOverlap(kw, kr)) {
+        const std::string where = kw == kr ? kw : kw + " vs " + kr;
+        return no("writes overlap reads on " + where +
+                  " (tick-start snapshot would differ)");
+      }
+    }
+  }
+  return true;
+}
 
 VerifyReport Verify(const Script& script, const VerifierOptions& options,
                     DiagnosticSink* sink) {

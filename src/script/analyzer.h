@@ -37,6 +37,7 @@
 /// finding, source-located, not just the first.
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,49 @@ enum EffectBit : uint32_t {
 /// "pure" or e.g. "read|emit|write" — stable tokens for reports and tests.
 std::string EffectSetName(uint32_t effects);
 
+/// Field-granular access kind, per "Comp.field" key of an AccessSummary.
+/// Writes distinguish *self* (the entry point's first parameter — the
+/// entity the host ticks) from *foreign* (any other entity expression):
+/// self-only writes touch disjoint rows across a parallel tick, foreign
+/// writes may collide.
+enum AccessBit : uint8_t {
+  kAccessRead = 1u << 0,
+  kAccessWriteSelf = 1u << 1,
+  kAccessWriteForeign = 1u << 2,
+};
+
+/// Transitive, field-granular access summary of one entry point: which
+/// table fields it may read or write (keys are "Comp.field", or "Comp.*"
+/// when the field — but not the table — is data-dependent), plus a spatial
+/// footprint (the largest radius literal reachable through within(); ⊤ when
+/// a radius is computed at runtime). Computed over the static call graph
+/// with parameter substitution, so a write through a helper's parameter
+/// that is only ever bound to the entry's own entity still counts as self.
+struct AccessSummary {
+  /// "Comp.field" / "Comp.*" -> AccessBit mask. Ordered for deterministic
+  /// rendering (golden tests pin AccessSummaryToString output).
+  std::map<std::string, uint8_t> fields;
+  /// Reads a table the analysis could not name (computed component name,
+  /// or a recursion cycle — the ⊤ element of the read lattice).
+  bool unknown_read = false;
+  /// Writes a table/field the analysis could not name (computed component
+  /// name, destroy(), or recursion — the ⊤ element of the write lattice).
+  bool unknown_write = false;
+  /// Changes table membership (add/remove/destroy), not just field values.
+  bool structural_write = false;
+  /// Largest statically-known within() radius reached (0 = no spatial
+  /// queries); radius_unbounded when any reachable radius is computed.
+  double radius = 0.0;
+  bool radius_unbounded = false;
+};
+
+/// Stable one-line rendering, e.g.
+///   "reads{Combat.attack, Health.hp} writes{Health.hp:self} radius 0"
+/// Unknown (⊤) reads/writes render as "*"; write annotations are ":self",
+/// ":foreign" or ":self+foreign"; a structural summary appends
+/// " structural"; a data-dependent footprint renders "radius unbounded".
+std::string AccessSummaryToString(const AccessSummary& s);
+
 /// Name-resolution sources for the bindings pass. Every callback is
 /// optional: a null std::function skips that family of checks (e.g.
 /// gsl_lint run without a view catalog cannot validate view names).
@@ -126,11 +170,22 @@ struct SchemaCatalog {
   /// is a *warning* (handlers may live in a pack loaded later). Hosts
   /// typically back this with the interpreter's cross-pack handler set.
   std::function<bool(const std::string& event)> has_event;
+
+  /// Optional name enumerators for did-you-mean suggestions: when an
+  /// unknown component/field/view/channel diagnostic fires and the matching
+  /// enumerator is set, the closest name within edit distance 2 is appended
+  /// to the message ("unknown component 'Helth'; did you mean 'Health'?").
+  std::function<std::vector<std::string>()> component_names;
+  std::function<std::vector<std::string>(const std::string& comp)>
+      field_names;
+  std::function<std::vector<std::string>()> view_names;
+  std::function<std::vector<std::string>()> channel_names;
 };
 
 /// SchemaCatalog backed by the global reflection registry
-/// (core/reflect.h): component and field names resolve against
-/// TypeRegistry::Global(). View/channel callbacks are left unset.
+/// (core/reflect.h): component and field names (and their did-you-mean
+/// enumerators) resolve against TypeRegistry::Global(). View/channel
+/// callbacks are left unset.
 SchemaCatalog ReflectionSchema();
 
 /// Static cost model: prices worst-case per-entity work in the planner's
@@ -184,6 +239,8 @@ struct FunctionFacts {
   double cost = 0.0;
   /// Cost is statically unbounded (recursion under Restriction::kFull).
   bool cost_unbounded = false;
+  /// Transitive field-granular access summary (the dataflow pass).
+  AccessSummary access;
 };
 
 /// One entry point (named function or event handler) of a verified script.
@@ -201,6 +258,15 @@ struct AnalysisReport {
   size_t max_call_depth = 0;
 };
 
+/// One edge of the pack-level conflict graph: entries `a` and `b`
+/// (indices into VerifyReport::entries, a < b) cannot safely run in the
+/// same parallel phase, for `reason`.
+struct ConflictEdge {
+  size_t a = 0;
+  size_t b = 0;
+  std::string reason;
+};
+
 /// Result of a full Verify() run.
 struct VerifyReport {
   AstStats stats;
@@ -209,10 +275,31 @@ struct VerifyReport {
   uint32_t effects = 0;
   /// Entry points in declaration order.
   std::vector<EntryFacts> entries;
+  /// Pack-level conflict graph over `entries` (a < b, ordered by (a, b)):
+  /// two entries conflict iff one's writes overlap the other's reads or
+  /// writes on the same table.field, or either has ⊤ writes, spawns, or
+  /// fires trigger events. Edge-free pairs are provably safe to co-schedule.
+  std::vector<ConflictEdge> conflicts;
   /// Most expensive entry point (ties: first in declaration order).
   double max_entry_cost = 0.0;
   std::string max_entry_name;
 };
+
+/// The pairwise conflict rule behind VerifyReport::conflicts, exposed for
+/// schedulers. When it returns true and `reason` is non-null, *reason names
+/// the first offending overlap.
+bool AccessConflicts(const EntryFacts& a, const EntryFacts& b,
+                     std::string* reason = nullptr);
+
+/// Whether ScriptHost may run this entry with in-place writes during the
+/// parallel query phase (MutationPolicy::kDirectChecked) and still be
+/// bit-identical to the deferred replay. Requires: no spawn/fire, no
+/// structural or ⊤ writes, every write self-targeted, write keys disjoint
+/// from every read key, and no emit() alongside writes (channel applies
+/// would observe different state). Read-only entries are trivially
+/// eligible. On false, *reason (when non-null) explains the fallback.
+bool DirectWriteEligible(const EntryFacts& entry,
+                         std::string* reason = nullptr);
 
 /// Runs every verifier pass over `script`, appending all findings to
 /// `sink` (never fail-fast: the verdict is sink->has_errors()). The passes

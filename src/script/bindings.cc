@@ -1,5 +1,7 @@
 #include "script/bindings.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "core/query.h"
 #include "script/builtins.h"
@@ -35,6 +37,14 @@ size_t ScriptEffects::contribution_count() const {
 
 void ScriptEffects::Clear() {
   for (auto& [name, ch] : channels_) ch->Clear();
+}
+
+std::vector<std::string> ScriptEffects::ChannelNames() const {
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, ch] : channels_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 void DeferredOps::Push(size_t shard, DeferredOp op) {
@@ -97,6 +107,20 @@ size_t DeferredOps::Apply(World* world, size_t* skipped) {
             ++applied;
           } else {
             ++skip;  // component removed (or type error) since record time
+          }
+          break;
+        }
+        case DeferredOp::Kind::kTouch: {
+          // kDirectChecked already wrote the field in place during the
+          // query phase; replaying the Touch here reproduces kDefer's
+          // version-bump / change-capture stream op-for-op.
+          ComponentStore* store = world->StoreById(op.type_id);
+          if (world->Alive(op.entity) && store != nullptr &&
+              store->Contains(op.entity)) {
+            store->Touch(op.entity);
+            ++applied;
+          } else {
+            ++skip;
           }
           break;
         }
@@ -200,12 +224,14 @@ Status ReadOnlyPhaseError(const char* name) {
 
 void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
                WorldBindOptions options) {
-  GAMEDB_CHECK(options.mutations != MutationPolicy::kDefer ||
+  GAMEDB_CHECK((options.mutations != MutationPolicy::kDefer &&
+                options.mutations != MutationPolicy::kDirectChecked) ||
                options.deferred != nullptr);
   const MutationPolicy policy = options.mutations;
   DeferredOps* deferred = options.deferred;
   const size_t shard = options.shard;
   QueryPlanHook* planner = options.planner;
+  DirectWriteGate* gate = options.direct_gate;
 
   interp->RegisterBuiltin(
       "spawn",
@@ -231,6 +257,9 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
           case MutationPolicy::kReject:
             return ReadOnlyPhaseError("destroy()");
           case MutationPolicy::kDefer:
+          case MutationPolicy::kDirectChecked:
+            // destroy() is structural, so the analysis never admits it to
+            // the in-place path — kDirectChecked defers like kDefer.
             deferred->Push(shard,
                            DeferredOp{DeferredOp::Kind::kDestroy, e, 0,
                                       nullptr, FieldValue()});
@@ -279,7 +308,8 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
         if (info == nullptr) {
           return Status::NotFound("unknown component '" + comp + "'");
         }
-        if (policy == MutationPolicy::kDefer) {
+        if (policy != MutationPolicy::kDirect) {
+          // Structural — always deferred, under kDirectChecked too.
           deferred->Push(shard, DeferredOp{DeferredOp::Kind::kAdd, e,
                                            info->id(), nullptr, FieldValue()});
           return Value::Nil();
@@ -301,7 +331,7 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
         if (info == nullptr) {
           return Status::NotFound("unknown component '" + comp + "'");
         }
-        if (policy == MutationPolicy::kDefer) {
+        if (policy != MutationPolicy::kDirect) {
           deferred->Push(shard, DeferredOp{DeferredOp::Kind::kRemove, e,
                                            info->id(), nullptr, FieldValue()});
           // Deferred answer: was the component present at call time (the
@@ -333,8 +363,8 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
       });
   interp->RegisterBuiltin(
       "set",
-      [world, policy, deferred, shard](std::vector<Value>& args,
-                                       Interpreter&) -> Result<Value> {
+      [world, policy, deferred, shard, gate](std::vector<Value>& args,
+                                             Interpreter&) -> Result<Value> {
         GAMEDB_RETURN_NOT_OK(
             ExpectArgs(args, 4, "set(e, \"Comp\", \"field\", v)"));
         GAMEDB_ASSIGN_OR_RETURN(EntityId e, ArgEntity(args, 0, "set"));
@@ -347,10 +377,12 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
         GAMEDB_ASSIGN_OR_RETURN(const FieldInfo* f,
                                 ResolveField(comp, field, &info));
         GAMEDB_ASSIGN_OR_RETURN(FieldValue fv, ToFieldValue(args[3]));
-        if (policy == MutationPolicy::kDefer) {
+        if (policy != MutationPolicy::kDirect) {
           // Validate against tick-start state so the script fails at the
           // call site, then postpone the write to the apply phase.
-          const ComponentStore* store = world->StoreByIdIfExists(info->id());
+          // Non-creating lookup: the store map must not grow on pool
+          // threads (ScriptHost::PrewarmStores pre-created the tables).
+          ComponentStore* store = world->StoreByIdIfExists(info->id());
           if (store == nullptr || !store->Contains(e)) {
             return Status::NotFound("entity has no '" + comp + "'");
           }
@@ -358,6 +390,28 @@ void BindWorld(Interpreter* interp, World* world, ScriptEffects* effects,
             return Status::InvalidArgument(
                 "cannot store " + FieldValueToString(fv) + " in field '" +
                 field + "' of '" + comp + "'");
+          }
+          if (policy == MutationPolicy::kDirectChecked && gate != nullptr &&
+              gate->enabled) {
+            if (e == gate->current[shard]) {
+              // Proven-disjoint fast path: write the field in place now,
+              // defer only a Touch so the apply phase reproduces kDefer's
+              // version/change-capture stream exactly. The raw Set (no
+              // Patch) avoids bumping the table's shared version counter
+              // from a pool thread; the host checked the table has no
+              // observers before enabling the gate.
+              void* c = store->Find(e);
+              GAMEDB_RETURN_NOT_OK(f->Set(c, fv));
+              deferred->Push(shard,
+                             DeferredOp{DeferredOp::Kind::kTouch, e,
+                                        info->id(), nullptr, FieldValue()});
+              ++gate->direct_writes[shard];
+              return Value::Nil();
+            }
+            // The analysis only admits self-writes, so a foreign target
+            // here means it was wrong (or raced) — count it and fall back
+            // to the safe deferred buffer rather than trust the summary.
+            ++gate->redirected[shard];
           }
           deferred->Push(shard, DeferredOp{DeferredOp::Kind::kSet, e,
                                            info->id(), f, std::move(fv)});

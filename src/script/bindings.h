@@ -61,6 +61,11 @@ class ScriptEffects {
   /// Discards all buffered contributions.
   void Clear();
 
+  /// Names of every channel created so far, sorted. Drain-side API (must
+  /// not overlap the query phase); feeds schema enumeration for
+  /// did-you-mean diagnostics.
+  std::vector<std::string> ChannelNames() const;
+
   size_t shards() const { return shards_; }
 
  private:
@@ -83,6 +88,14 @@ enum class MutationPolicy : uint8_t {
   /// Reject with NotSupported: the query phase is read-only, scripts must
   /// emit() effects instead.
   kReject,
+  /// Analysis-gated fast path: behaves exactly like kDefer, except that
+  /// set() on the shard's *current* entity — when the host's DirectWriteGate
+  /// is enabled for this tick — writes the field in place during the query
+  /// phase and defers only a kTouch version bump. The host enables the gate
+  /// only for packs the verifier's access-summary pass proved disjoint
+  /// (script/analyzer.h DirectWriteEligible); every other mutation, and
+  /// set() on any other entity, falls back to the kDefer buffers.
+  kDirectChecked,
 };
 
 /// One world mutation recorded during a gated query phase. Component and
@@ -90,12 +103,34 @@ enum class MutationPolicy : uint8_t {
 /// at record time, so scripts still get errors at the call site; only the
 /// write itself is postponed.
 struct DeferredOp {
-  enum class Kind : uint8_t { kSet, kAdd, kRemove, kDestroy };
+  enum class Kind : uint8_t { kSet, kAdd, kRemove, kDestroy, kTouch };
   Kind kind;
   EntityId entity;
   uint32_t type_id = 0;              // component (unused for kDestroy)
   const FieldInfo* field = nullptr;  // kSet only
   FieldValue value;                  // kSet only
+};
+
+/// Shared state for the MutationPolicy::kDirectChecked fast path. The host
+/// owns one gate per ScriptHost; each query-phase shard's bindings hold a
+/// pointer to it.
+///
+/// Thread-safety contract: `enabled` is written only at fork/join boundaries
+/// (before the pool starts the tick's chunks, after it joins), so the pool's
+/// own synchronization orders those writes against shard reads. The
+/// per-shard slots (`current`, `direct_writes`, `redirected`) are written
+/// exclusively by the thread running that shard's chunk.
+struct DirectWriteGate {
+  /// True only while the current tick's entry function was proven
+  /// direct-write eligible by the access-summary analysis.
+  bool enabled = false;
+  /// Per-shard: the entity the shard is currently ticking. set() writes
+  /// in place only when its target equals this (self-writes are the only
+  /// writes the analysis admits).
+  std::vector<EntityId> current;
+  /// Per-shard stat counters, summed into ScriptHost::TickStats at join.
+  std::vector<uint64_t> direct_writes;
+  std::vector<uint64_t> redirected;
 };
 
 /// Per-shard buffers of deferred mutations. Contributions are recorded with
@@ -144,6 +179,9 @@ struct WorldBindOptions {
   /// hard-coded scan. Results are identical either way; nullptr keeps the
   /// built-in paths. Must outlive the interpreter.
   QueryPlanHook* planner = nullptr;
+  /// Host-owned gate for MutationPolicy::kDirectChecked; ignored under
+  /// other policies. Must outlive the interpreter when set.
+  DirectWriteGate* direct_gate = nullptr;
 };
 
 /// Registers World-addressing builtins on `interp`:

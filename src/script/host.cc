@@ -34,8 +34,12 @@ ScriptHost::ScriptHost(World* world, ScriptHostOptions options)
       effects_(exec_.shard_count()),
       deferred_(exec_.shard_count()) {
   // kDirect would let pool threads write the World mid-query — the exact
-  // race the host exists to prevent.
+  // race the host exists to prevent. (kDirectChecked is different: writes
+  // go in place only when the verifier proved them race-free.)
   GAMEDB_CHECK(options_.mutations != MutationPolicy::kDirect);
+  gate_.current.resize(exec_.shard_count());
+  gate_.direct_writes.assign(exec_.shard_count(), 0);
+  gate_.redirected.assign(exec_.shard_count(), 0);
   shards_.reserve(exec_.shard_count());
   for (size_t i = 0; i < exec_.shard_count(); ++i) {
     auto interp = std::make_unique<Interpreter>(options_.interpreter);
@@ -45,6 +49,7 @@ ScriptHost::ScriptHost(World* world, ScriptHostOptions options)
     bind.mutations = options_.mutations;
     bind.deferred = &deferred_;
     bind.planner = options_.planner;
+    bind.direct_gate = &gate_;
     BindWorld(interp.get(), world_, &effects_, bind);
     if (options_.views != nullptr) BindViews(interp.get(), options_.views);
     shards_.push_back(std::move(interp));
@@ -72,6 +77,7 @@ Status ScriptHost::Load(std::string_view source, std::string_view origin) {
       vopts.schema.has_view = [catalog](const std::string& name) {
         return catalog->Find(name) != nullptr;
       };
+      vopts.schema.view_names = [catalog]() { return catalog->ViewNames(); };
     }
     vopts.schema.has_channel = [this](const std::string& name) {
       if (effects_.HasChannel(name)) return true;
@@ -79,6 +85,15 @@ Status ScriptHost::Load(std::string_view source, std::string_view origin) {
         if (channel == name) return true;
       }
       return false;
+    };
+    vopts.schema.channel_names = [this]() {
+      std::vector<std::string> names = effects_.ChannelNames();
+      for (const auto& [channel, apply] : channels_) {
+        bool known = false;
+        for (const std::string& n : names) known = known || n == channel;
+        if (!known) names.push_back(channel);
+      }
+      return names;
     };
     // An event is handled if a previously loaded pack registered a handler
     // for it, or this script declares one itself.
@@ -149,7 +164,55 @@ Status ScriptHost::Load(std::string_view source, std::string_view origin) {
         "script top level must not mutate the world or emit effects (it runs "
         "once per shard); do it from the host or inside the tick function");
   }
+  // Record per-entry direct-write verdicts for kDirectChecked. The verdict
+  // combines the entry's own summary (DirectWriteEligible) with the pack
+  // conflict graph: an entry that conflicts with ANY co-loaded entry stays
+  // on the deferred path, because trigger handlers and other entries may
+  // observe its tables mid-phase.
+  if (verified) {
+    for (size_t i = 0; i < verify_report_.entries.size(); ++i) {
+      const EntryFacts& entry = verify_report_.entries[i];
+      if (entry.is_handler) continue;  // handlers never drive RunTick
+      DirectEntry verdict;
+      verdict.eligible = DirectWriteEligible(entry, &verdict.reason);
+      if (verdict.eligible) {
+        for (const ConflictEdge& edge : verify_report_.conflicts) {
+          if (edge.a != i && edge.b != i) continue;
+          const EntryFacts& other =
+              verify_report_.entries[edge.a == i ? edge.b : edge.a];
+          verdict.eligible = false;
+          verdict.reason =
+              "conflicts with '" + other.name + "' (" + edge.reason + ")";
+          break;
+        }
+      }
+      if (verdict.eligible) {
+        for (const auto& [key, bits] : entry.facts.access.fields) {
+          if ((bits & (kAccessWriteSelf | kAccessWriteForeign)) == 0) {
+            continue;
+          }
+          std::string comp = key.substr(0, key.find('.'));
+          bool seen = false;
+          for (const std::string& c : verdict.written_components) {
+            seen = seen || c == comp;
+          }
+          if (!seen) verdict.written_components.push_back(std::move(comp));
+        }
+      }
+      direct_eligible_[entry.name] = std::move(verdict);
+    }
+  }
   return Status::OK();
+}
+
+std::pair<bool, std::string> ScriptHost::DirectVerdict(
+    const std::string& fn) const {
+  auto it = direct_eligible_.find(fn);
+  if (it == direct_eligible_.end()) {
+    return {false,
+            "no access summary for '" + fn + "' (verifier off or unloaded)"};
+  }
+  return {it->second.eligible, it->second.reason};
 }
 
 void ScriptHost::OnChannel(std::string name,
@@ -185,6 +248,41 @@ Result<ScriptTickStats> ScriptHost::RunTick(
   }
   PrewarmStores();
   ScriptTickStats stats;
+  // Arm the direct-write gate only when the load-time analysis proved this
+  // entry disjoint AND the tables it writes have no change observers right
+  // now (Touch replay notifies without old values, which value-maintained
+  // aggregates cannot absorb). Anything unprovable falls back to kDefer.
+  bool direct = false;
+  if (options_.mutations == MutationPolicy::kDirectChecked) {
+    auto it = direct_eligible_.find(fn);
+    if (it == direct_eligible_.end()) {
+      stats.fallback_reason =
+          "no access summary for '" + fn + "' (verifier off or unloaded)";
+    } else if (!it->second.eligible) {
+      stats.fallback_reason = it->second.reason;
+    } else {
+      direct = true;
+      for (const std::string& comp : it->second.written_components) {
+        const TypeInfo* info = TypeRegistry::Global().FindByName(comp);
+        ComponentStore* store =
+            info == nullptr ? nullptr : world_->StoreByIdIfExists(info->id());
+        if (store != nullptr && store->observer_count() > 0) {
+          direct = false;
+          stats.fallback_reason =
+              "table '" + comp +
+              "' has change observers (Touch replay cannot carry old values)";
+          break;
+        }
+      }
+    }
+    if (direct) {
+      ++direct_ticks_;
+    } else {
+      ++fallback_ticks_;
+    }
+  }
+  stats.direct_checked = direct;
+  gate_.enabled = direct;
   // Sequential point: let the planner refresh its statistics (and thereby
   // invalidate cached plans) before shards start planning concurrently,
   // then maintain live views from the change capture of the previous
@@ -231,6 +329,9 @@ Result<ScriptTickStats> ScriptHost::RunTick(
         for (size_t i = begin; i < end; ++i) {
           EntityId e = entities[i];
           if (!world_->Alive(e)) continue;
+          // Under an armed gate, tell the shard's bindings which entity is
+          // being ticked — set() writes in place only on that entity.
+          if (direct) gate_.current[chunk] = e;
           // Per-entity random() stream: independent of the partition.
           interp.rng().Seed(PerEntitySeed(base_seed, tick, e));
           Result<Value> r = interp.Call(fn, {Value(e)});
@@ -245,6 +346,13 @@ Result<ScriptTickStats> ScriptHost::RunTick(
       });
 
   stats.query_phase_ns = MonotonicNanos() - query_t0;
+  gate_.enabled = false;
+  for (size_t i = 0; i < nshards; ++i) {
+    stats.direct_writes += gate_.direct_writes[i];
+    stats.direct_redirected += gate_.redirected[i];
+    gate_.direct_writes[i] = 0;
+    gate_.redirected[i] = 0;
+  }
 
   size_t earliest = kNone;
   for (size_t i = 0; i < nshards; ++i) {

@@ -30,6 +30,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -53,6 +54,13 @@ struct ScriptHostOptions {
   InterpreterOptions interpreter;
   /// What the mutation builtins do during the query phase. kDirect is not
   /// allowed here — it is exactly the data race the host exists to prevent.
+  /// kDirectChecked arms the analysis-gated fast path: ticks whose entry
+  /// function the verifier's access-summary pass proved disjoint
+  /// (DirectWriteEligible + no conflict-graph edge) apply set() writes in
+  /// place during the query phase, skipping the DeferredOps value replay;
+  /// every other tick silently falls back to kDefer behavior
+  /// (ScriptTickStats::fallback_reason says why). Requires strictness !=
+  /// kOff for the analysis to exist — otherwise every tick falls back.
   MutationPolicy mutations = MutationPolicy::kDefer;
   /// Optional cost-based query planner (planner/planner.h QueryPlanner):
   /// the query builtins of every shard plan through it, and RunTick calls
@@ -103,6 +111,17 @@ struct ScriptTickStats {
   size_t deferred_skipped = 0;
   /// Interpreter fuel burned across all shards this tick.
   uint64_t fuel_used = 0;
+  /// MutationPolicy::kDirectChecked telemetry. `direct_checked` is true
+  /// when this tick ran the in-place fast path; otherwise (under that
+  /// policy) `fallback_reason` says why the tick used deferred replay.
+  /// `direct_writes` counts set() calls applied in place,
+  /// `direct_redirected` counts writes the gate bounced back to the
+  /// deferred buffer (0 unless the analysis verdict was wrong — asserted
+  /// by the differential tests).
+  bool direct_checked = false;
+  size_t direct_writes = 0;
+  size_t direct_redirected = 0;
+  std::string fallback_reason;
   /// Tick-phase wall-clock breakdown (steady_clock nanoseconds), the
   /// instrumentation the scenario load harness (tools/loadgen) aggregates
   /// into per-phase latency histograms. Timing only — never feeds back into
@@ -167,7 +186,24 @@ class ScriptHost {
   /// Verifier report (effects, per-entry costs) from the most recent Load.
   const VerifyReport& verify_report() const { return verify_report_; }
 
+  /// kDirectChecked tick counters since construction: ticks that ran the
+  /// in-place fast path vs. ticks that fell back to deferred replay.
+  uint64_t direct_ticks() const { return direct_ticks_; }
+  uint64_t fallback_ticks() const { return fallback_ticks_; }
+
+  /// Load-time direct-write verdict for entry function `fn`: (eligible,
+  /// reason-when-not). Missing entries (never analyzed) report ineligible.
+  std::pair<bool, std::string> DirectVerdict(const std::string& fn) const;
+
  private:
+  /// Load-time analysis verdict for one entry point under kDirectChecked.
+  struct DirectEntry {
+    bool eligible = false;
+    std::string reason;
+    /// Component names the entry writes (for the per-tick observer check).
+    std::vector<std::string> written_components;
+  };
+
   /// Ensures every registered component type has a store before the query
   /// phase: reads through the bindings must not grow World's store map from
   /// pool threads.
@@ -184,6 +220,12 @@ class ScriptHost {
       channels_;
   DiagnosticSink diagnostics_;
   VerifyReport verify_report_;
+  /// kDirectChecked state: the gate shards read during the query phase,
+  /// and the per-entry verdicts computed at Load from the verify report.
+  DirectWriteGate gate_;
+  std::unordered_map<std::string, DirectEntry> direct_eligible_;
+  uint64_t direct_ticks_ = 0;
+  uint64_t fallback_ticks_ = 0;
 };
 
 }  // namespace gamedb::script

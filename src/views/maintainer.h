@@ -89,6 +89,16 @@ class ViewCatalog {
   void Maintain();
 
   size_t view_count() const { return views_.size(); }
+
+  /// Names of every registered view, in registration order (feeds schema
+  /// enumeration for did-you-mean lint suggestions).
+  std::vector<std::string> ViewNames() const {
+    std::vector<std::string> names;
+    names.reserve(views_.size());
+    for (const auto& v : views_) names.push_back(v->name());
+    return names;
+  }
+
   const CatalogStats& stats() const { return stats_; }
   World* world() const { return world_; }
   QueryPlanHook* planner() const { return planner_; }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -362,6 +363,180 @@ TEST_F(ScriptHostTest, HostGlobalsBroadcastToAllShards) {
   ASSERT_TRUE(stats.ok());
   ASSERT_EQ(got.size(), 64u);
   for (const auto& [e, v] : got) EXPECT_DOUBLE_EQ(v, 7.5);
+}
+
+// ---------------------------------------------------------------------------
+// MutationPolicy::kDirectChecked — the analysis-gated in-place write path.
+
+// A stormy but analysis-provable behavior: self-only writes to fields
+// disjoint from every read, a per-entity random() stream and data-dependent
+// branches. No emit (channel applies drain before deferred replay, so an
+// emitting writer is ineligible) and no structural mutation.
+constexpr char kStormScript[] = R"(
+fn storm(e) {
+  let a = get(e, "Combat", "attack")
+  let d = get(e, "Combat", "defense")
+  let r = random()
+  if r > 0.5 {
+    set(e, "Health", "hp", a * 3 + r * 10)
+  }
+  if r <= 0.5 {
+    set(e, "Health", "max_hp", 50 + d + r)
+  }
+  set(e, "Combat", "range", r * 4)
+}
+)";
+
+/// End state plus the observable write stream of one storm simulation.
+struct StormRun {
+  std::string snapshot;  ///< serialized world at the end
+  std::string versions;  ///< per-tick (entity, row-version) stream
+  size_t direct_writes = 0;
+  size_t redirected = 0;
+  uint64_t direct_ticks = 0;
+  uint64_t fallback_ticks = 0;
+};
+
+class DirectCheckedTest : public ScriptHostTest {
+ protected:
+  /// Runs the storm pack and records, after every tick, the dense
+  /// (entity, row version) sequence of both written tables. kDefer bumps
+  /// versions in PatchRaw replay; kDirectChecked must reproduce the exact
+  /// same stream through its Touch replay — not just the same end state.
+  static StormRun RunStorm(MutationPolicy policy, size_t threads,
+                           size_t ticks, size_t n) {
+    World world;
+    std::vector<EntityId> ids = BuildRing(&world, n);
+    ScriptHostOptions opts;
+    opts.num_threads = threads;
+    opts.mutations = policy;
+    ScriptHost host(&world, opts);
+    EXPECT_TRUE(host.Load(kStormScript).ok());
+    StormRun run;
+    std::stringstream vs;
+    for (size_t t = 0; t < ticks; ++t) {
+      world.AdvanceTick();
+      auto stats = host.RunTick("storm", ids);
+      EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+      EXPECT_EQ(stats->script_errors, 0u) << stats->first_error.ToString();
+      run.direct_writes += stats->direct_writes;
+      run.redirected += stats->direct_redirected;
+      const ComponentStore* written[] = {&world.Table<Health>(),
+                                         &world.Table<Combat>()};
+      for (const ComponentStore* store : written) {
+        for (size_t i = 0; i < store->Size(); ++i) {
+          vs << store->EntityAt(i).index << ':' << store->VersionAt(i) << ' ';
+        }
+        vs << '|';
+      }
+    }
+    run.direct_ticks = host.direct_ticks();
+    run.fallback_ticks = host.fallback_ticks();
+    run.versions = vs.str();
+    EncodeWorldSnapshot(world, &run.snapshot);
+    return run;
+  }
+};
+
+// The tentpole acceptance test: a 100-tick randomized storm under
+// kDirectChecked is bit-identical to kDefer at 1, 2 and 8 threads — same
+// serialized end state AND the same per-row version stream tick by tick —
+// while actually taking the in-place path (direct_writes > 0, nothing
+// redirected, no fallback ticks).
+TEST_F(DirectCheckedTest, StormIsBitIdenticalToDeferAt1And2And8Threads) {
+  StormRun defer = RunStorm(MutationPolicy::kDefer, 1, 100, 96);
+  EXPECT_EQ(defer.direct_ticks, 0u);
+  EXPECT_EQ(defer.direct_writes, 0u);
+  for (size_t threads : {size_t(1), size_t(2), size_t(8)}) {
+    StormRun direct =
+        RunStorm(MutationPolicy::kDirectChecked, threads, 100, 96);
+    EXPECT_EQ(direct.snapshot, defer.snapshot) << threads << " threads";
+    EXPECT_EQ(direct.versions, defer.versions) << threads << " threads";
+    EXPECT_GT(direct.direct_writes, 0u);
+    EXPECT_EQ(direct.redirected, 0u) << "analysis verdict was wrong";
+    EXPECT_EQ(direct.direct_ticks, 100u);
+    EXPECT_EQ(direct.fallback_ticks, 0u);
+
+    StormRun control = RunStorm(MutationPolicy::kDefer, threads, 100, 96);
+    EXPECT_EQ(control.snapshot, defer.snapshot) << threads << " threads";
+    EXPECT_EQ(control.versions, defer.versions) << threads << " threads";
+  }
+}
+
+// A pack the analysis cannot prove disjoint (it emits while writing fields)
+// demonstrably falls back: the load-time verdict says why, every tick runs
+// as kDefer (counters assert it), and the semantics are kDefer's.
+TEST_F(DirectCheckedTest, FallsBackWhenAnalysisCannotProveDisjointness) {
+  World world;
+  std::vector<EntityId> ids = BuildRing(&world, 4);
+  ScriptHostOptions opts;
+  opts.num_threads = 2;
+  opts.mutations = MutationPolicy::kDirectChecked;
+  ScriptHost host(&world, opts);
+  size_t howls = 0;
+  host.OnChannel("howl", [&howls](EntityId, double) { ++howls; });
+  ASSERT_TRUE(host
+                  .Load("fn tick(e) {\n"
+                        "  emit(\"howl\", e, 1)\n"
+                        "  set(e, \"Health\", \"hp\", 55)\n"
+                        "}")
+                  .ok());
+
+  auto [eligible, reason] = host.DirectVerdict("tick");
+  EXPECT_FALSE(eligible);
+  EXPECT_NE(reason.find("emits effects while writing"), std::string::npos)
+      << reason;
+  // Functions the analysis never saw are ineligible, with a reason.
+  EXPECT_FALSE(host.DirectVerdict("nope").first);
+
+  world.AdvanceTick();
+  auto stats = host.RunTick("tick", ids);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->script_errors, 0u) << stats->first_error.ToString();
+  EXPECT_FALSE(stats->direct_checked);
+  EXPECT_EQ(stats->direct_writes, 0u);
+  EXPECT_NE(stats->fallback_reason.find("emits effects"), std::string::npos)
+      << stats->fallback_reason;
+  EXPECT_EQ(host.direct_ticks(), 0u);
+  EXPECT_EQ(host.fallback_ticks(), 1u);
+  // kDefer semantics: writes landed through the apply phase.
+  EXPECT_EQ(howls, 4u);
+  EXPECT_FLOAT_EQ(world.Get<Health>(ids[0])->hp, 55.0f);
+}
+
+// The per-tick runtime check: an eligible pack still falls back once the
+// written table grows a change observer (Touch replay reports old_value ==
+// nullptr, which value-maintained aggregates cannot absorb).
+TEST_F(DirectCheckedTest, FallsBackWhenWrittenTableHasObservers) {
+  World world;
+  std::vector<EntityId> ids = BuildRing(&world, 4);
+  ScriptHostOptions opts;
+  opts.mutations = MutationPolicy::kDirectChecked;
+  ScriptHost host(&world, opts);
+  ASSERT_TRUE(host.Load("fn tick(e) { set(e, \"Health\", \"hp\", 1) }").ok());
+  EXPECT_TRUE(host.DirectVerdict("tick").first)
+      << host.DirectVerdict("tick").second;
+
+  world.AdvanceTick();
+  auto before = host.RunTick("tick", ids);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->direct_checked);
+  EXPECT_EQ(before->direct_writes, 4u);
+
+  world.Table<Health>().Subscribe(
+      [](ChangeKind, EntityId, const Health*, const Health*) {});
+
+  world.AdvanceTick();
+  auto after = host.RunTick("tick", ids);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->direct_checked);
+  EXPECT_EQ(after->direct_writes, 0u);
+  EXPECT_NE(after->fallback_reason.find("change observers"),
+            std::string::npos)
+      << after->fallback_reason;
+  EXPECT_EQ(host.direct_ticks(), 1u);
+  EXPECT_EQ(host.fallback_ticks(), 1u);
+  EXPECT_FLOAT_EQ(world.Get<Health>(ids[0])->hp, 1.0f);
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+// Stress tier (ctest label: stress; TSan CI target) for
+// MutationPolicy::kDirectChecked: the analysis-gated in-place write path
+// at real thread fan-out over a big world. The unit-suite differential
+// test (tests/script/host_test.cc DirectCheckedTest) proves the semantics;
+// this tier makes the interleavings dense enough that a reintroduced race
+// — e.g. the gate's per-shard cursor read from the wrong thread, a
+// version bump from a pool thread, or StoreById growing the store map
+// mid-query — actually fires under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/serialize.h"
+#include "script/host.h"
+
+namespace gamedb {
+namespace {
+
+using script::MutationPolicy;
+using script::ScriptHost;
+using script::ScriptHostOptions;
+
+class DirectWriteStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterStandardComponents(); }
+};
+
+// Self-only writes across three tables, branchy and randomized — eligible
+// for the direct path, with every shard writing its own rows in place
+// while neighbors do the same.
+constexpr char kStormScript[] = R"(
+fn storm(e) {
+  let a = get(e, "Combat", "attack")
+  let r = random()
+  if r > 0.66 {
+    set(e, "Health", "hp", a * 2 + r * 20)
+  }
+  if r <= 0.66 {
+    set(e, "Health", "max_hp", 80 + a + r)
+  }
+  set(e, "Combat", "range", r * 6)
+  set(e, "Velocity", "max_accel", a + r)
+}
+)";
+
+constexpr size_t kEntities = 4096;
+constexpr size_t kTicks = 25;
+
+TEST_F(DirectWriteStressTest, LargeStormBitIdenticalToDeferUnderFanOut) {
+  auto run = [](MutationPolicy policy, size_t threads) {
+    World world;
+    std::vector<EntityId> ids;
+    ids.reserve(kEntities);
+    for (size_t i = 0; i < kEntities; ++i) {
+      EntityId e = world.Create();
+      ids.push_back(e);
+      world.Set(e, Health{50.0f + float(i % 37), 150.0f});
+      Combat c;
+      c.attack = 1.0f + float(i % 13);
+      world.Set(e, c);
+      Velocity v;
+      v.max_accel = float(i % 5);
+      world.Set(e, v);
+    }
+    ScriptHostOptions opts;
+    opts.num_threads = threads;
+    opts.mutations = policy;
+    ScriptHost host(&world, opts);
+    EXPECT_TRUE(host.Load(kStormScript).ok());
+    size_t direct_writes = 0;
+    size_t redirected = 0;
+    for (size_t t = 0; t < kTicks; ++t) {
+      world.AdvanceTick();
+      auto stats = host.RunTick("storm", ids);
+      EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+      EXPECT_EQ(stats->script_errors, 0u) << stats->first_error.ToString();
+      direct_writes += stats->direct_writes;
+      redirected += stats->direct_redirected;
+    }
+    if (policy == MutationPolicy::kDirectChecked) {
+      EXPECT_EQ(host.direct_ticks(), kTicks);
+      EXPECT_GT(direct_writes, kEntities);  // several writes/entity/tick
+      EXPECT_EQ(redirected, 0u);
+    }
+    std::string snapshot;
+    EncodeWorldSnapshot(world, &snapshot);
+    return snapshot;
+  };
+
+  std::string defer = run(MutationPolicy::kDefer, 1);
+  EXPECT_EQ(run(MutationPolicy::kDirectChecked, 4), defer);
+  EXPECT_EQ(run(MutationPolicy::kDirectChecked, 8), defer);
+}
+
+}  // namespace
+}  // namespace gamedb

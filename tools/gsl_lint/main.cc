@@ -17,7 +17,14 @@
 ///   --channels=a,b       wired effect channels (emit() into any other
 ///                        literal channel warns)
 ///   --werror             treat warnings as errors
-///   --quiet              print findings only (no per-file summary)
+///   --quiet              print findings only (no per-file summary, no
+///                        access summaries / conflict matrix)
+///   --json               print one machine-readable document
+///                        (schema gamedb.gsl_lint.v1) to stdout; findings
+///                        go to stderr. The document is validated against
+///                        its own schema before printing.
+///   --dot                print the per-file conflict graph as Graphviz
+///                        DOT instead of the text matrix
 ///
 /// A .gsl file can carry the same configuration in-line via lint directive
 /// comments (any line starting with `# lint:`), e.g.
@@ -44,6 +51,7 @@
 #include "script/analyzer.h"
 #include "script/bindings.h"
 #include "script/builtins.h"
+#include "script/lint_report.h"
 #include "script/parser.h"
 #include "script/triggers.h"
 #include "views/maintainer.h"
@@ -168,6 +176,8 @@ int Usage() {
       "  --channels=a,b   wired effect channels\n"
       "  --werror         treat warnings as errors\n"
       "  --quiet          findings only, no summaries\n"
+      "  --json           machine-readable output (gamedb.gsl_lint.v1)\n"
+      "  --dot            conflict graph as Graphviz DOT\n"
       "files may embed '# lint: key=value ...' directive comments\n");
   return 2;
 }
@@ -180,6 +190,8 @@ int main(int argc, char** argv) {
   LintConfig base;
   bool werror = false;
   bool quiet = false;
+  bool json = false;
+  bool dot = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -187,6 +199,10 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--dot") {
+      dot = true;
     } else if (arg.rfind("--", 0) == 0) {
       size_t eq = arg.find('=');
       if (eq == std::string::npos ||
@@ -214,6 +230,7 @@ int main(int argc, char** argv) {
 
   size_t total_errors = 0;
   size_t total_warnings = 0;
+  std::vector<script::LintFileResult> results;
   for (const std::string& path : files) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -233,11 +250,17 @@ int main(int argc, char** argv) {
     const std::string origin =
         slash == std::string::npos ? path : path.substr(slash + 1);
 
+    script::LintFileResult result;
+    result.file = origin;
+    result.phase = cfg.phase;
+
     auto parsed = script::Parse(source, origin);
     if (!parsed.ok()) {
-      std::printf("%s: parse error: %s\n", origin.c_str(),
-                  parsed.status().ToString().c_str());
+      std::fprintf(json ? stderr : stdout, "%s: parse error: %s\n",
+                   origin.c_str(), parsed.status().ToString().c_str());
       ++total_errors;
+      result.parse_error = parsed.status().ToString();
+      results.push_back(std::move(result));
       continue;
     }
 
@@ -255,6 +278,8 @@ int main(int argc, char** argv) {
       vopts.schema.has_view = [views](const std::string& name) {
         return views.count(name) > 0;
       };
+      std::vector<std::string> view_list = cfg.views;
+      vopts.schema.view_names = [view_list]() { return view_list; };
     }
     if (!cfg.channels.empty()) {
       std::unordered_set<std::string> channels(cfg.channels.begin(),
@@ -262,6 +287,8 @@ int main(int argc, char** argv) {
       vopts.schema.has_channel = [channels](const std::string& name) {
         return channels.count(name) > 0;
       };
+      std::vector<std::string> channel_list = cfg.channels;
+      vopts.schema.channel_names = [channel_list]() { return channel_list; };
     }
     vopts.top_level_must_be_pure =
         cfg.phase != script::PhaseContext::kSequential;
@@ -269,11 +296,11 @@ int main(int argc, char** argv) {
     script::DiagnosticSink sink;
     script::VerifyReport report = script::Verify(*parsed, vopts, &sink);
     for (const auto& d : sink.diagnostics()) {
-      std::printf("%s\n", d.ToString().c_str());
+      std::fprintf(json ? stderr : stdout, "%s\n", d.ToString().c_str());
     }
     total_errors += sink.error_count();
     total_warnings += sink.warning_count();
-    if (!quiet) {
+    if (!json && !quiet) {
       std::printf(
           "%s: %zu error(s), %zu warning(s); phase %s, effects [%s], max "
           "entry cost %.0f units (%s)\n",
@@ -281,7 +308,28 @@ int main(int argc, char** argv) {
           script::PhaseContextName(cfg.phase),
           script::EffectSetName(report.effects).c_str(),
           report.max_entry_cost, report.max_entry_name.c_str());
+      if (dot) {
+        std::printf("%s", script::RenderConflictDot(origin, report).c_str());
+      } else {
+        std::printf("%s", script::RenderAccessReport(origin, report).c_str());
+      }
     }
+    result.diagnostics = sink.diagnostics();
+    result.report = std::move(report);
+    results.push_back(std::move(result));
+  }
+  if (json) {
+    const std::string doc = script::RenderLintJson(results, werror);
+    // Round-trip through the validator so a schema regression fails here,
+    // loudly, not in whatever CI consumer reads the document.
+    Status valid = script::ValidateLintJson(doc);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "gsl_lint: internal error: emitted json fails "
+                   "its own schema: %s\n",
+                   valid.ToString().c_str());
+      return 2;
+    }
+    std::printf("%s", doc.c_str());
   }
   if (total_errors > 0) return 1;
   if (werror && total_warnings > 0) return 1;
