@@ -15,10 +15,18 @@
 // With `--explain` the classic hunt runs with the cost-based query planner
 // attached: before the hunt it prints the statistics snapshot and the
 // EXPLAIN output of the queries the designer script executes every tick,
-// and after the hunt the plan-cache hit rate (per-tick replanning is a
-// hash lookup).
+// and after the hunt EXPLAIN ANALYZE for the same queries (estimated vs
+// actual rows per operator, from the runtime counters the script's own
+// executions recorded) plus the plan-cache hit rate (per-tick replanning
+// is a hash lookup).
 //
 //   ./build/examples/scripted_world --explain
+//
+// `--trace FILE` writes a chrome://tracing (trace_event JSON) span trace
+// of the run — planner spans in the classic hunt, per-shard script-phase
+// spans in `--threads` mode — validated before the process exits.
+//
+//   ./build/examples/scripted_world --threads 4 --trace trace.json
 //
 // `--lint` runs the GSL static verifier (script/analyzer.h) over the
 // shipped packs (assets/scripts/hunt.gsl, wolf_pack.gsl) and exits 0/1;
@@ -31,6 +39,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -44,6 +53,7 @@
 #include "script/host.h"
 #include "script/parser.h"
 #include "script/triggers.h"
+#include "telemetry/trace.h"
 
 // Shipped GSL packs, embedded from assets/scripts/ at build time
 // (cmake/EmbedGsl.cmake): kHuntScript / kWolfPackScript + *Name origins.
@@ -89,7 +99,7 @@ constexpr char kLoot[] = R"(
 // serialized world and returns elapsed seconds for the scripted ticks.
 static double RunPack(size_t threads, size_t wolves, size_t ticks,
                       const content::PrefabLibrary& prefabs, bool strict,
-                      std::string* snapshot) {
+                      telemetry::Tracer* tracer, std::string* snapshot) {
   World world;
   std::vector<EntityId> pack;
   pack.reserve(wolves);
@@ -106,6 +116,7 @@ static double RunPack(size_t threads, size_t wolves, size_t ticks,
   script::ScriptHostOptions opts;
   opts.num_threads = threads;
   opts.interpreter.restriction = script::Restriction::kNoRecursion;
+  opts.telemetry.tracer = tracer;
   if (strict) opts.strictness = script::Strictness::kStrict;
   script::ScriptHost host(&world, opts);
   host.OnChannel("bite", [&world](EntityId e, double total) {
@@ -151,7 +162,7 @@ static double RunPack(size_t threads, size_t wolves, size_t ticks,
 }
 
 static int RunParallelMode(size_t threads, size_t wolves, size_t ticks,
-                           bool strict) {
+                           bool strict, telemetry::Tracer* tracer) {
   auto prefabs = content::PrefabLibrary::Load(kPrefabs);
   if (!prefabs.ok()) {
     std::printf("prefab error: %s\n", prefabs.status().ToString().c_str());
@@ -159,10 +170,11 @@ static int RunParallelMode(size_t threads, size_t wolves, size_t ticks,
   }
   std::printf("parallel pack sim (set-at-a-time GSL on the script host):\n");
   std::string snap_seq;
-  double secs_seq = RunPack(1, wolves, ticks, *prefabs, strict, &snap_seq);
+  double secs_seq =
+      RunPack(1, wolves, ticks, *prefabs, strict, tracer, &snap_seq);
   std::string snap_par;
   double secs_par =
-      RunPack(threads, wolves, ticks, *prefabs, strict, &snap_par);
+      RunPack(threads, wolves, ticks, *prefabs, strict, tracer, &snap_par);
   bool identical = snap_seq == snap_par;
   std::printf("  speedup at %zu threads: %.2fx — world state %s\n", threads,
               secs_seq / secs_par,
@@ -227,6 +239,26 @@ static int RunLint() {
   return ok ? 0 : 1;
 }
 
+// Renders the trace, self-validates it through the independent schema
+// checker, and writes it to `path`. Returns 0 on success.
+static int WriteTrace(const telemetry::Tracer& tracer,
+                      const std::string& path) {
+  std::string doc = telemetry::RenderChromeTraceJson(tracer);
+  if (Status st = telemetry::ValidateChromeTraceJson(doc); !st.ok()) {
+    std::printf("trace validation failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << doc;
+  if (!out.flush()) {
+    std::printf("cannot write trace file '%s'\n", path.c_str());
+    return 1;
+  }
+  std::printf("trace: %zu span(s) -> %s (load in chrome://tracing)\n",
+              tracer.size(), path.c_str());
+  return 0;
+}
+
 int main(int argc, char** argv) {
   RegisterStandardComponents();
 
@@ -236,6 +268,7 @@ int main(int argc, char** argv) {
   bool explain = false;
   bool lint = false;
   bool strict = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     auto number_after = [&](const char* flag) -> size_t {
       if (i + 1 >= argc) {
@@ -265,16 +298,32 @@ int main(int argc, char** argv) {
       lint = true;
     } else if (std::strcmp(argv[i], "--strict-scripts") == 0) {
       strict = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--trace needs a file path\n");
+        return 2;
+      }
+      trace_path = argv[++i];
     } else {
       std::printf(
           "usage: %s [--threads N] [--wolves M] [--ticks K] [--explain] "
-          "[--lint] [--strict-scripts]\n",
+          "[--lint] [--strict-scripts] [--trace FILE]\n",
           argv[0]);
       return 2;
     }
   }
   if (lint) return RunLint();
-  if (threads > 0) return RunParallelMode(threads, wolves, ticks, strict);
+  telemetry::Tracer tracer;
+  telemetry::Tracer* tracer_ptr = nullptr;
+  if (!trace_path.empty()) {
+    tracer.SetEnabled(true);
+    tracer_ptr = &tracer;
+  }
+  if (threads > 0) {
+    int rc = RunParallelMode(threads, wolves, ticks, strict, tracer_ptr);
+    if (tracer_ptr != nullptr && rc == 0) rc = WriteTrace(tracer, trace_path);
+    return rc;
+  }
 
   World world;
 
@@ -299,7 +348,9 @@ int main(int argc, char** argv) {
 
   // Boot the interpreter with ECS bindings + triggers — and, under
   // --explain, the cost-based planner behind every query builtin.
-  planner::QueryPlanner query_planner(&world);
+  planner::PlannerOptions planner_opts;
+  planner_opts.telemetry.tracer = tracer_ptr;
+  planner::QueryPlanner query_planner(&world, planner_opts);
   script::InterpreterOptions opts;
   opts.restriction = script::Restriction::kNoRecursion;
   script::Interpreter interp(opts);
@@ -312,6 +363,8 @@ int main(int argc, char** argv) {
 
   if (explain) {
     query_planner.Analyze();
+    // Per-operator runtime counters for the post-hunt EXPLAIN ANALYZE.
+    query_planner.SetCollectRuntime(true);
     std::printf("%s", query_planner.stats().ToString().c_str());
     // The queries the hunt script runs every tick, as the planner sees
     // them: argmin("Health","hp") and the kill handler's count("Health").
@@ -387,12 +440,29 @@ int main(int argc, char** argv) {
               kills, static_cast<unsigned long long>(world.tick()),
               static_cast<unsigned long long>(interp.total_fuel_used()));
   if (explain) {
+    // EXPLAIN ANALYZE: the same plans, now annotated with the runtime row
+    // counts the script's own executions recorded — estimated vs actual
+    // per operator (shape-matched via the plan cache key).
+    DynamicQuery weakest(&world);
+    weakest.SetPlanner(&query_planner).With("Health");
+    DynamicQuery wounded(&world);
+    wounded.SetPlanner(&query_planner)
+        .WhereField("Health", "hp", CmpOp::kLt, 50.0);
+    auto analyze = [&](const char* label, const DynamicQuery& q) {
+      auto text = query_planner.ExplainAnalyzeQuery(q);
+      if (text.ok()) std::printf("%s -> %s", label, text->c_str());
+    };
+    analyze("analyze argmin(\"Health\", \"hp\")", weakest);
+    analyze("analyze where(\"Health\", \"hp\", \"<\", 50)", wounded);
     std::printf(
         "planner: %llu plans built, %llu cache hits (replanning per tick "
         "is a hash lookup), %llu stats refreshes\n",
         static_cast<unsigned long long>(query_planner.plan_cache_misses()),
         static_cast<unsigned long long>(query_planner.plan_cache_hits()),
         static_cast<unsigned long long>(query_planner.stats_refreshes()));
+  }
+  if (tracer_ptr != nullptr) {
+    if (int rc = WriteTrace(tracer, trace_path); rc != 0) return rc;
   }
   return kills == 6 ? 0 : 1;
 }

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file json.h
+/// Minimal recursive-descent JSON parser shared by validators that need to
+/// re-read machine-readable output the engine itself emitted (telemetry
+/// snapshots, Chrome traces, benchmark captures). The per-schema validators
+/// stay independent of their emitters — they parse the raw bytes through
+/// this reader and then check structure themselves, so an emitter bug cannot
+/// hide behind a shared serializer.
+///
+/// Object member order is preserved as written (vector of pairs, not a map):
+/// validators can assert deterministic key order where a schema promises it.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gamedb::json {
+
+/// One parsed JSON value. A tagged tree, no clever variant: validators
+/// pattern-match on `kind` and walk `members` / `elements` directly.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> elements;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject
+
+  bool Is(Kind k) const { return kind == k; }
+
+  /// First member named `key`, or nullptr. Objects are small here; linear
+  /// scan keeps insertion order available to callers.
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses `text` as a single JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). Errors read "json: <what> at offset N".
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace gamedb::json

@@ -87,7 +87,9 @@ class LatencyHistogram {
     return max_;
   }
 
- private:
+  /// Bucket index for value `v`. Public so lock-free consumers (the
+  /// telemetry registry's atomic histogram) can reuse the exact bucket
+  /// layout and stay mergeable with LatencyHistogram captures.
   static int BucketFor(uint64_t v) {
     if (v < static_cast<uint64_t>(kSub)) return static_cast<int>(v);
     int msb = 63 - __builtin_clzll(v);
@@ -106,6 +108,7 @@ class LatencyHistogram {
     return lower + ((uint64_t{1} << shift) - 1);
   }
 
+ private:
   std::array<uint64_t, kBuckets> buckets_{};
   uint64_t count_ = 0;
   double sum_ = 0.0;

@@ -15,6 +15,14 @@ PersistenceManager::PersistenceManager(
       checkpoints_(storage, options.keep_checkpoints),
       wal_(storage, kWalName, options.wal) {
   GAMEDB_CHECK(policy_ != nullptr);
+  wal_.SetTelemetry(options_.telemetry);
+  if (options_.telemetry.metrics != nullptr) {
+    telemetry::MetricsRegistry* reg = options_.telemetry.metrics;
+    m_checkpoints_ = reg->GetCounter("persist.checkpoints");
+    m_checkpoint_bytes_ = reg->GetCounter("persist.checkpoint_bytes");
+    m_wal_records_ = reg->GetCounter("persist.wal_records");
+    m_wal_bytes_ = reg->GetCounter("persist.wal_bytes");
+  }
 }
 
 Status PersistenceManager::OnTxn(const txn::GameTxn& t, uint64_t tick) {
@@ -28,6 +36,10 @@ Status PersistenceManager::OnTxn(const txn::GameTxn& t, uint64_t tick) {
   GAMEDB_RETURN_NOT_OK(wal_.Append(encoded));
   ++metrics_.wal_records;
   metrics_.wal_bytes += encoded.size();
+  if (m_wal_records_ != nullptr) {
+    m_wal_records_->Increment();
+    m_wal_bytes_->Add(encoded.size());
+  }
   return Status::OK();
 }
 
@@ -47,6 +59,10 @@ Status PersistenceManager::OnEvent(uint64_t tick, double importance,
   GAMEDB_RETURN_NOT_OK(wal_.Append(encoded));
   ++metrics_.wal_records;
   metrics_.wal_bytes += encoded.size();
+  if (m_wal_records_ != nullptr) {
+    m_wal_records_->Increment();
+    m_wal_bytes_->Add(encoded.size());
+  }
   return Status::OK();
 }
 
@@ -58,14 +74,22 @@ Result<bool> PersistenceManager::OnTickEnd(const World& world) {
   obs.max_pending_event = max_pending_event_;
   if (!policy_->ShouldCheckpoint(obs)) return false;
   uint64_t bytes = 0;
-  GAMEDB_RETURN_NOT_OK(checkpoints_.WriteCheckpoint(world, &bytes));
+  {
+    telemetry::TraceSpan span(options_.telemetry.tracer,
+                              "persist.checkpoint");
+    GAMEDB_RETURN_NOT_OK(checkpoints_.WriteCheckpoint(world, &bytes));
+  }
   GAMEDB_RETURN_NOT_OK(AfterCheckpoint(world, bytes));
   return true;
 }
 
 Status PersistenceManager::ForceCheckpoint(const World& world) {
   uint64_t bytes = 0;
-  GAMEDB_RETURN_NOT_OK(checkpoints_.WriteCheckpoint(world, &bytes));
+  {
+    telemetry::TraceSpan span(options_.telemetry.tracer,
+                              "persist.checkpoint");
+    GAMEDB_RETURN_NOT_OK(checkpoints_.WriteCheckpoint(world, &bytes));
+  }
   return AfterCheckpoint(world, bytes);
 }
 
@@ -73,6 +97,10 @@ Status PersistenceManager::AfterCheckpoint(const World& world,
                                            uint64_t bytes) {
   ++metrics_.checkpoints;
   metrics_.checkpoint_bytes += bytes;
+  if (m_checkpoints_ != nullptr) {
+    m_checkpoints_->Increment();
+    m_checkpoint_bytes_->Add(bytes);
+  }
   last_checkpoint_tick_ = world.tick();
   pending_importance_ = 0.0;
   max_pending_event_ = 0.0;

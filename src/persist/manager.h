@@ -40,6 +40,10 @@ struct PersistenceOptions {
   /// WAL durability knobs (sync-per-append vs group commit), used in
   /// kWalAndCheckpoint.
   WalOptions wal;
+  /// Optional telemetry hook: WAL/checkpoint counters fold into the
+  /// `persist.*` registry instruments, and append/fsync/checkpoint record
+  /// spans. Non-owning; must outlive the manager.
+  telemetry::TelemetrySink telemetry{};
 };
 
 /// Cumulative persistence metrics (E8 columns).
@@ -98,6 +102,11 @@ class PersistenceManager {
   CheckpointStore checkpoints_;
   WalWriter wal_;
   PersistenceMetrics metrics_;
+  /// Cached registry instruments (nullptr without a metrics sink).
+  telemetry::Counter* m_checkpoints_ = nullptr;
+  telemetry::Counter* m_checkpoint_bytes_ = nullptr;
+  telemetry::Counter* m_wal_records_ = nullptr;
+  telemetry::Counter* m_wal_bytes_ = nullptr;
 
   uint64_t last_checkpoint_tick_ = 0;
   double pending_importance_ = 0.0;

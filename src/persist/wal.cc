@@ -11,7 +11,10 @@ Status WalWriter::Append(std::string_view record) {
   PutFixed32(&framed, MaskCrc(Crc32c(record.data(), record.size())));
   PutVarint64(&framed, record.size());
   framed.append(record.data(), record.size());
-  GAMEDB_RETURN_NOT_OK(storage_->Append(file_name_, framed));
+  {
+    telemetry::TraceSpan span(telemetry_.tracer, "wal.append");
+    GAMEDB_RETURN_NOT_OK(storage_->Append(file_name_, framed));
+  }
   bytes_appended_ += framed.size();
   ++records_appended_;
   // Separate Append + Sync ops: on DiskStorage this reopens the file for
@@ -19,8 +22,10 @@ Status WalWriter::Append(std::string_view record) {
   // record durable) injectable, which the recovery sweep depends on.
   if (options_.sync_every_n > 0 &&
       ++appends_since_sync_ >= options_.sync_every_n) {
+    telemetry::TraceSpan span(telemetry_.tracer, "wal.fsync");
     GAMEDB_RETURN_NOT_OK(storage_->Sync(file_name_));
     appends_since_sync_ = 0;
+    if (m_fsyncs_ != nullptr) m_fsyncs_->Increment();
   }
   return Status::OK();
 }

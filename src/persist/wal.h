@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "persist/storage.h"
+#include "telemetry/sink.h"
 
 namespace gamedb::persist {
 
@@ -46,10 +47,21 @@ class WalWriter {
   uint64_t records_appended() const { return records_appended_; }
   const std::string& file_name() const { return file_name_; }
 
+  /// Attaches a telemetry sink: Append records "wal.append" / "wal.fsync"
+  /// spans and counts syncs into "persist.fsyncs". Non-owning.
+  void SetTelemetry(const telemetry::TelemetrySink& sink) {
+    telemetry_ = sink;
+    m_fsyncs_ = sink.metrics != nullptr
+                    ? sink.metrics->GetCounter("persist.fsyncs")
+                    : nullptr;
+  }
+
  private:
   Storage* storage_;
   std::string file_name_;
   WalOptions options_;
+  telemetry::TelemetrySink telemetry_;
+  telemetry::Counter* m_fsyncs_ = nullptr;
   uint64_t bytes_appended_ = 0;
   uint64_t records_appended_ = 0;
   uint64_t appends_since_sync_ = 0;

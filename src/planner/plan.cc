@@ -24,6 +24,8 @@ std::string Num(double v) {
   return buf;
 }
 
+}  // namespace
+
 std::string PredicateText(const DynamicQuery::Predicate& p) {
   return TypeName(p.type_id) + "." + p.field->name() + " " +
          CmpOpName(p.op) + " " + FieldValueToString(p.rhs);
@@ -33,8 +35,6 @@ std::string RadiusText(const DynamicQuery::RadiusPredicate& rp) {
   return "distance(" + TypeName(rp.type_id) + "." + rp.field->name() +
          ", center) <= " + Num(rp.radius);
 }
-
-}  // namespace
 
 const char* AccessPathName(AccessPath path) {
   switch (path) {

@@ -35,6 +35,12 @@ enum class AccessPath : uint8_t {
 
 const char* AccessPathName(AccessPath path);
 
+/// Render one field / radius predicate the way EXPLAIN prints it
+/// ("Health.hp < 30", "distance(Position.value, center) <= 5"). Shared by
+/// QueryPlan::ToString and the planner's EXPLAIN ANALYZE rendering.
+std::string PredicateText(const DynamicQuery::Predicate& p);
+std::string RadiusText(const DynamicQuery::RadiusPredicate& rp);
+
 /// Cost constants. Units are arbitrary but calibrated: within the query
 /// constants one unit ≈ one seventh of a reflective row visit, within the
 /// pair-join constants one unit ≈ one distance check (the two families
@@ -111,6 +117,14 @@ struct QueryPlan {
   double est_driver_rows = 0.0;   ///< rows the access path enumerates
   double est_output_rows = 0.0;   ///< rows surviving all predicates
   double est_cost = 0.0;          ///< total cost in CostConstants units
+  /// Rows expected to survive the membership probes, and the per-operator
+  /// selectivity estimates behind est_output_rows (indexed like the
+  /// query's predicates()/radius_predicates()). Consumed by EXPLAIN
+  /// ANALYZE to show estimated-vs-actual rows per operator; never read
+  /// during execution.
+  double est_probe_rows = 0.0;
+  std::vector<double> predicate_sel;
+  std::vector<double> radius_sel;
 
   /// EXPLAIN rendering; `q` supplies predicate text. Stable tokens
   /// ("access: full_scan", "access: field_index", "access: spatial_index")

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <mutex>
 
 #include "common/macros.h"
+#include "common/percentile.h"
 #include "spatial/kdbsp_tree.h"
 
 namespace gamedb::planner {
@@ -151,13 +153,22 @@ QueryPlanner::QueryPlanner(World* world, PlannerOptions options)
     : world_(world),
       options_(options),
       stats_(options.stats),
-      spatial_indexes_(std::make_unique<SpatialIndexCache>()) {}
+      spatial_indexes_(std::make_unique<SpatialIndexCache>()) {
+  if (options_.telemetry.metrics != nullptr) {
+    telemetry::MetricsRegistry* reg = options_.telemetry.metrics;
+    m_cache_hits_ = reg->GetCounter("planner.cache_hits");
+    m_cache_misses_ = reg->GetCounter("planner.cache_misses");
+    m_stats_refreshes_ = reg->GetCounter("planner.stats_refreshes");
+  }
+}
 
 QueryPlanner::~QueryPlanner() = default;
 
 void QueryPlanner::Analyze() {
+  telemetry::TraceSpan span(options_.telemetry.tracer, "planner.analyze");
   stats_.Analyze(*world_);
   ++stats_refreshes_;
+  if (m_stats_refreshes_ != nullptr) m_stats_refreshes_->Increment();
 }
 
 bool QueryPlanner::MaybeRefreshStats() {
@@ -405,6 +416,10 @@ QueryPlan QueryPlanner::BuildPlan(const DynamicQuery& q) const {
     }
     plan.predicate_order.push_back(pi);
   }
+  // EXPLAIN ANALYZE estimate breakdown (never read during execution).
+  plan.predicate_sel = sel;
+  plan.radius_sel = radius_sel;
+  plan.est_probe_rows = plan.est_driver_rows * join_sel;
   return plan;
 }
 
@@ -416,11 +431,13 @@ QueryPlan QueryPlanner::GetOrBuildPlan(const DynamicQuery& q) {
     if (it != plan_cache_.end() &&
         it->second.stats_epoch == stats_.epoch()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (m_cache_hits_ != nullptr) m_cache_hits_->Increment();
       return it->second;
     }
   }
   QueryPlan plan = BuildPlan(q);
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (m_cache_misses_ != nullptr) m_cache_misses_->Increment();
   std::unique_lock<std::shared_mutex> lock(plan_mu_);
   if (plan_cache_.size() >= kMaxCachedPlans) {
     // Value-parameterized shapes (a per-entity rhs in the hash) can mint
@@ -439,7 +456,55 @@ QueryPlan QueryPlanner::GetOrBuildPlan(const DynamicQuery& q) {
 Status QueryPlanner::Execute(const DynamicQuery& q,
                              const std::function<void(EntityId)>& fn) {
   GAMEDB_DCHECK(q.world() == world_);
-  return ExecuteWithPlan(q, GetOrBuildPlan(q), fn);
+  QueryPlan plan = GetOrBuildPlan(q);
+  if (!collect_runtime_.load(std::memory_order_relaxed)) {
+    return ExecuteWithPlanCounted(q, plan, fn, nullptr);
+  }
+  PlanRuntimeStats rc;
+  rc.predicate_in.assign(q.predicates().size(), 0);
+  rc.predicate_out.assign(q.predicates().size(), 0);
+  rc.radius_in.assign(q.radius_predicates().size(), 0);
+  rc.radius_out.assign(q.radius_predicates().size(), 0);
+  const uint64_t t0 = MonotonicNanos();
+  Status st = ExecuteWithPlanCounted(q, plan, fn, &rc);
+  rc.exec_ns = MonotonicNanos() - t0;
+  rc.executions = 1;
+  MergeRuntime(ShapeHash(q), rc);
+  return st;
+}
+
+void QueryPlanner::MergeRuntime(uint64_t shape, const PlanRuntimeStats& rc) {
+  std::unique_lock<std::shared_mutex> lock(plan_mu_);
+  // Same unbounded-shape concern as the plan cache; apply the same bound.
+  if (runtime_stats_.size() >= kMaxCachedPlans &&
+      runtime_stats_.find(shape) == runtime_stats_.end()) {
+    runtime_stats_.clear();
+  }
+  PlanRuntimeStats& agg = runtime_stats_[shape];
+  agg.executions += rc.executions;
+  agg.driver_rows += rc.driver_rows;
+  agg.probe_survivors += rc.probe_survivors;
+  agg.output_rows += rc.output_rows;
+  agg.exec_ns += rc.exec_ns;
+  auto add_vec = [](std::vector<uint64_t>* a,
+                    const std::vector<uint64_t>& b) {
+    if (a->size() < b.size()) a->resize(b.size(), 0);
+    for (size_t i = 0; i < b.size(); ++i) (*a)[i] += b[i];
+  };
+  add_vec(&agg.predicate_in, rc.predicate_in);
+  add_vec(&agg.predicate_out, rc.predicate_out);
+  add_vec(&agg.radius_in, rc.radius_in);
+  add_vec(&agg.radius_out, rc.radius_out);
+}
+
+bool QueryPlanner::GetRuntimeStats(const DynamicQuery& q,
+                                   PlanRuntimeStats* out) const {
+  const uint64_t shape = ShapeHash(q);
+  std::shared_lock<std::shared_mutex> lock(plan_mu_);
+  auto it = runtime_stats_.find(shape);
+  if (it == runtime_stats_.end()) return false;
+  *out = it->second;
+  return true;
 }
 
 Result<std::string> QueryPlanner::ExplainQuery(const DynamicQuery& q) {
@@ -454,9 +519,90 @@ Result<std::string> QueryPlanner::ExplainQuery(const DynamicQuery& q) {
   return out;
 }
 
+Result<std::string> QueryPlanner::ExplainAnalyzeQuery(const DynamicQuery& q) {
+  QueryPlan plan = GetOrBuildPlan(q);
+  if (!PlanFits(q, plan)) plan = BuildPlan(q);
+  std::string out = plan.ToString(q);
+  if (!PlanningEnabled()) {
+    out += "  note: policy is kOff — the built-in path executes instead\n";
+  }
+  PlanRuntimeStats rt;
+  if (!GetRuntimeStats(q, &rt) || rt.executions == 0) {
+    out += "analyze: no runtime samples (SetCollectRuntime(true), then "
+           "Execute the query)\n";
+    return out;
+  }
+  const double n = static_cast<double>(rt.executions);
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return std::string(buf);
+  };
+  auto avg = [&](uint64_t total) {
+    return fmt(static_cast<double>(total) / n);
+  };
+  // Shape-hash collisions can pair these totals with a query of different
+  // predicate counts; index defensively.
+  auto vat = [](const std::vector<uint64_t>& v, size_t i) -> uint64_t {
+    return i < v.size() ? v[i] : 0;
+  };
+  char ms[32];
+  std::snprintf(ms, sizeof(ms), "%.3f",
+                static_cast<double>(rt.exec_ns) / n / 1e6);
+  out += "analyze (" + std::to_string(rt.executions) + " execution" +
+         (rt.executions == 1 ? "" : "s") + ", avg " + ms + " ms):\n";
+  out += "  driver rows: est " + fmt(plan.est_driver_rows) + ", actual " +
+         avg(rt.driver_rows) + "\n";
+  out += "  probe survivors: est " + fmt(plan.est_probe_rows) +
+         ", actual " + avg(rt.probe_survivors) + "\n";
+  // Per-operator estimate chain in execution order, so each line reads
+  // "rows in -> rows out" for both the model and reality.
+  double est_in = plan.est_probe_rows;
+  for (int pi : plan.predicate_order) {
+    const auto idx = static_cast<size_t>(pi);
+    const double sel =
+        idx < plan.predicate_sel.size() ? plan.predicate_sel[idx] : 1.0;
+    const double est_out = est_in * sel;
+    out += "  filter " + PredicateText(q.predicates()[idx]) + ": est " +
+           fmt(est_in) + " -> " + fmt(est_out) + ", actual " +
+           avg(vat(rt.predicate_in, idx)) + " -> " +
+           avg(vat(rt.predicate_out, idx)) + "\n";
+    est_in = est_out;
+  }
+  if (plan.access == AccessPath::kFieldIndex && plan.index_predicate >= 0) {
+    const auto idx = static_cast<size_t>(plan.index_predicate);
+    out += "  recheck " + PredicateText(q.predicates()[idx]) +
+           " (served by access path): actual " +
+           avg(vat(rt.predicate_in, idx)) + " -> " +
+           avg(vat(rt.predicate_out, idx)) + "\n";
+  }
+  for (size_t i = 0; i < q.radius_predicates().size(); ++i) {
+    const double sel =
+        i < plan.radius_sel.size() ? plan.radius_sel[i] : 1.0;
+    const double est_out = est_in * sel;
+    const bool served = plan.access == AccessPath::kSpatialIndex &&
+                        static_cast<int>(i) == plan.radius_predicate;
+    out += "  filter " + RadiusText(q.radius_predicates()[i]) +
+           (served ? " (served by access path)" : "") + ": est " +
+           fmt(est_in) + " -> " + fmt(est_out) + ", actual " +
+           avg(vat(rt.radius_in, i)) + " -> " + avg(vat(rt.radius_out, i)) +
+           "\n";
+    est_in = est_out;
+  }
+  out += "  output rows: est " + fmt(plan.est_output_rows) + ", actual " +
+         avg(rt.output_rows) + "\n";
+  return out;
+}
+
 Status QueryPlanner::ExecuteWithPlan(const DynamicQuery& q,
                                      const QueryPlan& plan,
                                      const std::function<void(EntityId)>& fn) {
+  return ExecuteWithPlanCounted(q, plan, fn, nullptr);
+}
+
+Status QueryPlanner::ExecuteWithPlanCounted(
+    const DynamicQuery& q, const QueryPlan& plan,
+    const std::function<void(EntityId)>& fn, PlanRuntimeStats* rc) {
   if (!PlanFits(q, plan)) {
     // Shape-hash collision or a hand-built plan for another query: fall
     // back to the always-correct scan (with every predicate as a filter).
@@ -465,15 +611,15 @@ Status QueryPlanner::ExecuteWithPlan(const DynamicQuery& q,
     for (size_t i = 0; i < q.predicates().size(); ++i) {
       scan.predicate_order.push_back(static_cast<int>(i));
     }
-    return ExecuteFullScan(q, scan, fn);
+    return ExecuteFullScan(q, scan, fn, rc);
   }
   switch (plan.access) {
     case AccessPath::kFullScan:
-      return ExecuteFullScan(q, plan, fn);
+      return ExecuteFullScan(q, plan, fn, rc);
     case AccessPath::kFieldIndex:
-      return ExecuteFieldIndex(q, plan, fn);
+      return ExecuteFieldIndex(q, plan, fn, rc);
     case AccessPath::kSpatialIndex:
-      return ExecuteSpatialIndex(q, plan, fn);
+      return ExecuteSpatialIndex(q, plan, fn, rc);
   }
   return Status::NotSupported("unknown access path");
 }
@@ -502,31 +648,36 @@ std::vector<uint32_t> BuildProbeList(const DynamicQuery& q,
 
 /// Shared filter tail for every access path: alive check, membership
 /// probes (see BuildProbeList), field predicates in plan order, radius
-/// predicates.
+/// predicates. `rc` (nullable) receives EXPLAIN ANALYZE per-operator
+/// in/out row counts; its vectors are pre-sized by Execute.
 bool SurvivesFilters(const World& world, const DynamicQuery& q,
                      const QueryPlan& plan, EntityId e,
-                     const std::vector<uint32_t>& probes) {
+                     const std::vector<uint32_t>& probes,
+                     PlanRuntimeStats* rc) {
   if (!world.Alive(e)) return false;
   for (uint32_t id : probes) {
     const ComponentStore* store = world.StoreByIdIfExists(id);
     if (store == nullptr || !store->Contains(e)) return false;
   }
+  if (rc != nullptr) ++rc->probe_survivors;
   // Predicates in planned order; the access path's served predicate is
   // re-checked afterwards (boundary semantics stay with CompareFieldValues).
   for (int pi : plan.predicate_order) {
-    if (!EvalPredicate(world, q.predicates()[static_cast<size_t>(pi)], e)) {
-      return false;
-    }
+    const auto idx = static_cast<size_t>(pi);
+    if (rc != nullptr) ++rc->predicate_in[idx];
+    if (!EvalPredicate(world, q.predicates()[idx], e)) return false;
+    if (rc != nullptr) ++rc->predicate_out[idx];
   }
   if (plan.access == AccessPath::kFieldIndex && plan.index_predicate >= 0) {
-    if (!EvalPredicate(
-            world,
-            q.predicates()[static_cast<size_t>(plan.index_predicate)], e)) {
-      return false;
-    }
+    const auto idx = static_cast<size_t>(plan.index_predicate);
+    if (rc != nullptr) ++rc->predicate_in[idx];
+    if (!EvalPredicate(world, q.predicates()[idx], e)) return false;
+    if (rc != nullptr) ++rc->predicate_out[idx];
   }
-  for (const auto& rp : q.radius_predicates()) {
-    if (!EvalRadius(world, rp, e)) return false;
+  for (size_t i = 0; i < q.radius_predicates().size(); ++i) {
+    if (rc != nullptr) ++rc->radius_in[i];
+    if (!EvalRadius(world, q.radius_predicates()[i], e)) return false;
+    if (rc != nullptr) ++rc->radius_out[i];
   }
   return true;
 }
@@ -535,7 +686,8 @@ bool SurvivesFilters(const World& world, const DynamicQuery& q,
 
 Status QueryPlanner::ExecuteFullScan(const DynamicQuery& q,
                                      const QueryPlan& plan,
-                                     const std::function<void(EntityId)>& fn) {
+                                     const std::function<void(EntityId)>& fn,
+                                     PlanRuntimeStats* rc) {
   const ComponentStore* canonical = q.CanonicalDriver();
   if (canonical == nullptr) return Status::OK();
   // Scan the plan's driver when it is one of the required tables (the
@@ -556,11 +708,15 @@ Status QueryPlanner::ExecuteFullScan(const DynamicQuery& q,
     }
   }
   const std::vector<uint32_t> probes = BuildProbeList(q, plan, scan_id);
+  if (rc != nullptr) rc->driver_rows += scan->Size();
   if (scan == canonical) {
     // Same table the built-in path scans: stream in place.
     for (size_t i = 0; i < scan->Size(); ++i) {
       EntityId e = scan->EntityAt(i);
-      if (SurvivesFilters(*world_, q, plan, e, probes)) fn(e);
+      if (SurvivesFilters(*world_, q, plan, e, probes, rc)) {
+        if (rc != nullptr) ++rc->output_rows;
+        fn(e);
+      }
     }
     return Status::OK();
   }
@@ -568,20 +724,21 @@ Status QueryPlanner::ExecuteFullScan(const DynamicQuery& q,
   std::vector<std::pair<size_t, EntityId>> matches;
   for (size_t i = 0; i < scan->Size(); ++i) {
     EntityId e = scan->EntityAt(i);
-    if (!SurvivesFilters(*world_, q, plan, e, probes)) continue;
+    if (!SurvivesFilters(*world_, q, plan, e, probes, rc)) continue;
     size_t pos = canonical->DenseIndexOf(e);
     if (pos == ComponentStore::kNoDenseIndex) continue;
     matches.emplace_back(pos, e);
   }
   std::sort(matches.begin(), matches.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (rc != nullptr) rc->output_rows += matches.size();
   for (const auto& [pos, e] : matches) fn(e);
   return Status::OK();
 }
 
 Status QueryPlanner::ExecuteFieldIndex(
     const DynamicQuery& q, const QueryPlan& plan,
-    const std::function<void(EntityId)>& fn) {
+    const std::function<void(EntityId)>& fn, PlanRuntimeStats* rc) {
   const ComponentStore* driver = q.CanonicalDriver();
   if (driver == nullptr) return Status::OK();
   const auto& p = q.predicates()[static_cast<size_t>(plan.index_predicate)];
@@ -589,12 +746,12 @@ Status QueryPlanner::ExecuteFieldIndex(
   double rhs = 0.0;
   if (table == nullptr || !FieldValueAsNumber(p.rhs, &rhs) ||
       std::isnan(rhs)) {
-    return ExecuteFullScan(q, plan, fn);
+    return ExecuteFullScan(q, plan, fn, rc);
   }
   const FieldIndex* index = field_indexes_.Get(p.type_id, p.field, table);
   if (index->has_nan) {
     // NaN keys break the sort order's equivalence to comparison semantics.
-    return ExecuteFullScan(q, plan, fn);
+    return ExecuteFullScan(q, plan, fn, rc);
   }
   double lo = -kInf, hi = kInf;
   switch (p.op) {
@@ -617,42 +774,46 @@ Status QueryPlanner::ExecuteFieldIndex(
   const std::vector<uint32_t> probes = BuildProbeList(q, plan, p.type_id);
   std::vector<std::pair<size_t, EntityId>> matches;
   index->ForEachInRange(lo, hi, [&](EntityId e) {
-    if (!SurvivesFilters(*world_, q, plan, e, probes)) return;
+    if (rc != nullptr) ++rc->driver_rows;
+    if (!SurvivesFilters(*world_, q, plan, e, probes, rc)) return;
     size_t pos = driver->DenseIndexOf(e);
     if (pos == ComponentStore::kNoDenseIndex) return;  // not in driver
     matches.emplace_back(pos, e);
   });
   std::sort(matches.begin(), matches.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (rc != nullptr) rc->output_rows += matches.size();
   for (const auto& [pos, e] : matches) fn(e);
   return Status::OK();
 }
 
 Status QueryPlanner::ExecuteSpatialIndex(
     const DynamicQuery& q, const QueryPlan& plan,
-    const std::function<void(EntityId)>& fn) {
+    const std::function<void(EntityId)>& fn, PlanRuntimeStats* rc) {
   const ComponentStore* driver = q.CanonicalDriver();
   if (driver == nullptr) return Status::OK();
   const auto& rp =
       q.radius_predicates()[static_cast<size_t>(plan.radius_predicate)];
   const ComponentStore* table = world_->StoreByIdIfExists(rp.type_id);
   if (table == nullptr || rp.field->type() != FieldType::kVec3) {
-    return ExecuteFullScan(q, plan, fn);
+    return ExecuteFullScan(q, plan, fn, rc);
   }
   const spatial::KdBspTree* tree =
       spatial_indexes_->Get(rp.type_id, rp.field, table);
   const std::vector<uint32_t> probes = BuildProbeList(q, plan, rp.type_id);
   std::vector<std::pair<size_t, EntityId>> matches;
   tree->QueryRadius(rp.center, rp.radius, [&](EntityId e, const Aabb&) {
+    if (rc != nullptr) ++rc->driver_rows;
     // SurvivesFilters re-evaluates every radius predicate exactly,
     // including the served one — the tree only prunes.
-    if (!SurvivesFilters(*world_, q, plan, e, probes)) return;
+    if (!SurvivesFilters(*world_, q, plan, e, probes, rc)) return;
     size_t pos = driver->DenseIndexOf(e);
     if (pos == ComponentStore::kNoDenseIndex) return;
     matches.emplace_back(pos, e);
   });
   std::sort(matches.begin(), matches.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (rc != nullptr) rc->output_rows += matches.size();
   for (const auto& [pos, e] : matches) fn(e);
   return Status::OK();
 }

@@ -26,10 +26,12 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "planner/field_index.h"
 #include "planner/plan.h"
 #include "planner/stats.h"
+#include "telemetry/sink.h"
 
 namespace gamedb::spatial {
 class KdBspTree;
@@ -45,6 +47,26 @@ struct PlannerOptions {
   double drift_threshold = 0.25;
   StatsOptions stats;
   CostConstants costs;
+  /// Optional telemetry hook: plan-cache hit/miss and stats-refresh
+  /// counters fold into the registry, Analyze records a span. Non-owning;
+  /// must outlive the planner.
+  telemetry::TelemetrySink telemetry{};
+};
+
+/// Per-operator runtime totals EXPLAIN ANALYZE accumulates for one plan
+/// shape (one plan-cache entry) while SetCollectRuntime(true) is active.
+/// Vector entries are indexed like the query's predicates() /
+/// radius_predicates(); totals sum over `executions` runs.
+struct PlanRuntimeStats {
+  uint64_t executions = 0;
+  uint64_t driver_rows = 0;      ///< rows the access path enumerated
+  uint64_t probe_survivors = 0;  ///< rows past alive + membership probes
+  uint64_t output_rows = 0;      ///< rows emitted
+  uint64_t exec_ns = 0;          ///< wall clock across executions
+  std::vector<uint64_t> predicate_in;   ///< rows reaching each predicate
+  std::vector<uint64_t> predicate_out;  ///< rows surviving each predicate
+  std::vector<uint64_t> radius_in;
+  std::vector<uint64_t> radius_out;
 };
 
 /// Cost-based planner + executor for one World. Attach to queries with
@@ -83,6 +105,30 @@ class QueryPlanner final : public QueryPlanHook {
   Status Execute(const DynamicQuery& q,
                  const std::function<void(EntityId)>& fn) override;
   Result<std::string> ExplainQuery(const DynamicQuery& q) override;
+
+  // --- EXPLAIN ANALYZE ----------------------------------------------------
+
+  /// Toggles per-operator runtime collection in Execute. Off (the default)
+  /// costs one relaxed atomic load per Execute; on, each Execute counts
+  /// rows in/out of every operator and merges them into the per-shape
+  /// runtime table (one short exclusive lock per query). Thread-safe.
+  void SetCollectRuntime(bool on) {
+    collect_runtime_.store(on, std::memory_order_relaxed);
+  }
+  bool collect_runtime() const {
+    return collect_runtime_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies the accumulated runtime totals for `q`'s plan shape. False when
+  /// the shape never executed under SetCollectRuntime(true).
+  bool GetRuntimeStats(const DynamicQuery& q, PlanRuntimeStats* out) const;
+
+  /// EXPLAIN ANALYZE: the cost-based EXPLAIN (QueryPlan::ToString) followed
+  /// by an "analyze:" block showing estimated-vs-actual rows for every
+  /// operator — driver, membership probes, each field/radius predicate,
+  /// output — averaged over the shape's recorded executions. Renders a
+  /// "no runtime samples" note when nothing was collected yet.
+  Result<std::string> ExplainAnalyzeQuery(const DynamicQuery& q);
   /// Sequential-point hook: refreshes stats if drifted (the ScriptHost
   /// calls this before each parallel query phase).
   void OnQuiescent() override { MaybeRefreshStats(); }
@@ -146,12 +192,24 @@ class QueryPlanner final : public QueryPlanHook {
   /// True when `plan`'s operator indexes fit `q` (cache-collision guard).
   static bool PlanFits(const DynamicQuery& q, const QueryPlan& plan);
 
+  /// ExecuteWithPlan with optional per-operator row counting (`rc` may be
+  /// nullptr; when set its vectors must be sized to the query's predicate
+  /// counts).
+  Status ExecuteWithPlanCounted(const DynamicQuery& q, const QueryPlan& plan,
+                                const std::function<void(EntityId)>& fn,
+                                PlanRuntimeStats* rc);
+  /// Folds one execution's counts into the per-shape runtime table.
+  void MergeRuntime(uint64_t shape, const PlanRuntimeStats& rc);
+
   Status ExecuteFullScan(const DynamicQuery& q, const QueryPlan& plan,
-                         const std::function<void(EntityId)>& fn);
+                         const std::function<void(EntityId)>& fn,
+                         PlanRuntimeStats* rc);
   Status ExecuteFieldIndex(const DynamicQuery& q, const QueryPlan& plan,
-                           const std::function<void(EntityId)>& fn);
+                           const std::function<void(EntityId)>& fn,
+                           PlanRuntimeStats* rc);
   Status ExecuteSpatialIndex(const DynamicQuery& q, const QueryPlan& plan,
-                             const std::function<void(EntityId)>& fn);
+                             const std::function<void(EntityId)>& fn,
+                             PlanRuntimeStats* rc);
 
   World* world_;
   PlannerOptions options_;
@@ -161,9 +219,17 @@ class QueryPlanner final : public QueryPlanHook {
 
   mutable std::shared_mutex plan_mu_;
   std::unordered_map<uint64_t, QueryPlan> plan_cache_;
+  /// Per-shape EXPLAIN ANALYZE totals, guarded by plan_mu_ like the plan
+  /// cache (and bounded the same way).
+  std::unordered_map<uint64_t, PlanRuntimeStats> runtime_stats_;
+  std::atomic<bool> collect_runtime_{false};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
   uint64_t stats_refreshes_ = 0;
+  /// Cached registry instruments (nullptr without a metrics sink).
+  telemetry::Counter* m_cache_hits_ = nullptr;
+  telemetry::Counter* m_cache_misses_ = nullptr;
+  telemetry::Counter* m_stats_refreshes_ = nullptr;
 };
 
 }  // namespace gamedb::planner

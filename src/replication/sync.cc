@@ -12,6 +12,13 @@ SyncServer::SyncServer(World* server_world, SyncOptions options)
     : server_(server_world), options_(options) {
   static std::atomic<uint64_t> next_instance{0};
   instance_id_ = next_instance.fetch_add(1, std::memory_order_relaxed);
+  if (options_.telemetry.metrics != nullptr) {
+    telemetry::MetricsRegistry* reg = options_.telemetry.metrics;
+    m_rounds_ = reg->GetCounter("sync.rounds");
+    m_bytes_sent_ = reg->GetCounter("sync.bytes_sent");
+    m_rows_sent_ = reg->GetCounter("sync.rows_sent");
+    m_removals_sent_ = reg->GetCounter("sync.removals_sent");
+  }
 }
 
 SyncServer::~SyncServer() {
@@ -78,6 +85,7 @@ void SyncServer::RemoveClient(size_t i) {
 }
 
 Status SyncServer::SyncAll(std::vector<SyncStats>* stats) {
+  telemetry::TraceSpan span(options_.telemetry.tracer, "sync.sync_all");
   stats->assign(clients_.size(), SyncStats{});
   // One maintenance round serves every client: the interest views absorb
   // all position/table deltas since the last sync here, instead of each
@@ -89,6 +97,20 @@ Status SyncServer::SyncAll(std::vector<SyncStats>* stats) {
   for (size_t i = 0; i < clients_.size(); ++i) {
     if (!clients_[i]->connected_) continue;
     GAMEDB_RETURN_NOT_OK(SyncOne(clients_[i].get(), &(*stats)[i]));
+  }
+  if (m_rounds_ != nullptr) {
+    uint64_t bytes = 0;
+    uint64_t rows = 0;
+    uint64_t removals = 0;
+    for (const SyncStats& s : *stats) {
+      bytes += s.bytes_sent;
+      rows += s.rows_sent;
+      removals += s.removals_sent;
+    }
+    m_rounds_->Increment();
+    m_bytes_sent_->Add(bytes);
+    m_rows_sent_->Add(rows);
+    m_removals_sent_->Add(removals);
   }
   return Status::OK();
 }

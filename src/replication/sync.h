@@ -24,6 +24,7 @@
 
 #include "common/status.h"
 #include "core/world.h"
+#include "telemetry/sink.h"
 
 namespace gamedb::views {
 class LiveView;
@@ -71,6 +72,10 @@ struct SyncOptions {
   /// "__sync_interest_<i>" view per client, registered by AddClient). The
   /// server Maintain()s it once per SyncAll; must outlive the SyncServer.
   views::ViewCatalog* view_catalog = nullptr;
+  /// Optional telemetry hook: SyncAll records a "sync.sync_all" span and
+  /// folds per-round byte/row/removal totals into the `sync.*` registry
+  /// counters. Non-owning; must outlive the server.
+  telemetry::TelemetrySink telemetry{};
 };
 
 /// One connected client: a replica world plus sync bookkeeping.
@@ -142,6 +147,11 @@ class SyncServer {
 
   World* server_;
   SyncOptions options_;
+  /// Cached registry instruments (nullptr without a metrics sink).
+  telemetry::Counter* m_rounds_ = nullptr;
+  telemetry::Counter* m_bytes_sent_ = nullptr;
+  telemetry::Counter* m_rows_sent_ = nullptr;
+  telemetry::Counter* m_removals_sent_ = nullptr;
   /// Distinguishes this server's interest-view names from those of other
   /// (including earlier, destroyed) SyncServers sharing one catalog.
   uint64_t instance_id_ = 0;

@@ -17,6 +17,16 @@ namespace {
 /// Seed for one entity's random() stream this tick. SplitMix64-style mixing
 /// of (base, tick, entity) — Rng::Seed expands it further, we only need the
 /// three inputs to land in distinct, well-separated states.
+/// Stable metric-name bucket for a kDirectChecked fallback reason (the
+/// reason strings carry entry/table names; registry counters must not).
+const char* FallbackCategory(const std::string& reason) {
+  if (reason.rfind("no access summary", 0) == 0) return "no_access_summary";
+  if (reason.find("change observers") != std::string::npos) {
+    return "observers";
+  }
+  return "ineligible";
+}
+
 uint64_t PerEntitySeed(uint64_t base, uint64_t tick, EntityId e) {
   uint64_t x = base;
   x ^= tick * 0x9E3779B97F4A7C15ull;
@@ -53,6 +63,31 @@ ScriptHost::ScriptHost(World* world, ScriptHostOptions options)
     BindWorld(interp.get(), world_, &effects_, bind);
     if (options_.views != nullptr) BindViews(interp.get(), options_.views);
     shards_.push_back(std::move(interp));
+  }
+  if (options_.telemetry.metrics != nullptr) {
+    telemetry::MetricsRegistry* reg = options_.telemetry.metrics;
+    instruments_.ticks = reg->GetCounter("script.ticks");
+    instruments_.entities = reg->GetCounter("script.entities");
+    instruments_.script_errors = reg->GetCounter("script.errors");
+    instruments_.effect_contributions =
+        reg->GetCounter("script.effect_contributions");
+    instruments_.dropped_contributions =
+        reg->GetCounter("script.dropped_contributions");
+    instruments_.deferred_ops = reg->GetCounter("script.deferred_ops");
+    instruments_.deferred_skipped =
+        reg->GetCounter("script.deferred_skipped");
+    instruments_.direct_ticks = reg->GetCounter("script.direct_ticks");
+    instruments_.fallback_ticks = reg->GetCounter("script.fallback_ticks");
+    instruments_.direct_writes = reg->GetCounter("script.direct_writes");
+    instruments_.direct_redirected =
+        reg->GetCounter("script.direct_redirected");
+    instruments_.quiescent_ns =
+        reg->GetHistogram("script.phase.quiescent_ns");
+    instruments_.maintain_ns = reg->GetHistogram("script.phase.maintain_ns");
+    instruments_.query_phase_ns =
+        reg->GetHistogram("script.phase.query_ns");
+    instruments_.apply_phase_ns =
+        reg->GetHistogram("script.phase.apply_ns");
   }
 }
 
@@ -279,6 +314,17 @@ Result<ScriptTickStats> ScriptHost::RunTick(
       ++direct_ticks_;
     } else {
       ++fallback_ticks_;
+      // Per-reason composition: this tick's map plus the host-level
+      // accumulation (the fix for fallback_reason only keeping the last
+      // reason across a run), and the categorized registry counter.
+      ++stats.fallback_reasons[stats.fallback_reason];
+      ++fallback_reason_counts_[stats.fallback_reason];
+      if (options_.telemetry.metrics != nullptr) {
+        options_.telemetry.metrics
+            ->GetCounter(std::string("script.fallback.") +
+                         FallbackCategory(stats.fallback_reason))
+            ->Increment();
+      }
     }
   }
   stats.direct_checked = direct;
@@ -288,15 +334,23 @@ Result<ScriptTickStats> ScriptHost::RunTick(
   // then maintain live views from the change capture of the previous
   // apply phase — subscriptions fire here, and shards read a consistent
   // view snapshot for the whole parallel phase.
+  telemetry::Tracer* tracer = options_.telemetry.tracer;
+  const bool tracing = tracer != nullptr && tracer->enabled();
   if (options_.planner != nullptr) {
     uint64_t t0 = MonotonicNanos();
     options_.planner->OnQuiescent();
     stats.quiescent_ns = MonotonicNanos() - t0;
+    if (tracing) {
+      tracer->RecordSpan("planner.quiescent", t0, stats.quiescent_ns, 0);
+    }
   }
   if (options_.views != nullptr) {
     uint64_t t0 = MonotonicNanos();
     options_.views->Maintain();
     stats.maintain_ns = MonotonicNanos() - t0;
+    if (tracing) {
+      tracer->RecordSpan("views.maintain", t0, stats.maintain_ns, 0);
+    }
   }
   // Pre-create the wired channels so steady-state emits take only the
   // shared-lock path in ScriptEffects::Channel.
@@ -325,6 +379,9 @@ Result<ScriptTickStats> ScriptHost::RunTick(
   const uint64_t query_t0 = MonotonicNanos();
   exec_.pool().ParallelForChunks(
       entities.size(), [&](size_t chunk, size_t begin, size_t end) {
+        // Shard spans on tid = shard + 1: the fan-out reads as parallel
+        // tracks under the tid-0 sequential timeline in chrome://tracing.
+        const uint64_t shard_t0 = tracing ? MonotonicNanos() : 0;
         Interpreter& interp = *shards_[chunk];
         for (size_t i = begin; i < end; ++i) {
           EntityId e = entities[i];
@@ -343,9 +400,18 @@ Result<ScriptTickStats> ScriptHost::RunTick(
             }
           }
         }
+        if (tracing) {
+          tracer->RecordSpan("script.shard", shard_t0,
+                             MonotonicNanos() - shard_t0,
+                             static_cast<uint32_t>(chunk) + 1);
+        }
       });
 
   stats.query_phase_ns = MonotonicNanos() - query_t0;
+  if (tracing) {
+    tracer->RecordSpan("script.query_phase", query_t0, stats.query_phase_ns,
+                       0);
+  }
   gate_.enabled = false;
   for (size_t i = 0; i < nshards; ++i) {
     stats.direct_writes += gate_.direct_writes[i];
@@ -377,6 +443,30 @@ Result<ScriptTickStats> ScriptHost::RunTick(
   // 2. Deferred structural ops, in shard order (== entity order).
   deferred_.Apply(world_, &stats.deferred_skipped);
   stats.apply_phase_ns = MonotonicNanos() - apply_t0;
+  if (tracing) {
+    tracer->RecordSpan("script.apply_phase", apply_t0, stats.apply_phase_ns,
+                       0);
+  }
+
+  if (instruments_.ticks != nullptr) {
+    instruments_.ticks->Increment();
+    instruments_.entities->Add(stats.entities);
+    instruments_.script_errors->Add(stats.script_errors);
+    instruments_.effect_contributions->Add(stats.effect_contributions);
+    instruments_.dropped_contributions->Add(stats.dropped_contributions);
+    instruments_.deferred_ops->Add(stats.deferred_ops);
+    instruments_.deferred_skipped->Add(stats.deferred_skipped);
+    if (options_.mutations == MutationPolicy::kDirectChecked) {
+      instruments_.direct_ticks->Add(stats.direct_checked ? 1 : 0);
+      instruments_.fallback_ticks->Add(stats.direct_checked ? 0 : 1);
+    }
+    instruments_.direct_writes->Add(stats.direct_writes);
+    instruments_.direct_redirected->Add(stats.direct_redirected);
+    instruments_.quiescent_ns->Record(stats.quiescent_ns);
+    instruments_.maintain_ns->Record(stats.maintain_ns);
+    instruments_.query_phase_ns->Record(stats.query_phase_ns);
+    instruments_.apply_phase_ns->Record(stats.apply_phase_ns);
+  }
 
   return stats;
 }

@@ -27,6 +27,7 @@
 /// tick: global writes are per-shard and their final values depend on the
 /// partition (print() output is safe — it is drained in shard order).
 
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -37,6 +38,7 @@
 #include "core/state_effect.h"
 #include "script/bindings.h"
 #include "script/interpreter.h"
+#include "telemetry/sink.h"
 
 namespace gamedb::views {
 class ViewCatalog;
@@ -90,6 +92,12 @@ struct ScriptHostOptions {
   /// in planner cost units (analyzer.h CostModelOptions); 0 disables
   /// budget enforcement.
   double script_cost_budget = 0.0;
+  /// Optional telemetry hook (telemetry/sink.h). When a metrics registry is
+  /// present the host folds its per-tick counters and phase timings into
+  /// `script.*` instruments; when a tracer is present RunTick records the
+  /// tick-phase spans (sequential point, per-shard query phase, apply).
+  /// Both pointers are non-owning and must outlive the host.
+  telemetry::TelemetrySink telemetry{};
 };
 
 /// Outcome of one scripted parallel tick.
@@ -121,7 +129,12 @@ struct ScriptTickStats {
   bool direct_checked = false;
   size_t direct_writes = 0;
   size_t direct_redirected = 0;
+  /// Human-readable reason of the *last* fallback this tick (kept for
+  /// display and for callers that only need one). `fallback_reasons` is the
+  /// complete per-tick composition: reason text -> occurrence count, so a
+  /// pack mixing eligible and ineligible entries reports every cause.
   std::string fallback_reason;
+  std::map<std::string, uint64_t> fallback_reasons;
   /// Tick-phase wall-clock breakdown (steady_clock nanoseconds), the
   /// instrumentation the scenario load harness (tools/loadgen) aggregates
   /// into per-phase latency histograms. Timing only — never feeds back into
@@ -191,6 +204,13 @@ class ScriptHost {
   uint64_t direct_ticks() const { return direct_ticks_; }
   uint64_t fallback_ticks() const { return fallback_ticks_; }
 
+  /// Accumulated fallback composition since construction: reason text ->
+  /// number of ticks that fell back for that reason (a tick with mixed
+  /// entries under one RunTick contributes one count per occurrence).
+  const std::map<std::string, uint64_t>& fallback_reason_counts() const {
+    return fallback_reason_counts_;
+  }
+
   /// Load-time direct-write verdict for entry function `fn`: (eligible,
   /// reason-when-not). Missing entries (never analyzed) report ineligible.
   std::pair<bool, std::string> DirectVerdict(const std::string& fn) const;
@@ -226,6 +246,28 @@ class ScriptHost {
   std::unordered_map<std::string, DirectEntry> direct_eligible_;
   uint64_t direct_ticks_ = 0;
   uint64_t fallback_ticks_ = 0;
+  std::map<std::string, uint64_t> fallback_reason_counts_;
+
+  /// Cached registry instruments (resolved once in the constructor; all
+  /// nullptr when options_.telemetry.metrics is null).
+  struct TickInstruments {
+    telemetry::Counter* ticks = nullptr;
+    telemetry::Counter* entities = nullptr;
+    telemetry::Counter* script_errors = nullptr;
+    telemetry::Counter* effect_contributions = nullptr;
+    telemetry::Counter* dropped_contributions = nullptr;
+    telemetry::Counter* deferred_ops = nullptr;
+    telemetry::Counter* deferred_skipped = nullptr;
+    telemetry::Counter* direct_ticks = nullptr;
+    telemetry::Counter* fallback_ticks = nullptr;
+    telemetry::Counter* direct_writes = nullptr;
+    telemetry::Counter* direct_redirected = nullptr;
+    telemetry::Histogram* quiescent_ns = nullptr;
+    telemetry::Histogram* maintain_ns = nullptr;
+    telemetry::Histogram* query_phase_ns = nullptr;
+    telemetry::Histogram* apply_phase_ns = nullptr;
+  };
+  TickInstruments instruments_;
 };
 
 }  // namespace gamedb::script

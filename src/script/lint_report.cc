@@ -176,6 +176,24 @@ std::string RenderLintJson(const std::vector<LintFileResult>& files,
     out += "      \"file\": " + JsonStr(f.file) + ",\n";
     out += "      \"phase\": " +
            JsonStr(PhaseContextName(f.phase)) + ",\n";
+    // Pack static cost estimate: the verifier's per-entry abstract costs
+    // summed over the pack, plus the most expensive entry. `unbounded`
+    // means at least one entry's cost analysis hit an unbounded loop, so
+    // `total` is a lower bound.
+    double total_cost = 0.0;
+    bool cost_unbounded = false;
+    for (const EntryFacts& e : f.report.entries) {
+      total_cost += e.facts.cost;
+      cost_unbounded = cost_unbounded || e.facts.cost_unbounded;
+    }
+    out += "      \"static_cost\": {\"total\": " + JsonNum(total_cost) +
+           StringFormat(", \"unbounded\": %s", JsonBool(cost_unbounded)) +
+           ", \"max_entry\": " +
+           (f.report.max_entry_name.empty()
+                ? std::string("null")
+                : JsonStr(f.report.max_entry_name)) +
+           ", \"max_entry_cost\": " + JsonNum(f.report.max_entry_cost) +
+           "},\n";
     out += "      \"parse_error\": " +
            (f.parse_error.empty() ? std::string("null")
                                   : JsonStr(f.parse_error)) +
@@ -593,6 +611,22 @@ Status ValidateFile(const JsonValue& f) {
           OneOf(phase->str,
                 {"sequential", "parallel-defer", "parallel-reject"}),
       "file.phase must be a phase context token"));
+  const JsonValue* cost = f.Find("static_cost");
+  GAMEDB_RETURN_NOT_OK(Expect(IsKind(cost, JsonValue::Kind::kObject),
+                              "file.static_cost must be an object"));
+  GAMEDB_RETURN_NOT_OK(Expect(
+      IsKind(cost->Find("total"), JsonValue::Kind::kNumber) &&
+          IsKind(cost->Find("max_entry_cost"), JsonValue::Kind::kNumber),
+      "file.static_cost total/max_entry_cost must be numbers"));
+  GAMEDB_RETURN_NOT_OK(Expect(
+      IsKind(cost->Find("unbounded"), JsonValue::Kind::kBool),
+      "file.static_cost.unbounded must be a bool"));
+  const JsonValue* max_entry = cost->Find("max_entry");
+  GAMEDB_RETURN_NOT_OK(
+      Expect(max_entry != nullptr &&
+                 (max_entry->kind == JsonValue::Kind::kNull ||
+                  max_entry->kind == JsonValue::Kind::kString),
+             "file.static_cost.max_entry must be a string or null"));
   const JsonValue* parse_error = f.Find("parse_error");
   GAMEDB_RETURN_NOT_OK(
       Expect(parse_error != nullptr &&

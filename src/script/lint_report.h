@@ -38,7 +38,8 @@ std::string RenderConflictDot(const std::string& origin,
 
 /// The `gsl_lint --json` document (schema "gamedb.gsl_lint.v1"): schema
 /// tag, werror flag, and one object per linted file with diagnostics,
-/// entry access summaries and conflict edges.
+/// entry access summaries, conflict edges, and a `static_cost` pack
+/// estimate (summed per-entry verifier costs + the most expensive entry).
 std::string RenderLintJson(const std::vector<LintFileResult>& files,
                            bool werror);
 

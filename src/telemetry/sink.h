@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file sink.h
+/// TelemetrySink: the one hook subsystem options structs carry. Both
+/// pointers are optional and non-owning — the caller (loadgen's Driver, a
+/// game server) owns the registry/tracer and must keep them alive for the
+/// subsystem's lifetime. A default-constructed sink is inert: every
+/// instrument lookup is skipped and spans cost one null check.
+
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace gamedb::telemetry {
+
+struct TelemetrySink {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+
+  bool active() const { return metrics != nullptr || tracer != nullptr; }
+};
+
+}  // namespace gamedb::telemetry

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file trace.h
+/// Tick-phase span tracing. Subsystems record complete ("ph":"X") spans —
+/// the sequential point, view maintenance, the per-shard parallel script
+/// phase, apply/drain, WAL append/fsync, checkpoint, sync emission — and
+/// RenderChromeTraceJson exports them as Chrome trace_event JSON that loads
+/// directly in chrome://tracing (or Perfetto).
+///
+/// Track (tid) convention: 0 is the main/sequential thread; parallel script
+/// shards record on tid = shard index + 1 so the fan-out is visible as
+/// parallel tracks.
+///
+/// Recording takes a mutex per span end. Spans bound whole tick phases
+/// (microseconds to milliseconds), not per-entity work, so contention is
+/// nil; a disabled tracer costs one relaxed load per would-be span.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/percentile.h"
+#include "common/status.h"
+
+namespace gamedb::telemetry {
+
+/// One completed span, timestamps in nanoseconds from MonotonicNanos().
+struct TraceEvent {
+  std::string name;
+  uint64_t ts_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;
+};
+
+/// Collects spans. Thread-safe; disabled by default.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void RecordSpan(std::string name, uint64_t ts_ns, uint64_t dur_ns,
+                  uint32_t tid) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(TraceEvent{std::move(name), ts_ns, dur_ns, tid});
+  }
+
+  std::vector<TraceEvent> Events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: stamps the start on construction, records on destruction.
+/// A null or disabled tracer makes both ends near-free (no timestamp taken).
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name, uint32_t tid = 0)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(name),
+        tid_(tid),
+        start_ns_(tracer_ != nullptr ? MonotonicNanos() : 0) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->RecordSpan(name_, start_ns_, MonotonicNanos() - start_ns_,
+                          tid_);
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  uint32_t tid_;
+  uint64_t start_ns_;
+};
+
+/// Renders every recorded span as Chrome trace_event JSON
+/// ({"traceEvents":[{"name","cat","ph":"X","ts","dur","pid","tid"},...]}).
+/// Timestamps are microseconds with 3 decimals, sorted by (ts, tid, name)
+/// so the document is deterministic for a given set of spans.
+std::string RenderChromeTraceJson(const Tracer& tracer);
+
+/// Independent validator for the Chrome trace document: parses with the
+/// shared common/json reader and checks every event is a well-formed
+/// complete span.
+Status ValidateChromeTraceJson(const std::string& doc);
+
+}  // namespace gamedb::telemetry

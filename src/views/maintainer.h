@@ -30,6 +30,7 @@
 
 #include "common/status.h"
 #include "core/world.h"
+#include "telemetry/sink.h"
 #include "views/view.h"
 
 namespace gamedb::views {
@@ -103,6 +104,12 @@ class ViewCatalog {
   World* world() const { return world_; }
   QueryPlanHook* planner() const { return planner_; }
 
+  /// Attaches a telemetry sink: Maintain() folds its round/flush/change
+  /// counters into `views.*` registry instruments and records a
+  /// "views.maintain_round" span per round. Non-owning; the sink's
+  /// registry/tracer must outlive the catalog. Call from sequential code.
+  void SetTelemetry(const telemetry::TelemetrySink& sink);
+
  private:
   World* world_;
   QueryPlanHook* planner_;
@@ -116,6 +123,12 @@ class ViewCatalog {
   std::unordered_set<uint32_t> captured_set_;
   ChangeSet scratch_;
   CatalogStats stats_;
+  telemetry::TelemetrySink telemetry_;
+  /// Cached registry instruments (all nullptr until SetTelemetry).
+  telemetry::Counter* m_rounds_ = nullptr;
+  telemetry::Counter* m_tables_flushed_ = nullptr;
+  telemetry::Counter* m_change_records_ = nullptr;
+  telemetry::Histogram* m_round_ns_ = nullptr;
 };
 
 }  // namespace gamedb::views

@@ -743,6 +743,9 @@ TEST_F(VerifierTest, LintJsonRoundTripsThroughItsValidator) {
   EXPECT_NE(doc.find("\"field\": \"Health.hp\""), std::string::npos);
   EXPECT_NE(doc.find("\"target\": \"self\""), std::string::npos);
   EXPECT_NE(doc.find("\"severity\": \"warning\""), std::string::npos);
+  // Pack static cost estimate: total + most expensive entry.
+  EXPECT_NE(doc.find("\"static_cost\": {\"total\": "), std::string::npos);
+  EXPECT_NE(doc.find("\"max_entry\": \"t\""), std::string::npos);
 
   // Corruptions are rejected: bad severity, truncation, wrong schema tag.
   std::string bad = doc;

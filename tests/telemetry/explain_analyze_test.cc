@@ -1,0 +1,207 @@
+// EXPLAIN ANALYZE: per-operator runtime row counts recorded by
+// QueryPlanner::Execute under SetCollectRuntime(true), checked for exact
+// equality against hand-counted query results, plus the rendered
+// estimated-vs-actual report and its off/empty edge cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/world.h"
+#include "planner/planner.h"
+
+namespace gamedb::planner {
+namespace {
+
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterStandardComponents(); }
+
+  /// 200 entities with deterministic hp = i % 100 and a Position grid, so
+  /// every expected row count below is hand-computable.
+  void Populate(World* w, size_t n = 200) {
+    for (size_t i = 0; i < n; ++i) {
+      EntityId e = w->Create();
+      w->Set(e, Health{float(i % 100), 100.0f});
+      w->Set(e, Position{{float(i % 20) * 10.0f, 0, float(i / 20) * 10.0f}});
+    }
+  }
+
+  World world;
+};
+
+TEST_F(ExplainAnalyzeTest, ActualRowsMatchHandCount) {
+  Populate(&world);
+  QueryPlanner planner(&world);
+  planner.Analyze();
+  planner.SetCollectRuntime(true);
+
+  // Hand count: hp = i % 100 < 90 -> 90 of every 100, so 180 of 200.
+  const uint64_t expected_matches = 180;
+
+  DynamicQuery q(&world);
+  q.SetPlanner(&planner).WhereField("Health", "hp", CmpOp::kLt, 90.0);
+  ASSERT_EQ(planner.BuildPlan(q).access, AccessPath::kFullScan);
+  auto rows = q.Collect();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), expected_matches);
+
+  PlanRuntimeStats stats;
+  ASSERT_TRUE(planner.GetRuntimeStats(q, &stats));
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.output_rows, expected_matches);
+  // 90% selectivity stays a full scan: the driver visited every Health row
+  // and the predicate saw all of them.
+  EXPECT_EQ(stats.driver_rows, 200u);
+  ASSERT_EQ(stats.predicate_in.size(), 1u);
+  ASSERT_EQ(stats.predicate_out.size(), 1u);
+  EXPECT_EQ(stats.predicate_in[0], 200u);
+  EXPECT_EQ(stats.predicate_out[0], expected_matches);
+}
+
+// A selective predicate flips to the field index; the runtime counters
+// then expose exactly what the index saved: the driver visits only the
+// candidate range, not the whole table.
+TEST_F(ExplainAnalyzeTest, FieldIndexDriverVisitsOnlyCandidates) {
+  Populate(&world);
+  QueryPlanner planner(&world);
+  planner.Analyze();
+  planner.SetCollectRuntime(true);
+
+  DynamicQuery q(&world);
+  q.SetPlanner(&planner).WhereField("Health", "hp", CmpOp::kLt, 30.0);
+  if (planner.BuildPlan(q).access != AccessPath::kFieldIndex) {
+    GTEST_SKIP() << "planner kept the scan at this scale";
+  }
+  auto rows = q.Collect();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 60u);  // i % 100 < 30 -> 60 of 200
+
+  PlanRuntimeStats stats;
+  ASSERT_TRUE(planner.GetRuntimeStats(q, &stats));
+  EXPECT_EQ(stats.output_rows, 60u);
+  EXPECT_GE(stats.driver_rows, 60u);   // every match came through the index
+  EXPECT_LT(stats.driver_rows, 200u);  // ...but far from the whole table
+}
+
+TEST_F(ExplainAnalyzeTest, RepeatedExecutionsAccumulate) {
+  Populate(&world);
+  QueryPlanner planner(&world);
+  planner.Analyze();
+  planner.SetCollectRuntime(true);
+
+  DynamicQuery q(&world);
+  q.SetPlanner(&planner).WhereField("Health", "hp", CmpOp::kLt, 90.0);
+  ASSERT_TRUE(q.Collect().ok());
+  ASSERT_TRUE(q.Collect().ok());
+
+  PlanRuntimeStats stats;
+  ASSERT_TRUE(planner.GetRuntimeStats(q, &stats));
+  EXPECT_EQ(stats.executions, 2u);
+  EXPECT_EQ(stats.output_rows, 360u);
+  EXPECT_EQ(stats.driver_rows, 400u);
+}
+
+TEST_F(ExplainAnalyzeTest, RadiusPredicateCountsActualRows) {
+  Populate(&world);
+  QueryPlanner planner(&world);
+  planner.Analyze();
+  planner.SetCollectRuntime(true);
+
+  const Vec3 center{50.0f, 0.0f, 50.0f};
+  const float radius = 25.0f;
+  // Hand count against the same world the query runs over.
+  uint64_t expected = 0;
+  world.Table<Position>().ForEach([&](EntityId, const Position& p) {
+    float dx = p.value.x - center.x, dz = p.value.z - center.z;
+    if (std::sqrt(dx * dx + dz * dz) <= radius) ++expected;
+  });
+  ASSERT_GT(expected, 0u);
+
+  DynamicQuery q(&world);
+  q.SetPlanner(&planner)
+      .WithinRadius("Position", "value", center, radius);
+  auto rows = q.Collect();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), expected);
+
+  PlanRuntimeStats stats;
+  ASSERT_TRUE(planner.GetRuntimeStats(q, &stats));
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.output_rows, expected);
+}
+
+TEST_F(ExplainAnalyzeTest, ReportShowsEstimatedVsActualPerOperator) {
+  Populate(&world);
+  QueryPlanner planner(&world);
+  planner.Analyze();
+  planner.SetCollectRuntime(true);
+
+  DynamicQuery q(&world);
+  q.SetPlanner(&planner).WhereField("Health", "hp", CmpOp::kLt, 90.0);
+  ASSERT_TRUE(q.Collect().ok());
+
+  auto text = planner.ExplainAnalyzeQuery(q);
+  ASSERT_TRUE(text.ok());
+  // The cost-based EXPLAIN half is intact...
+  EXPECT_NE(text->find("access: full_scan"), std::string::npos) << *text;
+  // ...and every operator line carries estimated and actual rows.
+  EXPECT_NE(text->find("analyze (1 execution"), std::string::npos) << *text;
+  EXPECT_NE(text->find("driver rows: est "), std::string::npos) << *text;
+  EXPECT_NE(text->find("actual 200.0"), std::string::npos) << *text;
+  EXPECT_NE(text->find("filter Health.hp < 90"), std::string::npos) << *text;
+  EXPECT_NE(text->find("actual 200.0 -> 180.0"), std::string::npos) << *text;
+  EXPECT_NE(text->find("output rows: est "), std::string::npos) << *text;
+  EXPECT_NE(text->find("actual 180.0"), std::string::npos) << *text;
+}
+
+TEST_F(ExplainAnalyzeTest, NoSamplesYieldsHintNotError) {
+  Populate(&world);
+  QueryPlanner planner(&world);
+  planner.Analyze();
+  planner.SetCollectRuntime(true);
+
+  DynamicQuery q(&world);
+  q.SetPlanner(&planner).WhereField("Health", "hp", CmpOp::kLt, 30.0);
+  // Never executed: ANALYZE degrades to the hint, not a failure.
+  auto text = planner.ExplainAnalyzeQuery(q);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("no runtime samples"), std::string::npos) << *text;
+}
+
+TEST_F(ExplainAnalyzeTest, CollectRuntimeOffRecordsNothing) {
+  Populate(&world);
+  QueryPlanner planner(&world);
+  planner.Analyze();
+  ASSERT_FALSE(planner.collect_runtime());  // off by default
+
+  DynamicQuery q(&world);
+  q.SetPlanner(&planner).WhereField("Health", "hp", CmpOp::kLt, 30.0);
+  ASSERT_TRUE(q.Collect().ok());
+
+  PlanRuntimeStats stats;
+  EXPECT_FALSE(planner.GetRuntimeStats(q, &stats));
+}
+
+// Runtime collection must not perturb results: same rows, same order, with
+// the toggle on and off.
+TEST_F(ExplainAnalyzeTest, CollectionDoesNotChangeResults) {
+  Populate(&world);
+  QueryPlanner planner(&world);
+  planner.Analyze();
+
+  DynamicQuery q(&world);
+  q.SetPlanner(&planner).WhereField("Health", "hp", CmpOp::kGe, 70.0);
+  auto off_rows = q.Collect();
+  ASSERT_TRUE(off_rows.ok());
+  planner.SetCollectRuntime(true);
+  auto on_rows = q.Collect();
+  ASSERT_TRUE(on_rows.ok());
+  EXPECT_EQ(*off_rows, *on_rows);
+}
+
+}  // namespace
+}  // namespace gamedb::planner

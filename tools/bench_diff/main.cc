@@ -1,0 +1,181 @@
+/// \file main.cc
+/// bench_diff — compares two Google Benchmark JSON files (the
+/// `--benchmark_out=FILE --benchmark_out_format=json` artifacts CI's
+/// bench-smoke job uploads) benchmark-by-benchmark and flags real_time
+/// regressions beyond a threshold.
+///
+///   bench_diff BASELINE.json CURRENT.json [--threshold=10]
+///
+/// Benchmarks are matched by name; time units are normalized (ns/us/ms/s),
+/// so the two files need not agree on unit. Benchmarks present in only one
+/// file are reported but never fail the diff — adding or retiring a bench
+/// is not a regression.
+///
+/// Exit codes: 0 no regression; 1 usage / unreadable or malformed input;
+/// 2 at least one benchmark regressed past the threshold.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace {
+
+using gamedb::Result;
+using gamedb::Status;
+using gamedb::json::JsonValue;
+using gamedb::json::ParseJson;
+
+struct BenchEntry {
+  double real_time_ns = 0.0;
+  double cpu_time_ns = 0.0;
+};
+
+/// ns-per-unit for Google Benchmark's "time_unit" field ("ns" when absent).
+double UnitScale(const std::string& unit) {
+  if (unit == "ns" || unit.empty()) return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  return -1.0;
+}
+
+/// Loads `path` and extracts name -> times from its "benchmarks" array.
+/// Aggregate rows (mean/median/stddev from --benchmark_repetitions) are
+/// skipped: comparing a raw run against an aggregate would be apples to
+/// oranges.
+Result<std::map<std::string, BenchEntry>> LoadBenchJson(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue doc;
+  GAMEDB_ASSIGN_OR_RETURN(doc, ParseJson(buffer.str()));
+  if (!doc.Is(JsonValue::Kind::kObject)) {
+    return Status::ParseError(path + ": top level is not an object");
+  }
+  const JsonValue* benches = doc.Find("benchmarks");
+  if (benches == nullptr || !benches->Is(JsonValue::Kind::kArray)) {
+    return Status::ParseError(path + ": missing \"benchmarks\" array");
+  }
+  std::map<std::string, BenchEntry> out;
+  for (const JsonValue& b : benches->elements) {
+    if (!b.Is(JsonValue::Kind::kObject)) continue;
+    const JsonValue* name = b.Find("name");
+    const JsonValue* real_time = b.Find("real_time");
+    if (name == nullptr || !name->Is(JsonValue::Kind::kString) ||
+        real_time == nullptr || !real_time->Is(JsonValue::Kind::kNumber)) {
+      continue;
+    }
+    const JsonValue* run_type = b.Find("run_type");
+    if (run_type != nullptr && run_type->Is(JsonValue::Kind::kString) &&
+        run_type->str == "aggregate") {
+      continue;
+    }
+    const JsonValue* unit = b.Find("time_unit");
+    double scale = UnitScale(
+        unit != nullptr && unit->Is(JsonValue::Kind::kString) ? unit->str
+                                                              : "ns");
+    if (scale < 0.0) {
+      return Status::ParseError(path + ": unknown time_unit for '" +
+                                name->str + "'");
+    }
+    BenchEntry e;
+    e.real_time_ns = real_time->number * scale;
+    const JsonValue* cpu_time = b.Find("cpu_time");
+    if (cpu_time != nullptr && cpu_time->Is(JsonValue::Kind::kNumber)) {
+      e.cpu_time_ns = cpu_time->number * scale;
+    }
+    out[name->str] = e;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  double threshold_pct = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--threshold=";
+    if (arg.rfind(prefix, 0) == 0) {
+      char* end = nullptr;
+      threshold_pct = std::strtod(arg.c_str() + prefix.size(), &end);
+      if (end == nullptr || *end != '\0' || threshold_pct <= 0.0) {
+        std::fprintf(stderr, "bench_diff: bad threshold '%s'\n", arg.c_str());
+        return 1;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_diff: unknown flag '%s'\n", arg.c_str());
+      return 1;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff BASELINE.json CURRENT.json "
+                 "[--threshold=PCT]\n");
+    return 1;
+  }
+
+  auto baseline_or = LoadBenchJson(files[0]);
+  if (!baseline_or.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 baseline_or.status().ToString().c_str());
+    return 1;
+  }
+  auto current_or = LoadBenchJson(files[1]);
+  if (!current_or.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 current_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto& baseline = *baseline_or;
+  const auto& current = *current_or;
+
+  size_t regressions = 0, improvements = 0, compared = 0;
+  for (const auto& [name, base] : baseline) {
+    auto it = current.find(name);
+    if (it == current.end()) {
+      std::printf("  only in baseline: %s\n", name.c_str());
+      continue;
+    }
+    ++compared;
+    const BenchEntry& cur = it->second;
+    if (base.real_time_ns <= 0.0) continue;
+    double delta_pct =
+        (cur.real_time_ns - base.real_time_ns) / base.real_time_ns * 100.0;
+    if (delta_pct > threshold_pct) {
+      ++regressions;
+      std::printf("REGRESSION %-48s %12.1f -> %12.1f ns (%+.1f%%)\n",
+                  name.c_str(), base.real_time_ns, cur.real_time_ns,
+                  delta_pct);
+    } else if (delta_pct < -threshold_pct) {
+      ++improvements;
+      std::printf("improved   %-48s %12.1f -> %12.1f ns (%+.1f%%)\n",
+                  name.c_str(), base.real_time_ns, cur.real_time_ns,
+                  delta_pct);
+    }
+  }
+  for (const auto& [name, cur] : current) {
+    (void)cur;
+    if (baseline.find(name) == baseline.end()) {
+      std::printf("  only in current:  %s\n", name.c_str());
+    }
+  }
+  std::printf(
+      "bench_diff: %zu compared, %zu regression(s), %zu improvement(s) "
+      "(threshold %.1f%%)\n",
+      compared, regressions, improvements, threshold_pct);
+  return regressions > 0 ? 2 : 0;
+}

@@ -8,6 +8,7 @@
 #include "common/percentile.h"
 #include "core/serialize.h"
 #include "loadgen_combat_gsl.h"
+#include "telemetry/sink.h"
 
 namespace gamedb::loadgen {
 
@@ -42,18 +43,28 @@ LatencySummary Summarize(const LatencyHistogram& h) {
   return s;
 }
 
-static planner::PlannerOptions MakePlannerOptions(bool planner_on) {
+static telemetry::TelemetrySink MakeSink(const ScenarioConfig& cfg) {
+  telemetry::TelemetrySink sink;
+  sink.metrics = cfg.metrics;
+  sink.tracer = cfg.tracer;
+  return sink;
+}
+
+static planner::PlannerOptions MakePlannerOptions(const ScenarioConfig& cfg) {
   planner::PlannerOptions opts;
-  opts.policy = planner_on ? planner::PlannerPolicy::kOn
-                           : planner::PlannerPolicy::kOff;
+  opts.policy = cfg.planner_on ? planner::PlannerPolicy::kOn
+                               : planner::PlannerPolicy::kOff;
+  opts.telemetry = MakeSink(cfg);
   return opts;
 }
 
 Driver::Driver(const ScenarioConfig& cfg)
     : cfg_(cfg),
       rng_(cfg.seed),
-      planner_(&world_, MakePlannerOptions(cfg.planner_on)),
-      catalog_(&world_, &planner_) {}
+      planner_(&world_, MakePlannerOptions(cfg)),
+      catalog_(&world_, &planner_) {
+  catalog_.SetTelemetry(MakeSink(cfg));
+}
 
 Driver::~Driver() = default;
 
@@ -85,12 +96,14 @@ Status Driver::Init() {
   sopts.strategy = replication::SyncStrategy::kInterestView;
   sopts.interest_radius = cfg_.interest_radius;
   sopts.view_catalog = &catalog_;
+  sopts.telemetry = MakeSink(cfg_);
   sync_ = std::make_unique<replication::SyncServer>(&world_, sopts);
 
   // WAL + checkpoint persistence (importance-aware policy, as the
   // mmo_shard example wires it).
   persist::PersistenceOptions popts;
   popts.mode = persist::DurabilityMode::kWalAndCheckpoint;
+  popts.telemetry = MakeSink(cfg_);
   persistence_ = std::make_unique<persist::PersistenceManager>(
       &storage_,
       std::make_unique<persist::HybridPolicy>(/*max_interval_ticks=*/25,
@@ -104,6 +117,7 @@ Status Driver::Init() {
   hopts.planner = &planner_;
   hopts.views = &catalog_;
   hopts.interpreter.rng_seed = cfg_.seed ^ 0x5ca1ab1eULL;
+  hopts.telemetry = MakeSink(cfg_);
   if (cfg_.strict_scripts) hopts.strictness = script::Strictness::kStrict;
   host_ = std::make_unique<script::ScriptHost>(&world_, hopts);
   host_->OnChannel("damage", [this](EntityId e, double total) {
@@ -127,6 +141,7 @@ Status Driver::Init() {
 
 Status Driver::Tick(uint64_t t,
                     const std::function<void(Driver&, uint64_t)>& step) {
+  telemetry::TraceSpan tick_span(cfg_.tracer, "tick");
   const uint64_t tick_t0 = MonotonicNanos();
   world_.AdvanceTick();
 

@@ -5,9 +5,11 @@
 ///   loadgen --scenario=steady_state --clients=64 --npcs=4000 --ticks=200
 ///   loadgen --scenario=all --out=bench_out --validate --enforce-slo
 ///   loadgen --scenario=chase --deterministic --threads=4
+///   loadgen --scenario=flash_crowd --trace=trace.json --metrics=metrics.json
 ///
 /// Exit codes: 0 success; 1 usage / harness error; 2 schema validation
-/// failure (--validate); 3 SLO violation (--enforce-slo).
+/// failure (--validate, or a --trace/--metrics artifact failing its
+/// validator); 3 SLO violation (--enforce-slo).
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +22,8 @@
 #include "loadgen/driver.h"
 #include "loadgen/metrics.h"
 #include "loadgen/scenario.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -49,7 +53,11 @@ void PrintUsage() {
                "  --strict-scripts    reject the behavior pack on any GSL "
                "verifier error\n"
                "  --lint              verify the behavior pack against the "
-               "full stack and exit\n");
+               "full stack and exit\n"
+               "  --trace=FILE        write a chrome://tracing span trace "
+               "(trace_event JSON)\n"
+               "  --metrics=FILE      write a gamedb.telemetry.v1 metrics "
+               "snapshot\n");
 }
 
 bool ParseUint(const std::string& v, uint64_t* out) {
@@ -64,6 +72,11 @@ bool ParseUint(const std::string& v, uint64_t* out) {
 struct CliOptions {
   std::string scenario = "steady_state";
   std::string out_dir;
+  std::string trace_path;
+  std::string metrics_path;
+  /// Live taps owned by main() when --trace/--metrics were given.
+  gamedb::telemetry::MetricsRegistry* metrics = nullptr;
+  gamedb::telemetry::Tracer* tracer = nullptr;
   bool list = false;
   bool lint = false;
   bool deterministic = false;
@@ -106,6 +119,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->scenario = value;
     } else if (eat("--out")) {
       opts->out_dir = value;
+    } else if (eat("--trace")) {
+      if (value.empty()) return false;
+      opts->trace_path = value;
+    } else if (eat("--metrics")) {
+      if (value.empty()) return false;
+      opts->metrics_path = value;
     } else if (eat("--clients")) {
       if (!ParseUint(value, &opts->clients)) return false;
       opts->has_clients = true;
@@ -152,6 +171,8 @@ int RunOne(const std::string& name, const CliOptions& opts) {
   if (opts.has_planner) cfg.planner_on = opts.planner_on;
   cfg.strict_scripts = opts.strict_scripts;
   cfg.collect_timing = !opts.deterministic;
+  cfg.metrics = opts.metrics;
+  cfg.tracer = opts.tracer;
 
   Result<ScenarioReport> report_or = RunScenario(cfg);
   if (!report_or.ok()) {
@@ -225,6 +246,39 @@ int RunLint() {
   return 0;
 }
 
+/// Writes `content` to `path` and re-validates it with `validate` — the
+/// emitted artifact itself (not the in-memory string) is what downstream
+/// tools load, so that's what gets schema-checked. Returns 0/1/2.
+int WriteTelemetryArtifact(const std::string& path, const std::string& content,
+                           const char* what,
+                           Status (*validate)(const std::string&)) {
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "loadgen: cannot write %s file '%s'\n", what,
+                   path.c_str());
+      return 1;
+    }
+    out << content;
+    if (!out.flush()) {
+      std::fprintf(stderr, "loadgen: short write to %s file '%s'\n", what,
+                   path.c_str());
+      return 1;
+    }
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Status v = validate(buffer.str());
+  if (!v.ok()) {
+    std::fprintf(stderr, "loadgen: %s validation failed: %s\n", what,
+                 v.ToString().c_str());
+    return 2;
+  }
+  std::printf("%-14s %s OK -> %s\n", what, "schema", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -232,6 +286,18 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &opts)) {
     PrintUsage();
     return 1;
+  }
+  // Telemetry taps live here, above every scenario the invocation runs, so
+  // one --scenario=all sweep lands in a single trace/snapshot.
+  gamedb::telemetry::MetricsRegistry registry;
+  gamedb::telemetry::Tracer tracer;
+  if (!opts.metrics_path.empty()) {
+    registry.SetEnabled(true);
+    opts.metrics = &registry;
+  }
+  if (!opts.trace_path.empty()) {
+    tracer.SetEnabled(true);
+    opts.tracer = &tracer;
   }
   if (opts.lint) return RunLint();
   if (opts.list) {
@@ -255,6 +321,18 @@ int main(int argc, char** argv) {
   int rc = 0;
   for (const std::string& name : to_run) {
     int one = RunOne(name, opts);
+    if (one != 0 && (rc == 0 || one < rc)) rc = one;
+  }
+  if (!opts.trace_path.empty()) {
+    int one = WriteTelemetryArtifact(
+        opts.trace_path, gamedb::telemetry::RenderChromeTraceJson(tracer),
+        "trace", &gamedb::telemetry::ValidateChromeTraceJson);
+    if (one != 0 && (rc == 0 || one < rc)) rc = one;
+  }
+  if (!opts.metrics_path.empty()) {
+    int one = WriteTelemetryArtifact(
+        opts.metrics_path, gamedb::telemetry::RenderTelemetryJson(registry),
+        "metrics", &gamedb::telemetry::ValidateTelemetryJson);
     if (one != 0 && (rc == 0 || one < rc)) rc = one;
   }
   return rc;

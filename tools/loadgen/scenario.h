@@ -29,6 +29,11 @@
 #include "common/percentile.h"
 #include "common/status.h"
 
+namespace gamedb::telemetry {
+class MetricsRegistry;
+class Tracer;
+}  // namespace gamedb::telemetry
+
 namespace gamedb::loadgen {
 
 /// Parameters of one scenario run. Defaults are the bench-scale
@@ -64,6 +69,14 @@ struct ScenarioConfig {
   double slo_p50_ms = 0.0;
   double slo_p99_ms = 0.0;
   double slo_p999_ms = 0.0;
+  /// Optional telemetry taps (telemetry/registry.h, telemetry/trace.h),
+  /// threaded into every subsystem the Driver builds. Non-owning; the
+  /// caller (loadgen --metrics/--trace) owns them and must keep them alive
+  /// across RunScenario. Telemetry is observational only — it never feeds
+  /// back into the simulation, so the determinism contract above holds
+  /// with or without these taps.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::Tracer* tracer = nullptr;
 };
 
 /// Quantile digest of one latency histogram, in nanoseconds.
