@@ -9,6 +9,9 @@
 //         and enabled tracer (two clock reads + a mutex push).
 // Part C: an instrumented ScriptHost tick at loadgen scale, telemetry off
 //         vs on — the end-to-end number the e12/e15 ±1% gate is about.
+// Part D: FlightRecorder::Sample against a populated registry, disabled vs
+//         enabled — the per-tick price of continuous observability, and
+//         the "wired but off is free" claim the watchdog tier rests on.
 
 #include <benchmark/benchmark.h>
 
@@ -16,6 +19,7 @@
 #include "core/world.h"
 #include "script/host.h"
 #include "telemetry/registry.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 
 namespace {
@@ -109,8 +113,10 @@ fn tick(e) {
 )GSL";
 
 /// One scripted world tick at small loadgen scale; range(0) selects the
-/// telemetry state: 0 = no sink wired, 1 = sink wired but disabled,
-/// 2 = metrics + tracing enabled.
+/// telemetry state: 0 = no sink wired, 1 = sink + flight recorder wired
+/// but disabled, 2 = metrics + tracing + per-tick recorder sampling
+/// enabled. Mode 1 vs mode 0 is the acceptance gate: a wired-but-off
+/// recorder must price within 1% of no recorder at all.
 void BM_ScriptTickTelemetry(benchmark::State& state) {
   RegisterStandardComponents();
   World world;
@@ -123,9 +129,11 @@ void BM_ScriptTickTelemetry(benchmark::State& state) {
 
   telemetry::MetricsRegistry registry;
   telemetry::Tracer tracer;
+  telemetry::FlightRecorder recorder(&registry);
   const int mode = static_cast<int>(state.range(0));
   registry.SetEnabled(mode == 2);
   tracer.SetEnabled(mode == 2);
+  recorder.SetEnabled(mode == 2);
 
   script::ScriptHostOptions opts;
   opts.num_threads = 1;
@@ -144,6 +152,7 @@ void BM_ScriptTickTelemetry(benchmark::State& state) {
     return;
   }
 
+  uint64_t tick = 0;
   for (auto _ : state) {
     world.AdvanceTick();
     auto stats = host.RunTickOver("tick", "Health");
@@ -152,12 +161,53 @@ void BM_ScriptTickTelemetry(benchmark::State& state) {
       return;
     }
     benchmark::DoNotOptimize(stats->entities);
+    if (mode > 0) recorder.Sample(++tick);  // wired in 1 and 2; off in 1
     tracer.Clear();  // keep the span buffer from growing across iterations
   }
   state.SetLabel(mode == 0 ? "no_sink" : mode == 1 ? "sink_disabled"
                                                    : "sink_enabled");
 }
 BENCHMARK(BM_ScriptTickTelemetry)->Arg(0)->Arg(1)->Arg(2);
+
+// --- Part D: flight recorder sampling ---------------------------------------
+
+/// FlightRecorder::Sample over a registry populated at loadgen scale
+/// (30 counters, 10 gauges, 10 histograms fed with spread values — the
+/// shape a real shard exposes). range(0): 0 = recorder wired but
+/// disabled (one relaxed load + branch), 1 = enabled (full snapshot into
+/// the ring buffers, including per-histogram percentile estimation).
+void BM_FlightRecorderSample(benchmark::State& state) {
+  telemetry::MetricsRegistry registry;
+  registry.SetEnabled(true);
+  std::vector<telemetry::Counter*> counters;
+  for (int i = 0; i < 30; ++i) {
+    counters.push_back(
+        registry.GetCounter("bench.counter." + std::to_string(i)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    registry.GetGauge("bench.gauge." + std::to_string(i))->Set(i * 17);
+  }
+  uint64_t v = 1;
+  for (int i = 0; i < 10; ++i) {
+    telemetry::Histogram* h =
+        registry.GetHistogram("bench.hist." + std::to_string(i));
+    for (int j = 0; j < 256; ++j) {
+      h->Record(v & 0xFFFFFF);
+      v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    }
+  }
+
+  telemetry::FlightRecorder recorder(&registry);
+  recorder.SetEnabled(state.range(0) != 0);
+  uint64_t tick = 0;
+  for (auto _ : state) {
+    counters[tick % counters.size()]->Add(3);  // keep deltas non-trivial
+    recorder.Sample(++tick);
+  }
+  benchmark::DoNotOptimize(recorder.samples());
+  state.SetLabel(state.range(0) != 0 ? "enabled" : "disabled");
+}
+BENCHMARK(BM_FlightRecorderSample)->Arg(0)->Arg(1);
 
 }  // namespace
 

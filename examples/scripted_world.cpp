@@ -28,6 +28,13 @@
 //
 //   ./build/examples/scripted_world --threads 4 --trace trace.json
 //
+// `--flightrec FILE` (parallel mode only) arms the flight recorder +
+// watchdog over the N-thread run and dumps a validated
+// gamedb.flightrec.v1 diagnostic bundle at the end — render it with
+// tools/telereport.
+//
+//   ./build/examples/scripted_world --threads 4 --flightrec bundle.json
+//
 // `--lint` runs the GSL static verifier (script/analyzer.h) over the
 // shipped packs (assets/scripts/hunt.gsl, wolf_pack.gsl) and exits 0/1;
 // `--strict-scripts` makes every script load reject on verifier errors.
@@ -53,7 +60,11 @@
 #include "script/host.h"
 #include "script/parser.h"
 #include "script/triggers.h"
+#include "telemetry/bundle.h"
+#include "telemetry/registry.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
+#include "telemetry/watchdog.h"
 
 // Shipped GSL packs, embedded from assets/scripts/ at build time
 // (cmake/EmbedGsl.cmake): kHuntScript / kWolfPackScript + *Name origins.
@@ -99,7 +110,11 @@ constexpr char kLoot[] = R"(
 // serialized world and returns elapsed seconds for the scripted ticks.
 static double RunPack(size_t threads, size_t wolves, size_t ticks,
                       const content::PrefabLibrary& prefabs, bool strict,
-                      telemetry::Tracer* tracer, std::string* snapshot) {
+                      telemetry::Tracer* tracer,
+                      telemetry::MetricsRegistry* registry,
+                      telemetry::FlightRecorder* recorder,
+                      telemetry::Watchdog* watchdog,
+                      std::string* snapshot) {
   World world;
   std::vector<EntityId> pack;
   pack.reserve(wolves);
@@ -117,6 +132,7 @@ static double RunPack(size_t threads, size_t wolves, size_t ticks,
   opts.num_threads = threads;
   opts.interpreter.restriction = script::Restriction::kNoRecursion;
   opts.telemetry.tracer = tracer;
+  opts.telemetry.metrics = registry;
   if (strict) opts.strictness = script::Strictness::kStrict;
   script::ScriptHost host(&world, opts);
   host.OnChannel("bite", [&world](EntityId e, double total) {
@@ -148,6 +164,15 @@ static double RunPack(size_t threads, size_t wolves, size_t ticks,
                       .c_str());
       std::exit(1);
     }
+    // Continuous observability at the sequential point, exactly as
+    // loadgen's Driver does it.
+    if (recorder != nullptr) recorder->Sample(t + 1);
+    if (watchdog != nullptr) {
+      for (const std::string& rule : watchdog->Evaluate(t + 1)) {
+        std::printf("  watchdog TRIPPED at tick %zu: %s\n", t + 1,
+                    rule.c_str());
+      }
+    }
   }
   double secs = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
@@ -162,24 +187,81 @@ static double RunPack(size_t threads, size_t wolves, size_t ticks,
 }
 
 static int RunParallelMode(size_t threads, size_t wolves, size_t ticks,
-                           bool strict, telemetry::Tracer* tracer) {
+                           bool strict, telemetry::Tracer* tracer,
+                           const std::string& flightrec_path) {
   auto prefabs = content::PrefabLibrary::Load(kPrefabs);
   if (!prefabs.ok()) {
     std::printf("prefab error: %s\n", prefabs.status().ToString().c_str());
     return 1;
   }
+  // --flightrec: record the parallel run per tick and always dump a bundle
+  // at the end — the demo equivalent of loadgen's breach-triggered dumps.
+  telemetry::MetricsRegistry registry;
+  telemetry::FlightRecorder recorder(&registry);
+  telemetry::Watchdog watchdog(&recorder);
+  telemetry::MetricsRegistry* registry_ptr = nullptr;
+  telemetry::FlightRecorder* recorder_ptr = nullptr;
+  telemetry::Watchdog* watchdog_ptr = nullptr;
+  if (!flightrec_path.empty()) {
+    registry.SetEnabled(true);
+    registry_ptr = &registry;
+    // Any script error across the retained window trips (counter-delta
+    // series sum): the pack sim treats errors as fatal anyway, so a trip
+    // here means the recorder caught it the same tick.
+    telemetry::HealthRule errors;
+    errors.name = "script_errors";
+    errors.metric = "script.errors";
+    errors.aggregation = telemetry::Aggregation::kSum;
+    errors.window = ticks;
+    errors.above = true;
+    errors.threshold = 0.0;
+    errors.severity = telemetry::Severity::kCritical;
+    watchdog.AddRule(errors);
+  }
   std::printf("parallel pack sim (set-at-a-time GSL on the script host):\n");
   std::string snap_seq;
-  double secs_seq =
-      RunPack(1, wolves, ticks, *prefabs, strict, tracer, &snap_seq);
+  double secs_seq = RunPack(1, wolves, ticks, *prefabs, strict, tracer,
+                            registry_ptr, nullptr, nullptr, &snap_seq);
+  if (!flightrec_path.empty()) {
+    // Only the N-thread run is recorded: enabling here primes counter
+    // baselines so the 1-thread warm-up doesn't pollute the deltas.
+    recorder.SetEnabled(true);
+    recorder_ptr = &recorder;
+    watchdog_ptr = &watchdog;
+  }
   std::string snap_par;
-  double secs_par =
-      RunPack(threads, wolves, ticks, *prefabs, strict, tracer, &snap_par);
+  double secs_par = RunPack(threads, wolves, ticks, *prefabs, strict, tracer,
+                            registry_ptr, recorder_ptr, watchdog_ptr,
+                            &snap_par);
   bool identical = snap_seq == snap_par;
   std::printf("  speedup at %zu threads: %.2fx — world state %s\n", threads,
               secs_seq / secs_par,
               identical ? "bit-identical to the 1-thread run"
                         : "DIVERGED (determinism bug!)");
+  if (!flightrec_path.empty()) {
+    telemetry::BundleInputs in;
+    in.reason = identical ? "manual" : "determinism_divergence";
+    in.tick = ticks;
+    in.scenario = "scripted_world.pack";
+    in.recorder = &recorder;
+    in.watchdog = &watchdog;
+    in.metrics = &registry;
+    in.tracer = tracer;
+    std::string doc = telemetry::RenderFlightRecorderBundle(in);
+    if (Status st = telemetry::ValidateFlightRecorderBundle(doc); !st.ok()) {
+      std::printf("flightrec validation failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::ofstream out(flightrec_path, std::ios::binary | std::ios::trunc);
+    out << doc;
+    if (!out.flush()) {
+      std::printf("cannot write flightrec file '%s'\n",
+                  flightrec_path.c_str());
+      return 1;
+    }
+    std::printf("flightrec: %zu series -> %s\n", recorder.series_count(),
+                flightrec_path.c_str());
+  }
   return identical ? 0 : 1;
 }
 
@@ -269,6 +351,7 @@ int main(int argc, char** argv) {
   bool lint = false;
   bool strict = false;
   std::string trace_path;
+  std::string flightrec_path;
   for (int i = 1; i < argc; ++i) {
     auto number_after = [&](const char* flag) -> size_t {
       if (i + 1 >= argc) {
@@ -304,13 +387,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flightrec") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--flightrec needs a file path\n");
+        return 2;
+      }
+      flightrec_path = argv[++i];
     } else {
       std::printf(
           "usage: %s [--threads N] [--wolves M] [--ticks K] [--explain] "
-          "[--lint] [--strict-scripts] [--trace FILE]\n",
+          "[--lint] [--strict-scripts] [--trace FILE] [--flightrec FILE]\n",
           argv[0]);
       return 2;
     }
+  }
+  if (!flightrec_path.empty() && threads == 0) {
+    std::printf("--flightrec needs the parallel pack mode (--threads N)\n");
+    return 2;
   }
   if (lint) return RunLint();
   telemetry::Tracer tracer;
@@ -320,7 +413,8 @@ int main(int argc, char** argv) {
     tracer_ptr = &tracer;
   }
   if (threads > 0) {
-    int rc = RunParallelMode(threads, wolves, ticks, strict, tracer_ptr);
+    int rc = RunParallelMode(threads, wolves, ticks, strict, tracer_ptr,
+                             flightrec_path);
     if (tracer_ptr != nullptr && rc == 0) rc = WriteTrace(tracer, trace_path);
     return rc;
   }

@@ -469,11 +469,12 @@ Status QueryPlanner::Execute(const DynamicQuery& q,
   Status st = ExecuteWithPlanCounted(q, plan, fn, &rc);
   rc.exec_ns = MonotonicNanos() - t0;
   rc.executions = 1;
-  MergeRuntime(ShapeHash(q), rc);
+  MergeRuntime(ShapeHash(q), rc, q, plan);
   return st;
 }
 
-void QueryPlanner::MergeRuntime(uint64_t shape, const PlanRuntimeStats& rc) {
+void QueryPlanner::MergeRuntime(uint64_t shape, const PlanRuntimeStats& rc,
+                                const DynamicQuery& q, const QueryPlan& plan) {
   std::unique_lock<std::shared_mutex> lock(plan_mu_);
   // Same unbounded-shape concern as the plan cache; apply the same bound.
   if (runtime_stats_.size() >= kMaxCachedPlans &&
@@ -481,6 +482,13 @@ void QueryPlanner::MergeRuntime(uint64_t shape, const PlanRuntimeStats& rc) {
     runtime_stats_.clear();
   }
   PlanRuntimeStats& agg = runtime_stats_[shape];
+  if (agg.executions == 0 && agg.plan_text.empty()) {
+    // One render per shape; ToString indexes q's predicates through the
+    // plan's operator indexes, so it needs the same fit guard as execution.
+    agg.plan_text = PlanFits(q, plan)
+                        ? plan.ToString(q)
+                        : "full scan (shape-collision fallback)\n";
+  }
   agg.executions += rc.executions;
   agg.driver_rows += rc.driver_rows;
   agg.probe_survivors += rc.probe_survivors;
@@ -505,6 +513,35 @@ bool QueryPlanner::GetRuntimeStats(const DynamicQuery& q,
   if (it == runtime_stats_.end()) return false;
   *out = it->second;
   return true;
+}
+
+std::vector<std::string> QueryPlanner::HottestPlans(size_t n) const {
+  std::vector<std::pair<uint64_t, const PlanRuntimeStats*>> hot;
+  std::shared_lock<std::shared_mutex> lock(plan_mu_);
+  hot.reserve(runtime_stats_.size());
+  for (const auto& [shape, rt] : runtime_stats_) {
+    if (rt.executions > 0) hot.emplace_back(rt.exec_ns, &rt);
+  }
+  std::sort(hot.begin(), hot.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (hot.size() > n) hot.resize(n);
+  std::vector<std::string> out;
+  out.reserve(hot.size());
+  for (const auto& [exec_ns, rt] : hot) {
+    const double execs = static_cast<double>(rt->executions);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "analyze (%llu executions, total %.3f ms, avg %.3f ms): "
+                  "driver %.1f -> survivors %.1f -> output %.1f rows/exec\n",
+                  static_cast<unsigned long long>(rt->executions),
+                  static_cast<double>(exec_ns) / 1e6,
+                  static_cast<double>(exec_ns) / execs / 1e6,
+                  static_cast<double>(rt->driver_rows) / execs,
+                  static_cast<double>(rt->probe_survivors) / execs,
+                  static_cast<double>(rt->output_rows) / execs);
+    out.push_back(rt->plan_text + buf);
+  }
+  return out;
 }
 
 Result<std::string> QueryPlanner::ExplainQuery(const DynamicQuery& q) {

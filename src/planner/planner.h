@@ -67,6 +67,10 @@ struct PlanRuntimeStats {
   std::vector<uint64_t> predicate_out;  ///< rows surviving each predicate
   std::vector<uint64_t> radius_in;
   std::vector<uint64_t> radius_out;
+  /// EXPLAIN text (QueryPlan::ToString) rendered once when the shape first
+  /// executed, so the hottest plans stay explainable after the driving
+  /// queries are gone (the flight-recorder bundle needs exactly this).
+  std::string plan_text;
 };
 
 /// Cost-based planner + executor for one World. Attach to queries with
@@ -129,6 +133,12 @@ class QueryPlanner final : public QueryPlanHook {
   /// output — averaged over the shape's recorded executions. Renders a
   /// "no runtime samples" note when nothing was collected yet.
   Result<std::string> ExplainAnalyzeQuery(const DynamicQuery& q);
+
+  /// The `n` plan shapes with the largest accumulated wall clock under
+  /// SetCollectRuntime(true), hottest first, each rendered as its EXPLAIN
+  /// text plus an analyze summary (executions, avg latency, avg rows per
+  /// operator stage). Empty until runtime collection has run. Thread-safe.
+  std::vector<std::string> HottestPlans(size_t n) const;
   /// Sequential-point hook: refreshes stats if drifted (the ScriptHost
   /// calls this before each parallel query phase).
   void OnQuiescent() override { MaybeRefreshStats(); }
@@ -198,8 +208,10 @@ class QueryPlanner final : public QueryPlanHook {
   Status ExecuteWithPlanCounted(const DynamicQuery& q, const QueryPlan& plan,
                                 const std::function<void(EntityId)>& fn,
                                 PlanRuntimeStats* rc);
-  /// Folds one execution's counts into the per-shape runtime table.
-  void MergeRuntime(uint64_t shape, const PlanRuntimeStats& rc);
+  /// Folds one execution's counts into the per-shape runtime table,
+  /// rendering `plan`'s EXPLAIN text into the entry on first merge.
+  void MergeRuntime(uint64_t shape, const PlanRuntimeStats& rc,
+                    const DynamicQuery& q, const QueryPlan& plan);
 
   Status ExecuteFullScan(const DynamicQuery& q, const QueryPlan& plan,
                          const std::function<void(EntityId)>& fn,

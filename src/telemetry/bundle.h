@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file bundle.h
+/// The diagnostic bundle a tripped watchdog (or an SLO breach / recovery
+/// failure in loadgen) dumps to disk: one schema-tagged
+/// `gamedb.flightrec.v1` JSON document holding everything needed to debug
+/// the incident after the fact — the flight recorder's last-N-ticks time
+/// series, every watchdog rule with its live status, the structured SLO
+/// checks, a full metrics snapshot (embedded `gamedb.telemetry.v1`
+/// object), the current tick's trace spans, and EXPLAIN ANALYZE text for
+/// the hottest cached plans.
+///
+/// Same artifact discipline as `gamedb.telemetry.v1` / `gamedb.e15.v1`:
+/// deterministic key order, and an independent validating parser
+/// (ValidateFlightRecorderBundle) built on common/json — writers never
+/// check their own homework. tools/telereport renders bundles for humans.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/registry.h"
+#include "telemetry/timeseries.h"
+#include "telemetry/trace.h"
+#include "telemetry/watchdog.h"
+
+namespace gamedb::telemetry {
+
+inline constexpr const char* kFlightRecSchema = "gamedb.flightrec.v1";
+
+/// One evaluated SLO threshold, reported with evidence (measured vs
+/// allowed) rather than just an exit code.
+struct SloCheck {
+  std::string name;  ///< "tick_p50", "tick_p99", "tick_p999"
+  double target_ms = 0.0;
+  double measured_ms = 0.0;
+  bool violated = false;
+
+  /// "tick_p99: measured 7.412 ms vs allowed 5.000 ms [VIOLATED]".
+  std::string ToString() const;
+};
+
+/// Everything a bundle captures. All pointers are non-owning and may be
+/// null — absent subsystems render as empty sections, so a bundle is
+/// always well-formed no matter how much telemetry was wired up.
+struct BundleInputs {
+  std::string reason;    ///< "watchdog", "slo_breach", "recovery_failure"
+  uint64_t tick = 0;     ///< tick at which the bundle was cut
+  std::string scenario;  ///< loadgen scenario / tool name
+  const FlightRecorder* recorder = nullptr;
+  const Watchdog* watchdog = nullptr;
+  const MetricsRegistry* metrics = nullptr;
+  const Tracer* tracer = nullptr;
+  std::vector<SloCheck> slo_checks;
+  /// EXPLAIN ANALYZE text of the hottest cached plans, hottest first.
+  std::vector<std::string> hot_plans;
+};
+
+/// Renders the `gamedb.flightrec.v1` document. Deterministic for given
+/// inputs: sections in fixed order, series sorted by name.
+std::string RenderFlightRecorderBundle(const BundleInputs& inputs);
+
+/// Independent validating parser: parses the raw bytes with common/json
+/// and checks the full section structure (schema tag, trigger, rules,
+/// slo, series tick/value parallelism and tick monotonicity, embedded
+/// metrics snapshot, trace spans, plans). Returns SchemaMismatch with a
+/// pinpointing message on the first violation.
+Status ValidateFlightRecorderBundle(const std::string& doc);
+
+}  // namespace gamedb::telemetry

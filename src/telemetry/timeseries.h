@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file timeseries.h
+/// The flight recorder: per-tick sampling of every MetricsRegistry
+/// instrument into fixed-capacity ring buffers, so the last N ticks of
+/// engine health are always in memory and can be dumped as a
+/// `gamedb.flightrec.v1` diagnostic bundle (bundle.h) when something trips.
+///
+/// PR 9's registry answers "what are the totals right now"; the recorder
+/// answers "what happened over the last N ticks" — the continuous signal
+/// the watchdog (watchdog.h) evaluates and the admission-control /
+/// load-shedding ROADMAP items will read from.
+///
+/// Series derived from one registry instrument:
+///   counter `c`    -> series `c`        per-tick delta (not the absolute)
+///   gauge `g`      -> series `g:gauge`  sampled level
+///   histogram `h`  -> series `h:p50` / `h:p99` / `h:p999`  percentile
+///                     estimates over the cumulative distribution, and
+///                     `h:count` — per-tick delta of the sample count
+///
+/// Cost discipline (same as registry.h): a disabled Sample() is one relaxed
+/// atomic load and a branch — safe to leave wired in the tick loop (the e16
+/// bench prices it). An enabled Sample() reads instrument values through
+/// the same relaxed atomics the hot paths write (lock-free against
+/// concurrently-recording script shards; the registry's instrument-map
+/// mutex is taken once, uncontended at the sequential point). Memory is
+/// bounded by `capacity * max_series` ring slots — the recorder never grows
+/// past its configuration no matter how long the shard runs.
+///
+/// Thread safety: Sample() is meant for the sequential point of the tick.
+/// Snapshot()/Find() take the recorder mutex and may run concurrently with
+/// Sample(); instrument *recording* (Counter::Add etc. from parallel
+/// shards) is always safe against a concurrent Sample().
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.h"
+
+namespace gamedb::telemetry {
+
+/// How one recorder series was derived from its registry instrument.
+enum class SeriesKind : uint8_t {
+  kCounterDelta,  ///< per-tick increase of a counter
+  kGauge,         ///< sampled gauge level
+  kHistP50,       ///< histogram p50 estimate (cumulative distribution)
+  kHistP99,       ///< histogram p99 estimate
+  kHistP999,      ///< histogram p99.9 estimate
+  kHistCount,     ///< per-tick delta of a histogram's sample count
+};
+
+/// Stable wire name ("counter_delta", "gauge", "hist_p50", ...).
+const char* SeriesKindName(SeriesKind kind);
+
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Ticks retained per series (the ring length).
+    size_t capacity = 256;
+    /// Upper bound on distinct series; instruments past it are dropped and
+    /// counted in dropped_series() instead of growing memory.
+    size_t max_series = 512;
+  };
+
+  /// One series unrolled oldest -> newest for rendering. `ticks` and
+  /// `values` are always the same length.
+  struct Series {
+    std::string name;
+    SeriesKind kind = SeriesKind::kCounterDelta;
+    std::vector<uint64_t> ticks;
+    std::vector<double> values;
+  };
+
+  /// `registry` is non-owning and must outlive the recorder. The
+  /// single-argument form uses default Options (two overloads rather than
+  /// a defaulted argument: GCC rejects `Options opts = {}` on a nested
+  /// aggregate with member initializers inside its enclosing class).
+  explicit FlightRecorder(const MetricsRegistry* registry);
+  FlightRecorder(const MetricsRegistry* registry, Options opts);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Enabling primes every counter/histogram-count baseline from the
+  /// current registry values, so the first Sample() records deltas since
+  /// *enable*, not since process start. Disabling freezes the rings.
+  void SetEnabled(bool on);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Samples every registry instrument at `tick` (the sequential point).
+  /// Disabled: one relaxed load + branch, nothing else.
+  void Sample(uint64_t tick);
+
+  size_t capacity() const { return opts_.capacity; }
+  /// Sample() calls recorded while enabled.
+  uint64_t samples() const;
+  size_t series_count() const;
+  /// Instruments that could not be tracked because max_series was reached.
+  uint64_t dropped_series() const;
+
+  /// Every series, sorted by name, unrolled oldest -> newest.
+  std::vector<Series> Snapshot() const;
+  /// One series by its derived name (e.g. "script.ticks",
+  /// "script.phase.query_ns:p99"). False when never sampled.
+  bool Find(const std::string& name, Series* out) const;
+
+ private:
+  struct Ring {
+    SeriesKind kind = SeriesKind::kCounterDelta;
+    std::vector<uint64_t> ticks;
+    std::vector<double> values;
+    size_t head = 0;  ///< next write slot
+    size_t size = 0;
+    /// Last absolute value, for the delta kinds.
+    double baseline = 0.0;
+    bool baseline_set = false;
+  };
+
+  void Push(const std::string& name, SeriesKind kind, uint64_t tick,
+            double value, bool is_delta);
+  void Unroll(const std::string& name, const Ring& ring, Series* out) const;
+
+  const MetricsRegistry* registry_;
+  Options opts_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, Ring> series_;
+  uint64_t samples_ = 0;
+  uint64_t dropped_series_ = 0;
+};
+
+}  // namespace gamedb::telemetry

@@ -1,0 +1,251 @@
+#include "telemetry/watchdog.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace gamedb::telemetry {
+
+const char* AggregationName(Aggregation agg) {
+  switch (agg) {
+    case Aggregation::kLast: return "last";
+    case Aggregation::kMean: return "mean";
+    case Aggregation::kMin: return "min";
+    case Aggregation::kMax: return "max";
+    case Aggregation::kSum: return "sum";
+  }
+  return "unknown";
+}
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+std::string HealthRule::ToString() const {
+  std::ostringstream os;
+  // Integral thresholds (ns targets easily exceed 1e7) print in full
+  // rather than decaying to scientific notation.
+  os << name << ": " << AggregationName(aggregation) << "(" << metric << ", "
+     << window << ") " << (above ? ">" : "<") << " ";
+  if (threshold == static_cast<double>(static_cast<long long>(threshold))) {
+    os << static_cast<long long>(threshold);
+  } else {
+    os << threshold;
+  }
+  os << " [" << SeverityName(severity);
+  if (for_ticks > 1) os << ", for " << for_ticks;
+  if (clear_ticks > 1) os << ", clear " << clear_ticks;
+  os << "]";
+  return os.str();
+}
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& spec) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : spec) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+Status ParseSize(const std::string& text, const char* what, size_t* out) {
+  if (text.empty()) return Status::ParseError(std::string(what) + " is empty");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::ParseError(std::string("bad ") + what + " '" + text + "'");
+  }
+  if (v == 0) return Status::ParseError(std::string(what) + " must be >= 1");
+  *out = static_cast<size_t>(v);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<HealthRule> ParseHealthRule(const std::string& spec) {
+  const std::vector<std::string> parts = SplitCommas(spec);
+  if (parts.size() < 6 || parts.size() == 8 || parts.size() > 9) {
+    return Status::ParseError(
+        "watch rule needs NAME,METRIC,AGG,WINDOW,OP,THRESHOLD"
+        "[,SEVERITY[,FOR,CLEAR]]: '" +
+        spec + "'");
+  }
+  HealthRule rule;
+  rule.name = parts[0];
+  rule.metric = parts[1];
+  if (rule.name.empty()) return Status::ParseError("rule name is empty");
+  if (rule.metric.empty()) return Status::ParseError("rule metric is empty");
+
+  const std::string& agg = parts[2];
+  if (agg == "last") {
+    rule.aggregation = Aggregation::kLast;
+  } else if (agg == "mean") {
+    rule.aggregation = Aggregation::kMean;
+  } else if (agg == "min") {
+    rule.aggregation = Aggregation::kMin;
+  } else if (agg == "max") {
+    rule.aggregation = Aggregation::kMax;
+  } else if (agg == "sum") {
+    rule.aggregation = Aggregation::kSum;
+  } else {
+    return Status::ParseError("bad aggregation '" + agg +
+                              "' (want last|mean|min|max|sum)");
+  }
+
+  GAMEDB_RETURN_NOT_OK(ParseSize(parts[3], "window", &rule.window));
+
+  const std::string& op = parts[4];
+  if (op == "gt") {
+    rule.above = true;
+  } else if (op == "lt") {
+    rule.above = false;
+  } else {
+    return Status::ParseError("bad op '" + op + "' (want gt|lt)");
+  }
+
+  {
+    const std::string& text = parts[5];
+    char* end = nullptr;
+    rule.threshold = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == nullptr || *end != '\0') {
+      return Status::ParseError("bad threshold '" + text + "'");
+    }
+  }
+
+  if (parts.size() >= 7) {
+    const std::string& sev = parts[6];
+    if (sev == "info") {
+      rule.severity = Severity::kInfo;
+    } else if (sev == "warning") {
+      rule.severity = Severity::kWarning;
+    } else if (sev == "critical") {
+      rule.severity = Severity::kCritical;
+    } else {
+      return Status::ParseError("bad severity '" + sev +
+                                "' (want info|warning|critical)");
+    }
+  }
+  if (parts.size() == 9) {
+    GAMEDB_RETURN_NOT_OK(ParseSize(parts[7], "for_ticks", &rule.for_ticks));
+    GAMEDB_RETURN_NOT_OK(ParseSize(parts[8], "clear_ticks",
+                                   &rule.clear_ticks));
+  }
+  return rule;
+}
+
+void Watchdog::AddRule(HealthRule rule) {
+  if (rule.window == 0) rule.window = 1;
+  if (rule.for_ticks == 0) rule.for_ticks = 1;
+  if (rule.clear_ticks == 0) rule.clear_ticks = 1;
+  RuleStatus status;
+  status.rule = std::move(rule);
+  rules_.push_back(std::move(status));
+  streaks_.emplace_back();
+}
+
+std::vector<std::string> Watchdog::Evaluate(uint64_t tick) {
+  std::vector<std::string> newly_tripped;
+  if (recorder_ == nullptr) return newly_tripped;
+  FlightRecorder::Series series;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    RuleStatus& st = rules_[i];
+    Streaks& streak = streaks_[i];
+    if (!recorder_->Find(st.rule.metric, &series)) {
+      // Series absent (instrument never recorded, or recorder cold): the
+      // rule is configured-but-silent; streaks hold so a brief gap in the
+      // series neither trips nor clears anything.
+      st.evaluated = false;
+      continue;
+    }
+    const size_t n = std::min(st.rule.window, series.values.size());
+    const size_t start = series.values.size() - n;
+    double value = series.values[start];
+    switch (st.rule.aggregation) {
+      case Aggregation::kLast:
+        value = series.values.back();
+        break;
+      case Aggregation::kMean: {
+        double sum = 0.0;
+        for (size_t j = start; j < series.values.size(); ++j) {
+          sum += series.values[j];
+        }
+        value = sum / static_cast<double>(n);
+        break;
+      }
+      case Aggregation::kMin:
+        for (size_t j = start + 1; j < series.values.size(); ++j) {
+          value = std::min(value, series.values[j]);
+        }
+        break;
+      case Aggregation::kMax:
+        for (size_t j = start + 1; j < series.values.size(); ++j) {
+          value = std::max(value, series.values[j]);
+        }
+        break;
+      case Aggregation::kSum: {
+        double sum = 0.0;
+        for (size_t j = start; j < series.values.size(); ++j) {
+          sum += series.values[j];
+        }
+        value = sum;
+        break;
+      }
+    }
+    st.evaluated = true;
+    st.last_value = value;
+    ++st.evaluations;
+    const bool breach =
+        st.rule.above ? value > st.rule.threshold : value < st.rule.threshold;
+    if (breach) {
+      ++streak.breach;
+      streak.clear = 0;
+      if (!st.tripped && streak.breach >= st.rule.for_ticks) {
+        st.tripped = true;
+        ++st.trip_count;
+        ++total_trips_;
+        st.tripped_tick = tick;
+        newly_tripped.push_back(st.rule.name);
+      }
+    } else {
+      streak.breach = 0;
+      if (st.tripped) {
+        ++streak.clear;
+        if (streak.clear >= st.rule.clear_ticks) {
+          st.tripped = false;
+          streak.clear = 0;
+        }
+      }
+    }
+  }
+  return newly_tripped;
+}
+
+bool Watchdog::AnyTripped() const {
+  for (const RuleStatus& st : rules_) {
+    if (st.tripped) return true;
+  }
+  return false;
+}
+
+Severity Watchdog::MaxTrippedSeverity() const {
+  Severity max = Severity::kInfo;
+  for (const RuleStatus& st : rules_) {
+    if (st.tripped && st.rule.severity > max) max = st.rule.severity;
+  }
+  return max;
+}
+
+}  // namespace gamedb::telemetry

@@ -162,6 +162,26 @@ TEST(ScenarioSloTest, GenerousSloPassesAndTightSloTrips) {
   EXPECT_NE(bad.slo_detail.find("p50"), std::string::npos);
 }
 
+TEST(ScenarioSloTest, StructuredChecksNameEveryGateWithEvidence) {
+  ScenarioConfig cfg = TestConfig("steady_state");
+  cfg.collect_timing = true;
+  cfg.slo_p50_ms = 1e-7;  // trips
+  cfg.slo_p99_ms = 1e6;   // passes
+  cfg.slo_p999_ms = 0.0;  // unset: no gate, no check
+  ScenarioReport r = MustRun(cfg);
+  ASSERT_EQ(r.slo_checks.size(), 2u);  // one per *configured* gate
+  const telemetry::SloCheck& p50 = r.slo_checks[0];
+  EXPECT_EQ(p50.name, "tick_p50");
+  EXPECT_TRUE(p50.violated);
+  EXPECT_EQ(p50.target_ms, 1e-7);
+  EXPECT_GT(p50.measured_ms, p50.target_ms);
+  EXPECT_NE(p50.ToString().find("[VIOLATED]"), std::string::npos);
+  const telemetry::SloCheck& p99 = r.slo_checks[1];
+  EXPECT_EQ(p99.name, "tick_p99");
+  EXPECT_FALSE(p99.violated);
+  EXPECT_NE(p99.ToString().find("[ok]"), std::string::npos);
+}
+
 TEST(ScenarioSloTest, ReplayModeSkipsSloEvaluation) {
   ScenarioConfig cfg = TestConfig("steady_state");
   cfg.slo_p50_ms = 1e-7;

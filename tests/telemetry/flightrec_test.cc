@@ -1,0 +1,264 @@
+// gamedb.flightrec.v1 diagnostic bundles: a fully-populated render (rules +
+// SLO checks + series + embedded telemetry doc + trace + plans) must pass
+// the independent validating parser and re-parse to the exact inputs; the
+// validator's negative space (wrong schema tag, missing sections, unsorted
+// or ragged series, out-of-vocabulary enums) must all be rejected with the
+// schema-violation error prefix.
+
+#include "telemetry/bundle.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace gamedb::telemetry {
+namespace {
+
+using json::JsonValue;
+using json::ParseJson;
+
+/// The smallest structurally-valid bundle; negatives are built by
+/// perturbing one section at a time.
+const char kMinimalBundle[] = R"({
+  "schema": "gamedb.flightrec.v1",
+  "trigger": {"reason": "manual", "tick": 7, "scenario": "test"},
+  "rules": [],
+  "slo": [],
+  "series": [],
+  "metrics": null,
+  "trace": [],
+  "plans": []
+}
+)";
+
+std::string Replace(const std::string& doc, const std::string& from,
+                    const std::string& to) {
+  std::string out = doc;
+  const size_t pos = out.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  if (pos != std::string::npos) out.replace(pos, from.size(), to);
+  return out;
+}
+
+TEST(FlightRecBundleTest, MinimalDocumentValidates) {
+  EXPECT_TRUE(ValidateFlightRecorderBundle(kMinimalBundle).ok());
+}
+
+TEST(FlightRecBundleTest, EmptyInputsRenderValidates) {
+  BundleInputs inputs;
+  inputs.reason = "manual";
+  inputs.tick = 1;
+  inputs.scenario = "empty";
+  const std::string doc = RenderFlightRecorderBundle(inputs);
+  EXPECT_TRUE(ValidateFlightRecorderBundle(doc).ok()) << doc;
+}
+
+TEST(FlightRecBundleTest, FullBundleRoundTrips) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* c = registry.GetCounter("work.done");
+  Histogram* h = registry.GetHistogram("work.lat_ns");
+  FlightRecorder recorder(&registry);
+  recorder.SetEnabled(true);
+  Watchdog watchdog(&recorder);
+  HealthRule rule;
+  rule.name = "too_much_work";
+  rule.metric = "work.done";
+  rule.aggregation = Aggregation::kLast;
+  rule.above = true;
+  rule.threshold = 5.0;
+  rule.severity = Severity::kCritical;
+  watchdog.AddRule(rule);
+
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  for (uint64_t t = 1; t <= 3; ++t) {
+    { TraceSpan span(&tracer, "tick"); }
+    c->Add(t * 4);  // 4, 8, 12 — breaches from tick 2 on
+    h->Record(1000 * t);
+    recorder.Sample(t);
+    watchdog.Evaluate(t);
+  }
+
+  BundleInputs inputs;
+  inputs.reason = "watchdog";
+  inputs.tick = 3;
+  inputs.scenario = "unit";
+  inputs.recorder = &recorder;
+  inputs.watchdog = &watchdog;
+  inputs.metrics = &registry;
+  inputs.tracer = &tracer;
+  SloCheck check;
+  check.name = "tick_p99";
+  check.target_ms = 5.0;
+  check.measured_ms = 7.25;
+  check.violated = true;
+  inputs.slo_checks.push_back(check);
+  inputs.hot_plans.push_back("plan:\n  full_scan of Work\n");
+
+  const std::string doc = RenderFlightRecorderBundle(inputs);
+  ASSERT_TRUE(ValidateFlightRecorderBundle(doc).ok()) << doc;
+
+  // Independent re-parse: the values that went in come back out.
+  auto parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& root = *parsed;
+  EXPECT_EQ(root.Find("schema")->str, kFlightRecSchema);
+  EXPECT_EQ(root.Find("trigger")->Find("reason")->str, "watchdog");
+  EXPECT_EQ(root.Find("trigger")->Find("tick")->number, 3.0);
+
+  const JsonValue* rules = root.Find("rules");
+  ASSERT_EQ(rules->elements.size(), 1u);
+  EXPECT_EQ(rules->elements[0].Find("name")->str, "too_much_work");
+  EXPECT_TRUE(rules->elements[0].Find("tripped")->boolean);
+  EXPECT_EQ(rules->elements[0].Find("last_value")->number, 12.0);
+
+  const JsonValue* slo = root.Find("slo");
+  ASSERT_EQ(slo->elements.size(), 1u);
+  EXPECT_EQ(slo->elements[0].Find("rendered")->str,
+            "tick_p99: measured 7.250 ms vs allowed 5.000 ms [VIOLATED]");
+
+  // The counter series carries the per-tick deltas, not the absolutes.
+  const JsonValue* series = root.Find("series");
+  const JsonValue* work = nullptr;
+  for (const JsonValue& s : series->elements) {
+    if (s.Find("name")->str == "work.done") work = &s;
+  }
+  ASSERT_NE(work, nullptr);
+  EXPECT_EQ(work->Find("kind")->str, "counter_delta");
+  const std::vector<JsonValue>& vals = work->Find("values")->elements;
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_EQ(vals[0].number, 4.0);
+  EXPECT_EQ(vals[1].number, 8.0);
+  EXPECT_EQ(vals[2].number, 12.0);
+
+  EXPECT_EQ(root.Find("metrics")->Find("schema")->str, kTelemetrySchema);
+  EXPECT_EQ(root.Find("trace")->elements.size(), 3u);
+  ASSERT_EQ(root.Find("plans")->elements.size(), 1u);
+  EXPECT_EQ(root.Find("plans")->elements[0].str,
+            "plan:\n  full_scan of Work\n");
+}
+
+TEST(FlightRecBundleTest, ValidatorRejectsNonJson) {
+  Status s = ValidateFlightRecorderBundle("not json at all {");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(FlightRecBundleTest, ValidatorRejectsWrongSchemaTag) {
+  Status s = ValidateFlightRecorderBundle(
+      Replace(kMinimalBundle, "gamedb.flightrec.v1", "gamedb.flightrec.v2"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("schema violation"), std::string::npos);
+}
+
+TEST(FlightRecBundleTest, ValidatorRejectsMissingSections) {
+  for (const char* removal :
+       {R"("rules": [],)", R"("slo": [],)", R"("series": [],)",
+        R"("metrics": null,)", R"("trace": [],)"}) {
+    Status s = ValidateFlightRecorderBundle(
+        Replace(kMinimalBundle, removal, ""));
+    EXPECT_FALSE(s.ok()) << removal;
+  }
+  Status s = ValidateFlightRecorderBundle(Replace(
+      kMinimalBundle, R"("trigger": {"reason": "manual", "tick": 7, )"
+                      R"("scenario": "test"},)",
+      ""));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(FlightRecBundleTest, ValidatorRejectsBadSeries) {
+  // Unsorted by name.
+  Status s = ValidateFlightRecorderBundle(Replace(
+      kMinimalBundle, R"("series": [])",
+      R"("series": [
+    {"name": "b", "kind": "gauge", "ticks": [1], "values": [1]},
+    {"name": "a", "kind": "gauge", "ticks": [1], "values": [1]}
+  ])"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("not sorted"), std::string::npos);
+
+  // ticks/values length mismatch.
+  s = ValidateFlightRecorderBundle(Replace(
+      kMinimalBundle, R"("series": [])",
+      R"("series": [{"name": "a", "kind": "gauge", "ticks": [1, 2],
+                     "values": [1]}])"));
+  EXPECT_FALSE(s.ok());
+
+  // Empty series entry (never-sampled series must be omitted instead).
+  s = ValidateFlightRecorderBundle(Replace(
+      kMinimalBundle, R"("series": [])",
+      R"("series": [{"name": "a", "kind": "gauge", "ticks": [],
+                     "values": []}])"));
+  EXPECT_FALSE(s.ok());
+
+  // Unknown kind.
+  s = ValidateFlightRecorderBundle(Replace(
+      kMinimalBundle, R"("series": [])",
+      R"("series": [{"name": "a", "kind": "rate", "ticks": [1],
+                     "values": [1]}])"));
+  EXPECT_FALSE(s.ok());
+
+  // Ticks must be non-decreasing.
+  s = ValidateFlightRecorderBundle(Replace(
+      kMinimalBundle, R"("series": [])",
+      R"("series": [{"name": "a", "kind": "gauge", "ticks": [5, 3],
+                     "values": [1, 2]}])"));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(FlightRecBundleTest, ValidatorRejectsBadRules) {
+  // Out-of-vocabulary severity.
+  Status s = ValidateFlightRecorderBundle(Replace(
+      kMinimalBundle, R"("rules": [])",
+      R"("rules": [{"name": "r", "rendered": "r: ...", "metric": "m",
+                    "aggregation": "mean", "window": 1, "op": "gt",
+                    "threshold": 1, "severity": "fatal", "for_ticks": 1,
+                    "clear_ticks": 1, "evaluated": true, "tripped": false,
+                    "trip_count": 0, "tripped_tick": 0, "last_value": 0,
+                    "evaluations": 1}])"));
+  EXPECT_FALSE(s.ok());
+
+  // window below 1.
+  s = ValidateFlightRecorderBundle(Replace(
+      kMinimalBundle, R"("rules": [])",
+      R"("rules": [{"name": "r", "rendered": "r: ...", "metric": "m",
+                    "aggregation": "mean", "window": 0, "op": "gt",
+                    "threshold": 1, "severity": "warning", "for_ticks": 1,
+                    "clear_ticks": 1, "evaluated": true, "tripped": false,
+                    "trip_count": 0, "tripped_tick": 0, "last_value": 0,
+                    "evaluations": 1}])"));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(FlightRecBundleTest, ValidatorRejectsBadSloAndPlansAndMetrics) {
+  // SLO entry missing its verdict.
+  Status s = ValidateFlightRecorderBundle(Replace(
+      kMinimalBundle, R"("slo": [])",
+      R"("slo": [{"name": "p99", "rendered": "p99: ...", "target_ms": 5,
+                  "measured_ms": 7}])"));
+  EXPECT_FALSE(s.ok());
+
+  // Plans must be strings.
+  s = ValidateFlightRecorderBundle(
+      Replace(kMinimalBundle, R"("plans": [])", R"("plans": [42])"));
+  EXPECT_FALSE(s.ok());
+
+  // Embedded metrics doc must carry the telemetry schema tag.
+  s = ValidateFlightRecorderBundle(Replace(
+      kMinimalBundle, R"("metrics": null)",
+      R"("metrics": {"schema": "gamedb.telemetry.v9", "counters": {},
+                     "gauges": {}, "histograms": {}})"));
+  EXPECT_FALSE(s.ok());
+
+  // Trace events need non-negative numeric fields.
+  s = ValidateFlightRecorderBundle(Replace(
+      kMinimalBundle, R"("trace": [])",
+      R"("trace": [{"name": "tick", "ts_ns": -1, "dur_ns": 0, "tid": 0}])"));
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace gamedb::telemetry

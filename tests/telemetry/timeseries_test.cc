@@ -1,0 +1,233 @@
+// FlightRecorder: ring-buffer wraparound exactness (oldest samples evicted,
+// survivors byte-exact), counter-delta semantics with prime-on-enable (the
+// first sample records the delta since SetEnabled, not since process
+// start), the disabled-recorder zero-overhead identity (a wired-but-off
+// recorder leaves no observable trace), the max_series bound, and
+// sampling-while-parallel-shards-record — the TSan CI target runs this
+// binary, so the lock-free claim in timeseries.h is a sanitized claim.
+
+#include "telemetry/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gamedb::telemetry {
+namespace {
+
+TEST(FlightRecorderTest, DisabledRecorderIsInert) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* c = registry.GetCounter("c");
+  FlightRecorder recorder(&registry);  // never enabled
+  c->Add(5);
+  recorder.Sample(1);
+  c->Add(5);
+  recorder.Sample(2);
+  EXPECT_EQ(recorder.samples(), 0u);
+  EXPECT_EQ(recorder.series_count(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  FlightRecorder::Series s;
+  EXPECT_FALSE(recorder.Find("c", &s));
+}
+
+TEST(FlightRecorderTest, CounterSeriesRecordsPerTickDeltas) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* c = registry.GetCounter("c");
+  FlightRecorder recorder(&registry);
+  recorder.SetEnabled(true);
+  c->Add(5);
+  recorder.Sample(1);
+  c->Add(3);
+  recorder.Sample(2);
+  recorder.Sample(3);  // no activity: delta 0, not the absolute 8
+
+  FlightRecorder::Series s;
+  ASSERT_TRUE(recorder.Find("c", &s));
+  EXPECT_EQ(s.kind, SeriesKind::kCounterDelta);
+  ASSERT_EQ(s.ticks.size(), 3u);
+  EXPECT_EQ(s.ticks, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(s.values, (std::vector<double>{5.0, 3.0, 0.0}));
+}
+
+TEST(FlightRecorderTest, EnablePrimesCounterBaselines) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* c = registry.GetCounter("c");
+  c->Add(100);  // pre-enable history must not leak into the first delta
+  FlightRecorder recorder(&registry);
+  recorder.SetEnabled(true);
+  c->Add(7);
+  recorder.Sample(1);
+  FlightRecorder::Series s;
+  ASSERT_TRUE(recorder.Find("c", &s));
+  ASSERT_EQ(s.values.size(), 1u);
+  EXPECT_EQ(s.values[0], 7.0);
+}
+
+TEST(FlightRecorderTest, GaugeSeriesRecordsSampledLevel) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Gauge* g = registry.GetGauge("g");
+  FlightRecorder recorder(&registry);
+  recorder.SetEnabled(true);
+  g->Set(42);
+  recorder.Sample(1);
+  g->Set(17);
+  recorder.Sample(2);
+  FlightRecorder::Series s;
+  ASSERT_TRUE(recorder.Find("g:gauge", &s));
+  EXPECT_EQ(s.kind, SeriesKind::kGauge);
+  EXPECT_EQ(s.values, (std::vector<double>{42.0, 17.0}));
+}
+
+TEST(FlightRecorderTest, HistogramYieldsPercentileAndCountSeries) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Histogram* h = registry.GetHistogram("h");
+  FlightRecorder recorder(&registry);
+  recorder.SetEnabled(true);
+  for (int i = 1; i <= 100; ++i) h->Record(static_cast<uint64_t>(i * 10));
+  recorder.Sample(1);
+  for (int i = 0; i < 5; ++i) h->Record(1000);
+  recorder.Sample(2);
+
+  FlightRecorder::Series p50, p99, p999, count;
+  ASSERT_TRUE(recorder.Find("h:p50", &p50));
+  ASSERT_TRUE(recorder.Find("h:p99", &p99));
+  ASSERT_TRUE(recorder.Find("h:p999", &p999));
+  ASSERT_TRUE(recorder.Find("h:count", &count));
+  EXPECT_EQ(p50.kind, SeriesKind::kHistP50);
+  EXPECT_EQ(p99.kind, SeriesKind::kHistP99);
+  EXPECT_EQ(p999.kind, SeriesKind::kHistP999);
+  EXPECT_EQ(count.kind, SeriesKind::kHistCount);
+  // Percentiles are absolutes over the cumulative distribution; counts
+  // are per-tick deltas.
+  EXPECT_EQ(count.values, (std::vector<double>{100.0, 5.0}));
+  ASSERT_EQ(p50.values.size(), 2u);
+  EXPECT_GT(p50.values[0], 0.0);
+  EXPECT_GE(p99.values[0], p50.values[0]);
+  EXPECT_GE(p999.values[0], p99.values[0]);
+}
+
+TEST(FlightRecorderTest, RingWraparoundKeepsNewestExactly) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* c = registry.GetCounter("c");
+  FlightRecorder::Options opts;
+  opts.capacity = 4;
+  FlightRecorder recorder(&registry, opts);
+  recorder.SetEnabled(true);
+  for (uint64_t t = 1; t <= 10; ++t) {
+    c->Add(t);  // delta at tick t is exactly t
+    recorder.Sample(t);
+  }
+  FlightRecorder::Series s;
+  ASSERT_TRUE(recorder.Find("c", &s));
+  // Only the newest `capacity` ticks survive, oldest -> newest, exact.
+  EXPECT_EQ(s.ticks, (std::vector<uint64_t>{7, 8, 9, 10}));
+  EXPECT_EQ(s.values, (std::vector<double>{7.0, 8.0, 9.0, 10.0}));
+  EXPECT_EQ(recorder.samples(), 10u);
+}
+
+TEST(FlightRecorderTest, MaxSeriesBoundDropsExcessInstruments) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  FlightRecorder::Options opts;
+  opts.max_series = 2;
+  FlightRecorder recorder(&registry, opts);
+  recorder.SetEnabled(true);
+  for (int i = 0; i < 5; ++i) {
+    registry.GetCounter("c" + std::to_string(i))->Add(1);
+  }
+  recorder.Sample(1);
+  EXPECT_EQ(recorder.series_count(), 2u);
+  EXPECT_GT(recorder.dropped_series(), 0u);
+  recorder.Sample(2);  // dropped instruments stay dropped, bound holds
+  EXPECT_EQ(recorder.series_count(), 2u);
+}
+
+TEST(FlightRecorderTest, SnapshotSortedByName) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  registry.GetCounter("zeta");
+  registry.GetCounter("alpha");
+  registry.GetGauge("mid");
+  FlightRecorder recorder(&registry);
+  recorder.SetEnabled(true);
+  recorder.Sample(1);
+  std::vector<FlightRecorder::Series> all = recorder.Snapshot();
+  ASSERT_GE(all.size(), 3u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].name, all[i].name);
+  }
+}
+
+TEST(FlightRecorderTest, DisableFreezesRings) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* c = registry.GetCounter("c");
+  FlightRecorder recorder(&registry);
+  recorder.SetEnabled(true);
+  c->Add(1);
+  recorder.Sample(1);
+  recorder.SetEnabled(false);
+  c->Add(99);
+  recorder.Sample(2);  // must be the one-relaxed-load-and-out path
+  FlightRecorder::Series s;
+  ASSERT_TRUE(recorder.Find("c", &s));
+  EXPECT_EQ(s.ticks, (std::vector<uint64_t>{1}));
+  EXPECT_EQ(recorder.samples(), 1u);
+}
+
+// The lock-free sampling claim: parallel shards hammer instruments while
+// the sequential point samples. TSan runs this binary; the assertion is
+// that every increment lands in exactly one tick's delta (the deltas sum
+// to the grand total).
+TEST(FlightRecorderTest, SampleWhileParallelShardsRecord) {
+  MetricsRegistry registry;
+  registry.SetEnabled(true);
+  Counter* c = registry.GetCounter("shard.work");
+  Histogram* h = registry.GetHistogram("shard.lat");
+  FlightRecorder::Options opts;
+  opts.capacity = 4096;
+  FlightRecorder recorder(&registry, opts);
+  recorder.SetEnabled(true);
+
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> shards;
+  shards.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    shards.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (uint64_t j = 0; j < kPerThread; ++j) {
+        c->Add(1);
+        h->Record(j & 0x3FF);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (uint64_t t = 1; t <= 200; ++t) recorder.Sample(t);
+  for (std::thread& th : shards) th.join();
+  recorder.Sample(201);  // drain the tail after the shards quiesce
+
+  FlightRecorder::Series s;
+  ASSERT_TRUE(recorder.Find("shard.work", &s));
+  double sum = 0.0;
+  for (double v : s.values) sum += v;
+  EXPECT_EQ(sum, static_cast<double>(kThreads) * kPerThread);
+  ASSERT_TRUE(recorder.Find("shard.lat:count", &s));
+  sum = 0.0;
+  for (double v : s.values) sum += v;
+  EXPECT_EQ(sum, static_cast<double>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace gamedb::telemetry

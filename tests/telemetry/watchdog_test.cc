@@ -1,0 +1,242 @@
+// Watchdog: rule evaluation over flight-recorder series — trip / no-trip,
+// every aggregation, the for_ticks / clear_ticks hysteresis contract (one
+// noisy tick neither fires nor silences), missing-series semantics
+// (configured-but-silent, never tripped), and the --watch rule-spec parser
+// including its negative space (the 8-part spec is specifically invalid:
+// FOR and CLEAR come as a pair or not at all).
+
+#include "telemetry/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gamedb::telemetry {
+namespace {
+
+/// A registry+recorder pair the tests feed one gauge through: gauges
+/// record absolutes, so a test can drive the series to exact values.
+struct Rig {
+  MetricsRegistry registry;
+  Gauge* gauge = nullptr;
+  FlightRecorder recorder;
+
+  Rig() : recorder(&registry) {
+    registry.SetEnabled(true);
+    gauge = registry.GetGauge("load");
+    recorder.SetEnabled(true);
+  }
+
+  void Tick(uint64_t t, int64_t value, Watchdog* dog) {
+    gauge->Set(value);
+    recorder.Sample(t);
+    dog->Evaluate(t);
+  }
+};
+
+HealthRule GaugeRule(Aggregation agg, size_t window, bool above,
+                     double threshold) {
+  HealthRule r;
+  r.name = "r";
+  r.metric = "load:gauge";
+  r.aggregation = agg;
+  r.window = window;
+  r.above = above;
+  r.threshold = threshold;
+  return r;
+}
+
+TEST(WatchdogTest, TripsOnBreachAndReportsNewlyTripped) {
+  Rig rig;
+  Watchdog dog(&rig.recorder);
+  dog.AddRule(GaugeRule(Aggregation::kLast, 1, /*above=*/true, 100.0));
+  rig.gauge->Set(50);
+  rig.recorder.Sample(1);
+  EXPECT_TRUE(dog.Evaluate(1).empty());
+  EXPECT_FALSE(dog.AnyTripped());
+
+  rig.gauge->Set(150);
+  rig.recorder.Sample(2);
+  std::vector<std::string> newly = dog.Evaluate(2);
+  ASSERT_EQ(newly.size(), 1u);
+  EXPECT_EQ(newly[0], "r");
+  EXPECT_TRUE(dog.AnyTripped());
+  EXPECT_EQ(dog.total_trips(), 1u);
+  const RuleStatus& st = dog.status()[0];
+  EXPECT_TRUE(st.tripped);
+  EXPECT_EQ(st.tripped_tick, 2u);
+  EXPECT_EQ(st.last_value, 150.0);
+  EXPECT_EQ(st.evaluations, 2u);
+}
+
+TEST(WatchdogTest, BelowRuleTripsWhenValueDrops) {
+  Rig rig;
+  Watchdog dog(&rig.recorder);
+  dog.AddRule(GaugeRule(Aggregation::kLast, 1, /*above=*/false, 10.0));
+  rig.Tick(1, 50, &dog);
+  EXPECT_FALSE(dog.AnyTripped());
+  rig.Tick(2, 5, &dog);
+  EXPECT_TRUE(dog.AnyTripped());
+}
+
+TEST(WatchdogTest, AggregationsOverWindow) {
+  // Series: 10, 20, 60 — window 3.
+  struct Case {
+    Aggregation agg;
+    double expected;
+  };
+  const Case cases[] = {
+      {Aggregation::kLast, 60.0}, {Aggregation::kMean, 30.0},
+      {Aggregation::kMin, 10.0},  {Aggregation::kMax, 60.0},
+      {Aggregation::kSum, 90.0},
+  };
+  for (const Case& c : cases) {
+    Rig rig;
+    Watchdog dog(&rig.recorder);
+    // Threshold just below the expected aggregate: the rule must trip on
+    // the final tick precisely when the aggregation matches.
+    dog.AddRule(GaugeRule(c.agg, 3, /*above=*/true, c.expected - 0.5));
+    rig.Tick(1, 10, &dog);
+    rig.Tick(2, 20, &dog);
+    rig.Tick(3, 60, &dog);
+    EXPECT_TRUE(dog.AnyTripped()) << AggregationName(c.agg);
+    EXPECT_EQ(dog.status()[0].last_value, c.expected)
+        << AggregationName(c.agg);
+  }
+}
+
+TEST(WatchdogTest, WindowLargerThanHistoryAggregatesWhatExists) {
+  Rig rig;
+  Watchdog dog(&rig.recorder);
+  dog.AddRule(GaugeRule(Aggregation::kSum, 100, /*above=*/true, 29.0));
+  rig.Tick(1, 10, &dog);
+  EXPECT_FALSE(dog.AnyTripped());  // sum over the 1 existing point = 10
+  rig.Tick(2, 20, &dog);
+  EXPECT_TRUE(dog.AnyTripped());  // 10 + 20 = 30 > 29
+}
+
+TEST(WatchdogTest, MissingSeriesIsSilentNotTripped) {
+  Rig rig;
+  Watchdog dog(&rig.recorder);
+  HealthRule r = GaugeRule(Aggregation::kLast, 1, true, 0.0);
+  r.metric = "no.such.series";
+  dog.AddRule(r);
+  rig.Tick(1, 999, &dog);
+  EXPECT_FALSE(dog.AnyTripped());
+  EXPECT_FALSE(dog.status()[0].evaluated);
+  // A visit to a missing series is not an evaluation: the pair
+  // (evaluated=false, evaluations=0) reads as "never found its series".
+  EXPECT_EQ(dog.status()[0].evaluations, 0u);
+}
+
+TEST(WatchdogTest, ForTicksRequiresConsecutiveBreaches) {
+  Rig rig;
+  Watchdog dog(&rig.recorder);
+  HealthRule r = GaugeRule(Aggregation::kLast, 1, true, 100.0);
+  r.for_ticks = 3;
+  dog.AddRule(r);
+  rig.Tick(1, 150, &dog);
+  rig.Tick(2, 150, &dog);
+  EXPECT_FALSE(dog.AnyTripped());  // 2 of 3
+  rig.Tick(3, 50, &dog);           // healthy tick resets the streak
+  rig.Tick(4, 150, &dog);
+  rig.Tick(5, 150, &dog);
+  EXPECT_FALSE(dog.AnyTripped());
+  rig.Tick(6, 150, &dog);
+  EXPECT_TRUE(dog.AnyTripped());
+  EXPECT_EQ(dog.status()[0].tripped_tick, 6u);
+}
+
+TEST(WatchdogTest, ClearTicksRequiresConsecutiveHealthy) {
+  Rig rig;
+  Watchdog dog(&rig.recorder);
+  HealthRule r = GaugeRule(Aggregation::kLast, 1, true, 100.0);
+  r.clear_ticks = 2;
+  dog.AddRule(r);
+  rig.Tick(1, 150, &dog);
+  EXPECT_TRUE(dog.AnyTripped());
+  rig.Tick(2, 50, &dog);
+  EXPECT_TRUE(dog.AnyTripped());  // 1 healthy of 2: still an incident
+  rig.Tick(3, 150, &dog);         // breach resets the clear streak
+  rig.Tick(4, 50, &dog);
+  EXPECT_TRUE(dog.AnyTripped());
+  rig.Tick(5, 50, &dog);
+  EXPECT_FALSE(dog.AnyTripped());
+  // Re-trip after clearing counts as a new trip.
+  rig.Tick(6, 150, &dog);
+  EXPECT_TRUE(dog.AnyTripped());
+  EXPECT_EQ(dog.total_trips(), 2u);
+}
+
+TEST(WatchdogTest, MaxTrippedSeverityPicksHighest) {
+  Rig rig;
+  Watchdog dog(&rig.recorder);
+  HealthRule info = GaugeRule(Aggregation::kLast, 1, true, 10.0);
+  info.name = "i";
+  info.severity = Severity::kInfo;
+  HealthRule crit = GaugeRule(Aggregation::kLast, 1, true, 20.0);
+  crit.name = "c";
+  crit.severity = Severity::kCritical;
+  dog.AddRule(info);
+  dog.AddRule(crit);
+  rig.Tick(1, 15, &dog);  // only the info rule breaches
+  EXPECT_EQ(dog.MaxTrippedSeverity(), Severity::kInfo);
+  rig.Tick(2, 25, &dog);  // now both
+  EXPECT_EQ(dog.MaxTrippedSeverity(), Severity::kCritical);
+}
+
+TEST(WatchdogTest, ParseFullSpecRoundTrips) {
+  auto r = ParseHealthRule(
+      "tick_p99,loadgen.tick_ns:p99,mean,30,gt,5000000,critical,3,5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->name, "tick_p99");
+  EXPECT_EQ(r->metric, "loadgen.tick_ns:p99");
+  EXPECT_EQ(r->aggregation, Aggregation::kMean);
+  EXPECT_EQ(r->window, 30u);
+  EXPECT_TRUE(r->above);
+  EXPECT_EQ(r->threshold, 5000000.0);
+  EXPECT_EQ(r->severity, Severity::kCritical);
+  EXPECT_EQ(r->for_ticks, 3u);
+  EXPECT_EQ(r->clear_ticks, 5u);
+  EXPECT_EQ(r->ToString(),
+            "tick_p99: mean(loadgen.tick_ns:p99, 30) > 5000000 "
+            "[critical, for 3, clear 5]");
+}
+
+TEST(WatchdogTest, ParseDefaultsSeverityAndHysteresis) {
+  auto r = ParseHealthRule("low_fps,fps:gauge,min,10,lt,30");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->above);
+  EXPECT_EQ(r->severity, Severity::kWarning);
+  EXPECT_EQ(r->for_ticks, 1u);
+  EXPECT_EQ(r->clear_ticks, 1u);
+  auto r7 = ParseHealthRule("low_fps,fps:gauge,min,10,lt,30,info");
+  ASSERT_TRUE(r7.ok());
+  EXPECT_EQ(r7->severity, Severity::kInfo);
+}
+
+TEST(WatchdogTest, ParseRejectsMalformedSpecs) {
+  // Too few parts, and the specifically-invalid 8-part form (FOR without
+  // CLEAR).
+  EXPECT_FALSE(ParseHealthRule("").ok());
+  EXPECT_FALSE(ParseHealthRule("a,b,last,1,gt").ok());
+  EXPECT_FALSE(ParseHealthRule("a,b,last,1,gt,5,warning,3").ok());
+  EXPECT_FALSE(
+      ParseHealthRule("a,b,last,1,gt,5,warning,3,5,extra").ok());
+  // Bad enum values and numbers.
+  EXPECT_FALSE(ParseHealthRule("a,b,median,1,gt,5").ok());
+  EXPECT_FALSE(ParseHealthRule("a,b,last,1,ge,5").ok());
+  EXPECT_FALSE(ParseHealthRule("a,b,last,1,gt,5,fatal").ok());
+  EXPECT_FALSE(ParseHealthRule("a,b,last,0,gt,5").ok());
+  EXPECT_FALSE(ParseHealthRule("a,b,last,x,gt,5").ok());
+  EXPECT_FALSE(ParseHealthRule("a,b,last,1,gt,oops").ok());
+  EXPECT_FALSE(ParseHealthRule("a,b,last,1,gt,5,warning,0,1").ok());
+  // Empty name or metric.
+  EXPECT_FALSE(ParseHealthRule(",b,last,1,gt,5").ok());
+  EXPECT_FALSE(ParseHealthRule("a,,last,1,gt,5").ok());
+}
+
+}  // namespace
+}  // namespace gamedb::telemetry

@@ -11,6 +11,13 @@
 /// file are reported but never fail the diff — adding or retiring a bench
 /// is not a regression.
 ///
+/// `gamedb.e15.v1` scenario reports (loadgen's BENCH_e15_*.json) are also
+/// accepted on either side: their timing section is synthesized into
+/// benchmark-shaped entries named `<scenario>/<phase>_<stat>` (e.g.
+/// "steady_state/tick_ns_p99"), so CI can regression-gate scenario
+/// latency with the same tool and threshold machinery it gates
+/// microbenchmarks with.
+///
 /// Exit codes: 0 no regression; 1 usage / unreadable or malformed input;
 /// 2 at least one benchmark regressed past the threshold.
 
@@ -47,10 +54,44 @@ double UnitScale(const std::string& unit) {
   return -1.0;
 }
 
+/// Synthesizes benchmark-shaped entries from a gamedb.e15.v1 scenario
+/// report: every percentile/mean/max of every timing phase becomes one
+/// entry named "<scenario>/<phase>_<stat>". The nested slo object and the
+/// sample counts are skipped — counts are workload facts, not latencies.
+Result<std::map<std::string, BenchEntry>> LoadE15Json(const std::string& path,
+                                                      const JsonValue& doc) {
+  const JsonValue* config = doc.Find("config");
+  const JsonValue* timing = doc.Find("timing");
+  if (config == nullptr || !config->Is(JsonValue::Kind::kObject) ||
+      timing == nullptr || !timing->Is(JsonValue::Kind::kObject)) {
+    return Status::ParseError(path + ": e15 report missing config/timing");
+  }
+  const JsonValue* scenario = config->Find("scenario");
+  if (scenario == nullptr || !scenario->Is(JsonValue::Kind::kString)) {
+    return Status::ParseError(path + ": e15 config.scenario missing");
+  }
+  std::map<std::string, BenchEntry> out;
+  for (const auto& [phase, hist] : timing->members) {
+    if (phase == "slo" || !hist.Is(JsonValue::Kind::kObject)) continue;
+    for (const char* stat : {"p50", "p99", "p999", "max", "mean"}) {
+      const JsonValue* v = hist.Find(stat);
+      if (v == nullptr || !v->Is(JsonValue::Kind::kNumber)) continue;
+      BenchEntry e;
+      e.real_time_ns = v->number;  // timing section is already in ns
+      e.cpu_time_ns = v->number;
+      out[scenario->str + "/" + phase + "_" + stat] = e;
+    }
+  }
+  if (out.empty()) {
+    return Status::ParseError(path + ": e15 timing section has no phases");
+  }
+  return out;
+}
+
 /// Loads `path` and extracts name -> times from its "benchmarks" array.
 /// Aggregate rows (mean/median/stddev from --benchmark_repetitions) are
 /// skipped: comparing a raw run against an aggregate would be apples to
-/// oranges.
+/// oranges. gamedb.e15.v1 scenario reports are dispatched to LoadE15Json.
 Result<std::map<std::string, BenchEntry>> LoadBenchJson(
     const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -61,6 +102,11 @@ Result<std::map<std::string, BenchEntry>> LoadBenchJson(
   GAMEDB_ASSIGN_OR_RETURN(doc, ParseJson(buffer.str()));
   if (!doc.Is(JsonValue::Kind::kObject)) {
     return Status::ParseError(path + ": top level is not an object");
+  }
+  const JsonValue* schema = doc.Find("schema");
+  if (schema != nullptr && schema->Is(JsonValue::Kind::kString) &&
+      schema->str == "gamedb.e15.v1") {
+    return LoadE15Json(path, doc);
   }
   const JsonValue* benches = doc.Find("benchmarks");
   if (benches == nullptr || !benches->Is(JsonValue::Kind::kArray)) {

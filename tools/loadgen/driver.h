@@ -97,6 +97,8 @@ class Driver {
   const script::DiagnosticSink& script_diagnostics() const {
     return host_->diagnostics();
   }
+  /// The shard's planner (EXPLAIN ANALYZE of hot plans for bundles).
+  planner::QueryPlanner& planner() { return planner_; }
   Vec3 RandomPoint();
   /// Per-scenario scratch (e.g. chase quarry assignments).
   std::vector<EntityId> scratch;
@@ -131,6 +133,16 @@ class Driver {
   // Latency accumulators (unused when !cfg_.collect_timing).
   LatencyHistogram tick_hist_, script_hist_, maintain_hist_, sync_hist_,
       persist_hist_;
+
+  // Harness-level registry instruments (null without a metrics sink); the
+  // per-tick series the watchdog's default SLO rules are written against.
+  telemetry::Histogram* m_tick_ns_ = nullptr;
+  telemetry::Histogram* m_script_ns_ = nullptr;
+  telemetry::Histogram* m_sync_ns_ = nullptr;
+  telemetry::Histogram* m_persist_ns_ = nullptr;
+  telemetry::Counter* m_sync_bytes_ = nullptr;
+  telemetry::Gauge* m_entities_ = nullptr;
+  telemetry::Gauge* m_clients_ = nullptr;
 };
 
 }  // namespace gamedb::loadgen

@@ -22,8 +22,11 @@
 #include "loadgen/driver.h"
 #include "loadgen/metrics.h"
 #include "loadgen/scenario.h"
+#include "telemetry/bundle.h"
 #include "telemetry/registry.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
+#include "telemetry/watchdog.h"
 
 namespace {
 
@@ -57,7 +60,24 @@ void PrintUsage() {
                "  --trace=FILE        write a chrome://tracing span trace "
                "(trace_event JSON)\n"
                "  --metrics=FILE      write a gamedb.telemetry.v1 metrics "
-               "snapshot\n");
+               "snapshot\n"
+               "  --flightrec=FILE    arm the flight recorder + watchdog; "
+               "dump a gamedb.flightrec.v1\n"
+               "                      bundle to FILE on SLO breach, watchdog "
+               "trip, or run failure\n"
+               "                      (not combinable with --trace: bundles "
+               "keep only the last tick's spans)\n"
+               "  --slo-p50=MS        override the scenario's tick p50 SLO "
+               "(0 disables)\n"
+               "  --slo-p99=MS        override the scenario's tick p99 SLO\n"
+               "  --slo-p999=MS       override the scenario's tick p99.9 "
+               "SLO\n"
+               "  --watch=SPEC        add a watchdog rule (repeatable): "
+               "NAME,METRIC,AGG,WINDOW,\n"
+               "                      OP,THRESHOLD[,SEVERITY[,FOR,CLEAR]] — "
+               "e.g.\n"
+               "                      stall,loadgen.tick_ns:p99,last,1,gt,"
+               "5e6,critical\n");
 }
 
 bool ParseUint(const std::string& v, uint64_t* out) {
@@ -74,7 +94,11 @@ struct CliOptions {
   std::string out_dir;
   std::string trace_path;
   std::string metrics_path;
-  /// Live taps owned by main() when --trace/--metrics were given.
+  std::string flightrec_path;
+  /// Extra watchdog rules from --watch, pre-parsed at argv time.
+  std::vector<gamedb::telemetry::HealthRule> watch_rules;
+  /// Live taps owned by main() when --trace/--metrics/--flightrec were
+  /// given.
   gamedb::telemetry::MetricsRegistry* metrics = nullptr;
   gamedb::telemetry::Tracer* tracer = nullptr;
   bool list = false;
@@ -87,9 +111,21 @@ struct CliOptions {
   // defaults (DefaultConfig) survive untouched flags.
   bool has_clients = false, has_npcs = false, has_ticks = false;
   bool has_seed = false, has_threads = false, has_planner = false;
+  bool has_slo_p50 = false, has_slo_p99 = false, has_slo_p999 = false;
   uint64_t clients = 0, npcs = 0, ticks = 0, seed = 0, threads = 0;
+  double slo_p50_ms = 0.0, slo_p99_ms = 0.0, slo_p999_ms = 0.0;
   bool planner_on = true;
+  /// True when more than one scenario runs (--scenario=all): bundle files
+  /// get a per-scenario suffix so runs don't overwrite each other.
+  bool multi_scenario = false;
 };
+
+bool ParseMs(const std::string& v, double* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(v.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts) {
   for (int i = 1; i < argc; ++i) {
@@ -125,6 +161,27 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     } else if (eat("--metrics")) {
       if (value.empty()) return false;
       opts->metrics_path = value;
+    } else if (eat("--flightrec")) {
+      if (value.empty()) return false;
+      opts->flightrec_path = value;
+    } else if (eat("--watch")) {
+      Result<gamedb::telemetry::HealthRule> rule =
+          gamedb::telemetry::ParseHealthRule(value);
+      if (!rule.ok()) {
+        std::fprintf(stderr, "loadgen: %s\n",
+                     rule.status().ToString().c_str());
+        return false;
+      }
+      opts->watch_rules.push_back(rule.value());
+    } else if (eat("--slo-p50")) {
+      if (!ParseMs(value, &opts->slo_p50_ms)) return false;
+      opts->has_slo_p50 = true;
+    } else if (eat("--slo-p99")) {
+      if (!ParseMs(value, &opts->slo_p99_ms)) return false;
+      opts->has_slo_p99 = true;
+    } else if (eat("--slo-p999")) {
+      if (!ParseMs(value, &opts->slo_p999_ms)) return false;
+      opts->has_slo_p999 = true;
     } else if (eat("--clients")) {
       if (!ParseUint(value, &opts->clients)) return false;
       opts->has_clients = true;
@@ -154,6 +211,25 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
   return true;
 }
 
+int WriteTelemetryArtifact(const std::string& path, const std::string& content,
+                           const char* what,
+                           Status (*validate)(const std::string&));
+
+/// Bundle file path for `name`: --flightrec's path, with ".<scenario>"
+/// inserted before the extension on a multi-scenario sweep so runs don't
+/// overwrite each other.
+std::string BundlePathFor(const CliOptions& opts, const std::string& name) {
+  if (!opts.multi_scenario) return opts.flightrec_path;
+  const std::string& path = opts.flightrec_path;
+  size_t dot = path.rfind('.');
+  size_t slash = path.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "." + name;
+  }
+  return path.substr(0, dot) + "." + name + path.substr(dot);
+}
+
 /// Runs one scenario; returns its exit code contribution (0/1/2/3).
 int RunOne(const std::string& name, const CliOptions& opts) {
   Result<ScenarioConfig> cfg_or = DefaultConfig(name);
@@ -169,15 +245,79 @@ int RunOne(const std::string& name, const CliOptions& opts) {
   if (opts.has_seed) cfg.seed = opts.seed;
   if (opts.has_threads) cfg.threads = opts.threads;
   if (opts.has_planner) cfg.planner_on = opts.planner_on;
+  if (opts.has_slo_p50) cfg.slo_p50_ms = opts.slo_p50_ms;
+  if (opts.has_slo_p99) cfg.slo_p99_ms = opts.slo_p99_ms;
+  if (opts.has_slo_p999) cfg.slo_p999_ms = opts.slo_p999_ms;
   cfg.strict_scripts = opts.strict_scripts;
   cfg.collect_timing = !opts.deterministic;
   cfg.metrics = opts.metrics;
   cfg.tracer = opts.tracer;
 
+  // Flight recorder + watchdog, armed per scenario (the registry above is
+  // shared, so delta baselines are primed at enable; ticks restart at 1
+  // each scenario, which a per-run recorder keeps monotonic).
+  gamedb::telemetry::FlightRecorder recorder(opts.metrics);
+  gamedb::telemetry::Watchdog watchdog(&recorder);
+  std::vector<std::string> hot_plans;
+  const bool flightrec = !opts.flightrec_path.empty();
+  if (flightrec) {
+    recorder.SetEnabled(true);
+    cfg.recorder = &recorder;
+    cfg.watchdog = &watchdog;
+    cfg.hot_plans_out = &hot_plans;
+    cfg.trace_last_tick_only = true;
+    // The scenario's SLO targets double as default watchdog rules over the
+    // harness tick histogram, so a breach is visible the tick it develops
+    // — not just in the post-run verdict.
+    auto slo_rule = [&](const char* rule_name, const char* metric,
+                       double target_ms) {
+      if (target_ms <= 0.0) return;
+      gamedb::telemetry::HealthRule r;
+      r.name = rule_name;
+      r.metric = metric;
+      r.aggregation = gamedb::telemetry::Aggregation::kLast;
+      r.window = 1;
+      r.above = true;
+      r.threshold = target_ms * 1e6;  // ms -> ns, the histogram's unit
+      r.severity = gamedb::telemetry::Severity::kCritical;
+      watchdog.AddRule(r);
+    };
+    if (cfg.collect_timing) {
+      slo_rule("slo_tick_p50", "loadgen.tick_ns:p50", cfg.slo_p50_ms);
+      slo_rule("slo_tick_p99", "loadgen.tick_ns:p99", cfg.slo_p99_ms);
+      slo_rule("slo_tick_p999", "loadgen.tick_ns:p999", cfg.slo_p999_ms);
+    }
+    for (const auto& rule : opts.watch_rules) watchdog.AddRule(rule);
+  }
+  auto dump_bundle =
+      [&](const std::string& reason, uint64_t tick,
+          const std::vector<gamedb::telemetry::SloCheck>& checks) {
+        gamedb::telemetry::BundleInputs in;
+        in.reason = reason;
+        in.tick = tick;
+        in.scenario = name;
+        in.recorder = &recorder;
+        in.watchdog = &watchdog;
+        in.metrics = opts.metrics;
+        in.tracer = opts.tracer;
+        in.slo_checks = checks;
+        in.hot_plans = hot_plans;
+        return WriteTelemetryArtifact(
+            BundlePathFor(opts, name),
+            gamedb::telemetry::RenderFlightRecorderBundle(in), "flightrec",
+            &gamedb::telemetry::ValidateFlightRecorderBundle);
+      };
+
   Result<ScenarioReport> report_or = RunScenario(cfg);
   if (!report_or.ok()) {
     std::fprintf(stderr, "loadgen: %s: %s\n", name.c_str(),
                  report_or.status().ToString().c_str());
+    // A failed run (e.g. the crash-recovery differential) is exactly when
+    // the evidence matters: dump the bundle before bailing.
+    if (flightrec) {
+      dump_bundle("run_failure: " + report_or.status().ToString(),
+                  cfg.ticks, {});
+    }
     return 1;
   }
   const ScenarioReport& report = report_or.value();
@@ -214,9 +354,19 @@ int RunOne(const std::string& name, const CliOptions& opts) {
     }
   }
   if (report.slo_evaluated && report.slo_violated) {
-    std::fprintf(stderr, "loadgen: %s: SLO VIOLATED: %s\n", name.c_str(),
-                 report.slo_detail.c_str());
+    // Name the tripping gates with measured-vs-allowed evidence — the exit
+    // code alone is not a diagnosis.
+    std::fprintf(stderr, "loadgen: %s: SLO VIOLATED:\n", name.c_str());
+    for (const auto& check : report.slo_checks) {
+      std::fprintf(stderr, "loadgen:   %s\n", check.ToString().c_str());
+    }
     if (opts.enforce_slo && rc == 0) rc = 3;
+  }
+  if (flightrec &&
+      (report.slo_violated || watchdog.total_trips() > 0)) {
+    int one = dump_bundle(report.slo_violated ? "slo_breach" : "watchdog",
+                          cfg.ticks, report.slo_checks);
+    if (one != 0 && (rc == 0 || one < rc)) rc = one;
   }
   return rc;
 }
@@ -299,6 +449,22 @@ int main(int argc, char** argv) {
     tracer.SetEnabled(true);
     opts.tracer = &tracer;
   }
+  if (!opts.flightrec_path.empty()) {
+    if (!opts.trace_path.empty()) {
+      std::fprintf(stderr,
+                   "loadgen: --flightrec and --trace are mutually exclusive "
+                   "(bundles keep only the current tick's spans; a whole-run "
+                   "trace needs them all)\n");
+      return 1;
+    }
+    // The recorder samples the registry and bundles embed the current
+    // tick's spans, so both taps are live even without --metrics/--trace.
+    registry.SetEnabled(true);
+    opts.metrics = &registry;
+    tracer.SetEnabled(true);
+    opts.tracer = &tracer;
+  }
+  opts.multi_scenario = opts.scenario == "all";
   if (opts.lint) return RunLint();
   if (opts.list) {
     for (const std::string& name : ScenarioNames()) {

@@ -372,6 +372,18 @@ std::string RenderReportJson(const ScenarioReport& report) {
         slo.Field("evaluated", report.slo_evaluated);
         slo.Field("violated", report.slo_violated);
         slo.Field("detail", report.slo_detail);
+        // One structured record per configured gate (passed or not), keyed
+        // by gate name — the evidence --enforce-slo prints and bundles
+        // embed.
+        slo.Object("checks", [&](ObjectWriter& checks) {
+          for (const auto& c : report.slo_checks) {
+            checks.Object(c.name.c_str(), [&](ObjectWriter& w) {
+              w.Field("target_ms", c.target_ms);
+              w.Field("measured_ms", c.measured_ms);
+              w.Field("violated", c.violated);
+            });
+          }
+        });
       });
     });
   }
@@ -473,6 +485,23 @@ Status ValidateReportJson(const std::string& json) {
         Require(*slo, "timing.slo", "evaluated", JsonValue::Kind::kBool));
     GAMEDB_RETURN_NOT_OK(
         Require(*slo, "timing.slo", "violated", JsonValue::Kind::kBool));
+    const JsonValue* checks = slo->Find("checks");
+    if (checks == nullptr || checks->kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("schema: missing timing.slo.checks");
+    }
+    for (const auto& [name, check] : checks->fields) {
+      if (check.kind != JsonValue::Kind::kObject) {
+        return Status::InvalidArgument("schema: timing.slo.checks." + name +
+                                       " must be an object");
+      }
+      const std::string at = "timing.slo.checks." + name;
+      GAMEDB_RETURN_NOT_OK(
+          Require(check, at.c_str(), "target_ms", JsonValue::Kind::kNumber));
+      GAMEDB_RETURN_NOT_OK(
+          Require(check, at.c_str(), "measured_ms", JsonValue::Kind::kNumber));
+      GAMEDB_RETURN_NOT_OK(
+          Require(check, at.c_str(), "violated", JsonValue::Kind::kBool));
+    }
   }
   return Status::OK();
 }

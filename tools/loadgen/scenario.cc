@@ -220,6 +220,11 @@ Result<ScenarioReport> RunScenario(const ScenarioConfig& cfg) {
       s->step(d, tick);
     }));
   }
+  // Hot plans are harvested before Finish: the recovery differential can
+  // fail Finish, and the diagnostic bundle wants the plans precisely then.
+  if (cfg.hot_plans_out != nullptr) {
+    *cfg.hot_plans_out = driver.planner().HottestPlans(5);
+  }
   return driver.Finish();
 }
 

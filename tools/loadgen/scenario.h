@@ -28,6 +28,7 @@
 
 #include "common/percentile.h"
 #include "common/status.h"
+#include "telemetry/bundle.h"
 
 namespace gamedb::telemetry {
 class MetricsRegistry;
@@ -77,6 +78,22 @@ struct ScenarioConfig {
   /// with or without these taps.
   telemetry::MetricsRegistry* metrics = nullptr;
   telemetry::Tracer* tracer = nullptr;
+  /// Continuous-observability pair (PR 10): when set, the Driver samples
+  /// the recorder and evaluates the watchdog at the sequential point of
+  /// every tick (after persistence, before the next tick's mutations).
+  /// Non-owning, same lifetime contract as metrics/tracer; observational
+  /// only, so the determinism contract still holds.
+  telemetry::FlightRecorder* recorder = nullptr;
+  telemetry::Watchdog* watchdog = nullptr;
+  /// Clear the tracer at each tick start so it only ever holds the current
+  /// tick's spans — what a flight-recorder bundle wants. Mutually
+  /// exclusive with whole-run --trace output (loadgen refuses both).
+  bool trace_last_tick_only = false;
+  /// When non-null, RunScenario turns on planner runtime collection and
+  /// fills this with EXPLAIN ANALYZE text of the hottest cached plans
+  /// after the tick loop — before the Driver (and its planner) is torn
+  /// down, so a bundle can include them even when Finish() fails.
+  std::vector<std::string>* hot_plans_out = nullptr;
 };
 
 /// Quantile digest of one latency histogram, in nanoseconds.
@@ -136,6 +153,10 @@ struct ScenarioReport {
   bool slo_evaluated = false;
   bool slo_violated = false;
   std::string slo_detail;
+  /// One structured entry per configured SLO gate (violated or not), so
+  /// breach reporting can say which metric tripped with measured vs
+  /// allowed values — the same records a flight-recorder bundle embeds.
+  std::vector<telemetry::SloCheck> slo_checks;
 };
 
 /// Names of every registered scenario, in registry order.

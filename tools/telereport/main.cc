@@ -1,0 +1,332 @@
+/// \file main.cc
+/// telereport — renders a `gamedb.flightrec.v1` diagnostic bundle (the
+/// artifact loadgen's `--flightrec` and scripted_world's `--flightrec`
+/// dump, see src/telemetry/bundle.h) into human-readable per-metric
+/// tables with unicode sparklines, or diffs two bundles metric-by-metric.
+///
+///   telereport BUNDLE.json              render one bundle
+///   telereport BASE.json CURRENT.json   diff two bundles
+///
+/// Render mode shows the trigger, every watchdog rule with its trip
+/// state, the SLO checks exactly as loadgen printed them, one table row
+/// per recorded series (count / min / mean / max / last + sparkline),
+/// a per-span trace summary and the EXPLAIN ANALYZE text of the hottest
+/// cached plans. Diff mode matches series by name and reports the mean
+/// shift, plus rules whose tripped state changed between the bundles.
+///
+/// Bundles are checked with the independent validator before rendering,
+/// so a malformed bundle fails loudly instead of rendering nonsense.
+///
+/// Exit codes: 0 rendered/diffed; 1 usage, unreadable file, or a bundle
+/// that fails `gamedb.flightrec.v1` validation.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "telemetry/bundle.h"
+
+namespace {
+
+using gamedb::Result;
+using gamedb::Status;
+using gamedb::json::JsonValue;
+using gamedb::json::ParseJson;
+
+/// One series pulled out of a bundle's "series" array.
+struct SeriesStats {
+  std::string kind;
+  std::vector<double> values;
+  double min = 0.0, max = 0.0, mean = 0.0, last = 0.0;
+};
+
+struct Bundle {
+  JsonValue doc;
+  std::map<std::string, SeriesStats> series;
+};
+
+/// Eight-level unicode sparkline over the last `budget` samples, scaled
+/// to the series' own min..max (a flat series renders as all-low).
+std::string Sparkline(const std::vector<double>& values, size_t budget) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  const size_t start = values.size() > budget ? values.size() - budget : 0;
+  double lo = values[start], hi = values[start];
+  for (size_t i = start; i < values.size(); ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  const double span = hi - lo;
+  std::string out;
+  for (size_t i = start; i < values.size(); ++i) {
+    int level = 0;
+    if (span > 0.0) {
+      level = static_cast<int>((values[i] - lo) / span * 7.0 + 0.5);
+      level = std::max(0, std::min(7, level));
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+/// Compact value formatting: integers as-is, big numbers with thousands
+/// kept readable via scientific-free %.1f, small ones with precision.
+std::string Fmt(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+Result<Bundle> LoadBundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  // The independent validator runs first: telereport refuses to render a
+  // document that is not a well-formed gamedb.flightrec.v1 bundle.
+  GAMEDB_RETURN_NOT_OK(gamedb::telemetry::ValidateFlightRecorderBundle(text));
+  Bundle b;
+  GAMEDB_ASSIGN_OR_RETURN(b.doc, ParseJson(text));
+  const JsonValue* series = b.doc.Find("series");
+  for (const JsonValue& s : series->elements) {
+    SeriesStats st;
+    st.kind = s.Find("kind")->str;
+    for (const JsonValue& v : s.Find("values")->elements) {
+      st.values.push_back(v.number);
+    }
+    st.min = st.max = st.values.front();
+    double sum = 0.0;
+    for (double v : st.values) {
+      st.min = std::min(st.min, v);
+      st.max = std::max(st.max, v);
+      sum += v;
+    }
+    st.mean = sum / static_cast<double>(st.values.size());
+    st.last = st.values.back();
+    b.series[s.Find("name")->str] = std::move(st);
+  }
+  return b;
+}
+
+void RenderTrigger(const Bundle& b) {
+  const JsonValue* trig = b.doc.Find("trigger");
+  std::printf("trigger: %s (scenario %s, tick %lld)\n",
+              trig->Find("reason")->str.c_str(),
+              trig->Find("scenario")->str.c_str(),
+              static_cast<long long>(trig->Find("tick")->number));
+}
+
+void RenderRules(const Bundle& b) {
+  const JsonValue* rules = b.doc.Find("rules");
+  if (rules->elements.empty()) return;
+  std::printf("\nwatchdog rules:\n");
+  for (const JsonValue& r : rules->elements) {
+    const bool tripped = r.Find("tripped")->boolean;
+    const long long trips =
+        static_cast<long long>(r.Find("trip_count")->number);
+    std::printf("  [%s] %s\n", tripped ? "TRIPPED" : "   ok  ",
+                r.Find("rendered")->str.c_str());
+    if (trips > 0) {
+      std::printf("           first tripped at tick %lld, %lld trip(s), "
+                  "last value %s over %lld evaluation(s)\n",
+                  static_cast<long long>(r.Find("tripped_tick")->number),
+                  trips, Fmt(r.Find("last_value")->number).c_str(),
+                  static_cast<long long>(r.Find("evaluations")->number));
+    }
+  }
+}
+
+void RenderSlo(const Bundle& b) {
+  const JsonValue* slo = b.doc.Find("slo");
+  if (slo->elements.empty()) return;
+  std::printf("\nslo checks:\n");
+  for (const JsonValue& c : slo->elements) {
+    std::printf("  %s\n", c.Find("rendered")->str.c_str());
+  }
+}
+
+void RenderSeries(const Bundle& b) {
+  if (b.series.empty()) return;
+  size_t name_w = 4;
+  for (const auto& [name, st] : b.series) {
+    name_w = std::max(name_w, name.size());
+  }
+  std::printf("\nseries (%zu):\n", b.series.size());
+  std::printf("  %-*s %13s %4s %12s %12s %12s %12s  %s\n",
+              static_cast<int>(name_w), "name", "kind", "n", "min", "mean",
+              "max", "last", "sparkline");
+  for (const auto& [name, st] : b.series) {
+    std::printf("  %-*s %13s %4zu %12s %12s %12s %12s  %s\n",
+                static_cast<int>(name_w), name.c_str(), st.kind.c_str(),
+                st.values.size(), Fmt(st.min).c_str(), Fmt(st.mean).c_str(),
+                Fmt(st.max).c_str(), Fmt(st.last).c_str(),
+                Sparkline(st.values, 32).c_str());
+  }
+}
+
+void RenderTrace(const Bundle& b) {
+  const JsonValue* trace = b.doc.Find("trace");
+  if (trace->elements.empty()) return;
+  // Aggregate spans by name: the raw stream repeats per shard/thread.
+  struct SpanAgg {
+    size_t count = 0;
+    double total_ns = 0.0;
+  };
+  std::map<std::string, SpanAgg> aggs;
+  for (const JsonValue& e : trace->elements) {
+    SpanAgg& a = aggs[e.Find("name")->str];
+    ++a.count;
+    a.total_ns += e.Find("dur_ns")->number;
+  }
+  std::printf("\ntrace spans (trigger tick, %zu events):\n",
+              trace->elements.size());
+  std::vector<std::pair<std::string, SpanAgg>> rows(aggs.begin(), aggs.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  for (const auto& [name, a] : rows) {
+    std::printf("  %-32s x%-4zu total %10.3f ms\n", name.c_str(), a.count,
+                a.total_ns / 1e6);
+  }
+}
+
+void RenderPlans(const Bundle& b) {
+  const JsonValue* plans = b.doc.Find("plans");
+  if (plans->elements.empty()) return;
+  std::printf("\nhottest cached plans (EXPLAIN ANALYZE):\n");
+  for (size_t i = 0; i < plans->elements.size(); ++i) {
+    std::printf("  --- plan %zu ---\n", i + 1);
+    std::istringstream lines(plans->elements[i].str);
+    std::string line;
+    while (std::getline(lines, line)) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
+}
+
+int Render(const std::string& path) {
+  auto bundle_or = LoadBundle(path);
+  if (!bundle_or.ok()) {
+    std::fprintf(stderr, "telereport: %s\n",
+                 bundle_or.status().ToString().c_str());
+    return 1;
+  }
+  const Bundle& b = *bundle_or;
+  std::printf("flight recorder bundle: %s\n", path.c_str());
+  RenderTrigger(b);
+  RenderRules(b);
+  RenderSlo(b);
+  RenderSeries(b);
+  RenderTrace(b);
+  RenderPlans(b);
+  return 0;
+}
+
+int Diff(const std::string& base_path, const std::string& cur_path) {
+  auto base_or = LoadBundle(base_path);
+  if (!base_or.ok()) {
+    std::fprintf(stderr, "telereport: %s\n",
+                 base_or.status().ToString().c_str());
+    return 1;
+  }
+  auto cur_or = LoadBundle(cur_path);
+  if (!cur_or.ok()) {
+    std::fprintf(stderr, "telereport: %s\n",
+                 cur_or.status().ToString().c_str());
+    return 1;
+  }
+  const Bundle& base = *base_or;
+  const Bundle& cur = *cur_or;
+
+  std::printf("flight recorder diff: %s -> %s\n", base_path.c_str(),
+              cur_path.c_str());
+
+  // Rules whose tripped state changed between the two bundles.
+  std::map<std::string, bool> base_tripped;
+  for (const JsonValue& r : base.doc.Find("rules")->elements) {
+    base_tripped[r.Find("name")->str] = r.Find("tripped")->boolean;
+  }
+  for (const JsonValue& r : cur.doc.Find("rules")->elements) {
+    const std::string& name = r.Find("name")->str;
+    const bool now = r.Find("tripped")->boolean;
+    auto it = base_tripped.find(name);
+    if (it != base_tripped.end() && it->second != now) {
+      std::printf("  rule %-32s %s\n", name.c_str(),
+                  now ? "newly TRIPPED" : "cleared");
+    }
+  }
+
+  size_t name_w = 4;
+  for (const auto& [name, st] : base.series) {
+    name_w = std::max(name_w, name.size());
+  }
+  for (const auto& [name, st] : cur.series) {
+    name_w = std::max(name_w, name.size());
+  }
+  std::printf("  %-*s %12s %12s %9s\n", static_cast<int>(name_w), "name",
+              "base mean", "cur mean", "delta");
+  size_t compared = 0;
+  for (const auto& [name, bst] : base.series) {
+    auto it = cur.series.find(name);
+    if (it == cur.series.end()) {
+      std::printf("  %-*s  only in base\n", static_cast<int>(name_w),
+                  name.c_str());
+      continue;
+    }
+    ++compared;
+    const SeriesStats& cst = it->second;
+    if (bst.mean == 0.0 && cst.mean == 0.0) continue;  // both flat at zero
+    if (bst.mean == 0.0) {
+      std::printf("  %-*s %12s %12s %9s\n", static_cast<int>(name_w),
+                  name.c_str(), Fmt(bst.mean).c_str(), Fmt(cst.mean).c_str(),
+                  "new");
+      continue;
+    }
+    const double delta_pct = (cst.mean - bst.mean) / bst.mean * 100.0;
+    std::printf("  %-*s %12s %12s %+8.1f%%\n", static_cast<int>(name_w),
+                name.c_str(), Fmt(bst.mean).c_str(), Fmt(cst.mean).c_str(),
+                delta_pct);
+  }
+  for (const auto& [name, cst] : cur.series) {
+    (void)cst;
+    if (base.series.find(name) == base.series.end()) {
+      std::printf("  %-*s  only in current\n", static_cast<int>(name_w),
+                  name.c_str());
+    }
+  }
+  std::printf("telereport: %zu series compared\n", compared);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "telereport: unknown flag '%s'\n", arg.c_str());
+      return 1;
+    }
+    files.push_back(arg);
+  }
+  if (files.size() == 1) return Render(files[0]);
+  if (files.size() == 2) return Diff(files[0], files[1]);
+  std::fprintf(stderr,
+               "usage: telereport BUNDLE.json            render a bundle\n"
+               "       telereport BASE.json CURRENT.json diff two bundles\n");
+  return 1;
+}
